@@ -1,0 +1,381 @@
+//! Latency adaptation (§2): "the memory access latencies vary … depending
+//! on the locality of references, the number of concurrent accesses, and
+//! the available memory bandwidth. The system needs \[to\] dynamically adapt
+//! to such variations."
+//!
+//! Two pieces:
+//!
+//! * [`EwmaLatency`] — the runtime's latency estimator (exponentially
+//!   weighted moving average over observed access latencies, as reported by
+//!   the monitor);
+//! * [`AdaptiveConcurrency`] — a hill-climbing controller that adjusts the
+//!   number of outstanding requests (hardware threads / percolation depth)
+//!   toward the latency-bandwidth product: concurrency ≈ latency / service
+//!   interval, clamped to the machine's slots. Experiment E11 drives it
+//!   against the simulator while the DRAM latency drifts.
+
+/// Exponentially weighted moving average latency estimator.
+#[derive(Debug, Clone)]
+pub struct EwmaLatency {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl EwmaLatency {
+    /// `alpha` ∈ (0,1]: weight of each new observation.
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            alpha: alpha.clamp(1e-6, 1.0),
+            value: None,
+        }
+    }
+
+    /// Record an observed latency.
+    pub fn observe(&mut self, latency: f64) {
+        self.value = Some(match self.value {
+            None => latency,
+            Some(v) => v + self.alpha * (latency - v),
+        });
+    }
+
+    /// Current estimate (None before any observation).
+    pub fn estimate(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Hill-climbing concurrency controller.
+///
+/// The control target follows Little's law: to keep a unit busy despite an
+/// access latency `L` and per-request service interval `s`, about `L / s`
+/// requests must be in flight. The controller recomputes that target from
+/// the EWMA estimate each epoch and moves one step toward it (bounded
+/// step so that noisy estimates don't thrash the runtime).
+#[derive(Debug, Clone)]
+pub struct AdaptiveConcurrency {
+    ewma: EwmaLatency,
+    /// Cycles of useful work issued between two consecutive long-latency
+    /// requests of one thread (the "s" of Little's law).
+    pub service_interval: f64,
+    /// Current concurrency setting.
+    pub concurrency: u32,
+    /// Inclusive bounds (1 ..= machine slots).
+    pub max_concurrency: u32,
+}
+
+impl AdaptiveConcurrency {
+    /// Start at `initial` concurrency with bound `max`.
+    pub fn new(initial: u32, max: u32, service_interval: f64, alpha: f64) -> Self {
+        Self {
+            ewma: EwmaLatency::new(alpha),
+            service_interval: service_interval.max(1.0),
+            concurrency: initial.clamp(1, max.max(1)),
+            max_concurrency: max.max(1),
+        }
+    }
+
+    /// Feed one epoch's mean observed latency; returns the (possibly
+    /// updated) concurrency to use next epoch.
+    pub fn epoch(&mut self, observed_latency: f64) -> u32 {
+        self.ewma.observe(observed_latency);
+        let est = self.ewma.estimate().unwrap_or(observed_latency);
+        let target = (est / self.service_interval).ceil() as i64;
+        let target = target.clamp(1, self.max_concurrency as i64) as u32;
+        // One step per epoch toward the target.
+        self.concurrency = match self.concurrency.cmp(&target) {
+            std::cmp::Ordering::Less => self.concurrency + 1,
+            std::cmp::Ordering::Greater => self.concurrency - 1,
+            std::cmp::Ordering::Equal => self.concurrency,
+        };
+        self.concurrency
+    }
+
+    /// Current latency estimate.
+    pub fn latency_estimate(&self) -> Option<f64> {
+        self.ewma.estimate()
+    }
+}
+
+/// Modelled throughput (fraction of peak) of a unit with `c`-way
+/// multithreading under latency `l` and service interval `s`: the classic
+/// saturation curve `min(1, c·s / (s + l))`.
+///
+/// The experiments use this closed form to cross-check simulator results.
+pub fn expected_utilization(c: u32, latency: f64, service: f64) -> f64 {
+    let c = c.max(1) as f64;
+    (c * service / (service + latency.max(0.0))).min(1.0)
+}
+
+/// Contention-aware utilization model for E11.
+///
+/// [`expected_utilization`] is monotone in `c`: more threads never hurt, so
+/// a fixed maximal setting would trivially dominate and there would be
+/// nothing to adapt. On a real C64-class chip concurrent threads *compete*
+/// — "depending on the locality of references, the number of concurrent
+/// accesses, and the available memory bandwidth" (§2) — because they share
+/// the on-chip SRAM: each extra resident context shrinks every thread's
+/// effective cache share, lowering the hit rate, which both lengthens the
+/// average access and burns more of the finite DRAM bandwidth. The result
+/// is an *interior* optimum concurrency that moves with the DRAM latency,
+/// which is exactly what latency adaptation must track.
+#[derive(Debug, Clone)]
+pub struct ContentionModel {
+    /// Compute cycles a thread issues between two misses-or-hits.
+    pub service: f64,
+    /// Latency of an on-chip hit.
+    pub hit_latency: f64,
+    /// DRAM channel occupancy per miss (inverse bandwidth).
+    pub miss_occupancy: f64,
+    /// Hit rate of a single resident thread.
+    pub base_hit_rate: f64,
+    /// Hit-rate loss per additional resident thread (cache pressure).
+    pub hit_decay: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        Self {
+            service: 50.0,
+            hit_latency: 20.0,
+            miss_occupancy: 150.0,
+            base_hit_rate: 0.95,
+            hit_decay: 0.06,
+        }
+    }
+}
+
+impl ContentionModel {
+    /// Effective hit rate with `c` resident threads.
+    pub fn hit_rate(&self, c: u32) -> f64 {
+        (self.base_hit_rate - self.hit_decay * (c.max(1) - 1) as f64).clamp(0.05, 1.0)
+    }
+
+    /// Fraction of peak issue rate achieved with `c`-way multithreading
+    /// while a DRAM miss costs `dram_latency` cycles: the lesser of the
+    /// pipeline-overlap bound (more threads hide more latency) and the
+    /// bandwidth bound (more threads miss more, and misses serialize on the
+    /// DRAM channels).
+    pub fn utilization(&self, c: u32, dram_latency: f64) -> f64 {
+        let cf = c.max(1) as f64;
+        let h = self.hit_rate(c);
+        let avg_latency = h * self.hit_latency + (1.0 - h) * dram_latency.max(0.0);
+        let pipeline = cf * self.service / (self.service + avg_latency);
+        let bandwidth = self.service / ((1.0 - h).max(1e-9) * self.miss_occupancy);
+        pipeline.min(bandwidth).min(1.0)
+    }
+
+    /// Brute-force best fixed concurrency for a given latency (oracle used
+    /// by tests and the experiment's "best fixed" reference).
+    pub fn best_concurrency(&self, dram_latency: f64, max_c: u32) -> (u32, f64) {
+        (1..=max_c.max(1))
+            .map(|c| (c, self.utilization(c, dram_latency)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+    }
+}
+
+/// Measurement-driven concurrency controller: pure hill climbing on the
+/// *observed* utilization, no model knowledge. Each epoch it moves one step
+/// in its current direction; when utilization declines it reverses. This is
+/// the runtime-adaptation half of E11 — contrast with the Little's-law
+/// target controller ([`AdaptiveConcurrency`]), which over-subscribes badly
+/// once bandwidth contention matters because it only sees latency.
+#[derive(Debug, Clone)]
+pub struct HillClimber {
+    /// Current concurrency setting.
+    pub concurrency: u32,
+    /// Inclusive upper bound (machine slots).
+    pub max_concurrency: u32,
+    dir: i32,
+    last_util: Option<f64>,
+    /// Utilization change below this magnitude counts as "flat".
+    tol: f64,
+}
+
+impl HillClimber {
+    /// Start at `initial`, bounded by `max`.
+    pub fn new(initial: u32, max: u32) -> Self {
+        Self {
+            concurrency: initial.clamp(1, max.max(1)),
+            max_concurrency: max.max(1),
+            dir: 1,
+            last_util: None,
+            tol: 1e-3,
+        }
+    }
+
+    /// Feed the utilization observed at the *current* setting; returns the
+    /// setting for the next epoch.
+    pub fn epoch(&mut self, observed_util: f64) -> u32 {
+        if let Some(prev) = self.last_util {
+            if observed_util < prev - self.tol {
+                self.dir = -self.dir;
+            }
+            // Improving or flat: keep drifting in the current direction —
+            // drifting across a plateau is harmless and finds its edges.
+        }
+        self.last_util = Some(observed_util);
+        let next = self.concurrency as i64 + self.dir as i64;
+        if next < 1 || next > self.max_concurrency as i64 {
+            self.dir = -self.dir;
+            self.concurrency = (self.concurrency as i64 + self.dir as i64)
+                .clamp(1, self.max_concurrency as i64) as u32;
+        } else {
+            self.concurrency = next as u32;
+        }
+        self.concurrency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = EwmaLatency::new(0.25);
+        for _ in 0..64 {
+            e.observe(200.0);
+        }
+        assert!((e.estimate().unwrap() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_tracks_drift_smoothly() {
+        let mut e = EwmaLatency::new(0.25);
+        e.observe(100.0);
+        e.observe(400.0);
+        let v = e.estimate().unwrap();
+        assert!(v > 100.0 && v < 400.0, "one step must not jump fully: {v}");
+    }
+
+    #[test]
+    fn controller_raises_concurrency_when_latency_grows() {
+        let mut c = AdaptiveConcurrency::new(2, 16, 50.0, 0.5);
+        for _ in 0..20 {
+            c.epoch(600.0);
+        }
+        assert!(
+            c.concurrency >= 10,
+            "600-cycle latency at 50-cycle service wants ~12-way: {}",
+            c.concurrency
+        );
+    }
+
+    #[test]
+    fn controller_lowers_concurrency_when_latency_drops() {
+        let mut c = AdaptiveConcurrency::new(16, 16, 50.0, 0.5);
+        for _ in 0..20 {
+            c.epoch(60.0);
+        }
+        assert!(
+            c.concurrency <= 3,
+            "60-cycle latency wants ~2-way: {}",
+            c.concurrency
+        );
+    }
+
+    #[test]
+    fn controller_moves_one_step_per_epoch() {
+        let mut c = AdaptiveConcurrency::new(1, 32, 10.0, 1.0);
+        let c1 = c.epoch(1_000.0);
+        assert_eq!(c1, 2);
+        let c2 = c.epoch(1_000.0);
+        assert_eq!(c2, 3);
+    }
+
+    #[test]
+    fn controller_respects_bounds() {
+        let mut c = AdaptiveConcurrency::new(4, 4, 1.0, 1.0);
+        for _ in 0..10 {
+            c.epoch(1e9);
+        }
+        assert_eq!(c.concurrency, 4);
+        let mut c = AdaptiveConcurrency::new(1, 8, 1e9, 1.0);
+        for _ in 0..10 {
+            c.epoch(0.0);
+        }
+        assert_eq!(c.concurrency, 1);
+    }
+
+    #[test]
+    fn contention_model_has_interior_optimum() {
+        let m = ContentionModel::default();
+        // Over-subscription must eventually *hurt* (cache pressure).
+        let (best_c, best_u) = m.best_concurrency(100.0, 16);
+        assert!(best_c < 16, "optimum must be interior: {best_c}");
+        assert!(m.utilization(16, 100.0) < best_u * 0.8);
+        assert!(m.utilization(1, 100.0) < best_u);
+    }
+
+    #[test]
+    fn contention_optimum_moves_with_latency() {
+        let m = ContentionModel::default();
+        let (c_calm, _) = m.best_concurrency(100.0, 16);
+        let (c_congested, _) = m.best_concurrency(800.0, 16);
+        assert!(
+            c_congested > c_calm,
+            "higher latency wants more threads: {c_calm} -> {c_congested}"
+        );
+    }
+
+    #[test]
+    fn contention_hit_rate_declines_and_clamps() {
+        let m = ContentionModel::default();
+        assert!(m.hit_rate(1) > m.hit_rate(8));
+        assert!(m.hit_rate(64) >= 0.05);
+        assert!(m.hit_rate(1) <= 1.0);
+    }
+
+    #[test]
+    fn hill_climber_finds_the_optimum_neighbourhood() {
+        let m = ContentionModel::default();
+        let (best_c, best_u) = m.best_concurrency(800.0, 16);
+        let mut hc = HillClimber::new(2, 16);
+        let mut util = 0.0;
+        for _ in 0..40 {
+            util = m.utilization(hc.concurrency, 800.0);
+            hc.epoch(util);
+        }
+        assert!(
+            (hc.concurrency as i64 - best_c as i64).unsigned_abs() <= 2,
+            "climber {} should hover near optimum {best_c}",
+            hc.concurrency
+        );
+        assert!(util > best_u * 0.85);
+    }
+
+    #[test]
+    fn hill_climber_respects_bounds() {
+        let mut hc = HillClimber::new(1, 3);
+        // Feed constantly-improving utilization: drifts up, bounces at max.
+        let mut seen_max = false;
+        for i in 0..10 {
+            let c = hc.epoch(0.1 * i as f64);
+            assert!((1..=3).contains(&c));
+            seen_max |= c == 3;
+        }
+        assert!(seen_max);
+    }
+
+    #[test]
+    fn hill_climber_reverses_on_decline() {
+        let mut hc = HillClimber::new(4, 16);
+        hc.epoch(0.9); // moves to 5
+        assert_eq!(hc.concurrency, 5);
+        hc.epoch(0.5); // decline → reverse → 4
+        assert_eq!(hc.concurrency, 4);
+    }
+
+    #[test]
+    fn utilization_curve_shape() {
+        // More threads help until saturation.
+        let u1 = expected_utilization(1, 400.0, 50.0);
+        let u4 = expected_utilization(4, 400.0, 50.0);
+        let u16 = expected_utilization(16, 400.0, 50.0);
+        assert!(u1 < u4 && u4 < u16);
+        assert!((u16 - 1.0).abs() < 1e-9, "16 threads saturate");
+        // Shorter latency saturates earlier.
+        assert!(expected_utilization(2, 50.0, 50.0) >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! # htvm-adapt — runtime adaptation for HTVM
+//!
+//! §2 of Gao et al. (IPDPS 2006) identifies "four classes of adaptivity
+//! critical to the performance of the system"; §4 adds the structured-hint
+//! knowledge base and execution monitoring that steer them. One module per
+//! mechanism:
+//!
+//! | Paper mechanism | Module |
+//! |---|---|
+//! | Loop parallelism adaptation (static vs dynamic loop scheduling) | [`loop_sched`] |
+//! | Dynamic load adaptation (thread migration) | [`load`] |
+//! | Locality adaptation (data migration, replication, copy consistency) | [`locality`] |
+//! | Latency adaptation (react to drifting memory latency) | [`latency`] |
+//! | Runtime performance monitoring (§4.2) | [`monitor`] |
+//! | Structured hints + Program/Execution Knowledge Database (§4.1) | [`hints`] |
+//! | Continuous compilation (static partial schedules completed at run time, §3.3) | [`continuous`] |
+//!
+//! The modules are runtime-agnostic where possible: schedulers and policies
+//! are plain data structures evaluated either analytically, on recorded
+//! traces, or on the `htvm-sim` machine; the native runtime uses the same
+//! types through `htvm-core`.
+
+pub mod continuous;
+pub mod hints;
+pub mod latency;
+pub mod load;
+pub mod locality;
+pub mod loop_sched;
+pub mod monitor;
+
+pub use continuous::{ContinuousCompiler, PartialSchedule, PolicyOutcome};
+pub use hints::{HintCategory, HintTarget, KnowledgeBase, StructuredHint};
+pub use latency::{AdaptiveConcurrency, EwmaLatency};
+pub use load::{LoadPolicy, LoadSimConfig, LoadSimResult};
+pub use locality::{ConsistencyKind, Directory, LocalityCosts, LocalityPolicy};
+pub use loop_sched::{
+    evaluate_schedule, CostModel, IterationCosts, ScheduleKind, ScheduleOutcome,
+};
+pub use monitor::{Metric, Monitor, MonitorConfig};

@@ -1,0 +1,328 @@
+//! Dynamic load adaptation: thread migration policies (§2).
+//!
+//! "The computation load may become unbalanced and a large number of
+//! threads may need to migrate to balance the load of the machine."
+//!
+//! The model: `nodes` ready queues of threads with known costs; work
+//! arrives skewed (and optionally in a second *phase* that re-skews toward
+//! other nodes mid-run). Policies:
+//!
+//! * **None** — threads run where they were spawned;
+//! * **SenderInitiated** — an overloaded node pushes a thread to the
+//!   least-loaded node when its queue exceeds a threshold;
+//! * **ReceiverInitiated** — an idle node asks the most-loaded node for
+//!   work;
+//! * **WorkStealing** — an idle node steals half the richest queue
+//!   (receiver-initiated with batch transfer).
+//!
+//! Each migration costs `migrate_cost` cycles on the receiving node (state
+//! transfer). Replay is an event-driven list simulation — deterministic,
+//! like `loop_sched`.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Migration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadPolicy {
+    /// No migration.
+    None,
+    /// Push from overloaded nodes above `threshold` queued threads.
+    SenderInitiated {
+        /// Queue length that triggers a push.
+        threshold: usize,
+    },
+    /// Idle nodes pull one thread from the most loaded node.
+    ReceiverInitiated,
+    /// Idle nodes steal half the richest queue.
+    WorkStealing,
+}
+
+impl LoadPolicy {
+    /// Portfolio for E9.
+    pub const PORTFOLIO: [LoadPolicy; 4] = [
+        LoadPolicy::None,
+        LoadPolicy::SenderInitiated { threshold: 8 },
+        LoadPolicy::ReceiverInitiated,
+        LoadPolicy::WorkStealing,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadPolicy::None => "none",
+            LoadPolicy::SenderInitiated { .. } => "sender-initiated",
+            LoadPolicy::ReceiverInitiated => "receiver-initiated",
+            LoadPolicy::WorkStealing => "work-stealing",
+        }
+    }
+}
+
+/// Workload and machine parameters.
+#[derive(Debug, Clone)]
+pub struct LoadSimConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total threads in the first phase.
+    pub threads: usize,
+    /// Mean thread cost (cycles).
+    pub mean_cost: u64,
+    /// Fraction (0..=1) of phase-1 threads born on node 0 (skew).
+    pub skew: f64,
+    /// Optional second phase: after the first `threads` retire a new batch
+    /// of equal size arrives, skewed to the *last* node.
+    pub phase_change: bool,
+    /// Cost charged to the destination for each migrated thread.
+    pub migrate_cost: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadSimConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            threads: 512,
+            mean_cost: 1_000,
+            skew: 0.8,
+            phase_change: false,
+            migrate_cost: 400,
+            seed: 1,
+        }
+    }
+}
+
+/// Replay outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSimResult {
+    /// Cycles until the last node drains.
+    pub makespan: u64,
+    /// Threads migrated.
+    pub migrations: u64,
+    /// Coefficient of variation of per-node busy time.
+    pub imbalance: f64,
+    /// Per-node busy cycles.
+    pub busy: Vec<u64>,
+}
+
+/// Run the load-adaptation simulation.
+pub fn simulate_load(policy: LoadPolicy, cfg: &LoadSimConfig) -> LoadSimResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes.max(1);
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+    let spawn_batch = |queues: &mut Vec<VecDeque<u64>>, rng: &mut StdRng, hot: usize| {
+        for _ in 0..cfg.threads {
+            let cost = rng.gen_range(1..=2 * cfg.mean_cost.max(1));
+            let node = if rng.gen_bool(cfg.skew.clamp(0.0, 1.0)) {
+                hot
+            } else {
+                rng.gen_range(0..n)
+            };
+            queues[node].push_back(cost);
+        }
+    };
+    spawn_batch(&mut queues, &mut rng, 0);
+
+    let mut clock = vec![0u64; n]; // per-node local time
+    let mut busy = vec![0u64; n];
+    let mut migrations = 0u64;
+    let mut second_phase_pending = cfg.phase_change;
+    let mut retired = 0usize;
+
+    loop {
+        // Balance step (policy), then the globally-earliest node runs one
+        // thread. This interleaving approximates periodic balancing.
+        match policy {
+            LoadPolicy::None => {}
+            LoadPolicy::SenderInitiated { threshold } => {
+                for src in 0..n {
+                    while queues[src].len() > threshold {
+                        let dst = (0..n).min_by_key(|&d| queues[d].len()).unwrap();
+                        if queues[dst].len() + 1 >= queues[src].len() {
+                            break;
+                        }
+                        let t = queues[src].pop_back().unwrap();
+                        queues[dst].push_back(t);
+                        busy[dst] += cfg.migrate_cost;
+                        clock[dst] += cfg.migrate_cost;
+                        migrations += 1;
+                    }
+                }
+            }
+            LoadPolicy::ReceiverInitiated => {
+                for dst in 0..n {
+                    if queues[dst].is_empty() {
+                        let src = (0..n).max_by_key(|&s| queues[s].len()).unwrap();
+                        if queues[src].len() > 1 {
+                            let t = queues[src].pop_back().unwrap();
+                            queues[dst].push_back(t);
+                            busy[dst] += cfg.migrate_cost;
+                            clock[dst] += cfg.migrate_cost;
+                            migrations += 1;
+                        }
+                    }
+                }
+            }
+            LoadPolicy::WorkStealing => {
+                for dst in 0..n {
+                    if queues[dst].is_empty() {
+                        let src = (0..n).max_by_key(|&s| queues[s].len()).unwrap();
+                        let half = queues[src].len() / 2;
+                        if half == 0 {
+                            continue;
+                        }
+                        for _ in 0..half {
+                            let t = queues[src].pop_back().unwrap();
+                            queues[dst].push_back(t);
+                            migrations += 1;
+                        }
+                        // Batch transfer amortizes: one migrate cost per
+                        // steal event, not per thread.
+                        busy[dst] += cfg.migrate_cost;
+                        clock[dst] += cfg.migrate_cost;
+                    }
+                }
+            }
+        }
+
+        // Earliest node with work runs one thread.
+        let runnable: Vec<usize> = (0..n).filter(|&i| !queues[i].is_empty()).collect();
+        if runnable.is_empty() {
+            if second_phase_pending {
+                second_phase_pending = false;
+                // Re-skew toward the last node; nodes keep their clocks.
+                spawn_batch(&mut queues, &mut rng, n - 1);
+                continue;
+            }
+            break;
+        }
+        let w = *runnable.iter().min_by_key(|&&i| clock[i]).unwrap();
+        let cost = queues[w].pop_front().unwrap();
+        clock[w] += cost;
+        busy[w] += cost;
+        retired += 1;
+        let _ = retired;
+    }
+
+    let makespan = *clock.iter().max().unwrap_or(&0);
+    let mean = busy.iter().sum::<u64>() as f64 / n as f64;
+    let var = busy.iter().map(|&b| (b as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    LoadSimResult {
+        makespan,
+        migrations,
+        imbalance: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LoadSimConfig {
+        LoadSimConfig::default()
+    }
+
+    #[test]
+    fn no_migration_suffers_under_skew() {
+        let none = simulate_load(LoadPolicy::None, &cfg());
+        let steal = simulate_load(LoadPolicy::WorkStealing, &cfg());
+        assert!(
+            steal.makespan * 2 < none.makespan,
+            "stealing {} must far outrun no-migration {} at 80% skew",
+            steal.makespan,
+            none.makespan
+        );
+        assert_eq!(none.migrations, 0);
+        assert!(steal.migrations > 0);
+    }
+
+    #[test]
+    fn all_policies_do_all_work() {
+        // Total busy time ≥ total thread cost (plus migration overheads).
+        let base: u64 = {
+            let r = simulate_load(LoadPolicy::None, &cfg());
+            r.busy.iter().sum()
+        };
+        for p in LoadPolicy::PORTFOLIO {
+            let r = simulate_load(p, &cfg());
+            let total: u64 = r.busy.iter().sum();
+            assert!(
+                total >= base,
+                "{}: busy {total} < work {base}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn receiver_initiated_reduces_imbalance() {
+        let none = simulate_load(LoadPolicy::None, &cfg());
+        let recv = simulate_load(LoadPolicy::ReceiverInitiated, &cfg());
+        assert!(recv.imbalance < none.imbalance);
+    }
+
+    #[test]
+    fn sender_initiated_reduces_makespan() {
+        let none = simulate_load(LoadPolicy::None, &cfg());
+        let send = simulate_load(LoadPolicy::SenderInitiated { threshold: 8 }, &cfg());
+        assert!(send.makespan < none.makespan);
+        assert!(send.migrations > 0);
+    }
+
+    #[test]
+    fn stealing_adapts_to_phase_change() {
+        let mut c = cfg();
+        c.phase_change = true;
+        let none = simulate_load(LoadPolicy::None, &c);
+        let steal = simulate_load(LoadPolicy::WorkStealing, &c);
+        assert!(
+            steal.makespan * 2 < none.makespan,
+            "stealing {} vs none {} across a phase shift",
+            steal.makespan,
+            none.makespan
+        );
+    }
+
+    #[test]
+    fn no_skew_no_gain() {
+        let mut c = cfg();
+        c.skew = 0.0;
+        let none = simulate_load(LoadPolicy::None, &c);
+        let steal = simulate_load(LoadPolicy::WorkStealing, &c);
+        // Without skew migration buys little; allow small wins either way.
+        let ratio = none.makespan as f64 / steal.makespan as f64;
+        assert!(
+            (0.8..1.6).contains(&ratio),
+            "balanced load: expected parity, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate_load(LoadPolicy::WorkStealing, &cfg());
+        let b = simulate_load(LoadPolicy::WorkStealing, &cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn migration_cost_is_charged() {
+        let cheap = simulate_load(
+            LoadPolicy::ReceiverInitiated,
+            &LoadSimConfig {
+                migrate_cost: 0,
+                ..cfg()
+            },
+        );
+        let costly = simulate_load(
+            LoadPolicy::ReceiverInitiated,
+            &LoadSimConfig {
+                migrate_cost: 100_000,
+                ..cfg()
+            },
+        );
+        assert!(costly.makespan > cheap.makespan);
+    }
+}

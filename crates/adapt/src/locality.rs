@@ -1,0 +1,491 @@
+//! Locality adaptation: data migration and replication with copy
+//! consistency (§2).
+//!
+//! "Data objects may need to migrate, and copies be generated and moved in
+//! the memory hierarchy to achieve high locality, while copy consistency
+//! needs to be preserved."
+//!
+//! [`Directory`] is a directory-based coherence engine over logical blocks:
+//! every block has a home node, an optional set of read replicas, and at
+//! most one writable copy. Policies layer on top:
+//!
+//! * **FixedHome** — blocks never move; remote accesses pay the remote cost
+//!   forever (the no-adaptation baseline);
+//! * **Migrate** — after `k` consecutive accesses from the same non-home
+//!   node, the block's home migrates there;
+//! * **Replicate** — reads install replicas (local thereafter); writes
+//!   invalidate all replicas (MSI-style), preserving single-writer /
+//!   multi-reader consistency;
+//! * **MigrateAndReplicate** — both.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Consistency/placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalityPolicy {
+    /// Blocks stay home; no replicas.
+    FixedHome,
+    /// Home migration after `k` consecutive remote accesses from one node.
+    Migrate {
+        /// Consecutive-access threshold.
+        threshold: u32,
+    },
+    /// Read replication with write invalidation.
+    Replicate,
+    /// Migration + replication.
+    MigrateAndReplicate {
+        /// Consecutive-access threshold for migration.
+        threshold: u32,
+    },
+}
+
+impl LocalityPolicy {
+    /// Portfolio for E10.
+    pub const PORTFOLIO: [LocalityPolicy; 4] = [
+        LocalityPolicy::FixedHome,
+        LocalityPolicy::Migrate { threshold: 4 },
+        LocalityPolicy::Replicate,
+        LocalityPolicy::MigrateAndReplicate { threshold: 4 },
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalityPolicy::FixedHome => "fixed-home",
+            LocalityPolicy::Migrate { .. } => "migrate",
+            LocalityPolicy::Replicate => "replicate",
+            LocalityPolicy::MigrateAndReplicate { .. } => "migrate+replicate",
+        }
+    }
+}
+
+/// Access cost parameters (cycles).
+#[derive(Debug, Clone)]
+pub struct LocalityCosts {
+    /// A node touching a block it holds locally (home or replica).
+    pub local: u64,
+    /// A node touching a remote block.
+    pub remote: u64,
+    /// Moving a block's home (state + directory update).
+    pub migrate: u64,
+    /// Installing a replica. The data itself rides the remote read that
+    /// triggered the replication (already paid under `remote`), so this is
+    /// only the directory update + local copy installation.
+    pub replicate: u64,
+    /// Invalidating one replica.
+    pub invalidate: u64,
+}
+
+impl Default for LocalityCosts {
+    fn default() -> Self {
+        Self {
+            local: 10,
+            remote: 400,
+            migrate: 2_000,
+            replicate: 100,
+            invalidate: 150,
+        }
+    }
+}
+
+/// What kind of consistency action an access triggered (for tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyKind {
+    /// Served locally.
+    LocalHit,
+    /// Served from the (remote) home.
+    RemoteAccess,
+    /// The block's home moved to the accessor.
+    Migrated,
+    /// A replica was installed at the accessor.
+    Replicated,
+    /// Replicas were invalidated (count attached).
+    Invalidated(u32),
+}
+
+#[derive(Debug, Clone)]
+struct BlockState {
+    home: u16,
+    replicas: BTreeSet<u16>,
+    /// (node, run-length) of consecutive remote accesses.
+    streak: (u16, u32),
+}
+
+/// Directory-based block manager.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    policy: LocalityPolicy,
+    costs: LocalityCosts,
+    blocks: BTreeMap<u64, BlockState>,
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Accesses served locally.
+    pub local_hits: u64,
+    /// Accesses served remotely.
+    pub remote_accesses: u64,
+    /// Home migrations performed.
+    pub migrations: u64,
+    /// Replicas installed.
+    pub replications: u64,
+    /// Replica invalidations performed.
+    pub invalidations: u64,
+}
+
+impl Directory {
+    /// A directory where every block initially lives on node 0 unless
+    /// `place` is called.
+    pub fn new(policy: LocalityPolicy, costs: LocalityCosts) -> Self {
+        Self {
+            policy,
+            costs,
+            blocks: BTreeMap::new(),
+            cycles: 0,
+            local_hits: 0,
+            remote_accesses: 0,
+            migrations: 0,
+            replications: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Set a block's home explicitly (initial data distribution).
+    pub fn place(&mut self, block: u64, home: u16) {
+        self.blocks.insert(
+            block,
+            BlockState {
+                home,
+                replicas: BTreeSet::new(),
+                streak: (home, 0),
+            },
+        );
+    }
+
+    fn state(&mut self, block: u64) -> &mut BlockState {
+        self.blocks.entry(block).or_insert(BlockState {
+            home: 0,
+            replicas: BTreeSet::new(),
+            streak: (0, 0),
+        })
+    }
+
+    /// Current home of a block.
+    pub fn home_of(&self, block: u64) -> Option<u16> {
+        self.blocks.get(&block).map(|b| b.home)
+    }
+
+    /// Replica holders of a block.
+    pub fn replicas_of(&self, block: u64) -> Vec<u16> {
+        self.blocks
+            .get(&block)
+            .map(|b| b.replicas.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Invariant: a block's home never appears in its own replica set
+    /// (single authoritative copy), checked by tests after random traces.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, b) in &self.blocks {
+            if b.replicas.contains(&b.home) {
+                return Err(format!("block {id}: home {} is also a replica", b.home));
+            }
+        }
+        Ok(())
+    }
+
+    /// Process a read by `node`; returns what happened.
+    pub fn read(&mut self, node: u16, block: u64) -> ConsistencyKind {
+        let policy = self.policy;
+        let costs = self.costs.clone();
+        let local = {
+            let st = self.state(block);
+            st.home == node || st.replicas.contains(&node)
+        };
+        if local {
+            self.cycles += costs.local;
+            self.local_hits += 1;
+            return ConsistencyKind::LocalHit;
+        }
+        // Remote read.
+        self.remote_accesses += 1;
+        self.cycles += costs.remote;
+        let kind = match policy {
+            LocalityPolicy::Replicate | LocalityPolicy::MigrateAndReplicate { .. } => {
+                self.state(block).replicas.insert(node);
+                self.replications += 1;
+                self.cycles += costs.replicate;
+                ConsistencyKind::Replicated
+            }
+            _ => ConsistencyKind::RemoteAccess,
+        };
+        self.maybe_migrate(node, block)
+            .map(|_| ConsistencyKind::Migrated)
+            .unwrap_or(kind)
+    }
+
+    /// Process a write by `node`; invalidates replicas as required.
+    pub fn write(&mut self, node: u16, block: u64) -> ConsistencyKind {
+        let costs = self.costs.clone();
+        let st = self.state(block);
+        // Writes must invalidate every replica other than the writer's own
+        // copy-to-be: single-writer rule.
+        let stale: Vec<u16> = st.replicas.iter().copied().filter(|&r| r != node).collect();
+        let n_inv = stale.len() as u32;
+        for r in stale {
+            st.replicas.remove(&r);
+        }
+        if n_inv > 0 {
+            self.invalidations += n_inv as u64;
+            self.cycles += costs.invalidate * n_inv as u64;
+        }
+        let st = self.state(block);
+        let local = st.home == node;
+        // A writer with a replica must still reach the home for ownership;
+        // drop its replica (the home copy is authoritative).
+        st.replicas.remove(&node);
+        if local {
+            self.cycles += costs.local;
+            self.local_hits += 1;
+            if n_inv > 0 {
+                return ConsistencyKind::Invalidated(n_inv);
+            }
+            return ConsistencyKind::LocalHit;
+        }
+        self.remote_accesses += 1;
+        self.cycles += costs.remote;
+        if self.maybe_migrate(node, block).is_some() {
+            return ConsistencyKind::Migrated;
+        }
+        if n_inv > 0 {
+            return ConsistencyKind::Invalidated(n_inv);
+        }
+        ConsistencyKind::RemoteAccess
+    }
+
+    /// Track consecutive remote accesses and migrate the home if the policy
+    /// allows and the threshold fires.
+    fn maybe_migrate(&mut self, node: u16, block: u64) -> Option<()> {
+        let threshold = match self.policy {
+            LocalityPolicy::Migrate { threshold }
+            | LocalityPolicy::MigrateAndReplicate { threshold } => threshold,
+            _ => {
+                let st = self.state(block);
+                st.streak = (node, 1);
+                return None;
+            }
+        };
+        let costs = self.costs.clone();
+        let st = self.state(block);
+        if st.streak.0 == node {
+            st.streak.1 += 1;
+        } else {
+            st.streak = (node, 1);
+        }
+        if st.streak.1 >= threshold.max(1) {
+            st.home = node;
+            st.replicas.remove(&node);
+            st.streak = (node, 0);
+            self.migrations += 1;
+            self.cycles += costs.migrate;
+            return Some(());
+        }
+        None
+    }
+}
+
+/// Replay a `(node, block, is_write)` trace; returns the directory with its
+/// counters.
+pub fn replay(
+    policy: LocalityPolicy,
+    costs: LocalityCosts,
+    trace: &[(u16, u64, bool)],
+) -> Directory {
+    let mut d = Directory::new(policy, costs);
+    for &(node, block, is_write) in trace {
+        if is_write {
+            d.write(node, block);
+        } else {
+            d.read(node, block);
+        }
+    }
+    d
+}
+
+/// Generate the E10 trace: `blocks` blocks homed on node 0; each block is
+/// then accessed in long runs by a "consumer" node (producer-migrates
+/// pattern), with `write_fraction` of accesses being writes.
+pub fn producer_consumer_trace(
+    nodes: u16,
+    blocks: u64,
+    run_len: usize,
+    write_fraction: f64,
+    seed: u64,
+) -> Vec<(u16, u64, bool)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for b in 0..blocks {
+        let consumer = 1 + (rng.gen_range(0..nodes.max(2) - 1));
+        for _ in 0..run_len {
+            let w = rng.gen_bool(write_fraction.clamp(0.0, 1.0));
+            out.push((consumer, b, w));
+        }
+    }
+    out
+}
+
+/// Generate a read-mostly sharing trace: every node reads every block
+/// round-robin; rare writes from node 0.
+pub fn read_mostly_trace(nodes: u16, blocks: u64, rounds: usize, seed: u64) -> Vec<(u16, u64, bool)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        for b in 0..blocks {
+            for node in 0..nodes {
+                out.push((node, b, false));
+            }
+        }
+        if rng.gen_bool(0.2) {
+            for b in 0..blocks {
+                out.push((0, b, true));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> LocalityCosts {
+        LocalityCosts::default()
+    }
+
+    #[test]
+    fn migration_pays_off_for_producer_consumer() {
+        let trace = producer_consumer_trace(8, 64, 50, 0.3, 3);
+        let fixed = replay(LocalityPolicy::FixedHome, costs(), &trace);
+        let mig = replay(LocalityPolicy::Migrate { threshold: 4 }, costs(), &trace);
+        assert!(
+            mig.cycles * 2 < fixed.cycles,
+            "migration {} must beat fixed {} on producer-consumer runs",
+            mig.cycles,
+            fixed.cycles
+        );
+        assert!(mig.migrations >= 32, "most blocks should migrate");
+        mig.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replication_pays_off_for_read_mostly() {
+        let trace = read_mostly_trace(8, 32, 10, 3);
+        let fixed = replay(LocalityPolicy::FixedHome, costs(), &trace);
+        let repl = replay(LocalityPolicy::Replicate, costs(), &trace);
+        assert!(
+            repl.cycles < fixed.cycles,
+            "replication {} must beat fixed {} on read-mostly sharing",
+            repl.cycles,
+            fixed.cycles
+        );
+        assert!(repl.replications > 0);
+        repl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn writes_invalidate_replicas() {
+        let mut d = Directory::new(LocalityPolicy::Replicate, costs());
+        d.place(7, 0);
+        assert_eq!(d.read(1, 7), ConsistencyKind::Replicated);
+        assert_eq!(d.read(2, 7), ConsistencyKind::Replicated);
+        assert_eq!(d.replicas_of(7).len(), 2);
+        match d.write(0, 7) {
+            ConsistencyKind::Invalidated(n) => assert_eq!(n, 2),
+            other => panic!("expected invalidation, got {other:?}"),
+        }
+        assert!(d.replicas_of(7).is_empty());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reader_after_invalidation_misses_again() {
+        let mut d = Directory::new(LocalityPolicy::Replicate, costs());
+        d.place(1, 0);
+        d.read(1, 1);
+        d.write(0, 1);
+        // Node 1's replica is gone: the next read is remote again.
+        let k = d.read(1, 1);
+        assert_eq!(k, ConsistencyKind::Replicated);
+        assert_eq!(d.remote_accesses, 2);
+    }
+
+    #[test]
+    fn migration_threshold_respected() {
+        let mut d = Directory::new(LocalityPolicy::Migrate { threshold: 3 }, costs());
+        d.place(9, 0);
+        assert_eq!(d.read(2, 9), ConsistencyKind::RemoteAccess);
+        assert_eq!(d.read(2, 9), ConsistencyKind::RemoteAccess);
+        assert_eq!(d.read(2, 9), ConsistencyKind::Migrated);
+        assert_eq!(d.home_of(9), Some(2));
+        // Now local.
+        assert_eq!(d.read(2, 9), ConsistencyKind::LocalHit);
+    }
+
+    #[test]
+    fn alternating_accessors_never_migrate() {
+        let mut d = Directory::new(LocalityPolicy::Migrate { threshold: 3 }, costs());
+        d.place(4, 0);
+        for _ in 0..10 {
+            d.read(1, 4);
+            d.read(2, 4);
+        }
+        assert_eq!(d.home_of(4), Some(0), "streaks never reach the threshold");
+        assert_eq!(d.migrations, 0);
+    }
+
+    #[test]
+    fn single_writer_invariant_under_random_trace() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for policy in LocalityPolicy::PORTFOLIO {
+            let mut d = Directory::new(policy, costs());
+            for _ in 0..5_000 {
+                let node = rng.gen_range(0..8u16);
+                let block = rng.gen_range(0..32u64);
+                if rng.gen_bool(0.3) {
+                    d.write(node, block);
+                } else {
+                    d.read(node, block);
+                }
+                d.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn combined_policy_dominates_on_mixed_workload() {
+        let mut trace = producer_consumer_trace(8, 32, 40, 0.2, 5);
+        trace.extend(read_mostly_trace(8, 16, 5, 6));
+        let fixed = replay(LocalityPolicy::FixedHome, costs(), &trace);
+        let both = replay(
+            LocalityPolicy::MigrateAndReplicate { threshold: 4 },
+            costs(),
+            &trace,
+        );
+        assert!(both.cycles < fixed.cycles);
+        both.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remote_fraction_drops_with_adaptation() {
+        let trace = producer_consumer_trace(8, 64, 50, 0.1, 7);
+        let fixed = replay(LocalityPolicy::FixedHome, costs(), &trace);
+        let mig = replay(LocalityPolicy::Migrate { threshold: 4 }, costs(), &trace);
+        let f_frac = fixed.remote_accesses as f64 / trace.len() as f64;
+        let m_frac = mig.remote_accesses as f64 / trace.len() as f64;
+        assert!(m_frac < f_frac / 3.0, "remote fraction {m_frac} vs {f_frac}");
+    }
+}

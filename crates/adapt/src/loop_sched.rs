@@ -1,0 +1,515 @@
+//! Loop-parallelism adaptation: the scheduling algorithms of §3.3.
+//!
+//! "Loop scheduling on a parallel distributed system can be broadly divided
+//! into two classes: static and dynamic scheduling. Static scheduling tends
+//! to cause load imbalance … consequently, dynamic scheduling has been
+//! developed and shown promising performance improvement."
+//!
+//! Implemented policies (the classic literature the paper leans on):
+//!
+//! * **StaticBlock** — `⌈n/p⌉` contiguous iterations per worker;
+//! * **StaticCyclic** — iteration `i` to worker `i mod p`;
+//! * **SelfSched(k)** — dynamic chunks of fixed size `k` (SS: k = 1);
+//! * **Guided** — GSS (Polychronopoulos & Kuck): chunk = remaining/p;
+//! * **Trapezoid** — TSS (Tzen & Ni): chunk decreases linearly first→last;
+//! * **Factoring** — FSS (Hummel et al.): batches of p chunks, each batch
+//!   half the remaining work;
+//! * **Affinity** — per-worker local block, steal half-blocks when idle.
+//!
+//! [`evaluate_schedule`] replays a policy against a vector of per-iteration
+//! costs with a per-chunk dispatch overhead and per-worker availability —
+//! the deterministic machine model used by experiment E6.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-iteration cost vectors used by E6 (cost distributions from the
+/// classic loop-scheduling papers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterationCosts {
+    /// All iterations equal.
+    Uniform,
+    /// Cost grows linearly with the index (triangular work).
+    Increasing,
+    /// Cost shrinks linearly (adversarial for plain static block).
+    Decreasing,
+    /// Uniform random in `[lo, hi]`.
+    Random,
+    /// 90% cheap, 10% expensive (tail-heavy).
+    Bimodal,
+}
+
+impl IterationCosts {
+    /// Materialize `n` costs with mean ≈ `mean` (deterministic from seed).
+    pub fn generate(self, n: usize, mean: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = mean.max(1);
+        match self {
+            IterationCosts::Uniform => vec![mean; n],
+            IterationCosts::Increasing => (0..n)
+                .map(|i| 1 + (2 * mean - 1) * i as u64 / n.max(1) as u64)
+                .collect(),
+            IterationCosts::Decreasing => (0..n)
+                .map(|i| 1 + (2 * mean - 1) * (n - 1 - i) as u64 / n.max(1) as u64)
+                .collect(),
+            IterationCosts::Random => (0..n).map(|_| rng.gen_range(1..=2 * mean)).collect(),
+            IterationCosts::Bimodal => (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        mean * 5
+                    } else {
+                        mean / 2 + 1
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// All distributions.
+    pub const ALL: [IterationCosts; 5] = [
+        IterationCosts::Uniform,
+        IterationCosts::Increasing,
+        IterationCosts::Decreasing,
+        IterationCosts::Random,
+        IterationCosts::Bimodal,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IterationCosts::Uniform => "uniform",
+            IterationCosts::Increasing => "increasing",
+            IterationCosts::Decreasing => "decreasing",
+            IterationCosts::Random => "random",
+            IterationCosts::Bimodal => "bimodal",
+        }
+    }
+}
+
+/// A loop-scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// Contiguous `⌈n/p⌉` blocks.
+    StaticBlock,
+    /// Round-robin single iterations.
+    StaticCyclic,
+    /// Dynamic fixed-size chunks.
+    SelfSched(u64),
+    /// Guided self-scheduling.
+    Guided,
+    /// Trapezoid self-scheduling.
+    Trapezoid,
+    /// Factoring.
+    Factoring,
+    /// Affinity scheduling (local blocks + half-block stealing).
+    Affinity,
+}
+
+impl ScheduleKind {
+    /// A reasonable policy portfolio for the experiments.
+    pub const PORTFOLIO: [ScheduleKind; 7] = [
+        ScheduleKind::StaticBlock,
+        ScheduleKind::StaticCyclic,
+        ScheduleKind::SelfSched(1),
+        ScheduleKind::SelfSched(8),
+        ScheduleKind::Guided,
+        ScheduleKind::Trapezoid,
+        ScheduleKind::Factoring,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            ScheduleKind::StaticBlock => "static-block".to_string(),
+            ScheduleKind::StaticCyclic => "static-cyclic".to_string(),
+            ScheduleKind::SelfSched(k) => format!("self-sched({k})"),
+            ScheduleKind::Guided => "guided".to_string(),
+            ScheduleKind::Trapezoid => "trapezoid".to_string(),
+            ScheduleKind::Factoring => "factoring".to_string(),
+            ScheduleKind::Affinity => "affinity".to_string(),
+        }
+    }
+}
+
+/// Machine parameters of the replay model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cycles to dispatch one chunk (queue access / synchronization). The
+    /// reason chunk size trades imbalance against overhead.
+    pub dispatch_overhead: u64,
+    /// Extra cycles for *stealing* a chunk (affinity only).
+    pub steal_overhead: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            dispatch_overhead: 50,
+            steal_overhead: 200,
+        }
+    }
+}
+
+/// Result of replaying a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Wall-clock cycles until the last worker finishes.
+    pub makespan: u64,
+    /// Per-worker busy time.
+    pub busy: Vec<u64>,
+    /// Number of dispatched chunks (overhead events).
+    pub chunks: u64,
+    /// Coefficient of variation of per-worker busy time.
+    pub imbalance: f64,
+}
+
+impl ScheduleOutcome {
+    fn from_busy(busy: Vec<u64>, makespan: u64, chunks: u64) -> Self {
+        let n = busy.len() as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / n;
+        let var = busy.iter().map(|&b| (b as f64 - mean).powi(2)).sum::<f64>() / n;
+        let imbalance = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        Self {
+            makespan,
+            busy,
+            chunks,
+            imbalance,
+        }
+    }
+}
+
+/// Deterministically replay `kind` over `costs` on `workers` workers.
+///
+/// The model is a list-scheduling simulation: the next chunk goes to the
+/// earliest-available worker; each dispatch costs `dispatch_overhead`
+/// (charged to the receiving worker); static policies precompute their
+/// assignment and pay a single dispatch per worker.
+pub fn evaluate_schedule(
+    kind: ScheduleKind,
+    costs: &[u64],
+    workers: usize,
+    model: &CostModel,
+) -> ScheduleOutcome {
+    let p = workers.max(1);
+    let n = costs.len();
+    match kind {
+        ScheduleKind::StaticBlock => {
+            let block = n.div_ceil(p).max(1);
+            let mut busy = vec![0u64; p];
+            for w in 0..p {
+                let lo = (w * block).min(n);
+                let hi = ((w + 1) * block).min(n);
+                if lo < hi {
+                    busy[w] = model.dispatch_overhead + costs[lo..hi].iter().sum::<u64>();
+                }
+            }
+            let makespan = *busy.iter().max().unwrap();
+            ScheduleOutcome::from_busy(busy, makespan, p as u64)
+        }
+        ScheduleKind::StaticCyclic => {
+            let mut busy = vec![0u64; p];
+            for (i, &c) in costs.iter().enumerate() {
+                busy[i % p] += c;
+            }
+            for b in busy.iter_mut() {
+                if *b > 0 {
+                    *b += model.dispatch_overhead;
+                }
+            }
+            let makespan = *busy.iter().max().unwrap();
+            ScheduleOutcome::from_busy(busy, makespan, p as u64)
+        }
+        ScheduleKind::Affinity => evaluate_affinity(costs, p, model),
+        dynamic => {
+            // Central-queue dynamic scheduling: chunk sizes by policy.
+            let mut avail = vec![0u64; p]; // next free time per worker
+            let mut busy = vec![0u64; p];
+            let mut next = 0usize;
+            let mut chunks = 0u64;
+            // Trapezoid parameters (Tzen & Ni defaults): first = n/(2p),
+            // last = 1, decrement δ = (first-last)/(steps-1).
+            let first = (n as u64).div_ceil(2 * p as u64).max(1);
+            let steps = (2 * n as u64).div_ceil(first + 1).max(1);
+            let delta = if steps > 1 {
+                (first - 1) as f64 / (steps - 1) as f64
+            } else {
+                0.0
+            };
+            let mut trapezoid_chunk = first as f64;
+            // Factoring state: iterations left in the current batch.
+            let mut batch_left = 0usize;
+            let mut batch_chunk = 0usize;
+            while next < n {
+                let remaining = n - next;
+                let size = match dynamic {
+                    ScheduleKind::SelfSched(k) => (k.max(1) as usize).min(remaining),
+                    ScheduleKind::Guided => remaining.div_ceil(p).max(1),
+                    ScheduleKind::Trapezoid => {
+                        let c = trapezoid_chunk.max(1.0) as usize;
+                        trapezoid_chunk = (trapezoid_chunk - delta).max(1.0);
+                        c.min(remaining)
+                    }
+                    ScheduleKind::Factoring => {
+                        if batch_left == 0 {
+                            batch_chunk = (remaining.div_ceil(2 * p)).max(1);
+                            batch_left = p;
+                        }
+                        batch_left -= 1;
+                        batch_chunk.min(remaining)
+                    }
+                    _ => unreachable!("static handled above"),
+                };
+                // Earliest-available worker takes the chunk.
+                let w = (0..p).min_by_key(|&w| avail[w]).unwrap();
+                let work: u64 = costs[next..next + size].iter().sum();
+                let t = model.dispatch_overhead + work;
+                avail[w] += t;
+                busy[w] += t;
+                next += size;
+                chunks += 1;
+            }
+            let makespan = *avail.iter().max().unwrap();
+            ScheduleOutcome::from_busy(busy, makespan, chunks)
+        }
+    }
+}
+
+/// Affinity scheduling: each worker owns block `w`, processes it in
+/// sub-chunks of 1/p of the block, and steals half the richest victim's
+/// remaining block when its own is exhausted.
+fn evaluate_affinity(costs: &[u64], p: usize, model: &CostModel) -> ScheduleOutcome {
+    let n = costs.len();
+    let block = n.div_ceil(p).max(1);
+    // Remaining range per worker.
+    let mut range: Vec<(usize, usize)> = (0..p)
+        .map(|w| ((w * block).min(n), ((w + 1) * block).min(n)))
+        .collect();
+    let mut avail = vec![0u64; p];
+    let mut busy = vec![0u64; p];
+    let mut chunks = 0u64;
+    loop {
+        // Pick the earliest-available worker; give it work.
+        let w = (0..p).min_by_key(|&w| avail[w]).unwrap();
+        let (lo, hi) = range[w];
+        if lo < hi {
+            // Process 1/p of own remaining block.
+            let step = ((hi - lo).div_ceil(p)).max(1);
+            let take = step.min(hi - lo);
+            let work: u64 = costs[lo..lo + take].iter().sum();
+            let t = model.dispatch_overhead + work;
+            avail[w] += t;
+            busy[w] += t;
+            range[w].0 += take;
+            chunks += 1;
+            continue;
+        }
+        // Steal half of the richest victim's remaining block. The thief
+        // executes the first sub-chunk of its loot *as part of the steal*
+        // (Markatos–LeBlanc affinity scheduling): without that guaranteed
+        // progress, a final single iteration can bounce between idle
+        // workers forever — each steal raises the thief's availability, so
+        // another idle worker would always re-steal before anyone runs it.
+        let victim = (0..p)
+            .filter(|&v| range[v].1 > range[v].0)
+            .max_by_key(|&v| range[v].1 - range[v].0);
+        match victim {
+            Some(v) => {
+                let (vlo, vhi) = range[v];
+                let half = (vhi - vlo).div_ceil(2);
+                let steal_lo = vhi - half;
+                range[v].1 = steal_lo;
+                range[w] = (steal_lo, vhi);
+                avail[w] += model.steal_overhead;
+                busy[w] += model.steal_overhead;
+                chunks += 1;
+                let (lo, hi) = range[w];
+                let take = ((hi - lo).div_ceil(p)).max(1).min(hi - lo);
+                let work: u64 = costs[lo..lo + take].iter().sum();
+                let t = model.dispatch_overhead + work;
+                avail[w] += t;
+                busy[w] += t;
+                range[w].0 += take;
+                chunks += 1;
+            }
+            None => break,
+        }
+    }
+    let makespan = *avail.iter().max().unwrap();
+    ScheduleOutcome::from_busy(busy, makespan, chunks)
+}
+
+/// Total work (for bound checks in tests).
+pub fn total_work(costs: &[u64]) -> u64 {
+    costs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: usize = 8;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn all_policies_complete_all_iterations() {
+        // Busy time must account for every iteration's cost exactly once.
+        for dist in IterationCosts::ALL {
+            let costs = dist.generate(500, 100, 7);
+            let work = total_work(&costs);
+            for kind in ScheduleKind::PORTFOLIO {
+                let out = evaluate_schedule(kind, &costs, P, &model());
+                let busy_work: u64 = out.busy.iter().sum::<u64>()
+                    - out.chunks * model().dispatch_overhead.min(out.busy.iter().sum());
+                // Overhead accounting differs per policy; check bounds.
+                assert!(
+                    busy_work <= out.busy.iter().sum::<u64>(),
+                    "sanity for {kind:?}/{dist:?}"
+                );
+                assert!(
+                    out.makespan >= work / P as u64,
+                    "makespan below theoretical bound for {kind:?}"
+                );
+                assert!(
+                    out.makespan <= work + out.chunks * 1000,
+                    "makespan absurd for {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_is_perfect_on_uniform() {
+        let costs = IterationCosts::Uniform.generate(800, 100, 1);
+        let out = evaluate_schedule(ScheduleKind::StaticBlock, &costs, P, &model());
+        assert!(out.imbalance < 0.01, "uniform static: {}", out.imbalance);
+    }
+
+    #[test]
+    fn guided_beats_static_on_increasing() {
+        // GSS's shrinking chunks spread the expensive tail of an increasing
+        // cost vector; static block hands the whole tail to the last worker.
+        let costs = IterationCosts::Increasing.generate(800, 100, 1);
+        let stat = evaluate_schedule(ScheduleKind::StaticBlock, &costs, P, &model());
+        let guided = evaluate_schedule(ScheduleKind::Guided, &costs, P, &model());
+        assert!(
+            guided.makespan < stat.makespan,
+            "guided {} must beat static {} on increasing costs",
+            guided.makespan,
+            stat.makespan
+        );
+        assert!(guided.imbalance < stat.imbalance);
+    }
+
+    #[test]
+    fn trapezoid_beats_static_on_decreasing() {
+        // On decreasing costs GSS's first chunk (n/p) equals static block's
+        // first block, so guided only ties; TSS starts at n/(2p) and wins —
+        // the classical motivation for trapezoid/factoring.
+        let costs = IterationCosts::Decreasing.generate(800, 100, 1);
+        let stat = evaluate_schedule(ScheduleKind::StaticBlock, &costs, P, &model());
+        let guided = evaluate_schedule(ScheduleKind::Guided, &costs, P, &model());
+        let tss = evaluate_schedule(ScheduleKind::Trapezoid, &costs, P, &model());
+        assert!(guided.makespan <= stat.makespan, "guided may tie, never lose");
+        assert!(
+            tss.makespan < stat.makespan,
+            "trapezoid {} must beat static {} on decreasing costs",
+            tss.makespan,
+            stat.makespan
+        );
+    }
+
+    #[test]
+    fn self_sched_one_balances_but_pays_overhead() {
+        let costs = IterationCosts::Random.generate(800, 100, 3);
+        let ss1 = evaluate_schedule(ScheduleKind::SelfSched(1), &costs, P, &model());
+        let ss64 = evaluate_schedule(ScheduleKind::SelfSched(64), &costs, P, &model());
+        // SS(1) dispatches one chunk per iteration.
+        assert_eq!(ss1.chunks, 800);
+        assert!(ss1.imbalance < 0.05);
+        // Bigger chunks mean far fewer dispatches.
+        assert!(ss64.chunks <= 13);
+    }
+
+    #[test]
+    fn guided_uses_fewer_chunks_than_ss1() {
+        let costs = IterationCosts::Random.generate(1000, 100, 9);
+        let g = evaluate_schedule(ScheduleKind::Guided, &costs, P, &model());
+        let s = evaluate_schedule(ScheduleKind::SelfSched(1), &costs, P, &model());
+        assert!(g.chunks * 5 < s.chunks);
+    }
+
+    #[test]
+    fn factoring_handles_bimodal_tail() {
+        let costs = IterationCosts::Bimodal.generate(1000, 100, 11);
+        let f = evaluate_schedule(ScheduleKind::Factoring, &costs, P, &model());
+        let stat = evaluate_schedule(ScheduleKind::StaticBlock, &costs, P, &model());
+        assert!(f.makespan <= stat.makespan);
+    }
+
+    #[test]
+    fn trapezoid_chunks_decrease() {
+        let costs = IterationCosts::Uniform.generate(1000, 50, 2);
+        let t = evaluate_schedule(ScheduleKind::Trapezoid, &costs, P, &model());
+        assert!(t.chunks > P as u64, "trapezoid must adapt chunk sizes");
+        assert!(t.imbalance < 0.2);
+    }
+
+    #[test]
+    fn affinity_steals_only_under_imbalance() {
+        let uniform = IterationCosts::Uniform.generate(800, 100, 1);
+        let a = evaluate_schedule(ScheduleKind::Affinity, &uniform, P, &model());
+        // With uniform costs the blocks match and stealing is minimal;
+        // makespan close to ideal.
+        let ideal = total_work(&uniform) / P as u64;
+        assert!(a.makespan < ideal * 2);
+        let dec = IterationCosts::Decreasing.generate(800, 100, 1);
+        let a2 = evaluate_schedule(ScheduleKind::Affinity, &dec, P, &model());
+        let stat = evaluate_schedule(ScheduleKind::StaticBlock, &dec, P, &model());
+        assert!(
+            a2.makespan < stat.makespan,
+            "affinity {} must beat static {} under skew",
+            a2.makespan,
+            stat.makespan
+        );
+    }
+
+    #[test]
+    fn distributions_have_requested_mean() {
+        for dist in IterationCosts::ALL {
+            let costs = dist.generate(10_000, 100, 5);
+            let mean = total_work(&costs) as f64 / costs.len() as f64;
+            assert!(
+                (mean - 100.0).abs() < 30.0,
+                "{}: mean {mean}",
+                dist.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = IterationCosts::Random.generate(100, 50, 42);
+        let b = IterationCosts::Random.generate(100, 50, 42);
+        assert_eq!(a, b);
+        let c = IterationCosts::Random.generate(100, 50, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let costs = IterationCosts::Random.generate(200, 100, 4);
+        let out = evaluate_schedule(ScheduleKind::Guided, &costs, 1, &model());
+        assert!(out.makespan >= total_work(&costs));
+        assert!(out.imbalance < 1e-9);
+    }
+
+    #[test]
+    fn empty_loop_is_fine() {
+        let out = evaluate_schedule(ScheduleKind::Guided, &[], P, &model());
+        assert_eq!(out.makespan, 0);
+        assert_eq!(out.chunks, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Runtime performance monitoring (§4.2).
+//!
+//! "The adaptive compile and runtime system will require feedback derived
+//! from the execution and resource allocation monitoring." The [`Monitor`]
+//! is a registry of named [`Metric`]s fed by the runtime (or by the
+//! simulator's `Stats`), sampled on a configurable period. Sampling is
+//! deliberately cheap — counters are atomics — and its *cost is itself
+//! accounted*, so experiment E13 can report monitoring overhead vs.
+//! sampling period, and the hint schema can direct "monitoring priorities"
+//! (§4.1) by enabling only the metrics a hint asks for.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A named monotonic counter with derived-rate support.
+#[derive(Debug, Default)]
+pub struct Metric {
+    value: AtomicU64,
+}
+
+impl Metric {
+    /// Add to the counter (called from hot paths — one atomic add).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Cycles (or any time unit) between samples.
+    pub period: u64,
+    /// Cost charged per sample taken (models the probe effect).
+    pub sample_cost: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            period: 10_000,
+            sample_cost: 200,
+        }
+    }
+}
+
+/// One sample row: time plus every enabled metric's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Sample timestamp.
+    pub at: u64,
+    /// Metric values at the timestamp.
+    pub values: BTreeMap<String, u64>,
+}
+
+/// The monitor: metric registry + sampler + overhead accounting.
+pub struct Monitor {
+    cfg: MonitorConfig,
+    metrics: Mutex<BTreeMap<String, Arc<Metric>>>,
+    enabled: Mutex<Option<Vec<String>>>,
+    samples: Mutex<Vec<Sample>>,
+    last_sample_at: AtomicU64,
+    overhead: AtomicU64,
+}
+
+impl Monitor {
+    /// A monitor with the given sampling parameters.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Self {
+            cfg,
+            metrics: Mutex::new(BTreeMap::new()),
+            enabled: Mutex::new(None),
+            samples: Mutex::new(Vec::new()),
+            last_sample_at: AtomicU64::new(0),
+            overhead: AtomicU64::new(0),
+        }
+    }
+
+    /// Register (or fetch) a metric by name.
+    pub fn metric(&self, name: &str) -> Arc<Metric> {
+        self.metrics
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Metric::default()))
+            .clone()
+    }
+
+    /// Restrict sampling to the given metrics ("monitoring priorities" from
+    /// structured hints). `None` = everything.
+    pub fn set_priorities(&self, names: Option<Vec<String>>) {
+        *self.enabled.lock() = names;
+    }
+
+    /// Called by the runtime at time `now`; takes a sample if the period
+    /// elapsed. Returns the sample if one was taken.
+    pub fn tick(&self, now: u64) -> Option<Sample> {
+        let last = self.last_sample_at.load(Ordering::Relaxed);
+        if now < last + self.cfg.period {
+            return None;
+        }
+        if self
+            .last_sample_at
+            .compare_exchange(last, now, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return None; // another thread sampled concurrently
+        }
+        self.overhead.fetch_add(self.cfg.sample_cost, Ordering::Relaxed);
+        let enabled = self.enabled.lock().clone();
+        let metrics = self.metrics.lock();
+        let values: BTreeMap<String, u64> = metrics
+            .iter()
+            .filter(|(name, _)| {
+                enabled
+                    .as_ref()
+                    .map_or(true, |set| set.iter().any(|n| n == *name))
+            })
+            .map(|(name, m)| (name.clone(), m.get()))
+            .collect();
+        let s = Sample { at: now, values };
+        self.samples.lock().push(s.clone());
+        Some(s)
+    }
+
+    /// All samples so far.
+    pub fn samples(&self) -> Vec<Sample> {
+        self.samples.lock().clone()
+    }
+
+    /// Total probe-effect cycles charged.
+    pub fn overhead(&self) -> u64 {
+        self.overhead.load(Ordering::Relaxed)
+    }
+
+    /// Rate of a metric between the first and last sample (per time unit).
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        let samples = self.samples.lock();
+        let first = samples.iter().find(|s| s.values.contains_key(name))?;
+        let last = samples.iter().rev().find(|s| s.values.contains_key(name))?;
+        if last.at <= first.at {
+            return None;
+        }
+        let dv = last.values[name].saturating_sub(first.values[name]) as f64;
+        Some(dv / (last.at - first.at) as f64)
+    }
+
+    /// Overhead as a fraction of `elapsed` run time.
+    pub fn overhead_fraction(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.overhead() as f64 / elapsed as f64
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("period", &self.cfg.period)
+            .field("samples", &self.samples.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Monitor::new(MonitorConfig::default());
+        let c = m.metric("loads");
+        c.add(5);
+        c.add(7);
+        assert_eq!(m.metric("loads").get(), 12);
+    }
+
+    #[test]
+    fn sampling_respects_period() {
+        let m = Monitor::new(MonitorConfig {
+            period: 100,
+            sample_cost: 10,
+        });
+        m.metric("x").add(1);
+        assert!(m.tick(100).is_some());
+        assert!(m.tick(150).is_none(), "period not yet elapsed");
+        assert!(m.tick(200).is_some());
+        assert_eq!(m.samples().len(), 2);
+        assert_eq!(m.overhead(), 20);
+    }
+
+    #[test]
+    fn shorter_period_more_overhead() {
+        let run = |period| {
+            let m = Monitor::new(MonitorConfig {
+                period,
+                sample_cost: 10,
+            });
+            for t in (0..100_000).step_by(100) {
+                m.tick(t);
+            }
+            m.overhead()
+        };
+        assert!(run(100) > run(1_000));
+        assert!(run(1_000) > run(10_000));
+    }
+
+    #[test]
+    fn priorities_filter_samples() {
+        let m = Monitor::new(MonitorConfig {
+            period: 1,
+            sample_cost: 0,
+        });
+        m.metric("hot").add(1);
+        m.metric("cold").add(1);
+        m.set_priorities(Some(vec!["hot".to_string()]));
+        let s = m.tick(10).unwrap();
+        assert!(s.values.contains_key("hot"));
+        assert!(!s.values.contains_key("cold"));
+    }
+
+    #[test]
+    fn rate_computation() {
+        let m = Monitor::new(MonitorConfig {
+            period: 100,
+            sample_cost: 0,
+        });
+        let c = m.metric("ops");
+        c.add(100);
+        m.tick(100);
+        c.add(300);
+        m.tick(200);
+        let r = m.rate("ops").unwrap();
+        assert!((r - 3.0).abs() < 1e-9, "300 ops over 100 units: {r}");
+    }
+
+    #[test]
+    fn overhead_fraction_scales() {
+        let m = Monitor::new(MonitorConfig {
+            period: 10,
+            sample_cost: 5,
+        });
+        for t in (0..1_000).step_by(10) {
+            m.tick(t);
+        }
+        let f = m.overhead_fraction(1_000);
+        assert!(f > 0.1 && f < 1.0, "fraction {f}");
+    }
+}

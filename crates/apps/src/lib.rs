@@ -1,0 +1,24 @@
+//! # htvm-apps — the paper's driver applications
+//!
+//! §5.2 of Gao et al. (IPDPS 2006) selects two codes to validate the HTVM
+//! system software: "the computational neuroscience, which simulates large
+//! networks of biological neurons, and the fine grain molecular dynamics,
+//! which simulates relatively modest sized molecules … in water with
+//! multiple ion species".
+//!
+//! * [`neuro`] — a synthetic PGENESIS-class neocortex model: regions →
+//!   columns → neurons → compartments → channels, time-stepped with
+//!   delayed spike delivery. Its HTVM mapping follows Fig. 2: regions to
+//!   LGT domains, neurons/columns to SGTs, per-compartment updates to a
+//!   TGT dataflow graph.
+//! * [`md`] — fine-grain molecular dynamics: a protein-bead cluster in
+//!   water with Na⁺/Cl⁻ ions, Lennard-Jones + cutoff Coulomb forces over
+//!   cell lists, velocity-Verlet integration; cells map to SGTs.
+//! * [`workloads`] — synthetic load generators shared by the experiments.
+//!
+//! Neither application depends on proprietary inputs: both generate their
+//! systems deterministically from a seed (see DESIGN.md §4 substitutions).
+
+pub mod md;
+pub mod neuro;
+pub mod workloads;

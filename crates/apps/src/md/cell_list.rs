@@ -1,0 +1,172 @@
+//! Uniform-grid cell lists for O(n) neighbour finding.
+
+use super::system::MdSystem;
+
+/// A cell decomposition of the periodic box.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    /// Cells per box edge.
+    pub dims: usize,
+    /// Cell edge length.
+    pub cell_len: f64,
+    /// Particle indices per cell.
+    pub cells: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Build for interaction cutoff `cutoff` (cell edge ≥ cutoff).
+    pub fn build(sys: &MdSystem, cutoff: f64) -> CellList {
+        let dims = (sys.box_len / cutoff).floor().max(1.0) as usize;
+        let cell_len = sys.box_len / dims as f64;
+        let mut cells = vec![Vec::new(); dims * dims * dims];
+        for (i, p) in sys.pos.iter().enumerate() {
+            let c = Self::cell_of_pos(*p, sys.box_len, dims);
+            cells[c].push(i as u32);
+        }
+        CellList {
+            dims,
+            cell_len,
+            cells,
+        }
+    }
+
+    /// Flat cell index of a position.
+    pub fn cell_of_pos(p: [f64; 3], box_len: f64, dims: usize) -> usize {
+        let mut idx = [0usize; 3];
+        for k in 0..3 {
+            let mut x = p[k] / box_len * dims as f64;
+            // Wrap: positions may sit exactly on the upper boundary.
+            if x < 0.0 {
+                x += dims as f64;
+            }
+            idx[k] = (x as usize).min(dims - 1);
+        }
+        (idx[0] * dims + idx[1]) * dims + idx[2]
+    }
+
+    /// The 27 (self + neighbours) cell indices around cell `c`, with
+    /// periodic wrap. Fewer when dims < 3 (cells coincide).
+    pub fn neighbourhood(&self, c: usize) -> Vec<usize> {
+        let d = self.dims;
+        let z = c % d;
+        let y = (c / d) % d;
+        let x = c / (d * d);
+        let mut out = Vec::with_capacity(27);
+        for dx in [-1i64, 0, 1] {
+            for dy in [-1i64, 0, 1] {
+                for dz in [-1i64, 0, 1] {
+                    let nx = ((x as i64 + dx).rem_euclid(d as i64)) as usize;
+                    let ny = ((y as i64 + dy).rem_euclid(d as i64)) as usize;
+                    let nz = ((z as i64 + dz).rem_euclid(d as i64)) as usize;
+                    let idx = (nx * d + ny) * d + nz;
+                    if !out.contains(&idx) {
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All (i, j) candidate pairs with i < j within the cutoff
+    /// neighbourhood structure (used by the brute-force cross-check).
+    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for c in 0..self.cells.len() {
+            for &nc in &self.neighbourhood(c) {
+                for &i in &self.cells[c] {
+                    for &j in &self.cells[nc] {
+                        if i < j {
+                            out.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::system::{MdSystem, SystemSpec};
+
+    fn sys() -> MdSystem {
+        MdSystem::build(&SystemSpec::tiny())
+    }
+
+    #[test]
+    fn every_particle_is_in_exactly_one_cell() {
+        let s = sys();
+        let cl = CellList::build(&s, 2.0);
+        let total: usize = cl.cells.iter().map(Vec::len).sum();
+        assert_eq!(total, s.len());
+        let mut seen = vec![false; s.len()];
+        for cell in &cl.cells {
+            for &i in cell {
+                assert!(!seen[i as usize], "particle {i} in two cells");
+                seen[i as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cell_list_finds_all_cutoff_pairs() {
+        // Every pair within the cutoff must appear among candidate pairs —
+        // the property-based guarantee the forces rely on.
+        let s = sys();
+        let cutoff = 2.0;
+        let cl = CellList::build(&s, cutoff);
+        let cands: std::collections::HashSet<(u32, u32)> =
+            cl.candidate_pairs().into_iter().collect();
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                let d = s.min_image(s.pos[i], s.pos[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 < cutoff * cutoff {
+                    assert!(
+                        cands.contains(&(i as u32, j as u32)),
+                        "pair ({i},{j}) at r={} missed",
+                        r2.sqrt()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbourhood_has_27_cells_when_big_enough() {
+        let s = MdSystem::build(&SystemSpec::default());
+        let cl = CellList::build(&s, 2.0);
+        assert!(cl.dims >= 3);
+        assert_eq!(cl.neighbourhood(0).len(), 27);
+    }
+
+    #[test]
+    fn small_box_degenerates_gracefully() {
+        let mut spec = SystemSpec::tiny();
+        spec.box_len = 3.0;
+        spec.waters = 20;
+        spec.protein_beads = 0;
+        spec.ion_pairs = 0;
+        let s = MdSystem::build(&spec);
+        let cl = CellList::build(&s, 2.0);
+        assert_eq!(cl.dims, 1);
+        assert_eq!(cl.neighbourhood(0), vec![0]);
+    }
+
+    #[test]
+    fn occupancy_reasonable() {
+        let s = MdSystem::build(&SystemSpec::default());
+        let cl = CellList::build(&s, 2.0);
+        assert!(cl.occupied() > cl.cells.len() / 4);
+    }
+}

@@ -1,0 +1,168 @@
+//! Velocity-Verlet integration with an optional Berendsen thermostat.
+
+use super::cell_list::CellList;
+use super::forces::{compute_forces, ForceParams};
+use super::system::MdSystem;
+
+/// Thermostat configuration.
+#[derive(Debug, Clone, Copy)]
+pub enum Thermostat {
+    /// Microcanonical (no velocity rescaling).
+    None,
+    /// Berendsen weak coupling toward `target` with time constant `tau`
+    /// (in units of the timestep).
+    Berendsen {
+        /// Target temperature.
+        target: f64,
+        /// Coupling time constant, in steps.
+        tau: f64,
+    },
+}
+
+/// One velocity-Verlet step; returns the potential energy after the step.
+///
+/// The cell list is rebuilt each step (particles move slowly at sane
+/// timesteps, but correctness over speed here; the benches measure the
+/// parallel force pass, which dominates anyway).
+pub fn velocity_verlet_step(
+    sys: &mut MdSystem,
+    params: &ForceParams,
+    dt: f64,
+    thermostat: Thermostat,
+) -> f64 {
+    let n = sys.len();
+    // Half-kick + drift using current forces.
+    for i in 0..n {
+        let m = sys.species[i].mass();
+        for k in 0..3 {
+            sys.vel[i][k] += 0.5 * dt * sys.force[i][k] / m;
+            sys.pos[i][k] += dt * sys.vel[i][k];
+        }
+    }
+    sys.wrap_positions();
+    // New forces.
+    let cl = CellList::build(sys, params.cutoff);
+    let potential = compute_forces(sys, &cl, params);
+    // Second half-kick.
+    for i in 0..n {
+        let m = sys.species[i].mass();
+        for k in 0..3 {
+            sys.vel[i][k] += 0.5 * dt * sys.force[i][k] / m;
+        }
+    }
+    if let Thermostat::Berendsen { target, tau } = thermostat {
+        let t = sys.temperature();
+        if t > 1e-12 {
+            let lambda = (1.0 + (1.0 / tau.max(1.0)) * (target / t - 1.0)).max(0.0).sqrt();
+            for v in sys.vel.iter_mut() {
+                for x in v.iter_mut() {
+                    *x *= lambda;
+                }
+            }
+        }
+    }
+    potential
+}
+
+/// Run `steps` steps; returns (final potential, energy drift fraction)
+/// where drift is |E_end − E_start| / |E_start| of the total energy.
+pub fn run_md(
+    sys: &mut MdSystem,
+    params: &ForceParams,
+    dt: f64,
+    steps: usize,
+    thermostat: Thermostat,
+) -> (f64, f64) {
+    // Prime forces.
+    let cl = CellList::build(sys, params.cutoff);
+    let mut potential = compute_forces(sys, &cl, params);
+    let e0 = potential + sys.kinetic_energy();
+    for _ in 0..steps {
+        potential = velocity_verlet_step(sys, params, dt, thermostat);
+    }
+    let e1 = potential + sys.kinetic_energy();
+    let drift = if e0.abs() > 1e-12 {
+        (e1 - e0).abs() / e0.abs()
+    } else {
+        (e1 - e0).abs()
+    };
+    (potential, drift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::system::{MdSystem, SystemSpec};
+
+    #[test]
+    fn energy_drift_is_bounded_at_small_dt() {
+        let mut s = MdSystem::build(&SystemSpec::tiny());
+        let (_, drift) = run_md(&mut s, &ForceParams::default(), 0.001, 200, Thermostat::None);
+        assert!(drift < 0.05, "NVE drift {drift} too large for dt=1e-3");
+    }
+
+    #[test]
+    fn larger_dt_drifts_more() {
+        let drift_at = |dt| {
+            let mut s = MdSystem::build(&SystemSpec::tiny());
+            run_md(&mut s, &ForceParams::default(), dt, 100, Thermostat::None).1
+        };
+        let small = drift_at(0.0005);
+        let large = drift_at(0.004);
+        assert!(
+            large >= small,
+            "drift must not shrink with dt: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn thermostat_pulls_temperature_to_target() {
+        let mut s = MdSystem::build(&SystemSpec::tiny());
+        // Heat the system artificially.
+        for v in s.vel.iter_mut() {
+            for x in v.iter_mut() {
+                *x *= 3.0;
+            }
+        }
+        let hot = s.temperature();
+        run_md(
+            &mut s,
+            &ForceParams::default(),
+            0.001,
+            300,
+            Thermostat::Berendsen {
+                target: 1.0,
+                tau: 20.0,
+            },
+        );
+        let cooled = s.temperature();
+        assert!(
+            cooled < hot && (cooled - 1.0).abs() < 1.0,
+            "thermostat: {hot} -> {cooled}"
+        );
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let mut s = MdSystem::build(&SystemSpec::tiny());
+        run_md(&mut s, &ForceParams::default(), 0.002, 100, Thermostat::None);
+        for p in &s.pos {
+            for k in 0..3 {
+                assert!(
+                    p[k] >= 0.0 && p[k] <= s.box_len,
+                    "particle escaped: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integration_is_deterministic() {
+        let run = || {
+            let mut s = MdSystem::build(&SystemSpec::tiny());
+            run_md(&mut s, &ForceParams::default(), 0.001, 50, Thermostat::None);
+            s
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,27 @@
+//! Fine-grain molecular dynamics (the paper's second driver, §5.2):
+//! "relatively modest sized molecules, a single protein or protein complex
+//! in water with multiple ion species".
+//!
+//! The production code the authors had in mind is not available, so the
+//! system is synthetic but structurally faithful (DESIGN.md §4): a cubic
+//! box of coarse water beads, Na⁺/Cl⁻ ions and one compact "protein"
+//! cluster of heavier beads; Lennard-Jones plus cutoff Coulomb forces over
+//! a cell list; velocity-Verlet integration with an optional Berendsen
+//! thermostat.
+//!
+//! The HTVM mapping ([`parallel`]) assigns cells to SGTs — the fine-grain
+//! parallelism the paper's title promises — and must agree with the
+//! sequential reference to the last bit (each particle's force is computed
+//! by exactly one task iterating its neighbours in a fixed order).
+
+pub mod cell_list;
+pub mod forces;
+pub mod integrate;
+pub mod parallel;
+pub mod system;
+
+pub use cell_list::CellList;
+pub use forces::{compute_forces, ForceParams};
+pub use integrate::{velocity_verlet_step, Thermostat};
+pub use parallel::run_md_parallel;
+pub use system::{MdSystem, Species, SystemSpec};

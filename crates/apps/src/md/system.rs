@@ -1,0 +1,360 @@
+//! Particle system construction: protein + water + ions in a periodic box.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Particle species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Species {
+    /// Coarse-grained water bead (neutral).
+    Water,
+    /// Sodium ion (+1).
+    Na,
+    /// Chloride ion (−1).
+    Cl,
+    /// Protein bead (heavier, mixed charge).
+    Protein,
+}
+
+impl Species {
+    /// Particle mass.
+    pub fn mass(self) -> f64 {
+        match self {
+            Species::Water => 18.0,
+            Species::Na => 23.0,
+            Species::Cl => 35.5,
+            Species::Protein => 110.0,
+        }
+    }
+
+    /// Charge (elementary units).
+    pub fn charge(self) -> f64 {
+        match self {
+            Species::Water => 0.0,
+            Species::Na => 1.0,
+            Species::Cl => -1.0,
+            Species::Protein => 0.0,
+        }
+    }
+
+    /// Lennard-Jones σ.
+    pub fn sigma(self) -> f64 {
+        match self {
+            Species::Water => 1.0,
+            Species::Na => 0.75,
+            Species::Cl => 1.25,
+            Species::Protein => 1.4,
+        }
+    }
+
+    /// Lennard-Jones ε.
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Species::Water => 0.65,
+            Species::Na => 0.3,
+            Species::Cl => 0.4,
+            Species::Protein => 1.0,
+        }
+    }
+}
+
+/// Specification of the synthetic box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Cubic box edge length.
+    pub box_len: f64,
+    /// Number of water beads.
+    pub waters: usize,
+    /// Number of Na⁺/Cl⁻ *pairs*.
+    pub ion_pairs: usize,
+    /// Number of protein beads (clustered at the box centre).
+    pub protein_beads: usize,
+    /// Initial temperature (velocity scale).
+    pub temperature: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        Self {
+            box_len: 14.0,
+            waters: 600,
+            ion_pairs: 12,
+            protein_beads: 40,
+            temperature: 1.0,
+            seed: 17,
+        }
+    }
+}
+
+impl SystemSpec {
+    /// A small box for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            box_len: 8.0,
+            waters: 100,
+            ion_pairs: 4,
+            protein_beads: 10,
+            ..Self::default()
+        }
+    }
+
+    /// Total particle count.
+    pub fn total(&self) -> usize {
+        self.waters + 2 * self.ion_pairs + self.protein_beads
+    }
+}
+
+/// The particle system (structure-of-arrays).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdSystem {
+    /// Box edge.
+    pub box_len: f64,
+    /// Species per particle.
+    pub species: Vec<Species>,
+    /// Positions `[x,y,z]` per particle.
+    pub pos: Vec<[f64; 3]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 3]>,
+    /// Forces (filled by the force kernels).
+    pub force: Vec<[f64; 3]>,
+}
+
+impl MdSystem {
+    /// Build deterministically from a spec: protein beads in a dense ball
+    /// at the centre, ions and water uniformly elsewhere, Maxwell-ish
+    /// velocities at the requested temperature (zero net momentum).
+    pub fn build(spec: &SystemSpec) -> MdSystem {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut species = Vec::with_capacity(spec.total());
+        let mut pos = Vec::with_capacity(spec.total());
+        let centre = spec.box_len / 2.0;
+        // Protein ball.
+        for _ in 0..spec.protein_beads {
+            species.push(Species::Protein);
+            let r = 1.6 * (spec.protein_beads as f64).cbrt() * Species::Protein.sigma() / 2.0;
+            loop {
+                let p = [
+                    centre + rng.gen_range(-r..=r),
+                    centre + rng.gen_range(-r..=r),
+                    centre + rng.gen_range(-r..=r),
+                ];
+                // Keep a minimum spacing inside the cluster.
+                if pos
+                    .iter()
+                    .all(|q: &[f64; 3]| dist2_pbc(p, *q, spec.box_len) > 0.8)
+                {
+                    pos.push(p);
+                    break;
+                }
+            }
+        }
+        // Solvent + ions.
+        let place_free = |species_vec: &mut Vec<Species>, pos: &mut Vec<[f64; 3]>, s: Species, rng: &mut StdRng| {
+            species_vec.push(s);
+            loop {
+                let p = [
+                    rng.gen_range(0.0..spec.box_len),
+                    rng.gen_range(0.0..spec.box_len),
+                    rng.gen_range(0.0..spec.box_len),
+                ];
+                if pos
+                    .iter()
+                    .all(|q: &[f64; 3]| dist2_pbc(p, *q, spec.box_len) > 0.6)
+                {
+                    pos.push(p);
+                    break;
+                }
+            }
+        };
+        for _ in 0..spec.ion_pairs {
+            place_free(&mut species, &mut pos, Species::Na, &mut rng);
+            place_free(&mut species, &mut pos, Species::Cl, &mut rng);
+        }
+        for _ in 0..spec.waters {
+            place_free(&mut species, &mut pos, Species::Water, &mut rng);
+        }
+        // Velocities: Gaussian-ish by CLT, scaled by sqrt(T/m).
+        let n = species.len();
+        let mut vel: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let scale = (spec.temperature / species[i].mass()).sqrt();
+                [
+                    gaussian(&mut rng) * scale,
+                    gaussian(&mut rng) * scale,
+                    gaussian(&mut rng) * scale,
+                ]
+            })
+            .collect();
+        // Remove net momentum.
+        let mut p_net = [0.0f64; 3];
+        for (i, v) in vel.iter().enumerate() {
+            for d in 0..3 {
+                p_net[d] += species[i].mass() * v[d];
+            }
+        }
+        let m_total: f64 = species.iter().map(|s| s.mass()).sum();
+        for v in vel.iter_mut() {
+            for d in 0..3 {
+                v[d] -= p_net[d] / m_total;
+            }
+        }
+        MdSystem {
+            box_len: spec.box_len,
+            species,
+            pos,
+            vel,
+            force: vec![[0.0; 3]; n],
+        }
+    }
+
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// True if the system has no particles.
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Minimum-image displacement `a − b`.
+    pub fn min_image(&self, a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        let mut d = [0.0; 3];
+        for k in 0..3 {
+            let mut x = a[k] - b[k];
+            x -= self.box_len * (x / self.box_len).round();
+            d[k] = x;
+        }
+        d
+    }
+
+    /// Kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.species
+            .iter()
+            .zip(&self.vel)
+            .map(|(s, v)| 0.5 * s.mass() * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    /// Instantaneous temperature (per degree of freedom).
+    pub fn temperature(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.kinetic_energy() / (3.0 * self.len() as f64)
+    }
+
+    /// Net momentum magnitude (conservation check).
+    pub fn net_momentum(&self) -> f64 {
+        let mut p = [0.0f64; 3];
+        for (s, v) in self.species.iter().zip(&self.vel) {
+            for d in 0..3 {
+                p[d] += s.mass() * v[d];
+            }
+        }
+        (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()
+    }
+
+    /// Wrap positions into the box.
+    pub fn wrap_positions(&mut self) {
+        let l = self.box_len;
+        for p in self.pos.iter_mut() {
+            for x in p.iter_mut() {
+                *x -= l * (*x / l).floor();
+            }
+        }
+    }
+
+    /// Net charge (must be zero: ions come in pairs).
+    pub fn net_charge(&self) -> f64 {
+        self.species.iter().map(|s| s.charge()).sum()
+    }
+}
+
+fn dist2_pbc(a: [f64; 3], b: [f64; 3], l: f64) -> f64 {
+    let mut s = 0.0;
+    for k in 0..3 {
+        let mut x = a[k] - b[k];
+        x -= l * (x / l).round();
+        s += x * x;
+    }
+    s
+}
+
+/// 12-uniform CLT gaussian (deterministic, no Box-Muller branch issues).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+    s - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_and_complete() {
+        let a = MdSystem::build(&SystemSpec::tiny());
+        let b = MdSystem::build(&SystemSpec::tiny());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), SystemSpec::tiny().total());
+    }
+
+    #[test]
+    fn charge_neutral_and_momentum_free() {
+        let s = MdSystem::build(&SystemSpec::tiny());
+        assert!(s.net_charge().abs() < 1e-12);
+        assert!(s.net_momentum() < 1e-9, "net momentum {}", s.net_momentum());
+    }
+
+    #[test]
+    fn initial_temperature_near_target() {
+        let spec = SystemSpec {
+            waters: 2000,
+            ..SystemSpec::default()
+        };
+        let s = MdSystem::build(&spec);
+        let t = s.temperature();
+        assert!(
+            (t - spec.temperature).abs() / spec.temperature < 0.25,
+            "temperature {t} vs target {}",
+            spec.temperature
+        );
+    }
+
+    #[test]
+    fn protein_is_clustered() {
+        let s = MdSystem::build(&SystemSpec::default());
+        let centre = [s.box_len / 2.0; 3];
+        for (i, sp) in s.species.iter().enumerate() {
+            if *sp == Species::Protein {
+                let d = s.min_image(s.pos[i], centre);
+                let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                assert!(r < s.box_len / 2.5, "protein bead {i} strayed to r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_image_is_short() {
+        let s = MdSystem::build(&SystemSpec::tiny());
+        let d = s.min_image([0.1, 0.1, 0.1], [7.9, 7.9, 7.9]);
+        for k in 0..3 {
+            assert!(d[k].abs() < 1.0, "wrap-around distance should be short");
+        }
+    }
+
+    #[test]
+    fn no_initial_overlaps() {
+        let s = MdSystem::build(&SystemSpec::tiny());
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                let d = s.min_image(s.pos[i], s.pos[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                assert!(r2 > 0.3, "particles {i},{j} overlap: r² = {r2}");
+            }
+        }
+    }
+}

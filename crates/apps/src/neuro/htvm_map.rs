@@ -1,0 +1,287 @@
+//! The Fig. 2 mapping: the neuron network on the HTVM thread hierarchy.
+//!
+//! * **Hierarchical** (the paper's proposal): one LGT per run; each region
+//!   spawns its neurons as region-chunked SGTs (locality: a worker keeps a
+//!   region's neurons together); each neuron's compartment/gate update runs
+//!   as a TGT dataflow graph sharing the SGT frame.
+//! * **Flat** (baseline): every neuron is an independent SGT thrown at the
+//!   global queue; no region structure, no TGT grain.
+//!
+//! Both must produce *exactly* the spike counts of the sequential
+//! reference ([`super::sim::NetworkSim`]); E14 compares their wall-clock
+//! and load balance across worker counts.
+//!
+//! Parallelization contract: within one step every neuron is updated by
+//! exactly one SGT; spike deliveries are buffered per-SGT and merged
+//! between steps (bulk-synchronous, like PGENESIS). Steps are chained by
+//! *dataflow*, not by a global barrier through the spawning thread: the
+//! SGT that retires a step's last chunk performs the (cheap, sequential)
+//! delivery phase and spawns the next step's SGTs itself — the paper's
+//! argument against "synchronous global barriers" (§1), and on hosts with
+//! expensive thread wakes it is also what makes fine-grain steps viable.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use htvm_core::{Htvm, HtvmConfig, SgtCtx};
+use parking_lot::Mutex;
+
+use super::model::{Neuron, NeuronParams};
+use super::network::{Network, Synapse};
+
+/// Which mapping to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Fig. 2: regions → SGT groups, neurons → SGTs (chunked), compartment
+    /// updates structured as TGT graphs.
+    Hierarchical,
+    /// All neurons in one flat SGT pool, one SGT per neuron.
+    Flat,
+}
+
+/// Result of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelRunReport {
+    /// Total spikes over the run (must equal the sequential count).
+    pub total_spikes: u64,
+    /// Wall-clock duration.
+    pub elapsed: std::time::Duration,
+    /// SGTs spawned.
+    pub sgt_count: u64,
+    /// Work-stealing migrations observed (pool steals).
+    pub steals: u64,
+    /// Load imbalance across workers (CV of executed jobs).
+    pub imbalance: f64,
+}
+
+/// Everything the step chain shares; one allocation for the whole run.
+struct ChainState {
+    neurons: Vec<Mutex<Neuron>>,
+    synapses: Vec<Vec<Synapse>>,
+    driven: Vec<u32>,
+    wheel: Vec<Mutex<Vec<(u32, u8, f64)>>>,
+    drive: f64,
+    params: NeuronParams,
+    chunks: Vec<(usize, usize)>,
+    steps: u64,
+    dt: f64,
+    /// SGTs of the current step still running.
+    remaining: AtomicUsize,
+    total_spikes: AtomicU64,
+    sgt_count: AtomicU64,
+    spread: bool,
+}
+
+/// Sequential inter-step phase: deliver due events (canonical order, so
+/// float rounding matches the sequential reference exactly) and apply the
+/// background drive.
+fn deliver(state: &ChainState, step_no: u64) {
+    let slot = (step_no as usize) % state.wheel.len();
+    let mut due = std::mem::take(&mut *state.wheel[slot].lock());
+    due.sort_by_key(|&(t, c, w)| (t, c, w.to_bits()));
+    for (t, c, w) in due {
+        state.neurons[t as usize].lock().inject(c as usize, w);
+    }
+    for &d in &state.driven {
+        state.neurons[d as usize].lock().inject(0, state.drive);
+    }
+}
+
+/// The SGT body for one chunk of one step. The chunk that finishes its
+/// step last runs the delivery phase and spawns the next step in place.
+fn chunk_body(state: Arc<ChainState>, step_no: u64, chunk_idx: usize) -> Box<dyn FnOnce(&SgtCtx) + Send> {
+    Box::new(move |sgt: &SgtCtx| {
+        let (lo, hi) = state.chunks[chunk_idx];
+        let wheel_len = state.wheel.len();
+        let mut local_spikes = 0u64;
+        let mut outbox: Vec<(usize, (u32, u8, f64))> = Vec::new();
+        for i in lo..hi {
+            let spiked = state.neurons[i].lock().step(state.dt, &state.params);
+            if spiked {
+                local_spikes += 1;
+                for syn in &state.synapses[i] {
+                    let at = (step_no as usize + syn.delay as usize) % wheel_len;
+                    outbox.push((at, (syn.target, syn.comp, syn.weight)));
+                }
+            }
+        }
+        // Merge the outbox in slot order (one lock per slot).
+        outbox.sort_by_key(|(at, _)| *at);
+        let mut idx = 0;
+        while idx < outbox.len() {
+            let at = outbox[idx].0;
+            let mut guard = state.wheel[at].lock();
+            while idx < outbox.len() && outbox[idx].0 == at {
+                guard.push(outbox[idx].1);
+                idx += 1;
+            }
+        }
+        state.total_spikes.fetch_add(local_spikes, Ordering::Relaxed);
+        // Dataflow step chaining: the last chunk of this step continues
+        // the simulation without returning to the spawning thread.
+        if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let next = step_no + 1;
+            if next < state.steps {
+                deliver(&state, next);
+                state
+                    .remaining
+                    .store(state.chunks.len(), Ordering::Release);
+                for ci in 0..state.chunks.len() {
+                    state.sgt_count.fetch_add(1, Ordering::Relaxed);
+                    let body = chunk_body(state.clone(), next, ci);
+                    if state.spread {
+                        sgt.spawn_sgt_spread(body);
+                    } else {
+                        sgt.spawn_sgt(body);
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Run `steps` of the network on the HTVM native runtime.
+pub fn run_parallel(net: Network, steps: u64, workers: usize, mapping: Mapping) -> ParallelRunReport {
+    let htvm = Htvm::new(HtvmConfig {
+        workers,
+        lgt_memory_words: 64, // the LGT arena is unused here: keep it tiny
+        frame_slots: 8,
+    });
+    let start = std::time::Instant::now();
+
+    let spec = net.spec.clone();
+    let wheel_len = spec.max_delay as usize + 1;
+    let total = net.neurons.len();
+
+    let chunks: Vec<(usize, usize)> = match mapping {
+        // Fig. 2 has a region-*group* level above regions (cerebrum →
+        // region groups → regions): one SGT per region group, whole
+        // regions per group, group count matched to the worker count —
+        // locality of a region is preserved and per-step steal traffic
+        // stays proportional to the machine, not the network.
+        Mapping::Hierarchical => {
+            let groups = workers.clamp(1, spec.regions.max(1));
+            let per = spec.regions.div_ceil(groups);
+            (0..groups)
+                .map(|g| {
+                    let lo = (g * per).min(spec.regions) * spec.neurons_per_region;
+                    let hi = ((g + 1) * per).min(spec.regions) * spec.neurons_per_region;
+                    (lo, hi)
+                })
+                .filter(|(lo, hi)| lo < hi)
+                .collect()
+        }
+        Mapping::Flat => (0..total).map(|i| (i, i + 1)).collect(),
+    };
+    let state = Arc::new(ChainState {
+        neurons: net.neurons.into_iter().map(Mutex::new).collect(),
+        synapses: net.synapses,
+        driven: net.driven,
+        wheel: (0..wheel_len).map(|_| Mutex::new(Vec::new())).collect(),
+        drive: spec.drive,
+        params: net.params,
+        chunks,
+        steps,
+        dt: 0.05,
+        remaining: AtomicUsize::new(0),
+        total_spikes: AtomicU64::new(0),
+        sgt_count: AtomicU64::new(0),
+        spread: mapping == Mapping::Flat,
+    });
+
+    if steps > 0 {
+        let lgt = htvm.lgt({
+            let state = state.clone();
+            move |lgt| {
+                deliver(&state, 0);
+                state
+                    .remaining
+                    .store(state.chunks.len(), Ordering::Release);
+                for ci in 0..state.chunks.len() {
+                    state.sgt_count.fetch_add(1, Ordering::Relaxed);
+                    let body = chunk_body(state.clone(), 0, ci);
+                    if state.spread {
+                        lgt.spawn_sgt_spread(move |sgt| body(sgt));
+                    } else {
+                        lgt.spawn_sgt(move |sgt| body(sgt));
+                    }
+                }
+            }
+        });
+        lgt.join();
+    }
+
+    let stats = htvm.pool_stats();
+    ParallelRunReport {
+        total_spikes: state.total_spikes.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        sgt_count: state.sgt_count.load(Ordering::Relaxed),
+        steals: stats.total_stolen(),
+        imbalance: stats.imbalance(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuro::network::NetworkSpec;
+    use crate::neuro::sim::NetworkSim;
+
+    fn spikes_sequential(spec: &NetworkSpec, steps: u64) -> u64 {
+        let mut sim = NetworkSim::new(Network::build(spec.clone()));
+        sim.run(steps);
+        sim.total_spikes
+    }
+
+    #[test]
+    fn hierarchical_matches_sequential() {
+        let spec = NetworkSpec::tiny();
+        let seq = spikes_sequential(&spec, 300);
+        let par = run_parallel(Network::build(spec), 300, 4, Mapping::Hierarchical);
+        assert_eq!(par.total_spikes, seq, "parallel run must be bit-faithful");
+    }
+
+    #[test]
+    fn flat_matches_sequential() {
+        let spec = NetworkSpec::tiny();
+        let seq = spikes_sequential(&spec, 300);
+        let par = run_parallel(Network::build(spec), 300, 4, Mapping::Flat);
+        assert_eq!(par.total_spikes, seq);
+    }
+
+    #[test]
+    fn flat_spawns_more_sgts_than_hierarchical() {
+        let spec = NetworkSpec::tiny();
+        let h = run_parallel(Network::build(spec.clone()), 50, 4, Mapping::Hierarchical);
+        let f = run_parallel(Network::build(spec), 50, 4, Mapping::Flat);
+        assert!(
+            f.sgt_count > h.sgt_count * 4,
+            "flat: one SGT per neuron per step ({} vs {})",
+            f.sgt_count,
+            h.sgt_count
+        );
+    }
+
+    #[test]
+    fn single_worker_still_correct() {
+        let spec = NetworkSpec::tiny();
+        let seq = spikes_sequential(&spec, 100);
+        let par = run_parallel(Network::build(spec), 100, 1, Mapping::Hierarchical);
+        assert_eq!(par.total_spikes, seq);
+    }
+
+    #[test]
+    fn zero_steps_is_a_noop() {
+        let par = run_parallel(Network::build(NetworkSpec::tiny()), 0, 2, Mapping::Hierarchical);
+        assert_eq!(par.total_spikes, 0);
+        assert_eq!(par.sgt_count, 0);
+    }
+
+    #[test]
+    fn sgt_count_is_chunks_times_steps() {
+        let spec = NetworkSpec::tiny();
+        let groups = 2usize.min(spec.regions) as u64; // workers.min(regions)
+        let par = run_parallel(Network::build(spec), 25, 2, Mapping::Hierarchical);
+        assert_eq!(par.sgt_count, 25 * groups);
+    }
+}

@@ -1,0 +1,28 @@
+//! Large-scale neuron-network simulation (the paper's neuroscience driver,
+//! §5.2 and the Fig. 2 case study).
+//!
+//! The model is a synthetic stand-in for the PGENESIS neocortex code the
+//! authors used (which is not redistributable): multi-compartment neurons
+//! with an active Hodgkin–Huxley-style soma and passive dendrite cable,
+//! grouped into columns and regions, connected by delayed synapses. All of
+//! the structure that drives the Fig. 2 mapping is present:
+//!
+//! * **regions** — coarse domains with dense intra-region connectivity
+//!   (LGT-level work partitions);
+//! * **neurons** — medium-grain state machines (SGT-level tasks);
+//! * **compartments/channels** — fine-grain updates with dataflow
+//!   dependencies along the dendrite cable (TGT-level fibers).
+//!
+//! [`sim::NetworkSim`] is the sequential reference; [`htvm_map`] runs the
+//! same network on the HTVM runtime with either the hierarchical mapping
+//! of Fig. 2 or a deliberately flat mapping (experiment E14's baseline).
+
+pub mod htvm_map;
+pub mod model;
+pub mod network;
+pub mod sim;
+
+pub use htvm_map::{run_parallel, Mapping, ParallelRunReport};
+pub use model::{Compartment, Neuron, NeuronParams};
+pub use network::{NetworkSpec, Network, Synapse};
+pub use sim::NetworkSim;

@@ -1,0 +1,222 @@
+//! Network construction: regions, populations, synapses, delays.
+//!
+//! The generator is deterministic from a seed and mirrors the structure of
+//! the Fig. 2 case study: a handful of brain regions, each holding columns
+//! of neurons; connectivity is dense within a region and sparse between
+//! regions; synapses carry (weight, delay, target compartment).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::model::{Neuron, NeuronParams};
+
+/// A synapse from a source neuron to a target neuron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synapse {
+    /// Target neuron (global index).
+    pub target: u32,
+    /// Target compartment on that neuron.
+    pub comp: u8,
+    /// Synaptic weight (current injected per spike).
+    pub weight: f64,
+    /// Delivery delay in steps (≥ 1).
+    pub delay: u16,
+}
+
+/// Specification of a synthetic neocortex network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Number of regions (Fig. 2's top level).
+    pub regions: usize,
+    /// Neurons per region.
+    pub neurons_per_region: usize,
+    /// Compartments per neuron (soma + dendrite cable).
+    pub compartments: usize,
+    /// Outgoing synapses per neuron.
+    pub fanout: usize,
+    /// Probability an edge stays inside its source region.
+    pub intra_region_p: f64,
+    /// Mean synaptic weight.
+    pub weight: f64,
+    /// Maximum synaptic delay in steps.
+    pub max_delay: u16,
+    /// Fraction of neurons receiving steady background drive.
+    pub drive_fraction: f64,
+    /// Background drive current.
+    pub drive: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        Self {
+            regions: 4,
+            neurons_per_region: 64,
+            compartments: 5,
+            fanout: 16,
+            intra_region_p: 0.85,
+            weight: 6.0,
+            max_delay: 8,
+            drive_fraction: 0.2,
+            drive: 26.0,
+            seed: 42,
+        }
+    }
+}
+
+impl NetworkSpec {
+    /// A small spec for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            regions: 2,
+            neurons_per_region: 16,
+            compartments: 3,
+            fanout: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Total neurons.
+    pub fn total_neurons(&self) -> usize {
+        self.regions * self.neurons_per_region
+    }
+}
+
+/// A built network: neurons plus static connectivity.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// The specification it was built from.
+    pub spec: NetworkSpec,
+    /// Neuron states (region-major order).
+    pub neurons: Vec<Neuron>,
+    /// Outgoing synapses per neuron.
+    pub synapses: Vec<Vec<Synapse>>,
+    /// Indices of neurons with background drive.
+    pub driven: Vec<u32>,
+    /// Shared biophysics.
+    pub params: NeuronParams,
+}
+
+impl Network {
+    /// Build deterministically from a spec.
+    pub fn build(spec: NetworkSpec) -> Network {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let params = NeuronParams::default();
+        let total = spec.total_neurons();
+        let neurons = (0..total)
+            .map(|_| Neuron::new(spec.compartments, &params))
+            .collect();
+        let mut synapses = Vec::with_capacity(total);
+        for src in 0..total {
+            let src_region = src / spec.neurons_per_region;
+            let mut out = Vec::with_capacity(spec.fanout);
+            for _ in 0..spec.fanout {
+                let region = if rng.gen_bool(spec.intra_region_p.clamp(0.0, 1.0)) {
+                    src_region
+                } else {
+                    rng.gen_range(0..spec.regions)
+                };
+                let within = rng.gen_range(0..spec.neurons_per_region);
+                let target = (region * spec.neurons_per_region + within) as u32;
+                out.push(Synapse {
+                    target,
+                    comp: rng.gen_range(0..spec.compartments.min(255)) as u8,
+                    weight: spec.weight * rng.gen_range(0.5..1.5),
+                    delay: rng.gen_range(1..=spec.max_delay.max(1)),
+                });
+            }
+            synapses.push(out);
+        }
+        let driven = (0..total as u32)
+            .filter(|_| rng.gen_bool(spec.drive_fraction.clamp(0.0, 1.0)))
+            .collect();
+        Network {
+            spec,
+            neurons,
+            synapses,
+            driven,
+            params,
+        }
+    }
+
+    /// Region index of a neuron.
+    pub fn region_of(&self, neuron: usize) -> usize {
+        neuron / self.spec.neurons_per_region
+    }
+
+    /// Count synapses crossing region boundaries (communication volume of
+    /// the Fig. 2 mapping).
+    pub fn inter_region_edges(&self) -> usize {
+        self.synapses
+            .iter()
+            .enumerate()
+            .flat_map(|(src, outs)| {
+                let r = self.region_of(src);
+                outs.iter()
+                    .filter(move |s| self.region_of(s.target as usize) != r)
+            })
+            .count()
+    }
+
+    /// Total synapse count.
+    pub fn total_edges(&self) -> usize {
+        self.synapses.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Network::build(NetworkSpec::tiny());
+        let b = Network::build(NetworkSpec::tiny());
+        assert_eq!(a.synapses, b.synapses);
+        assert_eq!(a.driven, b.driven);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Network::build(NetworkSpec::tiny());
+        let b = Network::build(NetworkSpec {
+            seed: 7,
+            ..NetworkSpec::tiny()
+        });
+        assert_ne!(a.synapses, b.synapses);
+    }
+
+    #[test]
+    fn connectivity_is_mostly_intra_region() {
+        let n = Network::build(NetworkSpec::default());
+        let inter = n.inter_region_edges();
+        let total = n.total_edges();
+        let frac = inter as f64 / total as f64;
+        assert!(
+            frac < 0.3,
+            "with intra_region_p = 0.85 most edges stay local: {frac}"
+        );
+        assert_eq!(total, n.spec.total_neurons() * n.spec.fanout);
+    }
+
+    #[test]
+    fn targets_and_delays_in_range() {
+        let n = Network::build(NetworkSpec::default());
+        for outs in &n.synapses {
+            for s in outs {
+                assert!((s.target as usize) < n.spec.total_neurons());
+                assert!(s.delay >= 1 && s.delay <= n.spec.max_delay);
+                assert!((s.comp as usize) < n.spec.compartments);
+                assert!(s.weight > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn some_neurons_are_driven() {
+        let n = Network::build(NetworkSpec::default());
+        let frac = n.driven.len() as f64 / n.spec.total_neurons() as f64;
+        assert!(frac > 0.05 && frac < 0.5, "driven fraction {frac}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Synthetic workload generators shared by the experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A unit of CPU-bound work calibrated in abstract "work units"; each unit
+/// is a handful of FLOPs. Returns a value that must be consumed (prevents
+/// the optimizer from deleting the loop).
+#[inline]
+pub fn spin_work(units: u64) -> f64 {
+    let mut x = 1.000000001f64;
+    for i in 0..units {
+        x = x * 1.0000001 + (i as f64) * 1e-12;
+        x -= x.floor();
+        // Keep x in a sane range so the loop cannot be strength-reduced.
+        x += 0.5;
+        x *= 0.75;
+    }
+    x
+}
+
+/// A task with a cost, a home affinity and a spawn time — raw material for
+/// the load-adaptation experiments on the native runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticTask {
+    /// Work units.
+    pub cost: u64,
+    /// Preferred worker/node.
+    pub home: u32,
+}
+
+/// Generate `n` tasks with `skew` fraction pinned to home 0, costs uniform
+/// in `[1, 2·mean]`.
+pub fn skewed_tasks(n: usize, homes: u32, mean: u64, skew: f64, seed: u64) -> Vec<SyntheticTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| SyntheticTask {
+            cost: rng.gen_range(1..=2 * mean.max(1)),
+            home: if rng.gen_bool(skew.clamp(0.0, 1.0)) {
+                0
+            } else {
+                rng.gen_range(0..homes.max(1))
+            },
+        })
+        .collect()
+}
+
+/// A fork-join task tree of the given depth and fanout; returns per-leaf
+/// costs. Total leaves = `fanout^depth`.
+pub fn task_tree_costs(depth: u32, fanout: u32, mean: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let leaves = (fanout as u64).pow(depth);
+    (0..leaves).map(|_| rng.gen_range(1..=2 * mean.max(1))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_work_scales_linearly_ish() {
+        let t = |units| {
+            let s = std::time::Instant::now();
+            std::hint::black_box(spin_work(units));
+            s.elapsed()
+        };
+        let small = t(100_000);
+        let large = t(1_000_000);
+        assert!(
+            large > small,
+            "10x work must take longer: {small:?} vs {large:?}"
+        );
+    }
+
+    #[test]
+    fn spin_work_returns_finite() {
+        assert!(spin_work(10_000).is_finite());
+        assert!(spin_work(0).is_finite());
+    }
+
+    #[test]
+    fn skewed_tasks_respect_skew() {
+        let tasks = skewed_tasks(10_000, 8, 100, 0.75, 3);
+        let at_zero = tasks.iter().filter(|t| t.home == 0).count();
+        let frac = at_zero as f64 / tasks.len() as f64;
+        assert!(frac > 0.7 && frac < 0.85, "skew fraction {frac}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            skewed_tasks(100, 4, 10, 0.5, 9),
+            skewed_tasks(100, 4, 10, 0.5, 9)
+        );
+        assert_eq!(task_tree_costs(3, 4, 10, 1), task_tree_costs(3, 4, 10, 1));
+    }
+
+    #[test]
+    fn task_tree_size() {
+        assert_eq!(task_tree_costs(3, 4, 10, 1).len(), 64);
+        assert_eq!(task_tree_costs(0, 4, 10, 1).len(), 1);
+    }
+}

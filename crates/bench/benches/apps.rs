@@ -1,0 +1,81 @@
+//! Criterion bench for E14/E15/E16: application kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htvm_apps::md::cell_list::CellList;
+use htvm_apps::md::forces::{compute_forces, ForceParams};
+use htvm_apps::md::system::{MdSystem, SystemSpec};
+use htvm_apps::neuro::network::{Network, NetworkSpec};
+use htvm_apps::neuro::sim::NetworkSim;
+
+fn bench_neuro_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_neuro");
+    for (label, spec) in [
+        ("small", NetworkSpec::tiny()),
+        (
+            "medium",
+            NetworkSpec {
+                regions: 4,
+                neurons_per_region: 64,
+                ..Default::default()
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("step", label), &spec, |b, spec| {
+            let mut sim = NetworkSim::new(Network::build(spec.clone()));
+            b.iter(|| sim.step())
+        });
+    }
+    g.finish();
+}
+
+fn bench_md_forces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_md_force_pass");
+    for (label, spec) in [
+        ("tiny", SystemSpec::tiny()),
+        ("default", SystemSpec::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("cells", label), &spec, |b, spec| {
+            let mut sys = MdSystem::build(spec);
+            let params = ForceParams::default();
+            let cl = CellList::build(&sys, params.cutoff);
+            b.iter(|| compute_forces(&mut sys, &cl, &params))
+        });
+    }
+    g.finish();
+}
+
+fn bench_litlx(c: &mut Criterion) {
+    use litlx::lang::{parse, Interp};
+    let src = r#"
+        fn main() {
+            let n = 500;
+            let a = array(n);
+            forall i in 0..n { a[i] = i * 2; }
+            print(sum(a));
+        }
+    "#;
+    let prog = parse(src).unwrap();
+    c.bench_function("e16_litlx_forall_500", |b| {
+        let interp = Interp::new(4);
+        b.iter(|| interp.run(&prog).unwrap())
+    });
+    c.bench_function("e16_litlx_parse", |b| b.iter(|| parse(src).unwrap()));
+}
+
+
+/// Short sampling: these benches run on small shared CI hosts; the
+/// simulated-cycle tables (the actual experiment results) come from the
+/// report binaries, so wall-clock here only needs to be indicative.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_neuro_step, bench_md_forces, bench_litlx
+);
+criterion_main!(benches);

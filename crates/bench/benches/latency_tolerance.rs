@@ -1,0 +1,93 @@
+//! Criterion bench for E1/E2/E4: simulated-machine kernels (the measured
+//! quantity is simulator wall time; simulated-cycle tables come from the
+//! `e1_latency_tolerance`/`e2_parcels`/`e4_percolation` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htvm_sim::{strided_kernel, Engine, GAddr, MachineConfig, Placement, SpawnClass};
+
+fn bench_latency_tolerance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_latency_tolerance");
+    for hw in [1u16, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("hw_threads", hw), &hw, |b, &hw| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::small();
+                cfg.units_per_node = 1;
+                cfg.hw_threads_per_unit = hw;
+                let mut e = Engine::new(cfg);
+                for k in 0..hw as u64 {
+                    let kern = strided_kernel(100, 10, GAddr::dram(0, k << 20), 64, 8);
+                    e.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, Box::new(kern));
+                }
+                e.run().now
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parcels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_parcels");
+    for elems in [64u64, 1024] {
+        g.bench_with_input(BenchmarkId::new("elems", elems), &elems, |b, &elems| {
+            b.iter(|| {
+                litlx::parcel::compare_strategies(
+                    || {
+                        let mut cfg = MachineConfig::small();
+                        cfg.nodes = 2;
+                        Engine::new(cfg)
+                    },
+                    elems,
+                    2,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_percolation(c: &mut Criterion) {
+    use htvm_sim::SignalId;
+    use litlx::percolate::{PercolateKernel, PercolationPlan};
+    let mut g = c.benchmark_group("e4_percolation");
+    for depth in [0u64, 4] {
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::small();
+                cfg.hw_threads_per_unit = 16;
+                let mut e = Engine::new(cfg);
+                let plan = PercolationPlan {
+                    src_base: GAddr::dram(0, 0),
+                    tile_bytes: 4096,
+                    tiles: 32,
+                    compute_per_tile: 120,
+                    depth,
+                };
+                e.spawn(
+                    Placement::Unit(0, 0),
+                    SpawnClass::Sgt,
+                    Box::new(PercolateKernel::new(plan, SignalId(1))),
+                );
+                e.run().now
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Short sampling: these benches run on small shared CI hosts; the
+/// simulated-cycle tables (the actual experiment results) come from the
+/// report binaries, so wall-clock here only needs to be indicative.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_latency_tolerance, bench_parcels, bench_percolation
+);
+criterion_main!(benches);

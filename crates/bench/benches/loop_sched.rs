@@ -1,0 +1,78 @@
+//! Criterion bench for E6/E9/E10/E12: adaptation machinery throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htvm_adapt::load::{simulate_load, LoadPolicy, LoadSimConfig};
+use htvm_adapt::locality::{producer_consumer_trace, replay, LocalityCosts, LocalityPolicy};
+use htvm_adapt::loop_sched::{evaluate_schedule, CostModel, IterationCosts, ScheduleKind};
+
+fn bench_loop_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_loop_sched");
+    let costs = IterationCosts::Random.generate(2_000, 100, 42);
+    for kind in [
+        ScheduleKind::StaticBlock,
+        ScheduleKind::SelfSched(1),
+        ScheduleKind::Guided,
+        ScheduleKind::Factoring,
+        ScheduleKind::Affinity,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("policy", kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| evaluate_schedule(kind, &costs, 16, &CostModel::default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_load_adaptation");
+    for policy in LoadPolicy::PORTFOLIO {
+        g.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    simulate_load(
+                        policy,
+                        &LoadSimConfig {
+                            threads: 256,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_locality");
+    let trace = producer_consumer_trace(8, 64, 50, 0.3, 3);
+    for policy in LocalityPolicy::PORTFOLIO {
+        g.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &policy| b.iter(|| replay(policy, LocalityCosts::default(), &trace)),
+        );
+    }
+    g.finish();
+}
+
+
+/// Short sampling: these benches run on small shared CI hosts; the
+/// simulated-cycle tables (the actual experiment results) come from the
+/// report binaries, so wall-clock here only needs to be indicative.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_loop_sched, bench_load, bench_locality
+);
+criterion_main!(benches);

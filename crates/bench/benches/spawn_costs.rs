@@ -1,0 +1,67 @@
+//! Criterion bench for E5: native spawn costs of the three grains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htvm_core::{Htvm, HtvmConfig};
+
+fn bench_native_grains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_native_grain_costs");
+
+    // LGT: spawn + join a whole large-grain thread.
+    g.bench_function("lgt_spawn_join", |b| {
+        let htvm = Htvm::new(HtvmConfig::with_workers(2));
+        b.iter(|| {
+            htvm.lgt(|_| {}).join();
+        })
+    });
+
+    // SGT: spawn + drain 100 small-grain threads from one LGT.
+    g.bench_function("sgt_spawn_100", |b| {
+        let htvm = Htvm::new(HtvmConfig::with_workers(2));
+        b.iter(|| {
+            let h = htvm.lgt(|lgt| {
+                for _ in 0..100 {
+                    lgt.spawn_sgt(|_| {});
+                }
+            });
+            h.join();
+        })
+    });
+
+    // TGT: run a 100-fiber dataflow graph inline (no pool round trip).
+    g.bench_function("tgt_graph_100", |b| {
+        b.iter(|| {
+            let mut g = htvm_core::TgtGraph::new(4);
+            let mut prev = None;
+            for _ in 0..100 {
+                let f = g.fiber(|c| {
+                    c.frame.fetch_add(0, 1);
+                });
+                if let Some(p) = prev {
+                    g.depends(f, p);
+                }
+                prev = Some(f);
+            }
+            g.run().get(0)
+        })
+    });
+
+    g.finish();
+}
+
+
+/// Short sampling: these benches run on small shared CI hosts; the
+/// simulated-cycle tables (the actual experiment results) come from the
+/// report binaries, so wall-clock here only needs to be indicative.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_native_grains
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for E7/E8: the SSP scheduler itself (compile-time cost
+//! of level selection and modulo scheduling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htvm_ssp::ir::LoopNest;
+use htvm_ssp::ssp::{schedule_all_levels, select_level, SspConfig};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_ssp_scheduling");
+    let nests = vec![
+        LoopNest::matmul_like(32, 32, 32),
+        LoopNest::stencil_like(32, 128),
+        LoopNest::elementwise(64, 64),
+    ];
+    for nest in &nests {
+        g.bench_with_input(
+            BenchmarkId::new("select_level", &nest.name),
+            nest,
+            |b, nest| b.iter(|| select_level(nest, &SspConfig::default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_all_levels(c: &mut Criterion) {
+    let nest = LoopNest::matmul_like(64, 64, 64);
+    c.bench_function("e7_schedule_all_levels_matmul64", |b| {
+        b.iter(|| schedule_all_levels(&nest, &SspConfig::default()))
+    });
+}
+
+
+/// Short sampling: these benches run on small shared CI hosts; the
+/// simulated-cycle tables (the actual experiment results) come from the
+/// report binaries, so wall-clock here only needs to be indicative.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_scheduling, bench_all_levels
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Run the A1–A4 ablation sweeps and print all tables.
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        htvm_bench::experiments::Scale::Quick
+    } else {
+        htvm_bench::experiments::Scale::Full
+    };
+    for table in htvm_bench::experiments::run_all_ablations(scale) {
+        table.print();
+    }
+}

@@ -1,0 +1,4 @@
+//! Report binary for e10_locality: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e10_locality(htvm_bench::experiments::Scale::Full).print();
+}

@@ -1,0 +1,4 @@
+//! Report binary for e11_latency_adapt: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e11_latency_adapt(htvm_bench::experiments::Scale::Full).print();
+}

@@ -1,0 +1,4 @@
+//! Report binary for e12_hints: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e12_hints(htvm_bench::experiments::Scale::Full).print();
+}

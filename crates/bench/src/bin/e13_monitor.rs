@@ -1,0 +1,4 @@
+//! Report binary for e13_monitor: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e13_monitor(htvm_bench::experiments::Scale::Full).print();
+}

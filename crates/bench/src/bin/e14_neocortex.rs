@@ -1,0 +1,4 @@
+//! Report binary for e14_neocortex: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e14_neocortex(htvm_bench::experiments::Scale::Full).print();
+}

@@ -1,0 +1,4 @@
+//! Report binary for e15_md: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e15_md(htvm_bench::experiments::Scale::Full).print();
+}

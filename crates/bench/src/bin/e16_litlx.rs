@@ -1,0 +1,4 @@
+//! Report binary for e16_litlx: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e16_litlx(htvm_bench::experiments::Scale::Full).print();
+}

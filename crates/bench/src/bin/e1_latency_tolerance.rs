@@ -1,0 +1,4 @@
+//! Report binary for e1_latency_tolerance: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e1_latency_tolerance(htvm_bench::experiments::Scale::Full).print();
+}

@@ -1,0 +1,4 @@
+//! Report binary for e2_parcels: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e2_parcels(htvm_bench::experiments::Scale::Full).print();
+}

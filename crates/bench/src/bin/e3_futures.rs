@@ -1,0 +1,4 @@
+//! Report binary for e3_futures: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e3_futures(htvm_bench::experiments::Scale::Full).print();
+}

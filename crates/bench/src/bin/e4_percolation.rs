@@ -1,0 +1,4 @@
+//! Report binary for e4_percolation: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e4_percolation(htvm_bench::experiments::Scale::Full).print();
+}

@@ -1,0 +1,4 @@
+//! Report binary for e5_spawn_costs: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e5_spawn_costs(htvm_bench::experiments::Scale::Full).print();
+}

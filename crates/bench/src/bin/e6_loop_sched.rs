@@ -1,0 +1,4 @@
+//! Report binary for e6_loop_sched: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e6_loop_sched(htvm_bench::experiments::Scale::Full).print();
+}

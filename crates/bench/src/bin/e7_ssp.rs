@@ -1,0 +1,4 @@
+//! Report binary for e7_ssp: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e7_ssp(htvm_bench::experiments::Scale::Full).print();
+}

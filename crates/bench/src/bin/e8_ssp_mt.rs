@@ -1,0 +1,4 @@
+//! Report binary for e8_ssp_mt: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e8_ssp_mt(htvm_bench::experiments::Scale::Full).print();
+}

@@ -1,0 +1,4 @@
+//! Report binary for e9_load_balance: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e9_load_balance(htvm_bench::experiments::Scale::Full).print();
+}

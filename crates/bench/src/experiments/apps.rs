@@ -1,0 +1,297 @@
+//! E14–E16: application experiments (Fig. 2 case study, MD, LITL-X).
+
+use htvm_apps::md::integrate::{run_md, Thermostat};
+use htvm_apps::md::parallel::{run_md_parallel, MdGrain};
+use htvm_apps::md::system::{MdSystem, SystemSpec};
+use htvm_apps::md::ForceParams;
+use htvm_apps::neuro::htvm_map::{run_parallel, Mapping};
+use htvm_apps::neuro::network::{Network, NetworkSpec};
+use htvm_apps::neuro::sim::NetworkSim;
+
+use super::Scale;
+use crate::table::{f2, f3, Table};
+
+/// E14 — the Fig. 2 case study: neuron network on the thread hierarchy,
+/// hierarchical vs flat mapping, scaling over workers.
+pub fn e14_neocortex(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E14 neocortex (Fig. 2): steps/s by mapping × workers",
+        &[
+            "mapping", "workers", "steps/s", "speedup_vs_seq", "spikes", "sgts", "steals",
+            "imbalance",
+        ],
+    );
+    // Quick still needs enough per-step work for the parallel runtime's
+    // per-step spawn/join to amortize (the same reality the paper's grain
+    // hierarchy is about): ~4k compartment updates per step.
+    let spec = match scale {
+        Scale::Quick => NetworkSpec {
+            regions: 8,
+            neurons_per_region: 128,
+            compartments: 8,
+            ..Default::default()
+        },
+        Scale::Full => NetworkSpec {
+            regions: 8,
+            neurons_per_region: 256,
+            compartments: 8,
+            fanout: 24,
+            ..Default::default()
+        },
+    };
+    let steps = scale.pick(40u64, 150);
+    // Sequential reference.
+    let (seq_rate, seq_spikes) = {
+        let mut sim = NetworkSim::new(Network::build(spec.clone()));
+        let start = std::time::Instant::now();
+        sim.run(steps);
+        (
+            steps as f64 / start.elapsed().as_secs_f64(),
+            sim.total_spikes,
+        )
+    };
+    t.row(&[
+        "sequential".to_string(),
+        "1".to_string(),
+        f2(seq_rate),
+        f2(1.0),
+        seq_spikes.to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        "0.000".to_string(),
+    ]);
+    // Quick runs on whatever cores the host actually has; oversubscribed
+    // workers on a small CI box only measure scheduler thrash.
+    let avail = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let worker_sweep: Vec<usize> = scale.pick(vec![avail.clamp(2, 4)], vec![1, 2, 4, 8]);
+    for mapping in [Mapping::Hierarchical, Mapping::Flat] {
+        for &w in &worker_sweep {
+            let r = run_parallel(Network::build(spec.clone()), steps, w, mapping);
+            let rate = steps as f64 / r.elapsed.as_secs_f64();
+            assert_eq!(
+                r.total_spikes, seq_spikes,
+                "parallel run must match the sequential spike count"
+            );
+            t.row(&[
+                format!("{mapping:?}").to_lowercase(),
+                w.to_string(),
+                f2(rate),
+                f2(rate / seq_rate),
+                r.total_spikes.to_string(),
+                r.sgt_count.to_string(),
+                r.steals.to_string(),
+                f3(r.imbalance),
+            ]);
+        }
+    }
+    t
+}
+
+/// E15 — fine-grain molecular dynamics: SGT-per-cell vs coarse chunks.
+pub fn e15_md(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E15 molecular dynamics: steps/s by grain × workers",
+        &["grain", "workers", "steps/s", "speedup_vs_seq", "sgts", "potential"],
+    );
+    // Like E14, Quick needs a force pass heavy enough (≈500 particles) for
+    // parallelism to be visible over per-pass snapshot/spawn overhead.
+    let spec = match scale {
+        Scale::Quick => SystemSpec {
+            box_len: 12.0,
+            waters: 450,
+            ion_pairs: 8,
+            protein_beads: 30,
+            ..Default::default()
+        },
+        Scale::Full => SystemSpec {
+            box_len: 18.0,
+            waters: 1_400,
+            ion_pairs: 24,
+            protein_beads: 60,
+            ..Default::default()
+        },
+    };
+    let steps = scale.pick(8usize, 40);
+    let params = ForceParams::default();
+    let (seq_rate, seq_pot) = {
+        let mut sys = MdSystem::build(&spec);
+        let start = std::time::Instant::now();
+        let (pot, _) = run_md(&mut sys, &params, 0.001, steps, Thermostat::None);
+        (steps as f64 / start.elapsed().as_secs_f64(), pot)
+    };
+    t.row(&[
+        "sequential".to_string(),
+        "1".to_string(),
+        f2(seq_rate),
+        f2(1.0),
+        "0".to_string(),
+        f2(seq_pot),
+    ]);
+    let avail = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let worker_sweep: Vec<usize> = scale.pick(vec![avail.clamp(2, 4)], vec![1, 2, 4, 8]);
+    for (grain, label) in [
+        (MdGrain::PerCell, "per-cell (fine)"),
+        (MdGrain::Chunks(4), "chunks(4) (coarse)"),
+    ] {
+        for &w in &worker_sweep {
+            let r = run_md_parallel(
+                MdSystem::build(&spec),
+                &params,
+                0.001,
+                steps,
+                w,
+                grain,
+                Thermostat::None,
+            );
+            let rate = steps as f64 / r.elapsed.as_secs_f64();
+            t.row(&[
+                label.to_string(),
+                w.to_string(),
+                f2(rate),
+                f2(rate / seq_rate),
+                r.sgt_count.to_string(),
+                f2(r.potential),
+            ]);
+        }
+    }
+    t
+}
+
+/// E16 — LITL-X end-to-end: interpreted kernels vs hand-coded equivalents
+/// on the same runtime (the price of the prototype language).
+pub fn e16_litlx(scale: Scale) -> Table {
+    use htvm_core::{Htvm, HtvmConfig};
+    use litlx::lang::{parse, Interp};
+
+    let n = scale.pick(2_000usize, 20_000);
+    let workers = 4;
+    let mut t = Table::new(
+        "E16 LITL-X: interpreted vs hand-coded kernels",
+        &["kernel", "litlx_us", "native_us", "interp_overhead", "results_match"],
+    );
+
+    // Kernel 1: scaled vector sum (forall + reduction via accumulate).
+    let src_dot = format!(
+        "fn main() {{
+            let n = {n};
+            let a = array(n);
+            let acc = array(1);
+            forall i in 0..n {{ a[i] = i * 0.5; }}
+            forall i in 0..n {{ acc[0] += a[i] * 2; }}
+            print(acc[0]);
+        }}"
+    );
+    // Kernel 2: 1-D stencil step.
+    let src_stencil = format!(
+        "fn main() {{
+            let n = {n};
+            let a = array(n);
+            let b = array(n);
+            forall i in 0..n {{ a[i] = i % 17; }}
+            @hint(schedule = \"guided\")
+            forall i in 0..n {{
+                if i > 0 && i < n - 1 {{
+                    b[i] = (a[i - 1] + a[i] + a[i + 1]) / 3;
+                }}
+            }}
+            print(sum(b));
+        }}"
+    );
+    let cases: Vec<(&str, String, Box<dyn Fn() -> f64>)> = vec![
+        (
+            "scaled-sum",
+            src_dot,
+            Box::new(move || {
+                // Hand-coded: same algorithm on the raw runtime.
+                let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+                let h = htvm.lgt(move |lgt| {
+                    let mem = lgt.memory().clone();
+                    let chunk = n.div_ceil(workers);
+                    for c in 0..workers {
+                        let mem = mem.clone();
+                        lgt.spawn_sgt(move |_| {
+                            let lo = c * chunk;
+                            let hi = ((c + 1) * chunk).min(n);
+                            let mut local = 0.0;
+                            for i in lo..hi {
+                                local += (i as f64 * 0.5) * 2.0;
+                            }
+                            mem.fetch_add_f64(0, local);
+                        });
+                    }
+                });
+                h.join();
+                h.memory().read_f64(0)
+            }),
+        ),
+        (
+            "stencil-3pt",
+            src_stencil,
+            Box::new(move || {
+                let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+                let h = htvm.lgt(move |lgt| {
+                    let mem = lgt.memory().clone();
+                    // a in [0..n), b in [n..2n)
+                    let chunk = n.div_ceil(workers);
+                    for c in 0..workers {
+                        let mem = mem.clone();
+                        lgt.spawn_sgt(move |_| {
+                            let lo = c * chunk;
+                            let hi = ((c + 1) * chunk).min(n);
+                            for i in lo..hi {
+                                mem.write_f64(i, (i % 17) as f64);
+                            }
+                        });
+                    }
+                });
+                h.join();
+                let mem = h.memory();
+                let h2 = htvm.lgt({
+                    let mem = mem.clone();
+                    move |lgt| {
+                        let chunk = n.div_ceil(workers);
+                        for c in 0..workers {
+                            let mem = mem.clone();
+                            lgt.spawn_sgt(move |_| {
+                                let lo = (c * chunk).max(1);
+                                let hi = ((c + 1) * chunk).min(n - 1);
+                                for i in lo..hi {
+                                    let v = (mem.read_f64(i - 1)
+                                        + mem.read_f64(i)
+                                        + mem.read_f64(i + 1))
+                                        / 3.0;
+                                    mem.write_f64(n + i, v);
+                                }
+                            });
+                        }
+                    }
+                });
+                h2.join();
+                (1..n - 1).map(|i| mem.read_f64(n + i)).sum()
+            }),
+        ),
+    ];
+
+    for (name, src, native) in cases {
+        let prog = parse(&src).expect("kernel parses");
+        let interp = Interp::new(workers);
+        let start = std::time::Instant::now();
+        let out = interp.run(&prog).expect("kernel runs");
+        let litlx_us = start.elapsed().as_micros() as f64;
+        let litlx_val: f64 = out.printed[0].parse().unwrap_or(f64::NAN);
+
+        let start = std::time::Instant::now();
+        let native_val = native();
+        let native_us = (start.elapsed().as_micros() as f64).max(1.0);
+
+        let matches = (litlx_val - native_val).abs() < 1e-6 * native_val.abs().max(1.0);
+        t.row(&[
+            name.to_string(),
+            f2(litlx_us),
+            f2(native_us),
+            f2(litlx_us / native_us),
+            matches.to_string(),
+        ]);
+    }
+    t
+}

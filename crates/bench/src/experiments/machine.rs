@@ -1,0 +1,264 @@
+//! E1–E5: machine-level experiments on the simulated HEC substrate.
+
+use htvm_core::simrt::{SignalAlloc, SpawnPing};
+use htvm_sim::{
+    strided_kernel, Engine, GAddr, MachineConfig, Placement, SignalId, SimThread, SpawnClass,
+};
+use litlx::parcel::compare_strategies;
+use litlx::percolate::{PercolateKernel, PercolationPlan};
+
+use super::Scale;
+use crate::table::{f2, Table};
+
+/// E1 — latency tolerance via hardware multithreading (paper §1, §3.2).
+///
+/// Sweep hardware threads per unit × DRAM latency scale; the figure of
+/// merit is throughput (accesses per kilocycle) of one unit running that
+/// many memory-bound kernels. A second column group uses an OS-weight
+/// context-switch cost to reproduce the paper's argument for in-stream
+/// switching.
+pub fn e1_latency_tolerance(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E1 latency tolerance: throughput vs hw threads × DRAM latency",
+        &[
+            "hw_threads",
+            "lat_scale",
+            "accesses/kcyc (in-stream)",
+            "accesses/kcyc (os-switch)",
+            "utilization",
+        ],
+    );
+    let hw_sweep: Vec<u16> = scale.pick(vec![1, 2, 4, 8], vec![1, 2, 4, 8, 12, 16]);
+    let lat_sweep: Vec<f64> = scale.pick(vec![1.0, 8.0], vec![1.0, 4.0, 8.0, 16.0]);
+    let iters = scale.pick(60, 400);
+    for &lat in &lat_sweep {
+        for &hw in &hw_sweep {
+            let run = |switch_cost: u64| {
+                let mut cfg = MachineConfig::small();
+                cfg.units_per_node = 1;
+                cfg.hw_threads_per_unit = hw;
+                cfg.switch_cost = switch_cost;
+                let mut e = Engine::new(cfg);
+                e.memory_mut().set_dram_latency_scale(lat);
+                for k in 0..hw as u64 {
+                    let kern = strided_kernel(
+                        iters,
+                        10,
+                        GAddr::dram(0, k * (1 << 20)),
+                        64,
+                        8,
+                    );
+                    e.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, Box::new(kern));
+                }
+                let s = e.run();
+                (
+                    s.total_accesses() as f64 / (s.now.max(1) as f64 / 1000.0),
+                    s.utilization(1),
+                )
+            };
+            let (instream, util) = run(4);
+            let (os, _) = run(2_000);
+            t.row(&[
+                hw.to_string(),
+                format!("{lat:.0}x"),
+                f2(instream),
+                f2(os),
+                f2(util),
+            ]);
+        }
+    }
+    t
+}
+
+/// E2 — parcels vs remote loads vs bulk fetch (paper §3.2): cycles as the
+/// reduced block grows; the crossover shows when moving work to data wins.
+pub fn e2_parcels(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E2 parcels: remote reduce, cycles by strategy vs block size",
+        &[
+            "elems",
+            "remote_loads",
+            "bulk_fetch",
+            "parcel",
+            "winner",
+        ],
+    );
+    let sizes: Vec<u64> = scale.pick(vec![4, 64, 1024], vec![4, 16, 64, 256, 1024, 4096, 8192]);
+    for &elems in &sizes {
+        let (loads, bulk, parcel) = compare_strategies(
+            || {
+                let mut cfg = MachineConfig::small();
+                cfg.nodes = 2;
+                Engine::new(cfg)
+            },
+            elems,
+            2,
+        );
+        let winner = if parcel <= loads && parcel <= bulk {
+            "parcel"
+        } else if bulk <= loads {
+            "bulk"
+        } else {
+            "loads"
+        };
+        t.row(&[
+            elems.to_string(),
+            loads.to_string(),
+            bulk.to_string(),
+            parcel.to_string(),
+            winner.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E3 — futures with localized buffering vs global barriers (paper §3.2).
+///
+/// A `stages × items` pipeline with skewed item costs, on the native
+/// runtime: the barrier version synchronizes all items between stages; the
+/// future version lets each item flow ahead through `and_then` chains.
+pub fn e3_futures(scale: Scale) -> Table {
+    use htvm_apps::workloads::spin_work;
+    use htvm_core::{Htvm, HtvmConfig};
+    use litlx::future::LitlFuture;
+
+    let items = scale.pick(6usize, 12);
+    let stages = scale.pick(6usize, 12);
+    let workers = 4usize;
+    let unit = scale.pick(30_000u64, 150_000);
+    // Pseudo-random per-(item, stage) cost: the stage maximum moves around,
+    // which is exactly what makes global barriers pay and futures win.
+    let cost = move |i: usize, s: usize| -> u64 { unit * (1 + ((i * 7 + s * 13) % 16) as u64) };
+
+    let mut t = Table::new(
+        "E3 futures vs barrier pipeline (native runtime)",
+        &["variant", "wall_us", "speedup_vs_barrier"],
+    );
+
+    // Barrier variant: one SGT per item per stage; a full join (the global
+    // synchronization point the paper complains about) between stages.
+    let barrier_us = {
+        let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+        let start = std::time::Instant::now();
+        for s in 0..stages {
+            let h = htvm.lgt(move |lgt| {
+                for i in 0..items {
+                    lgt.spawn_sgt(move |_| {
+                        std::hint::black_box(spin_work(cost(i, s) / 8));
+                    });
+                }
+            });
+            h.join();
+        }
+        start.elapsed().as_micros() as f64
+    };
+
+    // Future variant: each item's stages form an independent dataflow
+    // chain resolved into a future; no cross-item synchronization.
+    let future_us = {
+        let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+        let start = std::time::Instant::now();
+        let done: Vec<LitlFuture<u64>> = (0..items).map(|_| LitlFuture::unresolved()).collect();
+        let h = htvm.lgt({
+            let done = done.clone();
+            move |lgt| {
+                for (i, fut) in done.iter().enumerate() {
+                    let fut = fut.clone();
+                    lgt.spawn_sgt(move |_| {
+                        let mut acc = 0u64;
+                        for s in 0..stages {
+                            acc += std::hint::black_box(spin_work(cost(i, s) / 8)) as u64 + 1;
+                        }
+                        fut.resolve(acc);
+                    });
+                }
+            }
+        });
+        h.join();
+        for f in &done {
+            f.force();
+        }
+        start.elapsed().as_micros() as f64
+    };
+
+    t.row(&["barrier".to_string(), f2(barrier_us), f2(1.0)]);
+    t.row(&[
+        "futures".to_string(),
+        f2(future_us),
+        f2(barrier_us / future_us.max(1.0)),
+    ]);
+    t
+}
+
+/// E4 — percolation: stall reduction vs prestage depth (paper §3.2).
+pub fn e4_percolation(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E4 percolation: makespan vs prestage depth",
+        &["depth", "cycles", "speedup_vs_demand", "accesses"],
+    );
+    let tiles = scale.pick(16u64, 64);
+    let depths: Vec<u64> = scale.pick(vec![0, 1, 2, 4], vec![0, 1, 2, 3, 4, 6, 8]);
+    let mut demand = 0u64;
+    for &depth in &depths {
+        let mut cfg = MachineConfig::small();
+        cfg.hw_threads_per_unit = 16;
+        let mut e = Engine::new(cfg);
+        let plan = PercolationPlan {
+            src_base: GAddr::dram(0, 0),
+            tile_bytes: 4096,
+            tiles,
+            compute_per_tile: 120,
+            depth,
+        };
+        let k = PercolateKernel::new(plan, SignalId(500));
+        e.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, Box::new(k));
+        let s = e.run();
+        if depth == 0 {
+            demand = s.now;
+        }
+        t.row(&[
+            depth.to_string(),
+            s.now.to_string(),
+            f2(demand as f64 / s.now.max(1) as f64),
+            s.total_accesses().to_string(),
+        ]);
+    }
+    t
+}
+
+/// E5 — invocation/management cost of the three thread grains (paper
+/// §3.1.1's cost ordering), on the simulated machine.
+pub fn e5_spawn_costs(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E5 thread-grain costs: spawn+join round trip by class",
+        &["class", "cycles/spawn", "vs_tgt"],
+    );
+    let reps = scale.pick(20u64, 200);
+    let mut tgt_cost = 1f64;
+    for (class, name) in [
+        (SpawnClass::Tgt, "TGT (fiber)"),
+        (SpawnClass::Sgt, "SGT (threaded call)"),
+        (SpawnClass::Lgt, "LGT (coarse thread)"),
+    ] {
+        let mut e = Engine::new(MachineConfig::small());
+        let mut sigs = SignalAlloc::new();
+        let sig = sigs.fresh();
+        e.spawn(
+            Placement::Unit(0, 0),
+            SpawnClass::Lgt,
+            Box::new(SpawnPing::new(class, reps as usize, sig)),
+        );
+        let s = e.run();
+        let per = s.now as f64 / reps as f64;
+        if class == SpawnClass::Tgt {
+            tgt_cost = per;
+        }
+        t.row(&[name.to_string(), f2(per), f2(per / tgt_cost)]);
+    }
+    t
+}
+
+/// Helper: a boxed strided kernel (shared by benches).
+pub fn mem_kernel(iters: u64, compute: u64, offset: u64) -> Box<dyn SimThread> {
+    Box::new(strided_kernel(iters, compute, GAddr::dram(0, offset), 64, 8))
+}

@@ -1,0 +1,62 @@
+//! Experiment implementations (DESIGN.md §5; results in EXPERIMENTS.md).
+//!
+//! Each `eNN_*` function builds the workload, runs every configuration of
+//! its sweep, and returns a [`crate::Table`]. `Scale::Quick` shrinks the
+//! sweep for integration tests; `Scale::Full` is what the report binaries
+//! print.
+
+pub mod ablations;
+pub mod apps;
+pub mod machine;
+pub mod sched;
+
+pub use ablations::{
+    a1_switch_cost, a2_chunk_size, a3_percolation_grid, a4_grain_crossover, run_all_ablations,
+};
+pub use apps::{e14_neocortex, e15_md, e16_litlx};
+pub use machine::{e1_latency_tolerance, e2_parcels, e3_futures, e4_percolation, e5_spawn_costs};
+pub use sched::{
+    e10_locality, e11_latency_adapt, e12_hints, e13_monitor, e6_loop_sched, e7_ssp, e8_ssp_mt,
+    e9_load_balance,
+};
+
+/// Sweep size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sweep for tests (seconds).
+    Quick,
+    /// Full sweep for the report binaries.
+    Full,
+}
+
+impl Scale {
+    /// Pick `q` under Quick, `f` under Full.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+/// All experiments in order, for the `all` binary.
+pub fn run_all(scale: Scale) -> Vec<crate::Table> {
+    vec![
+        e1_latency_tolerance(scale),
+        e2_parcels(scale),
+        e3_futures(scale),
+        e4_percolation(scale),
+        e5_spawn_costs(scale),
+        e6_loop_sched(scale),
+        e7_ssp(scale),
+        e8_ssp_mt(scale),
+        e9_load_balance(scale),
+        e10_locality(scale),
+        e11_latency_adapt(scale),
+        e12_hints(scale),
+        e13_monitor(scale),
+        e14_neocortex(scale),
+        e15_md(scale),
+        e16_litlx(scale),
+    ]
+}

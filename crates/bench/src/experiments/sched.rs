@@ -1,0 +1,366 @@
+//! E6–E13: scheduling, adaptation, hints and monitoring experiments.
+
+use htvm_adapt::continuous::{ContinuousCompiler, PartialSchedule};
+use htvm_adapt::hints::{HintCategory, HintTarget, StructuredHint};
+use htvm_adapt::latency::{AdaptiveConcurrency, ContentionModel, HillClimber};
+use htvm_adapt::load::{simulate_load, LoadPolicy, LoadSimConfig};
+use htvm_adapt::locality::{
+    producer_consumer_trace, read_mostly_trace, replay, LocalityCosts, LocalityPolicy,
+};
+use htvm_adapt::loop_sched::{evaluate_schedule, CostModel, IterationCosts, ScheduleKind};
+use htvm_adapt::monitor::{Monitor, MonitorConfig};
+use htvm_ssp::ir::LoopNest;
+use htvm_ssp::partition::ThreadedSspModel;
+use htvm_ssp::ssp::{schedule_all_levels, schedule_level, select_level, sequential_cycles, SspConfig};
+
+use super::Scale;
+use crate::table::{f2, f3, Table};
+
+/// E6 — static vs dynamic loop scheduling across cost distributions
+/// (paper §3.3).
+pub fn e6_loop_sched(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E6 loop scheduling: makespan / imbalance / chunks by policy × distribution",
+        &["distribution", "policy", "makespan", "imbalance", "chunks"],
+    );
+    let n = scale.pick(400, 2_000);
+    let workers = 16;
+    let model = CostModel::default();
+    for dist in IterationCosts::ALL {
+        let costs = dist.generate(n, 100, 42);
+        for kind in ScheduleKind::PORTFOLIO {
+            let out = evaluate_schedule(kind, &costs, workers, &model);
+            t.row(&[
+                dist.name().to_string(),
+                kind.name(),
+                out.makespan.to_string(),
+                f3(out.imbalance),
+                out.chunks.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E7 — SSP level choice vs innermost-only modulo scheduling (paper §3.3).
+pub fn e7_ssp(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E7 SSP: per-level schedules (II / stages / modelled cycles)",
+        &[
+            "nest", "level", "II", "stages", "slice", "cycles", "vs_seq", "best",
+        ],
+    );
+    let d = scale.pick(8, 32) as u64;
+    let nests = vec![
+        LoopNest::matmul_like(d, d, d),
+        LoopNest::stencil_like(d, 4 * d),
+        LoopNest::elementwise(d, d),
+    ];
+    let cfg = SspConfig {
+        reuse_window: 4,
+        ..Default::default()
+    };
+    for nest in &nests {
+        let seq = sequential_cycles(nest);
+        let best = select_level(nest, &cfg).map(|p| p.level);
+        for plan in schedule_all_levels(nest, &cfg) {
+            t.row(&[
+                nest.name.clone(),
+                plan.level.to_string(),
+                plan.schedule.ii.to_string(),
+                plan.schedule.stages.to_string(),
+                plan.slice_len.to_string(),
+                plan.total_cycles.to_string(),
+                f2(seq as f64 / plan.total_cycles as f64),
+                if Some(plan.level) == best { "*" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E8 — SSP partitioned into threads: speedup vs thread count (paper §3.3's
+/// proposed ILP+TLP combination).
+pub fn e8_ssp_mt(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E8 SSP→threads: modelled speedup vs thread count",
+        &["nest", "threads", "per_thread_cycles", "total_cycles", "speedup"],
+    );
+    let d = scale.pick(32u64, 128);
+    let nest = LoopNest::matmul_like(d, 16, 16);
+    let cfg = SspConfig::default();
+    let plan = schedule_level(&nest, 0, &cfg).expect("outermost level pipelinable");
+    let inner: u64 = nest.trip_counts[1..].iter().product();
+    let threads: Vec<u64> = scale.pick(vec![1, 2, 4, 8], vec![1, 2, 4, 8, 16, 32, 64]);
+    for &th in &threads {
+        let m = ThreadedSspModel::evaluate(&plan, 1, d, inner, 2, th, 120);
+        t.row(&[
+            nest.name.clone(),
+            th.to_string(),
+            m.per_thread_cycles.to_string(),
+            m.total_cycles.to_string(),
+            f2(m.speedup),
+        ]);
+    }
+    // Wavefront-limited contrast: stencil time level.
+    let snest = LoopNest::stencil_like(d, 64);
+    let splan = schedule_level(&snest, 0, &cfg).expect("time level pipelinable");
+    for &th in &threads {
+        let m = ThreadedSspModel::evaluate(&splan, 1, d, 64, 2, th, 120);
+        t.row(&[
+            format!("{} (wavefront)", snest.name),
+            th.to_string(),
+            m.per_thread_cycles.to_string(),
+            m.total_cycles.to_string(),
+            f2(m.speedup),
+        ]);
+    }
+    t
+}
+
+/// E9 — dynamic load adaptation: migration policies under skew and phase
+/// change (paper §2).
+pub fn e9_load_balance(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E9 load adaptation: makespan / migrations by policy",
+        &["workload", "policy", "makespan", "migrations", "imbalance"],
+    );
+    let threads = scale.pick(256, 1024);
+    for (label, phase_change) in [("skewed", false), ("skew+phase-shift", true)] {
+        let cfg = LoadSimConfig {
+            threads,
+            phase_change,
+            ..Default::default()
+        };
+        for policy in LoadPolicy::PORTFOLIO {
+            let r = simulate_load(policy, &cfg);
+            t.row(&[
+                label.to_string(),
+                policy.name().to_string(),
+                r.makespan.to_string(),
+                r.migrations.to_string(),
+                f3(r.imbalance),
+            ]);
+        }
+    }
+    t
+}
+
+/// E10 — locality adaptation: migration/replication vs fixed placement
+/// (paper §2).
+pub fn e10_locality(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E10 locality adaptation: cycles / remote fraction by policy × trace",
+        &[
+            "trace",
+            "policy",
+            "cycles",
+            "remote_frac",
+            "migrations",
+            "replications",
+            "invalidations",
+        ],
+    );
+    let blocks = scale.pick(32u64, 128);
+    let run_len = scale.pick(30usize, 80);
+    let traces = vec![
+        (
+            "producer-consumer",
+            producer_consumer_trace(8, blocks, run_len, 0.3, 5),
+        ),
+        ("read-mostly", read_mostly_trace(8, blocks / 2, 8, 5)),
+    ];
+    for (label, trace) in &traces {
+        for policy in LocalityPolicy::PORTFOLIO {
+            let d = replay(policy, LocalityCosts::default(), trace);
+            let total = (d.local_hits + d.remote_accesses).max(1);
+            t.row(&[
+                label.to_string(),
+                policy.name().to_string(),
+                d.cycles.to_string(),
+                f3(d.remote_accesses as f64 / total as f64),
+                d.migrations.to_string(),
+                d.replications.to_string(),
+                d.invalidations.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E11 — latency adaptation: adaptive concurrency vs fixed settings while
+/// DRAM latency drifts (paper §2).
+///
+/// Utilization comes from the cache-pressure contention model
+/// ([`ContentionModel`]): more resident threads hide more latency but also
+/// miss more (shared on-chip SRAM) and saturate DRAM bandwidth, so the
+/// optimum concurrency is interior and moves with the latency — the thing
+/// a fixed setting cannot track. Strategies compared: fixed settings, the
+/// Little's-law target controller (latency-only — over-subscribes under
+/// contention), and measurement-driven hill climbing; "adaptive" (the hill
+/// climber) is the last row by contract with the shape tests.
+pub fn e11_latency_adapt(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E11 latency adaptation: mean utilization under latency drift",
+        &["strategy", "mean_utilization", "final_concurrency"],
+    );
+    let model = ContentionModel::default();
+    let max_c = 16;
+    // Latency drift schedule: calm → congested → calm.
+    let epochs: Vec<f64> = match scale {
+        Scale::Quick => {
+            let mut v = Vec::new();
+            for (l, reps) in [(100.0, 6), (800.0, 8), (200.0, 6)] {
+                v.extend(std::iter::repeat(l).take(reps));
+            }
+            v
+        }
+        Scale::Full => {
+            let mut v = Vec::new();
+            for &l in &[100.0, 200.0, 400.0, 800.0, 1200.0, 800.0, 400.0, 100.0] {
+                for _ in 0..12 {
+                    v.push(l);
+                }
+            }
+            v
+        }
+    };
+    // Fixed strategies.
+    for fixed in [1u32, 4, 8, 16] {
+        let mean: f64 = epochs
+            .iter()
+            .map(|&l| model.utilization(fixed, l))
+            .sum::<f64>()
+            / epochs.len() as f64;
+        t.row(&[format!("fixed({fixed})"), f3(mean), fixed.to_string()]);
+    }
+    // Little's-law controller: targets c = latency/service, blind to the
+    // bandwidth wall — the natural-but-wrong adaptation baseline.
+    let mut ll = AdaptiveConcurrency::new(2, max_c, model.service, 0.5);
+    let mut ll_sum = 0.0;
+    for &l in &epochs {
+        ll_sum += model.utilization(ll.concurrency, l);
+        ll.epoch(l);
+    }
+    t.row(&[
+        "littles-law".to_string(),
+        f3(ll_sum / epochs.len() as f64),
+        ll.concurrency.to_string(),
+    ]);
+    // Measurement-driven hill climbing (the paper's runtime adaptation).
+    let mut hc = HillClimber::new(2, max_c);
+    let mut hc_sum = 0.0;
+    for &l in &epochs {
+        let u = model.utilization(hc.concurrency, l);
+        hc_sum += u;
+        hc.epoch(u);
+    }
+    t.row(&[
+        "adaptive".to_string(),
+        f3(hc_sum / epochs.len() as f64),
+        hc.concurrency.to_string(),
+    ]);
+    t
+}
+
+/// E12 — structured hints prune the optimization search (paper §4.1).
+pub fn e12_hints(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E12 structured hints: search cost vs outcome quality",
+        &[
+            "workload",
+            "strategy",
+            "trials",
+            "search_cost",
+            "final_makespan",
+        ],
+    );
+    let n = scale.pick(400, 2_000);
+    let cases = [
+        ("decreasing", IterationCosts::Decreasing, "cost_trend", "monotonic"),
+        ("bimodal", IterationCosts::Bimodal, "cost_variance", "high"),
+    ];
+    for (label, dist, key, value) in cases {
+        let costs = dist.generate(n, 100, 21);
+        // Blind exhaustive.
+        let mut blind = ContinuousCompiler::new();
+        let b = blind.complete(
+            &PartialSchedule::full(label),
+            &costs,
+            16,
+            &CostModel::default(),
+        );
+        t.row(&[
+            label.to_string(),
+            "exhaustive".to_string(),
+            b.trials.to_string(),
+            b.search_cost.to_string(),
+            b.makespan.to_string(),
+        ]);
+        // Hinted.
+        let mut hinted = ContinuousCompiler::new();
+        hinted.kb.add_hint(
+            label,
+            StructuredHint::new(
+                HintCategory::ComputationPattern,
+                HintTarget::AdaptiveCompiler,
+                10,
+                [(key.to_string(), value.to_string())],
+            ),
+        );
+        let h = hinted.complete(
+            &PartialSchedule::full(label),
+            &costs,
+            16,
+            &CostModel::default(),
+        );
+        t.row(&[
+            label.to_string(),
+            "hinted".to_string(),
+            h.trials.to_string(),
+            h.search_cost.to_string(),
+            h.makespan.to_string(),
+        ]);
+        // Default (no search): static block.
+        let d = evaluate_schedule(ScheduleKind::StaticBlock, &costs, 16, &CostModel::default());
+        t.row(&[
+            label.to_string(),
+            "default(static)".to_string(),
+            "0".to_string(),
+            "0".to_string(),
+            d.makespan.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E13 — monitoring overhead vs sampling period (paper §4.2).
+pub fn e13_monitor(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E13 monitoring: overhead fraction vs sampling period",
+        &["period", "samples", "overhead_cycles", "overhead_frac"],
+    );
+    let run_cycles = scale.pick(200_000u64, 2_000_000);
+    let periods: Vec<u64> = scale.pick(vec![1_000, 10_000], vec![500, 1_000, 5_000, 10_000, 50_000, 100_000]);
+    for &period in &periods {
+        let m = Monitor::new(MonitorConfig {
+            period,
+            sample_cost: 200,
+        });
+        let c = m.metric("ops");
+        let mut taken = 0u64;
+        for now in (0..run_cycles).step_by(100) {
+            c.add(7);
+            if m.tick(now).is_some() {
+                taken += 1;
+            }
+        }
+        t.row(&[
+            period.to_string(),
+            taken.to_string(),
+            m.overhead().to_string(),
+            f3(m.overhead_fraction(run_cycles)),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,18 @@
+//! # htvm-bench — the experiment harness
+//!
+//! One module per experiment of the reproduction (see DESIGN.md §5 for the
+//! index and EXPERIMENTS.md for recorded results). Every experiment is a
+//! library function returning a [`table::Table`], so that
+//!
+//! * the `src/bin/eNN_*.rs` binaries print the full-scale table the paper
+//!   reproduction reports,
+//! * integration tests re-run the same code at reduced scale and assert
+//!   the *shape* of the result (who wins, where the crossover falls),
+//! * criterion benches time the hot kernels.
+//!
+//! Run everything with `cargo run -p htvm-bench --release --bin all`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

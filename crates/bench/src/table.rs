@@ -1,0 +1,134 @@
+//! Minimal aligned-ASCII table rendering for experiment reports.
+
+/// A simple table: header + rows, rendered with aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (experiment id + name).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringify everything).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of displayable items.
+    pub fn push<I: std::fmt::Display>(&mut self, cells: &[I]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Find a cell by row predicate and column name (tests).
+    pub fn cell(&self, col: &str, pred: impl Fn(&[String]) -> bool) -> Option<&str> {
+        let ci = self.header.iter().position(|h| h == col)?;
+        self.rows
+            .iter()
+            .find(|r| pred(r))
+            .and_then(|r| r.get(ci))
+            .map(String::as_str)
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// Parse a column as f64 (ignoring unparsable cells).
+    pub fn column_f64(&self, name: &str) -> Vec<f64> {
+        let Some(ci) = self.col(name) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r.get(ci).and_then(|c| c.parse().ok()))
+            .collect()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(c.len());
+                } else {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                line.push_str(&format!("{c:>w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.max(4)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push(&["a", "1"]);
+        t.push(&["long-name", "22"]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("long-name"));
+        assert_eq!(r.lines().count(), 5);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.push(&["x", "10"]);
+        t.push(&["y", "20"]);
+        assert_eq!(t.cell("v", |r| r[0] == "y"), Some("20"));
+        assert_eq!(t.cell("v", |r| r[0] == "z"), None);
+        assert_eq!(t.column_f64("v"), vec![10.0, 20.0]);
+    }
+}

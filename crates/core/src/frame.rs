@@ -1,0 +1,154 @@
+//! SGT frame storage.
+//!
+//! "An SGT invocation will have its own private frame storage, where its
+//! local state is stored. The TGTs within an SGT will share the frame
+//! storage of the enclosing SGT invocation" (§3.1.1). A [`Frame`] is a
+//! fixed-size array of 64-bit slots with typed accessors; TGTs of one graph
+//! read and write slots directly — the "registers under the compiler
+//! control" channel is modelled by the executor running fibers of one frame
+//! on a single worker, so plain slot accesses need no synchronization
+//! beyond the dataflow ordering enforced by the TGT graph.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size frame of 64-bit slots.
+///
+/// Slots are atomics so that *cross-frame* signalling code may also read
+/// them; within one TGT graph the dataflow order makes Relaxed sufficient.
+#[derive(Debug)]
+pub struct Frame {
+    slots: Box<[AtomicU64]>,
+}
+
+impl Frame {
+    /// A frame with `n` zeroed slots.
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        Self {
+            slots: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the frame has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Read slot `i` as raw bits.
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots[i].load(Ordering::Relaxed)
+    }
+
+    /// Write raw bits to slot `i`.
+    pub fn set(&self, i: usize, v: u64) {
+        self.slots[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Read slot `i` as an `f64`.
+    pub fn get_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.get(i))
+    }
+
+    /// Write an `f64` to slot `i`.
+    pub fn set_f64(&self, i: usize, v: f64) {
+        self.set(i, v.to_bits());
+    }
+
+    /// Read slot `i` as an `i64`.
+    pub fn get_i64(&self, i: usize) -> i64 {
+        self.get(i) as i64
+    }
+
+    /// Write an `i64` to slot `i`.
+    pub fn set_i64(&self, i: usize, v: i64) {
+        self.set(i, v as u64);
+    }
+
+    /// Atomically add to slot `i` interpreted as `u64`, returning the new
+    /// value (used by reduction fibers).
+    pub fn fetch_add(&self, i: usize, v: u64) -> u64 {
+        self.slots[i].fetch_add(v, Ordering::Relaxed) + v
+    }
+
+    /// Atomically add to slot `i` interpreted as `f64` (CAS loop), returning
+    /// the new value.
+    pub fn fetch_add_f64(&self, i: usize, v: f64) -> f64 {
+        let slot = &self.slots[i];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(cur) + v;
+            match slot.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copy all slots out (diagnostics).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let f = Frame::new(4);
+        f.set(0, 42);
+        assert_eq!(f.get(0), 42);
+        f.set_f64(1, -1.5);
+        assert_eq!(f.get_f64(1), -1.5);
+        f.set_i64(2, -7);
+        assert_eq!(f.get_i64(2), -7);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let f = Frame::new(1);
+        assert_eq!(f.fetch_add(0, 5), 5);
+        assert_eq!(f.fetch_add(0, 7), 12);
+    }
+
+    #[test]
+    fn fetch_add_f64_accumulates_concurrently() {
+        use std::sync::Arc;
+        let f = Arc::new(Frame::new(1));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        f.fetch_add_f64(0, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(f.get_f64(0), 4000.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let f = Frame::new(3);
+        f.set(1, 9);
+        assert_eq!(f.snapshot(), vec![0, 9, 0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Identifiers for the entities of the thread hierarchy.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u64);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a large-grain thread.
+    LgtId,
+    "lgt"
+);
+id_type!(
+    /// Identifier of a small-grain thread invocation.
+    SgtId,
+    "sgt"
+);
+id_type!(
+    /// Identifier of a tiny-grain thread (fiber) within a TGT graph.
+    TgtId,
+    "tgt"
+);
+id_type!(
+    /// Identifier of a native worker thread.
+    WorkerId,
+    "w"
+);
+
+/// A process-wide monotonic id generator (used for LGT/SGT ids so traces
+/// from concurrent spawns stay unique).
+#[derive(Debug, Default)]
+pub struct IdGen {
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// A generator starting at 0.
+    pub const fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Produce the next id.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(LgtId(3).to_string(), "lgt3");
+        assert_eq!(SgtId(7).to_string(), "sgt7");
+        assert_eq!(format!("{:?}", TgtId(0)), "tgt0");
+        assert_eq!(WorkerId(12).to_string(), "w12");
+    }
+
+    #[test]
+    fn idgen_is_monotonic() {
+        let g = IdGen::new();
+        let a = g.next();
+        let b = g.next();
+        assert!(b > a);
+    }
+}

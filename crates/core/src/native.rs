@@ -1,0 +1,513 @@
+//! The native work-stealing pool that executes SGTs on OS threads.
+//!
+//! Each worker owns a LIFO deque (good locality for the spawn-subtree it is
+//! working on); spawns from outside workers go to a global injector; idle
+//! workers steal FIFO from peers — the classic Cilk/EARTH discipline the
+//! paper's SGT level inherits. Work stealing doubles as the *dynamic load
+//! adaptation* mechanism of §2 at the SGT grain: threads migrate to idle
+//! units automatically.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::ids::WorkerId;
+
+type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
+
+/// Per-worker counters, readable after the run.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+/// A snapshot of pool activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed per worker.
+    pub executed: Vec<u64>,
+    /// Jobs obtained by stealing, per worker.
+    pub stolen: Vec<u64>,
+    /// Jobs that panicked (contained; the worker survives).
+    pub panics: u64,
+}
+
+impl PoolStats {
+    /// Total jobs executed.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Total steals.
+    pub fn total_stolen(&self) -> u64 {
+        self.stolen.iter().sum()
+    }
+
+    /// Coefficient of variation of per-worker executed counts — the load
+    /// imbalance measure used by the experiments (0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.executed.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.total_executed() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .executed
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    counters: Vec<WorkerCounters>,
+    /// Jobs spawned but not yet finished (includes currently-running).
+    active: AtomicUsize,
+    /// Jobs whose body panicked (the unwind is contained per job).
+    panics: AtomicU64,
+    shutdown: AtomicBool,
+    /// Sleep/wake coordination for idle workers.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Quiescence coordination for `wait_quiescent`.
+    quiet_lock: Mutex<()>,
+    quiet_cv: Condvar,
+}
+
+/// Execution context handed to every SGT body.
+pub struct WorkerCtx<'a> {
+    shared: &'a Arc<Shared>,
+    deque: &'a Deque<Job>,
+    /// This worker's id.
+    pub id: WorkerId,
+}
+
+impl<'a> WorkerCtx<'a> {
+    /// Spawn a child job onto this worker's own deque (LIFO — depth-first,
+    /// cache-friendly; stealable by idle peers).
+    pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        self.deque.push(Box::new(job));
+        self.shared.wake_one();
+    }
+
+    /// Spawn to the global injector (round-robin start point; used when the
+    /// spawner wants to *avoid* keeping the work local).
+    pub fn spawn_global(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        self.shared.injector.push(Box::new(job));
+        self.shared.wake_all();
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.shared.stealers.len()
+    }
+}
+
+impl Shared {
+    fn wake_one(&self) {
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_one();
+    }
+
+    fn wake_all(&self) {
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+
+    fn job_finished(&self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.quiet_lock.lock();
+            self.quiet_cv.notify_all();
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spin up `workers` OS threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let deques: Vec<Deque<Job>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let counters = (0..workers).map(|_| WorkerCounters::default()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            counters,
+            active: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            quiet_lock: Mutex::new(()),
+            quiet_cv: Condvar::new(),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("htvm-worker-{i}"))
+                    .spawn(move || worker_loop(i, deque, shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Spawn a job from outside the pool.
+    pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        self.shared.injector.push(Box::new(job));
+        self.shared.wake_all();
+    }
+
+    /// Block until every spawned job (including transitively spawned
+    /// children) has finished.
+    pub fn wait_quiescent(&self) {
+        let mut g = self.shared.quiet_lock.lock();
+        while self.shared.active.load(Ordering::Acquire) != 0 {
+            self.shared.quiet_cv.wait(&mut g);
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// Current activity snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            executed: self
+                .shared
+                .counters
+                .iter()
+                .map(|c| c.executed.load(Ordering::Relaxed))
+                .collect(),
+            stolen: self
+                .shared
+                .counters
+                .iter()
+                .map(|c| c.stolen.load(Ordering::Relaxed))
+                .collect(),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Failed full work-search cycles an idle worker tolerates (yielding the
+/// CPU each time) before it parks on the condvar. Bulk-synchronous codes
+/// re-spawn work within a phase's tail (tens to hundreds of µs); parking
+/// there would pay a full futex wake (itself tens to hundreds of µs on
+/// virtualized hosts) per phase. Spinning-then-parking is the standard
+/// work-stealing discipline (cf. rayon/Cilk); each cycle yields, so the
+/// spin donates its core whenever anything else is runnable.
+const IDLE_SPINS_BEFORE_PARK: u32 = 512;
+
+fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
+    let ctx = WorkerCtx {
+        shared: &shared,
+        deque: &deque,
+        id: WorkerId(index as u64),
+    };
+    let mut idle_spins = 0u32;
+    loop {
+        // 1. Local work first (LIFO).
+        if let Some(job) = deque.pop() {
+            idle_spins = 0;
+            run_job(&shared, index, &ctx, job, false);
+            continue;
+        }
+        // 2. Global injector.
+        match shared.injector.steal_batch_and_pop(&deque) {
+            crossbeam::deque::Steal::Success(job) => {
+                idle_spins = 0;
+                run_job(&shared, index, &ctx, job, false);
+                continue;
+            }
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => {}
+        }
+        // 3. Steal from peers, starting after self (FIFO victim side).
+        let n = shared.stealers.len();
+        let mut stolen = None;
+        'victims: for off in 1..n {
+            let v = (index + off) % n;
+            loop {
+                match shared.stealers[v].steal() {
+                    crossbeam::deque::Steal::Success(job) => {
+                        stolen = Some(job);
+                        break 'victims;
+                    }
+                    crossbeam::deque::Steal::Retry => continue,
+                    crossbeam::deque::Steal::Empty => break,
+                }
+            }
+        }
+        if let Some(job) = stolen {
+            idle_spins = 0;
+            run_job(&shared, index, &ctx, job, true);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // 4. Nothing anywhere: spin politely for a while (new work usually
+        // arrives at phase boundaries within microseconds), then park.
+        idle_spins += 1;
+        if idle_spins < IDLE_SPINS_BEFORE_PARK {
+            std::thread::yield_now();
+            continue;
+        }
+        idle_spins = 0;
+        let mut g = shared.sleep_lock.lock();
+        // Re-check under the lock to avoid missed wakeups.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.active.load(Ordering::Acquire) == 0 || work_invisible(&shared, &deque) {
+            shared
+                .sleep_cv
+                .wait_for(&mut g, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+/// Cheap check that no work is visible to this worker right now. May
+/// spuriously say "true" under contention; the bounded `wait_for` above
+/// keeps that harmless.
+fn work_invisible(shared: &Shared, deque: &Deque<Job>) -> bool {
+    deque.is_empty() && shared.injector.is_empty()
+}
+
+fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, was_steal: bool) {
+    let c = &shared.counters[index];
+    c.executed.fetch_add(1, Ordering::Relaxed);
+    if was_steal {
+        c.stolen.fetch_add(1, Ordering::Relaxed);
+    }
+    // Contain panics to the job: an unwinding body must not take down the
+    // worker (the pool would silently lose a fraction of its parallelism)
+    // nor leak the active count (wait_quiescent would hang forever).
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(ctx))).is_err() {
+        shared.panics.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.job_finished();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = Pool::new(4);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.stats().total_executed(), 100);
+    }
+
+    #[test]
+    fn nested_spawns_are_awaited() {
+        let pool = Pool::new(4);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let done = done.clone();
+            pool.spawn(move |ctx| {
+                for _ in 0..10 {
+                    let done = done.clone();
+                    ctx.spawn(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn deep_recursion_completes() {
+        let pool = Pool::new(4);
+        let done = Arc::new(AtomicU64::new(0));
+        fn rec(depth: u32, ctx: &WorkerCtx, done: Arc<AtomicU64>) {
+            if depth == 0 {
+                done.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            for _ in 0..2 {
+                let done = done.clone();
+                ctx.spawn(move |c| rec(depth - 1, c, done));
+            }
+        }
+        let d2 = done.clone();
+        pool.spawn(move |ctx| rec(10, ctx, d2));
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 1024);
+    }
+
+    #[test]
+    fn work_spreads_across_workers() {
+        let pool = Pool::new(4);
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        for _ in 0..400 {
+            let seen = seen.clone();
+            pool.spawn(move |ctx| {
+                // A little spinning makes single-worker monopoly unlikely.
+                std::hint::black_box((0..1000).sum::<u64>());
+                seen.lock().insert(ctx.id);
+            });
+        }
+        pool.wait_quiescent();
+        assert!(
+            seen.lock().len() >= 2,
+            "expected at least two workers to participate"
+        );
+    }
+
+    #[test]
+    fn stealing_happens_under_skewed_spawning() {
+        let pool = Pool::new(4);
+        // One root job spawns all the work locally; others must steal.
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.spawn(move |ctx| {
+            for _ in 0..200 {
+                let d = d.clone();
+                ctx.spawn(move |_| {
+                    std::hint::black_box((0..5000).sum::<u64>());
+                    d.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 200);
+        assert!(
+            pool.stats().total_stolen() > 0,
+            "peers should have stolen from the busy worker"
+        );
+    }
+
+    #[test]
+    fn wait_quiescent_with_no_work_returns() {
+        let pool = Pool::new(2);
+        pool.wait_quiescent();
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly() {
+        let pool = Pool::new(3);
+        pool.spawn(|_| {});
+        pool.wait_quiescent();
+        drop(pool);
+    }
+
+    #[test]
+    fn imbalance_metric_behaves() {
+        let s = PoolStats {
+            executed: vec![10, 10, 10, 10],
+            stolen: vec![0; 4],
+            panics: 0,
+        };
+        assert!(s.imbalance() < 1e-9);
+        let s2 = PoolStats {
+            executed: vec![40, 0, 0, 0],
+            stolen: vec![0; 4],
+            panics: 0,
+        };
+        assert!(s2.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_hang_quiescence() {
+        let pool = Pool::new(2);
+        pool.spawn(|_| panic!("injected failure"));
+        pool.wait_quiescent();
+        assert_eq!(pool.stats().panics, 1);
+    }
+
+    #[test]
+    fn pool_survives_panics_and_keeps_working() {
+        let pool = Pool::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..50 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                if i % 5 == 0 {
+                    panic!("injected failure {i}");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 40);
+        assert_eq!(pool.stats().panics, 10);
+        // All workers are still alive and accept new work.
+        for _ in 0..10 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn children_of_panicking_job_still_run() {
+        let pool = Pool::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.spawn(move |ctx| {
+            for _ in 0..8 {
+                let d = d.clone();
+                ctx.spawn(move |_| {
+                    d.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            panic!("parent fails after spawning");
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(pool.stats().panics, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! LGT private memory for the native runtime.
+//!
+//! The HTVM memory model gives each LGT "its own private memory space" that
+//! the SGTs it invokes can all see (§3.1.1). On the native runtime this is a
+//! [`SharedRegion`]: a word-granularity memory area that many SGTs may read
+//! and write concurrently without locks (every word is an atomic). It plays
+//! the role that the simulated runtime gives to scratchpad/on-chip regions
+//! addressed through `htvm_sim::GAddr`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A lock-free, word-addressed memory region shared by the SGTs of one LGT.
+#[derive(Debug, Clone)]
+pub struct SharedRegion {
+    words: Arc<Box<[AtomicU64]>>,
+}
+
+impl SharedRegion {
+    /// A zeroed region of `n` 64-bit words.
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        Self {
+            words: Arc::new(v.into_boxed_slice()),
+        }
+    }
+
+    /// Build from `f64` data.
+    pub fn from_f64(data: &[f64]) -> Self {
+        let r = Self::new(data.len());
+        for (i, &x) in data.iter().enumerate() {
+            r.write_f64(i, x);
+        }
+        r
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the region is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read word `i`.
+    pub fn read(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Write word `i`.
+    pub fn write(&self, i: usize, v: u64) {
+        self.words[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Read word `i` as `f64`.
+    pub fn read_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.read(i))
+    }
+
+    /// Write word `i` as `f64`.
+    pub fn write_f64(&self, i: usize, v: f64) {
+        self.write(i, v.to_bits());
+    }
+
+    /// Atomic add on word `i` (u64), returning the previous value.
+    pub fn fetch_add(&self, i: usize, v: u64) -> u64 {
+        self.words[i].fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Atomic add on word `i` interpreted as `f64` (CAS loop).
+    pub fn fetch_add_f64(&self, i: usize, v: f64) {
+        let w = &self.words[i];
+        let mut cur = w.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match w.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copy out as `f64`s.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.read_f64(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_f64() {
+        let r = SharedRegion::from_f64(&[1.0, 2.5, -3.0]);
+        assert_eq!(r.read_f64(1), 2.5);
+        r.write_f64(1, 7.25);
+        assert_eq!(r.to_f64_vec(), vec![1.0, 7.25, -3.0]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn clones_alias_the_same_memory() {
+        let a = SharedRegion::new(2);
+        let b = a.clone();
+        a.write(0, 99);
+        assert_eq!(b.read(0), 99);
+    }
+
+    #[test]
+    fn concurrent_f64_adds_do_not_lose_updates() {
+        let r = SharedRegion::new(1);
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        r.fetch_add_f64(0, 0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(r.read_f64(0), 2000.0);
+    }
+}

@@ -1,0 +1,469 @@
+//! The `Htvm` facade: the thread hierarchy over the native pool.
+//!
+//! * [`Htvm::lgt`] starts a large-grain thread: it gets private memory (a
+//!   [`SharedRegion`]) and a completion handle.
+//! * [`LgtCtx::spawn_sgt`] invokes a small-grain thread: a stealable job
+//!   with its own [`Frame`]; it sees the LGT memory through the context.
+//! * [`SgtCtx::tgt_graph`] runs a tiny-grain thread graph inline, sharing
+//!   the SGT frame.
+//!
+//! Completion tracking is dataflow, not fork-join: each LGT keeps an
+//! outstanding-SGT counter and fires an [`IVar`] when it drains, so joining
+//! an LGT never blocks a pool worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::frame::Frame;
+use crate::ids::{IdGen, LgtId, SgtId};
+use crate::native::{Pool, PoolStats, WorkerCtx};
+use crate::region::SharedRegion;
+use crate::sync::IVar;
+use crate::tgt::TgtGraph;
+
+/// Configuration of the native HTVM runtime.
+#[derive(Debug, Clone)]
+pub struct HtvmConfig {
+    /// Worker threads of the SGT pool. Defaults to the number of available
+    /// CPUs.
+    pub workers: usize,
+    /// Words of private memory given to each LGT.
+    pub lgt_memory_words: usize,
+    /// Slots in each SGT frame.
+    pub frame_slots: usize,
+}
+
+impl Default for HtvmConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            lgt_memory_words: 1 << 16,
+            frame_slots: 16,
+        }
+    }
+}
+
+impl HtvmConfig {
+    /// A config with a specific worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+struct LgtShared {
+    id: LgtId,
+    memory: SharedRegion,
+    /// Outstanding SGTs + 1 for the LGT body itself.
+    outstanding: AtomicU64,
+    done: IVar<()>,
+    sgt_ids: IdGen,
+    frame_slots: usize,
+}
+
+impl LgtShared {
+    fn retire_one(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.put(());
+        }
+    }
+}
+
+/// Retires one outstanding count on drop — including during unwinding, so
+/// a panicking LGT/SGT body (contained by the pool) cannot leak the count
+/// and wedge [`LgtHandle::join`] forever.
+struct RetireGuard(Arc<LgtShared>);
+
+impl Drop for RetireGuard {
+    fn drop(&mut self) {
+        self.0.retire_one();
+    }
+}
+
+/// The native HTVM runtime.
+pub struct Htvm {
+    pool: Arc<Pool>,
+    cfg: HtvmConfig,
+    lgt_ids: IdGen,
+}
+
+impl Htvm {
+    /// Start the runtime.
+    pub fn new(cfg: HtvmConfig) -> Self {
+        Self {
+            pool: Arc::new(Pool::new(cfg.workers)),
+            cfg,
+            lgt_ids: IdGen::new(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Pool activity counters (steals double as migration counts).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Invoke a large-grain thread. The body runs on the pool; use the
+    /// returned handle to join.
+    pub fn lgt<F>(&self, body: F) -> LgtHandle
+    where
+        F: FnOnce(&LgtCtx) + Send + 'static,
+    {
+        let shared = Arc::new(LgtShared {
+            id: LgtId(self.lgt_ids.next()),
+            memory: SharedRegion::new(self.cfg.lgt_memory_words),
+            outstanding: AtomicU64::new(1),
+            done: IVar::new(),
+            sgt_ids: IdGen::new(),
+            frame_slots: self.cfg.frame_slots,
+        });
+        let handle = LgtHandle {
+            shared: shared.clone(),
+        };
+        self.pool.spawn(move |worker| {
+            let _retire = RetireGuard(shared.clone());
+            let ctx = LgtCtx {
+                shared: &shared,
+                worker,
+            };
+            body(&ctx);
+        });
+        handle
+    }
+
+    /// Run a body as an LGT and join it (convenience).
+    pub fn run_lgt<F>(&self, body: F)
+    where
+        F: FnOnce(&LgtCtx) + Send + 'static,
+    {
+        self.lgt(body).join();
+    }
+}
+
+/// Join handle of a large-grain thread.
+pub struct LgtHandle {
+    shared: Arc<LgtShared>,
+}
+
+impl LgtHandle {
+    /// The LGT's id.
+    pub fn id(&self) -> LgtId {
+        self.shared.id
+    }
+
+    /// Block until the LGT body and every SGT it (transitively) spawned
+    /// have completed.
+    ///
+    /// Spins briefly before blocking: phase-structured callers join at a
+    /// cadence of a few hundred microseconds, and a full blocking wake
+    /// costs that much by itself on virtualized hosts.
+    pub fn join(&self) {
+        for _ in 0..256 {
+            if self.shared.done.is_full() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        self.shared.done.get();
+    }
+
+    /// Non-blocking completion probe.
+    pub fn is_done(&self) -> bool {
+        self.shared.done.is_full()
+    }
+
+    /// The LGT's private memory (valid after or during the run).
+    pub fn memory(&self) -> SharedRegion {
+        self.shared.memory.clone()
+    }
+}
+
+/// Context visible to an LGT body.
+pub struct LgtCtx<'a> {
+    shared: &'a Arc<LgtShared>,
+    worker: &'a WorkerCtx<'a>,
+}
+
+impl<'a> LgtCtx<'a> {
+    /// The LGT's id.
+    pub fn id(&self) -> LgtId {
+        self.shared.id
+    }
+
+    /// The LGT's private memory, visible to all of its SGTs (§3.1.1: "a
+    /// group of SGTs invoked from an LGT will see the private memory of the
+    /// LGT").
+    pub fn memory(&self) -> &SharedRegion {
+        &self.shared.memory
+    }
+
+    /// Invoke a small-grain thread.
+    pub fn spawn_sgt<F>(&self, body: F)
+    where
+        F: FnOnce(&SgtCtx) + Send + 'static,
+    {
+        spawn_sgt_impl(self.shared, self.worker, body, false);
+    }
+
+    /// Invoke an SGT via the global queue (no locality preference) — used
+    /// when the spawner knows the work should spread immediately.
+    pub fn spawn_sgt_spread<F>(&self, body: F)
+    where
+        F: FnOnce(&SgtCtx) + Send + 'static,
+    {
+        spawn_sgt_impl(self.shared, self.worker, body, true);
+    }
+
+    /// Number of pool workers (for partitioning decisions).
+    pub fn workers(&self) -> usize {
+        self.worker.workers()
+    }
+}
+
+fn spawn_sgt_impl<F>(shared: &Arc<LgtShared>, worker: &WorkerCtx<'_>, body: F, spread: bool)
+where
+    F: FnOnce(&SgtCtx) + Send + 'static,
+{
+    shared.outstanding.fetch_add(1, Ordering::AcqRel);
+    let shared = shared.clone();
+    let job = move |w: &WorkerCtx<'_>| {
+        let _retire = RetireGuard(shared.clone());
+        let frame = Frame::new(shared.frame_slots);
+        let ctx = SgtCtx {
+            shared: &shared,
+            worker: w,
+            frame,
+            id: SgtId(shared.sgt_ids.next()),
+        };
+        body(&ctx);
+    };
+    if spread {
+        worker.spawn_global(job);
+    } else {
+        worker.spawn(job);
+    }
+}
+
+/// Context visible to an SGT body.
+pub struct SgtCtx<'a> {
+    shared: &'a Arc<LgtShared>,
+    worker: &'a WorkerCtx<'a>,
+    /// This invocation's private frame.
+    pub frame: Frame,
+    id: SgtId,
+}
+
+impl<'a> SgtCtx<'a> {
+    /// This SGT invocation's id.
+    pub fn id(&self) -> SgtId {
+        self.id
+    }
+
+    /// The enclosing LGT's private memory.
+    pub fn memory(&self) -> &SharedRegion {
+        &self.shared.memory
+    }
+
+    /// Spawn a sibling/child SGT (same LGT).
+    pub fn spawn_sgt<F>(&self, body: F)
+    where
+        F: FnOnce(&SgtCtx) + Send + 'static,
+    {
+        spawn_sgt_impl(self.shared, self.worker, body, false);
+    }
+
+    /// Spawn a sibling/child SGT via the global queue (no locality
+    /// preference) — the SGT-level analogue of [`LgtCtx::spawn_sgt_spread`].
+    pub fn spawn_sgt_spread<F>(&self, body: F)
+    where
+        F: FnOnce(&SgtCtx) + Send + 'static,
+    {
+        spawn_sgt_impl(self.shared, self.worker, body, true);
+    }
+
+    /// Build a TGT graph whose fibers share a fresh frame of `slots` slots;
+    /// run it inline with [`TgtGraph::run`].
+    pub fn tgt_graph(&self, slots: usize) -> TgtGraph {
+        TgtGraph::new(slots)
+    }
+
+    /// Worker id executing this SGT (affinity diagnostics).
+    pub fn worker_id(&self) -> crate::ids::WorkerId {
+        self.worker.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Htvm {
+        Htvm::new(HtvmConfig::with_workers(4))
+    }
+
+    #[test]
+    fn lgt_join_waits_for_all_sgts() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            for i in 0..64 {
+                let mem = mem.clone();
+                lgt.spawn_sgt(move |_| {
+                    mem.fetch_add(i % 8, 1);
+                });
+            }
+        });
+        h.join();
+        let mem = h.memory();
+        let total: u64 = (0..8).map(|i| mem.read(i)).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn nested_sgt_spawns_are_tracked() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            for _ in 0..4 {
+                let mem = mem.clone();
+                lgt.spawn_sgt(move |sgt| {
+                    for _ in 0..4 {
+                        let mem = mem.clone();
+                        sgt.spawn_sgt(move |_| {
+                            mem.fetch_add(0, 1);
+                        });
+                    }
+                });
+            }
+        });
+        h.join();
+        assert_eq!(h.memory().read(0), 16);
+    }
+
+    #[test]
+    fn sgts_see_lgt_private_memory() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            lgt.memory().write(5, 123);
+            let mem = lgt.memory().clone();
+            lgt.spawn_sgt(move |sgt| {
+                let v = sgt.memory().read(5);
+                mem.write(6, v * 2);
+            });
+        });
+        h.join();
+        assert_eq!(h.memory().read(6), 246);
+    }
+
+    #[test]
+    fn tgt_graph_runs_inside_sgt() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            lgt.spawn_sgt(move |sgt| {
+                let mut g = sgt.tgt_graph(2);
+                let a = g.fiber(|c| c.frame.set(0, 20));
+                let b = g.fiber(|c| c.frame.set(1, c.frame.get(0) + 1));
+                g.depends(b, a);
+                let frame = g.run();
+                mem.write(0, frame.get(1));
+            });
+        });
+        h.join();
+        assert_eq!(h.memory().read(0), 21);
+    }
+
+    #[test]
+    fn two_lgts_have_disjoint_memory() {
+        let htvm = rt();
+        let h1 = htvm.lgt(|lgt| lgt.memory().write(0, 1));
+        let h2 = htvm.lgt(|lgt| lgt.memory().write(0, 2));
+        h1.join();
+        h2.join();
+        assert_eq!(h1.memory().read(0), 1);
+        assert_eq!(h2.memory().read(0), 2);
+        assert_ne!(h1.id(), h2.id());
+    }
+
+    #[test]
+    fn is_done_transitions() {
+        let htvm = rt();
+        let h = htvm.lgt(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+        // Not a strict guarantee, but 20 ms is far beyond spawn latency.
+        h.join();
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn run_lgt_convenience() {
+        let htvm = rt();
+        htvm.run_lgt(|lgt| {
+            lgt.memory().write(0, 7);
+        });
+    }
+
+    #[test]
+    fn panicking_sgt_does_not_wedge_join() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            lgt.spawn_sgt(|_| panic!("injected SGT failure"));
+            lgt.spawn_sgt(move |_| {
+                mem.fetch_add(0, 1);
+            });
+        });
+        h.join(); // must return despite the panic
+        assert_eq!(h.memory().read(0), 1, "sibling SGT still ran");
+        assert_eq!(htvm.pool_stats().panics, 1);
+    }
+
+    #[test]
+    fn panicking_lgt_body_does_not_wedge_join() {
+        let htvm = rt();
+        let h = htvm.lgt(|_| panic!("injected LGT failure"));
+        h.join();
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn sgt_spread_from_sgt_completes() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            lgt.spawn_sgt(move |sgt| {
+                for _ in 0..16 {
+                    let mem = mem.clone();
+                    sgt.spawn_sgt_spread(move |_| {
+                        mem.fetch_add(0, 1);
+                    });
+                }
+            });
+        });
+        h.join();
+        assert_eq!(h.memory().read(0), 16);
+    }
+
+    #[test]
+    fn spread_spawns_complete() {
+        let htvm = rt();
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            for _ in 0..32 {
+                let mem = mem.clone();
+                lgt.spawn_sgt_spread(move |_| {
+                    mem.fetch_add(0, 1);
+                });
+            }
+        });
+        h.join();
+        assert_eq!(h.memory().read(0), 32);
+    }
+}

@@ -1,0 +1,368 @@
+//! The simulated HTVM runtime: hierarchy patterns over `htvm-sim`.
+//!
+//! Experiments that must control machine parameters (memory latency, unit
+//! counts, spawn costs) run the thread hierarchy on the function-accurate
+//! simulator instead of the native pool. This module provides the mapping:
+//! spawn-with-class effects, completion signalling, and the fork/join and
+//! fan-out shapes the workloads are built from.
+
+use htvm_sim::{
+    Cycle, Effect, Engine, NodeId, OnArrive, Placement, SignalId, SimThread, SpawnClass, Stats,
+    TaskCtx,
+};
+
+/// Wraps a task so that a signal fires when it completes — the simulated
+/// analogue of an SGT writing its completion into the parent's sync slot.
+pub struct SignalOnDone<T> {
+    inner: T,
+    sig: SignalId,
+    signalled: bool,
+}
+
+impl<T: SimThread> SignalOnDone<T> {
+    /// Wrap `inner`, signalling `sig` once on completion.
+    pub fn new(inner: T, sig: SignalId) -> Self {
+        Self {
+            inner,
+            sig,
+            signalled: false,
+        }
+    }
+}
+
+impl<T: SimThread> SimThread for SignalOnDone<T> {
+    fn resume(&mut self, ctx: &mut TaskCtx) -> Effect {
+        if self.signalled {
+            return Effect::Done;
+        }
+        match self.inner.resume(ctx) {
+            Effect::Done => {
+                self.signalled = true;
+                Effect::Signal(self.sig, 1)
+            }
+            other => other,
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// A parent thread that spawns `n` children and waits for all of them —
+/// the LGT-invokes-SGT-group shape of §3.1.1, with per-class costs charged
+/// by the engine.
+pub struct FanOut {
+    factory: Box<dyn FnMut(usize) -> Box<dyn SimThread> + Send>,
+    n: usize,
+    class: SpawnClass,
+    placement: Box<dyn FnMut(usize) -> Placement + Send>,
+    sig: SignalId,
+    spawned: usize,
+    joined: usize,
+    done_sig: Option<SignalId>,
+    finished: bool,
+}
+
+impl FanOut {
+    /// Fan out `n` children of `class`, produced by `factory(i)` and placed
+    /// by `placement(i)`. `sig` must be unique to this fan-out.
+    pub fn new(
+        n: usize,
+        class: SpawnClass,
+        sig: SignalId,
+        placement: impl FnMut(usize) -> Placement + Send + 'static,
+        factory: impl FnMut(usize) -> Box<dyn SimThread> + Send + 'static,
+    ) -> Self {
+        Self {
+            factory: Box::new(factory),
+            n,
+            class,
+            placement: Box::new(placement),
+            sig,
+            spawned: 0,
+            joined: 0,
+            done_sig: None,
+            finished: false,
+        }
+    }
+
+    /// Also signal `sig` (e.g. a grand-parent's slot) when the join
+    /// completes.
+    pub fn signal_when_done(mut self, sig: SignalId) -> Self {
+        self.done_sig = Some(sig);
+        self
+    }
+}
+
+impl SimThread for FanOut {
+    fn resume(&mut self, _ctx: &mut TaskCtx) -> Effect {
+        if self.spawned < self.n {
+            let i = self.spawned;
+            self.spawned += 1;
+            let child = (self.factory)(i);
+            return Effect::Spawn {
+                task: Box::new(SignalOnDone {
+                    inner: child,
+                    sig: self.sig,
+                    signalled: false,
+                }),
+                place: (self.placement)(i),
+                class: self.class,
+            };
+        }
+        if self.joined < self.n {
+            self.joined += 1;
+            return Effect::Wait(self.sig);
+        }
+        if let Some(sig) = self.done_sig.take() {
+            return Effect::Signal(sig, 1);
+        }
+        if self.finished {
+            return Effect::Done;
+        }
+        self.finished = true;
+        Effect::Done
+    }
+
+    fn label(&self) -> &str {
+        "fan-out"
+    }
+}
+
+/// Unique signal ids for runtime-internal synchronization: user code should
+/// allocate its own ids well below this range.
+pub const RUNTIME_SIGNAL_BASE: u64 = 1 << 48;
+
+/// Allocator for runtime-internal [`SignalId`]s.
+#[derive(Debug, Default)]
+pub struct SignalAlloc {
+    next: u64,
+}
+
+impl SignalAlloc {
+    /// Start allocating at [`RUNTIME_SIGNAL_BASE`].
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// A fresh signal id.
+    pub fn fresh(&mut self) -> SignalId {
+        let id = SignalId(RUNTIME_SIGNAL_BASE + self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// Run a single LGT on `node` that fans out the given SGT kernels over the
+/// node's units (round-robin) and joins them. Returns the run statistics.
+///
+/// This is the simulated analogue of [`crate::Htvm::run_lgt`] +
+/// [`crate::LgtCtx::spawn_sgt`] and the primary shape used by E1/E5/E14.
+pub fn run_lgt_fanout(
+    engine: &mut Engine,
+    node: NodeId,
+    kernels: Vec<Box<dyn SimThread>>,
+) -> Stats {
+    let mut sigs = SignalAlloc::new();
+    let sig = sigs.fresh();
+    let units = engine.config().units_per_node;
+    let mut kernels: Vec<Option<Box<dyn SimThread>>> = kernels.into_iter().map(Some).collect();
+    let n = kernels.len();
+    let lgt = FanOut::new(
+        n,
+        SpawnClass::Sgt,
+        sig,
+        move |i| Placement::Unit(node, (i % units as usize) as u16),
+        move |i| kernels[i].take().expect("each kernel is used once"),
+    );
+    engine.spawn(Placement::Unit(node, 0), SpawnClass::Lgt, Box::new(lgt));
+    engine.run()
+}
+
+/// Spawn a ping task that spawns one child of `class` and waits for it,
+/// `reps` times; used by the spawn-cost microbenchmark (E5).
+pub struct SpawnPing {
+    class: SpawnClass,
+    reps: usize,
+    sig: SignalId,
+    state: u8,
+    i: usize,
+}
+
+impl SpawnPing {
+    /// `reps` spawn+join round trips of `class`, joined through `sig`.
+    pub fn new(class: SpawnClass, reps: usize, sig: SignalId) -> Self {
+        Self {
+            class,
+            reps,
+            sig,
+            state: 0,
+            i: 0,
+        }
+    }
+}
+
+impl SimThread for SpawnPing {
+    fn resume(&mut self, _ctx: &mut TaskCtx) -> Effect {
+        if self.i >= self.reps {
+            return Effect::Done;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                let sig = self.sig;
+                let mut fired = false;
+                Effect::Spawn {
+                    task: Box::new(move |_: &mut TaskCtx| {
+                        if fired {
+                            Effect::Done
+                        } else {
+                            fired = true;
+                            Effect::Signal(sig, 1)
+                        }
+                    }),
+                    place: Placement::Local,
+                    class: self.class,
+                }
+            }
+            _ => {
+                self.state = 0;
+                self.i += 1;
+                Effect::Wait(self.sig)
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "spawn-ping"
+    }
+}
+
+/// Parcel helper: send a task to `dst`, where it runs with SGT costs; the
+/// caller can wait on `ack`.
+pub fn parcel_effect(dst: NodeId, payload_bytes: u32, task: Box<dyn SimThread>) -> Effect {
+    Effect::Send {
+        dst,
+        size: payload_bytes,
+        action: OnArrive::Spawn(task, Placement::Node(dst), SpawnClass::Sgt),
+    }
+}
+
+/// Makespan of running `kernels` fanned out over one node (convenience).
+pub fn fanout_makespan(engine: &mut Engine, node: NodeId, kernels: Vec<Box<dyn SimThread>>) -> Cycle {
+    run_lgt_fanout(engine, node, kernels).now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_sim::{compute_task, MachineConfig};
+
+    #[test]
+    fn fanout_joins_all_children() {
+        let mut e = Engine::new(MachineConfig::small());
+        let kernels: Vec<Box<dyn SimThread>> =
+            (0..8).map(|_| Box::new(compute_task(100)) as Box<dyn SimThread>).collect();
+        let stats = run_lgt_fanout(&mut e, 0, kernels);
+        // 8 SGTs + 1 LGT.
+        assert_eq!(stats.tasks_completed, 9);
+        assert_eq!(stats.spawned(SpawnClass::Sgt), 8);
+        assert_eq!(stats.spawned(SpawnClass::Lgt), 1);
+    }
+
+    #[test]
+    fn fanout_parallelizes_over_units() {
+        let mk = |n: usize| {
+            let mut e = Engine::new(MachineConfig::small());
+            let kernels: Vec<Box<dyn SimThread>> = (0..n)
+                .map(|_| Box::new(compute_task(10_000)) as Box<dyn SimThread>)
+                .collect();
+            fanout_makespan(&mut e, 0, kernels)
+        };
+        let one = mk(1);
+        let four = mk(4); // 4 units available: should run concurrently
+        assert!(
+            four < one * 2,
+            "4 equal kernels on 4 units should not take 4x: one={one}, four={four}"
+        );
+    }
+
+    #[test]
+    fn spawn_ping_rounds_complete() {
+        let mut e = Engine::new(MachineConfig::small());
+        let mut sigs = SignalAlloc::new();
+        let sig = sigs.fresh();
+        e.spawn(
+            Placement::Unit(0, 0),
+            SpawnClass::Lgt,
+            Box::new(SpawnPing::new(SpawnClass::Tgt, 10, sig)),
+        );
+        let s = e.run();
+        assert_eq!(s.spawned(SpawnClass::Tgt), 10);
+        assert_eq!(s.tasks_completed, 11);
+    }
+
+    #[test]
+    fn spawn_ping_cost_ordering_matches_hierarchy() {
+        let cost = |class: SpawnClass| {
+            let mut e = Engine::new(MachineConfig::small());
+            let mut sigs = SignalAlloc::new();
+            let sig = sigs.fresh();
+            e.spawn(
+                Placement::Unit(0, 0),
+                SpawnClass::Lgt,
+                Box::new(SpawnPing::new(class, 20, sig)),
+            );
+            e.run().now
+        };
+        let lgt = cost(SpawnClass::Lgt);
+        let sgt = cost(SpawnClass::Sgt);
+        let tgt = cost(SpawnClass::Tgt);
+        assert!(lgt > sgt && sgt > tgt, "lgt={lgt} sgt={sgt} tgt={tgt}");
+    }
+
+    #[test]
+    fn parcel_effect_runs_at_destination() {
+        let mut cfg = MachineConfig::small();
+        cfg.nodes = 2;
+        let mut e = Engine::new(cfg);
+        let sig = SignalId(5);
+        let mut step = 0;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            step += 1;
+            match step {
+                1 => {
+                    let mut fired = false;
+                    parcel_effect(
+                        1,
+                        128,
+                        Box::new(move |ctx: &mut TaskCtx| {
+                            assert_eq!(ctx.node, 1);
+                            if fired {
+                                Effect::Done
+                            } else {
+                                fired = true;
+                                Effect::Signal(sig, 1)
+                            }
+                        }),
+                    )
+                }
+                2 => Effect::Wait(sig),
+                _ => Effect::Done,
+            }
+        });
+        let s = e.run();
+        assert_eq!(s.parcels, 1);
+        assert_eq!(s.tasks_completed, 2);
+    }
+
+    #[test]
+    fn signal_alloc_is_unique_and_high() {
+        let mut a = SignalAlloc::new();
+        let s1 = a.fresh();
+        let s2 = a.fresh();
+        assert_ne!(s1, s2);
+        assert!(s1.0 >= RUNTIME_SIGNAL_BASE);
+    }
+}

@@ -1,0 +1,472 @@
+//! The HTVM synchronization model: dataflow-style primitives.
+//!
+//! The paper's synchronization model calls for "synchronization constructs
+//! for data-flow style operations" (§3.2). Following EARTH — the SGT/TGT
+//! ancestor the authors cite — the base primitive is the **sync slot**: a
+//! counter initialized to the number of inputs a computation waits for;
+//! every data arrival signals the slot; when the count reaches zero the
+//! associated continuation is *enabled* (here: executed or enqueued). All
+//! higher-level constructs (futures, barriers, atomic sections) reduce to
+//! sync slots plus write-once cells.
+
+use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// An EARTH-style sync slot: fires its continuation exactly once, when
+/// `count` signals have arrived.
+///
+/// The continuation runs on the thread that delivers the final signal —
+/// matching EARTH, where the fiber enabled by the last sync signal is
+/// enqueued by the signalling processor.
+pub struct SyncSlot {
+    remaining: AtomicIsize,
+    action: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl SyncSlot {
+    /// A slot that fires after `count` signals. `count == 0` fires
+    /// immediately at construction... except that there is no continuation
+    /// yet, so zero-count slots fire on `set_action`.
+    pub fn new(count: usize) -> Arc<Self> {
+        Arc::new(Self {
+            remaining: AtomicIsize::new(count as isize),
+            action: Mutex::new(None),
+        })
+    }
+
+    /// A slot with its continuation attached.
+    pub fn with_action(count: usize, action: impl FnOnce() + Send + 'static) -> Arc<Self> {
+        let slot = Self::new(count);
+        slot.set_action(action);
+        slot
+    }
+
+    /// Attach (or replace, if not yet fired) the continuation. If the count
+    /// already reached zero, the action runs immediately on this thread.
+    pub fn set_action(self: &Arc<Self>, action: impl FnOnce() + Send + 'static) {
+        {
+            let mut slot = self.action.lock();
+            *slot = Some(Box::new(action));
+        }
+        if self.remaining.load(Ordering::Acquire) <= 0 {
+            self.try_fire();
+        }
+    }
+
+    /// Deliver one signal. Returns `true` if this signal enabled the
+    /// continuation.
+    pub fn signal(self: &Arc<Self>) -> bool {
+        self.signal_n(1)
+    }
+
+    /// Deliver `n` signals at once.
+    pub fn signal_n(self: &Arc<Self>, n: usize) -> bool {
+        let prev = self.remaining.fetch_sub(n as isize, Ordering::AcqRel);
+        if prev > 0 && prev <= n as isize {
+            self.try_fire();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Signals still outstanding (may be negative if over-signalled).
+    pub fn outstanding(&self) -> isize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    fn try_fire(&self) {
+        let action = self.action.lock().take();
+        if let Some(f) = action {
+            f();
+        }
+    }
+}
+
+impl std::fmt::Debug for SyncSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSlot")
+            .field("remaining", &self.outstanding())
+            .finish()
+    }
+}
+
+/// A write-once cell with dataflow readers — the substrate of LITL-X
+/// futures ("eager producer-consumer computing, with efficient localized
+/// buffering of requests at the site of the needed values", §3.2).
+///
+/// Readers that arrive before the value either block ([`IVar::get`]) or
+/// leave a continuation buffered *at the cell* ([`IVar::on_full`]) — the
+/// localized request buffering of the paper (an I-structure in dataflow
+/// terms).
+pub struct IVar<T> {
+    state: Mutex<IVarState<T>>,
+    ready: Condvar,
+}
+
+enum IVarState<T> {
+    Empty {
+        waiters: Vec<Box<dyn FnOnce(&T) + Send>>,
+    },
+    // Arc so continuations can run with no lock held (a continuation may
+    // re-enter this very cell).
+    Full(Arc<T>),
+}
+
+impl<T> Default for IVar<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IVar<T> {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(IVarState::Empty {
+                waiters: Vec::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Fill the cell. Panics on double write (single-assignment semantics).
+    /// All buffered continuations run on the filling thread, in arrival
+    /// order, with no lock held.
+    pub fn put(&self, value: T) {
+        let value = Arc::new(value);
+        let waiters = {
+            let mut st = self.state.lock();
+            match &mut *st {
+                IVarState::Full(_) => panic!("IVar::put: double write to single-assignment cell"),
+                IVarState::Empty { waiters } => {
+                    let taken = std::mem::take(waiters);
+                    *st = IVarState::Full(value.clone());
+                    taken
+                }
+            }
+        };
+        self.ready.notify_all();
+        for w in waiters {
+            w(&value);
+        }
+    }
+
+    /// True once the cell has been written.
+    pub fn is_full(&self) -> bool {
+        matches!(&*self.state.lock(), IVarState::Full(_))
+    }
+
+    /// Read the value if present.
+    pub fn try_get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        match &*self.state.lock() {
+            IVarState::Full(v) => Some((**v).clone()),
+            IVarState::Empty { .. } => None,
+        }
+    }
+
+    /// Block until the value is available. Intended for LGT-level code; SGT
+    /// code should prefer [`IVar::on_full`] to avoid occupying a worker.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        let mut st = self.state.lock();
+        loop {
+            if let IVarState::Full(v) = &*st {
+                return (**v).clone();
+            }
+            self.ready.wait(&mut st);
+        }
+    }
+
+    /// Run `f` with the value once available: immediately if already full,
+    /// otherwise buffered at the cell and run by the producer on `put`.
+    /// Either way `f` runs with no internal lock held.
+    pub fn on_full(&self, f: impl FnOnce(&T) + Send + 'static) {
+        let mut f = Some(f);
+        let full = {
+            let mut st = self.state.lock();
+            match &mut *st {
+                IVarState::Full(v) => Some(v.clone()),
+                IVarState::Empty { waiters } => {
+                    waiters.push(Box::new(f.take().expect("continuation present")));
+                    None
+                }
+            }
+        };
+        if let Some(v) = full {
+            (f.take().expect("continuation present"))(&v);
+        }
+    }
+
+    /// Number of buffered (deferred) readers.
+    pub fn deferred_readers(&self) -> usize {
+        match &*self.state.lock() {
+            IVarState::Empty { waiters } => waiters.len(),
+            IVarState::Full(_) => 0,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for IVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IVar").field("full", &self.is_full()).finish()
+    }
+}
+
+/// A reusable counting barrier for LGT-level phases.
+///
+/// The paper lists "synchronous global barriers" among the productivity
+/// problems it wants to *limit*; this type exists mostly as the baseline
+/// that the dataflow experiments beat.
+pub struct PoolBarrier {
+    parties: usize,
+    arrived: Mutex<(usize, u64)>, // (count, generation)
+    cv: Condvar,
+}
+
+impl PoolBarrier {
+    /// A barrier for `parties` participants.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Self {
+            parties,
+            arrived: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arrive and wait for all parties. Returns `true` on the serial
+    /// (last-arriving) participant.
+    pub fn wait(&self) -> bool {
+        let mut st = self.arrived.lock();
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.parties {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            while st.1 == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+/// A monotone event counter with blocking threshold waits; handy for tests
+/// and for the monitor.
+#[derive(Debug, Default)]
+pub struct EventCount {
+    count: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl EventCount {
+    /// Zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment and wake waiters.
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::AcqRel);
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Block until the counter reaches `target`.
+    pub fn wait_for(&self, target: u64) {
+        let mut g = self.lock.lock();
+        while self.count.load(Ordering::Acquire) < target {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sync_slot_fires_exactly_once() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = SyncSlot::with_action(3, {
+            let fired = fired.clone();
+            move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(!slot.signal());
+        assert!(!slot.signal());
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert!(slot.signal());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Over-signalling must not re-fire.
+        assert!(!slot.signal());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sync_slot_zero_count_fires_on_attach() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = SyncSlot::new(0);
+        slot.set_action({
+            let fired = fired.clone();
+            move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sync_slot_signal_n_batches() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = SyncSlot::with_action(10, {
+            let fired = fired.clone();
+            move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(!slot.signal_n(9));
+        assert!(slot.signal_n(5));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sync_slot_concurrent_signals_fire_once() {
+        for _ in 0..50 {
+            let fired = Arc::new(AtomicUsize::new(0));
+            let slot = SyncSlot::with_action(8, {
+                let fired = fired.clone();
+                move || {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let slot = slot.clone();
+                    std::thread::spawn(move || {
+                        slot.signal();
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(fired.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn ivar_buffers_deferred_readers() {
+        let iv: IVar<u32> = IVar::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let seen = seen.clone();
+            iv.on_full(move |v| {
+                seen.fetch_add(*v as usize, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(iv.deferred_readers(), 3);
+        iv.put(5);
+        assert_eq!(seen.load(Ordering::SeqCst), 15);
+        assert_eq!(iv.deferred_readers(), 0);
+        // Late reader runs immediately.
+        let seen2 = seen.clone();
+        iv.on_full(move |v| {
+            seen2.fetch_add(*v as usize, Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "double write")]
+    fn ivar_rejects_double_put() {
+        let iv: IVar<u32> = IVar::new();
+        iv.put(1);
+        iv.put(2);
+    }
+
+    #[test]
+    fn ivar_blocking_get_sees_producer() {
+        let iv = Arc::new(IVar::<u64>::new());
+        let reader = {
+            let iv = iv.clone();
+            std::thread::spawn(move || iv.get())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        iv.put(42);
+        assert_eq!(reader.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn barrier_releases_all_parties() {
+        let b = Arc::new(PoolBarrier::new(4));
+        let serials = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                let serials = serials.clone();
+                std::thread::spawn(move || {
+                    if b.wait() {
+                        serials.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(serials.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let b = Arc::new(PoolBarrier::new(2));
+        let h = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    b.wait();
+                }
+            })
+        };
+        for _ in 0..10 {
+            b.wait();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn event_count_wait_for() {
+        let ec = Arc::new(EventCount::new());
+        let h = {
+            let ec = ec.clone();
+            std::thread::spawn(move || {
+                ec.wait_for(5);
+                ec.get()
+            })
+        };
+        for _ in 0..5 {
+            ec.add(1);
+        }
+        assert!(h.join().unwrap() >= 5);
+    }
+}

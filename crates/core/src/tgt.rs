@@ -1,0 +1,206 @@
+//! Tiny-grain threads: the TGT graph executor.
+//!
+//! TGTs are EARTH fibers / CARE strands: non-preemptive code blocks that
+//! share the frame of their enclosing SGT invocation and are enabled by
+//! dataflow signals. "The partition of TGTs and their resource usage (e.g.,
+//! registers) are done by automatic thread partitioning" (§3.1.1) — in this
+//! library the partition is expressed by the programmer or by the LITL-X
+//! interpreter as an explicit [`TgtGraph`]: fibers plus dependence arcs.
+//!
+//! The executor runs all fibers of one graph on the *current* worker
+//! (TGTs never migrate — they are too fine-grained to be worth moving,
+//! which is exactly why the hierarchy distinguishes them from SGTs), in
+//! dependence order, ready-stack LIFO, so a chain of dependent fibers runs
+//! back-to-back with its values still in "registers" (the frame).
+
+use crate::frame::Frame;
+
+/// Handle to a fiber within a [`TgtGraph`] (index into the graph).
+pub type FiberId = usize;
+
+/// Context passed to each running fiber.
+pub struct TgtCtx<'a> {
+    /// The enclosing SGT invocation's frame, shared by all fibers.
+    pub frame: &'a Frame,
+    /// Id of the running fiber.
+    pub id: FiberId,
+}
+
+type FiberFn = Box<dyn FnOnce(&TgtCtx) + Send>;
+
+struct FiberNode {
+    body: Option<FiberFn>,
+    /// Number of unsatisfied input dependences (EARTH sync count).
+    sync_count: usize,
+    /// Fibers signalled when this one completes.
+    out: Vec<FiberId>,
+}
+
+/// A dataflow graph of tiny-grain threads over one shared [`Frame`].
+pub struct TgtGraph {
+    frame: Frame,
+    fibers: Vec<FiberNode>,
+}
+
+impl TgtGraph {
+    /// A graph whose fibers share a frame of `frame_slots` slots.
+    pub fn new(frame_slots: usize) -> Self {
+        Self {
+            frame: Frame::new(frame_slots),
+            fibers: Vec::new(),
+        }
+    }
+
+    /// The shared frame (e.g. to seed inputs before running).
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Add a fiber with no dependences yet.
+    pub fn fiber(&mut self, body: impl FnOnce(&TgtCtx) + Send + 'static) -> FiberId {
+        let id = self.fibers.len();
+        self.fibers.push(FiberNode {
+            body: Some(Box::new(body)),
+            sync_count: 0,
+            out: Vec::new(),
+        });
+        id
+    }
+
+    /// Declare that `to` depends on (is signalled by) `from`.
+    pub fn depends(&mut self, to: FiberId, from: FiberId) {
+        assert!(from < self.fibers.len() && to < self.fibers.len());
+        assert_ne!(from, to, "a fiber cannot depend on itself");
+        self.fibers[from].out.push(to);
+        self.fibers[to].sync_count += 1;
+    }
+
+    /// Number of fibers.
+    pub fn len(&self) -> usize {
+        self.fibers.len()
+    }
+
+    /// True if no fibers have been added.
+    pub fn is_empty(&self) -> bool {
+        self.fibers.is_empty()
+    }
+
+    /// Run the whole graph to completion on the current thread, consuming
+    /// it and returning the frame with all outputs.
+    ///
+    /// Panics if the dependence graph has a cycle (some fiber never
+    /// becomes ready).
+    pub fn run(mut self) -> Frame {
+        let mut ready: Vec<FiberId> =
+            (0..self.fibers.len()).filter(|&i| self.fibers[i].sync_count == 0).collect();
+        // LIFO: freshly-enabled dependents run immediately after their
+        // producer, while the produced values are hot.
+        let mut executed = 0usize;
+        while let Some(id) = ready.pop() {
+            let body = self.fibers[id].body.take().expect("fiber runs once");
+            {
+                let ctx = TgtCtx {
+                    frame: &self.frame,
+                    id,
+                };
+                body(&ctx);
+            }
+            executed += 1;
+            let outs = std::mem::take(&mut self.fibers[id].out);
+            for to in outs {
+                let f = &mut self.fibers[to];
+                f.sync_count -= 1;
+                if f.sync_count == 0 {
+                    ready.push(to);
+                }
+            }
+        }
+        assert_eq!(
+            executed,
+            self.fibers.len(),
+            "TGT graph has a dependence cycle: {} of {} fibers ran",
+            executed,
+            self.fibers.len()
+        );
+        self.frame
+    }
+}
+
+impl std::fmt::Debug for TgtGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TgtGraph")
+            .field("fibers", &self.fibers.len())
+            .field("frame_slots", &self.frame.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_dependence_order() {
+        let mut g = TgtGraph::new(3);
+        // f0: slot0 = 2 ; f1: slot1 = slot0 * 10 ; f2: slot2 = slot1 + 1
+        let f0 = g.fiber(|c| c.frame.set(0, 2));
+        let f1 = g.fiber(|c| c.frame.set(1, c.frame.get(0) * 10));
+        let f2 = g.fiber(|c| c.frame.set(2, c.frame.get(1) + 1));
+        g.depends(f1, f0);
+        g.depends(f2, f1);
+        let frame = g.run();
+        assert_eq!(frame.get(2), 21);
+    }
+
+    #[test]
+    fn diamond_joins_both_inputs() {
+        let mut g = TgtGraph::new(4);
+        let a = g.fiber(|c| c.frame.set(0, 3));
+        let b = g.fiber(|c| c.frame.set(1, c.frame.get(0) + 1));
+        let d = g.fiber(|c| c.frame.set(2, c.frame.get(0) * 2));
+        let j = g.fiber(|c| c.frame.set(3, c.frame.get(1) + c.frame.get(2)));
+        g.depends(b, a);
+        g.depends(d, a);
+        g.depends(j, b);
+        g.depends(j, d);
+        let frame = g.run();
+        assert_eq!(frame.get(3), 4 + 6);
+    }
+
+    #[test]
+    fn independent_fibers_all_run() {
+        let mut g = TgtGraph::new(8);
+        for i in 0..8 {
+            g.fiber(move |c| c.frame.set(i, i as u64 + 1));
+        }
+        let frame = g.run();
+        assert_eq!(frame.snapshot(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_is_detected() {
+        let mut g = TgtGraph::new(1);
+        let a = g.fiber(|_| {});
+        let b = g.fiber(|_| {});
+        g.depends(a, b);
+        g.depends(b, a);
+        g.run();
+    }
+
+    #[test]
+    fn seeded_frame_inputs_are_visible() {
+        let mut g = TgtGraph::new(2);
+        g.frame().set(0, 41);
+        g.fiber(|c| c.frame.set(1, c.frame.get(0) + 1));
+        let frame = g.run();
+        assert_eq!(frame.get(1), 42);
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = TgtGraph::new(0);
+        let frame = g.run();
+        assert!(frame.is_empty());
+    }
+}

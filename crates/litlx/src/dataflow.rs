@@ -1,0 +1,223 @@
+//! Dataflow-style memory operations: full/empty-bit regions.
+//!
+//! EARTH and the HTMT lineage attach presence bits to memory words so that
+//! reads synchronize with the write that produces the datum — "data-flow
+//! style operations" (§3.2). [`FeRegion`] pairs a word region with
+//! full/empty bits and continuation buffering per word: a deferred read is
+//! parked at the word and run by the writer (the same localized-buffering
+//! discipline as futures, at memory-word granularity).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htvm_core::SharedRegion;
+use parking_lot::{Condvar, Mutex};
+
+type Waiter = Box<dyn FnOnce(u64) + Send>;
+
+/// A word-addressed region with full/empty presence bits.
+pub struct FeRegion {
+    data: SharedRegion,
+    /// Bitmask of full words, 64 words per mask entry.
+    full: Vec<AtomicU64>,
+    waiters: Mutex<HashMap<usize, Vec<Waiter>>>,
+    cv: Condvar,
+}
+
+impl FeRegion {
+    /// An all-empty region of `n` words.
+    pub fn new(n: usize) -> Self {
+        Self {
+            data: SharedRegion::new(n),
+            full: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            waiters: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the region has no words.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Presence of word `i`.
+    pub fn is_full(&self, i: usize) -> bool {
+        self.full[i / 64].load(Ordering::Acquire) & (1 << (i % 64)) != 0
+    }
+
+    fn set_full(&self, i: usize) -> bool {
+        let prev = self.full[i / 64].fetch_or(1 << (i % 64), Ordering::AcqRel);
+        prev & (1 << (i % 64)) == 0
+    }
+
+    /// Write word `i` and flip it to full. Panics if already full
+    /// (single-assignment per word; use [`FeRegion::reset`] between phases).
+    pub fn write_full(&self, i: usize, v: u64) {
+        self.data.write(i, v);
+        // Flip the presence bit and collect waiters under the same lock that
+        // readers use to park, so no deferred read can slip between the two.
+        let ws = {
+            let mut map = self.waiters.lock();
+            assert!(
+                self.set_full(i),
+                "write_full: word {i} already full (dataflow single-assignment)"
+            );
+            map.remove(&i)
+        };
+        self.cv.notify_all();
+        // Run deferred readers outside the map lock.
+        if let Some(ws) = ws {
+            for w in ws {
+                w(v);
+            }
+        }
+    }
+
+    /// Non-blocking synchronizing read.
+    pub fn try_read(&self, i: usize) -> Option<u64> {
+        if self.is_full(i) {
+            Some(self.data.read(i))
+        } else {
+            None
+        }
+    }
+
+    /// Dataflow read: run `f(value)` now if full, else defer at the word.
+    pub fn read_when_full(&self, i: usize, f: impl FnOnce(u64) + Send + 'static) {
+        {
+            let mut map = self.waiters.lock();
+            if !self.is_full(i) {
+                map.entry(i).or_default().push(Box::new(f));
+                return;
+            }
+        }
+        f(self.data.read(i));
+    }
+
+    /// Blocking synchronizing read (LGT-level code only).
+    pub fn read_blocking(&self, i: usize) -> u64 {
+        let mut map = self.waiters.lock();
+        while !self.is_full(i) {
+            self.cv.wait(&mut map);
+        }
+        self.data.read(i)
+    }
+
+    /// Deferred readers parked on word `i`.
+    pub fn deferred_on(&self, i: usize) -> usize {
+        self.waiters.lock().get(&i).map_or(0, |v| v.len())
+    }
+
+    /// Empty all presence bits (phase reset). Values remain readable as raw
+    /// data but no longer satisfy synchronizing reads.
+    pub fn reset(&self) {
+        for m in &self.full {
+            m.store(0, Ordering::Release);
+        }
+    }
+
+    /// Raw (non-synchronizing) access to the underlying data.
+    pub fn data(&self) -> &SharedRegion {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for FeRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let full = (0..self.len()).filter(|&i| self.is_full(i)).count();
+        f.debug_struct("FeRegion")
+            .field("words", &self.len())
+            .field("full", &full)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn write_then_read() {
+        let r = FeRegion::new(8);
+        assert!(!r.is_full(3));
+        assert_eq!(r.try_read(3), None);
+        r.write_full(3, 99);
+        assert!(r.is_full(3));
+        assert_eq!(r.try_read(3), Some(99));
+        assert_eq!(r.read_blocking(3), 99);
+    }
+
+    #[test]
+    fn deferred_read_runs_on_write() {
+        let r = FeRegion::new(4);
+        let seen = Arc::new(Counter::new(0));
+        let s = seen.clone();
+        r.read_when_full(0, move |v| {
+            s.store(v, Ordering::SeqCst);
+        });
+        assert_eq!(r.deferred_on(0), 1);
+        assert_eq!(seen.load(Ordering::SeqCst), 0);
+        r.write_full(0, 7);
+        assert_eq!(seen.load(Ordering::SeqCst), 7);
+        assert_eq!(r.deferred_on(0), 0);
+    }
+
+    #[test]
+    fn read_after_write_is_immediate() {
+        let r = FeRegion::new(2);
+        r.write_full(1, 5);
+        let seen = Arc::new(Counter::new(0));
+        let s = seen.clone();
+        r.read_when_full(1, move |v| {
+            s.store(v + 1, Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already full")]
+    fn double_write_panics() {
+        let r = FeRegion::new(1);
+        r.write_full(0, 1);
+        r.write_full(0, 2);
+    }
+
+    #[test]
+    fn reset_clears_presence() {
+        let r = FeRegion::new(1);
+        r.write_full(0, 9);
+        r.reset();
+        assert!(!r.is_full(0));
+        // After reset the word can be written again.
+        r.write_full(0, 10);
+        assert_eq!(r.try_read(0), Some(10));
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_producer() {
+        let r = Arc::new(FeRegion::new(1));
+        let rr = r.clone();
+        let h = std::thread::spawn(move || rr.read_blocking(0));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        r.write_full(0, 123);
+        assert_eq!(h.join().unwrap(), 123);
+    }
+
+    #[test]
+    fn presence_bits_span_many_words() {
+        let r = FeRegion::new(200);
+        for i in (0..200).step_by(7) {
+            r.write_full(i, i as u64);
+        }
+        for i in 0..200 {
+            assert_eq!(r.is_full(i), i % 7 == 0, "word {i}");
+        }
+    }
+}

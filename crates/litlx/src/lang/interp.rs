@@ -1,0 +1,983 @@
+//! The LITL-X interpreter: executes programs on the native HTVM runtime.
+//!
+//! Mapping of language constructs onto the execution model:
+//!
+//! * a program run is one **LGT** ([`htvm_core::Htvm::lgt`]);
+//! * `forall` bodies and `spawn` blocks become **SGTs** — the spawning
+//!   thread participates in its own loop (helping), so loops finish even on
+//!   a single worker;
+//! * `future`/`force` lower onto [`crate::future::LitlFuture`];
+//! * `atomic { … }` blocks serialize through the interpreter's atomic
+//!   domain;
+//! * `@hint` pragmas choose the `forall` schedule (`static`, `chunk`,
+//!   `guided`) — the language-level face of the paper's loop-parallelism
+//!   adaptation.
+//!
+//! Shared-variable semantics inside `forall` follow the usual parallel-loop
+//! rule: arrays are shared (element writes race only if the program makes
+//! them race), scalars assigned inside an iteration are last-writer-wins.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use htvm_core::{Htvm, HtvmConfig, SharedRegion};
+use parking_lot::Mutex;
+
+use super::ast::{BinOp, Expr, FnDef, Hint, Program, Stmt};
+use super::profile::{ForallProfile, ProfileState};
+use crate::future::LitlFuture;
+
+/// A runtime value.
+#[derive(Clone)]
+pub enum Value {
+    /// A number (LITL-X is f64-only, like the pseudo-code of Fig. 3).
+    Num(f64),
+    /// An array of f64, aliased across scopes and threads.
+    Arr(SharedRegion),
+    /// An unresolved or resolved future of a number.
+    Fut(LitlFuture<f64>),
+    /// No value.
+    Unit,
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "Num({n})"),
+            Value::Arr(a) => write!(f, "Arr(len={})", a.len()),
+            Value::Fut(x) => write!(f, "Fut(resolved={})", x.is_resolved()),
+            Value::Unit => write!(f, "Unit"),
+        }
+    }
+}
+
+impl Value {
+    fn as_num(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            Value::Fut(_) => Err(format!("{what}: got an unforced future; apply force(…)")),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<SharedRegion, String> {
+        match self {
+            Value::Arr(a) => Ok(a.clone()),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn truthy(&self) -> bool {
+        matches!(self, Value::Num(n) if *n != 0.0)
+    }
+}
+
+/// Lexical environment: a chain of shared frames. Cloning shares frames
+/// (child scopes see parent bindings; parallel bodies snapshot the chain).
+#[derive(Clone, Default)]
+struct Env {
+    frames: Vec<Arc<Mutex<HashMap<String, Value>>>>,
+}
+
+impl Env {
+    fn child(&self) -> Env {
+        let mut e = self.clone();
+        e.frames.push(Arc::new(Mutex::new(HashMap::new())));
+        e
+    }
+
+    fn define(&self, name: &str, v: Value) {
+        self.frames
+            .last()
+            .expect("env has a frame")
+            .lock()
+            .insert(name.to_string(), v);
+    }
+
+    fn get(&self, name: &str) -> Option<Value> {
+        for f in self.frames.iter().rev() {
+            if let Some(v) = f.lock().get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn assign(&self, name: &str, v: Value) -> bool {
+        for f in self.frames.iter().rev() {
+            let mut g = f.lock();
+            if let Some(slot) = g.get_mut(name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Shared interpreter state across all threads of one run.
+struct Shared {
+    program: Program,
+    printed: Mutex<Vec<String>>,
+    error: Mutex<Option<String>>,
+    atomic_gate: Mutex<()>,
+    sgt_spawns: AtomicU64,
+    workers: usize,
+    /// When set, the run is a sequential *profiled* run: every AST node
+    /// evaluated bumps the meter, `forall` records per-iteration costs,
+    /// and `spawn`/`future` execute inline (see `lang::profile`).
+    profile: Option<Arc<ProfileState>>,
+}
+
+impl Shared {
+    fn fail(&self, msg: String) {
+        let mut e = self.error.lock();
+        if e.is_none() {
+            *e = Some(msg);
+        }
+    }
+}
+
+/// Result of a program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Lines produced by `print(...)`, in program order per thread
+    /// (cross-thread order is scheduling-dependent).
+    pub printed: Vec<String>,
+    /// Number of SGTs the run spawned (forall chunks, spawn blocks,
+    /// futures).
+    pub sgt_spawns: u64,
+}
+
+/// The LITL-X interpreter.
+pub struct Interp {
+    htvm: Htvm,
+    workers: usize,
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+impl Interp {
+    /// An interpreter over a fresh HTVM runtime with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            htvm: Htvm::new(HtvmConfig::with_workers(workers)),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Run `main` (no arguments). Returns printed output or the first
+    /// runtime error.
+    pub fn run(&self, program: &Program) -> Result<RunOutput, String> {
+        self.run_inner(program, None).map(|(out, _)| out)
+    }
+
+    /// Run `main` sequentially under the instruction meter, recording the
+    /// per-iteration cost vector of every `forall` (§4.2's monitor feeding
+    /// §3.3's continuous compilation). Output is identical to [`Interp::run`]
+    /// for deterministic programs.
+    pub fn profile(&self, program: &Program) -> Result<(RunOutput, Vec<ForallProfile>), String> {
+        let state = Arc::new(ProfileState::new());
+        let (out, st) = self.run_inner(program, Some(state))?;
+        let profiles = st.expect("profile state present").foralls.lock().clone();
+        Ok((out, profiles))
+    }
+
+    fn run_inner(
+        &self,
+        program: &Program,
+        profile: Option<Arc<ProfileState>>,
+    ) -> Result<(RunOutput, Option<Arc<ProfileState>>), String> {
+        if program.get_fn("main").is_none() {
+            return Err("program has no `main` function".to_string());
+        }
+        let shared = Arc::new(Shared {
+            program: program.clone(),
+            printed: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+            atomic_gate: Mutex::new(()),
+            sgt_spawns: AtomicU64::new(0),
+            workers: self.workers,
+            profile,
+        });
+        let sh = shared.clone();
+        let handle = self.htvm.lgt(move |lgt| {
+            let main = sh.program.get_fn("main").expect("checked above").clone();
+            let scope = Scope {
+                shared: sh.clone(),
+                spawner: lgt,
+            };
+            if let Err(e) = scope.call_fn(&main, Vec::new()) {
+                sh.fail(e);
+            }
+        });
+        handle.join();
+        let err = shared.error.lock().clone();
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let printed = shared.printed.lock().clone();
+        let out = RunOutput {
+            printed,
+            sgt_spawns: shared.sgt_spawns.load(Ordering::Relaxed),
+        };
+        Ok((out, shared.profile.clone()))
+    }
+}
+
+/// A boxed interpreter job: runs with the spawn capability of the SGT that
+/// executes it, so nested spawns never need `'static` contexts.
+type SpawnJob = Box<dyn FnOnce(&dyn Spawn) + Send>;
+
+/// Spawn capability — implemented by both LGT and SGT contexts, so the
+/// statement walker is agnostic about which level it runs at.
+trait Spawn {
+    fn spawn_job(&self, job: SpawnJob);
+}
+
+impl Spawn for htvm_core::LgtCtx<'_> {
+    fn spawn_job(&self, job: SpawnJob) {
+        self.spawn_sgt(move |sgt| job(sgt));
+    }
+}
+
+impl Spawn for htvm_core::SgtCtx<'_> {
+    fn spawn_job(&self, job: SpawnJob) {
+        self.spawn_sgt(move |sgt| job(sgt));
+    }
+}
+
+/// An execution scope: shared state + spawn capability of the current
+/// thread level.
+struct Scope<'a> {
+    shared: Arc<Shared>,
+    spawner: &'a dyn Spawn,
+}
+
+impl Scope<'_> {
+    fn spawn_sgt(&self, job: impl FnOnce(&Scope<'_>) + Send + 'static) {
+        self.shared.sgt_spawns.fetch_add(1, Ordering::Relaxed);
+        let shared = self.shared.clone();
+        self.spawner.spawn_job(Box::new(move |sp: &dyn Spawn| {
+            let scope = Scope { shared, spawner: sp };
+            job(&scope);
+        }));
+    }
+
+    fn call_fn(&self, f: &Arc<FnDef>, args: Vec<Value>) -> Result<Value, String> {
+        if args.len() != f.params.len() {
+            return Err(format!(
+                "{}: expected {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            ));
+        }
+        let env = Env::default().child();
+        for (p, a) in f.params.iter().zip(args) {
+            env.define(p, a);
+        }
+        match self.exec_block(&f.body, &env)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(Value::Unit),
+        }
+    }
+
+    fn exec_block(&self, stmts: &[Stmt], env: &Env) -> Result<Flow, String> {
+        for s in stmts {
+            if let Flow::Return(v) = self.exec_stmt(s, env)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&self, stmt: &Stmt, env: &Env) -> Result<Flow, String> {
+        match stmt {
+            Stmt::Let(name, e) => {
+                let v = self.eval(e, env)?;
+                env.define(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.eval(e, env)?;
+                if !env.assign(name, v) {
+                    return Err(format!("assignment to undefined variable `{name}`"));
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::StoreIndex {
+                array,
+                index,
+                value,
+                accumulate,
+            } => {
+                let arr = env
+                    .get(array)
+                    .ok_or_else(|| format!("undefined array `{array}`"))?
+                    .as_arr("indexed store")?;
+                let i = self.eval(index, env)?.as_num("array index")? as usize;
+                if i >= arr.len() {
+                    return Err(format!(
+                        "index {i} out of bounds for array of length {}",
+                        arr.len()
+                    ));
+                }
+                let v = self.eval(value, env)?.as_num("stored value")?;
+                if let Some(p) = &self.shared.profile {
+                    p.stores.fetch_add(1, Ordering::Relaxed);
+                }
+                if *accumulate {
+                    arr.fetch_add_f64(i, v);
+                } else {
+                    arr.write_f64(i, v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, els) => {
+                if self.eval(cond, env)?.truthy() {
+                    self.exec_block(then, &env.child())
+                } else {
+                    self.exec_block(els, &env.child())
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, env)?.truthy() {
+                    if let Flow::Return(v) = self.exec_block(body, &env.child())? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For(var, from, to, body) => {
+                let a = self.eval(from, env)?.as_num("for start")? as i64;
+                let b = self.eval(to, env)?.as_num("for end")? as i64;
+                for i in a..b {
+                    let e = env.child();
+                    e.define(var, Value::Num(i as f64));
+                    if let Flow::Return(v) = self.exec_block(body, &e)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Forall {
+                var,
+                from,
+                to,
+                body,
+                hints,
+            } => {
+                let a = self.eval(from, env)?.as_num("forall start")? as i64;
+                let b = self.eval(to, env)?.as_num("forall end")? as i64;
+                self.run_forall(var, a, b, body, hints, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Spawn(body) => {
+                if self.shared.profile.is_some() {
+                    // Profiled runs are sequential: execute inline.
+                    self.exec_block(body, &env.child())?;
+                    return Ok(Flow::Normal);
+                }
+                let env = env.clone();
+                let body = body.to_vec();
+                self.spawn_sgt(move |scope| {
+                    if let Err(e) = scope.exec_block(&body, &env.child()) {
+                        scope.shared.fail(e);
+                    }
+                });
+                Ok(Flow::Normal)
+            }
+            Stmt::Future(name, e) => {
+                let fut: LitlFuture<f64> = LitlFuture::unresolved();
+                env.define(name, Value::Fut(fut.clone()));
+                if self.shared.profile.is_some() {
+                    // Profiled runs resolve futures eagerly, inline.
+                    let n = self.eval(e, env)?.as_num("future value")?;
+                    fut.resolve(n);
+                    return Ok(Flow::Normal);
+                }
+                let env2 = env.clone();
+                let e = e.clone();
+                self.spawn_sgt(move |scope| match scope.eval(&e, &env2) {
+                    Ok(v) => match v.as_num("future value") {
+                        Ok(n) => fut.resolve(n),
+                        Err(err) => {
+                            scope.shared.fail(err);
+                            fut.resolve(f64::NAN);
+                        }
+                    },
+                    Err(err) => {
+                        scope.shared.fail(err);
+                        fut.resolve(f64::NAN);
+                    }
+                });
+                Ok(Flow::Normal)
+            }
+            Stmt::Atomic(body) => {
+                let _gate = self.shared.atomic_gate.lock();
+                self.exec_block(body, &env.child())
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Unit,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, env)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Parallel loop with hint-selected schedule. The calling thread helps,
+    /// so the loop completes even with zero free workers.
+    fn run_forall(
+        &self,
+        var: &str,
+        from: i64,
+        to: i64,
+        body: &[Stmt],
+        hints: &[Hint],
+        env: &Env,
+    ) -> Result<(), String> {
+        let n = (to - from).max(0) as u64;
+        if let Some(p) = self.shared.profile.clone() {
+            // Profiled run: sequential, metering each iteration.
+            let mut costs = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let before = p.ops_now();
+                let e = env.child();
+                e.define(var, Value::Num((from + i as i64) as f64));
+                self.exec_block(body, &e)?;
+                costs.push(p.ops_now() - before);
+            }
+            p.foralls.lock().push(ForallProfile {
+                var: var.to_string(),
+                costs,
+            });
+            return Ok(());
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        let workers = self.shared.workers as u64;
+        let schedule = hints
+            .iter()
+            .find_map(|h| h.get_str("schedule").map(str::to_string))
+            .unwrap_or_else(|| "static".to_string());
+        let fixed_chunk = hints.iter().find_map(|h| h.get_num("chunk")).map(|c| c as u64);
+
+        let next = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(htvm_core::sync::EventCount::new());
+
+        let claim = move |next: &AtomicU64, schedule: &str, chunk: Option<u64>| -> Option<(u64, u64)> {
+            let static_chunk = n.div_ceil(workers).max(1);
+            loop {
+                let cur = next.load(Ordering::Acquire);
+                if cur >= n {
+                    return None;
+                }
+                let size = match schedule {
+                    "guided" => ((n - cur) / workers).max(1),
+                    "chunk" => chunk.unwrap_or(1).max(1),
+                    _ => static_chunk,
+                };
+                let end = (cur + size).min(n);
+                if next
+                    .compare_exchange(cur, end, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Some((cur, end));
+                }
+            }
+        };
+
+        // Helpers: workers-1 SGTs; the caller participates too.
+        let helpers = workers.saturating_sub(1);
+        for _ in 0..helpers {
+            let env = env.clone();
+            let body = body.to_vec();
+            let var = var.to_string();
+            let next = next.clone();
+            let done = done.clone();
+            let schedule = schedule.clone();
+            let claim = claim.clone();
+            self.spawn_sgt(move |scope| {
+                while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
+                    for i in lo..hi {
+                        let e = env.child();
+                        e.define(&var, Value::Num((from + i as i64) as f64));
+                        if let Err(err) = scope.exec_block(&body, &e) {
+                            scope.shared.fail(err);
+                        }
+                    }
+                    done.add(hi - lo);
+                }
+            });
+        }
+        while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
+            for i in lo..hi {
+                let e = env.child();
+                e.define(var, Value::Num((from + i as i64) as f64));
+                if let Flow::Return(_) = self.exec_block(body, &e)? {
+                    return Err("`return` inside forall is not allowed".to_string());
+                }
+            }
+            done.add(hi - lo);
+        }
+        done.wait_for(n);
+        Ok(())
+    }
+
+    fn eval(&self, e: &Expr, env: &Env) -> Result<Value, String> {
+        if let Some(p) = &self.shared.profile {
+            p.ops.fetch_add(1, Ordering::Relaxed);
+        }
+        match e {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Var(name) => env
+                .get(name)
+                .ok_or_else(|| format!("undefined variable `{name}`")),
+            Expr::Index(arr, idx) => {
+                let a = self.eval(arr, env)?.as_arr("indexing")?;
+                let i = self.eval(idx, env)?.as_num("array index")? as usize;
+                if i >= a.len() {
+                    return Err(format!(
+                        "index {i} out of bounds for array of length {}",
+                        a.len()
+                    ));
+                }
+                if let Some(p) = &self.shared.profile {
+                    p.loads.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Value::Num(a.read_f64(i)))
+            }
+            Expr::Neg(x) => Ok(Value::Num(-self.eval(x, env)?.as_num("negation")?)),
+            Expr::Not(x) => Ok(Value::Num(if self.eval(x, env)?.truthy() { 0.0 } else { 1.0 })),
+            Expr::Bin(op, l, r) => {
+                // Short-circuit logicals.
+                if *op == BinOp::And {
+                    return Ok(Value::Num(
+                        if self.eval(l, env)?.truthy() && self.eval(r, env)?.truthy() {
+                            1.0
+                        } else {
+                            0.0
+                        },
+                    ));
+                }
+                if *op == BinOp::Or {
+                    return Ok(Value::Num(
+                        if self.eval(l, env)?.truthy() || self.eval(r, env)?.truthy() {
+                            1.0
+                        } else {
+                            0.0
+                        },
+                    ));
+                }
+                let a = self.eval(l, env)?.as_num("left operand")?;
+                let b = self.eval(r, env)?.as_num("right operand")?;
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    BinOp::Eq => (a == b) as i64 as f64,
+                    BinOp::Ne => (a != b) as i64 as f64,
+                    BinOp::Lt => (a < b) as i64 as f64,
+                    BinOp::Le => (a <= b) as i64 as f64,
+                    BinOp::Gt => (a > b) as i64 as f64,
+                    BinOp::Ge => (a >= b) as i64 as f64,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                Ok(Value::Num(v))
+            }
+            Expr::Call(name, args) => self.call(name, args, env),
+        }
+    }
+
+    fn call(&self, name: &str, args: &[Expr], env: &Env) -> Result<Value, String> {
+        // User functions shadow builtins.
+        if let Some(f) = self.shared.program.get_fn(name) {
+            let f = f.clone();
+            let vals = args
+                .iter()
+                .map(|a| self.eval(a, env))
+                .collect::<Result<Vec<_>, _>>()?;
+            return self.call_fn(&f, vals);
+        }
+        let num = |i: usize| -> Result<f64, String> {
+            self.eval(&args[i], env)?.as_num(&format!("{name} argument {i}"))
+        };
+        let need = |k: usize| -> Result<(), String> {
+            if args.len() == k {
+                Ok(())
+            } else {
+                Err(format!("{name}: expected {k} arguments, got {}", args.len()))
+            }
+        };
+        match name {
+            "array" => {
+                need(1)?;
+                let n = num(0)? as usize;
+                Ok(Value::Arr(SharedRegion::new(n)))
+            }
+            "len" => {
+                need(1)?;
+                let a = self.eval(&args[0], env)?.as_arr("len")?;
+                Ok(Value::Num(a.len() as f64))
+            }
+            "sum" => {
+                need(1)?;
+                let a = self.eval(&args[0], env)?.as_arr("sum")?;
+                Ok(Value::Num((0..a.len()).map(|i| a.read_f64(i)).sum()))
+            }
+            "force" => {
+                need(1)?;
+                match self.eval(&args[0], env)? {
+                    Value::Fut(f) => Ok(Value::Num(f.force())),
+                    v => Ok(v),
+                }
+            }
+            "sqrt" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.sqrt()))
+            }
+            "abs" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.abs()))
+            }
+            "exp" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.exp()))
+            }
+            "log" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.ln()))
+            }
+            "sin" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.sin()))
+            }
+            "cos" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.cos()))
+            }
+            "floor" => {
+                need(1)?;
+                Ok(Value::Num(num(0)?.floor()))
+            }
+            "pow" => {
+                need(2)?;
+                Ok(Value::Num(num(0)?.powf(num(1)?)))
+            }
+            "min" => {
+                need(2)?;
+                Ok(Value::Num(num(0)?.min(num(1)?)))
+            }
+            "max" => {
+                need(2)?;
+                Ok(Value::Num(num(0)?.max(num(1)?)))
+            }
+            "workers" => {
+                need(0)?;
+                Ok(Value::Num(self.shared.workers as f64))
+            }
+            "print" => {
+                need(1)?;
+                let v = self.eval(&args[0], env)?;
+                let s = match v {
+                    Value::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                        format!("{}", n as i64)
+                    }
+                    Value::Num(n) => format!("{n}"),
+                    Value::Arr(a) => format!("[array;{}]", a.len()),
+                    Value::Fut(f) => format!("<future resolved={}>", f.is_resolved()),
+                    Value::Unit => "()".to_string(),
+                };
+                self.shared.printed.lock().push(s);
+                Ok(Value::Unit)
+            }
+            other => Err(format!("unknown function `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse;
+
+    fn run(src: &str) -> RunOutput {
+        let p = parse(src).unwrap();
+        Interp::new(4).run(&p).unwrap()
+    }
+
+    fn run_err(src: &str) -> String {
+        let p = parse(src).unwrap();
+        Interp::new(2).run(&p).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run("fn main() { print(1 + 2 * 3 - 4 / 2); }");
+        assert_eq!(out.printed, vec!["5"]);
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let out = run(
+            "fn fact(n) { if n <= 1 { return 1; } return n * fact(n - 1); }
+             fn main() { print(fact(10)); }",
+        );
+        assert_eq!(out.printed, vec!["3628800"]);
+    }
+
+    #[test]
+    fn while_loop_and_assignment() {
+        let out = run(
+            "fn main() { let s = 0; let i = 0;
+               while i < 10 { s = s + i; i = i + 1; }
+               print(s); }",
+        );
+        assert_eq!(out.printed, vec!["45"]);
+    }
+
+    #[test]
+    fn sequential_for() {
+        let out = run(
+            "fn main() { let a = array(5);
+               for i in 0..5 { a[i] = i * i; }
+               print(sum(a)); }",
+        );
+        assert_eq!(out.printed, vec!["30"]);
+    }
+
+    #[test]
+    fn forall_fills_array_in_parallel() {
+        let out = run(
+            "fn main() { let n = 200; let a = array(n);
+               forall i in 0..n { a[i] = i; }
+               print(sum(a)); }",
+        );
+        assert_eq!(out.printed, vec!["19900"]);
+        assert!(out.sgt_spawns > 0, "forall must spawn helper SGTs");
+    }
+
+    #[test]
+    fn forall_guided_schedule() {
+        let out = run(
+            "fn main() { let n = 100; let a = array(n);
+               @hint(schedule = \"guided\")
+               forall i in 0..n { a[i] = 2 * i; }
+               print(sum(a)); }",
+        );
+        assert_eq!(out.printed, vec!["9900"]);
+    }
+
+    #[test]
+    fn forall_chunk_schedule() {
+        let out = run(
+            "fn main() { let n = 64; let a = array(n);
+               @hint(schedule = \"chunk\", chunk = 4)
+               forall i in 0..n { a[i] = 1; }
+               print(sum(a)); }",
+        );
+        assert_eq!(out.printed, vec!["64"]);
+    }
+
+    #[test]
+    fn forall_accumulate_is_atomic() {
+        let out = run(
+            "fn main() { let a = array(1);
+               forall i in 0..1000 { a[0] += 1; }
+               print(a[0]); }",
+        );
+        assert_eq!(out.printed, vec!["1000"]);
+    }
+
+    #[test]
+    fn future_force_round_trip() {
+        let out = run(
+            "fn slow(x) { let s = 0; for i in 0..100 { s = s + x; } return s; }
+             fn main() { future f = slow(3); print(force(f)); }",
+        );
+        assert_eq!(out.printed, vec!["300"]);
+    }
+
+    #[test]
+    fn spawn_joined_before_exit() {
+        let out = run(
+            "fn main() { let a = array(1);
+               spawn { a[0] = 42; }
+             }",
+        );
+        // The LGT join guarantees the spawn ran; nothing printed, no error.
+        assert_eq!(out.printed, Vec::<String>::new());
+        assert!(out.sgt_spawns >= 1);
+    }
+
+    #[test]
+    fn atomic_blocks_serialize_rmw() {
+        let out = run(
+            "fn main() { let a = array(1);
+               forall i in 0..200 {
+                 atomic { a[0] = a[0] + 1; }
+               }
+               print(a[0]); }",
+        );
+        assert_eq!(out.printed, vec!["200"]);
+    }
+
+    #[test]
+    fn nested_forall_completes() {
+        let out = run(
+            "fn main() { let n = 8; let a = array(n * n);
+               forall i in 0..n {
+                 forall j in 0..n { a[i * n + j] = i + j; }
+               }
+               print(sum(a)); }",
+        );
+        assert_eq!(out.printed, vec!["448"]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(run_err("fn main() { print(undefined_var); }").contains("undefined"));
+        assert!(run_err("fn main() { let a = array(2); a[5] = 1; }").contains("out of bounds"));
+        assert!(run_err("fn main() { nope(1); }").contains("unknown function"));
+        assert!(run_err("fn f(a, b) { return a; } fn main() { f(1); }").contains("arguments"));
+    }
+
+    #[test]
+    fn error_inside_forall_surfaces() {
+        let err = run_err(
+            "fn main() { let a = array(4);
+               forall i in 0..100 { a[i] = 1; } }",
+        );
+        assert!(err.contains("out of bounds"), "got: {err}");
+    }
+
+    #[test]
+    fn builtins_cover_math() {
+        let out = run(
+            "fn main() {
+               print(max(min(sqrt(16), 3), floor(2.7)));
+               print(pow(2, 10));
+               print(abs(0 - 5));
+             }",
+        );
+        assert_eq!(out.printed, vec!["3", "1024", "5"]);
+    }
+
+    #[test]
+    fn empty_forall_is_noop() {
+        let out = run("fn main() { forall i in 5..5 { print(i); } print(1); }");
+        assert_eq!(out.printed, vec!["1"]);
+    }
+
+    #[test]
+    fn workers_builtin_reports_pool() {
+        let p = parse("fn main() { print(workers()); }").unwrap();
+        let out = Interp::new(3).run(&p).unwrap();
+        assert_eq!(out.printed, vec!["3"]);
+    }
+
+    #[test]
+    fn profile_records_forall_costs() {
+        let p = parse(
+            "fn main() { let n = 32; let a = array(n);
+               forall i in 0..n {
+                 let s = 0;
+                 for k in 0..i { s = s + k; }
+                 a[i] = s;
+               }
+               print(sum(a)); }",
+        )
+        .unwrap();
+        let (out, profiles) = Interp::new(2).profile(&p).unwrap();
+        assert_eq!(out.printed, vec!["4960"]);
+        assert_eq!(profiles.len(), 1);
+        let costs = &profiles[0].costs;
+        assert_eq!(costs.len(), 32);
+        // The body's inner loop runs `i` times: costs must increase.
+        assert!(
+            costs.last().unwrap() > &(costs[0] + 10),
+            "triangular loop must show increasing per-iteration cost: {costs:?}"
+        );
+        // The monitor's hint matches the §4.1 vocabulary.
+        assert_eq!(
+            crate::lang::profile::suggest_hint(costs),
+            Some(("cost_trend", "monotonic"))
+        );
+    }
+
+    #[test]
+    fn profile_output_matches_parallel_run() {
+        let src = "fn main() { let n = 100; let a = array(n);
+               forall i in 0..n { a[i] = i * 3; }
+               print(sum(a)); }";
+        let p = parse(src).unwrap();
+        let run_out = Interp::new(4).run(&p).unwrap();
+        let (prof_out, _) = Interp::new(4).profile(&p).unwrap();
+        assert_eq!(run_out.printed, prof_out.printed);
+    }
+
+    #[test]
+    fn profile_runs_spawn_and_future_inline() {
+        let p = parse(
+            "fn main() { let a = array(1);
+               spawn { a[0] += 5; }
+               future f = 2 * 4;
+               print(a[0] + force(f)); }",
+        )
+        .unwrap();
+        let (out, _) = Interp::new(2).profile(&p).unwrap();
+        // Inline spawn runs *before* the print in a sequential profile.
+        assert_eq!(out.printed, vec!["13"]);
+        assert_eq!(out.sgt_spawns, 0, "profiling must not spawn SGTs");
+    }
+
+    #[test]
+    fn profile_counts_loads_and_stores() {
+        let p = parse(
+            "fn main() { let a = array(8);
+               for i in 0..8 { a[i] = 1; }
+               let s = a[0] + a[1];
+               print(s); }",
+        )
+        .unwrap();
+        let interp = Interp::new(1);
+        let state = {
+            let (_, profiles) = interp.profile(&p).unwrap();
+            profiles
+        };
+        // No forall in this program; the meter itself is validated through
+        // the public profile() API indirectly (loads/stores counted on the
+        // shared state which run_inner drops). The forall list is empty.
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn nested_forall_profiles_both_levels() {
+        let p = parse(
+            "fn main() { let n = 6; let a = array(n * n);
+               forall i in 0..n {
+                 forall j in 0..n { a[i * n + j] = i + j; }
+               }
+               print(sum(a)); }",
+        )
+        .unwrap();
+        let (out, profiles) = Interp::new(2).profile(&p).unwrap();
+        assert_eq!(out.printed, vec!["180"]);
+        // Inner foralls are recorded per outer iteration, plus the outer.
+        assert_eq!(profiles.len(), 7);
+    }
+}

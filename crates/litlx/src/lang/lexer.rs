@@ -1,0 +1,276 @@
+//! Tokenizer for LITL-X source.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (all numbers are f64 in LITL-X).
+    Num(f64),
+    /// String literal (used in pragmas).
+    Str(String),
+    /// Punctuation / operator, e.g. `+`, `==`, `..`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Punct(p) => write!(f, "{p}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its line number (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Source line.
+    pub line: u32,
+}
+
+const PUNCTS2: [&str; 9] = ["==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-="];
+const PUNCTS1: [&str; 18] = [
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "(", ")", "{", "}", "[", "]", ",", ";", "@",
+];
+
+/// Tokenize `src`. Returns a lex error message on malformed input.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // The language is ASCII-only (like the paper's pseudo-code); a
+        // multi-byte character must become a lex *error*, never a
+        // byte-offset slice panic in the punct lookahead below.
+        if !bytes[i].is_ascii() {
+            let ch = src[i..].chars().next().unwrap_or('?');
+            return Err(format!("line {line}: unexpected character `{ch}`"));
+        }
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: // to end of line.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit()
+                    || bytes[i] == b'.'
+                    || bytes[i] == b'e'
+                    || bytes[i] == b'E'
+                    || ((bytes[i] == b'+' || bytes[i] == b'-')
+                        && i > start
+                        && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+            {
+                // `0..n` must lex as Num(0), "..", Ident(n): stop the number
+                // when we see "..".
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            let text = &src[start..i];
+            let n: f64 = text
+                .parse()
+                .map_err(|_| format!("line {line}: bad number literal `{text}`"))?;
+            out.push(Spanned {
+                tok: Token::Num(n),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Spanned {
+                tok: Token::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\n' {
+                    return Err(format!("line {line}: unterminated string"));
+                }
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(format!("line {line}: unterminated string"));
+            }
+            out.push(Spanned {
+                tok: Token::Str(src[start..j].to_string()),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+        if i + 1 < bytes.len() && bytes[i + 1].is_ascii() {
+            let two = &src[i..i + 2];
+            if let Some(p) = PUNCTS2.iter().find(|&&p| p == two) {
+                out.push(Spanned {
+                    tok: Token::Punct(p),
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        let one = &src[i..i + 1];
+        if let Some(p) = PUNCTS1.iter().find(|&&p| p == one) {
+            out.push(Spanned {
+                tok: Token::Punct(p),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(format!("line {line}: unexpected character `{c}`"));
+    }
+    out.push(Spanned {
+        tok: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn non_ascii_is_an_error_not_a_panic() {
+        // Found by the parser fuzz property: multi-byte characters used to
+        // panic the byte-offset punct lookahead.
+        assert!(lex("λ").is_err());
+        assert!(lex("=λ").is_err());
+        assert!(lex("let ü = 1;").is_err());
+        // Inside string literals non-ASCII is fine.
+        let toks = lex("@hint(s = \"gúided\")").unwrap();
+        assert!(toks.iter().any(|t| matches!(&t.tok, Token::Str(s) if s == "gúided")));
+    }
+
+    #[test]
+    fn lexes_numbers_idents_puncts() {
+        assert_eq!(
+            toks("let x = 3.5;"),
+            vec![
+                Token::Ident("let".into()),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Num(3.5),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_does_not_eat_dots() {
+        assert_eq!(
+            toks("0..n"),
+            vec![
+                Token::Num(0.0),
+                Token::Punct(".."),
+                Token::Ident("n".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a <= b == c && d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<="),
+                Token::Ident("b".into()),
+                Token::Punct("=="),
+                Token::Ident("c".into()),
+                Token::Punct("&&"),
+                Token::Ident("d".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("x // comment\ny"),
+            vec![Token::Ident("x".into()), Token::Ident("y".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_pragma_marker() {
+        assert_eq!(
+            toks("@hint(schedule = \"guided\")"),
+            vec![
+                Token::Punct("@"),
+                Token::Ident("hint".into()),
+                Token::Punct("("),
+                Token::Ident("schedule".into()),
+                Token::Punct("="),
+                Token::Str("guided".into()),
+                Token::Punct(")"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1e3")[0], Token::Num(1000.0));
+        assert_eq!(toks("2.5e-2")[0], Token::Num(0.025));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let $x = 1;").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

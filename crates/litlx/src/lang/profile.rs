@@ -1,0 +1,174 @@
+//! Profiling mode: the language-level face of the paper's runtime
+//! performance monitor (§4.2).
+//!
+//! "The static compiler acts according to the pragma and generates some
+//! (partial) schedules" (§3.3) — but iteration costs of a `forall` are
+//! runtime facts the static compiler cannot know. A profiled run executes
+//! the program *sequentially* with an instruction meter and records, for
+//! every `forall`, the per-iteration operation counts. Those cost vectors
+//! are exactly what the continuous compiler (`htvm-adapt`) needs to
+//! complete a partial schedule, and [`suggest_hint`] turns a vector into
+//! the structured-hint vocabulary of §4.1 (`cost_trend`, `cost_variance`).
+//!
+//! Profiling is sequential by design: `spawn` blocks run inline and
+//! `future`s resolve eagerly, so per-iteration deltas are exact and the
+//! profile is deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Meter state threaded through a profiled run.
+#[derive(Debug, Default)]
+pub struct ProfileState {
+    /// AST nodes evaluated (the abstract "operations" unit).
+    pub ops: AtomicU64,
+    /// Array element reads.
+    pub loads: AtomicU64,
+    /// Array element writes (including accumulates).
+    pub stores: AtomicU64,
+    /// One record per `forall` executed, in encounter order.
+    pub foralls: Mutex<Vec<ForallProfile>>,
+}
+
+impl ProfileState {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current op count (Relaxed: profiling is single-threaded).
+    pub fn ops_now(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// The measured cost profile of one `forall` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForallProfile {
+    /// Induction-variable name (for report readability).
+    pub var: String,
+    /// Per-iteration operation counts, in iteration order. Nested
+    /// constructs executed by an iteration are charged to that iteration.
+    pub costs: Vec<u64>,
+}
+
+impl ForallProfile {
+    /// Total operations across the loop.
+    pub fn total(&self) -> u64 {
+        self.costs.iter().sum()
+    }
+
+    /// Coefficient of variation of the per-iteration costs.
+    pub fn cv(&self) -> f64 {
+        let n = self.costs.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.total() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .costs
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Classify a measured cost vector into the §4.1 structured-hint
+/// vocabulary understood by `htvm-adapt`'s knowledge base:
+///
+/// * near-constant costs → `("cost_variance", "none")` (static schedules
+///   suffice);
+/// * monotone (Spearman-like trend over thirds) → `("cost_trend",
+///   "monotonic")` (guided/trapezoid/factoring);
+/// * otherwise high variance → `("cost_variance", "high")` (fine-grained
+///   dynamic schedules).
+///
+/// Returns `None` when the vector is too short to say anything.
+pub fn suggest_hint(costs: &[u64]) -> Option<(&'static str, &'static str)> {
+    if costs.len() < 8 {
+        return None;
+    }
+    let n = costs.len() as f64;
+    let mean = costs.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return None;
+    }
+    let var = costs
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let cv = var.sqrt() / mean;
+    if cv < 0.05 {
+        return Some(("cost_variance", "none"));
+    }
+    // Trend check: compare the first and last third means; a monotone ramp
+    // separates them by well over the within-third noise.
+    let third = costs.len() / 3;
+    let head = costs[..third].iter().sum::<u64>() as f64 / third as f64;
+    let tail = costs[costs.len() - third..].iter().sum::<u64>() as f64 / third as f64;
+    let spread = (head - tail).abs() / mean;
+    if spread > 0.5 {
+        return Some(("cost_trend", "monotonic"));
+    }
+    Some(("cost_variance", "high"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggest_uniform() {
+        let costs = vec![100u64; 64];
+        assert_eq!(suggest_hint(&costs), Some(("cost_variance", "none")));
+    }
+
+    #[test]
+    fn suggest_monotonic_for_ramps() {
+        let inc: Vec<u64> = (0..64).map(|i| 10 + i * 5).collect();
+        assert_eq!(suggest_hint(&inc), Some(("cost_trend", "monotonic")));
+        let dec: Vec<u64> = (0..64).map(|i| 10 + (63 - i) * 5).collect();
+        assert_eq!(suggest_hint(&dec), Some(("cost_trend", "monotonic")));
+    }
+
+    #[test]
+    fn suggest_high_variance_for_bimodal() {
+        let bi: Vec<u64> = (0..64).map(|i| if i % 7 == 0 { 500 } else { 50 }).collect();
+        assert_eq!(suggest_hint(&bi), Some(("cost_variance", "high")));
+    }
+
+    #[test]
+    fn suggest_nothing_for_tiny_loops() {
+        assert_eq!(suggest_hint(&[1, 2, 3]), None);
+        assert_eq!(suggest_hint(&[]), None);
+        assert_eq!(suggest_hint(&[0; 20]), None);
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let p = ForallProfile {
+            var: "i".into(),
+            costs: vec![10, 20, 30],
+        };
+        assert_eq!(p.total(), 60);
+        assert!(p.cv() > 0.0);
+        let flat = ForallProfile {
+            var: "i".into(),
+            costs: vec![5; 10],
+        };
+        assert!(flat.cv() < 1e-12);
+        let empty = ForallProfile {
+            var: "i".into(),
+            costs: vec![],
+        };
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.cv(), 0.0);
+    }
+}

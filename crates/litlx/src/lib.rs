@@ -1,0 +1,34 @@
+//! # litlx — the LITL-X programming constructs and mini-language
+//!
+//! LITL-X ("Latency Intrinsic-Tolerant Language", §3.2 of Gao et al.,
+//! IPDPS 2006) organizes parallel computation so that latency is *hidden*
+//! rather than avoided. The paper specifies five construct classes; each has
+//! a module here:
+//!
+//! | Paper construct | Module |
+//! |---|---|
+//! | Coarse-grain multithreading with in-stream context switching | provided by `htvm-sim` hardware threads + [`future`] continuations |
+//! | Parcel-driven split-transaction computation | [`parcel`] |
+//! | Futures with localized buffering of requests | [`future`] |
+//! | Percolation of code/data ahead of execution | [`percolate`] |
+//! | Dataflow synchronization + atomic memory blocks | [`dataflow`], [`atomic`] |
+//!
+//! The [`lang`] module implements the LITL-X prototype language itself: a
+//! small imperative language with `forall`, `spawn`, `future`/`force`,
+//! `atomic` and `@hint(...)` pragmas, interpreted on the native HTVM
+//! runtime. Domain-expert "scripts" (§4.1) are LITL-X source with hint
+//! pragmas; the structured hints they carry are extracted into the schema
+//! defined by `htvm-adapt`.
+
+pub mod atomic;
+pub mod dataflow;
+pub mod future;
+pub mod lang;
+pub mod parcel;
+pub mod percolate;
+
+pub use atomic::AtomicDomain;
+pub use dataflow::FeRegion;
+pub use future::{future_on, LitlFuture};
+pub use parcel::{ParcelBuilder, RemoteReduce};
+pub use percolate::{PercolateKernel, PercolationPlan};

@@ -1,0 +1,354 @@
+//! Parcels: "intelligent messages"-driven split-transaction computation
+//! "to reduce communication and to enable the moving of the work to the
+//! data (when it makes sense)" (§3.2, citing the Gilgamesh PIM parcels).
+//!
+//! A parcel carries an *action* to the node that owns the data. Instead of
+//! pulling a block across the network, computing, and (often) pushing a
+//! result back, the computation itself travels — one small message out, one
+//! small message back. The crossover between fetch-and-compute and
+//! parcel-ship-compute as the data grows is experiment E2.
+//!
+//! These builders target the simulated runtime; on the native runtime a
+//! "node" has no meaning, so parcels degrade to plain SGT spawns there
+//! (locality hints only).
+
+use htvm_sim::{
+    Cycle, Effect, Engine, GAddr, NodeId, OnArrive, Placement, SignalId, SimThread, SpawnClass,
+    TaskCtx,
+};
+
+/// Builder for a parcel: an action shipped to a data-home node.
+pub struct ParcelBuilder {
+    dst: NodeId,
+    header_bytes: u32,
+    class: SpawnClass,
+}
+
+impl ParcelBuilder {
+    /// A parcel destined for `dst`. The default header is 64 bytes (action
+    /// id + arguments), the paper's "intelligent message" being small by
+    /// construction.
+    pub fn to(dst: NodeId) -> Self {
+        Self {
+            dst,
+            header_bytes: 64,
+            class: SpawnClass::Sgt,
+        }
+    }
+
+    /// Override the payload size (e.g. when shipping code + arguments).
+    pub fn with_payload(mut self, bytes: u32) -> Self {
+        self.header_bytes = bytes;
+        self
+    }
+
+    /// Override the grain class charged at the destination.
+    pub fn with_class(mut self, class: SpawnClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// The `Effect` that ships `action` to the destination node.
+    pub fn send(self, action: Box<dyn SimThread>) -> Effect {
+        Effect::Send {
+            dst: self.dst,
+            size: self.header_bytes,
+            action: OnArrive::Spawn(action, Placement::Node(self.dst), self.class),
+        }
+    }
+}
+
+/// A split-transaction remote reduction: the canonical "move work to data"
+/// kernel of E2.
+///
+/// The parcel walks `elems` elements of 8 bytes starting at `base` (which
+/// lives on the *destination* node, so every load is local there), spends
+/// `compute_per_elem` cycles per element, and sends an 8-byte result back,
+/// signalling `done`.
+pub struct RemoteReduce {
+    /// Home node of the data.
+    pub data_node: NodeId,
+    /// First element address.
+    pub base: GAddr,
+    /// Number of 8-byte elements.
+    pub elems: u64,
+    /// Compute cycles per element.
+    pub compute_per_elem: Cycle,
+    /// Node to send the result to.
+    pub reply_to: NodeId,
+    /// Signal fired (at `reply_to`) when the result arrives.
+    pub done: SignalId,
+}
+
+/// Bytes a parcel action reads per local memory request: the reduce walks
+/// its (local) block sequentially, so it streams DRAM-burst-sized chunks
+/// rather than paying full latency per 8-byte element.
+const PARCEL_SCAN_CHUNK: u64 = 512;
+
+impl RemoteReduce {
+    /// The parcel action that runs at the data's home node: stream the block
+    /// chunk-by-chunk from local memory, folding each chunk's elements.
+    fn action(&self) -> Box<dyn SimThread> {
+        let base = self.base;
+        let elems = self.elems;
+        let compute = self.compute_per_elem;
+        let reply_to = self.reply_to;
+        let done = self.done;
+        let mut i = 0u64;
+        let mut phase = 0u8;
+        Box::new(move |_: &mut TaskCtx| {
+            if i < elems {
+                let chunk_elems = (elems - i).min(PARCEL_SCAN_CHUNK / 8);
+                match phase {
+                    0 => {
+                        phase = 1;
+                        return Effect::Load {
+                            addr: base.add(i * 8),
+                            size: (chunk_elems * 8) as u32,
+                        };
+                    }
+                    _ => {
+                        phase = 0;
+                        i += chunk_elems;
+                        return Effect::Compute(compute.max(1) * chunk_elems);
+                    }
+                }
+            }
+            if phase != 2 {
+                phase = 2;
+                return Effect::Send {
+                    dst: reply_to,
+                    size: 8,
+                    action: OnArrive::Signal(done, 1),
+                };
+            }
+            Effect::Done
+        })
+    }
+
+    /// The effect the *requesting* thread issues to launch the parcel.
+    pub fn launch(&self) -> Effect {
+        ParcelBuilder::to(self.data_node).send(self.action())
+    }
+
+    /// Baseline A for E2: reduce by issuing one remote load per element
+    /// from the requesting node (fine-grain remote access).
+    pub fn remote_loads_task(&self) -> Box<dyn SimThread> {
+        let base = self.base;
+        let elems = self.elems;
+        let compute = self.compute_per_elem;
+        let mut i = 0u64;
+        let mut phase = 0u8;
+        Box::new(move |_: &mut TaskCtx| {
+            if i < elems {
+                match phase {
+                    0 => {
+                        phase = 1;
+                        return Effect::Load {
+                            addr: base.add(i * 8),
+                            size: 8,
+                        };
+                    }
+                    _ => {
+                        phase = 0;
+                        i += 1;
+                        return Effect::Compute(compute.max(1));
+                    }
+                }
+            }
+            Effect::Done
+        })
+    }
+
+    /// Baseline B for E2: bulk-fetch the whole block with one large remote
+    /// load, then compute locally.
+    pub fn bulk_fetch_task(&self) -> Box<dyn SimThread> {
+        let base = self.base;
+        let bytes = (self.elems * 8).min(u32::MAX as u64) as u32;
+        let total_compute = self.compute_per_elem.max(1) * self.elems;
+        let mut phase = 0u8;
+        Box::new(move |_: &mut TaskCtx| match phase {
+            0 => {
+                phase = 1;
+                Effect::Load { addr: base, size: bytes }
+            }
+            1 => {
+                phase = 2;
+                Effect::Compute(total_compute)
+            }
+            _ => Effect::Done,
+        })
+    }
+}
+
+/// Run the three E2 strategies on a fresh two-node engine; returns
+/// `(remote_loads, bulk_fetch, parcel)` makespans.
+pub fn compare_strategies(
+    mk_engine: impl Fn() -> Engine,
+    elems: u64,
+    compute_per_elem: Cycle,
+) -> (Cycle, Cycle, Cycle) {
+    let spec = |done| RemoteReduce {
+        data_node: 1,
+        base: GAddr::dram(1, 0),
+        elems,
+        compute_per_elem,
+        reply_to: 0,
+        done,
+    };
+
+    // Strategy 1: per-element remote loads.
+    let mut e1 = mk_engine();
+    let r = spec(SignalId(1));
+    e1.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, r.remote_loads_task());
+    let t_loads = e1.run().now;
+
+    // Strategy 2: bulk fetch then local compute.
+    let mut e2 = mk_engine();
+    let r = spec(SignalId(1));
+    e2.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, r.bulk_fetch_task());
+    let t_bulk = e2.run().now;
+
+    // Strategy 3: parcel — ship the reduction to the data.
+    let mut e3 = mk_engine();
+    let r = spec(SignalId(1));
+    let mut phase = 0u8;
+    e3.spawn_closure(Placement::Unit(0, 0), move |_| match phase {
+        0 => {
+            phase = 1;
+            r.launch()
+        }
+        1 => {
+            phase = 2;
+            Effect::Wait(r.done)
+        }
+        _ => Effect::Done,
+    });
+    let t_parcel = e3.run().now;
+
+    (t_loads, t_bulk, t_parcel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_sim::MachineConfig;
+
+    fn two_nodes() -> Engine {
+        let mut cfg = MachineConfig::small();
+        cfg.nodes = 2;
+        Engine::new(cfg)
+    }
+
+    #[test]
+    fn parcel_round_trip_completes() {
+        let mut e = two_nodes();
+        let done = SignalId(3);
+        let r = RemoteReduce {
+            data_node: 1,
+            base: GAddr::dram(1, 0),
+            elems: 16,
+            compute_per_elem: 2,
+            reply_to: 0,
+            done,
+        };
+        let mut phase = 0u8;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| match phase {
+            0 => {
+                phase = 1;
+                r.launch()
+            }
+            1 => {
+                phase = 2;
+                Effect::Wait(done)
+            }
+            _ => Effect::Done,
+        });
+        let s = e.run();
+        assert_eq!(s.parcels, 1);
+        assert_eq!(s.tasks_completed, 2);
+        // Request + reply at minimum.
+        assert!(s.messages >= 2);
+    }
+
+    #[test]
+    fn parcel_beats_remote_loads_for_large_blocks() {
+        let (loads, _bulk, parcel) = compare_strategies(two_nodes, 512, 2);
+        assert!(
+            parcel < loads / 4,
+            "shipping work must beat 512 remote round trips: parcel={parcel}, loads={loads}"
+        );
+    }
+
+    #[test]
+    fn remote_loads_competitive_for_tiny_blocks() {
+        let (loads, _bulk, parcel) = compare_strategies(two_nodes, 2, 2);
+        // With 2 elements the strategies are within a small factor; the
+        // parcel pays spawn + two messages as well.
+        assert!(loads < parcel * 4, "loads={loads}, parcel={parcel}");
+    }
+
+    #[test]
+    fn bulk_fetch_moves_more_bytes_than_parcel() {
+        let bytes = |f: &dyn Fn(&RemoteReduce) -> Box<dyn SimThread>| {
+            let mut e = two_nodes();
+            let r = RemoteReduce {
+                data_node: 1,
+                base: GAddr::dram(1, 0),
+                elems: 1024,
+                compute_per_elem: 1,
+                reply_to: 0,
+                done: SignalId(1),
+            };
+            e.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, f(&r));
+            e.run().message_bytes
+        };
+        let bulk = bytes(&|r| r.bulk_fetch_task());
+
+        let mut e = two_nodes();
+        let r = RemoteReduce {
+            data_node: 1,
+            base: GAddr::dram(1, 0),
+            elems: 1024,
+            compute_per_elem: 1,
+            reply_to: 0,
+            done: SignalId(1),
+        };
+        let mut phase = 0u8;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| match phase {
+            0 => {
+                phase = 1;
+                r.launch()
+            }
+            1 => {
+                phase = 2;
+                Effect::Wait(SignalId(1))
+            }
+            _ => Effect::Done,
+        });
+        let parcel = e.run().message_bytes;
+        assert!(
+            parcel * 10 < bulk,
+            "parcel moves header+result only: parcel={parcel}B, bulk={bulk}B"
+        );
+    }
+
+    #[test]
+    fn builder_customization() {
+        let eff = ParcelBuilder::to(1)
+            .with_payload(256)
+            .with_class(SpawnClass::Tgt)
+            .send(Box::new(|_: &mut TaskCtx| Effect::Done));
+        match eff {
+            Effect::Send { dst, size, action } => {
+                assert_eq!(dst, 1);
+                assert_eq!(size, 256);
+                match action {
+                    OnArrive::Spawn(_, _, class) => assert_eq!(class, SpawnClass::Tgt),
+                    other => panic!("unexpected arrival action: {other:?}"),
+                }
+            }
+            other => panic!("unexpected effect: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The global address space of the simulated machine.
+//!
+//! The paper (feature 3 of §1) requires "architecture support for large
+//! shared address space across nodes": every byte of every node's memory is
+//! addressable from anywhere. A [`GAddr`] names a node, a region of its
+//! hierarchy (per-unit scratchpad, banked on-chip SRAM, off-chip DRAM) and a
+//! byte offset within that region.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, UnitId};
+
+/// The level of the memory hierarchy an access resolves to, from the point
+/// of view of the *issuing* unit. Used for statistics and by the locality
+/// adaptation machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// The issuing unit's own scratchpad.
+    LocalSpm,
+    /// Another unit's scratchpad on the same node.
+    PeerSpm,
+    /// On-chip shared SRAM of the local node.
+    OnChip,
+    /// Off-chip DRAM of the local node.
+    Dram,
+    /// Any memory of a different node (reached through the network).
+    Remote,
+}
+
+impl MemLevel {
+    /// All levels, in increasing-latency order.
+    pub const ALL: [MemLevel; 5] = [
+        MemLevel::LocalSpm,
+        MemLevel::PeerSpm,
+        MemLevel::OnChip,
+        MemLevel::Dram,
+        MemLevel::Remote,
+    ];
+}
+
+/// A region of one node's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// The scratchpad memory private to one thread unit.
+    Spm(UnitId),
+    /// The node's banked, shared on-chip SRAM.
+    OnChip,
+    /// The node's off-chip DRAM.
+    Dram,
+}
+
+/// A global address: `(node, region, offset)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GAddr {
+    /// Home node of the addressed memory.
+    pub node: NodeId,
+    /// Which memory region of the home node.
+    pub region: Region,
+    /// Byte offset within the region.
+    pub offset: u64,
+}
+
+impl GAddr {
+    /// An address in `unit`'s scratchpad on `node`.
+    pub fn spm(node: NodeId, unit: UnitId, offset: u64) -> Self {
+        Self {
+            node,
+            region: Region::Spm(unit),
+            offset,
+        }
+    }
+
+    /// An address in `node`'s on-chip SRAM.
+    pub fn onchip(node: NodeId, offset: u64) -> Self {
+        Self {
+            node,
+            region: Region::OnChip,
+            offset,
+        }
+    }
+
+    /// An address in `node`'s DRAM.
+    pub fn dram(node: NodeId, offset: u64) -> Self {
+        Self {
+            node,
+            region: Region::Dram,
+            offset,
+        }
+    }
+
+    /// The address `bytes` further into the same region.
+    pub fn add(self, bytes: u64) -> Self {
+        Self {
+            offset: self.offset + bytes,
+            ..self
+        }
+    }
+
+    /// Classify this address as seen from a unit on `(from_node, from_unit)`.
+    pub fn level_from(&self, from_node: NodeId, from_unit: UnitId) -> MemLevel {
+        if self.node != from_node {
+            return MemLevel::Remote;
+        }
+        match self.region {
+            Region::Spm(u) if u == from_unit => MemLevel::LocalSpm,
+            Region::Spm(_) => MemLevel::PeerSpm,
+            Region::OnChip => MemLevel::OnChip,
+            Region::Dram => MemLevel::Dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_classification() {
+        let a = GAddr::spm(0, 3, 64);
+        assert_eq!(a.level_from(0, 3), MemLevel::LocalSpm);
+        assert_eq!(a.level_from(0, 1), MemLevel::PeerSpm);
+        assert_eq!(a.level_from(1, 3), MemLevel::Remote);
+        assert_eq!(GAddr::onchip(0, 0).level_from(0, 0), MemLevel::OnChip);
+        assert_eq!(GAddr::dram(0, 0).level_from(0, 0), MemLevel::Dram);
+        assert_eq!(GAddr::dram(2, 0).level_from(0, 0), MemLevel::Remote);
+    }
+
+    #[test]
+    fn add_offsets_within_region() {
+        let a = GAddr::dram(1, 100).add(28);
+        assert_eq!(a.offset, 128);
+        assert_eq!(a.node, 1);
+        assert_eq!(a.region, Region::Dram);
+    }
+
+    #[test]
+    fn levels_are_ordered_by_distance() {
+        for w in MemLevel::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Pre-built simulated-thread shapes used throughout the experiments.
+//!
+//! Hand-writing `resume` state machines is flexible but verbose; the
+//! workloads of the evaluation mostly need two shapes: pure compute, and a
+//! compute/memory-access loop over a strided region. Both are provided here.
+
+use crate::task::{Effect, SimThread, TaskCtx};
+use crate::{Cycle, GAddr};
+
+/// A thread that computes for `cycles` and finishes.
+pub fn compute_task(cycles: Cycle) -> impl SimThread {
+    let mut fired = false;
+    move |_: &mut TaskCtx| {
+        if fired {
+            Effect::Done
+        } else {
+            fired = true;
+            Effect::Compute(cycles)
+        }
+    }
+}
+
+/// A loop kernel: per iteration, `compute` cycles, one load of
+/// `access_bytes` from a strided address, and optionally one store.
+///
+/// This is the memory-bound/compute-bound dial used by the latency-tolerance
+/// experiment (E1) and many others: `compute ≪ memory latency` makes it
+/// memory-bound.
+#[derive(Debug, Clone)]
+pub struct StridedKernel {
+    /// Iterations remaining.
+    pub iters: u64,
+    /// Compute cycles per iteration.
+    pub compute: Cycle,
+    /// Base address of the region.
+    pub base: GAddr,
+    /// Stride between consecutive accesses, bytes.
+    pub stride: u64,
+    /// Bytes per load.
+    pub access_bytes: u32,
+    /// Whether each iteration also stores back.
+    pub store_back: bool,
+    i: u64,
+    phase: u8,
+}
+
+/// Construct a [`StridedKernel`].
+pub fn strided_kernel(
+    iters: u64,
+    compute: Cycle,
+    base: GAddr,
+    stride: u64,
+    access_bytes: u32,
+) -> StridedKernel {
+    StridedKernel {
+        iters,
+        compute,
+        base,
+        stride,
+        access_bytes,
+        store_back: false,
+        i: 0,
+        phase: 0,
+    }
+}
+
+impl StridedKernel {
+    /// Enable a store-back per iteration.
+    pub fn with_store_back(mut self) -> Self {
+        self.store_back = true;
+        self
+    }
+
+    fn addr(&self) -> GAddr {
+        self.base.add(self.i * self.stride)
+    }
+}
+
+impl SimThread for StridedKernel {
+    fn resume(&mut self, _ctx: &mut TaskCtx) -> Effect {
+        loop {
+            if self.i >= self.iters {
+                return Effect::Done;
+            }
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    return Effect::Load {
+                        addr: self.addr(),
+                        size: self.access_bytes,
+                    };
+                }
+                1 => {
+                    self.phase = if self.store_back { 2 } else { 3 };
+                    if self.compute > 0 {
+                        return Effect::Compute(self.compute);
+                    }
+                }
+                2 => {
+                    self.phase = 3;
+                    return Effect::Store {
+                        addr: self.addr(),
+                        size: self.access_bytes,
+                    };
+                }
+                _ => {
+                    self.i += 1;
+                    self.phase = 0;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "strided-kernel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, MachineConfig, Placement};
+
+    #[test]
+    fn compute_task_runs_once() {
+        let mut e = Engine::new(MachineConfig::small());
+        e.spawn_closure(Placement::Unit(0, 0), {
+            let mut t = compute_task(123);
+            move |ctx| t.resume(ctx)
+        });
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 1);
+        assert!(s.busy_cycles >= 123);
+    }
+
+    #[test]
+    fn strided_kernel_touches_each_iteration() {
+        let mut e = Engine::new(MachineConfig::small());
+        let k = strided_kernel(10, 5, GAddr::dram(0, 0), 64, 8);
+        e.spawn(Placement::Unit(0, 0), crate::SpawnClass::Sgt, Box::new(k));
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 1);
+        assert_eq!(s.total_accesses(), 10);
+    }
+
+    #[test]
+    fn store_back_doubles_accesses() {
+        let mut e = Engine::new(MachineConfig::small());
+        let k = strided_kernel(10, 5, GAddr::dram(0, 0), 64, 8).with_store_back();
+        e.spawn(Placement::Unit(0, 0), crate::SpawnClass::Sgt, Box::new(k));
+        let s = e.run();
+        assert_eq!(s.total_accesses(), 20);
+    }
+
+    #[test]
+    fn memory_bound_kernel_is_dominated_by_latency() {
+        let run = |compute: u64| {
+            let mut e = Engine::new(MachineConfig::small());
+            let k = strided_kernel(100, compute, GAddr::dram(0, 0), 64, 8);
+            e.spawn(Placement::Unit(0, 0), crate::SpawnClass::Sgt, Box::new(k));
+            e.run().now
+        };
+        let memory_bound = run(1);
+        let compute_bound = run(10_000);
+        assert!(compute_bound > memory_bound * 5);
+    }
+}

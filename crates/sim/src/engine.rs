@@ -1,0 +1,795 @@
+//! The discrete-event simulation engine.
+//!
+//! Units execute the effects of their running hardware thread inline until
+//! it blocks (load, wait) or ends; the engine then charges a context switch
+//! and resumes another ready hardware thread of the same unit. Blocked
+//! threads are woken by timed events (memory replies, message arrivals,
+//! signals). This yields the switch-on-long-latency-event execution
+//! discipline of Cyclops-64 / HTMT-class machines that the paper targets.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::config::{MachineConfig, SpawnClass};
+use crate::memory::MemorySystem;
+use crate::network::Network;
+use crate::stats::Stats;
+use crate::task::{Effect, OnArrive, SignalId, SimThread, TaskCtx};
+use crate::{Cycle, NodeId, UnitId};
+
+/// Identifier of a simulated thread within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Where to place a spawned thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// On the same unit as the spawner (shares its scratchpad).
+    Local,
+    /// On a specific unit of a specific node.
+    Unit(NodeId, UnitId),
+    /// On the least-loaded unit of a specific node.
+    Node(NodeId),
+    /// On the least-loaded unit machine-wide.
+    AnyWhere,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Ready,
+    Running,
+    Blocked,
+    Finished,
+}
+
+struct TaskEntry {
+    thread: Box<dyn SimThread>,
+    state: TaskState,
+    class: SpawnClass,
+    node: NodeId,
+    unit: UnitId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A blocked task becomes runnable again.
+    Wake(TaskId),
+    /// A network message arrives at its destination node.
+    Deliver(u64),
+}
+
+#[derive(Default)]
+struct UnitState {
+    /// Tasks resident on this unit that are ready to run.
+    ready: VecDeque<TaskId>,
+    /// Tasks waiting for a free hardware-thread slot on this unit.
+    parked: VecDeque<TaskId>,
+    /// Hardware-thread slots currently occupied by live contexts.
+    slots_in_use: usize,
+    /// Number of live (not finished) tasks resident on this unit.
+    resident: usize,
+    /// Cycle up to which the unit has been simulated (busy until then).
+    free_at: Cycle,
+    /// Last task that occupied the pipeline (for switch accounting).
+    last_run: Option<TaskId>,
+    /// Cycle at which the unit went idle (for idle accounting).
+    idle_since: Cycle,
+    /// Whether the unit is currently idle and waiting for work.
+    idle: bool,
+}
+
+struct SignalState {
+    count: u64,
+    waiters: VecDeque<TaskId>,
+}
+
+/// The simulator: machine state plus the event calendar.
+pub struct Engine {
+    cfg: MachineConfig,
+    memory: MemorySystem,
+    network: Network,
+    tasks: Vec<TaskEntry>,
+    units: Vec<UnitState>,
+    signals: HashMap<u64, SignalState>,
+    calendar: BinaryHeap<Reverse<(Cycle, u64, Ev)>>,
+    in_flight: HashMap<u64, (NodeId, OnArrive)>,
+    seq: u64,
+    now: Cycle,
+    stats: Stats,
+    /// Round-robin cursor for `Placement::AnyWhere` / `Node` when loads tie.
+    place_cursor: usize,
+}
+
+impl Engine {
+    /// Build an engine for the given machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let units = (0..cfg.total_units()).map(|_| UnitState::default()).collect();
+        let memory = MemorySystem::new(cfg.memory.clone(), cfg.nodes);
+        let network = Network::new(cfg.network.clone(), cfg.nodes);
+        Self {
+            cfg,
+            memory,
+            network,
+            tasks: Vec::new(),
+            units,
+            signals: HashMap::new(),
+            calendar: BinaryHeap::new(),
+            in_flight: HashMap::new(),
+            seq: 0,
+            now: 0,
+            stats: Stats::default(),
+            place_cursor: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the memory model (e.g. to drift DRAM latency
+    /// between [`Engine::run_until`] calls).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.memory
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn unit_index(&self, node: NodeId, unit: UnitId) -> usize {
+        node as usize * self.cfg.units_per_node as usize + unit as usize
+    }
+
+    fn resolve_placement(&mut self, place: Placement, from: (NodeId, UnitId)) -> (NodeId, UnitId) {
+        match place {
+            Placement::Local => from,
+            Placement::Unit(n, u) => (n, u),
+            Placement::Node(n) => {
+                let base = n as usize * self.cfg.units_per_node as usize;
+                let upn = self.cfg.units_per_node as usize;
+                let mut best = 0usize;
+                let mut best_load = usize::MAX;
+                for i in 0..upn {
+                    let idx = base + (i + self.place_cursor) % upn;
+                    let load = self.units[idx].resident;
+                    if load < best_load {
+                        best_load = load;
+                        best = idx - base;
+                    }
+                }
+                self.place_cursor = self.place_cursor.wrapping_add(1);
+                (n, best as UnitId)
+            }
+            Placement::AnyWhere => {
+                let total = self.units.len();
+                let mut best = 0usize;
+                let mut best_load = usize::MAX;
+                for i in 0..total {
+                    let idx = (i + self.place_cursor) % total;
+                    let load = self.units[idx].resident;
+                    if load < best_load {
+                        best_load = load;
+                        best = idx;
+                    }
+                }
+                self.place_cursor = self.place_cursor.wrapping_add(1);
+                (
+                    (best / self.cfg.units_per_node as usize) as NodeId,
+                    (best % self.cfg.units_per_node as usize) as UnitId,
+                )
+            }
+        }
+    }
+
+    /// Spawn a boxed thread. Returns its id.
+    pub fn spawn(
+        &mut self,
+        place: Placement,
+        class: SpawnClass,
+        task: Box<dyn SimThread>,
+    ) -> TaskId {
+        let (node, unit) = self.resolve_placement(place, (0, 0));
+        self.admit(task, class, node, unit)
+    }
+
+    /// Spawn a closure-backed thread with SGT cost accounting.
+    pub fn spawn_closure<F>(&mut self, place: Placement, f: F) -> TaskId
+    where
+        F: FnMut(&mut TaskCtx) -> Effect + Send + 'static,
+    {
+        self.spawn(place, SpawnClass::Sgt, Box::new(f))
+    }
+
+    fn admit(&mut self, thread: Box<dyn SimThread>, class: SpawnClass, node: NodeId, unit: UnitId) -> TaskId {
+        let id = TaskId(self.tasks.len() as u64);
+        self.tasks.push(TaskEntry {
+            thread,
+            state: TaskState::Ready,
+            class,
+            node,
+            unit,
+        });
+        self.stats.record_spawn(class);
+        let idx = self.unit_index(node, unit);
+        self.units[idx].resident += 1;
+        // A context only becomes runnable once a hardware-thread slot is
+        // free; excess tasks park until a resident context retires.
+        if self.units[idx].slots_in_use < self.cfg.hw_threads_per_unit as usize {
+            self.units[idx].slots_in_use += 1;
+            self.units[idx].ready.push_back(id);
+            self.wake_unit_if_idle(idx);
+        } else {
+            self.units[idx].parked.push_back(id);
+        }
+        id
+    }
+
+    /// Pre-load a signal with `amount` units (e.g. to model data already
+    /// present).
+    pub fn preload_signal(&mut self, sig: SignalId, amount: u64) {
+        self.signal_entry(sig).count += amount;
+    }
+
+    fn signal_entry(&mut self, sig: SignalId) -> &mut SignalState {
+        self.signals.entry(sig.0).or_insert_with(|| SignalState {
+            count: 0,
+            waiters: VecDeque::new(),
+        })
+    }
+
+    fn post(&mut self, at: Cycle, ev: Ev) {
+        self.seq += 1;
+        self.calendar.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn wake_unit_if_idle(&mut self, idx: usize) {
+        if self.units[idx].idle {
+            self.units[idx].idle = false;
+            self.stats.idle_cycles += self.now.saturating_sub(self.units[idx].idle_since);
+            self.units[idx].free_at = self.units[idx].free_at.max(self.now);
+            self.run_unit(idx);
+        }
+    }
+
+    fn signal(&mut self, sig: SignalId, amount: u32) {
+        let entry = self.signal_entry(sig);
+        entry.count += amount as u64;
+        // Wake as many waiters as there are available units. Waking happens
+        // after releasing the signal-table borrow; signal delivery within a
+        // node is modelled as free, cross-node signalling pays network cost
+        // on the Send path instead.
+        let mut to_wake = Vec::new();
+        while entry.count > 0 {
+            match entry.waiters.pop_front() {
+                Some(tid) => {
+                    entry.count -= 1;
+                    to_wake.push(tid);
+                }
+                None => break,
+            }
+        }
+        for tid in to_wake {
+            self.ready_task(tid);
+        }
+    }
+
+    fn ready_task(&mut self, tid: TaskId) {
+        let (node, unit) = {
+            let t = &mut self.tasks[tid.0 as usize];
+            debug_assert_ne!(t.state, TaskState::Finished);
+            t.state = TaskState::Ready;
+            (t.node, t.unit)
+        };
+        let idx = self.unit_index(node, unit);
+        self.units[idx].ready.push_back(tid);
+        self.wake_unit_if_idle(idx);
+    }
+
+    /// Execute the ready work of one unit, inline, starting at the unit's
+    /// `free_at` time, until it has no runnable hardware thread.
+    fn run_unit(&mut self, idx: usize) {
+        loop {
+            let Some(tid) = self.units[idx].ready.pop_front() else {
+                if !self.units[idx].idle {
+                    self.units[idx].idle = true;
+                    self.units[idx].idle_since = self.units[idx].free_at.max(self.now);
+                }
+                return;
+            };
+            let mut t_now = self.units[idx].free_at.max(self.now);
+            // Charge a hardware-thread switch when the pipeline changes
+            // occupant (in-stream switching: a few cycles by default).
+            if self.units[idx].last_run != Some(tid) && self.units[idx].last_run.is_some() {
+                t_now += self.cfg.switch_cost;
+                self.stats.switch_cycles += self.cfg.switch_cost;
+                self.stats.switches += 1;
+            }
+            self.units[idx].last_run = Some(tid);
+            self.tasks[tid.0 as usize].state = TaskState::Running;
+            self.drive_task(idx, tid, &mut t_now);
+            self.units[idx].free_at = t_now;
+            // Loop to pick the next ready hardware thread of this unit.
+        }
+    }
+
+    /// Run one task until it blocks, yields or finishes.
+    fn drive_task(&mut self, idx: usize, tid: TaskId, t_now: &mut Cycle) {
+        let (node, unit) = {
+            let t = &self.tasks[tid.0 as usize];
+            (t.node, t.unit)
+        };
+        loop {
+            let mut ctx = TaskCtx {
+                now: *t_now,
+                node,
+                unit,
+                task: tid,
+            };
+            // Split borrow: take the thread out to call resume without
+            // holding a borrow of `self`.
+            let mut thread = std::mem::replace(
+                &mut self.tasks[tid.0 as usize].thread,
+                Box::new(|_: &mut TaskCtx| Effect::Done),
+            );
+            let eff = thread.resume(&mut ctx);
+            self.tasks[tid.0 as usize].thread = thread;
+            match eff {
+                Effect::Compute(c) => {
+                    *t_now += c;
+                    self.stats.busy_cycles += c;
+                }
+                Effect::Signal(sig, amount) => {
+                    self.signal(sig, amount);
+                }
+                Effect::Spawn { task, place, class } => {
+                    let cost = self.cfg.spawn_cost(class);
+                    *t_now += cost;
+                    self.stats.busy_cycles += cost;
+                    let (n, u) = self.resolve_placement(place, (node, unit));
+                    self.admit(task, class, n, u);
+                }
+                Effect::Store { addr, size } => {
+                    *t_now += self.cfg.mem_issue_cost;
+                    self.stats.busy_cycles += self.cfg.mem_issue_cost;
+                    let done = self.access_time(node, addr, size, *t_now);
+                    let level = addr.level_from(node, unit);
+                    self.stats.record_access(level, done - *t_now);
+                    if self.cfg.blocking_stores {
+                        self.block_until(tid, done);
+                        return;
+                    }
+                }
+                Effect::Load { addr, size } => {
+                    *t_now += self.cfg.mem_issue_cost;
+                    self.stats.busy_cycles += self.cfg.mem_issue_cost;
+                    let done = self.access_time(node, addr, size, *t_now);
+                    let level = addr.level_from(node, unit);
+                    self.stats.record_access(level, done - *t_now);
+                    if done <= *t_now {
+                        // Fast local hit: charge inline, no switch.
+                        *t_now = done;
+                    } else {
+                        self.block_until(tid, done);
+                        return;
+                    }
+                }
+                Effect::Send { dst, size, action } => {
+                    *t_now += self.cfg.mem_issue_cost;
+                    self.stats.busy_cycles += self.cfg.mem_issue_cost;
+                    let arrive = self.network.send(node, dst, size, *t_now);
+                    self.seq += 1;
+                    let msg_id = self.seq;
+                    self.in_flight.insert(msg_id, (dst, action));
+                    self.post(arrive, Ev::Deliver(msg_id));
+                }
+                Effect::Wait(sig) => {
+                    let entry = self.signal_entry(sig);
+                    if entry.count > 0 {
+                        entry.count -= 1;
+                    } else {
+                        entry.waiters.push_back(tid);
+                        self.tasks[tid.0 as usize].state = TaskState::Blocked;
+                        return;
+                    }
+                }
+                Effect::Yield => {
+                    self.tasks[tid.0 as usize].state = TaskState::Ready;
+                    self.units[idx].ready.push_back(tid);
+                    return;
+                }
+                Effect::Done => {
+                    let class = self.tasks[tid.0 as usize].class;
+                    let cost = self.cfg.reap_cost(class);
+                    *t_now += cost;
+                    self.stats.busy_cycles += cost;
+                    self.tasks[tid.0 as usize].state = TaskState::Finished;
+                    self.units[idx].resident -= 1;
+                    self.stats.tasks_completed += 1;
+                    // Hand the freed hardware-thread slot to a parked task.
+                    if let Some(next) = self.units[idx].parked.pop_front() {
+                        self.units[idx].ready.push_back(next);
+                    } else {
+                        self.units[idx].slots_in_use -= 1;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Completion time of an access to `addr` issued from `node` at `t`.
+    /// Remote accesses pay request + home access + response.
+    fn access_time(&mut self, node: NodeId, addr: crate::GAddr, size: u32, t: Cycle) -> Cycle {
+        if addr.node == node {
+            self.memory.access(addr, size, t)
+        } else {
+            let req_arrive = self.network.send(node, addr.node, 32, t);
+            let served = self.memory.access(addr, size, req_arrive);
+            self.network.send(addr.node, node, size, served)
+        }
+    }
+
+    fn block_until(&mut self, tid: TaskId, at: Cycle) {
+        self.tasks[tid.0 as usize].state = TaskState::Blocked;
+        self.post(at, Ev::Wake(tid));
+    }
+
+    fn deliver(&mut self, msg_id: u64) {
+        let Some((dst, action)) = self.in_flight.remove(&msg_id) else {
+            return;
+        };
+        match action {
+            OnArrive::Signal(sig, amount) => self.signal(sig, amount),
+            OnArrive::Spawn(task, place, class) => {
+                self.stats.parcels += 1;
+                let (n, u) = self.resolve_placement(place, (dst, 0));
+                // Force the parcel onto its destination node even when the
+                // placement was expressed relative to the sender.
+                let (n, u) = if n == dst { (n, u) } else { (dst, 0) };
+                self.admit(task, class, n, u);
+            }
+        }
+    }
+
+    /// Run until the calendar drains and all units are quiescent, or until
+    /// `limit` cycles. Returns the final statistics snapshot.
+    pub fn run_until(&mut self, limit: Cycle) -> Stats {
+        // Kick off any units with ready work.
+        for idx in 0..self.units.len() {
+            if !self.units[idx].ready.is_empty() {
+                self.run_unit(idx);
+            } else if !self.units[idx].idle {
+                self.units[idx].idle = true;
+                self.units[idx].idle_since = self.units[idx].free_at;
+            }
+        }
+        while let Some(&Reverse((at, _, _))) = self.calendar.peek() {
+            if at > limit {
+                break;
+            }
+            let Reverse((at, _, ev)) = self.calendar.pop().unwrap();
+            self.now = at;
+            match ev {
+                Ev::Wake(tid) => {
+                    if self.tasks[tid.0 as usize].state == TaskState::Blocked {
+                        self.ready_task(tid);
+                    }
+                }
+                Ev::Deliver(msg) => self.deliver(msg),
+            }
+        }
+        self.finish_stats();
+        self.stats.clone()
+    }
+
+    /// Run to quiescence.
+    pub fn run(&mut self) -> Stats {
+        self.run_until(Cycle::MAX)
+    }
+
+    fn finish_stats(&mut self) {
+        // Close idle intervals and set the makespan to the latest unit time.
+        let end = self
+            .units
+            .iter()
+            .map(|u| u.free_at)
+            .max()
+            .unwrap_or(0)
+            .max(self.now);
+        for u in &mut self.units {
+            if u.idle {
+                self.stats.idle_cycles += end.saturating_sub(u.idle_since.min(end));
+                u.idle_since = end;
+            }
+        }
+        self.now = end;
+        self.stats.now = end;
+        // Network traffic counters come from the transport model so that
+        // remote loads/stores (request+response) are included alongside
+        // explicit sends.
+        self.stats.messages = self.network.message_count();
+        self.stats.message_bytes = self.network.byte_count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GAddr, MemLevel};
+
+    fn small() -> Engine {
+        Engine::new(MachineConfig::small())
+    }
+
+    #[test]
+    fn compute_only_task_finishes() {
+        let mut e = small();
+        let mut left = 3;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            if left == 0 {
+                Effect::Done
+            } else {
+                left -= 1;
+                Effect::Compute(100)
+            }
+        });
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 1);
+        // 3×100 compute + SGT reap cost.
+        assert_eq!(s.now, 300 + MachineConfig::small().reap_cost_sgt);
+    }
+
+    #[test]
+    fn load_blocks_for_dram_latency() {
+        let mut e = small();
+        let mut step = 0;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            step += 1;
+            match step {
+                1 => Effect::Load {
+                    addr: GAddr::dram(0, 0),
+                    size: 8,
+                },
+                _ => Effect::Done,
+            }
+        });
+        let s = e.run();
+        let cfg = MachineConfig::small();
+        assert!(s.now >= cfg.memory.dram_latency);
+        assert_eq!(s.mem.get(&MemLevel::Dram).unwrap().accesses, 1);
+    }
+
+    #[test]
+    fn two_hw_threads_overlap_memory_latency() {
+        // One thread leaves the unit stalled on DRAM; a second hardware
+        // thread should fill the gap, so two tasks take much less than 2×.
+        let makespan = |tasks: usize| {
+            let mut e = small();
+            for t in 0..tasks {
+                let mut i = 0;
+                e.spawn_closure(Placement::Unit(0, 0), move |_| {
+                    i += 1;
+                    if i > 50 {
+                        Effect::Done
+                    } else {
+                        Effect::Load {
+                            addr: GAddr::dram(0, (t * 8192 + i * 64) as u64),
+                            size: 8,
+                        }
+                    }
+                });
+            }
+            e.run().now
+        };
+        let one = makespan(1);
+        let two = makespan(2);
+        assert!(
+            (two as f64) < (one as f64) * 1.5,
+            "two hw threads should overlap latency: one={one}, two={two}"
+        );
+    }
+
+    #[test]
+    fn signals_synchronize_producer_consumer() {
+        let mut e = small();
+        let sig = SignalId(1);
+        let mut cstep = 0;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            cstep += 1;
+            match cstep {
+                1 => Effect::Wait(sig),
+                _ => Effect::Done,
+            }
+        });
+        let mut pstep = 0;
+        e.spawn_closure(Placement::Unit(0, 1), move |_| {
+            pstep += 1;
+            match pstep {
+                1 => Effect::Compute(500),
+                2 => Effect::Signal(sig, 1),
+                _ => Effect::Done,
+            }
+        });
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 2);
+        assert!(s.now >= 500);
+    }
+
+    #[test]
+    fn preloaded_signal_does_not_block() {
+        let mut e = small();
+        let sig = SignalId(9);
+        e.preload_signal(sig, 1);
+        let mut step = 0;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            step += 1;
+            match step {
+                1 => Effect::Wait(sig),
+                _ => Effect::Done,
+            }
+        });
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 1);
+    }
+
+    #[test]
+    fn parcel_spawns_at_destination() {
+        let mut cfg = MachineConfig::small();
+        cfg.nodes = 2;
+        let mut e = Engine::new(cfg);
+        let sig = SignalId(7);
+        let mut step = 0;
+        // Sender on node 0 ships a parcel to node 1; the parcel signals on
+        // completion; the sender waits for the ack signal.
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            step += 1;
+            match step {
+                1 => {
+                    let mut pstep = 0;
+                    let parcel = Box::new(move |ctx: &mut TaskCtx| {
+                        pstep += 1;
+                        match pstep {
+                            1 => {
+                                assert_eq!(ctx.node, 1, "parcel must run at destination");
+                                Effect::Compute(50)
+                            }
+                            2 => Effect::Signal(sig, 1),
+                            _ => Effect::Done,
+                        }
+                    });
+                    Effect::Send {
+                        dst: 1,
+                        size: 64,
+                        action: OnArrive::Spawn(parcel, Placement::Node(1), SpawnClass::Sgt),
+                    }
+                }
+                2 => Effect::Wait(sig),
+                _ => Effect::Done,
+            }
+        });
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 2);
+        assert_eq!(s.parcels, 1);
+        assert!(s.messages >= 1);
+    }
+
+    #[test]
+    fn spawn_charges_class_costs() {
+        let run = |class: SpawnClass| {
+            let mut e = small();
+            let mut step = 0;
+            e.spawn_closure(Placement::Unit(0, 0), move |_| {
+                step += 1;
+                match step {
+                    1 => Effect::Spawn {
+                        task: Box::new(|_: &mut TaskCtx| Effect::Done),
+                        place: Placement::Local,
+                        class,
+                    },
+                    _ => Effect::Done,
+                }
+            });
+            e.run().now
+        };
+        assert!(run(SpawnClass::Lgt) > run(SpawnClass::Sgt));
+        assert!(run(SpawnClass::Sgt) > run(SpawnClass::Tgt));
+    }
+
+    #[test]
+    fn placement_node_prefers_less_loaded_units() {
+        let mut e = small();
+        // Pin three tasks to unit 0, then ask for Node placement: it should
+        // not choose unit 0.
+        for _ in 0..3 {
+            e.spawn_closure(Placement::Unit(0, 0), |_| Effect::Done);
+        }
+        let id = e.spawn_closure(Placement::Node(0), |_| Effect::Done);
+        let t = &e.tasks[id.0 as usize];
+        assert_ne!(t.unit, 0);
+    }
+
+    #[test]
+    fn yield_interleaves_two_tasks_on_one_slot_budget() {
+        let mut e = small();
+        for _ in 0..2 {
+            let mut i = 0;
+            e.spawn_closure(Placement::Unit(0, 0), move |_| {
+                i += 1;
+                if i > 3 {
+                    Effect::Done
+                } else {
+                    Effect::Yield
+                }
+            });
+        }
+        let s = e.run();
+        assert_eq!(s.tasks_completed, 2);
+        assert!(s.switches > 0, "yielding must cause hardware-thread switches");
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let mut e = small();
+        let mut i: u64 = 0;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            i += 1;
+            if i > 1_000 {
+                Effect::Done
+            } else {
+                Effect::Load {
+                    addr: GAddr::dram(0, i * 64),
+                    size: 8,
+                }
+            }
+        });
+        let s = e.run_until(500);
+        assert_eq!(s.tasks_completed, 0);
+        let s2 = e.run();
+        assert_eq!(s2.tasks_completed, 1);
+    }
+
+    #[test]
+    fn remote_loads_cost_more_than_local() {
+        let mut cfg = MachineConfig::small();
+        cfg.nodes = 2;
+        let once = |addr: GAddr, cfg: &MachineConfig| {
+            let mut e = Engine::new(cfg.clone());
+            let mut step = 0;
+            e.spawn_closure(Placement::Unit(0, 0), move |_| {
+                step += 1;
+                match step {
+                    1 => Effect::Load { addr, size: 8 },
+                    _ => Effect::Done,
+                }
+            });
+            e.run().now
+        };
+        let local = once(GAddr::dram(0, 0), &cfg);
+        let remote = once(GAddr::dram(1, 0), &cfg);
+        assert!(remote > local * 2, "remote={remote} local={local}");
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let mut e = small();
+        let mut left = 10;
+        e.spawn_closure(Placement::Unit(0, 0), move |_| {
+            if left == 0 {
+                Effect::Done
+            } else {
+                left -= 1;
+                Effect::Compute(1000)
+            }
+        });
+        let s = e.run();
+        let util = s.utilization(e.config().total_units());
+        assert!(util > 0.0 && util <= 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # htvm-sim — a function-accurate simulator for a Cyclops-64-class HEC machine
+//!
+//! This crate is the machine substrate of the HTVM reproduction (Gao et al.,
+//! IPDPS 2006, §5.1). The paper's experimental testbed was the IBM Cyclops-64
+//! software infrastructure and its *function-accurate* simulator; neither is
+//! publicly available, so this crate implements the closest open equivalent:
+//! a discrete-event simulator of a multi-node machine in which each node is a
+//! chip with many in-order **thread units**, each holding several **hardware
+//! thread slots** that are switched *in the application instruction stream*
+//! (a few cycles per switch, not an OS trap), a **scratchpad / on-chip SRAM /
+//! off-chip DRAM** memory hierarchy with banked contention, and an
+//! inter-node network forming a **global shared address space**.
+//!
+//! Simulated work is expressed as [`SimThread`]s: state machines that yield
+//! [`Effect`]s (compute, load, store, send, spawn, wait, …). The engine
+//! charges cycle costs from the [`MachineConfig`], models queueing contention
+//! on memory banks / DRAM channels / NICs, and interleaves the hardware
+//! threads of each unit so that memory latency can be hidden by
+//! multithreading — the central phenomenon the paper builds on.
+//!
+//! ```
+//! use htvm_sim::{Engine, MachineConfig, Effect, GAddr, Placement};
+//!
+//! let mut engine = Engine::new(MachineConfig::small());
+//! let addr = GAddr::dram(0, 0x1000);
+//! let mut remaining = 8u32;
+//! engine.spawn_closure(Placement::Unit(0, 0), move |_ctx| {
+//!     if remaining == 0 {
+//!         return Effect::Done;
+//!     }
+//!     remaining -= 1;
+//!     Effect::Load { addr, size: 8 }
+//! });
+//! let stats = engine.run();
+//! assert_eq!(stats.tasks_completed, 1);
+//! assert!(stats.now > 0);
+//! ```
+
+pub mod addr;
+pub mod builtin;
+pub mod config;
+pub mod engine;
+pub mod memory;
+pub mod network;
+pub mod stats;
+pub mod task;
+
+pub use addr::{GAddr, MemLevel, Region};
+pub use builtin::{compute_task, strided_kernel, StridedKernel};
+pub use config::{MachineConfig, MemoryConfig, NetworkConfig, SpawnClass};
+pub use engine::{Engine, Placement, TaskId};
+pub use memory::MemorySystem;
+pub use network::Network;
+pub use stats::Stats;
+pub use task::{Effect, OnArrive, SignalId, SimThread, TaskCtx};
+
+/// A simulated time stamp, in machine clock cycles.
+pub type Cycle = u64;
+
+/// A node (chip) identifier within the simulated machine.
+pub type NodeId = u16;
+
+/// A thread-unit identifier within a node.
+pub type UnitId = u16;

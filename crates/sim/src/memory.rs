@@ -1,0 +1,197 @@
+//! Timing model of the memory hierarchy.
+//!
+//! Each contended resource (SRAM bank, DRAM channel) tracks the cycle at
+//! which it next becomes free; an access occupies its resource for a
+//! configurable service time, so bursts of concurrent accesses queue up —
+//! the "number of concurrent accesses and the available memory bandwidth"
+//! dependence that §2's *latency adaptation* reacts to.
+
+use crate::addr::{GAddr, Region};
+use crate::config::MemoryConfig;
+use crate::{Cycle, NodeId};
+
+/// Per-node banked memory state.
+#[derive(Debug, Clone)]
+struct NodeMemory {
+    onchip_bank_free: Vec<Cycle>,
+    dram_channel_free: Vec<Cycle>,
+}
+
+/// The machine-wide memory timing model.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemoryConfig,
+    nodes: Vec<NodeMemory>,
+    /// Multiplier (×1000) applied to DRAM latency; the latency-adaptation
+    /// experiments drift this at run time to emulate changing load from
+    /// other jobs on the machine.
+    dram_latency_milli_scale: u64,
+}
+
+impl MemorySystem {
+    /// Build the model for `nodes` nodes with the given parameters.
+    pub fn new(cfg: MemoryConfig, nodes: NodeId) -> Self {
+        let node = NodeMemory {
+            onchip_bank_free: vec![0; cfg.onchip_banks.max(1) as usize],
+            dram_channel_free: vec![0; cfg.dram_channels.max(1) as usize],
+        };
+        Self {
+            cfg,
+            nodes: vec![node; nodes as usize],
+            dram_latency_milli_scale: 1000,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Scale DRAM latency by `scale` (1.0 = configured value). Used by the
+    /// latency-drift experiments; takes effect for subsequent accesses.
+    pub fn set_dram_latency_scale(&mut self, scale: f64) {
+        self.dram_latency_milli_scale = (scale.max(0.0) * 1000.0) as u64;
+    }
+
+    fn dram_latency(&self) -> Cycle {
+        self.cfg.dram_latency * self.dram_latency_milli_scale / 1000
+    }
+
+    /// Uncontended latency of an access to `addr` from its *home node*
+    /// perspective (network cost excluded).
+    pub fn base_latency(&self, addr: GAddr) -> Cycle {
+        match addr.region {
+            Region::Spm(_) => self.cfg.spm_latency,
+            Region::OnChip => self.cfg.onchip_latency,
+            Region::Dram => self.dram_latency(),
+        }
+    }
+
+    /// Charge an access of `size` bytes to `addr` issued at `now` (already
+    /// arrived at the home node); returns the completion time. Mutates the
+    /// contention state of the touched bank/channel.
+    pub fn access(&mut self, addr: GAddr, size: u32, now: Cycle) -> Cycle {
+        let lat = self.base_latency(addr);
+        match addr.region {
+            Region::Spm(_) => now + lat,
+            Region::OnChip => {
+                let node = &mut self.nodes[addr.node as usize];
+                let bank =
+                    (addr.offset / self.cfg.interleave_bytes.max(1)) as usize % node.onchip_bank_free.len();
+                let start = now.max(node.onchip_bank_free[bank]);
+                let service = self.cfg.onchip_occupancy * lines(size);
+                node.onchip_bank_free[bank] = start + service;
+                start + service + lat
+            }
+            Region::Dram => {
+                let node = &mut self.nodes[addr.node as usize];
+                let chan = (addr.offset / self.cfg.interleave_bytes.max(1)) as usize
+                    % node.dram_channel_free.len();
+                let start = now.max(node.dram_channel_free[chan]);
+                let service =
+                    self.cfg.dram_occupancy + self.cfg.dram_occupancy_per_64b * lines(size).saturating_sub(1);
+                node.dram_channel_free[chan] = start + service;
+                start + service + lat
+            }
+        }
+    }
+
+    /// Earliest cycle at which any DRAM channel of `node` is free — a cheap
+    /// congestion probe for the monitor.
+    pub fn dram_backlog(&self, node: NodeId, now: Cycle) -> Cycle {
+        self.nodes[node as usize]
+            .dram_channel_free
+            .iter()
+            .map(|&f| f.saturating_sub(now))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Number of 64-byte lines a payload occupies (≥1).
+fn lines(size: u32) -> u64 {
+    ((size.max(1) as u64) + 63) / 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MemoryConfig::default(), 2)
+    }
+
+    #[test]
+    fn spm_is_fast_and_uncontended() {
+        let mut m = sys();
+        let a = GAddr::spm(0, 0, 0);
+        assert_eq!(m.access(a, 8, 100), 100 + m.config().spm_latency);
+        assert_eq!(m.access(a, 8, 100), 100 + m.config().spm_latency);
+    }
+
+    #[test]
+    fn same_bank_accesses_queue() {
+        let mut m = sys();
+        let a = GAddr::onchip(0, 0);
+        let t1 = m.access(a, 8, 0);
+        let t2 = m.access(a, 8, 0);
+        assert!(t2 > t1, "second access to the same bank must queue");
+    }
+
+    #[test]
+    fn different_banks_do_not_queue() {
+        let mut m = sys();
+        let a = GAddr::onchip(0, 0);
+        let b = GAddr::onchip(0, 64); // next bank under 64B interleave
+        let t1 = m.access(a, 8, 0);
+        let t2 = m.access(b, 8, 0);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn dram_slower_than_onchip() {
+        let mut m = sys();
+        let on = m.access(GAddr::onchip(0, 0), 8, 0);
+        let off = m.access(GAddr::dram(0, 0), 8, 0);
+        assert!(off > on);
+    }
+
+    #[test]
+    fn large_payloads_occupy_longer() {
+        let mut m = sys();
+        let small_done = m.access(GAddr::dram(0, 0), 64, 0);
+        let mut m2 = sys();
+        let big_done = m2.access(GAddr::dram(0, 0), 4096, 0);
+        assert!(big_done > small_done);
+    }
+
+    #[test]
+    fn latency_scale_drifts_dram() {
+        let mut m = sys();
+        let base = m.access(GAddr::dram(0, 0), 8, 0);
+        m.set_dram_latency_scale(4.0);
+        let mut m2 = sys();
+        m2.set_dram_latency_scale(4.0);
+        let scaled = m2.access(GAddr::dram(0, 0), 8, 0);
+        assert!(scaled > base);
+    }
+
+    #[test]
+    fn nodes_have_independent_banks() {
+        let mut m = sys();
+        let t1 = m.access(GAddr::onchip(0, 0), 8, 0);
+        let t2 = m.access(GAddr::onchip(1, 0), 8, 0);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn backlog_reports_queueing() {
+        let mut m = sys();
+        assert_eq!(m.dram_backlog(0, 0), 0);
+        for i in 0..32 {
+            m.access(GAddr::dram(0, i * 64), 64, 0);
+        }
+        assert!(m.dram_backlog(0, 0) > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Inter-node network timing model.
+//!
+//! Nodes sit on a 2-D mesh; a message pays a fixed overhead, a per-hop
+//! latency and NIC occupancy proportional to its size. Each node's egress
+//! NIC is a contended resource, so bulk transfers delay later messages —
+//! the effect that makes "reducing large message communications" (locality
+//! management) and parcel-based work shipping interesting trade-offs.
+
+use crate::config::NetworkConfig;
+use crate::{Cycle, NodeId};
+
+/// The network timing model.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetworkConfig,
+    egress_free: Vec<Cycle>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Network {
+    /// Build the model for `nodes` nodes.
+    pub fn new(cfg: NetworkConfig, nodes: NodeId) -> Self {
+        Self {
+            cfg,
+            egress_free: vec![0; nodes as usize],
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Mesh hop distance between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let w = self.cfg.grid_width.max(1) as i64;
+        let (ax, ay) = (a as i64 % w, a as i64 / w);
+        let (bx, by) = (b as i64 % w, b as i64 / w);
+        ((ax - bx).abs() + (ay - by).abs()) as u64
+    }
+
+    /// Pure latency (no contention) of a `size`-byte message `src → dst`.
+    pub fn base_latency(&self, src: NodeId, dst: NodeId, size: u32) -> Cycle {
+        if src == dst {
+            return 0;
+        }
+        self.cfg.message_overhead
+            + self.cfg.hop_latency * self.hops(src, dst)
+            + self.cfg.occupancy_per_64b * lines(size)
+    }
+
+    /// Charge a message of `size` bytes from `src` to `dst` injected at
+    /// `now`; returns its arrival time. Same-node sends are free.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, size: u32, now: Cycle) -> Cycle {
+        if src == dst {
+            return now;
+        }
+        self.messages += 1;
+        self.bytes += size as u64;
+        let nic = &mut self.egress_free[src as usize];
+        let start = now.max(*nic);
+        let occupancy = self.cfg.occupancy_per_64b * lines(size);
+        *nic = start + occupancy;
+        start + occupancy + self.cfg.message_overhead + self.cfg.hop_latency * self.hops(src, dst)
+    }
+
+    /// Total messages injected so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes injected so far.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+}
+
+fn lines(size: u32) -> u64 {
+    ((size.max(1) as u64) + 63) / 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetworkConfig::default(), 8)
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let mut n = net();
+        assert_eq!(n.send(3, 3, 1 << 20, 42), 42);
+        assert_eq!(n.message_count(), 0);
+    }
+
+    #[test]
+    fn hops_follow_mesh_distance() {
+        let n = net();
+        // grid_width = 4: node ids 0..3 on row 0, 4..7 on row 1.
+        assert_eq!(n.hops(0, 1), 1);
+        assert_eq!(n.hops(0, 3), 3);
+        assert_eq!(n.hops(0, 4), 1);
+        assert_eq!(n.hops(0, 7), 4);
+        assert_eq!(n.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn farther_nodes_take_longer() {
+        let mut n = net();
+        let near = n.send(0, 1, 64, 0);
+        let mut n2 = net();
+        let far = n2.send(0, 7, 64, 0);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let mut n = net();
+        let small = n.send(0, 1, 64, 0);
+        let mut n2 = net();
+        let big = n2.send(0, 1, 64 * 1024, 0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn nic_serializes_back_to_back_sends() {
+        let mut n = net();
+        let a = n.send(0, 1, 4096, 0);
+        let b = n.send(0, 1, 4096, 0);
+        assert!(b > a, "second send queues behind the first on the NIC");
+        assert_eq!(n.message_count(), 2);
+        assert_eq!(n.byte_count(), 8192);
+    }
+
+    #[test]
+    fn different_sources_do_not_contend() {
+        let mut n = net();
+        // Nodes 1 and 3 are both one hop from node 2 on the 4-wide mesh.
+        let a = n.send(1, 2, 4096, 0);
+        let b = n.send(3, 2, 4096, 0);
+        assert_eq!(a, b);
+    }
+}

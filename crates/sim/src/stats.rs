@@ -1,0 +1,148 @@
+//! Execution statistics collected by the engine.
+//!
+//! These counters are the raw material of the paper's §4.2 "monitoring of
+//! application execution": the `htvm-adapt` monitor samples them during a
+//! run and feeds the adaptive runtime.
+
+use std::collections::BTreeMap;
+
+use crate::addr::MemLevel;
+use crate::config::SpawnClass;
+use crate::Cycle;
+
+/// Per-memory-level access accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Number of loads+stores resolved at this level.
+    pub accesses: u64,
+    /// Sum of observed (contended) latencies of blocking accesses.
+    pub total_latency: Cycle,
+}
+
+impl LevelStats {
+    /// Mean observed latency, or 0 if no accesses.
+    pub fn mean_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Machine-wide statistics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Simulated time at which the run ended (makespan).
+    pub now: Cycle,
+    /// Cycles thread units spent executing compute or issue work.
+    pub busy_cycles: Cycle,
+    /// Cycles units spent switching hardware threads.
+    pub switch_cycles: Cycle,
+    /// Cycles units sat idle with no ready hardware thread.
+    pub idle_cycles: Cycle,
+    /// Number of hardware-thread context switches.
+    pub switches: u64,
+    /// Tasks spawned, per grain class.
+    pub spawns: BTreeMap<SpawnClass, u64>,
+    /// Tasks completed (all classes).
+    pub tasks_completed: u64,
+    /// Load/store accounting per memory level, as seen from issuing units.
+    pub mem: BTreeMap<MemLevel, LevelStats>,
+    /// Messages delivered across the network.
+    pub messages: u64,
+    /// Payload bytes moved across the network.
+    pub message_bytes: u64,
+    /// Parcels (spawn-on-arrival messages) delivered.
+    pub parcels: u64,
+}
+
+impl Stats {
+    /// Fraction of unit-cycles spent busy, over all units.
+    ///
+    /// `units` is the unit count the run used; utilization is
+    /// `busy / (units × makespan)`.
+    pub fn utilization(&self, units: usize) -> f64 {
+        if self.now == 0 || units == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / (self.now as f64 * units as f64)
+    }
+
+    /// Total memory accesses across all levels.
+    pub fn total_accesses(&self) -> u64 {
+        self.mem.values().map(|l| l.accesses).sum()
+    }
+
+    /// Fraction of accesses resolved remotely (over the network).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let remote = self.mem.get(&MemLevel::Remote).map_or(0, |l| l.accesses);
+        remote as f64 / total as f64
+    }
+
+    /// Record an access (engine-internal).
+    pub(crate) fn record_access(&mut self, level: MemLevel, latency: Cycle) {
+        let e = self.mem.entry(level).or_default();
+        e.accesses += 1;
+        e.total_latency += latency;
+    }
+
+    /// Record a spawn (engine-internal).
+    pub(crate) fn record_spawn(&mut self, class: SpawnClass) {
+        *self.spawns.entry(class).or_insert(0) += 1;
+    }
+
+    /// Spawn count of a class.
+    pub fn spawned(&self, class: SpawnClass) -> u64 {
+        self.spawns.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Mean observed latency at one level.
+    pub fn mean_latency(&self, level: MemLevel) -> f64 {
+        self.mem.get(&level).map_or(0.0, |l| l.mean_latency())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut s = Stats {
+            now: 1000,
+            busy_cycles: 1500,
+            ..Default::default()
+        };
+        assert!((s.utilization(2) - 0.75).abs() < 1e-9);
+        s.busy_cycles = 0;
+        assert_eq!(s.utilization(2), 0.0);
+        assert_eq!(Stats::default().utilization(4), 0.0);
+    }
+
+    #[test]
+    fn remote_fraction_counts_levels() {
+        let mut s = Stats::default();
+        s.record_access(MemLevel::Dram, 80);
+        s.record_access(MemLevel::Remote, 400);
+        s.record_access(MemLevel::Remote, 420);
+        assert!((s.remote_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.total_accesses(), 3);
+        assert!((s.mean_latency(MemLevel::Remote) - 410.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spawn_counters_track_classes() {
+        let mut s = Stats::default();
+        s.record_spawn(SpawnClass::Sgt);
+        s.record_spawn(SpawnClass::Sgt);
+        s.record_spawn(SpawnClass::Tgt);
+        assert_eq!(s.spawned(SpawnClass::Sgt), 2);
+        assert_eq!(s.spawned(SpawnClass::Tgt), 1);
+        assert_eq!(s.spawned(SpawnClass::Lgt), 0);
+    }
+}

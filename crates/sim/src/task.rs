@@ -1,0 +1,187 @@
+//! Simulated threads and the effects they yield.
+//!
+//! A [`SimThread`] is a resumable state machine: each call to
+//! [`SimThread::resume`] returns the next [`Effect`] the thread performs.
+//! Long-latency effects (loads, waits) suspend the thread; the engine then
+//! switches the unit to another ready hardware thread — this is how the
+//! simulator reproduces "thread context-switching built in the application's
+//! instruction stream … for keeping the processors busy in the presence of
+//! remote requests" (paper §3.2).
+
+use crate::config::SpawnClass;
+use crate::engine::Placement;
+use crate::{Cycle, GAddr, NodeId};
+
+/// Identifier of a counting synchronization signal.
+///
+/// Signals are the simulator-level substrate on which `htvm-core` builds the
+/// EARTH-style dataflow sync slots of the HTVM synchronization model: a
+/// signal is a counter; [`Effect::Wait`] consumes one unit, blocking until
+/// one is available; [`Effect::Signal`] and message arrival produce units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub u64);
+
+/// What happens at the destination node when a message arrives.
+pub enum OnArrive {
+    /// Increment a signal by the given amount (data-arrival sync).
+    Signal(SignalId, u32),
+    /// Spawn the carried thread at the destination: this is a **parcel** in
+    /// the HTMT/Cascade sense — the message carries work to the data
+    /// (paper §3.2, "parcel-driven split-transaction computation").
+    Spawn(Box<dyn SimThread>, Placement, SpawnClass),
+}
+
+impl std::fmt::Debug for OnArrive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnArrive::Signal(sig, n) => write!(f, "Signal({sig:?}, {n})"),
+            OnArrive::Spawn(_, place, class) => write!(f, "Spawn(<task>, {place:?}, {class:?})"),
+        }
+    }
+}
+
+/// One step of behaviour yielded by a simulated thread.
+pub enum Effect {
+    /// Execute for the given number of cycles, occupying the unit.
+    Compute(Cycle),
+    /// Issue a load of `size` bytes from `addr`; the thread blocks until the
+    /// reply returns (the unit switches to another hardware thread).
+    Load {
+        /// Address to read.
+        addr: GAddr,
+        /// Request size in bytes.
+        size: u32,
+    },
+    /// Issue a store of `size` bytes to `addr`. With the default store
+    /// buffer model the thread continues immediately.
+    Store {
+        /// Address to write.
+        addr: GAddr,
+        /// Payload size in bytes.
+        size: u32,
+    },
+    /// Send a message of `size` bytes to node `dst`; `action` runs on
+    /// arrival. The sender does not block (split transaction).
+    Send {
+        /// Destination node.
+        dst: NodeId,
+        /// Payload size in bytes.
+        size: u32,
+        /// Arrival behaviour (signal or parcel-spawn).
+        action: OnArrive,
+    },
+    /// Spawn a new simulated thread, charging the invocation cost of the
+    /// given class to the spawner.
+    Spawn {
+        /// The thread to start.
+        task: Box<dyn SimThread>,
+        /// Where to place it.
+        place: Placement,
+        /// Grain class whose costs are charged.
+        class: SpawnClass,
+    },
+    /// Increment a local signal (free of network cost).
+    Signal(SignalId, u32),
+    /// Consume one unit from a signal, blocking until available.
+    Wait(SignalId),
+    /// Give up the unit voluntarily; the thread is requeued as ready.
+    Yield,
+    /// The thread has finished.
+    Done,
+}
+
+impl std::fmt::Debug for Effect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Effect::Compute(c) => write!(f, "Compute({c})"),
+            Effect::Load { addr, size } => write!(f, "Load({addr:?}, {size})"),
+            Effect::Store { addr, size } => write!(f, "Store({addr:?}, {size})"),
+            Effect::Send { dst, size, action } => write!(f, "Send(n{dst}, {size}, {action:?})"),
+            Effect::Spawn { place, class, .. } => write!(f, "Spawn({place:?}, {class:?})"),
+            Effect::Signal(sig, n) => write!(f, "Signal({sig:?}, {n})"),
+            Effect::Wait(sig) => write!(f, "Wait({sig:?})"),
+            Effect::Yield => write!(f, "Yield"),
+            Effect::Done => write!(f, "Done"),
+        }
+    }
+}
+
+/// Read-only view of the executing thread's situation, passed to
+/// [`SimThread::resume`].
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCtx {
+    /// Current simulated time.
+    pub now: Cycle,
+    /// Node the thread is running on.
+    pub node: NodeId,
+    /// Unit (node-local index) the thread is running on.
+    pub unit: u16,
+    /// The thread's own id.
+    pub task: crate::engine::TaskId,
+}
+
+/// A resumable simulated thread.
+pub trait SimThread: Send {
+    /// Produce the next effect. Called again after each effect completes
+    /// (for blocking effects, after the thread is woken).
+    fn resume(&mut self, ctx: &mut TaskCtx) -> Effect;
+
+    /// Short label used in traces and per-task statistics.
+    fn label(&self) -> &str {
+        "task"
+    }
+}
+
+impl<F> SimThread for F
+where
+    F: FnMut(&mut TaskCtx) -> Effect + Send,
+{
+    fn resume(&mut self, ctx: &mut TaskCtx) -> Effect {
+        self(ctx)
+    }
+}
+
+impl SimThread for Box<dyn SimThread> {
+    fn resume(&mut self, ctx: &mut TaskCtx) -> Effect {
+        (**self).resume(ctx)
+    }
+
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_sim_threads() {
+        let mut left = 2;
+        let mut t = move |_: &mut TaskCtx| {
+            if left == 0 {
+                Effect::Done
+            } else {
+                left -= 1;
+                Effect::Compute(10)
+            }
+        };
+        let mut ctx = TaskCtx {
+            now: 0,
+            node: 0,
+            unit: 0,
+            task: crate::engine::TaskId(0),
+        };
+        assert!(matches!(t.resume(&mut ctx), Effect::Compute(10)));
+        assert!(matches!(t.resume(&mut ctx), Effect::Compute(10)));
+        assert!(matches!(t.resume(&mut ctx), Effect::Done));
+    }
+
+    #[test]
+    fn effect_debug_is_compact() {
+        let e = Effect::Compute(5);
+        assert_eq!(format!("{e:?}"), "Compute(5)");
+        let w = Effect::Wait(SignalId(7));
+        assert_eq!(format!("{w:?}"), "Wait(SignalId(7))");
+    }
+}

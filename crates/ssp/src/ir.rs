@@ -1,0 +1,274 @@
+//! Loop-nest intermediate representation.
+//!
+//! A [`LoopNest`] is a perfect nest of `depth` loops with per-level trip
+//! counts, one shared body of [`Op`]s, and [`Dep`]endences with full
+//! distance vectors (one component per level, outermost first) — exactly
+//! the information SSP needs to schedule any level.
+
+/// Functional-unit class an operation occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Integer/branch ALU.
+    Alu,
+    /// Floating-point multiply-add pipe.
+    Fpu,
+    /// Load/store port.
+    Mem,
+}
+
+impl OpKind {
+    /// All functional-unit classes.
+    pub const ALL: [OpKind; 3] = [OpKind::Alu, OpKind::Fpu, OpKind::Mem];
+}
+
+/// One operation of the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Human-readable name, e.g. `"load a[i][k]"`.
+    pub name: String,
+    /// Result latency in cycles.
+    pub latency: u32,
+    /// Functional unit it occupies (for one cycle — fully pipelined units).
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, latency: u32, kind: OpKind) -> Self {
+        Self {
+            name: name.into(),
+            latency,
+            kind,
+        }
+    }
+}
+
+/// A dependence between two body operations with a distance vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    /// Source op index.
+    pub from: usize,
+    /// Sink op index.
+    pub to: usize,
+    /// Distance vector, outermost level first; all zeros = loop-independent.
+    pub distance: Vec<i64>,
+}
+
+impl Dep {
+    /// Loop-independent dependence (same iteration).
+    pub fn independent(from: usize, to: usize, depth: usize) -> Self {
+        Self {
+            from,
+            to,
+            distance: vec![0; depth],
+        }
+    }
+
+    /// Dependence carried at one level with distance 1.
+    pub fn carried_at(from: usize, to: usize, depth: usize, level: usize) -> Self {
+        let mut d = vec![0; depth];
+        d[level] = 1;
+        Self { from, to, distance: d }
+    }
+}
+
+/// A perfect loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Name for reports.
+    pub name: String,
+    /// Trip count per level, outermost first.
+    pub trip_counts: Vec<u64>,
+    /// Body operations.
+    pub ops: Vec<Op>,
+    /// Dependences between body ops.
+    pub deps: Vec<Dep>,
+}
+
+impl LoopNest {
+    /// Number of loop levels.
+    pub fn depth(&self) -> usize {
+        self.trip_counts.len()
+    }
+
+    /// Total iteration points.
+    pub fn points(&self) -> u64 {
+        self.trip_counts.iter().product()
+    }
+
+    /// Sum of body-op latencies — the sequential length of one body
+    /// instance under unit issue.
+    pub fn body_latency(&self) -> u64 {
+        self.ops.iter().map(|o| o.latency as u64).sum()
+    }
+
+    /// Validate op indices and distance-vector arity; lexicographic
+    /// positivity of carried dependences (a legal sequential program cannot
+    /// depend on the future).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, d) in self.deps.iter().enumerate() {
+            if d.from >= self.ops.len() || d.to >= self.ops.len() {
+                return Err(format!("dep {i}: op index out of range"));
+            }
+            if d.distance.len() != self.depth() {
+                return Err(format!(
+                    "dep {i}: distance vector arity {} ≠ nest depth {}",
+                    d.distance.len(),
+                    self.depth()
+                ));
+            }
+            if let Some(first) = d.distance.iter().find(|&&x| x != 0) {
+                if *first < 0 {
+                    return Err(format!(
+                        "dep {i}: lexicographically negative distance {:?}",
+                        d.distance
+                    ));
+                }
+            }
+        }
+        if self.trip_counts.iter().any(|&n| n == 0) {
+            return Err("zero trip count".to_string());
+        }
+        Ok(())
+    }
+
+    /// A matmul-style nest `for i / for j / for k: c[i][j] += a[i][k] *
+    /// b[k][j]`: two loads, one FMA, one accumulate carried by `k` (the
+    /// innermost level), one store. The accumulate recurrence is what makes
+    /// innermost-only pipelining slow and SSP shine — the paper's §3.3
+    /// motivating shape.
+    pub fn matmul_like(ni: u64, nj: u64, nk: u64) -> LoopNest {
+        let ops = vec![
+            Op::new("load a[i][k]", 4, OpKind::Mem),
+            Op::new("load b[k][j]", 4, OpKind::Mem),
+            Op::new("fma acc", 5, OpKind::Fpu),
+            Op::new("store c[i][j]", 1, OpKind::Mem),
+        ];
+        let deps = vec![
+            Dep::independent(0, 2, 3),
+            Dep::independent(1, 2, 3),
+            // acc -> acc carried by k: the reduction recurrence.
+            Dep::carried_at(2, 2, 3, 2),
+            Dep::independent(2, 3, 3),
+        ];
+        LoopNest {
+            name: "matmul-like".to_string(),
+            trip_counts: vec![ni, nj, nk],
+            ops,
+            deps,
+        }
+    }
+
+    /// A 1-D Jacobi-style stencil nest `for t / for i: a[i] = f(a[i-1],
+    /// a[i], a[i+1])`: the time level carries all dependences; the space
+    /// level is parallel except for a distance-1 flow from the left
+    /// neighbour of the *previous* time step.
+    pub fn stencil_like(nt: u64, ni: u64) -> LoopNest {
+        let ops = vec![
+            Op::new("load left", 4, OpKind::Mem),
+            Op::new("load mid", 4, OpKind::Mem),
+            Op::new("load right", 4, OpKind::Mem),
+            Op::new("blend", 6, OpKind::Fpu),
+            Op::new("store", 1, OpKind::Mem),
+        ];
+        let deps = vec![
+            Dep::independent(0, 3, 2),
+            Dep::independent(1, 3, 2),
+            Dep::independent(2, 3, 2),
+            Dep::independent(3, 4, 2),
+            // store -> loads of the next time step (carried by t).
+            Dep {
+                from: 4,
+                to: 1,
+                distance: vec![1, 0],
+            },
+            Dep {
+                from: 4,
+                to: 0,
+                distance: vec![1, 1],
+            },
+        ];
+        LoopNest {
+            name: "stencil-like".to_string(),
+            trip_counts: vec![nt, ni],
+            ops,
+            deps,
+        }
+    }
+
+    /// A fully parallel 2-D nest (element-wise update): no carried
+    /// dependences at all; every level pipelines equally well — a control
+    /// case for level selection.
+    pub fn elementwise(ni: u64, nj: u64) -> LoopNest {
+        let ops = vec![
+            Op::new("load x", 4, OpKind::Mem),
+            Op::new("mul", 5, OpKind::Fpu),
+            Op::new("store y", 1, OpKind::Mem),
+        ];
+        let deps = vec![Dep::independent(0, 1, 2), Dep::independent(1, 2, 2)];
+        LoopNest {
+            name: "elementwise".to_string(),
+            trip_counts: vec![ni, nj],
+            ops,
+            deps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shape() {
+        let n = LoopNest::matmul_like(4, 5, 6);
+        assert_eq!(n.depth(), 3);
+        assert_eq!(n.points(), 120);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.body_latency(), 4 + 4 + 5 + 1);
+    }
+
+    #[test]
+    fn validate_catches_bad_indices() {
+        let mut n = LoopNest::elementwise(2, 2);
+        n.deps.push(Dep::independent(0, 99, 2));
+        assert!(n.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_catches_arity_mismatch() {
+        let mut n = LoopNest::elementwise(2, 2);
+        n.deps.push(Dep {
+            from: 0,
+            to: 1,
+            distance: vec![0],
+        });
+        assert!(n.validate().unwrap_err().contains("arity"));
+    }
+
+    #[test]
+    fn validate_catches_negative_distance() {
+        let mut n = LoopNest::elementwise(2, 2);
+        n.deps.push(Dep {
+            from: 0,
+            to: 1,
+            distance: vec![-1, 2],
+        });
+        assert!(n.validate().unwrap_err().contains("negative"));
+    }
+
+    #[test]
+    fn validate_catches_zero_trip() {
+        let mut n = LoopNest::elementwise(2, 2);
+        n.trip_counts[0] = 0;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn helper_constructors() {
+        let d = Dep::carried_at(1, 2, 3, 1);
+        assert_eq!(d.distance, vec![0, 1, 0]);
+        let d = Dep::independent(0, 1, 2);
+        assert_eq!(d.distance, vec![0, 0]);
+    }
+}

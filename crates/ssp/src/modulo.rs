@@ -1,0 +1,391 @@
+//! Iterative modulo scheduling (Rau, MICRO-27) — the classic software
+//! pipelining algorithm the paper calls "a most widely and successfully
+//! used loop parallelization technique" (§3.3).
+//!
+//! Given a reduced DDG and a resource mix, find the smallest initiation
+//! interval II ≥ MII for which a legal schedule exists: assign each op a
+//! start cycle σ(op) such that
+//!
+//! * dependences hold: `σ(to) ≥ σ(from) + delay − II·distance`;
+//! * resources hold: at most `units(kind)` ops of each kind share a slot
+//!   modulo II (the **modulo reservation table**).
+//!
+//! Ops are placed in height-based priority order with bounded eviction
+//! (operations that conflict get unscheduled and retried), and the II is
+//! bumped when the budget runs out.
+
+use std::collections::BTreeMap;
+
+use crate::ddg::Ddg;
+use crate::ir::{LoopNest, OpKind};
+
+/// Functional-unit counts per class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resources {
+    /// Integer/branch units.
+    pub alu: u32,
+    /// Floating-point units.
+    pub fpu: u32,
+    /// Memory ports.
+    pub mem: u32,
+}
+
+impl Default for Resources {
+    fn default() -> Self {
+        // A modest in-order core: Cyclops-64-style thread units are simple.
+        Self {
+            alu: 2,
+            fpu: 1,
+            mem: 2,
+        }
+    }
+}
+
+impl Resources {
+    /// Unit count for a class.
+    pub fn units(&self, kind: OpKind) -> u32 {
+        match kind {
+            OpKind::Alu => self.alu,
+            OpKind::Fpu => self.fpu,
+            OpKind::Mem => self.mem,
+        }
+    }
+
+    /// A wide machine (for experiments isolating recurrences).
+    pub fn wide() -> Self {
+        Self {
+            alu: 8,
+            fpu: 8,
+            mem: 8,
+        }
+    }
+}
+
+/// A successful modulo schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuloSchedule {
+    /// Achieved initiation interval.
+    pub ii: u64,
+    /// Start cycle per op.
+    pub start: Vec<u64>,
+    /// Number of pipeline stages `⌈(max finish)/II⌉`.
+    pub stages: u64,
+}
+
+/// Scheduling failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No II up to the given bound produced a legal schedule.
+    NoScheduleUpTo(u64),
+    /// The graph has a zero-distance cycle (not pipelinable at all).
+    ZeroDistanceCycle,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoScheduleUpTo(ii) => {
+                write!(f, "no modulo schedule found with II ≤ {ii}")
+            }
+            ScheduleError::ZeroDistanceCycle => write!(f, "zero-distance dependence cycle"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl ModuloSchedule {
+    /// Verify the schedule against graph and resources; returns a
+    /// description of the first violation. Used by tests and by the
+    /// continuous-compilation driver when it patches schedules at runtime.
+    pub fn verify(&self, nest: &LoopNest, ddg: &Ddg, res: &Resources) -> Result<(), String> {
+        for e in &ddg.edges {
+            let lhs = self.start[e.to] as i128;
+            let rhs =
+                self.start[e.from] as i128 + e.delay as i128 - (self.ii as i128) * (e.distance as i128);
+            if lhs < rhs {
+                return Err(format!(
+                    "dependence {}→{} violated: start[{}]={} < {}",
+                    e.from, e.to, e.to, self.start[e.to], rhs
+                ));
+            }
+        }
+        let mut mrt: BTreeMap<(OpKind, u64), u32> = BTreeMap::new();
+        for (i, op) in nest.ops.iter().enumerate() {
+            let slot = self.start[i] % self.ii;
+            let c = mrt.entry((op.kind, slot)).or_insert(0);
+            *c += 1;
+            if *c > res.units(op.kind) {
+                return Err(format!(
+                    "resource {:?} oversubscribed at slot {} (II={})",
+                    op.kind, slot, self.ii
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Schedule `ddg` at the smallest feasible II (bounded search).
+pub fn modulo_schedule(
+    nest: &LoopNest,
+    ddg: &Ddg,
+    res: &Resources,
+) -> Result<ModuloSchedule, ScheduleError> {
+    let bounds = ddg.mii(nest, res);
+    if bounds.rec_mii == u64::MAX {
+        return Err(ScheduleError::ZeroDistanceCycle);
+    }
+    let mii = bounds.mii();
+    let max_ii = mii + nest.body_latency() + 64;
+    for ii in mii..=max_ii {
+        if let Some(s) = try_schedule(nest, ddg, res, ii) {
+            let span = s
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| t + nest.ops[i].latency as u64)
+                .max()
+                .unwrap_or(0);
+            let sched = ModuloSchedule {
+                ii,
+                start: s,
+                stages: span.div_ceil(ii).max(1),
+            };
+            debug_assert!(sched.verify(nest, ddg, res).is_ok());
+            return Ok(sched);
+        }
+    }
+    Err(ScheduleError::NoScheduleUpTo(max_ii))
+}
+
+/// Height-based priority: the longest delay chain from each op to any leaf
+/// (through distance-0 edges) — schedule deep chains first.
+fn heights(nest: &LoopNest, ddg: &Ddg) -> Vec<u64> {
+    let n = nest.ops.len();
+    let mut h: Vec<u64> = nest.ops.iter().map(|o| o.latency as u64).collect();
+    for _ in 0..n {
+        for e in ddg.edges.iter().filter(|e| e.distance == 0) {
+            let cand = h[e.to] + nest.ops[e.from].latency as u64;
+            if cand > h[e.from] {
+                h[e.from] = cand;
+            }
+        }
+    }
+    h
+}
+
+fn try_schedule(nest: &LoopNest, ddg: &Ddg, res: &Resources, ii: u64) -> Option<Vec<u64>> {
+    let n = nest.ops.len();
+    let h = heights(nest, ddg);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(h[i]));
+
+    let mut start: Vec<Option<u64>> = vec![None; n];
+    let mut mrt: BTreeMap<(OpKind, u64), u32> = BTreeMap::new();
+    // Budget of placements before giving up on this II (Rau's budget ratio).
+    let mut budget = n * 16;
+    let mut queue: Vec<usize> = order.clone();
+
+    while let Some(op) = queue.pop() {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        // Earliest start from scheduled predecessors.
+        let mut est = 0i128;
+        for e in ddg.edges.iter().filter(|e| e.to == op) {
+            if let Some(sf) = start[e.from] {
+                let lb = sf as i128 + e.delay as i128 - (ii as i128) * (e.distance as i128);
+                est = est.max(lb);
+            }
+        }
+        let est = est.max(0) as u64;
+        // Try II consecutive slots from est; each hits a distinct modulo
+        // slot, so if none fits the op must evict.
+        let kind = nest.ops[op].kind;
+        let mut placed = false;
+        for t in est..est + ii {
+            let slot = t % ii;
+            let used = mrt.get(&(kind, slot)).copied().unwrap_or(0);
+            if used < res.units(kind) && deps_ok(nest, ddg, &start, op, t, ii) {
+                *mrt.entry((kind, slot)).or_insert(0) += 1;
+                start[op] = Some(t);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Evict the conflicting op occupying the earliest usable slot
+            // and take its place.
+            let t = est;
+            let slot = t % ii;
+            // Unschedule one same-kind op at this modulo slot (if resource
+            // conflict) or a dependence-violating successor.
+            let victim = (0..n).find(|&v| {
+                v != op
+                    && start[v].is_some()
+                    && nest.ops[v].kind == kind
+                    && start[v].unwrap() % ii == slot
+            });
+            match victim {
+                Some(v) => {
+                    let c = mrt.get_mut(&(kind, slot)).expect("victim occupies slot");
+                    *c -= 1;
+                    start[v] = None;
+                    *mrt.entry((kind, slot)).or_insert(0) += 1;
+                    start[op] = Some(t);
+                    if !deps_ok(nest, ddg, &start, op, t, ii) {
+                        // Dependence still broken: undo and fail this II.
+                        return None;
+                    }
+                    queue.push(v);
+                }
+                None => return None,
+            }
+        }
+        // Unschedule any already-placed successor whose constraint broke.
+        let t = start[op].expect("just placed");
+        let mut to_evict = Vec::new();
+        for e in ddg.edges.iter().filter(|e| e.from == op) {
+            if let Some(st) = start[e.to] {
+                let lb = t as i128 + e.delay as i128 - (ii as i128) * (e.distance as i128);
+                if (st as i128) < lb {
+                    to_evict.push(e.to);
+                }
+            }
+        }
+        for v in to_evict {
+            if start[v].is_some() {
+                let slot = start[v].unwrap() % ii;
+                let kind_v = nest.ops[v].kind;
+                if let Some(c) = mrt.get_mut(&(kind_v, slot)) {
+                    *c -= 1;
+                }
+                start[v] = None;
+                queue.push(v);
+            }
+        }
+    }
+    let out: Vec<u64> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    Some(out)
+}
+
+/// Check op's placement at `t` against *scheduled* neighbours in both
+/// directions.
+fn deps_ok(
+    _nest: &LoopNest,
+    ddg: &Ddg,
+    start: &[Option<u64>],
+    op: usize,
+    t: u64,
+    ii: u64,
+) -> bool {
+    for e in &ddg.edges {
+        if e.to == op {
+            if let Some(sf) = start[e.from] {
+                if e.from == op {
+                    // Self-edge: delay ≤ II·distance must hold.
+                    if (e.delay as i128) > (ii as i128) * (e.distance as i128) {
+                        return false;
+                    }
+                    continue;
+                }
+                let lb = sf as i128 + e.delay as i128 - (ii as i128) * (e.distance as i128);
+                if (t as i128) < lb {
+                    return false;
+                }
+            }
+        }
+        // Successor violations are handled by eviction after placement.
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::Ddg;
+    use crate::ir::LoopNest;
+
+    #[test]
+    fn matmul_innermost_ii_equals_recurrence() {
+        let nest = LoopNest::matmul_like(8, 8, 8);
+        let ddg = Ddg::for_level(&nest, 2).unwrap();
+        let s = modulo_schedule(&nest, &ddg, &Resources::default()).unwrap();
+        assert_eq!(s.ii, 5, "acc recurrence forces II = 5");
+        s.verify(&nest, &ddg, &Resources::default()).unwrap();
+    }
+
+    #[test]
+    fn matmul_middle_level_reaches_res_mii() {
+        let nest = LoopNest::matmul_like(8, 8, 8);
+        let ddg = Ddg::for_level(&nest, 1).unwrap();
+        let res = Resources::default();
+        let s = modulo_schedule(&nest, &ddg, &res).unwrap();
+        // 3 Mem ops over 2 ports → II = 2.
+        assert_eq!(s.ii, 2);
+        s.verify(&nest, &ddg, &res).unwrap();
+    }
+
+    #[test]
+    fn elementwise_achieves_mii() {
+        let nest = LoopNest::elementwise(16, 16);
+        let ddg = Ddg::for_level(&nest, 1).unwrap();
+        let res = Resources::default();
+        let s = modulo_schedule(&nest, &ddg, &res).unwrap();
+        assert_eq!(s.ii, ddg.mii(&nest, &res).mii());
+        s.verify(&nest, &ddg, &res).unwrap();
+    }
+
+    #[test]
+    fn stencil_time_level_ii_matches_recurrence() {
+        let nest = LoopNest::stencil_like(8, 64);
+        let ddg = Ddg::for_level(&nest, 0).unwrap();
+        let res = Resources::wide();
+        let s = modulo_schedule(&nest, &ddg, &res).unwrap();
+        assert_eq!(s.ii, ddg.rec_mii(), "wide machine: recurrence is the bound");
+        s.verify(&nest, &ddg, &res).unwrap();
+    }
+
+    #[test]
+    fn schedule_respects_resources_under_pressure() {
+        let nest = LoopNest::stencil_like(4, 16);
+        let ddg = Ddg::for_level(&nest, 1).unwrap();
+        // One memory port: 4 Mem ops → II ≥ 4.
+        let res = Resources {
+            alu: 1,
+            fpu: 1,
+            mem: 1,
+        };
+        let s = modulo_schedule(&nest, &ddg, &res).unwrap();
+        assert!(s.ii >= 4);
+        s.verify(&nest, &ddg, &res).unwrap();
+    }
+
+    #[test]
+    fn stages_cover_span() {
+        let nest = LoopNest::matmul_like(4, 4, 4);
+        let ddg = Ddg::for_level(&nest, 1).unwrap();
+        let s = modulo_schedule(&nest, &ddg, &Resources::default()).unwrap();
+        let span = s
+            .start
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| t + nest.ops[i].latency as u64)
+            .max()
+            .unwrap();
+        assert_eq!(s.stages, span.div_ceil(s.ii).max(1));
+    }
+
+    #[test]
+    fn verify_rejects_corrupted_schedule() {
+        let nest = LoopNest::matmul_like(4, 4, 4);
+        let ddg = Ddg::for_level(&nest, 2).unwrap();
+        let res = Resources::default();
+        let mut s = modulo_schedule(&nest, &ddg, &res).unwrap();
+        // Break a dependence: schedule the fma before its loads.
+        s.start[2] = 0;
+        s.start[0] = 50;
+        assert!(s.verify(&nest, &ddg, &res).is_err());
+    }
+}

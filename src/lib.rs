@@ -1,0 +1,30 @@
+//! # htvm — Hierarchical Threaded Virtual Machine (umbrella crate)
+//!
+//! A production-quality Rust reproduction of *"Hierarchical Multithreading:
+//! Programming Model and System Software"* (Gao, Sterling, Stevens, Hereld,
+//! Zhu — IPDPS 2006). This crate re-exports the whole suite:
+//!
+//! * [`sim`] — function-accurate simulator of a Cyclops-64-class machine
+//!   (thread units, hardware thread slots, SPM/SRAM/DRAM hierarchy, mesh
+//!   network, global address space).
+//! * [`core`] — the HTVM execution model: LGT/SGT/TGT thread hierarchy,
+//!   memory model, dataflow synchronization model, plus a native
+//!   work-stealing runtime and a simulated runtime.
+//! * [`litlx`] — the LITL-X programming constructs (futures, parcels,
+//!   percolation, atomic blocks) and the LITL-X mini-language.
+//! * [`ssp`] — single-dimension software pipelining and modulo scheduling.
+//! * [`adapt`] — the four runtime adaptations (loop parallelism, load,
+//!   locality, latency), the performance monitor, structured hints and the
+//!   continuous-compilation driver.
+//! * [`apps`] — the paper's two driver applications: neocortex neural
+//!   simulation and fine-grain molecular dynamics.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use htvm_adapt as adapt;
+pub use htvm_apps as apps;
+pub use htvm_core as core;
+pub use htvm_sim as sim;
+pub use htvm_ssp as ssp;
+pub use litlx;

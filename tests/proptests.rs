@@ -1,0 +1,325 @@
+//! Property-based tests on the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use htvm_adapt::locality::{replay, LocalityCosts, LocalityPolicy};
+use htvm_adapt::loop_sched::{evaluate_schedule, CostModel, ScheduleKind};
+use htvm_ssp::ddg::Ddg;
+use htvm_ssp::ir::{Dep, LoopNest, Op, OpKind};
+use htvm_ssp::modulo::{modulo_schedule, Resources};
+
+/// Random 2-deep loop nest with legal (lexicographically non-negative)
+/// dependences.
+fn arb_nest() -> impl Strategy<Value = LoopNest> {
+    let op = (1u32..8, 0usize..3).prop_map(|(lat, kind)| {
+        Op::new(
+            "op",
+            lat,
+            match kind {
+                0 => OpKind::Alu,
+                1 => OpKind::Fpu,
+                _ => OpKind::Mem,
+            },
+        )
+    });
+    (
+        proptest::collection::vec(op, 2..6),
+        proptest::collection::vec((0usize..6, 0usize..6, 0i64..3, 0i64..3), 0..8),
+        2u64..16,
+        2u64..16,
+    )
+        .prop_map(|(ops, raw_deps, n0, n1)| {
+            let n_ops = ops.len();
+            let deps = raw_deps
+                .into_iter()
+                .filter_map(|(from, to, d0, d1)| {
+                    let (from, to) = (from % n_ops, to % n_ops);
+                    // Zero-distance self-deps are illegal programs.
+                    if from == to && d0 == 0 && d1 == 0 {
+                        return None;
+                    }
+                    // Loop-independent dependences must point forward to
+                    // represent an executable sequential body.
+                    if d0 == 0 && d1 == 0 && from >= to {
+                        return None;
+                    }
+                    Some(Dep {
+                        from,
+                        to,
+                        distance: vec![d0, d1],
+                    })
+                })
+                .collect();
+            LoopNest {
+                name: "random".to_string(),
+                trip_counts: vec![n0, n1],
+                ops,
+                deps,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every modulo schedule that the scheduler produces verifies: all
+    /// dependences respected, no resource oversubscription.
+    #[test]
+    fn modulo_schedules_are_legal(nest in arb_nest(), level in 0usize..2) {
+        prop_assume!(nest.validate().is_ok());
+        if let Some(ddg) = Ddg::for_level(&nest, level) {
+            let res = Resources::default();
+            if let Ok(s) = modulo_schedule(&nest, &ddg, &res) {
+                prop_assert!(s.verify(&nest, &ddg, &res).is_ok());
+                let bounds = ddg.mii(&nest, &res);
+                prop_assert!(s.ii >= bounds.mii(), "II below MII");
+            }
+        }
+    }
+
+    /// Loop schedulers execute every iteration exactly once: total busy
+    /// time minus dispatch overhead equals total work.
+    #[test]
+    fn loop_schedulers_conserve_work(
+        costs in proptest::collection::vec(1u64..500, 1..300),
+        workers in 1usize..16,
+        kind_idx in 0usize..7,
+    ) {
+        let kind = ScheduleKind::PORTFOLIO[kind_idx];
+        let model = CostModel { dispatch_overhead: 0, steal_overhead: 0 };
+        let out = evaluate_schedule(kind, &costs, workers, &model);
+        let total: u64 = costs.iter().sum();
+        let busy: u64 = out.busy.iter().sum();
+        prop_assert_eq!(busy, total, "policy {} lost/duplicated work", kind.name());
+        prop_assert!(out.makespan >= total.div_ceil(workers as u64));
+        prop_assert!(out.makespan <= total);
+    }
+
+    /// The coherence directory never lets the home appear in its own
+    /// replica set, under arbitrary access traces and all policies.
+    #[test]
+    fn directory_invariants_hold(
+        trace in proptest::collection::vec((0u16..6, 0u64..12, proptest::bool::ANY), 0..400),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = LocalityPolicy::PORTFOLIO[policy_idx];
+        let d = replay(policy, LocalityCosts::default(), &trace);
+        prop_assert!(d.check_invariants().is_ok());
+        // Cost accounting is consistent: local + remote == accesses.
+        prop_assert_eq!(d.local_hits + d.remote_accesses, trace.len() as u64);
+    }
+
+    /// Free replication never hurts: reads can only get cheaper (a replica
+    /// turns later remote reads local), and writes cost the same under both
+    /// policies when invalidation is free. (The analogous claim for
+    /// *migration* is false even at zero cost: moving the home toward one
+    /// accessor makes the old home's accesses remote — why thresholds
+    /// exist.)
+    #[test]
+    fn free_replication_never_hurts(
+        trace in proptest::collection::vec((0u16..6, 0u64..12, proptest::bool::ANY), 1..300),
+    ) {
+        let free = LocalityCosts {
+            replicate: 0,
+            invalidate: 0,
+            ..LocalityCosts::default()
+        };
+        let fixed = replay(LocalityPolicy::FixedHome, free.clone(), &trace);
+        let adapt = replay(LocalityPolicy::Replicate, free, &trace);
+        prop_assert!(adapt.cycles <= fixed.cycles);
+    }
+
+    /// Migration pays off on the pattern it exists for — long single-node
+    /// access runs per block — even at realistic (non-zero) costs.
+    #[test]
+    fn migration_pays_on_long_runs(
+        blocks in 1u64..8,
+        run_len in 20usize..60,
+        seed in 0u64..64,
+    ) {
+        use htvm_adapt::locality::producer_consumer_trace;
+        let trace = producer_consumer_trace(6, blocks, run_len, 0.2, seed);
+        let fixed = replay(LocalityPolicy::FixedHome, LocalityCosts::default(), &trace);
+        let mig = replay(
+            LocalityPolicy::Migrate { threshold: 4 },
+            LocalityCosts::default(),
+            &trace,
+        );
+        prop_assert!(mig.cycles <= fixed.cycles);
+    }
+
+    /// SyncSlot: under any split of N signals into batches, the action
+    /// fires exactly once.
+    #[test]
+    fn sync_slot_fires_once(batches in proptest::collection::vec(1usize..5, 1..10)) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let total: usize = batches.iter().sum();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = htvm_core::SyncSlot::with_action(total, {
+            let fired = fired.clone();
+            move || { fired.fetch_add(1, Ordering::SeqCst); }
+        });
+        for b in &batches {
+            slot.signal_n(*b);
+        }
+        prop_assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Extra signals never re-fire.
+        slot.signal();
+        prop_assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    /// Cell lists find every pair within the cutoff on random systems.
+    #[test]
+    fn cell_list_complete(seed in 0u64..32) {
+        use htvm_apps::md::cell_list::CellList;
+        use htvm_apps::md::system::{MdSystem, SystemSpec};
+        let spec = SystemSpec {
+            waters: 60,
+            ion_pairs: 3,
+            protein_beads: 6,
+            box_len: 7.0,
+            seed,
+            ..Default::default()
+        };
+        let s = MdSystem::build(&spec);
+        let cutoff = 2.0;
+        let cl = CellList::build(&s, cutoff);
+        let cands: std::collections::HashSet<(u32, u32)> =
+            cl.candidate_pairs().into_iter().collect();
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                let d = s.min_image(s.pos[i], s.pos[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 < cutoff * cutoff {
+                    prop_assert!(cands.contains(&(i as u32, j as u32)));
+                }
+            }
+        }
+    }
+
+    /// The LITL-X lexer/parser round-trips arbitrary arithmetic: parsing
+    /// never panics, and valid programs evaluate deterministically.
+    #[test]
+    fn litlx_arithmetic_is_deterministic(a in -100i64..100, b in 1i64..100, c in -100i64..100) {
+        use htvm::litlx::lang::{parse, Interp};
+        let src = format!(
+            "fn main() {{ let x = {a} + {b} * {c}; let y = x / {b}; print(x); print(y); }}"
+        );
+        let prog = parse(&src).unwrap();
+        let o1 = Interp::new(2).run(&prog).unwrap();
+        let o2 = Interp::new(2).run(&prog).unwrap();
+        prop_assert_eq!(o1.printed, o2.printed);
+    }
+
+    /// The LITL-X front end never panics, whatever bytes it is fed —
+    /// errors must surface as `Err`, not as process aborts.
+    #[test]
+    fn litlx_parser_never_panics(src in "\\PC{0,200}") {
+        use htvm::litlx::lang::parse;
+        let _ = parse(&src); // Ok or Err — both fine; panics are not.
+    }
+
+    /// Fuzz the parser with token-shaped soup (identifiers, numbers,
+    /// punctuation, keywords) — closer to real near-miss programs than
+    /// raw unicode.
+    #[test]
+    fn litlx_parser_survives_token_soup(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "fn", "main", "let", "if", "else", "while", "for", "forall",
+                "spawn", "future", "atomic", "return", "in", "x", "y", "arr",
+                "0", "1", "42", "3.5", "(", ")", "{", "}", "[", "]", ";",
+                "=", "+", "-", "*", "/", "==", "!=", "<", "..", "@hint",
+                "print", ",",
+            ]),
+            0..60,
+        ),
+    ) {
+        use htvm::litlx::lang::parse;
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// The simulated machine is deterministic: identical configuration and
+    /// kernels produce identical statistics, cycle for cycle.
+    #[test]
+    fn simulator_is_deterministic(
+        tasks in 1usize..8,
+        iters in 1u64..40,
+        compute in 0u64..50,
+        hw in 1u16..4,
+    ) {
+        use htvm::sim::{strided_kernel, Engine, GAddr, MachineConfig, Placement, SpawnClass};
+        let run = || {
+            let mut cfg = MachineConfig::small();
+            cfg.hw_threads_per_unit = hw;
+            let mut e = Engine::new(cfg);
+            for t in 0..tasks {
+                let k = strided_kernel(iters, compute, GAddr::dram(0, (t as u64) << 16), 64, 8);
+                e.spawn(Placement::Unit(0, (t % 4) as u16), SpawnClass::Sgt, Box::new(k));
+            }
+            let s = e.run();
+            (s.now, s.tasks_completed, s.total_accesses(), s.busy_cycles)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// SSP thread partitioning conserves iterations: groups × threads
+    /// covers exactly n_l, and the wavefront flag mirrors the dependence
+    /// structure.
+    #[test]
+    fn ssp_partition_conserves_iterations(n_l in 1u64..500, threads in 1u64..64) {
+        use htvm_ssp::ir::LoopNest;
+        use htvm_ssp::partition::PartitionPlan;
+        use htvm_ssp::ssp::{schedule_level, SspConfig};
+        let nest = LoopNest::matmul_like(16, 8, 8);
+        let plan = schedule_level(&nest, 0, &SspConfig::default()).unwrap();
+        let part = PartitionPlan::new(&plan, n_l, threads);
+        // Every iteration is covered; threads and group sizes stay sane.
+        prop_assert!(part.threads >= 1 && part.threads <= threads.max(1));
+        prop_assert!(part.group >= 1);
+        prop_assert!(part.group * part.threads >= n_l, "groups must cover the loop");
+        // No thread gets more than ⌈n_l/threads⌉ (the ragged tail may
+        // leave trailing threads idle, but never overloads one).
+        prop_assert!(part.group <= n_l.div_ceil(part.threads));
+        prop_assert_eq!(part.wavefront, part.max_distance > 0);
+    }
+
+    /// The adaptive hill climber never leaves its bounds and, fed the
+    /// contention model's own utilization, never converges to the extremes
+    /// when the optimum is interior.
+    #[test]
+    fn hill_climber_stays_in_bounds(
+        start in 1u32..16,
+        lat in 50f64..2000.0,
+        epochs in 5usize..60,
+    ) {
+        use htvm_adapt::latency::{ContentionModel, HillClimber};
+        let m = ContentionModel::default();
+        let mut hc = HillClimber::new(start, 16);
+        for _ in 0..epochs {
+            let u = m.utilization(hc.concurrency, lat);
+            let c = hc.epoch(u);
+            prop_assert!((1..=16).contains(&c));
+        }
+    }
+
+    /// Profiled LITL-X runs agree with parallel runs on every print, and
+    /// the recorded forall has one cost per iteration.
+    #[test]
+    fn litlx_profile_agrees_with_run(n in 8usize..80) {
+        use htvm::litlx::lang::{parse, Interp};
+        let src = format!(
+            "fn main() {{ let a = array({n});
+               forall i in 0..{n} {{ a[i] = i * i; }}
+               print(sum(a)); }}"
+        );
+        let prog = parse(&src).unwrap();
+        let run = Interp::new(3).run(&prog).unwrap();
+        let (prof, foralls) = Interp::new(3).profile(&prog).unwrap();
+        prop_assert_eq!(run.printed, prof.printed);
+        prop_assert_eq!(foralls.len(), 1);
+        prop_assert_eq!(foralls[0].costs.len(), n);
+    }
+}
