@@ -196,11 +196,11 @@ pub fn evaluate_schedule(
         ScheduleKind::StaticBlock => {
             let block = n.div_ceil(p).max(1);
             let mut busy = vec![0u64; p];
-            for w in 0..p {
+            for (w, slot) in busy.iter_mut().enumerate() {
                 let lo = (w * block).min(n);
                 let hi = ((w + 1) * block).min(n);
                 if lo < hi {
-                    busy[w] = model.dispatch_overhead + costs[lo..hi].iter().sum::<u64>();
+                    *slot = model.dispatch_overhead + costs[lo..hi].iter().sum::<u64>();
                 }
             }
             let makespan = *busy.iter().max().unwrap();

@@ -121,7 +121,7 @@ impl Monitor {
             .filter(|(name, _)| {
                 enabled
                     .as_ref()
-                    .map_or(true, |set| set.iter().any(|n| n == *name))
+                    .is_none_or(|set| set.iter().any(|n| n == *name))
             })
             .map(|(name, m)| (name.clone(), m.get()))
             .collect();

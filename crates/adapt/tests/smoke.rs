@@ -1,0 +1,55 @@
+//! Public-API smoke test: run the whole loop-scheduling policy portfolio
+//! on a skewed iteration-cost vector and pick the best policy, the way the
+//! continuous-compilation driver does. Keeps `cargo test -p htvm-adapt`
+//! meaningful from outside the crate.
+
+use htvm_adapt::{evaluate_schedule, CostModel, ScheduleKind};
+
+#[test]
+fn policy_pick_beats_static_block_on_decreasing_costs() {
+    // Strongly decreasing costs: the classic case where static blocking
+    // front-loads one worker and dynamic policies win.
+    let costs: Vec<u64> = (0..256u64).map(|i| 1 + (256 - i) * 4).collect();
+    let workers = 8;
+    let model = CostModel::default();
+
+    let outcomes: Vec<(ScheduleKind, u64)> = ScheduleKind::PORTFOLIO
+        .into_iter()
+        .map(|kind| (kind, evaluate_schedule(kind, &costs, workers, &model).makespan))
+        .collect();
+    let &(best_kind, best_makespan) = outcomes
+        .iter()
+        .min_by_key(|(_, makespan)| *makespan)
+        .expect("portfolio is non-empty");
+
+    let static_block = outcomes
+        .iter()
+        .find(|(k, _)| k.name() == "static-block")
+        .expect("portfolio contains static-block")
+        .1;
+    assert!(
+        best_makespan < static_block,
+        "picked {} ({best_makespan}) must beat static-block ({static_block})",
+        best_kind.name()
+    );
+
+    // Whatever wins, no policy may lose or duplicate iterations.
+    let total: u64 = costs.iter().sum();
+    for kind in ScheduleKind::PORTFOLIO {
+        let out = evaluate_schedule(
+            kind,
+            &costs,
+            workers,
+            &CostModel {
+                dispatch_overhead: 0,
+                steal_overhead: 0,
+            },
+        );
+        assert_eq!(
+            out.busy.iter().sum::<u64>(),
+            total,
+            "{} lost or duplicated work",
+            kind.name()
+        );
+    }
+}

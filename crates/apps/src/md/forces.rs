@@ -184,8 +184,8 @@ mod tests {
                 net[k] += f[k];
             }
         }
-        for k in 0..3 {
-            assert!(net[k].abs() < 1e-6, "net force axis {k}: {}", net[k]);
+        for (k, axis) in net.iter().enumerate() {
+            assert!(axis.abs() < 1e-6, "net force axis {k}: {axis}");
         }
     }
 

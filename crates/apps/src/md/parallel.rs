@@ -102,6 +102,11 @@ pub fn run_md_parallel(
     }
 }
 
+/// Per-stripe accumulator: one `(force, potential)` slot per particle in
+/// the stripe, mutex-guarded for interior mutability (stripes are owned by
+/// single tasks, so the locks are uncontended).
+type StripeSlots = Mutex<Vec<([f64; 3], f64)>>;
+
 /// One parallel force pass; returns total potential energy.
 fn parallel_force_pass(
     htvm: &Htvm,
@@ -118,7 +123,7 @@ fn parallel_force_pass(
     // Output slots: one per particle — disjoint writes, no locks needed,
     // but Rust needs interior mutability; a mutex per stripe keeps it safe
     // and uncontended (tasks own whole stripes).
-    let out: Arc<Vec<Mutex<Vec<([f64; 3], f64)>>>> = Arc::new(match grain {
+    let out: Arc<Vec<StripeSlots>> = Arc::new(match grain {
         MdGrain::PerCell => cl
             .cells
             .iter()

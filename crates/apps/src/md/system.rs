@@ -341,8 +341,8 @@ mod tests {
     fn min_image_is_short() {
         let s = MdSystem::build(&SystemSpec::tiny());
         let d = s.min_image([0.1, 0.1, 0.1], [7.9, 7.9, 7.9]);
-        for k in 0..3 {
-            assert!(d[k].abs() < 1.0, "wrap-around distance should be short");
+        for axis in d {
+            assert!(axis.abs() < 1.0, "wrap-around distance should be short");
         }
     }
 

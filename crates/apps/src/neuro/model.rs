@@ -112,12 +112,12 @@ impl Neuron {
         let n_comp = self.comps.len();
         // Axial currents from the cable graph (chain).
         let mut axial = vec![0.0f64; n_comp];
-        for i in 0..n_comp {
+        for (i, a) in axial.iter_mut().enumerate() {
             if i > 0 {
-                axial[i] += p.g_axial * (self.comps[i - 1].v - self.comps[i].v);
+                *a += p.g_axial * (self.comps[i - 1].v - self.comps[i].v);
             }
             if i + 1 < n_comp {
-                axial[i] += p.g_axial * (self.comps[i + 1].v - self.comps[i].v);
+                *a += p.g_axial * (self.comps[i + 1].v - self.comps[i].v);
             }
         }
         // Soma active currents (HH-style).
@@ -132,10 +132,10 @@ impl Neuron {
         self.h = self.h.clamp(0.0, 1.0);
         self.n = self.n.clamp(0.0, 1.0);
 
-        for i in 0..n_comp {
-            let c = &mut self.comps[i];
-            let mut i_total = p.g_leak * (p.e_leak - c.v) + axial[i] + c.i_syn;
-            if i == 0 && self.refractory == 0 {
+        let refractory = self.refractory;
+        for (i, (c, a)) in self.comps.iter_mut().zip(&axial).enumerate() {
+            let mut i_total = p.g_leak * (p.e_leak - c.v) + *a + c.i_syn;
+            if i == 0 && refractory == 0 {
                 let i_na = p.g_na * self.m.powi(3) * self.h * (p.e_na - c.v);
                 let i_k = p.g_k * self.n.powi(4) * (p.e_k - c.v);
                 i_total += i_na + i_k;

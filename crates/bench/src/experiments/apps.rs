@@ -197,7 +197,9 @@ pub fn e16_litlx(scale: Scale) -> Table {
             print(sum(b));
         }}"
     );
-    let cases: Vec<(&str, String, Box<dyn Fn() -> f64>)> = vec![
+    // (kernel name, LITL-X source, native oracle computing the same value)
+    type NativeOracle = Box<dyn Fn() -> f64>;
+    let cases: Vec<(&str, String, NativeOracle)> = vec![
         (
             "scaled-sum",
             src_dot,

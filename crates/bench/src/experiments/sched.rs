@@ -211,7 +211,7 @@ pub fn e11_latency_adapt(scale: Scale) -> Table {
         Scale::Quick => {
             let mut v = Vec::new();
             for (l, reps) in [(100.0, 6), (800.0, 8), (200.0, 6)] {
-                v.extend(std::iter::repeat(l).take(reps));
+                v.extend(std::iter::repeat_n(l, reps));
             }
             v
         }

@@ -331,6 +331,13 @@ mod tests {
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
 
+    /// Steal/spread assertions observe OS scheduling: on a single-CPU host
+    /// one worker can legitimately drain a short run before any peer gets a
+    /// timeslice, so those claims are only checked on multicore hosts.
+    fn multicore() -> bool {
+        std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+    }
+
     #[test]
     fn runs_all_jobs() {
         let pool = Pool::new(4);
@@ -399,7 +406,7 @@ mod tests {
         }
         pool.wait_quiescent();
         assert!(
-            seen.lock().len() >= 2,
+            seen.lock().len() >= 2 || !multicore(),
             "expected at least two workers to participate"
         );
     }
@@ -422,7 +429,7 @@ mod tests {
         pool.wait_quiescent();
         assert_eq!(done.load(Ordering::SeqCst), 200);
         assert!(
-            pool.stats().total_stolen() > 0,
+            pool.stats().total_stolen() > 0 || !multicore(),
             "peers should have stolen from the busy worker"
         );
     }

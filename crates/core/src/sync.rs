@@ -106,9 +106,12 @@ pub struct IVar<T> {
     ready: Condvar,
 }
 
+/// A reader continuation buffered at the cell until the value arrives.
+type Waiter<T> = Box<dyn FnOnce(&T) + Send>;
+
 enum IVarState<T> {
     Empty {
-        waiters: Vec<Box<dyn FnOnce(&T) + Send>>,
+        waiters: Vec<Waiter<T>>,
     },
     // Arc so continuations can run with no lock held (a continuation may
     // re-enter this very cell).

@@ -131,7 +131,7 @@ mod tests {
                 let dom = dom.clone();
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        dom.atomic(&[0..1], |r| {
+                        dom.atomic(std::slice::from_ref(&(0..1)), |r| {
                             // Non-atomic read-modify-write, protected by the
                             // block.
                             let v = r.read(0);

@@ -508,7 +508,6 @@ impl Scope<'_> {
             let next = next.clone();
             let done = done.clone();
             let schedule = schedule.clone();
-            let claim = claim.clone();
             self.spawn_sgt(move |scope| {
                 while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
                     for i in lo..hi {

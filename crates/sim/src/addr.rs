@@ -89,6 +89,9 @@ impl GAddr {
     }
 
     /// The address `bytes` further into the same region.
+    // Named like pointer::add, intentionally not the `Add` operator: the
+    // operand is a byte displacement, not another address.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, bytes: u64) -> Self {
         Self {
             offset: self.offset + bytes,

@@ -57,6 +57,12 @@ pub use task::{Effect, OnArrive, SignalId, SimThread, TaskCtx};
 /// A simulated time stamp, in machine clock cycles.
 pub type Cycle = u64;
 
+/// Number of 64-byte lines a payload occupies (≥1) — the unit both the
+/// memory system and the network charge occupancy in.
+pub(crate) fn payload_lines(size: u32) -> u64 {
+    (size.max(1) as u64).div_ceil(64)
+}
+
 /// A node (chip) identifier within the simulated machine.
 pub type NodeId = u16;
 

@@ -79,7 +79,7 @@ impl MemorySystem {
                 let bank =
                     (addr.offset / self.cfg.interleave_bytes.max(1)) as usize % node.onchip_bank_free.len();
                 let start = now.max(node.onchip_bank_free[bank]);
-                let service = self.cfg.onchip_occupancy * lines(size);
+                let service = self.cfg.onchip_occupancy * crate::payload_lines(size);
                 node.onchip_bank_free[bank] = start + service;
                 start + service + lat
             }
@@ -89,7 +89,7 @@ impl MemorySystem {
                     % node.dram_channel_free.len();
                 let start = now.max(node.dram_channel_free[chan]);
                 let service =
-                    self.cfg.dram_occupancy + self.cfg.dram_occupancy_per_64b * lines(size).saturating_sub(1);
+                    self.cfg.dram_occupancy + self.cfg.dram_occupancy_per_64b * crate::payload_lines(size).saturating_sub(1);
                 node.dram_channel_free[chan] = start + service;
                 start + service + lat
             }
@@ -106,11 +106,6 @@ impl MemorySystem {
             .min()
             .unwrap_or(0)
     }
-}
-
-/// Number of 64-byte lines a payload occupies (≥1).
-fn lines(size: u32) -> u64 {
-    ((size.max(1) as u64) + 63) / 64
 }
 
 #[cfg(test)]

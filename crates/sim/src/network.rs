@@ -52,7 +52,7 @@ impl Network {
         }
         self.cfg.message_overhead
             + self.cfg.hop_latency * self.hops(src, dst)
-            + self.cfg.occupancy_per_64b * lines(size)
+            + self.cfg.occupancy_per_64b * crate::payload_lines(size)
     }
 
     /// Charge a message of `size` bytes from `src` to `dst` injected at
@@ -65,7 +65,7 @@ impl Network {
         self.bytes += size as u64;
         let nic = &mut self.egress_free[src as usize];
         let start = now.max(*nic);
-        let occupancy = self.cfg.occupancy_per_64b * lines(size);
+        let occupancy = self.cfg.occupancy_per_64b * crate::payload_lines(size);
         *nic = start + occupancy;
         start + occupancy + self.cfg.message_overhead + self.cfg.hop_latency * self.hops(src, dst)
     }
@@ -79,10 +79,6 @@ impl Network {
     pub fn byte_count(&self) -> u64 {
         self.bytes
     }
-}
-
-fn lines(size: u32) -> u64 {
-    ((size.max(1) as u64) + 63) / 64
 }
 
 #[cfg(test)]

@@ -1,0 +1,36 @@
+//! Public-API smoke test: build a small machine, spawn work, step the
+//! engine to completion, and read coherent statistics. Keeps
+//! `cargo test -p htvm-sim` meaningful from outside the crate.
+
+use htvm_sim::{compute_task, Engine, MachineConfig, Placement, SpawnClass};
+
+#[test]
+fn engine_runs_spawned_tasks_to_completion() {
+    let mut e = Engine::new(MachineConfig::small());
+    for t in 0..4u16 {
+        e.spawn(
+            Placement::Unit(0, t % 2),
+            SpawnClass::Sgt,
+            Box::new(compute_task(1_000)),
+        );
+    }
+    let stats = e.run();
+    assert_eq!(stats.tasks_completed, 4);
+    assert!(stats.now >= 1_000, "cycles advance at least one task's work");
+    assert!(stats.busy_cycles >= 4 * 1_000, "all work was executed");
+}
+
+#[test]
+fn engine_is_deterministic_across_runs() {
+    let run = || {
+        let mut e = Engine::new(MachineConfig::small());
+        e.spawn(
+            Placement::Unit(0, 0),
+            SpawnClass::Sgt,
+            Box::new(compute_task(500)),
+        );
+        let s = e.run();
+        (s.now, s.busy_cycles, s.tasks_completed)
+    };
+    assert_eq!(run(), run());
+}

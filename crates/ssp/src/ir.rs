@@ -126,7 +126,7 @@ impl LoopNest {
                 }
             }
         }
-        if self.trip_counts.iter().any(|&n| n == 0) {
+        if self.trip_counts.contains(&0) {
             return Err("zero trip count".to_string());
         }
         Ok(())

@@ -46,6 +46,6 @@ pub mod ssp;
 
 pub use ddg::{Ddg, MiiBounds};
 pub use ir::{Dep, LoopNest, Op, OpKind};
-pub use modulo::{ModuloSchedule, Resources, ScheduleError};
+pub use modulo::{modulo_schedule, ModuloSchedule, Resources, ScheduleError};
 pub use partition::{PartitionPlan, ThreadedSspModel};
 pub use ssp::{schedule_all_levels, select_level, LevelPlan, SspConfig};

@@ -1,0 +1,17 @@
+//! Public-API smoke test: modulo-schedule a tiny DDG and verify the result
+//! through the crate's own checker. Keeps `cargo test -p htvm-ssp`
+//! meaningful from outside the crate.
+
+use htvm_ssp::{modulo_schedule, Ddg, LoopNest, Resources};
+
+#[test]
+fn modulo_schedule_of_tiny_ddg_verifies() {
+    let nest = LoopNest::matmul_like(4, 4, 4);
+    let res = Resources::default();
+    let level = nest.trip_counts.len() - 1; // innermost level always has a DDG
+    let ddg = Ddg::for_level(&nest, level).expect("innermost DDG");
+    let sched = modulo_schedule(&nest, &ddg, &res).expect("schedulable");
+    sched.verify(&nest, &ddg, &res).expect("schedule is legal");
+    let bounds = ddg.mii(&nest, &res);
+    assert!(sched.ii >= bounds.mii(), "II respects the MII lower bound");
+}

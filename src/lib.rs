@@ -19,8 +19,34 @@
 //! * [`apps`] — the paper's two driver applications: neocortex neural
 //!   simulation and fine-grain molecular dynamics.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for the workspace layout, the tier-1 verify command,
+//! and how to run the experiment binaries.
+//!
+//! # Example
+//!
+//! Spawn a small LGT/SGT hierarchy on the native work-stealing runtime:
+//!
+//! ```
+//! use htvm::core::{Htvm, HtvmConfig};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let htvm = Htvm::new(HtvmConfig::with_workers(2));
+//! let sum = Arc::new(AtomicU64::new(0));
+//! let handle = htvm.lgt({
+//!     let sum = sum.clone();
+//!     move |lgt| {
+//!         for i in 1..=10u64 {
+//!             let sum = sum.clone();
+//!             lgt.spawn_sgt(move |_| {
+//!                 sum.fetch_add(i, Ordering::Relaxed);
+//!             });
+//!         }
+//!     }
+//! });
+//! handle.join();
+//! assert_eq!(sum.load(Ordering::Relaxed), 55);
+//! ```
 
 pub use htvm_adapt as adapt;
 pub use htvm_apps as apps;

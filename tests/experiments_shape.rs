@@ -15,6 +15,9 @@ fn wall_clock_guard() -> std::sync::MutexGuard<'static, ()> {
     WALL_CLOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+mod common;
+use common::multicore;
+
 fn col(t: &htvm_bench::Table, name: &str) -> Vec<f64> {
     let v = t.column_f64(name);
     assert!(!v.is_empty(), "column {name} missing or empty in {}", t.title);
@@ -258,7 +261,7 @@ fn e14_parallel_matches_and_speeds_up() {
         let sp: f64 = hier.last().unwrap()[3].parse().unwrap();
         best_contrast = best_contrast.max(hier_rate / flat_rate.max(1e-9));
         best_speedup = best_speedup.max(sp);
-        if best_contrast > 2.5 && best_speedup > 1.0 {
+        if best_contrast > 2.5 && (best_speedup > 1.0 || !multicore()) {
             return;
         }
         eprintln!("e14 attempt {attempt}: speedup {sp}, hier/flat {:.2}", hier_rate / flat_rate);
@@ -268,7 +271,7 @@ fn e14_parallel_matches_and_speeds_up() {
         "hierarchical/flat contrast {best_contrast} too small"
     );
     assert!(
-        best_speedup > 1.0,
+        best_speedup > 1.0 || !multicore(),
         "hierarchical speedup {best_speedup} below sequential parity"
     );
 }
@@ -288,7 +291,7 @@ fn e15_md_parallel_speedup() {
         let fine: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0].contains("fine")).collect();
         let sp: f64 = fine.last().unwrap()[3].parse().unwrap();
         best = best.max(sp);
-        if best > 1.2 {
+        if best > 1.2 || !multicore() {
             return;
         }
         eprintln!("e15 attempt {attempt}: speedup {sp}");

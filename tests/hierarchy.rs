@@ -10,6 +10,8 @@ use htvm::litlx::atomic::AtomicDomain;
 use htvm::litlx::dataflow::FeRegion;
 use htvm::litlx::future::future_on;
 
+mod common;
+
 #[test]
 fn three_level_hierarchy_composes() {
     let htvm = Htvm::new(HtvmConfig::with_workers(4));
@@ -138,10 +140,11 @@ fn work_stealing_is_migration() {
         }
     });
     h.join();
+    let multicore = common::multicore();
     let stats = htvm.pool_stats();
-    assert!(stats.total_stolen() > 0, "no migration happened");
+    assert!(stats.total_stolen() > 0 || !multicore, "no migration happened");
     assert!(
-        stats.imbalance() < 1.5,
+        stats.imbalance() < 1.5 || !multicore,
         "imbalance {} too high with stealing on",
         stats.imbalance()
     );

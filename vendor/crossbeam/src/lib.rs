@@ -1,0 +1,205 @@
+//! Offline shim for the `crossbeam::deque` subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! `Worker`/`Stealer`/`Injector`/`Steal` surface of `crossbeam-deque`
+//! backed by `std::sync::Mutex<VecDeque>`. Semantics match (LIFO owner
+//! pops, FIFO steals from the opposite end); lock-free performance does
+//! not — acceptable for a functional substrate, and swappable for the real
+//! crate without source changes once the registry is reachable.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, matching crossbeam's three-way enum.
+    pub enum Steal<T> {
+        Success(T),
+        Empty,
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Lifo,
+        Fifo,
+    }
+
+    struct Buffer<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// The owner end of a worker deque.
+    pub struct Worker<T> {
+        buf: Arc<Buffer<T>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Self {
+                buf: Arc::new(Buffer {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            Self {
+                buf: Arc::new(Buffer {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// Push onto the owner end (back).
+        pub fn push(&self, value: T) {
+            self.buf.queue.lock().unwrap().push_back(value);
+        }
+
+        /// Pop from the owner end: back for LIFO, front for FIFO.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.buf.queue.lock().unwrap();
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.buf.queue.lock().unwrap().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.buf.queue.lock().unwrap().len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                buf: self.buf.clone(),
+            }
+        }
+    }
+
+    /// The thief end of a worker deque; steals FIFO (front).
+    pub struct Stealer<T> {
+        buf: Arc<Buffer<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                buf: self.buf.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.buf.queue.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.buf.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A global FIFO injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue.lock().unwrap().push_back(value);
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Pop one task and move up to half of the rest into `dest`,
+        /// mirroring crossbeam's batched steal.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let batch = q.len() / 2;
+            if batch > 0 {
+                let mut d = dest.buf.queue.lock().unwrap();
+                for _ in 0..batch {
+                    match q.pop_front() {
+                        Some(v) => d.push_back(v),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_owner_fifo_thief() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3), "owner pops newest");
+            assert!(matches!(s.steal(), Steal::Success(1)), "thief steals oldest");
+        }
+
+        #[test]
+        fn injector_batch_moves_half() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::<i32>::new_lifo();
+            let got = inj.steal_batch_and_pop(&w);
+            assert!(matches!(got, Steal::Success(0)));
+            assert!(!w.is_empty(), "batch landed in the worker deque");
+        }
+    }
+}

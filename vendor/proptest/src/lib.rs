@@ -1,0 +1,471 @@
+//! Offline shim for the `proptest` subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so this vendors a
+//! deterministic property-test runner: strategies generate values from a
+//! per-(test, case) seeded [`rand::StdRng`], the [`proptest!`] macro runs
+//! `PROPTEST_CASES` (or the config's) cases, and failures report every
+//! generated argument. No shrinking — failing cases print their full
+//! inputs instead, which the deterministic seeding makes reproducible.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+pub mod test_runner {
+    /// Runner configuration (the `cases` subset).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// Effective case count: the `PROPTEST_CASES` env var overrides the
+        /// configured value (used to keep CI under the tier-1 time budget).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+/// A generator of values of one type. Unlike upstream proptest there is no
+/// value tree / shrinking; `new_value` draws directly from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rand::SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rand::SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+/// A `&str` strategy is a regex in upstream proptest. This shim honours
+/// only the shape the repo uses — `"\PC{lo,hi}"`-style "any printable
+/// characters, length in range" patterns — by generating a string of
+/// random printable chars whose length is drawn from the `{lo,hi}` suffix
+/// (default 0..=32 when absent). That covers fuzz-style "never panics"
+/// properties, which only need breadth, not the exact regex language.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_len_suffix(self).unwrap_or((0, 32));
+        let span = (hi - lo + 1) as u64;
+        let len = lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| printable_char(rng)).collect()
+    }
+}
+
+fn parse_len_suffix(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let mut parts = body[brace + 1..].splitn(2, ',');
+    let lo: usize = parts.next()?.trim().parse().ok()?;
+    let hi: usize = match parts.next() {
+        Some(s) if s.trim().is_empty() => lo + 32,
+        Some(s) => s.trim().parse().ok()?,
+        None => lo,
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+fn printable_char(rng: &mut StdRng) -> char {
+    // Mostly ASCII (token-shaped inputs exercise parsers best), with a
+    // sprinkling of multi-byte codepoints for UTF-8 handling.
+    match rng.next_u64() % 10 {
+        0..=7 => (0x20 + (rng.next_u64() % 0x5f) as u32) as u8 as char,
+        8 => char::from_u32(0xA1 + (rng.next_u64() % 0xFF) as u32).unwrap_or('¿'),
+        _ => char::from_u32(0x0390 + (rng.next_u64() % 0x60) as u32).unwrap_or('λ'),
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::{RngCore, Strategy};
+
+    /// Inclusive-exclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut super::StdRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{RngCore, Strategy};
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut super::StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod sample {
+    use super::{RngCore, Strategy};
+
+    /// Uniformly pick one of the given items (`proptest::sample::select`).
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select on empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut super::StdRng) -> T {
+            self.items[(rng.next_u64() % self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{Map, Strategy};
+}
+
+pub mod prelude {
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{Map, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic per-(test, case) seed; no ambient entropy so failures
+/// reproduce bit-for-bit across runs and machines.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(case_seed(test_name, case))
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                let max_rejects = cases.saturating_mul(32).max(1024);
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while passed < cases {
+                    let mut rng = $crate::rng_for(stringify!($name), case);
+                    case += 1;
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    let mut described = String::new();
+                    $(
+                        described.push_str(&format!(
+                            "    {} = {:?}\n", stringify!($arg), &$arg
+                        ));
+                    )+
+                    let outcome = (|| -> Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > max_rejects {
+                                panic!(
+                                    "proptest '{}': too many prop_assume rejections \
+                                     ({rejected} rejects for {passed}/{cases} cases)",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case #{} (seed {}):\n{}\n  inputs:\n{}",
+                                stringify!($name),
+                                case - 1,
+                                $crate::case_seed(stringify!($name), case - 1),
+                                msg,
+                                described
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let s = (0u64..100, 0.0f64..1.0);
+        let mut a = crate::rng_for("t", 3);
+        let mut b = crate::rng_for("t", 3);
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let s = crate::collection::vec(0u64..10, 2..6);
+        for case in 0..200 {
+            let v = s.new_value(&mut crate::rng_for("len", case));
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn string_strategy_honours_len_suffix() {
+        let s = "\\PC{0,200}";
+        for case in 0..50 {
+            let v = Strategy::new_value(&s, &mut crate::rng_for("s", case));
+            assert!(v.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn runner_executes_and_assumes(x in 0u32..100, flip in crate::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no crates.io access; the sources only *derive*
+//! `Serialize`/`Deserialize` (no serializer crate is used anywhere), so the
+//! traits are markers and the derives expand to nothing. Swapping in real
+//! serde later requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring serde's `de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace never serializes anything (no serde_json or similar), so
+//! the derives only need to make `#[derive(Serialize, Deserialize)]`
+//! attributes compile. They accept `#[serde(...)]` helper attributes and
+//! emit no code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
