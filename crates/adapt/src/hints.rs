@@ -188,6 +188,32 @@ impl KnowledgeBase {
         }
     }
 
+    /// Locality-domain affinity at a point: the `home_domain` carried by
+    /// the highest-priority `DataLocality` hint aimed at the runtime
+    /// (emitted by [`crate::locality::affinity_hints`] from observed steal
+    /// traffic, or written by a domain expert). The runtime applies it by
+    /// invoking the point's LGT with `Htvm::lgt_in(DomainId(d), …)`.
+    ///
+    /// `num_domains` is the *current* pool's domain count: hints recorded
+    /// under a different topology (their `num_domains` fingerprint
+    /// disagrees) or naming an out-of-range domain are skipped — a stale
+    /// persisted hint must degrade to "no preference", never panic the
+    /// spawn or pin the subtree somewhere semantically unrelated.
+    pub fn home_domain(&self, point: &str, num_domains: usize) -> Option<u64> {
+        self.hints_at(point)
+            .iter()
+            .filter(|h| h.category == HintCategory::DataLocality && h.target == HintTarget::Runtime)
+            .filter(|h| match h.get("num_domains") {
+                Some(n) => n.parse() == Ok(num_domains),
+                None => true, // hand-written hints may omit the fingerprint
+            })
+            .find_map(|h| {
+                h.get("home_domain")
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&d: &u64| (d as usize) < num_domains)
+            })
+    }
+
     /// Monitoring priorities at a point (keys of `watch = …` hints aimed at
     /// the monitor).
     pub fn monitor_priorities(&self, point: &str) -> Vec<String> {
@@ -479,6 +505,85 @@ mod tests {
             ),
         );
         assert!(kb.to_text().is_err());
+    }
+
+    #[test]
+    fn home_domain_reads_highest_priority_locality_hint() {
+        let mut kb = KnowledgeBase::new();
+        assert_eq!(kb.home_domain("main", 4), None);
+        kb.add_hint(
+            "main",
+            StructuredHint::new(
+                HintCategory::DataLocality,
+                HintTarget::Runtime,
+                3,
+                [("home_domain".to_string(), "0".to_string())],
+            ),
+        );
+        kb.add_hint(
+            "main",
+            StructuredHint::new(
+                HintCategory::DataLocality,
+                HintTarget::Runtime,
+                9,
+                [("home_domain".to_string(), "2".to_string())],
+            ),
+        );
+        // A locality hint aimed elsewhere must not shadow the runtime one.
+        kb.add_hint(
+            "main",
+            StructuredHint::new(
+                HintCategory::DataLocality,
+                HintTarget::Monitor,
+                99,
+                [("home_domain".to_string(), "7".to_string())],
+            ),
+        );
+        assert_eq!(kb.home_domain("main", 4), Some(2));
+        assert_eq!(kb.home_domain("other", 4), None);
+        // An out-of-range index falls through to the next valid hint.
+        assert_eq!(kb.home_domain("main", 2), Some(0));
+        assert_eq!(kb.home_domain("main", 1), Some(0));
+    }
+
+    #[test]
+    fn home_domain_rejects_stale_topology_fingerprints() {
+        use crate::locality::{affinity_hints, AffinityThresholds, DomainTraffic};
+        // Observed under a flat(8)-style topology: 8 singleton domains,
+        // busiest is domain 7.
+        let mut executed = vec![10u64; 8];
+        executed[7] = 500;
+        let traffic = DomainTraffic::new(executed, vec![0; 8], {
+            let mut r = vec![0u64; 8];
+            r[7] = 40;
+            r
+        });
+        let mut kb = KnowledgeBase::new();
+        for h in affinity_hints(&traffic, &AffinityThresholds::default()) {
+            kb.add_hint("main", h);
+        }
+        // Same topology: the hint applies.
+        assert_eq!(kb.home_domain("main", 8), Some(7));
+        // Re-run under a 2-domain pool: dom7 is meaningless there — the
+        // stale hint must degrade to "no preference", not panic lgt_in.
+        assert_eq!(kb.home_domain("main", 2), None);
+    }
+
+    #[test]
+    fn steal_traffic_round_trips_into_the_knowledge_base() {
+        use crate::locality::{affinity_hints, AffinityThresholds, DomainTraffic};
+        // A flat-topology run: every steal is remote → the hint system
+        // proposes pinning the subtree to the busiest domain.
+        let traffic = DomainTraffic::new(vec![30, 400, 20], vec![0, 0, 0], vec![25, 3, 12]);
+        let mut kb = KnowledgeBase::new();
+        for h in affinity_hints(&traffic, &AffinityThresholds::default()) {
+            kb.add_hint("md_force_pass", h);
+        }
+        assert_eq!(kb.home_domain("md_force_pass", 3), Some(1));
+        assert_eq!(kb.monitor_priorities("md_force_pass"), vec!["remote_steals"]);
+        // And it survives persistence like every other hint.
+        let back = KnowledgeBase::from_text(&kb.to_text().unwrap()).unwrap();
+        assert_eq!(back.home_domain("md_force_pass", 3), Some(1));
     }
 
     #[test]

@@ -19,6 +19,32 @@
 //! are plain data structures evaluated either analytically, on recorded
 //! traces, or on the `htvm-sim` machine; the native runtime uses the same
 //! types through `htvm-core`.
+//!
+//! # Example
+//!
+//! The feedback loop in miniature: observed steal traffic becomes a
+//! structured hint, the knowledge base stores it, and the next run reads
+//! the placement decision back out:
+//!
+//! ```
+//! use htvm_adapt::locality::{affinity_hints, AffinityThresholds, DomainTraffic};
+//! use htvm_adapt::KnowledgeBase;
+//!
+//! // A run on a 2-domain pool: domain 0 did the work, and most steals
+//! // crossed a domain boundary.
+//! let traffic = DomainTraffic::new(vec![900, 40], vec![3, 1], vec![30, 10]);
+//! let mut kb = KnowledgeBase::new();
+//! for hint in affinity_hints(&traffic, &AffinityThresholds::default()) {
+//!     kb.add_hint("main_loop", hint);
+//! }
+//! // Next run (same 2-domain topology): pin the subtree to the busiest
+//! // domain (Htvm::lgt_in). A run under a different topology would get
+//! // None — stale placement hints degrade, never misfire.
+//! assert_eq!(kb.home_domain("main_loop", 2), Some(0));
+//! assert_eq!(kb.home_domain("main_loop", 4), None);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod continuous;
 pub mod hints;
@@ -32,7 +58,10 @@ pub use continuous::{ContinuousCompiler, PartialSchedule, PolicyOutcome};
 pub use hints::{HintCategory, HintTarget, KnowledgeBase, StructuredHint};
 pub use latency::{AdaptiveConcurrency, EwmaLatency};
 pub use load::{LoadPolicy, LoadSimConfig, LoadSimResult};
-pub use locality::{ConsistencyKind, Directory, LocalityCosts, LocalityPolicy};
+pub use locality::{
+    affinity_hints, AffinityThresholds, ConsistencyKind, Directory, DomainTraffic, LocalityCosts,
+    LocalityPolicy,
+};
 pub use loop_sched::{
     evaluate_schedule, CostModel, IterationCosts, ScheduleKind, ScheduleOutcome,
 };

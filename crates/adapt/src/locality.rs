@@ -1,5 +1,6 @@
 //! Locality adaptation: data migration and replication with copy
-//! consistency (§2).
+//! consistency (§2), plus locality-domain affinity hints derived from
+//! observed steal traffic.
 //!
 //! "Data objects may need to migrate, and copies be generated and moved in
 //! the memory hierarchy to achieve high locality, while copy consistency
@@ -17,8 +18,19 @@
 //!   invalidate all replicas (MSI-style), preserving single-writer /
 //!   multi-reader consistency;
 //! * **MigrateAndReplicate** — both.
+//!
+//! The second half of the module closes the loop between the native pool's
+//! locality domains and the §4.1 hint system: [`DomainTraffic`] holds the
+//! per-domain executed/local-steal/remote-steal counters a run observed
+//! (`htvm_core::PoolStats` aggregated by domain), and [`affinity_hints`]
+//! turns them into [`StructuredHint`]s — a `DataLocality` hint naming the
+//! busiest domain as the subtree's home when too many steals crossed
+//! domain boundaries, and a `MonitoringPriority` hint asking the monitor
+//! to keep watching the remote-steal counter.
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use crate::hints::{HintCategory, HintTarget, StructuredHint};
 
 /// Consistency/placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -356,6 +368,141 @@ pub fn read_mostly_trace(nodes: u16, blocks: u64, rounds: usize, seed: u64) -> V
     out
 }
 
+/// Steal traffic of one run, aggregated per locality domain (the
+/// runtime-agnostic mirror of `htvm_core::PoolStats::*_by_domain()`).
+///
+/// All three vectors are indexed by domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainTraffic {
+    /// Jobs executed per domain.
+    pub executed: Vec<u64>,
+    /// Steals satisfied inside a domain (cheap migrations).
+    pub local_steals: Vec<u64>,
+    /// Steals that crossed a domain boundary, attributed to the thief's
+    /// domain (the migrations locality adaptation tries to eliminate).
+    pub remote_steals: Vec<u64>,
+}
+
+impl DomainTraffic {
+    /// Build from per-domain counter vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree on the domain count.
+    pub fn new(executed: Vec<u64>, local_steals: Vec<u64>, remote_steals: Vec<u64>) -> Self {
+        assert!(
+            executed.len() == local_steals.len() && executed.len() == remote_steals.len(),
+            "per-domain counter vectors must agree on the domain count"
+        );
+        Self {
+            executed,
+            local_steals,
+            remote_steals,
+        }
+    }
+
+    /// Number of domains observed.
+    pub fn num_domains(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Total steals of either kind.
+    pub fn total_steals(&self) -> u64 {
+        self.local_steals.iter().sum::<u64>() + self.remote_steals.iter().sum::<u64>()
+    }
+
+    /// Fraction of steals that crossed a domain boundary (0 when nothing
+    /// was stolen).
+    pub fn remote_ratio(&self) -> f64 {
+        let total = self.total_steals();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_steals.iter().sum::<u64>() as f64 / total as f64
+        }
+    }
+
+    /// The domain that executed the most jobs — the natural home for the
+    /// workload's subtree. `None` when nothing ran.
+    pub fn busiest_domain(&self) -> Option<usize> {
+        let (d, &n) = self
+            .executed
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &n)| n)?;
+        (n > 0).then_some(d)
+    }
+}
+
+/// When [`affinity_hints`] speaks up.
+#[derive(Debug, Clone)]
+pub struct AffinityThresholds {
+    /// Emit the `home_domain` hint when the remote fraction of steals
+    /// exceeds this.
+    pub remote_ratio: f64,
+    /// Ignore runs with fewer total steals than this (too little signal
+    /// to steer placement).
+    pub min_steals: u64,
+}
+
+impl Default for AffinityThresholds {
+    fn default() -> Self {
+        Self {
+            remote_ratio: 0.25,
+            min_steals: 16,
+        }
+    }
+}
+
+/// The §4.1 feedback edge from the runtime to the knowledge base: convert
+/// one run's observed per-domain steal traffic into structured hints.
+///
+/// * Too many cross-domain steals → a `DataLocality` hint targeted at the
+///   runtime: `home_domain = <busiest domain>`, `keep_subtree_home = true`
+///   (apply it by invoking the next run's LGT with `Htvm::lgt_in`).
+/// * Any observed stealing → a `MonitoringPriority` hint targeted at the
+///   monitor: `watch = remote_steals`, so the decision is revisited.
+///
+/// Returns an empty vector when the run produced too little steal traffic
+/// to steer anything. Attach the result to a program point with
+/// [`crate::KnowledgeBase::add_hint`].
+pub fn affinity_hints(traffic: &DomainTraffic, th: &AffinityThresholds) -> Vec<StructuredHint> {
+    if traffic.total_steals() < th.min_steals.max(1) {
+        return Vec::new();
+    }
+    let mut out = vec![StructuredHint::new(
+        HintCategory::MonitoringPriority,
+        HintTarget::Monitor,
+        5,
+        [("watch".to_string(), "remote_steals".to_string())],
+    )];
+    if traffic.remote_ratio() > th.remote_ratio {
+        if let Some(home) = traffic.busiest_domain() {
+            out.insert(
+                0,
+                StructuredHint::new(
+                    HintCategory::DataLocality,
+                    HintTarget::Runtime,
+                    10,
+                    [
+                        ("home_domain".to_string(), home.to_string()),
+                        // Fingerprint of the topology the hint was
+                        // observed under: a persisted hint must not be
+                        // applied to a pool with a different domain
+                        // structure (the index would be meaningless).
+                        ("num_domains".to_string(), traffic.num_domains().to_string()),
+                        ("keep_subtree_home".to_string(), "true".to_string()),
+                        (
+                            "observed_remote_ratio".to_string(),
+                            format!("{:.3}", traffic.remote_ratio()),
+                        ),
+                    ],
+                ),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,5 +634,50 @@ mod tests {
         let f_frac = fixed.remote_accesses as f64 / trace.len() as f64;
         let m_frac = mig.remote_accesses as f64 / trace.len() as f64;
         assert!(m_frac < f_frac / 3.0, "remote fraction {m_frac} vs {f_frac}");
+    }
+
+    #[test]
+    fn steal_heavy_traffic_emits_home_domain_hint() {
+        // Domain 1 did most of the work, and most steals were remote.
+        let t = DomainTraffic::new(vec![10, 500], vec![5, 5], vec![40, 10]);
+        assert!((t.remote_ratio() - 50.0 / 60.0).abs() < 1e-12);
+        assert_eq!(t.busiest_domain(), Some(1));
+        let hints = affinity_hints(&t, &AffinityThresholds::default());
+        assert_eq!(hints.len(), 2);
+        let home = &hints[0];
+        assert_eq!(home.category, HintCategory::DataLocality);
+        assert_eq!(home.target, HintTarget::Runtime);
+        assert_eq!(home.get("home_domain"), Some("1"));
+        assert_eq!(home.get("num_domains"), Some("2"));
+        assert_eq!(home.get("keep_subtree_home"), Some("true"));
+        let watch = &hints[1];
+        assert_eq!(watch.category, HintCategory::MonitoringPriority);
+        assert_eq!(watch.get("watch"), Some("remote_steals"));
+    }
+
+    #[test]
+    fn local_steal_traffic_only_asks_for_monitoring() {
+        // Plenty of steals, but nearly all were satisfied in-domain: no
+        // placement change is warranted, just keep watching.
+        let t = DomainTraffic::new(vec![200, 210], vec![50, 45], vec![2, 1]);
+        let hints = affinity_hints(&t, &AffinityThresholds::default());
+        assert_eq!(hints.len(), 1);
+        assert_eq!(hints[0].category, HintCategory::MonitoringPriority);
+    }
+
+    #[test]
+    fn quiet_runs_emit_nothing() {
+        let t = DomainTraffic::new(vec![100, 100], vec![1, 0], vec![1, 0]);
+        assert!(affinity_hints(&t, &AffinityThresholds::default()).is_empty());
+        let idle = DomainTraffic::new(vec![0, 0], vec![0, 0], vec![0, 0]);
+        assert_eq!(idle.remote_ratio(), 0.0);
+        assert_eq!(idle.busiest_domain(), None);
+        assert!(affinity_hints(&idle, &AffinityThresholds::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain count")]
+    fn mismatched_traffic_vectors_panic() {
+        DomainTraffic::new(vec![1, 2], vec![0], vec![0, 0]);
     }
 }

@@ -18,6 +18,27 @@
 //!
 //! Neither application depends on proprietary inputs: both generate their
 //! systems deterministically from a seed (see DESIGN.md §4 substitutions).
+//!
+//! # Example
+//!
+//! Run a few MD steps sequentially and the same system in parallel on the
+//! HTVM runtime — the parallel force pass is bit-faithful:
+//!
+//! ```
+//! use htvm_apps::md::integrate::{run_md, Thermostat};
+//! use htvm_apps::md::parallel::{run_md_parallel, MdGrain};
+//! use htvm_apps::md::system::{MdSystem, SystemSpec};
+//! use htvm_apps::md::ForceParams;
+//!
+//! let spec = SystemSpec::tiny();
+//! let params = ForceParams::default();
+//! let mut seq = MdSystem::build(&spec);
+//! run_md(&mut seq, &params, 0.001, 3, Thermostat::None);
+//! let par = run_md_parallel(
+//!     MdSystem::build(&spec), &params, 0.001, 3, 2, MdGrain::PerCell, Thermostat::None,
+//! );
+//! assert_eq!(par.system, seq);
+//! ```
 
 pub mod md;
 pub mod neuro;

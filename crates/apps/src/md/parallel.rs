@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use htvm_core::{Htvm, HtvmConfig};
+use htvm_core::{Htvm, HtvmConfig, PoolStats, Topology};
 use parking_lot::Mutex;
 
 use super::cell_list::CellList;
@@ -29,6 +29,9 @@ pub struct MdRunReport {
     pub potential: f64,
     /// SGTs spawned over the run.
     pub sgt_count: u64,
+    /// Pool counters at the end of the run (per-worker and per-domain
+    /// executed/steal breakdown).
+    pub pool: PoolStats,
     /// Final system state.
     pub system: MdSystem,
 }
@@ -42,9 +45,10 @@ pub enum MdGrain {
     Chunks(usize),
 }
 
-/// Run `steps` of MD with the force pass parallelized on HTVM.
+/// Run `steps` of MD with the force pass parallelized on HTVM (no
+/// locality grouping — see [`run_md_parallel_topo`]).
 pub fn run_md_parallel(
-    mut sys: MdSystem,
+    sys: MdSystem,
     params: &ForceParams,
     dt: f64,
     steps: usize,
@@ -52,8 +56,22 @@ pub fn run_md_parallel(
     grain: MdGrain,
     thermostat: Thermostat,
 ) -> MdRunReport {
+    run_md_parallel_topo(sys, params, dt, steps, Topology::flat(workers), grain, thermostat)
+}
+
+/// Run `steps` of MD with the force pass parallelized on HTVM, on a pool
+/// with an explicit locality-domain topology (E17 sweeps this).
+pub fn run_md_parallel_topo(
+    mut sys: MdSystem,
+    params: &ForceParams,
+    dt: f64,
+    steps: usize,
+    topology: Topology,
+    grain: MdGrain,
+    thermostat: Thermostat,
+) -> MdRunReport {
     let htvm = Htvm::new(HtvmConfig {
-        workers,
+        topology,
         lgt_memory_words: 64,
         frame_slots: 8,
     });
@@ -98,6 +116,7 @@ pub fn run_md_parallel(
         elapsed: start.elapsed(),
         potential,
         sgt_count: sgt_count.load(Ordering::Relaxed),
+        pool: htvm.pool_stats(),
         system: sys,
     }
 }

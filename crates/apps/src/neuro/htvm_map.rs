@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use htvm_core::{Htvm, HtvmConfig, SgtCtx};
+use htvm_core::{Htvm, HtvmConfig, PoolStats, SgtCtx, Topology};
 use parking_lot::Mutex;
 
 use super::model::{Neuron, NeuronParams};
@@ -48,10 +48,21 @@ pub struct ParallelRunReport {
     pub elapsed: std::time::Duration,
     /// SGTs spawned.
     pub sgt_count: u64,
-    /// Work-stealing migrations observed (pool steals).
-    pub steals: u64,
+    /// Pool counters at the end of the run (per-worker and per-domain
+    /// executed/steal breakdown; steals double as migration counts).
+    pub pool: PoolStats,
+}
+
+impl ParallelRunReport {
+    /// Work-stealing migrations observed (pool steals of either kind).
+    pub fn steals(&self) -> u64 {
+        self.pool.total_stolen()
+    }
+
     /// Load imbalance across workers (CV of executed jobs).
-    pub imbalance: f64,
+    pub fn imbalance(&self) -> f64 {
+        self.pool.imbalance()
+    }
 }
 
 /// Everything the step chain shares; one allocation for the whole run.
@@ -140,10 +151,23 @@ fn chunk_body(state: Arc<ChainState>, step_no: u64, chunk_idx: usize) -> Box<dyn
     })
 }
 
-/// Run `steps` of the network on the HTVM native runtime.
+/// Run `steps` of the network on the HTVM native runtime (no locality
+/// grouping — see [`run_parallel_topo`]).
 pub fn run_parallel(net: Network, steps: u64, workers: usize, mapping: Mapping) -> ParallelRunReport {
+    run_parallel_topo(net, steps, Topology::flat(workers), mapping)
+}
+
+/// Run `steps` of the network on the HTVM native runtime, on a pool with
+/// an explicit locality-domain topology (E17 sweeps this).
+pub fn run_parallel_topo(
+    net: Network,
+    steps: u64,
+    topology: Topology,
+    mapping: Mapping,
+) -> ParallelRunReport {
+    let workers = topology.workers();
     let htvm = Htvm::new(HtvmConfig {
-        workers,
+        topology,
         lgt_memory_words: 64, // the LGT arena is unused here: keep it tiny
         frame_slots: 8,
     });
@@ -211,13 +235,11 @@ pub fn run_parallel(net: Network, steps: u64, workers: usize, mapping: Mapping) 
         lgt.join();
     }
 
-    let stats = htvm.pool_stats();
     ParallelRunReport {
         total_spikes: state.total_spikes.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
         sgt_count: state.sgt_count.load(Ordering::Relaxed),
-        steals: stats.total_stolen(),
-        imbalance: stats.imbalance(),
+        pool: htvm.pool_stats(),
     }
 }
 

@@ -1,0 +1,4 @@
+//! Report binary for e17_domains: prints the full-scale experiment table.
+fn main() {
+    htvm_bench::experiments::e17_domains(htvm_bench::experiments::Scale::Full).print();
+}

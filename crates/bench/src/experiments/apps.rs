@@ -79,8 +79,8 @@ pub fn e14_neocortex(scale: Scale) -> Table {
                 f2(rate / seq_rate),
                 r.total_spikes.to_string(),
                 r.sgt_count.to_string(),
-                r.steals.to_string(),
-                f3(r.imbalance),
+                r.steals().to_string(),
+                f3(r.imbalance()),
             ]);
         }
     }

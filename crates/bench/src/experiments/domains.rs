@@ -1,0 +1,184 @@
+//! E17: locality-domain topology sweep on the native pool.
+//!
+//! The same two driver workloads as E14/E15 (neocortex step chain, MD
+//! force pass) run on pools whose workers are grouped into 1-per-domain
+//! (flat — the uniform work-stealing baseline, every steal remote), 2
+//! domains, and 4 domains. The table reports wall-clock plus the
+//! per-domain executed/steal counters the proximity-ordered protocol
+//! exposes; on a multicore host the grouped topologies satisfy most
+//! steals inside a domain, so their remote-steal ratio drops below the
+//! flat baseline's (which is 1 by construction whenever anything was
+//! stolen).
+//!
+//! The last column closes the adaptation loop of §4.1: the run's traffic
+//! is fed to [`htvm_adapt::locality::affinity_hints`], and the table
+//! shows the `home_domain` hint the knowledge base would carry into the
+//! next run (applied via `Htvm::lgt_in`).
+
+use htvm_adapt::locality::{affinity_hints, AffinityThresholds, DomainTraffic};
+use htvm_adapt::{HintCategory, KnowledgeBase};
+use htvm_apps::md::integrate::Thermostat;
+use htvm_apps::md::parallel::{run_md_parallel_topo, MdGrain};
+use htvm_apps::md::system::{MdSystem, SystemSpec};
+use htvm_apps::md::ForceParams;
+use htvm_apps::neuro::htvm_map::{run_parallel_topo, Mapping};
+use htvm_apps::neuro::network::{Network, NetworkSpec};
+use htvm_core::{PoolStats, Topology};
+
+use super::Scale;
+use crate::table::{f2, f3, Table};
+
+/// Join a per-domain counter vector into a compact `a/b/c` cell.
+fn by_domain(v: &[u64]) -> String {
+    v.iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// One row's worth of pool observations plus the hint the traffic earns.
+fn observe(stats: &PoolStats) -> (DomainTraffic, String) {
+    let traffic = DomainTraffic::new(
+        stats.executed_by_domain(),
+        stats.local_steals_by_domain(),
+        stats.remote_steals_by_domain(),
+    );
+    // Replay the §4.1 loop for this run: traffic → hints → knowledge base
+    // → placement answer for the next run.
+    let mut kb = KnowledgeBase::new();
+    for h in affinity_hints(&traffic, &AffinityThresholds::default()) {
+        kb.add_hint("e17", h);
+    }
+    let hint = match kb.home_domain("e17", traffic.num_domains()) {
+        Some(d) => format!("home_domain={d}"),
+        None => {
+            if kb
+                .hints_at("e17")
+                .iter()
+                .any(|h| h.category == HintCategory::MonitoringPriority)
+            {
+                "watch".to_string()
+            } else {
+                "-".to_string()
+            }
+        }
+    };
+    (traffic, hint)
+}
+
+/// E17 — flat vs grouped topologies on the two driver applications:
+/// wall-clock, per-domain steal counters, remote-steal ratio, and the
+/// affinity hint the observed traffic emits.
+pub fn e17_domains(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E17 locality domains: steal traffic by topology × workload",
+        &[
+            "workload",
+            "topology",
+            "wall_ms",
+            "sgts",
+            "exec_by_dom",
+            "local_by_dom",
+            "remote_by_dom",
+            "remote_ratio",
+            "dom_imbalance",
+            "hint",
+        ],
+    );
+    let workers = scale.pick(4usize, 8);
+    let mut topologies = vec![
+        ("flat".to_string(), Topology::flat(workers)),
+        ("2-dom".to_string(), Topology::domains(2, workers / 2)),
+    ];
+    if scale == Scale::Full {
+        topologies.push(("4-dom".to_string(), Topology::domains(4, workers / 4)));
+    }
+
+    // Workload 1: the neocortex step chain (hierarchical mapping — the
+    // dataflow chaining keeps each step's chunks on one worker's deque,
+    // so every other worker's share arrives by stealing).
+    let net_spec = match scale {
+        Scale::Quick => NetworkSpec {
+            regions: 8,
+            neurons_per_region: 64,
+            compartments: 8,
+            ..Default::default()
+        },
+        Scale::Full => NetworkSpec {
+            regions: 8,
+            neurons_per_region: 256,
+            compartments: 8,
+            fanout: 24,
+            ..Default::default()
+        },
+    };
+    let net_steps = scale.pick(30u64, 120);
+    for (name, topo) in &topologies {
+        let r = run_parallel_topo(
+            Network::build(net_spec.clone()),
+            net_steps,
+            topo.clone(),
+            Mapping::Hierarchical,
+        );
+        let (traffic, hint) = observe(&r.pool);
+        t.row(&[
+            "neocortex".to_string(),
+            name.clone(),
+            f2(r.elapsed.as_secs_f64() * 1e3),
+            r.sgt_count.to_string(),
+            by_domain(&traffic.executed),
+            by_domain(&traffic.local_steals),
+            by_domain(&traffic.remote_steals),
+            f3(r.pool.remote_steal_ratio()),
+            f3(r.pool.imbalance_by_domain()),
+            hint,
+        ]);
+    }
+
+    // Workload 2: the MD force pass, one SGT per occupied cell (the
+    // skewed protein cluster makes central cells denser — classic
+    // imbalance that stealing has to fix).
+    let md_spec = match scale {
+        Scale::Quick => SystemSpec {
+            box_len: 10.0,
+            waters: 220,
+            ion_pairs: 6,
+            protein_beads: 20,
+            ..Default::default()
+        },
+        Scale::Full => SystemSpec {
+            box_len: 18.0,
+            waters: 1_400,
+            ion_pairs: 24,
+            protein_beads: 60,
+            ..Default::default()
+        },
+    };
+    let md_steps = scale.pick(5usize, 30);
+    let params = ForceParams::default();
+    for (name, topo) in &topologies {
+        let r = run_md_parallel_topo(
+            MdSystem::build(&md_spec),
+            &params,
+            0.001,
+            md_steps,
+            topo.clone(),
+            MdGrain::PerCell,
+            Thermostat::None,
+        );
+        let (traffic, hint) = observe(&r.pool);
+        t.row(&[
+            "md".to_string(),
+            name.clone(),
+            f2(r.elapsed.as_secs_f64() * 1e3),
+            r.sgt_count.to_string(),
+            by_domain(&traffic.executed),
+            by_domain(&traffic.local_steals),
+            by_domain(&traffic.remote_steals),
+            f3(r.pool.remote_steal_ratio()),
+            f3(r.pool.imbalance_by_domain()),
+            hint,
+        ]);
+    }
+    t
+}

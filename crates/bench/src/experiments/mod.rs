@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod apps;
+pub mod domains;
 pub mod machine;
 pub mod sched;
 
@@ -14,6 +15,7 @@ pub use ablations::{
     a1_switch_cost, a2_chunk_size, a3_percolation_grid, a4_grain_crossover, run_all_ablations,
 };
 pub use apps::{e14_neocortex, e15_md, e16_litlx};
+pub use domains::e17_domains;
 pub use machine::{e1_latency_tolerance, e2_parcels, e3_futures, e4_percolation, e5_spawn_costs};
 pub use sched::{
     e10_locality, e11_latency_adapt, e12_hints, e13_monitor, e6_loop_sched, e7_ssp, e8_ssp_mt,
@@ -58,5 +60,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::Table> {
         e14_neocortex(scale),
         e15_md(scale),
         e16_litlx(scale),
+        e17_domains(scale),
     ]
 }

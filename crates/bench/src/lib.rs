@@ -11,6 +11,22 @@
 //! * criterion benches time the hot kernels.
 //!
 //! Run everything with `cargo run -p htvm-bench --release --bin all`.
+//!
+//! # Example
+//!
+//! Experiments return [`Table`]s, so tests (and downstream tooling) can
+//! assert on cells instead of scraping stdout:
+//!
+//! ```
+//! use htvm_bench::Table;
+//!
+//! let mut t = Table::new("demo: steal traffic", &["topology", "remote_ratio"]);
+//! t.push(&["flat", "1.000"]);
+//! t.push(&["2-dom", "0.412"]);
+//! assert_eq!(t.cell("remote_ratio", |r| r[0] == "2-dom"), Some("0.412"));
+//! assert_eq!(t.column_f64("remote_ratio"), vec![1.0, 0.412]);
+//! println!("{}", t.render());
+//! ```
 
 pub mod experiments;
 pub mod table;

@@ -43,6 +43,12 @@ id_type!(
     WorkerId,
     "w"
 );
+id_type!(
+    /// Identifier of a locality domain of the native pool (a group of
+    /// workers mirroring one of the paper's thread-unit groups).
+    DomainId,
+    "dom"
+);
 
 /// A process-wide monotonic id generator (used for LGT/SGT ids so traces
 /// from concurrent spawns stay unique).
@@ -75,6 +81,7 @@ mod tests {
         assert_eq!(SgtId(7).to_string(), "sgt7");
         assert_eq!(format!("{:?}", TgtId(0)), "tgt0");
         assert_eq!(WorkerId(12).to_string(), "w12");
+        assert_eq!(DomainId(2).to_string(), "dom2");
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //! Two runtimes execute the model:
 //!
 //! * [`native`] — a work-stealing pool over OS threads (crossbeam deques),
-//!   for real parallel execution and wall-clock benchmarks.
+//!   for real parallel execution and wall-clock benchmarks. Its workers
+//!   are grouped into **locality domains** ([`topology::Topology`])
+//!   mirroring the paper's thread-unit groups; idle workers steal in
+//!   proximity order (domain siblings before remote domains) and LGTs can
+//!   pin their SGT subtree to a home domain ([`Htvm::lgt_in`]).
 //! * [`simrt`] — a mapping of the hierarchy onto the `htvm-sim`
 //!   function-accurate machine, for experiments that must control memory
 //!   latency, spawn costs and thread-unit counts.
@@ -54,6 +58,8 @@
 //! assert_eq!(sum.load(Ordering::Relaxed), 28);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod frame;
 pub mod ids;
 pub mod native;
@@ -62,11 +68,13 @@ pub mod runtime;
 pub mod simrt;
 pub mod sync;
 pub mod tgt;
+pub mod topology;
 
 pub use frame::Frame;
-pub use ids::{LgtId, SgtId, TgtId, WorkerId};
+pub use ids::{DomainId, LgtId, SgtId, TgtId, WorkerId};
 pub use native::{Pool, PoolStats, WorkerCtx};
 pub use region::SharedRegion;
 pub use runtime::{Htvm, HtvmConfig, LgtCtx, LgtHandle, SgtCtx};
 pub use sync::{IVar, PoolBarrier, SyncSlot};
 pub use tgt::{TgtCtx, TgtGraph};
+pub use topology::Topology;

@@ -1,20 +1,37 @@
 //! The native work-stealing pool that executes SGTs on OS threads.
 //!
-//! Each worker owns a LIFO deque (good locality for the spawn-subtree it is
-//! working on); spawns from outside workers go to a global injector; idle
-//! workers steal FIFO from peers — the classic Cilk/EARTH discipline the
-//! paper's SGT level inherits. Work stealing doubles as the *dynamic load
-//! adaptation* mechanism of §2 at the SGT grain: threads migrate to idle
-//! units automatically.
+//! Workers are partitioned into **locality domains** (a [`Topology`]
+//! mirroring the paper's thread-unit groups). Each worker owns a LIFO
+//! deque (good locality for the spawn-subtree it is working on); each
+//! domain owns a FIFO injector for affinity-directed spawns; spawns from
+//! outside the pool go to a global injector. An idle worker searches for
+//! work in **proximity order**:
+//!
+//! 1. its own deque (LIFO),
+//! 2. sibling deques within its domain (FIFO victim side — a *local*
+//!    steal),
+//! 3. its domain's injector (home work, not a steal),
+//! 4. remote domains, nearest ring order — their injectors and their
+//!    workers' deques (a *remote* steal),
+//! 5. the global injector.
+//!
+//! Inside a domain this is still the classic Cilk/EARTH discipline the
+//! paper's SGT level inherits; across domains it is the hierarchical
+//! stealing of Thibault et al.'s BubbleSched line: migration stays cheap
+//! (in-domain) until imbalance forces it to cross a domain boundary. Work
+//! stealing doubles as the *dynamic load adaptation* mechanism of §2 at
+//! the SGT grain, and the local/remote steal counters in [`PoolStats`]
+//! measure how often that adaptation had to pay the remote price.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
-use crate::ids::WorkerId;
+use crate::ids::{DomainId, WorkerId};
+use crate::topology::Topology;
 
 type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
 
@@ -22,7 +39,19 @@ type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
 #[derive(Debug, Default)]
 struct WorkerCounters {
     executed: AtomicU64,
-    stolen: AtomicU64,
+    local_steals: AtomicU64,
+    remote_steals: AtomicU64,
+}
+
+/// How a worker obtained a job (for the counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Acquire {
+    /// Own deque, own domain's injector, or the global injector.
+    Owned,
+    /// Stolen from a sibling deque within the worker's domain.
+    LocalSteal,
+    /// Stolen from another domain (deque or domain injector).
+    RemoteSteal,
 }
 
 /// A snapshot of pool activity.
@@ -30,10 +59,16 @@ struct WorkerCounters {
 pub struct PoolStats {
     /// Jobs executed per worker.
     pub executed: Vec<u64>,
-    /// Jobs obtained by stealing, per worker.
-    pub stolen: Vec<u64>,
+    /// Jobs stolen from a sibling within the worker's own domain, per
+    /// worker (the cheap migrations).
+    pub local_steals: Vec<u64>,
+    /// Jobs stolen across a domain boundary, per worker (the expensive
+    /// migrations the proximity order tries to avoid).
+    pub remote_steals: Vec<u64>,
     /// Jobs that panicked (contained; the worker survives).
     pub panics: u64,
+    /// Domain index of each worker (parallel to the vectors above).
+    pub domain_of: Vec<usize>,
 }
 
 impl PoolStats {
@@ -42,34 +77,108 @@ impl PoolStats {
         self.executed.iter().sum()
     }
 
-    /// Total steals.
+    /// Total steals of either kind.
     pub fn total_stolen(&self) -> u64 {
-        self.stolen.iter().sum()
+        self.total_local_steals() + self.total_remote_steals()
+    }
+
+    /// Total in-domain steals.
+    pub fn total_local_steals(&self) -> u64 {
+        self.local_steals.iter().sum()
+    }
+
+    /// Total cross-domain steals.
+    pub fn total_remote_steals(&self) -> u64 {
+        self.remote_steals.iter().sum()
+    }
+
+    /// Fraction of steals that crossed a domain boundary (0 when nothing
+    /// was stolen). Under [`Topology::flat`] every steal is remote, so the
+    /// ratio is 1 whenever any stealing happened; grouped topologies earn
+    /// a lower ratio by satisfying steals within a domain first.
+    pub fn remote_steal_ratio(&self) -> f64 {
+        let total = self.total_stolen();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_remote_steals() as f64 / total as f64
+        }
+    }
+
+    /// Number of domains covered by this snapshot.
+    pub fn num_domains(&self) -> usize {
+        self.domain_of.iter().max().map_or(0, |&d| d + 1)
+    }
+
+    fn sum_by_domain(&self, per_worker: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_domains()];
+        for (w, &v) in per_worker.iter().enumerate() {
+            out[self.domain_of[w]] += v;
+        }
+        out
+    }
+
+    /// Jobs executed per domain.
+    pub fn executed_by_domain(&self) -> Vec<u64> {
+        self.sum_by_domain(&self.executed)
+    }
+
+    /// In-domain steals per domain (attributed to the thief's domain).
+    pub fn local_steals_by_domain(&self) -> Vec<u64> {
+        self.sum_by_domain(&self.local_steals)
+    }
+
+    /// Cross-domain steals per domain (attributed to the thief's domain).
+    pub fn remote_steals_by_domain(&self) -> Vec<u64> {
+        self.sum_by_domain(&self.remote_steals)
     }
 
     /// Coefficient of variation of per-worker executed counts — the load
     /// imbalance measure used by the experiments (0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
-        let n = self.executed.len() as f64;
-        if n == 0.0 {
-            return 0.0;
+        cv(self.executed.iter().map(|&x| x as f64))
+    }
+
+    /// Coefficient of variation of per-domain executed counts, normalized
+    /// by domain size (each domain contributes its mean jobs *per
+    /// worker*, so uneven topologies don't read as imbalanced when every
+    /// worker did equal work): how evenly the load spread across the
+    /// locality domains (0 = perfectly balanced). Under
+    /// [`Topology::flat`] this coincides with [`PoolStats::imbalance`].
+    pub fn imbalance_by_domain(&self) -> f64 {
+        let mut sizes = vec![0u64; self.num_domains()];
+        for &d in &self.domain_of {
+            sizes[d] += 1;
         }
-        let mean = self.total_executed() as f64 / n;
-        if mean == 0.0 {
-            return 0.0;
-        }
-        let var = self
-            .executed
+        let per_worker = self
+            .executed_by_domain()
             .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
-        var.sqrt() / mean
+            .zip(&sizes)
+            .map(|(&e, &s)| e as f64 / s.max(1) as f64)
+            .collect::<Vec<_>>();
+        cv(per_worker.into_iter())
     }
 }
 
+/// Coefficient of variation of a value sequence.
+fn cv(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean = xs.clone().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
 struct Shared {
+    topology: Topology,
     injector: Injector<Job>,
+    /// One affinity injector per locality domain.
+    domain_injectors: Vec<Injector<Job>>,
     stealers: Vec<Stealer<Job>>,
     counters: Vec<WorkerCounters>,
     /// Jobs spawned but not yet finished (includes currently-running).
@@ -91,11 +200,13 @@ pub struct WorkerCtx<'a> {
     deque: &'a Deque<Job>,
     /// This worker's id.
     pub id: WorkerId,
+    /// The locality domain this worker belongs to.
+    pub domain: DomainId,
 }
 
 impl<'a> WorkerCtx<'a> {
     /// Spawn a child job onto this worker's own deque (LIFO — depth-first,
-    /// cache-friendly; stealable by idle peers).
+    /// cache-friendly; stealable by idle peers, siblings first).
     pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
         self.deque.push(Box::new(job));
@@ -110,9 +221,28 @@ impl<'a> WorkerCtx<'a> {
         self.shared.wake_all();
     }
 
+    /// Spawn into a specific domain's injector: the job is "home" there
+    /// (its pickup is not a steal) and only leaves via a remote steal when
+    /// the other domains have run dry.
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the pool's topology.
+    pub fn spawn_in_domain(
+        &self,
+        domain: DomainId,
+        job: impl FnOnce(&WorkerCtx) + Send + 'static,
+    ) {
+        self.shared.spawn_in_domain(domain, Box::new(job));
+    }
+
     /// Number of workers in the pool.
     pub fn workers(&self) -> usize {
         self.shared.stealers.len()
+    }
+
+    /// Number of locality domains in the pool.
+    pub fn num_domains(&self) -> usize {
+        self.shared.topology.num_domains()
     }
 }
 
@@ -127,6 +257,19 @@ impl Shared {
         self.sleep_cv.notify_all();
     }
 
+    fn spawn_in_domain(&self, domain: DomainId, job: Job) {
+        assert!(
+            (domain.0 as usize) < self.domain_injectors.len(),
+            "{domain} out of range for a {}-domain pool",
+            self.domain_injectors.len()
+        );
+        self.active.fetch_add(1, Ordering::AcqRel);
+        self.domain_injectors[domain.0 as usize].push(job);
+        // The sleep set is shared across domains; wake everyone so a
+        // sleeping home worker cannot be missed.
+        self.wake_all();
+    }
+
     fn job_finished(&self) {
         if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = self.quiet_lock.lock();
@@ -135,21 +278,32 @@ impl Shared {
     }
 }
 
-/// A fixed-size work-stealing thread pool.
+/// A fixed-size work-stealing thread pool partitioned into locality
+/// domains.
 pub struct Pool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl Pool {
-    /// Spin up `workers` OS threads (at least 1).
+    /// Spin up a pool with no locality grouping: `workers` singleton
+    /// domains (at least 1) — the uniform work-stealing baseline.
     pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
+        Self::with_topology(Topology::flat(workers))
+    }
+
+    /// Spin up one OS thread per worker of `topology`, grouped into its
+    /// locality domains.
+    pub fn with_topology(topology: Topology) -> Self {
+        let workers = topology.workers();
         let deques: Vec<Deque<Job>> = (0..workers).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let counters = (0..workers).map(|_| WorkerCounters::default()).collect();
+        let domain_injectors = (0..topology.num_domains()).map(|_| Injector::new()).collect();
         let shared = Arc::new(Shared {
+            topology,
             injector: Injector::new(),
+            domain_injectors,
             stealers,
             counters,
             active: AtomicUsize::new(0),
@@ -181,6 +335,16 @@ impl Pool {
         self.shared.wake_all();
     }
 
+    /// Spawn a job from outside the pool with domain affinity: it lands in
+    /// `domain`'s injector and stays there unless imbalance forces a
+    /// remote steal.
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the pool's topology.
+    pub fn spawn_in(&self, domain: DomainId, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
+        self.shared.spawn_in_domain(domain, Box::new(job));
+    }
+
     /// Block until every spawned job (including transitively spawned
     /// children) has finished.
     pub fn wait_quiescent(&self) {
@@ -195,22 +359,33 @@ impl Pool {
         self.shared.stealers.len()
     }
 
+    /// The pool's locality-domain topology.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// Number of locality domains.
+    pub fn num_domains(&self) -> usize {
+        self.shared.topology.num_domains()
+    }
+
     /// Current activity snapshot.
     pub fn stats(&self) -> PoolStats {
+        let load = |f: fn(&WorkerCounters) -> &AtomicU64| -> Vec<u64> {
+            self.shared
+                .counters
+                .iter()
+                .map(|c| f(c).load(Ordering::Relaxed))
+                .collect()
+        };
         PoolStats {
-            executed: self
-                .shared
-                .counters
-                .iter()
-                .map(|c| c.executed.load(Ordering::Relaxed))
-                .collect(),
-            stolen: self
-                .shared
-                .counters
-                .iter()
-                .map(|c| c.stolen.load(Ordering::Relaxed))
-                .collect(),
+            executed: load(|c| &c.executed),
+            local_steals: load(|c| &c.local_steals),
+            remote_steals: load(|c| &c.remote_steals),
             panics: self.shared.panics.load(Ordering::Relaxed),
+            domain_of: (0..self.workers())
+                .map(|w| self.shared.topology.domain_of(w).0 as usize)
+                .collect(),
         }
     }
 }
@@ -234,55 +409,90 @@ impl Drop for Pool {
 /// spin donates its core whenever anything else is runnable.
 const IDLE_SPINS_BEFORE_PARK: u32 = 512;
 
+/// Drain one `Steal` source, retrying on contention.
+fn try_steal(source: impl Fn() -> Steal<Job>) -> Option<Job> {
+    loop {
+        match source() {
+            Steal::Success(job) => return Some(job),
+            Steal::Retry => continue,
+            Steal::Empty => return None,
+        }
+    }
+}
+
+/// One full proximity-ordered work search (steps 2–5 of the module-header
+/// protocol; step 1, the own deque, is handled by the caller). Returns the
+/// job and how it was acquired.
+fn find_work(
+    shared: &Shared,
+    index: usize,
+    my_domain: DomainId,
+    deque: &Deque<Job>,
+) -> Option<(Job, Acquire)> {
+    let topo = &shared.topology;
+    let home = topo.workers_of(my_domain);
+
+    // 2. Sibling deques within the domain, ring order after self.
+    let span = home.len();
+    for off in 1..span {
+        let v = home.start + (index - home.start + off) % span;
+        if let Some(job) = try_steal(|| shared.stealers[v].steal()) {
+            return Some((job, Acquire::LocalSteal));
+        }
+    }
+    // 3. The domain's own injector: home work, not a steal.
+    if let Some(job) =
+        try_steal(|| shared.domain_injectors[my_domain.0 as usize].steal_batch_and_pop(deque))
+    {
+        return Some((job, Acquire::Owned));
+    }
+    // 4. Remote domains, ring order after the home domain: raid the
+    // injector first (undispatched work migrates cheaper than a hot
+    // deque's), then the workers' deques.
+    let nd = topo.num_domains();
+    for doff in 1..nd {
+        let d = (my_domain.0 as usize + doff) % nd;
+        if let Some(job) = try_steal(|| shared.domain_injectors[d].steal()) {
+            return Some((job, Acquire::RemoteSteal));
+        }
+        for v in topo.workers_of(DomainId(d as u64)) {
+            if let Some(job) = try_steal(|| shared.stealers[v].steal()) {
+                return Some((job, Acquire::RemoteSteal));
+            }
+        }
+    }
+    // 5. The global injector.
+    if let Some(job) = try_steal(|| shared.injector.steal_batch_and_pop(deque)) {
+        return Some((job, Acquire::Owned));
+    }
+    None
+}
+
 fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
     let ctx = WorkerCtx {
         shared: &shared,
         deque: &deque,
         id: WorkerId(index as u64),
+        domain: shared.topology.domain_of(index),
     };
     let mut idle_spins = 0u32;
     loop {
         // 1. Local work first (LIFO).
         if let Some(job) = deque.pop() {
             idle_spins = 0;
-            run_job(&shared, index, &ctx, job, false);
+            run_job(&shared, index, &ctx, job, Acquire::Owned);
             continue;
         }
-        // 2. Global injector.
-        match shared.injector.steal_batch_and_pop(&deque) {
-            crossbeam::deque::Steal::Success(job) => {
-                idle_spins = 0;
-                run_job(&shared, index, &ctx, job, false);
-                continue;
-            }
-            crossbeam::deque::Steal::Retry => continue,
-            crossbeam::deque::Steal::Empty => {}
-        }
-        // 3. Steal from peers, starting after self (FIFO victim side).
-        let n = shared.stealers.len();
-        let mut stolen = None;
-        'victims: for off in 1..n {
-            let v = (index + off) % n;
-            loop {
-                match shared.stealers[v].steal() {
-                    crossbeam::deque::Steal::Success(job) => {
-                        stolen = Some(job);
-                        break 'victims;
-                    }
-                    crossbeam::deque::Steal::Retry => continue,
-                    crossbeam::deque::Steal::Empty => break,
-                }
-            }
-        }
-        if let Some(job) = stolen {
+        // 2–5. Proximity-ordered search.
+        if let Some((job, how)) = find_work(&shared, index, ctx.domain, &deque) {
             idle_spins = 0;
-            run_job(&shared, index, &ctx, job, true);
+            run_job(&shared, index, &ctx, job, how);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        // 4. Nothing anywhere: spin politely for a while (new work usually
+        // Nothing anywhere: spin politely for a while (new work usually
         // arrives at phase boundaries within microseconds), then park.
         idle_spins += 1;
         if idle_spins < IDLE_SPINS_BEFORE_PARK {
@@ -303,18 +513,27 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
     }
 }
 
-/// Cheap check that no work is visible to this worker right now. May
-/// spuriously say "true" under contention; the bounded `wait_for` above
-/// keeps that harmless.
+/// Cheap check that no work is visible to this worker right now (own
+/// deque, every domain injector, the global injector; peer deques are
+/// deliberately not probed). May spuriously say "true" under contention;
+/// the bounded `wait_for` above keeps that harmless.
 fn work_invisible(shared: &Shared, deque: &Deque<Job>) -> bool {
-    deque.is_empty() && shared.injector.is_empty()
+    deque.is_empty()
+        && shared.injector.is_empty()
+        && shared.domain_injectors.iter().all(Injector::is_empty)
 }
 
-fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, was_steal: bool) {
+fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, how: Acquire) {
     let c = &shared.counters[index];
     c.executed.fetch_add(1, Ordering::Relaxed);
-    if was_steal {
-        c.stolen.fetch_add(1, Ordering::Relaxed);
+    match how {
+        Acquire::Owned => {}
+        Acquire::LocalSteal => {
+            c.local_steals.fetch_add(1, Ordering::Relaxed);
+        }
+        Acquire::RemoteSteal => {
+            c.remote_steals.fetch_add(1, Ordering::Relaxed);
+        }
     }
     // Contain panics to the job: an unwinding body must not take down the
     // worker (the pool would silently lose a fraction of its parallelism)
@@ -435,6 +654,99 @@ mod tests {
     }
 
     #[test]
+    fn flat_topology_steals_are_all_remote() {
+        // Under flat (singleton domains) a worker has no siblings: every
+        // steal must be classified remote.
+        let pool = Pool::new(4);
+        let d = Arc::new(AtomicU64::new(0));
+        let d2 = d.clone();
+        pool.spawn(move |ctx| {
+            for _ in 0..100 {
+                let d = d2.clone();
+                ctx.spawn(move |_| {
+                    std::hint::black_box((0..5000).sum::<u64>());
+                    d.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        pool.wait_quiescent();
+        let stats = pool.stats();
+        assert_eq!(stats.total_local_steals(), 0, "flat has no siblings");
+        assert_eq!(stats.total_stolen(), stats.total_remote_steals());
+    }
+
+    #[test]
+    fn grouped_topologies_drain_all_work() {
+        for topo in [
+            Topology::flat(1),
+            Topology::flat(3),
+            Topology::domains(2, 2),
+            Topology::from_sizes([1, 3]),
+        ] {
+            let pool = Pool::with_topology(topo.clone());
+            let done = Arc::new(AtomicU64::new(0));
+            for _ in 0..8 {
+                let done = done.clone();
+                pool.spawn(move |ctx| {
+                    for _ in 0..8 {
+                        let done = done.clone();
+                        ctx.spawn(move |_| {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+            pool.wait_quiescent();
+            assert_eq!(done.load(Ordering::SeqCst), 64, "topology {topo:?}");
+        }
+    }
+
+    #[test]
+    fn domain_affinity_spawns_complete() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..50u64 {
+            let done = done.clone();
+            pool.spawn_in(DomainId(i % 2), move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+        assert_eq!(pool.stats().total_executed(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_domain_spawn_panics() {
+        let pool = Pool::with_topology(Topology::domains(2, 1));
+        pool.spawn_in(DomainId(2), |_| {});
+    }
+
+    #[test]
+    fn worker_ctx_reports_domain() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for d in 0..2u64 {
+            for _ in 0..8 {
+                let seen = seen.clone();
+                pool.spawn_in(DomainId(d), move |ctx| {
+                    seen.lock().push((d, ctx.id, ctx.domain));
+                    // The ctx's own id/domain are always consistent with
+                    // the topology, wherever the job ended up running.
+                    std::hint::black_box((0..1000).sum::<u64>());
+                });
+            }
+        }
+        pool.wait_quiescent();
+        let topo = pool.topology().clone();
+        for (_, id, dom) in seen.lock().iter() {
+            assert_eq!(topo.domain_of(id.0 as usize), *dom);
+        }
+        assert_eq!(pool.num_domains(), 2);
+    }
+
+    #[test]
     fn wait_quiescent_with_no_work_returns() {
         let pool = Pool::new(2);
         pool.wait_quiescent();
@@ -452,16 +764,56 @@ mod tests {
     fn imbalance_metric_behaves() {
         let s = PoolStats {
             executed: vec![10, 10, 10, 10],
-            stolen: vec![0; 4],
+            local_steals: vec![0; 4],
+            remote_steals: vec![0; 4],
             panics: 0,
+            domain_of: vec![0, 0, 1, 1],
         };
         assert!(s.imbalance() < 1e-9);
+        assert!(s.imbalance_by_domain() < 1e-9);
         let s2 = PoolStats {
             executed: vec![40, 0, 0, 0],
-            stolen: vec![0; 4],
+            local_steals: vec![0; 4],
+            remote_steals: vec![0; 4],
             panics: 0,
+            domain_of: vec![0, 0, 1, 1],
         };
         assert!(s2.imbalance() > 1.0);
+        assert!(s2.imbalance_by_domain() > 0.9);
+        // Uneven topology, perfectly balanced per worker: the domain
+        // metric must normalize by domain size and report 0.
+        let s3 = PoolStats {
+            executed: vec![100, 100, 100, 100],
+            local_steals: vec![0; 4],
+            remote_steals: vec![0; 4],
+            panics: 0,
+            domain_of: vec![0, 1, 1, 1],
+        };
+        assert!(s3.imbalance_by_domain() < 1e-9);
+    }
+
+    #[test]
+    fn per_domain_aggregation_and_ratio() {
+        let s = PoolStats {
+            executed: vec![5, 7, 1, 3],
+            local_steals: vec![2, 0, 1, 0],
+            remote_steals: vec![1, 0, 0, 0],
+            panics: 0,
+            domain_of: vec![0, 0, 1, 1],
+        };
+        assert_eq!(s.executed_by_domain(), vec![12, 4]);
+        assert_eq!(s.local_steals_by_domain(), vec![2, 1]);
+        assert_eq!(s.remote_steals_by_domain(), vec![1, 0]);
+        assert_eq!(s.total_stolen(), 4);
+        assert!((s.remote_steal_ratio() - 0.25).abs() < 1e-12);
+        let empty = PoolStats {
+            executed: vec![0; 2],
+            local_steals: vec![0; 2],
+            remote_steals: vec![0; 2],
+            panics: 0,
+            domain_of: vec![0, 1],
+        };
+        assert_eq!(empty.remote_steal_ratio(), 0.0);
     }
 
     #[test]

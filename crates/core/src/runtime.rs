@@ -1,9 +1,15 @@
 //! The `Htvm` facade: the thread hierarchy over the native pool.
 //!
 //! * [`Htvm::lgt`] starts a large-grain thread: it gets private memory (a
-//!   [`SharedRegion`]) and a completion handle.
+//!   [`SharedRegion`]) and a completion handle. [`Htvm::lgt_in`] adds a
+//!   locality-domain affinity hint: the LGT's whole SGT subtree is kept in
+//!   that domain of the pool's [`Topology`] unless imbalance forces a
+//!   remote steal.
 //! * [`LgtCtx::spawn_sgt`] invokes a small-grain thread: a stealable job
 //!   with its own [`Frame`]; it sees the LGT memory through the context.
+//!   SGTs land on the spawning worker's deque and migrate in proximity
+//!   order — domain siblings first, remote domains only when a whole
+//!   domain has run dry (see [`crate::native`]).
 //! * [`SgtCtx::tgt_graph`] runs a tiny-grain thread graph inline, sharing
 //!   the SGT frame.
 //!
@@ -15,18 +21,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::frame::Frame;
-use crate::ids::{IdGen, LgtId, SgtId};
+use crate::ids::{DomainId, IdGen, LgtId, SgtId};
 use crate::native::{Pool, PoolStats, WorkerCtx};
 use crate::region::SharedRegion;
 use crate::sync::IVar;
 use crate::tgt::TgtGraph;
+use crate::topology::Topology;
 
 /// Configuration of the native HTVM runtime.
 #[derive(Debug, Clone)]
 pub struct HtvmConfig {
-    /// Worker threads of the SGT pool. Defaults to the number of available
-    /// CPUs.
-    pub workers: usize,
+    /// Locality-domain layout of the SGT pool (worker count and grouping).
+    /// Defaults to a flat topology over the available CPUs.
+    pub topology: Topology,
     /// Words of private memory given to each LGT.
     pub lgt_memory_words: usize,
     /// Slots in each SGT frame.
@@ -36,7 +43,7 @@ pub struct HtvmConfig {
 impl Default for HtvmConfig {
     fn default() -> Self {
         Self {
-            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            topology: Topology::default(),
             lgt_memory_words: 1 << 16,
             frame_slots: 16,
         }
@@ -44,10 +51,15 @@ impl Default for HtvmConfig {
 }
 
 impl HtvmConfig {
-    /// A config with a specific worker count.
+    /// A config with a specific worker count and no locality grouping.
     pub fn with_workers(workers: usize) -> Self {
+        Self::with_topology(Topology::flat(workers))
+    }
+
+    /// A config with an explicit locality-domain topology.
+    pub fn with_topology(topology: Topology) -> Self {
         Self {
-            workers,
+            topology,
             ..Self::default()
         }
     }
@@ -61,6 +73,10 @@ struct LgtShared {
     done: IVar<()>,
     sgt_ids: IdGen,
     frame_slots: usize,
+    /// Locality-domain affinity: when set, SGTs spawned from outside the
+    /// home domain are routed back to its injector instead of the local
+    /// deque, so the subtree stays home unless imbalance steals it away.
+    home: Option<DomainId>,
 }
 
 impl LgtShared {
@@ -93,7 +109,7 @@ impl Htvm {
     /// Start the runtime.
     pub fn new(cfg: HtvmConfig) -> Self {
         Self {
-            pool: Arc::new(Pool::new(cfg.workers)),
+            pool: Arc::new(Pool::with_topology(cfg.topology.clone())),
             cfg,
             lgt_ids: IdGen::new(),
         }
@@ -104,14 +120,46 @@ impl Htvm {
         self.pool.workers()
     }
 
-    /// Pool activity counters (steals double as migration counts).
+    /// The pool's locality-domain topology.
+    pub fn topology(&self) -> &Topology {
+        self.pool.topology()
+    }
+
+    /// Number of locality domains.
+    pub fn num_domains(&self) -> usize {
+        self.pool.num_domains()
+    }
+
+    /// Pool activity counters (steals double as migration counts; the
+    /// local/remote split measures how often migration crossed a domain
+    /// boundary).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }
 
-    /// Invoke a large-grain thread. The body runs on the pool; use the
-    /// returned handle to join.
+    /// Invoke a large-grain thread with no placement preference. The body
+    /// runs on the pool; use the returned handle to join.
     pub fn lgt<F>(&self, body: F) -> LgtHandle
+    where
+        F: FnOnce(&LgtCtx) + Send + 'static,
+    {
+        self.lgt_impl(None, body)
+    }
+
+    /// Invoke a large-grain thread with a locality-domain affinity hint:
+    /// the body starts in `domain` and every SGT of its subtree is kept
+    /// there unless imbalance forces a remote steal.
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the configured topology.
+    pub fn lgt_in<F>(&self, domain: DomainId, body: F) -> LgtHandle
+    where
+        F: FnOnce(&LgtCtx) + Send + 'static,
+    {
+        self.lgt_impl(Some(domain), body)
+    }
+
+    fn lgt_impl<F>(&self, home: Option<DomainId>, body: F) -> LgtHandle
     where
         F: FnOnce(&LgtCtx) + Send + 'static,
     {
@@ -122,18 +170,23 @@ impl Htvm {
             done: IVar::new(),
             sgt_ids: IdGen::new(),
             frame_slots: self.cfg.frame_slots,
+            home,
         });
         let handle = LgtHandle {
             shared: shared.clone(),
         };
-        self.pool.spawn(move |worker| {
+        let job = move |worker: &WorkerCtx<'_>| {
             let _retire = RetireGuard(shared.clone());
             let ctx = LgtCtx {
                 shared: &shared,
                 worker,
             };
             body(&ctx);
-        });
+        };
+        match home {
+            Some(domain) => self.pool.spawn_in(domain, job),
+            None => self.pool.spawn(job),
+        }
         handle
     }
 
@@ -231,6 +284,7 @@ where
     F: FnOnce(&SgtCtx) + Send + 'static,
 {
     shared.outstanding.fetch_add(1, Ordering::AcqRel);
+    let home = shared.home;
     let shared = shared.clone();
     let job = move |w: &WorkerCtx<'_>| {
         let _retire = RetireGuard(shared.clone());
@@ -246,7 +300,13 @@ where
     if spread {
         worker.spawn_global(job);
     } else {
-        worker.spawn(job);
+        match home {
+            // A subtree that drifted out of its home domain (a remote
+            // steal took the parent) routes new SGTs back home instead of
+            // growing the remote worker's deque.
+            Some(domain) if domain != worker.domain => worker.spawn_in_domain(domain, job),
+            _ => worker.spawn(job),
+        }
     }
 }
 
@@ -296,6 +356,13 @@ impl<'a> SgtCtx<'a> {
     /// Worker id executing this SGT (affinity diagnostics).
     pub fn worker_id(&self) -> crate::ids::WorkerId {
         self.worker.id
+    }
+
+    /// Locality domain of the worker executing this SGT (affinity
+    /// diagnostics: compare against the LGT's home domain to see whether
+    /// the subtree stayed home).
+    pub fn domain(&self) -> DomainId {
+        self.worker.domain
     }
 }
 
@@ -449,6 +516,42 @@ mod tests {
         });
         h.join();
         assert_eq!(h.memory().read(0), 16);
+    }
+
+    #[test]
+    fn lgt_with_domain_affinity_completes() {
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::domains(2, 2)));
+        assert_eq!(htvm.num_domains(), 2);
+        assert_eq!(htvm.workers(), 4);
+        let h = htvm.lgt_in(DomainId(1), |lgt| {
+            let mem = lgt.memory().clone();
+            for _ in 0..32 {
+                let mem = mem.clone();
+                lgt.spawn_sgt(move |sgt| {
+                    // The ctx must report a valid domain either way.
+                    assert!(sgt.domain().0 < 2);
+                    mem.fetch_add(0, 1);
+                });
+            }
+        });
+        h.join();
+        assert_eq!(h.memory().read(0), 32);
+    }
+
+    #[test]
+    fn every_domain_can_host_an_lgt() {
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::domains(3, 1)));
+        let handles: Vec<_> = (0..3)
+            .map(|d| {
+                htvm.lgt_in(DomainId(d), move |lgt| {
+                    lgt.memory().write(0, d + 1);
+                })
+            })
+            .collect();
+        for (d, h) in handles.iter().enumerate() {
+            h.join();
+            assert_eq!(h.memory().read(0), d as u64 + 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Locality-domain topology of the native pool.
+//!
+//! The paper's HTVM runs on a machine whose thread units are grouped into a
+//! hardware hierarchy (chip → thread-unit groups → thread units). The
+//! native pool mirrors the first shared level of that hierarchy as
+//! **locality domains**: a partition of the pool's workers into groups.
+//! Workers inside one domain are "close" (they share the level — cache,
+//! memory bank, socket) and steal from each other first; workers in other
+//! domains are "remote" and are only raided when the whole home domain has
+//! run dry.
+//!
+//! Two canonical shapes:
+//!
+//! * [`Topology::flat`] — no grouping: every worker is its own singleton
+//!   domain, so every peer is equally remote. This is the classic uniform
+//!   work-stealing baseline (and the pool's historical behaviour).
+//! * [`Topology::domains`] — `d` domains of `k` workers each: the two-level
+//!   tree that makes proximity-ordered stealing meaningful.
+//!
+//! Uneven machines (e.g. a big.LITTLE-style split) are described with
+//! [`Topology::from_sizes`].
+
+use crate::ids::{DomainId, WorkerId};
+
+/// A partition of the pool's workers into locality domains.
+///
+/// Workers are numbered `0..workers()` in domain order: domain 0 holds
+/// workers `0..sizes[0]`, domain 1 the next `sizes[1]`, and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Workers per domain; every entry is ≥ 1.
+    sizes: Vec<usize>,
+    /// Cumulative worker offsets; `starts[d]` is the first worker of
+    /// domain `d`, `starts[sizes.len()]` the total worker count.
+    starts: Vec<usize>,
+}
+
+impl Topology {
+    /// No locality grouping: `workers` singleton domains (at least 1).
+    /// Every steal crosses a domain boundary, so this is the uniform
+    /// work-stealing baseline against which grouped topologies are
+    /// measured.
+    pub fn flat(workers: usize) -> Self {
+        Self::from_sizes(vec![1; workers.max(1)])
+    }
+
+    /// A two-level tree: `domains` domains of `workers_per_domain` workers
+    /// each (both clamped to at least 1).
+    pub fn domains(domains: usize, workers_per_domain: usize) -> Self {
+        Self::from_sizes(vec![workers_per_domain.max(1); domains.max(1)])
+    }
+
+    /// An explicit, possibly uneven partition. Empty input or zero-sized
+    /// domains are normalized away (a pool always has at least 1 worker).
+    pub fn from_sizes(sizes: impl Into<Vec<usize>>) -> Self {
+        let mut sizes: Vec<usize> = sizes.into();
+        sizes.retain(|&s| s > 0);
+        if sizes.is_empty() {
+            sizes.push(1);
+        }
+        let mut starts = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0;
+        for &s in &sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        starts.push(acc);
+        Self { sizes, starts }
+    }
+
+    /// Total worker count.
+    pub fn workers(&self) -> usize {
+        *self.starts.last().expect("starts is never empty")
+    }
+
+    /// Number of locality domains.
+    pub fn num_domains(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Workers per domain.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The domain a worker belongs to.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn domain_of(&self, worker: usize) -> DomainId {
+        assert!(worker < self.workers(), "worker {worker} out of range");
+        // Domains are few; a linear scan beats a binary search at the
+        // sizes that exist in practice.
+        let d = self
+            .starts
+            .windows(2)
+            .position(|w| (w[0]..w[1]).contains(&worker))
+            .expect("worker is in range");
+        DomainId(d as u64)
+    }
+
+    /// The workers of a domain, as an index range.
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range.
+    pub fn workers_of(&self, domain: DomainId) -> std::ops::Range<usize> {
+        let d = domain.0 as usize;
+        assert!(d < self.num_domains(), "domain {domain} out of range");
+        self.starts[d]..self.starts[d + 1]
+    }
+
+    /// Whether two workers share a domain (are "close").
+    pub fn same_domain(&self, a: WorkerId, b: WorkerId) -> bool {
+        self.domain_of(a.0 as usize) == self.domain_of(b.0 as usize)
+    }
+}
+
+impl Default for Topology {
+    /// A flat topology over the available CPUs.
+    fn default() -> Self {
+        Self::flat(std::thread::available_parallelism().map_or(4, |n| n.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_singleton_domains() {
+        let t = Topology::flat(4);
+        assert_eq!(t.workers(), 4);
+        assert_eq!(t.num_domains(), 4);
+        for w in 0..4 {
+            assert_eq!(t.domain_of(w), DomainId(w as u64));
+            assert_eq!(t.workers_of(DomainId(w as u64)), w..w + 1);
+        }
+    }
+
+    #[test]
+    fn grouped_domains_partition_workers() {
+        let t = Topology::domains(2, 3);
+        assert_eq!(t.workers(), 6);
+        assert_eq!(t.num_domains(), 2);
+        assert_eq!(t.workers_of(DomainId(0)), 0..3);
+        assert_eq!(t.workers_of(DomainId(1)), 3..6);
+        assert_eq!(t.domain_of(2), DomainId(0));
+        assert_eq!(t.domain_of(3), DomainId(1));
+        assert!(t.same_domain(WorkerId(0), WorkerId(2)));
+        assert!(!t.same_domain(WorkerId(2), WorkerId(3)));
+    }
+
+    #[test]
+    fn uneven_sizes_are_respected() {
+        let t = Topology::from_sizes([1, 3]);
+        assert_eq!(t.workers(), 4);
+        assert_eq!(t.workers_of(DomainId(0)), 0..1);
+        assert_eq!(t.workers_of(DomainId(1)), 1..4);
+    }
+
+    #[test]
+    fn degenerate_inputs_normalize() {
+        assert_eq!(Topology::flat(0).workers(), 1);
+        assert_eq!(Topology::domains(0, 0).workers(), 1);
+        assert_eq!(Topology::from_sizes([0, 2, 0]).sizes(), &[2]);
+        assert_eq!(Topology::from_sizes(Vec::new()).workers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_worker_panics() {
+        Topology::flat(2).domain_of(2);
+    }
+}

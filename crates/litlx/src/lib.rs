@@ -19,6 +19,26 @@
 //! runtime. Domain-expert "scripts" (§4.1) are LITL-X source with hint
 //! pragmas; the structured hints they carry are extracted into the schema
 //! defined by `htvm-adapt`.
+//!
+//! # Example
+//!
+//! Parse and run a LITL-X kernel on the native runtime:
+//!
+//! ```
+//! use litlx::lang::{parse, Interp};
+//!
+//! let prog = parse(
+//!     "fn main() {
+//!          let n = 8;
+//!          let a = array(n);
+//!          forall i in 0..n { a[i] = i * 2; }
+//!          print(sum(a));
+//!      }",
+//! )
+//! .expect("kernel parses");
+//! let out = Interp::new(2).run(&prog).expect("kernel runs");
+//! assert_eq!(out.printed, vec!["56"]);
+//! ```
 
 pub mod atomic;
 pub mod dataflow;

@@ -45,8 +45,8 @@ fn main() {
             r.elapsed,
             seq.as_secs_f64() / r.elapsed.as_secs_f64(),
             r.sgt_count,
-            r.steals,
-            r.imbalance,
+            r.steals(),
+            r.imbalance(),
         );
     }
     println!("spike counts identical across all runs: ok");

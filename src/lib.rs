@@ -9,7 +9,8 @@
 //!   network, global address space).
 //! * [`core`] — the HTVM execution model: LGT/SGT/TGT thread hierarchy,
 //!   memory model, dataflow synchronization model, plus a native
-//!   work-stealing runtime and a simulated runtime.
+//!   work-stealing runtime (with locality-domain topologies and
+//!   proximity-ordered stealing) and a simulated runtime.
 //! * [`litlx`] — the LITL-X programming constructs (futures, parcels,
 //!   percolation, atomic blocks) and the LITL-X mini-language.
 //! * [`ssp`] — single-dimension software pipelining and modulo scheduling.
@@ -20,7 +21,8 @@
 //!   simulation and fine-grain molecular dynamics.
 //!
 //! See `README.md` for the workspace layout, the tier-1 verify command,
-//! and how to run the experiment binaries.
+//! and the experiment index; `ARCHITECTURE.md` maps the paper's sections
+//! onto the crates.
 //!
 //! # Example
 //!

@@ -173,7 +173,7 @@ tuple_strategy!(A, B, C, D, E, F);
 pub mod collection {
     use super::{RngCore, Strategy};
 
-    /// Inclusive-exclusive length bounds for [`vec`].
+    /// Inclusive-exclusive length bounds for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
