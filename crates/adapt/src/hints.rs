@@ -118,6 +118,13 @@ impl KnowledgeBase {
             .insert((point.to_string(), policy.to_string()), makespan);
     }
 
+    /// Recorded makespan of one specific policy at a point.
+    pub fn recorded(&self, point: &str, policy: &str) -> Option<u64> {
+        self.outcomes
+            .get(&(point.to_string(), policy.to_string()))
+            .copied()
+    }
+
     /// Best recorded policy at a point.
     pub fn best_recorded(&self, point: &str) -> Option<(&str, u64)> {
         self.outcomes
@@ -248,16 +255,15 @@ impl KnowledgeBase {
         for (point, hints) in &self.hints {
             check(point)?;
             for h in hints {
-                let kv = h
-                    .kv
-                    .iter()
-                    .map(|(k, v)| {
-                        check(k)?;
-                        check(v)?;
-                        Ok(format!("{k}={v}"))
-                    })
-                    .collect::<Result<Vec<_>, String>>()?
-                    .join(";");
+                let kv =
+                    h.kv.iter()
+                        .map(|(k, v)| {
+                            check(k)?;
+                            check(v)?;
+                            Ok(format!("{k}={v}"))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?
+                        .join(";");
                 out.push_str(&format!(
                     "hint\t{point}\t{:?}\t{:?}\t{}\t{kv}\n",
                     h.category, h.target, h.priority
@@ -457,7 +463,10 @@ mod tests {
         let text = kb.to_text().unwrap();
         let back = KnowledgeBase::from_text(&text).unwrap();
         assert_eq!(back.hints_at("loop1").len(), 1);
-        assert_eq!(back.hints_at("loop1")[0].get("cost_trend"), Some("monotonic"));
+        assert_eq!(
+            back.hints_at("loop1")[0].get("cost_trend"),
+            Some("monotonic")
+        );
         assert_eq!(back.hints_at("loop2")[0].priority, 3);
         assert_eq!(back.best_recorded("loop1"), Some(("trapezoid", 12_802)));
         // Round-tripping again is a fixed point.
@@ -471,14 +480,24 @@ mod tests {
         // First process: search and persist.
         let costs = IterationCosts::Decreasing.generate(400, 100, 3);
         let mut first = ContinuousCompiler::new();
-        let out1 = first.complete(&PartialSchedule::full("k"), &costs, 8, &CostModel::default());
+        let out1 = first.complete(
+            &PartialSchedule::full("k"),
+            &costs,
+            8,
+            &CostModel::default(),
+        );
         assert!(out1.trials > 0);
         let saved = first.kb.to_text().unwrap();
         // Second process: load the database; no trials needed.
         let mut second = ContinuousCompiler {
             kb: KnowledgeBase::from_text(&saved).unwrap(),
         };
-        let out2 = second.complete(&PartialSchedule::full("k"), &costs, 8, &CostModel::default());
+        let out2 = second.complete(
+            &PartialSchedule::full("k"),
+            &costs,
+            8,
+            &CostModel::default(),
+        );
         assert_eq!(out2.trials, 0, "persisted knowledge must be reused");
         assert_eq!(out2.policy, out1.policy);
     }
@@ -580,7 +599,10 @@ mod tests {
             kb.add_hint("md_force_pass", h);
         }
         assert_eq!(kb.home_domain("md_force_pass", 3), Some(1));
-        assert_eq!(kb.monitor_priorities("md_force_pass"), vec!["remote_steals"]);
+        assert_eq!(
+            kb.monitor_priorities("md_force_pass"),
+            vec!["remote_steals"]
+        );
         // And it survives persistence like every other hint.
         let back = KnowledgeBase::from_text(&kb.to_text().unwrap()).unwrap();
         assert_eq!(back.home_domain("md_force_pass", 3), Some(1));

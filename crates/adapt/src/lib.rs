@@ -14,6 +14,7 @@
 //! | Runtime performance monitoring (§4.2) | [`monitor`] |
 //! | Structured hints + Program/Execution Knowledge Database (§4.1) | [`hints`] |
 //! | Continuous compilation (static partial schedules completed at run time, §3.3) | [`continuous`] |
+//! | Naive vs SSP-pipelined loop-path selection (§3.3 ∘ §4.1) | [`pipeline`] |
 //!
 //! The modules are runtime-agnostic where possible: schedulers and policies
 //! are plain data structures evaluated either analytically, on recorded
@@ -53,6 +54,7 @@ pub mod load;
 pub mod locality;
 pub mod loop_sched;
 pub mod monitor;
+pub mod pipeline;
 
 pub use continuous::{ContinuousCompiler, PartialSchedule, PolicyOutcome};
 pub use hints::{HintCategory, HintTarget, KnowledgeBase, StructuredHint};
@@ -62,7 +64,8 @@ pub use locality::{
     affinity_hints, AffinityThresholds, ConsistencyKind, Directory, DomainTraffic, LocalityCosts,
     LocalityPolicy,
 };
-pub use loop_sched::{
-    evaluate_schedule, CostModel, IterationCosts, ScheduleKind, ScheduleOutcome,
-};
+pub use loop_sched::{evaluate_schedule, CostModel, IterationCosts, ScheduleKind, ScheduleOutcome};
 pub use monitor::{Metric, Monitor, MonitorConfig};
+pub use pipeline::{
+    decide_loop_path, record_loop_outcome, DecisionReason, LoopPath, LoopPathDecision, LoopShape,
+};

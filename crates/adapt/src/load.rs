@@ -249,11 +249,7 @@ mod tests {
         for p in LoadPolicy::PORTFOLIO {
             let r = simulate_load(p, &cfg());
             let total: u64 = r.busy.iter().sum();
-            assert!(
-                total >= base,
-                "{}: busy {total} < work {base}",
-                p.name()
-            );
+            assert!(total >= base, "{}: busy {total} < work {base}", p.name());
         }
     }
 

@@ -348,7 +348,12 @@ pub fn producer_consumer_trace(
 
 /// Generate a read-mostly sharing trace: every node reads every block
 /// round-robin; rare writes from node 0.
-pub fn read_mostly_trace(nodes: u16, blocks: u64, rounds: usize, seed: u64) -> Vec<(u16, u64, bool)> {
+pub fn read_mostly_trace(
+    nodes: u16,
+    blocks: u64,
+    rounds: usize,
+    seed: u64,
+) -> Vec<(u16, u64, bool)> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -424,11 +429,7 @@ impl DomainTraffic {
     /// The domain that executed the most jobs — the natural home for the
     /// workload's subtree. `None` when nothing ran.
     pub fn busiest_domain(&self) -> Option<usize> {
-        let (d, &n) = self
-            .executed
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &n)| n)?;
+        let (d, &n) = self.executed.iter().enumerate().max_by_key(|&(_, &n)| n)?;
         (n > 0).then_some(d)
     }
 }
@@ -633,7 +634,10 @@ mod tests {
         let mig = replay(LocalityPolicy::Migrate { threshold: 4 }, costs(), &trace);
         let f_frac = fixed.remote_accesses as f64 / trace.len() as f64;
         let m_frac = mig.remote_accesses as f64 / trace.len() as f64;
-        assert!(m_frac < f_frac / 3.0, "remote fraction {m_frac} vs {f_frac}");
+        assert!(
+            m_frac < f_frac / 3.0,
+            "remote fraction {m_frac} vs {f_frac}"
+        );
     }
 
     #[test]

@@ -412,7 +412,10 @@ mod tests {
         let stat = evaluate_schedule(ScheduleKind::StaticBlock, &costs, P, &model());
         let guided = evaluate_schedule(ScheduleKind::Guided, &costs, P, &model());
         let tss = evaluate_schedule(ScheduleKind::Trapezoid, &costs, P, &model());
-        assert!(guided.makespan <= stat.makespan, "guided may tie, never lose");
+        assert!(
+            guided.makespan <= stat.makespan,
+            "guided may tie, never lose"
+        );
         assert!(
             tss.makespan < stat.makespan,
             "trapezoid {} must beat static {} on decreasing costs",
@@ -481,11 +484,7 @@ mod tests {
         for dist in IterationCosts::ALL {
             let costs = dist.generate(10_000, 100, 5);
             let mean = total_work(&costs) as f64 / costs.len() as f64;
-            assert!(
-                (mean - 100.0).abs() < 30.0,
-                "{}: mean {mean}",
-                dist.name()
-            );
+            assert!((mean - 100.0).abs() < 30.0, "{}: mean {mean}", dist.name());
         }
     }
 

@@ -113,7 +113,8 @@ impl Monitor {
         {
             return None; // another thread sampled concurrently
         }
-        self.overhead.fetch_add(self.cfg.sample_cost, Ordering::Relaxed);
+        self.overhead
+            .fetch_add(self.cfg.sample_cost, Ordering::Relaxed);
         let enabled = self.enabled.lock().clone();
         let metrics = self.metrics.lock();
         let values: BTreeMap<String, u64> = metrics

@@ -15,7 +15,12 @@ fn policy_pick_beats_static_block_on_decreasing_costs() {
 
     let outcomes: Vec<(ScheduleKind, u64)> = ScheduleKind::PORTFOLIO
         .into_iter()
-        .map(|kind| (kind, evaluate_schedule(kind, &costs, workers, &model).makespan))
+        .map(|kind| {
+            (
+                kind,
+                evaluate_schedule(kind, &costs, workers, &model).makespan,
+            )
+        })
         .collect();
     let &(best_kind, best_makespan) = outcomes
         .iter()

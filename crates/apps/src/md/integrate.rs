@@ -53,7 +53,9 @@ pub fn velocity_verlet_step(
     if let Thermostat::Berendsen { target, tau } = thermostat {
         let t = sys.temperature();
         if t > 1e-12 {
-            let lambda = (1.0 + (1.0 / tau.max(1.0)) * (target / t - 1.0)).max(0.0).sqrt();
+            let lambda = (1.0 + (1.0 / tau.max(1.0)) * (target / t - 1.0))
+                .max(0.0)
+                .sqrt();
             for v in sys.vel.iter_mut() {
                 for x in v.iter_mut() {
                     *x *= lambda;
@@ -97,7 +99,13 @@ mod tests {
     #[test]
     fn energy_drift_is_bounded_at_small_dt() {
         let mut s = MdSystem::build(&SystemSpec::tiny());
-        let (_, drift) = run_md(&mut s, &ForceParams::default(), 0.001, 200, Thermostat::None);
+        let (_, drift) = run_md(
+            &mut s,
+            &ForceParams::default(),
+            0.001,
+            200,
+            Thermostat::None,
+        );
         assert!(drift < 0.05, "NVE drift {drift} too large for dt=1e-3");
     }
 
@@ -145,13 +153,16 @@ mod tests {
     #[test]
     fn positions_stay_in_box() {
         let mut s = MdSystem::build(&SystemSpec::tiny());
-        run_md(&mut s, &ForceParams::default(), 0.002, 100, Thermostat::None);
+        run_md(
+            &mut s,
+            &ForceParams::default(),
+            0.002,
+            100,
+            Thermostat::None,
+        );
         for p in &s.pos {
             for k in 0..3 {
-                assert!(
-                    p[k] >= 0.0 && p[k] <= s.box_len,
-                    "particle escaped: {p:?}"
-                );
+                assert!(p[k] >= 0.0 && p[k] <= s.box_len, "particle escaped: {p:?}");
             }
         }
     }

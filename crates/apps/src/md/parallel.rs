@@ -56,7 +56,15 @@ pub fn run_md_parallel(
     grain: MdGrain,
     thermostat: Thermostat,
 ) -> MdRunReport {
-    run_md_parallel_topo(sys, params, dt, steps, Topology::flat(workers), grain, thermostat)
+    run_md_parallel_topo(
+        sys,
+        params,
+        dt,
+        steps,
+        Topology::flat(workers),
+        grain,
+        thermostat,
+    )
 }
 
 /// Run `steps` of MD with the force pass parallelized on HTVM, on a pool
@@ -79,8 +87,7 @@ pub fn run_md_parallel_topo(
     let sgt_count = Arc::new(AtomicU64::new(0));
     // Prime forces.
     let cl = CellList::build(&sys, params.cutoff);
-    let mut potential =
-        parallel_force_pass(&htvm, &mut sys, &cl, params, grain, &sgt_count);
+    let mut potential = parallel_force_pass(&htvm, &mut sys, &cl, params, grain, &sgt_count);
     for _ in 0..steps {
         let n = sys.len();
         for i in 0..n {
@@ -102,7 +109,9 @@ pub fn run_md_parallel_topo(
         if let Thermostat::Berendsen { target, tau } = thermostat {
             let t = sys.temperature();
             if t > 1e-12 {
-                let lambda = (1.0 + (1.0 / tau.max(1.0)) * (target / t - 1.0)).max(0.0).sqrt();
+                let lambda = (1.0 + (1.0 / tau.max(1.0)) * (target / t - 1.0))
+                    .max(0.0)
+                    .sqrt();
                 for v in sys.vel.iter_mut() {
                     for x in v.iter_mut() {
                         *x *= lambda;
@@ -181,8 +190,7 @@ fn parallel_force_pass(
                     lgt.spawn_sgt(move |_| {
                         let mut local = vec![([0.0; 3], 0.0); cell.len()];
                         for (slot, &i) in cell.iter().enumerate() {
-                            local[slot] =
-                                force_on_particle(&snapshot, &cl3, &params, i as usize);
+                            local[slot] = force_on_particle(&snapshot, &cl3, &params, i as usize);
                         }
                         *out[ci].lock() = local;
                     });

@@ -151,7 +151,10 @@ impl MdSystem {
             }
         }
         // Solvent + ions.
-        let place_free = |species_vec: &mut Vec<Species>, pos: &mut Vec<[f64; 3]>, s: Species, rng: &mut StdRng| {
+        let place_free = |species_vec: &mut Vec<Species>,
+                          pos: &mut Vec<[f64; 3]>,
+                          s: Species,
+                          rng: &mut StdRng| {
             species_vec.push(s);
             loop {
                 let p = [

@@ -100,7 +100,11 @@ fn deliver(state: &ChainState, step_no: u64) {
 
 /// The SGT body for one chunk of one step. The chunk that finishes its
 /// step last runs the delivery phase and spawns the next step in place.
-fn chunk_body(state: Arc<ChainState>, step_no: u64, chunk_idx: usize) -> Box<dyn FnOnce(&SgtCtx) + Send> {
+fn chunk_body(
+    state: Arc<ChainState>,
+    step_no: u64,
+    chunk_idx: usize,
+) -> Box<dyn FnOnce(&SgtCtx) + Send> {
     Box::new(move |sgt: &SgtCtx| {
         let (lo, hi) = state.chunks[chunk_idx];
         let wheel_len = state.wheel.len();
@@ -127,16 +131,16 @@ fn chunk_body(state: Arc<ChainState>, step_no: u64, chunk_idx: usize) -> Box<dyn
                 idx += 1;
             }
         }
-        state.total_spikes.fetch_add(local_spikes, Ordering::Relaxed);
+        state
+            .total_spikes
+            .fetch_add(local_spikes, Ordering::Relaxed);
         // Dataflow step chaining: the last chunk of this step continues
         // the simulation without returning to the spawning thread.
         if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let next = step_no + 1;
             if next < state.steps {
                 deliver(&state, next);
-                state
-                    .remaining
-                    .store(state.chunks.len(), Ordering::Release);
+                state.remaining.store(state.chunks.len(), Ordering::Release);
                 for ci in 0..state.chunks.len() {
                     state.sgt_count.fetch_add(1, Ordering::Relaxed);
                     let body = chunk_body(state.clone(), next, ci);
@@ -153,7 +157,12 @@ fn chunk_body(state: Arc<ChainState>, step_no: u64, chunk_idx: usize) -> Box<dyn
 
 /// Run `steps` of the network on the HTVM native runtime (no locality
 /// grouping — see [`run_parallel_topo`]).
-pub fn run_parallel(net: Network, steps: u64, workers: usize, mapping: Mapping) -> ParallelRunReport {
+pub fn run_parallel(
+    net: Network,
+    steps: u64,
+    workers: usize,
+    mapping: Mapping,
+) -> ParallelRunReport {
     run_parallel_topo(net, steps, Topology::flat(workers), mapping)
 }
 
@@ -218,9 +227,7 @@ pub fn run_parallel_topo(
             let state = state.clone();
             move |lgt| {
                 deliver(&state, 0);
-                state
-                    .remaining
-                    .store(state.chunks.len(), Ordering::Release);
+                state.remaining.store(state.chunks.len(), Ordering::Release);
                 for ci in 0..state.chunks.len() {
                     state.sgt_count.fetch_add(1, Ordering::Relaxed);
                     let body = chunk_body(state.clone(), 0, ci);
@@ -294,7 +301,12 @@ mod tests {
 
     #[test]
     fn zero_steps_is_a_noop() {
-        let par = run_parallel(Network::build(NetworkSpec::tiny()), 0, 2, Mapping::Hierarchical);
+        let par = run_parallel(
+            Network::build(NetworkSpec::tiny()),
+            0,
+            2,
+            Mapping::Hierarchical,
+        );
         assert_eq!(par.total_spikes, 0);
         assert_eq!(par.sgt_count, 0);
     }

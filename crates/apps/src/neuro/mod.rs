@@ -24,5 +24,5 @@ pub mod sim;
 
 pub use htvm_map::{run_parallel, Mapping, ParallelRunReport};
 pub use model::{Compartment, Neuron, NeuronParams};
-pub use network::{NetworkSpec, Network, Synapse};
+pub use network::{Network, NetworkSpec, Synapse};
 pub use sim::NetworkSim;

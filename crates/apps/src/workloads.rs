@@ -50,7 +50,9 @@ pub fn skewed_tasks(n: usize, homes: u32, mean: u64, skew: f64, seed: u64) -> Ve
 pub fn task_tree_costs(depth: u32, fanout: u32, mean: u64, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let leaves = (fanout as u64).pow(depth);
-    (0..leaves).map(|_| rng.gen_range(1..=2 * mean.max(1))).collect()
+    (0..leaves)
+        .map(|_| rng.gen_range(1..=2 * mean.max(1)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -62,7 +62,6 @@ fn bench_litlx(c: &mut Criterion) {
     c.bench_function("e16_litlx_parse", |b| b.iter(|| parse(src).unwrap()));
 }
 
-
 /// Short sampling: these benches run on small shared CI hosts; the
 /// simulated-cycle tables (the actual experiment results) come from the
 /// report binaries, so wall-clock here only needs to be indicative.

@@ -74,7 +74,6 @@ fn bench_percolation(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short sampling: these benches run on small shared CI hosts; the
 /// simulated-cycle tables (the actual experiment results) come from the
 /// report binaries, so wall-clock here only needs to be indicative.

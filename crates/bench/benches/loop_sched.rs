@@ -59,7 +59,6 @@ fn bench_locality(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short sampling: these benches run on small shared CI hosts; the
 /// simulated-cycle tables (the actual experiment results) come from the
 /// report binaries, so wall-clock here only needs to be indicative.

@@ -1,14 +1,14 @@
 //! Criterion bench for E5: native spawn costs of the three grains.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use htvm_core::{Htvm, HtvmConfig};
+use htvm_core::{Htvm, HtvmConfig, Topology};
 
 fn bench_native_grains(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_native_grain_costs");
 
     // LGT: spawn + join a whole large-grain thread.
     g.bench_function("lgt_spawn_join", |b| {
-        let htvm = Htvm::new(HtvmConfig::with_workers(2));
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::flat(2)));
         b.iter(|| {
             htvm.lgt(|_| {}).join();
         })
@@ -16,7 +16,7 @@ fn bench_native_grains(c: &mut Criterion) {
 
     // SGT: spawn + drain 100 small-grain threads from one LGT.
     g.bench_function("sgt_spawn_100", |b| {
-        let htvm = Htvm::new(HtvmConfig::with_workers(2));
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::flat(2)));
         b.iter(|| {
             let h = htvm.lgt(|lgt| {
                 for _ in 0..100 {
@@ -47,7 +47,6 @@ fn bench_native_grains(c: &mut Criterion) {
 
     g.finish();
 }
-
 
 /// Short sampling: these benches run on small shared CI hosts; the
 /// simulated-cycle tables (the actual experiment results) come from the

@@ -29,7 +29,6 @@ fn bench_all_levels(c: &mut Criterion) {
     });
 }
 
-
 /// Short sampling: these benches run on small shared CI hosts; the
 /// simulated-cycle tables (the actual experiment results) come from the
 /// report binaries, so wall-clock here only needs to be indicative.

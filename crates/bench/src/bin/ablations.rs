@@ -1,11 +1,11 @@
-//! Run the A1–A4 ablation sweeps and print all tables.
+//! Run the A1–A4 ablation sweeps, print all tables, and honour
+//! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary.
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") {
         htvm_bench::experiments::Scale::Quick
     } else {
         htvm_bench::experiments::Scale::Full
     };
-    for table in htvm_bench::experiments::run_all_ablations(scale) {
-        table.print();
-    }
+    let tables = htvm_bench::experiments::run_all_ablations(scale);
+    htvm_bench::report::emit("ablations", &tables.iter().collect::<Vec<_>>());
 }

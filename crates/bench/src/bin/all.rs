@@ -1,11 +1,11 @@
-//! Run every experiment of the reproduction and print all tables.
+//! Run every experiment of the reproduction, print all tables, and honour
+//! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary.
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") {
         htvm_bench::experiments::Scale::Quick
     } else {
         htvm_bench::experiments::Scale::Full
     };
-    for table in htvm_bench::experiments::run_all(scale) {
-        table.print();
-    }
+    let tables = htvm_bench::experiments::run_all(scale);
+    htvm_bench::report::emit("all", &tables.iter().collect::<Vec<_>>());
 }

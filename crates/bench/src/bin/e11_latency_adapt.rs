@@ -1,4 +1,7 @@
-//! Report binary for e11_latency_adapt: prints the full-scale experiment table.
+//! Report binary for e11_latency_adapt: prints the full-scale experiment table and
+//! honours `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable
+//! summary (see `htvm_bench::report`).
 fn main() {
-    htvm_bench::experiments::e11_latency_adapt(htvm_bench::experiments::Scale::Full).print();
+    let t = htvm_bench::experiments::e11_latency_adapt(htvm_bench::experiments::Scale::Full);
+    htvm_bench::report::emit("e11_latency_adapt", &[&t]);
 }

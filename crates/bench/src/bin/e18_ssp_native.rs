@@ -1,0 +1,7 @@
+//! Report binary for e18_ssp_native: prints the full-scale experiment table and
+//! honours `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable
+//! summary (see `htvm_bench::report`).
+fn main() {
+    let t = htvm_bench::experiments::e18_ssp_native(htvm_bench::experiments::Scale::Full);
+    htvm_bench::report::emit("e18_ssp_native", &[&t]);
+}

@@ -17,7 +17,13 @@ pub fn e14_neocortex(scale: Scale) -> Table {
     let mut t = Table::new(
         "E14 neocortex (Fig. 2): steps/s by mapping × workers",
         &[
-            "mapping", "workers", "steps/s", "speedup_vs_seq", "spikes", "sgts", "steals",
+            "mapping",
+            "workers",
+            "steps/s",
+            "speedup_vs_seq",
+            "spikes",
+            "sgts",
+            "steals",
             "imbalance",
         ],
     );
@@ -91,7 +97,14 @@ pub fn e14_neocortex(scale: Scale) -> Table {
 pub fn e15_md(scale: Scale) -> Table {
     let mut t = Table::new(
         "E15 molecular dynamics: steps/s by grain × workers",
-        &["grain", "workers", "steps/s", "speedup_vs_seq", "sgts", "potential"],
+        &[
+            "grain",
+            "workers",
+            "steps/s",
+            "speedup_vs_seq",
+            "sgts",
+            "potential",
+        ],
     );
     // Like E14, Quick needs a force pass heavy enough (≈500 particles) for
     // parallelism to be visible over per-pass snapshot/spawn overhead.
@@ -160,14 +173,20 @@ pub fn e15_md(scale: Scale) -> Table {
 /// E16 — LITL-X end-to-end: interpreted kernels vs hand-coded equivalents
 /// on the same runtime (the price of the prototype language).
 pub fn e16_litlx(scale: Scale) -> Table {
-    use htvm_core::{Htvm, HtvmConfig};
+    use htvm_core::{Htvm, HtvmConfig, Topology};
     use litlx::lang::{parse, Interp};
 
     let n = scale.pick(2_000usize, 20_000);
     let workers = 4;
     let mut t = Table::new(
         "E16 LITL-X: interpreted vs hand-coded kernels",
-        &["kernel", "litlx_us", "native_us", "interp_overhead", "results_match"],
+        &[
+            "kernel",
+            "litlx_us",
+            "native_us",
+            "interp_overhead",
+            "results_match",
+        ],
     );
 
     // Kernel 1: scaled vector sum (forall + reduction via accumulate).
@@ -205,7 +224,7 @@ pub fn e16_litlx(scale: Scale) -> Table {
             src_dot,
             Box::new(move || {
                 // Hand-coded: same algorithm on the raw runtime.
-                let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+                let htvm = Htvm::new(HtvmConfig::with_topology(Topology::flat(workers)));
                 let h = htvm.lgt(move |lgt| {
                     let mem = lgt.memory().clone();
                     let chunk = n.div_ceil(workers);
@@ -230,7 +249,7 @@ pub fn e16_litlx(scale: Scale) -> Table {
             "stencil-3pt",
             src_stencil,
             Box::new(move || {
-                let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+                let htvm = Htvm::new(HtvmConfig::with_topology(Topology::flat(workers)));
                 let h = htvm.lgt(move |lgt| {
                     let mem = lgt.memory().clone();
                     // a in [0..n), b in [n..2n)

@@ -30,10 +30,7 @@ use crate::table::{f2, f3, Table};
 
 /// Join a per-domain counter vector into a compact `a/b/c` cell.
 fn by_domain(v: &[u64]) -> String {
-    v.iter()
-        .map(u64::to_string)
-        .collect::<Vec<_>>()
-        .join("/")
+    v.iter().map(u64::to_string).collect::<Vec<_>>().join("/")
 }
 
 /// One row's worth of pool observations plus the hint the traffic earns.

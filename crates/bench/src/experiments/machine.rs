@@ -41,13 +41,7 @@ pub fn e1_latency_tolerance(scale: Scale) -> Table {
                 let mut e = Engine::new(cfg);
                 e.memory_mut().set_dram_latency_scale(lat);
                 for k in 0..hw as u64 {
-                    let kern = strided_kernel(
-                        iters,
-                        10,
-                        GAddr::dram(0, k * (1 << 20)),
-                        64,
-                        8,
-                    );
+                    let kern = strided_kernel(iters, 10, GAddr::dram(0, k * (1 << 20)), 64, 8);
                     e.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, Box::new(kern));
                 }
                 let s = e.run();
@@ -75,13 +69,7 @@ pub fn e1_latency_tolerance(scale: Scale) -> Table {
 pub fn e2_parcels(scale: Scale) -> Table {
     let mut t = Table::new(
         "E2 parcels: remote reduce, cycles by strategy vs block size",
-        &[
-            "elems",
-            "remote_loads",
-            "bulk_fetch",
-            "parcel",
-            "winner",
-        ],
+        &["elems", "remote_loads", "bulk_fetch", "parcel", "winner"],
     );
     let sizes: Vec<u64> = scale.pick(vec![4, 64, 1024], vec![4, 16, 64, 256, 1024, 4096, 8192]);
     for &elems in &sizes {
@@ -119,7 +107,7 @@ pub fn e2_parcels(scale: Scale) -> Table {
 /// future version lets each item flow ahead through `and_then` chains.
 pub fn e3_futures(scale: Scale) -> Table {
     use htvm_apps::workloads::spin_work;
-    use htvm_core::{Htvm, HtvmConfig};
+    use htvm_core::{Htvm, HtvmConfig, Topology};
     use litlx::future::LitlFuture;
 
     let items = scale.pick(6usize, 12);
@@ -138,7 +126,7 @@ pub fn e3_futures(scale: Scale) -> Table {
     // Barrier variant: one SGT per item per stage; a full join (the global
     // synchronization point the paper complains about) between stages.
     let barrier_us = {
-        let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::flat(workers)));
         let start = std::time::Instant::now();
         for s in 0..stages {
             let h = htvm.lgt(move |lgt| {
@@ -156,7 +144,7 @@ pub fn e3_futures(scale: Scale) -> Table {
     // Future variant: each item's stages form an independent dataflow
     // chain resolved into a future; no cross-item synchronization.
     let future_us = {
-        let htvm = Htvm::new(HtvmConfig::with_workers(workers));
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::flat(workers)));
         let start = std::time::Instant::now();
         let done: Vec<LitlFuture<u64>> = (0..items).map(|_| LitlFuture::unresolved()).collect();
         let h = htvm.lgt({
@@ -260,5 +248,11 @@ pub fn e5_spawn_costs(scale: Scale) -> Table {
 
 /// Helper: a boxed strided kernel (shared by benches).
 pub fn mem_kernel(iters: u64, compute: u64, offset: u64) -> Box<dyn SimThread> {
-    Box::new(strided_kernel(iters, compute, GAddr::dram(0, offset), 64, 8))
+    Box::new(strided_kernel(
+        iters,
+        compute,
+        GAddr::dram(0, offset),
+        64,
+        8,
+    ))
 }

@@ -10,6 +10,7 @@ pub mod apps;
 pub mod domains;
 pub mod machine;
 pub mod sched;
+pub mod ssp_native;
 
 pub use ablations::{
     a1_switch_cost, a2_chunk_size, a3_percolation_grid, a4_grain_crossover, run_all_ablations,
@@ -21,6 +22,7 @@ pub use sched::{
     e10_locality, e11_latency_adapt, e12_hints, e13_monitor, e6_loop_sched, e7_ssp, e8_ssp_mt,
     e9_load_balance,
 };
+pub use ssp_native::e18_ssp_native;
 
 /// Sweep size selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,5 +63,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::Table> {
         e15_md(scale),
         e16_litlx(scale),
         e17_domains(scale),
+        e18_ssp_native(scale),
     ]
 }

@@ -11,7 +11,9 @@ use htvm_adapt::loop_sched::{evaluate_schedule, CostModel, IterationCosts, Sched
 use htvm_adapt::monitor::{Monitor, MonitorConfig};
 use htvm_ssp::ir::LoopNest;
 use htvm_ssp::partition::ThreadedSspModel;
-use htvm_ssp::ssp::{schedule_all_levels, schedule_level, select_level, sequential_cycles, SspConfig};
+use htvm_ssp::ssp::{
+    schedule_all_levels, schedule_level, select_level, sequential_cycles, SspConfig,
+};
 
 use super::Scale;
 use crate::table::{f2, f3, Table};
@@ -84,7 +86,13 @@ pub fn e7_ssp(scale: Scale) -> Table {
 pub fn e8_ssp_mt(scale: Scale) -> Table {
     let mut t = Table::new(
         "E8 SSP→threads: modelled speedup vs thread count",
-        &["nest", "threads", "per_thread_cycles", "total_cycles", "speedup"],
+        &[
+            "nest",
+            "threads",
+            "per_thread_cycles",
+            "total_cycles",
+            "speedup",
+        ],
     );
     let d = scale.pick(32u64, 128);
     let nest = LoopNest::matmul_like(d, 16, 16);
@@ -277,7 +285,12 @@ pub fn e12_hints(scale: Scale) -> Table {
     );
     let n = scale.pick(400, 2_000);
     let cases = [
-        ("decreasing", IterationCosts::Decreasing, "cost_trend", "monotonic"),
+        (
+            "decreasing",
+            IterationCosts::Decreasing,
+            "cost_trend",
+            "monotonic",
+        ),
         ("bimodal", IterationCosts::Bimodal, "cost_variance", "high"),
     ];
     for (label, dist, key, value) in cases {
@@ -341,7 +354,10 @@ pub fn e13_monitor(scale: Scale) -> Table {
         &["period", "samples", "overhead_cycles", "overhead_frac"],
     );
     let run_cycles = scale.pick(200_000u64, 2_000_000);
-    let periods: Vec<u64> = scale.pick(vec![1_000, 10_000], vec![500, 1_000, 5_000, 10_000, 50_000, 100_000]);
+    let periods: Vec<u64> = scale.pick(
+        vec![1_000, 10_000],
+        vec![500, 1_000, 5_000, 10_000, 50_000, 100_000],
+    );
     for &period in &periods {
         let m = Monitor::new(MonitorConfig {
             period,

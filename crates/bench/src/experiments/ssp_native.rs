@@ -1,0 +1,321 @@
+//! E18: naive vs SSP-partitioned execution on the native pool.
+//!
+//! The compile→schedule→execute pipeline of §3.3 end to end, measured on
+//! wall clock: a LITL-X matmul-like `forall` nest runs once through the
+//! naive flat fan-out and once through the SSP path (lower → level select
+//! → partition → domain-placed groups), on a flat and on a grouped
+//! topology. The MD force loop runs the same comparison at the `exec`
+//! layer directly: a `[steps × cells]` nest whose step level carries the
+//! position dependence, partitioned at the cell level, vs a per-cell
+//! spawn-and-join per step.
+//!
+//! A third workload, `litlx-scan` (`a[i+1] = a[i] + i`), carries a true
+//! dependence at the only `forall` level: the SSP path must execute it as
+//! a `SyncSlot` wavefront (the `wavefronts` column) and reproduce the
+//! sequential result, where the naive fan-out is a data race.
+//!
+//! Columns: wall time, SGT-grain spawns, `pipelined` (LITL-X rows: loops
+//! that took the SSP path; MD rows: groups per wave), remote-steal ratio
+//! and per-domain placement counters from [`PoolStats`], the modelled
+//! cycle count of the path's schedule, and a `check` column proving both
+//! paths computed the same thing (the acceptance bar for a scheduling
+//! layer is correctness first).
+
+use std::sync::Arc;
+
+use htvm_apps::md::cell_list::CellList;
+use htvm_apps::md::forces::{force_on_particle, ForceParams};
+use htvm_apps::md::system::{MdSystem, SystemSpec};
+use htvm_core::{Pool, PoolStats, SharedRegion, Topology};
+use htvm_ssp::exec::{run_partitioned, PointBody};
+use htvm_ssp::ir::{Dep, LoopNest, Op, OpKind};
+use htvm_ssp::partition::PartitionPlan;
+use htvm_ssp::ssp::{schedule_all_levels, select_level, sequential_cycles, SspConfig};
+use litlx::lang::{parse, Interp, LoopStrategy};
+
+use super::Scale;
+use crate::table::{f2, f3, Table};
+
+fn by_domain(v: &[u64]) -> String {
+    v.iter().map(u64::to_string).collect::<Vec<_>>().join("/")
+}
+
+fn litlx_matmul_src(n: usize) -> String {
+    format!(
+        "fn main() {{
+            let n = {n};
+            let a = array(n * n); let b = array(n * n); let c = array(n * n);
+            forall i in 0..n * n {{ a[i] = i % 7 + 1; }}
+            forall i in 0..n * n {{ b[i] = i % 5 - 1; }}
+            forall i in 0..n {{
+              forall j in 0..n {{
+                for k in 0..n {{
+                  c[i * n + j] += a[i * n + k] * b[k * n + j];
+                }}
+              }}
+            }}
+            print(sum(c)); }}"
+    )
+}
+
+struct LitlxRun {
+    wall_ms: f64,
+    sgts: u64,
+    ssp_foralls: u64,
+    wavefronts: u64,
+    stats: PoolStats,
+    check: String,
+}
+
+fn run_litlx(src: &str, topo: Topology, strategy: LoopStrategy) -> LitlxRun {
+    let p = parse(src).expect("kernel parses");
+    let interp = Interp::with_topology(topo).with_strategy(strategy);
+    let start = std::time::Instant::now();
+    let out = interp.run(&p).expect("kernel runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    LitlxRun {
+        wall_ms,
+        sgts: out.sgt_spawns,
+        ssp_foralls: out.ssp_foralls,
+        wavefronts: out.ssp_wavefronts,
+        stats: interp.pool_stats(),
+        check: out.printed.join(";"),
+    }
+}
+
+/// The `[steps × cells]` force-loop nest: the step level carries the
+/// position dependence (distance 1), cells are independent within a step.
+fn md_nest(steps: u64, cells: u64) -> LoopNest {
+    LoopNest {
+        name: "md-force".to_string(),
+        trip_counts: vec![steps, cells],
+        ops: vec![
+            Op::new("load positions", 4, OpKind::Mem),
+            Op::new("pair forces", 12, OpKind::Fpu),
+            Op::new("store forces", 1, OpKind::Mem),
+        ],
+        deps: vec![
+            Dep::independent(0, 1, 2),
+            Dep::independent(1, 2, 2),
+            // Forces of step t feed positions of step t+1.
+            Dep {
+                from: 2,
+                to: 0,
+                distance: vec![1, 0],
+            },
+        ],
+    }
+}
+
+/// Per-cell force body shared by both MD paths: computes forces of every
+/// particle in `cell` into the force buffer (3 slots per particle) and
+/// accumulates the cell's potential into the last slot.
+fn md_cell_body(
+    sys: &Arc<MdSystem>,
+    cl: &Arc<CellList>,
+    params: &Arc<ForceParams>,
+    buf: &SharedRegion,
+    cell: usize,
+) {
+    let mut pot = 0.0;
+    for &i in &cl.cells[cell] {
+        let i = i as usize;
+        let (f, e) = force_on_particle(sys, cl, params, i);
+        for (k, fk) in f.iter().enumerate() {
+            buf.write_f64(i * 3 + k, *fk);
+        }
+        pot += e;
+    }
+    buf.fetch_add_f64(sys.len() * 3, pot);
+}
+
+/// E18 — naive vs SSP-partitioned execution of a LITL-X matmul nest and
+/// the MD force loop, across locality topologies.
+pub fn e18_ssp_native(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E18 SSP native execution: naive vs pipelined × topology",
+        &[
+            "workload",
+            "path",
+            "topology",
+            "wall_ms",
+            "spawned",
+            "pipelined",
+            "wavefronts",
+            "model_cycles",
+            "remote_ratio",
+            "dom_spawns",
+            "check",
+        ],
+    );
+    let workers = scale.pick(4usize, 8);
+    let topologies = vec![
+        ("flat".to_string(), Topology::flat(workers)),
+        ("2-dom".to_string(), Topology::domains(2, workers / 2)),
+    ];
+
+    // Workload 1: LITL-X matmul-like nest through the interpreter.
+    let n = scale.pick(12usize, 40);
+    let src = litlx_matmul_src(n);
+    let model_nest = LoopNest::matmul_like(n as u64, n as u64, n as u64);
+    let cfg = SspConfig::default();
+    let seq_cycles = sequential_cycles(&model_nest);
+    let best_cycles = select_level(&model_nest, &cfg).map_or(seq_cycles, |p| p.total_cycles);
+    for (name, topo) in &topologies {
+        for (path, strategy, cycles) in [
+            ("naive", LoopStrategy::Naive, seq_cycles),
+            ("ssp", LoopStrategy::Ssp, best_cycles),
+        ] {
+            let r = run_litlx(&src, topo.clone(), strategy);
+            t.row(&[
+                "litlx-matmul".to_string(),
+                path.to_string(),
+                name.clone(),
+                f2(r.wall_ms),
+                r.sgts.to_string(),
+                r.ssp_foralls.to_string(),
+                r.wavefronts.to_string(),
+                cycles.to_string(),
+                f3(r.stats.remote_steal_ratio()),
+                by_domain(&r.stats.domain_spawns),
+                r.check,
+            ]);
+        }
+    }
+
+    // Workload 2: a flat recurrence — the wavefront path. The naive row
+    // is a data race (its check cell may disagree); the SSP row must match
+    // the sequential result exactly.
+    let sn = scale.pick(48usize, 512);
+    let scan_src = format!(
+        "fn main() {{
+            let n = {sn};
+            let a = array(n + 1);
+            a[0] = 3;
+            forall i in 0..n {{ a[i + 1] = a[i] + i; }}
+            print(a[n]); }}"
+    );
+    for (name, topo) in &topologies {
+        for (path, strategy) in [("naive", LoopStrategy::Naive), ("ssp", LoopStrategy::Ssp)] {
+            let r = run_litlx(&scan_src, topo.clone(), strategy);
+            t.row(&[
+                "litlx-scan".to_string(),
+                path.to_string(),
+                name.clone(),
+                f2(r.wall_ms),
+                r.sgts.to_string(),
+                r.ssp_foralls.to_string(),
+                r.wavefronts.to_string(),
+                "-".to_string(),
+                f3(r.stats.remote_steal_ratio()),
+                by_domain(&r.stats.domain_spawns),
+                r.check,
+            ]);
+        }
+    }
+
+    // Workload 3: the MD force loop at the exec layer.
+    let spec = match scale {
+        Scale::Quick => SystemSpec {
+            box_len: 10.0,
+            waters: 220,
+            ion_pairs: 6,
+            protein_beads: 20,
+            ..Default::default()
+        },
+        Scale::Full => SystemSpec {
+            box_len: 16.0,
+            waters: 1_000,
+            ion_pairs: 20,
+            protein_beads: 50,
+            ..Default::default()
+        },
+    };
+    let steps = scale.pick(4u64, 20);
+    let params = Arc::new(ForceParams::default());
+    let sys = Arc::new(MdSystem::build(&spec));
+    let cl = Arc::new(CellList::build(&sys, params.cutoff));
+    let occupied: Vec<usize> = (0..cl.cells.len())
+        .filter(|&c| !cl.cells[c].is_empty())
+        .collect();
+    let cells = occupied.len() as u64;
+    let nest = md_nest(steps, cells);
+    let plans = schedule_all_levels(&nest, &cfg);
+    let cell_plan = plans
+        .iter()
+        .find(|p| p.level == 1)
+        .expect("cell level schedulable");
+    let md_model = cell_plan.total_cycles;
+    for (name, topo) in &topologies {
+        // Naive: one pool job per occupied cell, joined per step.
+        {
+            let pool = Arc::new(Pool::with_topology(topo.clone()));
+            let buf = SharedRegion::new(sys.len() * 3 + 1);
+            let start = std::time::Instant::now();
+            for _ in 0..steps {
+                for &c in &occupied {
+                    let (sys, cl, params, buf) =
+                        (sys.clone(), cl.clone(), params.clone(), buf.clone());
+                    pool.spawn(move |_| md_cell_body(&sys, &cl, &params, &buf, c));
+                }
+                pool.wait_quiescent();
+            }
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            let stats = pool.stats();
+            t.row(&[
+                "md-force".to_string(),
+                "naive".to_string(),
+                name.clone(),
+                f2(wall),
+                stats.total_executed().to_string(),
+                "0".to_string(),
+                "0".to_string(),
+                sequential_cycles(&nest).to_string(),
+                f3(stats.remote_steal_ratio()),
+                by_domain(&stats.domain_spawns),
+                f2(buf.read_f64(sys.len() * 3) / steps as f64),
+            ]);
+        }
+        // SSP: the [steps × cells] nest partitioned at the cell level —
+        // the step-carried dependence drops there, so groups run in
+        // parallel inside sequential step waves.
+        {
+            let pool = Arc::new(Pool::with_topology(topo.clone()));
+            let part = PartitionPlan::new(cell_plan, cells, workers as u64);
+            let buf = SharedRegion::new(sys.len() * 3 + 1);
+            let body: Arc<PointBody> = {
+                let (sys, cl, params, buf, occupied) = (
+                    sys.clone(),
+                    cl.clone(),
+                    params.clone(),
+                    buf.clone(),
+                    occupied.clone(),
+                );
+                Arc::new(move |idx: &[i64]| {
+                    md_cell_body(&sys, &cl, &params, &buf, occupied[idx[1] as usize]);
+                    Ok(())
+                })
+            };
+            let start = std::time::Instant::now();
+            let rep =
+                run_partitioned(&pool, &nest.trip_counts, 1, 0, &part, body).expect("md nest runs");
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            pool.wait_quiescent();
+            let stats = pool.stats();
+            t.row(&[
+                "md-force".to_string(),
+                "ssp".to_string(),
+                name.clone(),
+                f2(wall),
+                rep.spawned.to_string(),
+                rep.groups.to_string(),
+                u64::from(rep.wavefront).to_string(),
+                md_model.to_string(),
+                f3(stats.remote_steal_ratio()),
+                by_domain(&stats.domain_spawns),
+                f2(buf.read_f64(sys.len() * 3) / steps as f64),
+            ]);
+        }
+    }
+    t
+}

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 pub use table::Table;

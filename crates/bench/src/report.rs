@@ -1,0 +1,86 @@
+//! Report plumbing shared by the `eNN_*` binaries: print tables to stdout
+//! and, when asked, write a machine-readable JSON summary so future runs
+//! can track the perf trajectory without scraping stdout.
+//!
+//! The JSON sink is selected by a `--json <path>` (or `--json=<path>`)
+//! argument, with the `HTVM_BENCH_JSON` environment variable as fallback —
+//! the binaries stay zero-dependency shells around the experiment
+//! library.
+//!
+//! ```text
+//! cargo run -p htvm-bench --release --bin e18_ssp_native -- --json e18.json
+//! HTVM_BENCH_JSON=all.json cargo run -p htvm-bench --release --bin all
+//! ```
+//!
+//! The summary is one object per experiment table (`id`, `columns`,
+//! `rows`) plus the binary's invocation metadata.
+
+use crate::table::Table;
+
+/// Where the JSON summary should go, if anywhere.
+///
+/// Parsed from the process arguments (`--json <path>` / `--json=<path>`),
+/// falling back to the `HTVM_BENCH_JSON` environment variable.
+pub fn json_sink_from_env() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            if let Some(p) = args.next() {
+                return Some(p);
+            }
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("HTVM_BENCH_JSON")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+/// The full JSON summary document for a set of tables.
+pub fn summary_json(id: &str, tables: &[&Table]) -> String {
+    let body = tables
+        .iter()
+        .map(|t| t.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"experiment\":\"{id}\",\"tables\":[{body}]}}\n")
+}
+
+/// Print every table and honour the JSON sink. `id` is the experiment
+/// binary's identity (e.g. `"e18_ssp_native"`).
+pub fn emit(id: &str, tables: &[&Table]) {
+    for t in tables {
+        t.print();
+    }
+    if let Some(path) = json_sink_from_env() {
+        match std::fs::write(&path, summary_json(id, tables)) {
+            Ok(()) => eprintln!("wrote JSON summary to {path}"),
+            Err(e) => eprintln!("failed to write JSON summary to {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_wraps_tables() {
+        let mut t = Table::new("E0 demo", &["k", "v"]);
+        t.push(&["a", "1"]);
+        let s = summary_json("e0", &[&t]);
+        assert!(s.contains("\"experiment\":\"e0\""));
+        assert!(s.contains("\"id\":\"E0 demo\""));
+        assert!(s.contains("[\"a\",\"1\"]"));
+    }
+
+    #[test]
+    fn json_escapes_delimiters() {
+        let mut t = Table::new("quote \" and \\ back", &["c"]);
+        t.push(&["line\nbreak"]);
+        let j = t.to_json();
+        assert!(j.contains("quote \\\" and \\\\ back"));
+        assert!(j.contains("line\\nbreak"));
+    }
+}

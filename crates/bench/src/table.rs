@@ -28,7 +28,8 @@ impl Table {
 
     /// Append a row of displayable items.
     pub fn push<I: std::fmt::Display>(&mut self, cells: &[I]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Find a cell by row predicate and column name (tests).
@@ -95,6 +96,58 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Render as a JSON object `{"id", "columns", "rows"}` — the
+    /// machine-readable form the `--json` report flag emits so perf
+    /// trajectories can be tracked across runs without scraping stdout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":{},", json_str(&self.title)));
+        out.push_str("\"columns\":[");
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| json_str(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("],\"rows\":[");
+        out.push_str(
+            &self
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "[{}]",
+                        r.iter().map(|c| json_str(c)).collect::<Vec<_>>().join(",")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the table contents can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a float with 2 decimals.

@@ -97,7 +97,10 @@ impl Frame {
 
     /// Copy all slots out (diagnostics).
     pub fn snapshot(&self) -> Vec<u64> {
-        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

@@ -69,6 +69,12 @@ pub struct PoolStats {
     pub panics: u64,
     /// Domain index of each worker (parallel to the vectors above).
     pub domain_of: Vec<usize>,
+    /// Jobs spawned with an explicit domain affinity, per domain — the
+    /// placement record of batched group spawns (`Pool::spawn_batch_in`)
+    /// and affinity spawns (`Pool::spawn_in`). A group scheduler reads
+    /// this back to confirm where its work was *aimed*; the `executed`
+    /// counters say where it actually ran.
+    pub domain_spawns: Vec<u64>,
 }
 
 impl PoolStats {
@@ -90,6 +96,11 @@ impl PoolStats {
     /// Total cross-domain steals.
     pub fn total_remote_steals(&self) -> u64 {
         self.remote_steals.iter().sum()
+    }
+
+    /// Total jobs spawned with explicit domain affinity.
+    pub fn total_domain_spawns(&self) -> u64 {
+        self.domain_spawns.iter().sum()
     }
 
     /// Fraction of steals that crossed a domain boundary (0 when nothing
@@ -179,6 +190,8 @@ struct Shared {
     injector: Injector<Job>,
     /// One affinity injector per locality domain.
     domain_injectors: Vec<Injector<Job>>,
+    /// Affinity spawns per domain (see [`PoolStats::domain_spawns`]).
+    domain_spawns: Vec<AtomicU64>,
     stealers: Vec<Stealer<Job>>,
     counters: Vec<WorkerCounters>,
     /// Jobs spawned but not yet finished (includes currently-running).
@@ -227,11 +240,7 @@ impl<'a> WorkerCtx<'a> {
     ///
     /// # Panics
     /// Panics if `domain` is out of range for the pool's topology.
-    pub fn spawn_in_domain(
-        &self,
-        domain: DomainId,
-        job: impl FnOnce(&WorkerCtx) + Send + 'static,
-    ) {
+    pub fn spawn_in_domain(&self, domain: DomainId, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.spawn_in_domain(domain, Box::new(job));
     }
 
@@ -258,16 +267,23 @@ impl Shared {
     }
 
     fn spawn_in_domain(&self, domain: DomainId, job: Job) {
+        self.push_in_domain(domain, job);
+        // The sleep set is shared across domains; wake everyone so a
+        // sleeping home worker cannot be missed.
+        self.wake_all();
+    }
+
+    /// Enqueue a job into a domain injector without waking anyone — the
+    /// building block of batched spawns (one wake for the whole batch).
+    fn push_in_domain(&self, domain: DomainId, job: Job) {
         assert!(
             (domain.0 as usize) < self.domain_injectors.len(),
             "{domain} out of range for a {}-domain pool",
             self.domain_injectors.len()
         );
         self.active.fetch_add(1, Ordering::AcqRel);
+        self.domain_spawns[domain.0 as usize].fetch_add(1, Ordering::Relaxed);
         self.domain_injectors[domain.0 as usize].push(job);
-        // The sleep set is shared across domains; wake everyone so a
-        // sleeping home worker cannot be missed.
-        self.wake_all();
     }
 
     fn job_finished(&self) {
@@ -299,11 +315,17 @@ impl Pool {
         let deques: Vec<Deque<Job>> = (0..workers).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let counters = (0..workers).map(|_| WorkerCounters::default()).collect();
-        let domain_injectors = (0..topology.num_domains()).map(|_| Injector::new()).collect();
+        let domain_injectors = (0..topology.num_domains())
+            .map(|_| Injector::new())
+            .collect();
+        let domain_spawns = (0..topology.num_domains())
+            .map(|_| AtomicU64::new(0))
+            .collect();
         let shared = Arc::new(Shared {
             topology,
             injector: Injector::new(),
             domain_injectors,
+            domain_spawns,
             stealers,
             counters,
             active: AtomicUsize::new(0),
@@ -343,6 +365,28 @@ impl Pool {
     /// Panics if `domain` is out of range for the pool's topology.
     pub fn spawn_in(&self, domain: DomainId, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.spawn_in_domain(domain, Box::new(job));
+    }
+
+    /// Spawn a batch of domain-affine jobs with a single wake: every job
+    /// lands in its domain's injector first, then all workers are woken
+    /// once. A group scheduler (e.g. `htvm_ssp::exec`) uses this to place
+    /// one iteration group per domain without paying a futex storm per
+    /// group; the placement is recorded in [`PoolStats::domain_spawns`].
+    ///
+    /// # Panics
+    /// Panics if any domain is out of range for the pool's topology.
+    pub fn spawn_batch_in<F>(&self, jobs: impl IntoIterator<Item = (DomainId, F)>)
+    where
+        F: FnOnce(&WorkerCtx) + Send + 'static,
+    {
+        let mut any = false;
+        for (domain, job) in jobs {
+            self.shared.push_in_domain(domain, Box::new(job));
+            any = true;
+        }
+        if any {
+            self.shared.wake_all();
+        }
     }
 
     /// Block until every spawned job (including transitively spawned
@@ -385,6 +429,12 @@ impl Pool {
             panics: self.shared.panics.load(Ordering::Relaxed),
             domain_of: (0..self.workers())
                 .map(|w| self.shared.topology.domain_of(w).0 as usize)
+                .collect(),
+            domain_spawns: self
+                .shared
+                .domain_spawns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
         }
     }
@@ -724,6 +774,25 @@ mod tests {
     }
 
     #[test]
+    fn batched_domain_spawns_complete_and_are_recorded() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        let done = Arc::new(AtomicU64::new(0));
+        pool.spawn_batch_in((0..10u64).map(|g| {
+            let done = done.clone();
+            (DomainId(g % 2), move |_: &WorkerCtx| {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        // An empty batch is a no-op, not a hang.
+        pool.spawn_batch_in(std::iter::empty::<(DomainId, fn(&WorkerCtx))>());
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+        let stats = pool.stats();
+        assert_eq!(stats.domain_spawns, vec![5, 5]);
+        assert_eq!(stats.total_domain_spawns(), 10);
+    }
+
+    #[test]
     fn worker_ctx_reports_domain() {
         let pool = Pool::with_topology(Topology::domains(2, 2));
         let seen = Arc::new(Mutex::new(Vec::new()));
@@ -768,6 +837,7 @@ mod tests {
             remote_steals: vec![0; 4],
             panics: 0,
             domain_of: vec![0, 0, 1, 1],
+            domain_spawns: vec![0; 2],
         };
         assert!(s.imbalance() < 1e-9);
         assert!(s.imbalance_by_domain() < 1e-9);
@@ -777,6 +847,7 @@ mod tests {
             remote_steals: vec![0; 4],
             panics: 0,
             domain_of: vec![0, 0, 1, 1],
+            domain_spawns: vec![0; 2],
         };
         assert!(s2.imbalance() > 1.0);
         assert!(s2.imbalance_by_domain() > 0.9);
@@ -788,6 +859,7 @@ mod tests {
             remote_steals: vec![0; 4],
             panics: 0,
             domain_of: vec![0, 1, 1, 1],
+            domain_spawns: vec![0; 2],
         };
         assert!(s3.imbalance_by_domain() < 1e-9);
     }
@@ -800,11 +872,13 @@ mod tests {
             remote_steals: vec![1, 0, 0, 0],
             panics: 0,
             domain_of: vec![0, 0, 1, 1],
+            domain_spawns: vec![3, 1],
         };
         assert_eq!(s.executed_by_domain(), vec![12, 4]);
         assert_eq!(s.local_steals_by_domain(), vec![2, 1]);
         assert_eq!(s.remote_steals_by_domain(), vec![1, 0]);
         assert_eq!(s.total_stolen(), 4);
+        assert_eq!(s.total_domain_spawns(), 4);
         assert!((s.remote_steal_ratio() - 0.25).abs() < 1e-12);
         let empty = PoolStats {
             executed: vec![0; 2],
@@ -812,6 +886,7 @@ mod tests {
             remote_steals: vec![0; 2],
             panics: 0,
             domain_of: vec![0, 1],
+            domain_spawns: vec![0; 2],
         };
         assert_eq!(empty.remote_steal_ratio(), 0.0);
     }

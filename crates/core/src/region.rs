@@ -87,6 +87,14 @@ impl SharedRegion {
     pub fn to_f64_vec(&self) -> Vec<f64> {
         (0..self.len()).map(|i| self.read_f64(i)).collect()
     }
+
+    /// Whether two handles alias the same underlying memory. Dependence
+    /// analysis (LITL-X loop lowering) needs identity, not equality: two
+    /// differently-named bindings of one region must be treated as the
+    /// same array.
+    pub fn same_region(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.words, &other.words)
+    }
 }
 
 #[cfg(test)]

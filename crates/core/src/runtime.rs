@@ -137,6 +137,13 @@ impl Htvm {
         self.pool.stats()
     }
 
+    /// The underlying native pool — the escape hatch for executor layers
+    /// (e.g. `htvm_ssp::exec`) that schedule iteration groups directly with
+    /// domain placement instead of going through the LGT/SGT facade.
+    pub fn pool(&self) -> Arc<Pool> {
+        self.pool.clone()
+    }
+
     /// Invoke a large-grain thread with no placement preference. The body
     /// runs on the pool; use the returned handle to join.
     pub fn lgt<F>(&self, body: F) -> LgtHandle
@@ -261,7 +268,7 @@ impl<'a> LgtCtx<'a> {
     where
         F: FnOnce(&SgtCtx) + Send + 'static,
     {
-        spawn_sgt_impl(self.shared, self.worker, body, false);
+        spawn_sgt_impl(self.shared, self.worker, body, SgtTarget::Local);
     }
 
     /// Invoke an SGT via the global queue (no locality preference) — used
@@ -270,16 +277,47 @@ impl<'a> LgtCtx<'a> {
     where
         F: FnOnce(&SgtCtx) + Send + 'static,
     {
-        spawn_sgt_impl(self.shared, self.worker, body, true);
+        spawn_sgt_impl(self.shared, self.worker, body, SgtTarget::Spread);
+    }
+
+    /// Invoke an SGT with an explicit locality-domain placement: it lands
+    /// in `domain`'s injector regardless of the LGT's home domain — for
+    /// schedulers that hand-place work (group partitioners, pinned
+    /// pipeline stages) while keeping LGT completion tracking.
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the pool's topology.
+    pub fn spawn_sgt_in<F>(&self, domain: DomainId, body: F)
+    where
+        F: FnOnce(&SgtCtx) + Send + 'static,
+    {
+        spawn_sgt_impl(self.shared, self.worker, body, SgtTarget::Domain(domain));
     }
 
     /// Number of pool workers (for partitioning decisions).
     pub fn workers(&self) -> usize {
         self.worker.workers()
     }
+
+    /// Number of locality domains of the pool.
+    pub fn num_domains(&self) -> usize {
+        self.worker.num_domains()
+    }
 }
 
-fn spawn_sgt_impl<F>(shared: &Arc<LgtShared>, worker: &WorkerCtx<'_>, body: F, spread: bool)
+/// Where a freshly spawned SGT should land.
+#[derive(Debug, Clone, Copy)]
+enum SgtTarget {
+    /// The spawning worker's deque (or the LGT's home-domain injector if
+    /// the subtree drifted out of its home domain).
+    Local,
+    /// The global injector — spread immediately.
+    Spread,
+    /// A specific domain's injector.
+    Domain(DomainId),
+}
+
+fn spawn_sgt_impl<F>(shared: &Arc<LgtShared>, worker: &WorkerCtx<'_>, body: F, target: SgtTarget)
 where
     F: FnOnce(&SgtCtx) + Send + 'static,
 {
@@ -297,16 +335,16 @@ where
         };
         body(&ctx);
     };
-    if spread {
-        worker.spawn_global(job);
-    } else {
-        match home {
+    match target {
+        SgtTarget::Spread => worker.spawn_global(job),
+        SgtTarget::Domain(domain) => worker.spawn_in_domain(domain, job),
+        SgtTarget::Local => match home {
             // A subtree that drifted out of its home domain (a remote
             // steal took the parent) routes new SGTs back home instead of
             // growing the remote worker's deque.
             Some(domain) if domain != worker.domain => worker.spawn_in_domain(domain, job),
             _ => worker.spawn(job),
-        }
+        },
     }
 }
 
@@ -335,7 +373,7 @@ impl<'a> SgtCtx<'a> {
     where
         F: FnOnce(&SgtCtx) + Send + 'static,
     {
-        spawn_sgt_impl(self.shared, self.worker, body, false);
+        spawn_sgt_impl(self.shared, self.worker, body, SgtTarget::Local);
     }
 
     /// Spawn a sibling/child SGT via the global queue (no locality
@@ -344,7 +382,19 @@ impl<'a> SgtCtx<'a> {
     where
         F: FnOnce(&SgtCtx) + Send + 'static,
     {
-        spawn_sgt_impl(self.shared, self.worker, body, true);
+        spawn_sgt_impl(self.shared, self.worker, body, SgtTarget::Spread);
+    }
+
+    /// Spawn a sibling/child SGT with explicit domain placement — the
+    /// SGT-level analogue of [`LgtCtx::spawn_sgt_in`].
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the pool's topology.
+    pub fn spawn_sgt_in<F>(&self, domain: DomainId, body: F)
+    where
+        F: FnOnce(&SgtCtx) + Send + 'static,
+    {
+        spawn_sgt_impl(self.shared, self.worker, body, SgtTarget::Domain(domain));
     }
 
     /// Build a TGT graph whose fibers share a fresh frame of `slots` slots;
@@ -552,6 +602,31 @@ mod tests {
             h.join();
             assert_eq!(h.memory().read(0), d as u64 + 1);
         }
+    }
+
+    #[test]
+    fn domain_targeted_sgt_spawns_complete_and_are_recorded() {
+        let htvm = Htvm::new(HtvmConfig::with_topology(Topology::domains(2, 2)));
+        let h = htvm.lgt(|lgt| {
+            let mem = lgt.memory().clone();
+            for i in 0..16u64 {
+                let mem = mem.clone();
+                // Alternate explicit placements from the LGT level…
+                lgt.spawn_sgt_in(DomainId(i % 2), move |sgt| {
+                    // …and from the SGT level.
+                    let mem = mem.clone();
+                    sgt.spawn_sgt_in(DomainId((i + 1) % 2), move |_| {
+                        mem.fetch_add(0, 1);
+                    });
+                });
+            }
+        });
+        h.join();
+        assert_eq!(h.memory().read(0), 16);
+        // Every explicit placement is recorded per domain.
+        let stats = htvm.pool_stats();
+        assert_eq!(stats.total_domain_spawns(), 32);
+        assert_eq!(stats.domain_spawns, vec![16, 16]);
     }
 
     #[test]

@@ -250,7 +250,11 @@ pub fn parcel_effect(dst: NodeId, payload_bytes: u32, task: Box<dyn SimThread>) 
 }
 
 /// Makespan of running `kernels` fanned out over one node (convenience).
-pub fn fanout_makespan(engine: &mut Engine, node: NodeId, kernels: Vec<Box<dyn SimThread>>) -> Cycle {
+pub fn fanout_makespan(
+    engine: &mut Engine,
+    node: NodeId,
+    kernels: Vec<Box<dyn SimThread>>,
+) -> Cycle {
     run_lgt_fanout(engine, node, kernels).now
 }
 
@@ -262,8 +266,9 @@ mod tests {
     #[test]
     fn fanout_joins_all_children() {
         let mut e = Engine::new(MachineConfig::small());
-        let kernels: Vec<Box<dyn SimThread>> =
-            (0..8).map(|_| Box::new(compute_task(100)) as Box<dyn SimThread>).collect();
+        let kernels: Vec<Box<dyn SimThread>> = (0..8)
+            .map(|_| Box::new(compute_task(100)) as Box<dyn SimThread>)
+            .collect();
         let stats = run_lgt_fanout(&mut e, 0, kernels);
         // 8 SGTs + 1 LGT.
         assert_eq!(stats.tasks_completed, 9);

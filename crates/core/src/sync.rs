@@ -110,9 +110,7 @@ pub struct IVar<T> {
 type Waiter<T> = Box<dyn FnOnce(&T) + Send>;
 
 enum IVarState<T> {
-    Empty {
-        waiters: Vec<Waiter<T>>,
-    },
+    Empty { waiters: Vec<Waiter<T>> },
     // Arc so continuations can run with no lock held (a continuation may
     // re-enter this very cell).
     Full(Arc<T>),
@@ -219,7 +217,9 @@ impl<T> IVar<T> {
 
 impl<T> std::fmt::Debug for IVar<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("IVar").field("full", &self.is_full()).finish()
+        f.debug_struct("IVar")
+            .field("full", &self.is_full())
+            .finish()
     }
 }
 

@@ -91,8 +91,9 @@ impl TgtGraph {
     /// Panics if the dependence graph has a cycle (some fiber never
     /// becomes ready).
     pub fn run(mut self) -> Frame {
-        let mut ready: Vec<FiberId> =
-            (0..self.fibers.len()).filter(|&i| self.fibers[i].sync_count == 0).collect();
+        let mut ready: Vec<FiberId> = (0..self.fibers.len())
+            .filter(|&i| self.fibers[i].sync_count == 0)
+            .collect();
         // LIFO: freshly-enabled dependents run immediately after their
         // producer, while the produced values are hot.
         let mut executed = 0usize;

@@ -43,7 +43,11 @@ impl AtomicDomain {
     /// Run `f` atomically with respect to every other `atomic` call whose
     /// ranges overlap the given word ranges. Lock acquisition is ordered by
     /// stripe index, so concurrent blocks cannot deadlock.
-    pub fn atomic<R>(&self, ranges: &[std::ops::Range<usize>], f: impl FnOnce(&SharedRegion) -> R) -> R {
+    pub fn atomic<R>(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        f: impl FnOnce(&SharedRegion) -> R,
+    ) -> R {
         let mut needed: Vec<usize> = ranges
             .iter()
             .flat_map(|r| {

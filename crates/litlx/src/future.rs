@@ -121,11 +121,11 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htvm_core::{Htvm, HtvmConfig};
+    use htvm_core::{Htvm, HtvmConfig, Topology};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn rt() -> Htvm {
-        Htvm::new(HtvmConfig::with_workers(4))
+        Htvm::new(HtvmConfig::with_topology(Topology::flat(4)))
     }
 
     #[test]

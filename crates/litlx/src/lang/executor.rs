@@ -1,0 +1,352 @@
+//! Pluggable `forall` execution strategies.
+//!
+//! The interpreter no longer hardwires a loop path: every non-profiled
+//! `forall` goes through `run_forall`, which picks between two
+//! `LoopExecutor` strategies:
+//!
+//! * `NaiveExecutor` — the historical flat fan-out: helper SGTs claim
+//!   chunks from an atomic cursor under a hint-selected schedule
+//!   (`static` / `chunk` / `guided`), the calling thread helping.
+//! * `SspExecutor` — the §3.3 pipeline: lower the nest to
+//!   `htvm_ssp::ir::LoopNest` ([`super::lower`]), schedule every level,
+//!   pick one, partition it into thread groups, and run the groups on the
+//!   native pool with domain placement and a `SyncSlot` wavefront
+//!   (`htvm_ssp::exec`). Anything the lowering cannot prove affine bails
+//!   back to the naive path.
+//!
+//! The choice is the adaptive loop of §4.1: `@hint(pipeline)` pragmas are
+//! written into the knowledge base and force the path; recorded outcomes
+//! (wall time per path, fed back after every loop) decide when both have
+//! been measured; a static heuristic covers cold starts. The session
+//! [`LoopStrategy`] caps how adventurous the interpreter may be.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use htvm_adapt::pipeline::{self, LoopPath, LoopShape};
+use htvm_ssp::exec::{plan_native, run_partitioned, PointBody};
+use htvm_ssp::partition::PartitionPlan;
+use htvm_ssp::ssp::{schedule_all_levels, SspConfig};
+
+use super::ast::{Hint, Stmt};
+use super::interp::{Env, Scope, Value};
+use super::lower::lower_forall;
+
+/// How the interpreter executes `forall` loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopStrategy {
+    /// Always the naive flat SGT fan-out. `@hint(pipeline)` pragmas (and
+    /// knowledge-base entries) still force the SSP path per loop.
+    #[default]
+    Naive,
+    /// Attempt SSP lowering on every `forall`, falling back to naive on
+    /// bail-out. `@hint(pipeline = 0)` still forces naive per loop.
+    Ssp,
+    /// Let `htvm_adapt::pipeline` decide per loop from hints, recorded
+    /// outcomes, and shape.
+    Adaptive,
+}
+
+/// Everything one `forall` execution needs (bounds already evaluated).
+pub(crate) struct ForallSpec<'a> {
+    pub(crate) var: &'a str,
+    pub(crate) from: i64,
+    pub(crate) to: i64,
+    pub(crate) body: &'a [Stmt],
+    pub(crate) hints: &'a [Hint],
+    pub(crate) env: &'a Env,
+}
+
+/// A loop-execution strategy. `run` reports which path actually executed
+/// (the SSP strategy may fall back to naive on a lowering bail-out).
+pub(crate) trait LoopExecutor {
+    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<LoopPath, String>;
+}
+
+/// Entry point: pick a path for this loop, execute it, record the outcome.
+pub(crate) fn run_forall(scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<(), String> {
+    let n = (spec.to - spec.from).max(0) as u64;
+    if n == 0 {
+        return Ok(());
+    }
+    let ex = &scope.shared.exec;
+    // A program point stable across executions *and* processes: the
+    // induction variable plus a structural fingerprint of the body, so
+    // two different loops sharing a variable name cannot exchange hints
+    // or recorded outcomes in the knowledge base.
+    let point = format!("{}@{:012x}", spec.var, fnv1a(&format!("{:?}", spec.body)));
+    // Lower `@hint(pipeline …)` pragmas into the knowledge base (once per
+    // point) so the policy — and future runs via the persisted database —
+    // sees them as §4.1 structured hints.
+    if let Some(kv) = pipeline_pragma(spec.hints) {
+        let mut kb = ex.kb.lock();
+        if !kb
+            .hints_at(&point)
+            .iter()
+            .any(|h| h.get("pipeline").is_some())
+        {
+            kb.add_hint(&point, pipeline::pipeline_hint(kv, 100));
+        }
+    }
+    let shape = estimate_shape(scope, spec, n);
+    let decision = pipeline::decide_loop_path(&ex.kb.lock(), &point, shape);
+    use htvm_adapt::pipeline::DecisionReason;
+    let path = match ex.strategy {
+        // Session strategy caps the default; a hint always wins.
+        _ if decision.reason == DecisionReason::Hint => decision.path,
+        LoopStrategy::Naive => LoopPath::Naive,
+        LoopStrategy::Ssp => LoopPath::Pipelined,
+        LoopStrategy::Adaptive => decision.path,
+    };
+    let start = std::time::Instant::now();
+    let ssp = SspExecutor {
+        level: decision.level,
+        chunk: decision.chunk,
+    };
+    let executor: &dyn LoopExecutor = match path {
+        LoopPath::Pipelined => &ssp,
+        LoopPath::Naive => &NaiveExecutor,
+    };
+    let ran = executor.run(scope, spec)?;
+    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    pipeline::record_loop_outcome(&mut ex.kb.lock(), &point, ran, nanos.max(1));
+    Ok(())
+}
+
+/// FNV-1a over a string — deterministic across processes (unlike the std
+/// hasher), so knowledge persisted by one run keys correctly in the next.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h & 0xffff_ffff_ffff
+}
+
+/// The `pipeline`-related key/values of a pragma list, if any.
+fn pipeline_pragma(hints: &[Hint]) -> Option<Vec<(String, String)>> {
+    let h = hints.iter().find(|h| h.get_num("pipeline").is_some())?;
+    let mut kv = Vec::new();
+    for key in ["pipeline", "level", "chunk"] {
+        if let Some(v) = h.get_num(key) {
+            kv.push((key.to_string(), format!("{}", v as i64)));
+        }
+    }
+    Some(kv)
+}
+
+/// Syntactic shape estimate: depth of the single-statement loop spine and
+/// total points. Bounds are *const-folded*, never evaluated through the
+/// interpreter — a bound calling a user function must not have its side
+/// effects run an extra time just to estimate a shape. Unfoldable bounds
+/// assume the outer trip count.
+fn estimate_shape(scope: &Scope<'_>, spec: &ForallSpec<'_>, n: u64) -> LoopShape {
+    let mut depth = 1usize;
+    let mut points = n;
+    let mut cur = spec.body;
+    loop {
+        let (from, to, body) = match cur {
+            [Stmt::Forall { from, to, body, .. }] => (from, to, body),
+            [Stmt::For(_, from, to, body)] => (from, to, body),
+            _ => break,
+        };
+        let level_n = match (const_fold(from, spec.env), const_fold(to, spec.env)) {
+            (Some(a), Some(b)) => ((b as i64) - (a as i64)).max(0) as u64,
+            // Bound depends on an induction variable or a call: assume
+            // the outer trip count.
+            _ => n,
+        };
+        depth += 1;
+        points = points.saturating_mul(level_n.max(1));
+        cur = body;
+    }
+    LoopShape {
+        depth,
+        points,
+        workers: scope.shared.workers,
+    }
+}
+
+/// Pure constant folding over the environment: numbers, env-bound
+/// numeric variables, arithmetic, negation. Anything else (calls,
+/// indexing, induction variables not yet bound) is `None`.
+fn const_fold(e: &super::ast::Expr, env: &Env) -> Option<f64> {
+    use super::ast::{BinOp, Expr};
+    match e {
+        Expr::Num(n) => Some(*n),
+        Expr::Var(v) => match env.get(v) {
+            Some(Value::Num(n)) => Some(n),
+            _ => None,
+        },
+        Expr::Neg(x) => Some(-const_fold(x, env)?),
+        Expr::Bin(op, l, r) => {
+            let (a, b) = (const_fold(l, env)?, const_fold(r, env)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div => Some(a / b),
+                BinOp::Rem => Some(a % b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The historical flat fan-out: helpers steal chunks from an atomic
+/// cursor; the caller participates, so loops finish on a single worker.
+pub(crate) struct NaiveExecutor;
+
+impl LoopExecutor for NaiveExecutor {
+    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<LoopPath, String> {
+        let n = (spec.to - spec.from).max(0) as u64;
+        let from = spec.from;
+        let workers = scope.shared.workers as u64;
+        let schedule = spec
+            .hints
+            .iter()
+            .find_map(|h| h.get_str("schedule").map(str::to_string))
+            .unwrap_or_else(|| "static".to_string());
+        let fixed_chunk = spec
+            .hints
+            .iter()
+            .find_map(|h| h.get_num("chunk"))
+            .map(|c| c as u64);
+
+        let next = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(htvm_core::sync::EventCount::new());
+
+        let claim =
+            move |next: &AtomicU64, schedule: &str, chunk: Option<u64>| -> Option<(u64, u64)> {
+                let static_chunk = n.div_ceil(workers).max(1);
+                loop {
+                    let cur = next.load(Ordering::Acquire);
+                    if cur >= n {
+                        return None;
+                    }
+                    let size = match schedule {
+                        "guided" => ((n - cur) / workers).max(1),
+                        "chunk" => chunk.unwrap_or(1).max(1),
+                        _ => static_chunk,
+                    };
+                    let end = (cur + size).min(n);
+                    if next
+                        .compare_exchange(cur, end, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return Some((cur, end));
+                    }
+                }
+            };
+
+        // Helpers: workers-1 SGTs; the caller participates too.
+        let helpers = workers.saturating_sub(1);
+        for _ in 0..helpers {
+            let env = spec.env.clone();
+            let body = spec.body.to_vec();
+            let var = spec.var.to_string();
+            let next = next.clone();
+            let done = done.clone();
+            let schedule = schedule.clone();
+            scope.spawn_sgt(move |scope| {
+                while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
+                    for i in lo..hi {
+                        let e = env.child();
+                        e.define(&var, Value::Num((from + i as i64) as f64));
+                        if let Err(err) = scope.exec_block(&body, &e) {
+                            scope.shared.fail(err);
+                        }
+                    }
+                    done.add(hi - lo);
+                }
+            });
+        }
+        while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
+            for i in lo..hi {
+                let e = spec.env.child();
+                e.define(spec.var, Value::Num((from + i as i64) as f64));
+                if scope.exec_block_returns(spec.body, &e)? {
+                    return Err("`return` inside forall is not allowed".to_string());
+                }
+            }
+            done.add(hi - lo);
+        }
+        done.wait_for(n);
+        Ok(LoopPath::Naive)
+    }
+}
+
+/// The §3.3 pipeline: lower → schedule → partition → wavefront-execute.
+pub(crate) struct SspExecutor {
+    /// Forced pipelined level (from a hint), if any.
+    pub(crate) level: Option<usize>,
+    /// Forced group size in level-iterations (from a hint), if any.
+    pub(crate) chunk: Option<u64>,
+}
+
+impl SspExecutor {
+    /// Returns `Ok(false)` if the nest cannot take the SSP path (lowering
+    /// bail, unschedulable levels, forced level invalid) — the caller
+    /// falls back to naive. Runtime errors (out-of-bounds stores) are
+    /// real errors.
+    fn try_run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<bool, String> {
+        let env = spec.env;
+        let resolve = |name: &str| env.get(name);
+        let Ok(lowered) = lower_forall(spec.var, spec.from, spec.to, spec.body, &resolve) else {
+            return Ok(false);
+        };
+        let ex = &scope.shared.exec;
+        let workers = scope.shared.workers as u64;
+        let plans = schedule_all_levels(&lowered.nest, &SspConfig::default());
+        let allowed: Vec<usize> = match self.level {
+            Some(l) if lowered.parallel_levels.contains(&l) => vec![l],
+            Some(_) => return Ok(false), // forced level is not a forall level
+            None => lowered.parallel_levels.clone(),
+        };
+        let Some(mut plan) = plan_native(&lowered.nest.trip_counts, &plans, &allowed, workers)
+        else {
+            return Ok(false);
+        };
+        if let Some(chunk) = self.chunk {
+            let n_l = lowered.nest.trip_counts[plan.level_plan.level];
+            let threads = n_l.div_ceil(chunk.max(1));
+            plan.partition = PartitionPlan::new(&plan.level_plan, n_l, threads);
+        }
+        let kernel = Arc::new(lowered.kernel);
+        let body: Arc<PointBody> = Arc::new(move |idx| kernel.execute(idx));
+        let report = run_partitioned(
+            &ex.pool,
+            &lowered.nest.trip_counts,
+            plan.level_plan.level,
+            0, // the kernel translates 0-based indices via its own bounds
+            &plan.partition,
+            body,
+        )?;
+        scope
+            .shared
+            .sgt_spawns
+            .fetch_add(report.spawned, Ordering::Relaxed);
+        ex.ssp_foralls.fetch_add(1, Ordering::Relaxed);
+        if report.wavefront {
+            ex.ssp_wavefronts.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(true)
+    }
+}
+
+impl LoopExecutor for SspExecutor {
+    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<LoopPath, String> {
+        if self.try_run(scope, spec)? {
+            Ok(LoopPath::Pipelined)
+        } else {
+            scope
+                .shared
+                .exec
+                .ssp_bailouts
+                .fetch_add(1, Ordering::Relaxed);
+            NaiveExecutor.run(scope, spec)
+        }
+    }
+}

@@ -21,10 +21,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use htvm_core::{Htvm, HtvmConfig, SharedRegion};
+use htvm_adapt::KnowledgeBase;
+use htvm_core::{Htvm, HtvmConfig, Pool, PoolStats, SharedRegion, Topology};
 use parking_lot::Mutex;
 
-use super::ast::{BinOp, Expr, FnDef, Hint, Program, Stmt};
+use super::ast::{BinOp, Expr, FnDef, Program, Stmt};
+use super::executor::{self, ForallSpec, LoopStrategy};
 use super::profile::{ForallProfile, ProfileState};
 use crate::future::LitlFuture;
 
@@ -53,7 +55,7 @@ impl std::fmt::Debug for Value {
 }
 
 impl Value {
-    fn as_num(&self, what: &str) -> Result<f64, String> {
+    pub(crate) fn as_num(&self, what: &str) -> Result<f64, String> {
         match self {
             Value::Num(n) => Ok(*n),
             Value::Fut(_) => Err(format!("{what}: got an unforced future; apply force(…)")),
@@ -76,18 +78,18 @@ impl Value {
 /// Lexical environment: a chain of shared frames. Cloning shares frames
 /// (child scopes see parent bindings; parallel bodies snapshot the chain).
 #[derive(Clone, Default)]
-struct Env {
+pub(crate) struct Env {
     frames: Vec<Arc<Mutex<HashMap<String, Value>>>>,
 }
 
 impl Env {
-    fn child(&self) -> Env {
+    pub(crate) fn child(&self) -> Env {
         let mut e = self.clone();
         e.frames.push(Arc::new(Mutex::new(HashMap::new())));
         e
     }
 
-    fn define(&self, name: &str, v: Value) {
+    pub(crate) fn define(&self, name: &str, v: Value) {
         self.frames
             .last()
             .expect("env has a frame")
@@ -95,7 +97,7 @@ impl Env {
             .insert(name.to_string(), v);
     }
 
-    fn get(&self, name: &str) -> Option<Value> {
+    pub(crate) fn get(&self, name: &str) -> Option<Value> {
         for f in self.frames.iter().rev() {
             if let Some(v) = f.lock().get(name) {
                 return Some(v.clone());
@@ -117,21 +119,40 @@ impl Env {
 }
 
 /// Shared interpreter state across all threads of one run.
-struct Shared {
+pub(crate) struct Shared {
     program: Program,
     printed: Mutex<Vec<String>>,
     error: Mutex<Option<String>>,
     atomic_gate: Mutex<()>,
-    sgt_spawns: AtomicU64,
-    workers: usize,
+    pub(crate) sgt_spawns: AtomicU64,
+    pub(crate) workers: usize,
+    /// The loop-execution side: pool handle, session strategy, knowledge
+    /// base, and SSP counters (see `lang::executor`).
+    pub(crate) exec: ExecShared,
     /// When set, the run is a sequential *profiled* run: every AST node
     /// evaluated bumps the meter, `forall` records per-iteration costs,
     /// and `spawn`/`future` execute inline (see `lang::profile`).
     profile: Option<Arc<ProfileState>>,
 }
 
+/// Loop-execution state shared by all threads of a run.
+pub(crate) struct ExecShared {
+    /// The native pool, for domain-placed group spawns.
+    pub(crate) pool: Arc<Pool>,
+    /// Session-level loop strategy.
+    pub(crate) strategy: LoopStrategy,
+    /// §4.1 knowledge base: pragma hints in, observed outcomes out.
+    pub(crate) kb: Arc<Mutex<KnowledgeBase>>,
+    /// `forall`s executed through the SSP pipeline.
+    pub(crate) ssp_foralls: AtomicU64,
+    /// `forall`s that attempted SSP and fell back to naive.
+    pub(crate) ssp_bailouts: AtomicU64,
+    /// SSP executions that needed a cross-group signal wavefront.
+    pub(crate) ssp_wavefronts: AtomicU64,
+}
+
 impl Shared {
-    fn fail(&self, msg: String) {
+    pub(crate) fn fail(&self, msg: String) {
         let mut e = self.error.lock();
         if e.is_none() {
             *e = Some(msg);
@@ -145,29 +166,79 @@ pub struct RunOutput {
     /// Lines produced by `print(...)`, in program order per thread
     /// (cross-thread order is scheduling-dependent).
     pub printed: Vec<String>,
-    /// Number of SGTs the run spawned (forall chunks, spawn blocks,
-    /// futures).
+    /// Number of SGTs the run spawned (forall chunks/groups, spawn
+    /// blocks, futures).
     pub sgt_spawns: u64,
+    /// `forall`s executed through the SSP lower→schedule→partition path.
+    pub ssp_foralls: u64,
+    /// `forall`s that attempted the SSP path and bailed back to naive.
+    pub ssp_bailouts: u64,
+    /// SSP executions whose partition needed a signal wavefront.
+    pub ssp_wavefronts: u64,
 }
 
 /// The LITL-X interpreter.
 pub struct Interp {
     htvm: Htvm,
     workers: usize,
+    strategy: LoopStrategy,
+    kb: Arc<Mutex<KnowledgeBase>>,
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
 }
 
 impl Interp {
-    /// An interpreter over a fresh HTVM runtime with `workers` workers.
+    /// An interpreter over a fresh HTVM runtime with `workers` workers and
+    /// no locality grouping.
     pub fn new(workers: usize) -> Self {
+        Self::with_topology(Topology::flat(workers))
+    }
+
+    /// An interpreter over a fresh HTVM runtime whose pool workers are
+    /// grouped into the locality domains of `topology` — LITL-X programs
+    /// then run on grouped domains like every other workload (SSP groups
+    /// are placed round-robin across the domains).
+    pub fn with_topology(topology: Topology) -> Self {
+        let workers = topology.workers();
         Self {
-            htvm: Htvm::new(HtvmConfig::with_workers(workers)),
+            htvm: Htvm::new(HtvmConfig::with_topology(topology)),
             workers: workers.max(1),
+            strategy: LoopStrategy::default(),
+            kb: Arc::new(Mutex::new(KnowledgeBase::new())),
         }
+    }
+
+    /// Set the session loop strategy (builder style).
+    pub fn with_strategy(mut self, strategy: LoopStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Share a knowledge base (builder style) — e.g. one loaded from a
+    /// persisted §4.1 database, or shared across interpreter instances so
+    /// recorded loop outcomes carry over.
+    pub fn with_knowledge(mut self, kb: Arc<Mutex<KnowledgeBase>>) -> Self {
+        self.kb = kb;
+        self
+    }
+
+    /// The knowledge base this interpreter reads hints from and records
+    /// loop outcomes into.
+    pub fn knowledge(&self) -> Arc<Mutex<KnowledgeBase>> {
+        self.kb.clone()
+    }
+
+    /// Pool counters of the underlying runtime (steals, domain spawns).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.htvm.pool_stats()
+    }
+
+    /// The locality-domain topology the interpreter runs on.
+    pub fn topology(&self) -> &Topology {
+        self.htvm.topology()
     }
 
     /// Run `main` (no arguments). Returns printed output or the first
@@ -202,6 +273,14 @@ impl Interp {
             atomic_gate: Mutex::new(()),
             sgt_spawns: AtomicU64::new(0),
             workers: self.workers,
+            exec: ExecShared {
+                pool: self.htvm.pool(),
+                strategy: self.strategy,
+                kb: self.kb.clone(),
+                ssp_foralls: AtomicU64::new(0),
+                ssp_bailouts: AtomicU64::new(0),
+                ssp_wavefronts: AtomicU64::new(0),
+            },
             profile,
         });
         let sh = shared.clone();
@@ -224,6 +303,9 @@ impl Interp {
         let out = RunOutput {
             printed,
             sgt_spawns: shared.sgt_spawns.load(Ordering::Relaxed),
+            ssp_foralls: shared.exec.ssp_foralls.load(Ordering::Relaxed),
+            ssp_bailouts: shared.exec.ssp_bailouts.load(Ordering::Relaxed),
+            ssp_wavefronts: shared.exec.ssp_wavefronts.load(Ordering::Relaxed),
         };
         Ok((out, shared.profile.clone()))
     }
@@ -253,17 +335,20 @@ impl Spawn for htvm_core::SgtCtx<'_> {
 
 /// An execution scope: shared state + spawn capability of the current
 /// thread level.
-struct Scope<'a> {
-    shared: Arc<Shared>,
+pub(crate) struct Scope<'a> {
+    pub(crate) shared: Arc<Shared>,
     spawner: &'a dyn Spawn,
 }
 
 impl Scope<'_> {
-    fn spawn_sgt(&self, job: impl FnOnce(&Scope<'_>) + Send + 'static) {
+    pub(crate) fn spawn_sgt(&self, job: impl FnOnce(&Scope<'_>) + Send + 'static) {
         self.shared.sgt_spawns.fetch_add(1, Ordering::Relaxed);
         let shared = self.shared.clone();
         self.spawner.spawn_job(Box::new(move |sp: &dyn Spawn| {
-            let scope = Scope { shared, spawner: sp };
+            let scope = Scope {
+                shared,
+                spawner: sp,
+            };
             job(&scope);
         }));
     }
@@ -287,13 +372,20 @@ impl Scope<'_> {
         }
     }
 
-    fn exec_block(&self, stmts: &[Stmt], env: &Env) -> Result<Flow, String> {
+    pub(crate) fn exec_block(&self, stmts: &[Stmt], env: &Env) -> Result<Flow, String> {
         for s in stmts {
             if let Flow::Return(v) = self.exec_stmt(s, env)? {
                 return Ok(Flow::Return(v));
             }
         }
         Ok(Flow::Normal)
+    }
+
+    /// Like [`Scope::exec_block`], but reports whether a `return` fired —
+    /// for the loop executors, which must reject `return` inside `forall`
+    /// without pattern-matching `Flow`.
+    pub(crate) fn exec_block_returns(&self, stmts: &[Stmt], env: &Env) -> Result<bool, String> {
+        Ok(matches!(self.exec_block(stmts, env)?, Flow::Return(_)))
     }
 
     fn exec_stmt(&self, stmt: &Stmt, env: &Env) -> Result<Flow, String> {
@@ -374,7 +466,21 @@ impl Scope<'_> {
             } => {
                 let a = self.eval(from, env)?.as_num("forall start")? as i64;
                 let b = self.eval(to, env)?.as_num("forall end")? as i64;
-                self.run_forall(var, a, b, body, hints, env)?;
+                if let Some(p) = self.shared.profile.clone() {
+                    self.run_forall_profiled(var, a, b, body, env, &p)?;
+                } else {
+                    executor::run_forall(
+                        self,
+                        &ForallSpec {
+                            var,
+                            from: a,
+                            to: b,
+                            body,
+                            hints,
+                            env,
+                        },
+                    )?;
+                }
                 Ok(Flow::Normal)
             }
             Stmt::Spawn(body) => {
@@ -436,106 +542,35 @@ impl Scope<'_> {
         }
     }
 
-    /// Parallel loop with hint-selected schedule. The calling thread helps,
-    /// so the loop completes even with zero free workers.
-    fn run_forall(
+    /// Profiled (sequential) loop execution: meter every iteration and
+    /// record the cost vector (§4.2's monitor feeding §3.3's continuous
+    /// compilation). Parallel execution lives in `lang::executor`.
+    fn run_forall_profiled(
         &self,
         var: &str,
         from: i64,
         to: i64,
         body: &[Stmt],
-        hints: &[Hint],
         env: &Env,
+        p: &Arc<ProfileState>,
     ) -> Result<(), String> {
         let n = (to - from).max(0) as u64;
-        if let Some(p) = self.shared.profile.clone() {
-            // Profiled run: sequential, metering each iteration.
-            let mut costs = Vec::with_capacity(n as usize);
-            for i in 0..n {
-                let before = p.ops_now();
-                let e = env.child();
-                e.define(var, Value::Num((from + i as i64) as f64));
-                self.exec_block(body, &e)?;
-                costs.push(p.ops_now() - before);
-            }
-            p.foralls.lock().push(ForallProfile {
-                var: var.to_string(),
-                costs,
-            });
-            return Ok(());
+        let mut costs = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let before = p.ops_now();
+            let e = env.child();
+            e.define(var, Value::Num((from + i as i64) as f64));
+            self.exec_block(body, &e)?;
+            costs.push(p.ops_now() - before);
         }
-        if n == 0 {
-            return Ok(());
-        }
-        let workers = self.shared.workers as u64;
-        let schedule = hints
-            .iter()
-            .find_map(|h| h.get_str("schedule").map(str::to_string))
-            .unwrap_or_else(|| "static".to_string());
-        let fixed_chunk = hints.iter().find_map(|h| h.get_num("chunk")).map(|c| c as u64);
-
-        let next = Arc::new(AtomicU64::new(0));
-        let done = Arc::new(htvm_core::sync::EventCount::new());
-
-        let claim = move |next: &AtomicU64, schedule: &str, chunk: Option<u64>| -> Option<(u64, u64)> {
-            let static_chunk = n.div_ceil(workers).max(1);
-            loop {
-                let cur = next.load(Ordering::Acquire);
-                if cur >= n {
-                    return None;
-                }
-                let size = match schedule {
-                    "guided" => ((n - cur) / workers).max(1),
-                    "chunk" => chunk.unwrap_or(1).max(1),
-                    _ => static_chunk,
-                };
-                let end = (cur + size).min(n);
-                if next
-                    .compare_exchange(cur, end, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    return Some((cur, end));
-                }
-            }
-        };
-
-        // Helpers: workers-1 SGTs; the caller participates too.
-        let helpers = workers.saturating_sub(1);
-        for _ in 0..helpers {
-            let env = env.clone();
-            let body = body.to_vec();
-            let var = var.to_string();
-            let next = next.clone();
-            let done = done.clone();
-            let schedule = schedule.clone();
-            self.spawn_sgt(move |scope| {
-                while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
-                    for i in lo..hi {
-                        let e = env.child();
-                        e.define(&var, Value::Num((from + i as i64) as f64));
-                        if let Err(err) = scope.exec_block(&body, &e) {
-                            scope.shared.fail(err);
-                        }
-                    }
-                    done.add(hi - lo);
-                }
-            });
-        }
-        while let Some((lo, hi)) = claim(&next, &schedule, fixed_chunk) {
-            for i in lo..hi {
-                let e = env.child();
-                e.define(var, Value::Num((from + i as i64) as f64));
-                if let Flow::Return(_) = self.exec_block(body, &e)? {
-                    return Err("`return` inside forall is not allowed".to_string());
-                }
-            }
-            done.add(hi - lo);
-        }
-        done.wait_for(n);
+        p.foralls.lock().push(ForallProfile {
+            var: var.to_string(),
+            costs,
+        });
         Ok(())
     }
 
-    fn eval(&self, e: &Expr, env: &Env) -> Result<Value, String> {
+    pub(crate) fn eval(&self, e: &Expr, env: &Env) -> Result<Value, String> {
         if let Some(p) = &self.shared.profile {
             p.ops.fetch_add(1, Ordering::Relaxed);
         }
@@ -559,7 +594,11 @@ impl Scope<'_> {
                 Ok(Value::Num(a.read_f64(i)))
             }
             Expr::Neg(x) => Ok(Value::Num(-self.eval(x, env)?.as_num("negation")?)),
-            Expr::Not(x) => Ok(Value::Num(if self.eval(x, env)?.truthy() { 0.0 } else { 1.0 })),
+            Expr::Not(x) => Ok(Value::Num(if self.eval(x, env)?.truthy() {
+                0.0
+            } else {
+                1.0
+            })),
             Expr::Bin(op, l, r) => {
                 // Short-circuit logicals.
                 if *op == BinOp::And {
@@ -613,13 +652,17 @@ impl Scope<'_> {
             return self.call_fn(&f, vals);
         }
         let num = |i: usize| -> Result<f64, String> {
-            self.eval(&args[i], env)?.as_num(&format!("{name} argument {i}"))
+            self.eval(&args[i], env)?
+                .as_num(&format!("{name} argument {i}"))
         };
         let need = |k: usize| -> Result<(), String> {
             if args.len() == k {
                 Ok(())
             } else {
-                Err(format!("{name}: expected {k} arguments, got {}", args.len()))
+                Err(format!(
+                    "{name}: expected {k} arguments, got {}",
+                    args.len()
+                ))
             }
         };
         match name {
@@ -741,64 +784,52 @@ mod tests {
 
     #[test]
     fn while_loop_and_assignment() {
-        let out = run(
-            "fn main() { let s = 0; let i = 0;
+        let out = run("fn main() { let s = 0; let i = 0;
                while i < 10 { s = s + i; i = i + 1; }
-               print(s); }",
-        );
+               print(s); }");
         assert_eq!(out.printed, vec!["45"]);
     }
 
     #[test]
     fn sequential_for() {
-        let out = run(
-            "fn main() { let a = array(5);
+        let out = run("fn main() { let a = array(5);
                for i in 0..5 { a[i] = i * i; }
-               print(sum(a)); }",
-        );
+               print(sum(a)); }");
         assert_eq!(out.printed, vec!["30"]);
     }
 
     #[test]
     fn forall_fills_array_in_parallel() {
-        let out = run(
-            "fn main() { let n = 200; let a = array(n);
+        let out = run("fn main() { let n = 200; let a = array(n);
                forall i in 0..n { a[i] = i; }
-               print(sum(a)); }",
-        );
+               print(sum(a)); }");
         assert_eq!(out.printed, vec!["19900"]);
         assert!(out.sgt_spawns > 0, "forall must spawn helper SGTs");
     }
 
     #[test]
     fn forall_guided_schedule() {
-        let out = run(
-            "fn main() { let n = 100; let a = array(n);
+        let out = run("fn main() { let n = 100; let a = array(n);
                @hint(schedule = \"guided\")
                forall i in 0..n { a[i] = 2 * i; }
-               print(sum(a)); }",
-        );
+               print(sum(a)); }");
         assert_eq!(out.printed, vec!["9900"]);
     }
 
     #[test]
     fn forall_chunk_schedule() {
-        let out = run(
-            "fn main() { let n = 64; let a = array(n);
+        let out = run("fn main() { let n = 64; let a = array(n);
                @hint(schedule = \"chunk\", chunk = 4)
                forall i in 0..n { a[i] = 1; }
-               print(sum(a)); }",
-        );
+               print(sum(a)); }");
         assert_eq!(out.printed, vec!["64"]);
     }
 
     #[test]
     fn forall_accumulate_is_atomic() {
-        let out = run(
-            "fn main() { let a = array(1);
+        let out = run("fn main() { let a = array(1);
                forall i in 0..1000 { a[0] += 1; }
-               print(a[0]); }",
-        );
+               print(a[0]); }");
         assert_eq!(out.printed, vec!["1000"]);
     }
 
@@ -813,11 +844,9 @@ mod tests {
 
     #[test]
     fn spawn_joined_before_exit() {
-        let out = run(
-            "fn main() { let a = array(1);
+        let out = run("fn main() { let a = array(1);
                spawn { a[0] = 42; }
-             }",
-        );
+             }");
         // The LGT join guarantees the spawn ran; nothing printed, no error.
         assert_eq!(out.printed, Vec::<String>::new());
         assert!(out.sgt_spawns >= 1);
@@ -825,25 +854,21 @@ mod tests {
 
     #[test]
     fn atomic_blocks_serialize_rmw() {
-        let out = run(
-            "fn main() { let a = array(1);
+        let out = run("fn main() { let a = array(1);
                forall i in 0..200 {
                  atomic { a[0] = a[0] + 1; }
                }
-               print(a[0]); }",
-        );
+               print(a[0]); }");
         assert_eq!(out.printed, vec!["200"]);
     }
 
     #[test]
     fn nested_forall_completes() {
-        let out = run(
-            "fn main() { let n = 8; let a = array(n * n);
+        let out = run("fn main() { let n = 8; let a = array(n * n);
                forall i in 0..n {
                  forall j in 0..n { a[i * n + j] = i + j; }
                }
-               print(sum(a)); }",
-        );
+               print(sum(a)); }");
         assert_eq!(out.printed, vec!["448"]);
     }
 
@@ -866,13 +891,11 @@ mod tests {
 
     #[test]
     fn builtins_cover_math() {
-        let out = run(
-            "fn main() {
+        let out = run("fn main() {
                print(max(min(sqrt(16), 3), floor(2.7)));
                print(pow(2, 10));
                print(abs(0 - 5));
-             }",
-        );
+             }");
         assert_eq!(out.printed, vec!["3", "1024", "5"]);
     }
 
@@ -962,6 +985,204 @@ mod tests {
         // the public profile() API indirectly (loads/stores counted on the
         // shared state which run_inner drops). The forall list is empty.
         assert!(state.is_empty());
+    }
+
+    const MATMUL_SRC: &str = "fn main() {
+        let n = 12;
+        let a = array(n * n); let b = array(n * n); let c = array(n * n);
+        forall i in 0..n * n { a[i] = i % 7; }
+        forall i in 0..n * n { b[i] = i % 5; }
+        forall i in 0..n {
+          forall j in 0..n {
+            for k in 0..n {
+              c[i * n + j] += a[i * n + k] * b[k * n + j];
+            }
+          }
+        }
+        print(sum(c)); }";
+
+    #[test]
+    fn ssp_strategy_matches_naive_output_on_matmul() {
+        let p = parse(MATMUL_SRC).unwrap();
+        let naive = Interp::new(1).run(&p).unwrap();
+        let ssp = Interp::with_topology(htvm_core::Topology::domains(2, 2))
+            .with_strategy(LoopStrategy::Ssp)
+            .run(&p)
+            .unwrap();
+        assert_eq!(ssp.printed, naive.printed);
+        assert!(ssp.ssp_foralls >= 1, "matmul nest must take the SSP path");
+        // The flat init loops are affine too (`%` is a supported kernel
+        // op), so every forall of the program pipelines.
+        assert_eq!(ssp.ssp_foralls, 3);
+        assert_eq!(ssp.ssp_bailouts, 0);
+    }
+
+    #[test]
+    fn ssp_wavefront_preserves_carried_dependence_semantics() {
+        // a[(i+1)*m + j] = a[i*m + j] + 1: iteration i+1 reads what i
+        // wrote — a naive parallel fan-out would race; the SSP path must
+        // detect the carried dependence and serialize groups through the
+        // wavefront, reproducing sequential output exactly.
+        let src = "fn main() {
+            let n = 24; let m = 6;
+            let a = array((n + 1) * m);
+            for j in 0..m { a[j] = j; }
+            forall i in 0..n {
+              forall j in 0..m {
+                a[(i + 1) * m + j] = a[i * m + j] + 1;
+              }
+            }
+            for r in 0..(n + 1) * m { print(a[r]); } }";
+        let p = parse(src).unwrap();
+        let seq = Interp::new(1).run(&p).unwrap();
+        let ssp = Interp::with_topology(htvm_core::Topology::domains(2, 2))
+            .with_strategy(LoopStrategy::Ssp)
+            .run(&p)
+            .unwrap();
+        assert_eq!(ssp.printed, seq.printed, "must match sequential");
+        assert_eq!(ssp.ssp_foralls, 1);
+        assert_eq!(ssp.ssp_bailouts, 0, "the nest is affine; no bail expected");
+        // The planner partitions the *space* level j (the i-carried dep
+        // drops there — it is satisfied by the sequential outer waves), so
+        // no wavefront is needed: exactly the most-profitable-level story.
+        assert_eq!(ssp.ssp_wavefronts, 0);
+    }
+
+    #[test]
+    fn flat_recurrence_executes_as_sgt_wavefront() {
+        // a[i+1] = a[i] + i: a genuine level-carried recurrence with only
+        // one level to partition — the SSP path must chain the iteration
+        // groups through the signal wavefront and still match sequential
+        // output exactly (a naive parallel fan-out would race).
+        let src = "fn main() {
+            let n = 64;
+            let a = array(n + 1);
+            a[0] = 7;
+            forall i in 0..n { a[i + 1] = a[i] + i; }
+            for r in 0..n + 1 { print(a[r]); } }";
+        let p = parse(src).unwrap();
+        let seq = Interp::new(1).run(&p).unwrap();
+        let ssp = Interp::with_topology(htvm_core::Topology::domains(2, 2))
+            .with_strategy(LoopStrategy::Ssp)
+            .run(&p)
+            .unwrap();
+        assert_eq!(ssp.printed, seq.printed, "wavefront must match sequential");
+        assert_eq!(ssp.ssp_foralls, 1);
+        assert_eq!(ssp.ssp_bailouts, 0);
+        assert_eq!(ssp.ssp_wavefronts, 1, "the carried dep needs the wavefront");
+    }
+
+    #[test]
+    fn pipeline_pragma_forces_ssp_under_naive_strategy() {
+        let src = "fn main() {
+            let n = 8;
+            let y = array(n * n);
+            @hint(pipeline)
+            forall i in 0..n {
+              forall j in 0..n { y[i * n + j] = i + j; }
+            }
+            print(sum(y)); }";
+        let p = parse(src).unwrap();
+        let out = Interp::new(2).run(&p).unwrap();
+        assert_eq!(out.printed, vec!["448"]);
+        assert_eq!(
+            out.ssp_foralls, 1,
+            "@hint(pipeline) must force the SSP path"
+        );
+    }
+
+    #[test]
+    fn pipeline_pragma_can_force_naive_under_ssp_strategy() {
+        let src = "fn main() {
+            let n = 64;
+            let y = array(n);
+            @hint(pipeline = 0)
+            forall i in 0..n { y[i] = 2 * i; }
+            print(sum(y)); }";
+        let p = parse(src).unwrap();
+        let out = Interp::new(2)
+            .with_strategy(LoopStrategy::Ssp)
+            .run(&p)
+            .unwrap();
+        assert_eq!(out.printed, vec!["4032"]);
+        assert_eq!(out.ssp_foralls, 0, "@hint(pipeline = 0) must force naive");
+        assert_eq!(out.ssp_bailouts, 0, "forced naive is not a bail-out");
+    }
+
+    #[test]
+    fn non_affine_loops_bail_to_naive_under_ssp_strategy() {
+        let src = "fn main() {
+            let n = 50; let a = array(n);
+            forall i in 0..n { if i < 25 { a[i] = 1; } }
+            print(sum(a)); }";
+        let p = parse(src).unwrap();
+        let out = Interp::new(2)
+            .with_strategy(LoopStrategy::Ssp)
+            .run(&p)
+            .unwrap();
+        assert_eq!(out.printed, vec!["25"]);
+        assert_eq!(out.ssp_foralls, 0);
+        assert_eq!(out.ssp_bailouts, 1, "a guarded body is not lowerable");
+    }
+
+    #[test]
+    fn ssp_out_of_bounds_store_is_an_error() {
+        let src = "fn main() {
+            let a = array(10);
+            forall i in 0..8 {
+              forall j in 0..4 { a[i * 4 + j] = 1; }
+            } }";
+        let p = parse(src).unwrap();
+        let err = Interp::new(2)
+            .with_strategy(LoopStrategy::Ssp)
+            .run(&p)
+            .unwrap_err();
+        assert!(err.contains("out of bounds"), "got: {err}");
+    }
+
+    #[test]
+    fn knowledge_base_records_loop_outcomes() {
+        let src = "fn main() {
+            let n = 16; let y = array(n * n);
+            forall i in 0..n {
+              forall j in 0..n { y[i * n + j] = i * j; }
+            }
+            print(sum(y)); }";
+        let p = parse(src).unwrap();
+        let interp = Interp::new(2).with_strategy(LoopStrategy::Adaptive);
+        let kb = interp.knowledge();
+        let out = interp.run(&p).unwrap();
+        assert_eq!(out.printed, vec!["14400"]);
+        // The adaptive policy ran the nest one way and recorded it under
+        // the loop's fingerprinted program point.
+        let text = kb.lock().to_text().unwrap();
+        assert!(
+            text.lines().any(|l| l.starts_with("outcome\ti@")),
+            "loop outcome must land in the knowledge base: {text:?}"
+        );
+    }
+
+    #[test]
+    fn ssp_groups_are_placed_across_domains() {
+        let src = "fn main() {
+            let n = 16; let y = array(n * n);
+            @hint(pipeline)
+            forall i in 0..n {
+              forall j in 0..n { y[i * n + j] = i + j; }
+            }
+            print(sum(y)); }";
+        let p = parse(src).unwrap();
+        let interp = Interp::with_topology(htvm_core::Topology::domains(2, 1));
+        let out = interp.run(&p).unwrap();
+        assert_eq!(out.ssp_foralls, 1);
+        let stats = interp.pool_stats();
+        assert_eq!(stats.domain_spawns.len(), 2);
+        assert!(
+            stats.domain_spawns.iter().all(|&d| d > 0),
+            "round-robin placement must hit every domain: {:?}",
+            stats.domain_spawns
+        );
+        assert_eq!(interp.topology().num_domains(), 2);
     }
 
     #[test]

@@ -74,7 +74,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
             }
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
         {
             let start = i;
             while i < bytes.len()
@@ -181,7 +182,9 @@ mod tests {
         assert!(lex("let ü = 1;").is_err());
         // Inside string literals non-ASCII is fine.
         let toks = lex("@hint(s = \"gúided\")").unwrap();
-        assert!(toks.iter().any(|t| matches!(&t.tok, Token::Str(s) if s == "gúided")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Token::Str(s) if s == "gúided")));
     }
 
     #[test]
@@ -233,7 +236,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("x // comment\ny"),
-            vec![Token::Ident("x".into()), Token::Ident("y".into()), Token::Eof]
+            vec![
+                Token::Ident("x".into()),
+                Token::Ident("y".into()),
+                Token::Eof
+            ]
         );
     }
 

@@ -37,13 +37,17 @@
 //! ```
 
 pub mod ast;
+pub mod executor;
 pub mod interp;
 pub mod lexer;
+pub mod lower;
 pub mod parser;
 pub mod profile;
 
 pub use ast::{Expr, FnDef, Hint, Program, Stmt};
+pub use executor::LoopStrategy;
 pub use interp::{Interp, RunOutput, Value};
 pub use lexer::{lex, Token};
+pub use lower::{lower_forall, Kernel, LowerBail, LoweredForall};
 pub use parser::{parse, ParseError};
 pub use profile::{suggest_hint, ForallProfile, ProfileState};

@@ -119,12 +119,18 @@ impl Parser {
             if !self.is_punct(")") {
                 loop {
                     let key = self.ident()?;
-                    self.eat_punct("=")?;
-                    let val = match self.bump() {
-                        Token::Str(s) => HintValue::Str(s),
-                        Token::Num(n) => HintValue::Num(n),
-                        Token::Ident(s) => HintValue::Str(s),
-                        other => return self.err(format!("bad pragma value `{other}`")),
+                    // A bare key is a flag: `@hint(pipeline)` ≡
+                    // `@hint(pipeline = 1)`.
+                    let val = if self.is_punct("=") {
+                        self.bump();
+                        match self.bump() {
+                            Token::Str(s) => HintValue::Str(s),
+                            Token::Num(n) => HintValue::Num(n),
+                            Token::Ident(s) => HintValue::Str(s),
+                            other => return self.err(format!("bad pragma value `{other}`")),
+                        }
+                    } else {
+                        HintValue::Num(1.0)
                     };
                     kv.insert(key, val);
                     if self.is_punct(",") {

@@ -170,7 +170,10 @@ impl RemoteReduce {
         Box::new(move |_: &mut TaskCtx| match phase {
             0 => {
                 phase = 1;
-                Effect::Load { addr: base, size: bytes }
+                Effect::Load {
+                    addr: base,
+                    size: bytes,
+                }
             }
             1 => {
                 phase = 2;
@@ -200,7 +203,11 @@ pub fn compare_strategies(
     // Strategy 1: per-element remote loads.
     let mut e1 = mk_engine();
     let r = spec(SignalId(1));
-    e1.spawn(Placement::Unit(0, 0), SpawnClass::Sgt, r.remote_loads_task());
+    e1.spawn(
+        Placement::Unit(0, 0),
+        SpawnClass::Sgt,
+        r.remote_loads_task(),
+    );
     let t_loads = e1.run().now;
 
     // Strategy 2: bulk fetch then local compute.

@@ -193,10 +193,16 @@ mod tests {
         let demand = makespan(0, 32, 100);
         let d2 = makespan(2, 32, 100);
         let d4 = makespan(4, 32, 100);
-        assert!(d2 < demand, "depth 2 ({d2}) must beat demand fetch ({demand})");
+        assert!(
+            d2 < demand,
+            "depth 2 ({d2}) must beat demand fetch ({demand})"
+        );
         // Extra depth adds only mover bookkeeping once the transfer pipe is
         // saturated: allow 5% noise but no regression toward demand cost.
-        assert!((d4 as f64) < d2 as f64 * 1.05, "depth 4 ({d4}) ≈ depth 2 ({d2})");
+        assert!(
+            (d4 as f64) < d2 as f64 * 1.05,
+            "depth 4 ({d4}) ≈ depth 2 ({d2})"
+        );
     }
 
     #[test]
@@ -206,7 +212,10 @@ mod tests {
         let demand = makespan(0, 16, 20_000);
         let deep = makespan(4, 16, 20_000);
         let gain = demand as f64 / deep as f64;
-        assert!(gain < 1.15, "compute-bound gain should be small, got {gain:.2}x");
+        assert!(
+            gain < 1.15,
+            "compute-bound gain should be small, got {gain:.2}x"
+        );
     }
 
     #[test]

@@ -103,7 +103,9 @@ pub struct Engine {
 impl Engine {
     /// Build an engine for the given machine.
     pub fn new(cfg: MachineConfig) -> Self {
-        let units = (0..cfg.total_units()).map(|_| UnitState::default()).collect();
+        let units = (0..cfg.total_units())
+            .map(|_| UnitState::default())
+            .collect();
         let memory = MemorySystem::new(cfg.memory.clone(), cfg.nodes);
         let network = Network::new(cfg.network.clone(), cfg.nodes);
         Self {
@@ -207,7 +209,13 @@ impl Engine {
         self.spawn(place, SpawnClass::Sgt, Box::new(f))
     }
 
-    fn admit(&mut self, thread: Box<dyn SimThread>, class: SpawnClass, node: NodeId, unit: UnitId) -> TaskId {
+    fn admit(
+        &mut self,
+        thread: Box<dyn SimThread>,
+        class: SpawnClass,
+        node: NodeId,
+        unit: UnitId,
+    ) -> TaskId {
         let id = TaskId(self.tasks.len() as u64);
         self.tasks.push(TaskEntry {
             thread,
@@ -731,7 +739,10 @@ mod tests {
         }
         let s = e.run();
         assert_eq!(s.tasks_completed, 2);
-        assert!(s.switches > 0, "yielding must cause hardware-thread switches");
+        assert!(
+            s.switches > 0,
+            "yielding must cause hardware-thread switches"
+        );
     }
 
     #[test]

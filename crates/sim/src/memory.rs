@@ -76,8 +76,8 @@ impl MemorySystem {
             Region::Spm(_) => now + lat,
             Region::OnChip => {
                 let node = &mut self.nodes[addr.node as usize];
-                let bank =
-                    (addr.offset / self.cfg.interleave_bytes.max(1)) as usize % node.onchip_bank_free.len();
+                let bank = (addr.offset / self.cfg.interleave_bytes.max(1)) as usize
+                    % node.onchip_bank_free.len();
                 let start = now.max(node.onchip_bank_free[bank]);
                 let service = self.cfg.onchip_occupancy * crate::payload_lines(size);
                 node.onchip_bank_free[bank] = start + service;
@@ -88,8 +88,9 @@ impl MemorySystem {
                 let chan = (addr.offset / self.cfg.interleave_bytes.max(1)) as usize
                     % node.dram_channel_free.len();
                 let start = now.max(node.dram_channel_free[chan]);
-                let service =
-                    self.cfg.dram_occupancy + self.cfg.dram_occupancy_per_64b * crate::payload_lines(size).saturating_sub(1);
+                let service = self.cfg.dram_occupancy
+                    + self.cfg.dram_occupancy_per_64b
+                        * crate::payload_lines(size).saturating_sub(1);
                 node.dram_channel_free[chan] = start + service;
                 start + service + lat
             }

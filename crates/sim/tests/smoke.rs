@@ -16,7 +16,10 @@ fn engine_runs_spawned_tasks_to_completion() {
     }
     let stats = e.run();
     assert_eq!(stats.tasks_completed, 4);
-    assert!(stats.now >= 1_000, "cycles advance at least one task's work");
+    assert!(
+        stats.now >= 1_000,
+        "cycles advance at least one task's work"
+    );
     assert!(stats.busy_cycles >= 4 * 1_000, "all work was executed");
 }
 

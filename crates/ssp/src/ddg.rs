@@ -158,7 +158,12 @@ impl Ddg {
     /// II is feasible iff no positive cycle exists.
     pub fn rec_mii(&self) -> u64 {
         // Upper bound: sum of all delays (a cycle's delay can't exceed it).
-        let hi0: u64 = self.edges.iter().map(|e| e.delay as u64).sum::<u64>().max(1);
+        let hi0: u64 = self
+            .edges
+            .iter()
+            .map(|e| e.delay as u64)
+            .sum::<u64>()
+            .max(1);
         let mut lo = 1u64;
         let mut hi = hi0;
         if !self.has_positive_cycle(lo) {

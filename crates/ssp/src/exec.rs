@@ -1,0 +1,486 @@
+//! Native execution of a partitioned SSP plan — the missing back half of
+//! §3.3's "partition the software pipelined code into threads".
+//!
+//! [`run_partitioned`] takes a rectangular loop nest (trip counts), a
+//! pipelined level `ℓ`, a [`PartitionPlan`], and a *point body* (a closure
+//! executing one iteration point given its full index vector), and runs it
+//! on the native [`Pool`]:
+//!
+//! * levels outer to `ℓ` execute sequentially — each outer index tuple is
+//!   one **wave**, joined before the next starts (outer-carried
+//!   dependences are satisfied by construction);
+//! * the `N_ℓ` iterations of level `ℓ` split into the plan's contiguous
+//!   **groups**; each group runs its `ℓ`-range (with all inner levels
+//!   sequential inside it) as one SGT-grain pool job, placed round-robin
+//!   across the pool's locality domains;
+//! * if the plan has a **wavefront** (a dependence carried at `ℓ`), groups
+//!   are chained through [`SyncSlot`]s: group `t+1` is enabled by the
+//!   signal group `t` delivers on completion — the conservative reading of
+//!   the paper's "group t+1 may only start its first d iterations after
+//!   group t finishes its last".
+//!
+//! The caller **helps**: while a wave is in flight it keeps claiming
+//! enabled groups from the ready queue, so execution completes even on a
+//! single-worker pool (the spawned pool jobs then drain as no-ops). This
+//! is the same help-first discipline the LITL-X naive `forall` uses.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use htvm_core::{DomainId, Pool, SyncSlot};
+use parking_lot::Mutex;
+
+use crate::partition::PartitionPlan;
+use crate::ssp::{schedule_all_levels, LevelPlan, SspConfig};
+
+/// One iteration point of the nest: receives the full index vector
+/// (outermost level first; absolute at the partitioned level if a nonzero
+/// `level_lo` was given, 0-based elsewhere). Errors abort the run after
+/// the wave in flight.
+pub type PointBody = dyn Fn(&[i64]) -> Result<(), String> + Send + Sync;
+
+/// What happened during a partitioned native run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    /// The partitioned (pipelined) level.
+    pub level: usize,
+    /// Groups per wave.
+    pub groups: u64,
+    /// Waves executed (product of the outer trip counts).
+    pub waves: u64,
+    /// Whether groups were chained through a signal wavefront.
+    pub wavefront: bool,
+    /// Iteration points executed.
+    pub points: u64,
+    /// Pool jobs spawned (one per group per wave).
+    pub spawned: u64,
+    /// Groups executed by the helping caller rather than a pool worker.
+    pub caller_ran: u64,
+    /// Intended locality-domain placement, one entry per group (round-robin
+    /// over the pool's domains; also recorded in
+    /// [`htvm_core::PoolStats::domain_spawns`]).
+    pub group_domains: Vec<u64>,
+}
+
+/// A level choice plus its thread partition, ready to execute.
+#[derive(Debug, Clone)]
+pub struct NestExecPlan {
+    /// The schedule of the chosen level.
+    pub level_plan: LevelPlan,
+    /// The split of that level's iterations into thread groups.
+    pub partition: PartitionPlan,
+}
+
+/// Choose the level to partition for native execution, restricted to
+/// `allowed_levels` (e.g. the `forall` levels of a LITL-X nest — a
+/// sequential `for` level must not be parallelized by fiat).
+///
+/// Preference order: wavefront-free levels first (a carried dependence
+/// serializes adjacent groups), then minimum modelled cycles, then
+/// outermost. Returns `None` if no allowed level can be pipelined.
+pub fn plan_native(
+    trip_counts: &[u64],
+    plans: &[LevelPlan],
+    allowed_levels: &[usize],
+    threads: u64,
+) -> Option<NestExecPlan> {
+    let best = plans
+        .iter()
+        .filter(|p| allowed_levels.contains(&p.level))
+        .min_by_key(|p| (p.max_carried_distance > 0, p.total_cycles, p.level))?;
+    let partition = PartitionPlan::new(best, trip_counts[best.level], threads);
+    Some(NestExecPlan {
+        level_plan: best.clone(),
+        partition,
+    })
+}
+
+/// [`plan_native`] over freshly scheduled levels of `nest`.
+pub fn plan_native_nest(
+    nest: &crate::ir::LoopNest,
+    cfg: &SspConfig,
+    allowed_levels: &[usize],
+    threads: u64,
+) -> Option<NestExecPlan> {
+    let plans = schedule_all_levels(nest, cfg);
+    plan_native(&nest.trip_counts, &plans, allowed_levels, threads)
+}
+
+/// One wave's state, shared by the helping caller and the spawned pool
+/// jobs. Owns the full geometry so pool jobs need no borrows.
+struct Wave {
+    // Geometry.
+    outer: Vec<i64>,
+    inner_counts: Vec<u64>,
+    level: usize,
+    depth: usize,
+    group_ranges: Vec<(u64, u64)>,
+    lo: i64,
+    body: Arc<PointBody>,
+    // Scheduling.
+    ready: Mutex<VecDeque<u64>>,
+    /// Chain slots (`slots[g]` enables group `g`); filled before the wave
+    /// is released. The slot actions hold the `Wave` in an `Arc` cycle
+    /// that resolves once every slot has fired (every group is always
+    /// enabled, even on error, so no wave leaks).
+    slots: Mutex<Vec<Arc<SyncSlot>>>,
+    finished: AtomicU64,
+    error: Mutex<Option<String>>,
+    points: AtomicU64,
+    caller_ran: AtomicU64,
+}
+
+impl Wave {
+    /// Claim one enabled group. Returns `false` if none is ready.
+    fn try_run_one(self: &Arc<Self>, by_caller: bool) -> bool {
+        let Some(g) = self.ready.lock().pop_front() else {
+            return false;
+        };
+        if self.error.lock().is_none() {
+            if let Err(e) = self.execute_group(g) {
+                let mut slot = self.error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        }
+        if by_caller {
+            self.caller_ran.fetch_add(1, Ordering::Relaxed);
+        }
+        // Enable the successor (wavefront chains only; parallel waves have
+        // every slot released up front).
+        let next = self.slots.lock().get(g as usize + 1).cloned();
+        if let Some(s) = next {
+            s.signal();
+        }
+        self.finished.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Run every iteration point of group `g`: its `ℓ`-range, all inner
+    /// levels sequential (lexicographic) inside each `ℓ`-iteration.
+    fn execute_group(&self, g: u64) -> Result<(), String> {
+        let (glo, ghi) = self.group_ranges[g as usize];
+        let mut idx = vec![0i64; self.depth];
+        idx[..self.level].copy_from_slice(&self.outer);
+        let inner_total: u64 = self.inner_counts.iter().product();
+        for l in glo..ghi {
+            idx[self.level] = self.lo + l as i64;
+            for t in 0..inner_total {
+                let mut rem = t;
+                for (k, &n) in self.inner_counts.iter().enumerate().rev() {
+                    idx[self.level + 1 + k] = (rem % n) as i64;
+                    rem /= n;
+                }
+                self.points.fetch_add(1, Ordering::Relaxed);
+                (self.body)(&idx)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Execute a partitioned nest on the native pool. `trip_counts` describe
+/// the rectangular nest (outermost first); `level_lo` is the absolute
+/// value of the partitioned level's first iteration (the body sees
+/// absolute indices at `level` — callers whose loops start at 0 pass 0).
+///
+/// Returns the first body error, after finishing the wave in flight.
+pub fn run_partitioned(
+    pool: &Arc<Pool>,
+    trip_counts: &[u64],
+    level: usize,
+    level_lo: i64,
+    part: &PartitionPlan,
+    body: Arc<PointBody>,
+) -> Result<ExecReport, String> {
+    if level >= trip_counts.len() {
+        return Err(format!(
+            "partition level {level} out of range for a depth-{} nest",
+            trip_counts.len()
+        ));
+    }
+    let mut report = ExecReport {
+        level,
+        groups: 0,
+        waves: 0,
+        wavefront: part.wavefront,
+        points: 0,
+        spawned: 0,
+        caller_ran: 0,
+        group_domains: Vec::new(),
+    };
+    if trip_counts.contains(&0) {
+        return Ok(report); // nothing to run
+    }
+    let n_l = trip_counts[level];
+    let group_size = part.group.max(1);
+    let group_ranges: Vec<(u64, u64)> = (0..n_l.div_ceil(group_size))
+        .map(|g| (g * group_size, ((g + 1) * group_size).min(n_l)))
+        .collect();
+    let num_groups = group_ranges.len() as u64;
+    let nd = pool.num_domains() as u64;
+    let group_domains: Vec<u64> = (0..num_groups).map(|g| g % nd).collect();
+    let waves: u64 = trip_counts[..level].iter().product();
+    report.groups = num_groups;
+    report.group_domains = group_domains.clone();
+
+    for w in 0..waves {
+        // Decompose the wave number into the outer index tuple.
+        let mut outer = vec![0i64; level];
+        let mut rem = w;
+        for (k, &n) in trip_counts[..level].iter().enumerate().rev() {
+            outer[k] = (rem % n) as i64;
+            rem /= n;
+        }
+        let wave = Arc::new(Wave {
+            outer,
+            inner_counts: trip_counts[level + 1..].to_vec(),
+            level,
+            depth: trip_counts.len(),
+            group_ranges: group_ranges.clone(),
+            lo: level_lo,
+            body: body.clone(),
+            ready: Mutex::new(VecDeque::with_capacity(num_groups as usize)),
+            slots: Mutex::new(Vec::new()),
+            finished: AtomicU64::new(0),
+            error: Mutex::new(None),
+            points: AtomicU64::new(0),
+            caller_ran: AtomicU64::new(0),
+        });
+        if part.wavefront {
+            // Build the enable slots with one guard signal each, so no
+            // group can fire before the whole chain (and its successor
+            // slots) is in place. Slot g's action enqueues group g and
+            // spawns a pickup job into the group's home domain.
+            let slots: Vec<Arc<SyncSlot>> = (0..num_groups)
+                .map(|g| {
+                    let chain = if g > 0 { 1 } else { 0 };
+                    let wv = wave.clone();
+                    let pl = pool.clone();
+                    let domain = DomainId(group_domains[g as usize]);
+                    SyncSlot::with_action(1 + chain, move || {
+                        wv.ready.lock().push_back(g);
+                        let wv2 = wv.clone();
+                        pl.spawn_in(domain, move |_| {
+                            // The helping caller may have claimed this
+                            // group already; the queue pop decides, so
+                            // nothing runs twice and late pickups are
+                            // no-ops.
+                            wv2.try_run_one(false);
+                        });
+                    })
+                })
+                .collect();
+            *wave.slots.lock() = slots.clone();
+            // Release the guard signals: group 0 becomes ready; the rest
+            // of the chain fires as predecessors finish.
+            for s in &slots {
+                s.signal();
+            }
+        } else {
+            // No wavefront: every group is ready at once — enqueue them
+            // all and batch-spawn the pickup jobs with a single wake.
+            {
+                let mut q = wave.ready.lock();
+                q.extend(0..num_groups);
+            }
+            pool.spawn_batch_in((0..num_groups).map(|g| {
+                let wv = wave.clone();
+                let job = move |_: &htvm_core::WorkerCtx<'_>| {
+                    wv.try_run_one(false);
+                };
+                (DomainId(group_domains[g as usize]), job)
+            }));
+        }
+        report.spawned += num_groups;
+        // Help until the wave drains — never block: the caller may *be* a
+        // pool worker (the LITL-X interpreter runs inside an LGT job), and
+        // parking it on a single-worker pool would deadlock the wave.
+        while wave.finished.load(Ordering::Acquire) < num_groups {
+            if !wave.try_run_one(true) {
+                std::thread::yield_now();
+            }
+        }
+        report.waves += 1;
+        report.caller_ran += wave.caller_ran.load(Ordering::Relaxed);
+        report.points += wave.points.load(Ordering::Relaxed);
+        let err = wave.error.lock().clone();
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::LoopNest;
+    use htvm_core::Topology;
+    use std::sync::atomic::AtomicBool;
+
+    fn pool(topo: Topology) -> Arc<Pool> {
+        Arc::new(Pool::with_topology(topo))
+    }
+
+    /// Every point of a parallel 2-D nest runs exactly once.
+    #[test]
+    fn parallel_nest_covers_every_point_once() {
+        let nest = LoopNest::elementwise(8, 6);
+        let plan = plan_native_nest(&nest, &SspConfig::default(), &[0, 1], 4).unwrap();
+        assert!(!plan.partition.wavefront);
+        let seen: Arc<Vec<AtomicU64>> = Arc::new((0..48).map(|_| AtomicU64::new(0)).collect());
+        let s2 = seen.clone();
+        let body: Arc<PointBody> = Arc::new(move |idx| {
+            s2[(idx[0] * 6 + idx[1]) as usize].fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let p = pool(Topology::domains(2, 2));
+        let level = plan.level_plan.level;
+        let rep = run_partitioned(&p, &nest.trip_counts, level, 0, &plan.partition, body).unwrap();
+        p.wait_quiescent();
+        assert_eq!(rep.points, 48);
+        assert!(rep.groups >= 2);
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::SeqCst),
+                1,
+                "point {i} ran a wrong number of times"
+            );
+        }
+        // Placement is round-robin over the 2 domains.
+        assert!(rep.group_domains.contains(&0));
+        assert!(rep.group_domains.contains(&1));
+        assert_eq!(p.stats().total_domain_spawns(), rep.spawned);
+    }
+
+    /// A dependence carried at the partitioned level runs as a wavefront:
+    /// each level-iteration observes its predecessor's write.
+    #[test]
+    fn wavefront_respects_carried_dependence() {
+        let nest = LoopNest::stencil_like(16, 4);
+        // Partition the *time* level (0): it carries the recurrence.
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let plan = plans.iter().find(|p| p.level == 0).unwrap();
+        let part = PartitionPlan::new(plan, 16, 4);
+        assert!(part.wavefront);
+        let flags: Arc<Vec<AtomicBool>> =
+            Arc::new((0..16).map(|_| AtomicBool::new(false)).collect());
+        let f2 = flags.clone();
+        let body: Arc<PointBody> = Arc::new(move |idx| {
+            let t = idx[0] as usize;
+            if t > 0 && !f2[t - 1].load(Ordering::SeqCst) {
+                return Err(format!("iteration {t} ran before {}", t - 1));
+            }
+            if idx[1] == 3 {
+                f2[t].store(true, Ordering::SeqCst);
+            }
+            Ok(())
+        });
+        let p = pool(Topology::domains(2, 2));
+        let rep = run_partitioned(&p, &nest.trip_counts, 0, 0, &part, body).unwrap();
+        p.wait_quiescent();
+        assert!(rep.wavefront);
+        assert_eq!(rep.points, 64);
+        assert_eq!(rep.groups, 4);
+    }
+
+    /// Outer levels run as sequentially joined waves.
+    #[test]
+    fn outer_levels_execute_as_sequential_waves() {
+        let nest = LoopNest::matmul_like(3, 4, 2);
+        // Partition the middle level: 3 outer waves of 4 groups.
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let plan = plans.iter().find(|p| p.level == 1).unwrap();
+        let part = PartitionPlan::new(plan, 4, 4);
+        let max_seen_wave = Arc::new(AtomicU64::new(0));
+        let m2 = max_seen_wave.clone();
+        let body: Arc<PointBody> = Arc::new(move |idx| {
+            let w = idx[0] as u64;
+            let prev = m2.fetch_max(w, Ordering::SeqCst);
+            if prev > w {
+                return Err(format!("wave {w} ran after wave {prev}"));
+            }
+            Ok(())
+        });
+        let p = pool(Topology::flat(2));
+        let rep = run_partitioned(&p, &nest.trip_counts, 1, 0, &part, body).unwrap();
+        p.wait_quiescent();
+        assert_eq!(rep.waves, 3);
+        assert_eq!(rep.points, 24);
+        assert_eq!(rep.spawned, 12);
+    }
+
+    /// Single-worker pools must not deadlock: the caller helps.
+    #[test]
+    fn single_worker_pool_completes() {
+        let nest = LoopNest::stencil_like(8, 8);
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let plan = plans.iter().find(|p| p.level == 0).unwrap();
+        let part = PartitionPlan::new(plan, 8, 4);
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = count.clone();
+        let body: Arc<PointBody> = Arc::new(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let p = pool(Topology::flat(1));
+        let rep = run_partitioned(&p, &nest.trip_counts, 0, 0, &part, body).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+        assert_eq!(rep.points, 64);
+    }
+
+    /// Body errors surface and abort after the wave in flight.
+    #[test]
+    fn body_errors_propagate() {
+        let nest = LoopNest::elementwise(4, 4);
+        let plan = plan_native_nest(&nest, &SspConfig::default(), &[0], 2).unwrap();
+        let body: Arc<PointBody> = Arc::new(|idx| {
+            if idx[0] == 2 && idx[1] == 1 {
+                Err("injected failure".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        let p = pool(Topology::flat(2));
+        let err = run_partitioned(&p, &nest.trip_counts, 0, 0, &plan.partition, body).unwrap_err();
+        p.wait_quiescent();
+        assert!(err.contains("injected failure"));
+    }
+
+    /// `level_lo` translates the partitioned level's indices.
+    #[test]
+    fn level_lo_offsets_partitioned_level() {
+        let trips = [4u64];
+        let nest = LoopNest::elementwise(4, 1);
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let part = PartitionPlan::new(&plans[0], 4, 2);
+        let sum = Arc::new(AtomicU64::new(0));
+        let s2 = sum.clone();
+        let body: Arc<PointBody> = Arc::new(move |idx| {
+            s2.fetch_add(idx[0] as u64, Ordering::SeqCst);
+            Ok(())
+        });
+        let p = pool(Topology::flat(2));
+        run_partitioned(&p, &trips, 0, 10, &part, body).unwrap();
+        p.wait_quiescent();
+        assert_eq!(sum.load(Ordering::SeqCst), 10 + 11 + 12 + 13);
+    }
+
+    /// Planning restricted to `allowed_levels` never picks a forbidden
+    /// level, and prefers a wavefront-free one.
+    #[test]
+    fn plan_native_respects_allowed_levels() {
+        let nest = LoopNest::stencil_like(8, 64);
+        // Both levels schedulable; level 1 is wavefront-free.
+        let plan = plan_native_nest(&nest, &SspConfig::default(), &[0, 1], 4).unwrap();
+        assert_eq!(plan.level_plan.level, 1, "space level is parallel");
+        assert!(!plan.partition.wavefront);
+        let only_time = plan_native_nest(&nest, &SspConfig::default(), &[0], 4).unwrap();
+        assert_eq!(only_time.level_plan.level, 0);
+        assert!(only_time.partition.wavefront);
+        assert!(plan_native_nest(&nest, &SspConfig::default(), &[], 4).is_none());
+    }
+}

@@ -68,7 +68,11 @@ impl Dep {
     pub fn carried_at(from: usize, to: usize, depth: usize, level: usize) -> Self {
         let mut d = vec![0; depth];
         d[level] = 1;
-        Self { from, to, distance: d }
+        Self {
+            from,
+            to,
+            distance: d,
+        }
     }
 }
 

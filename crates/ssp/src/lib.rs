@@ -23,7 +23,11 @@
 //! * [`partition`] — the paper's proposed SSP→threads extension: groups of
 //!   `ℓ`-level iterations become SGTs; cross-group dependences form a
 //!   signal wavefront; runnable both as a cost model and on the `htvm-sim`
-//!   machine.
+//!   machine;
+//! * [`exec`] — the native back end: a [`partition::PartitionPlan`] runs on
+//!   the `htvm_core` work-stealing pool, iteration groups spawned as
+//!   SGT-grain jobs placed round-robin across locality domains, with
+//!   cross-group dependences enforced by a `SyncSlot` signal wavefront.
 //!
 //! ```
 //! use htvm_ssp::ir::LoopNest;
@@ -39,12 +43,14 @@
 //! ```
 
 pub mod ddg;
+pub mod exec;
 pub mod ir;
 pub mod modulo;
 pub mod partition;
 pub mod ssp;
 
 pub use ddg::{Ddg, MiiBounds};
+pub use exec::{plan_native, plan_native_nest, run_partitioned, ExecReport, NestExecPlan};
 pub use ir::{Dep, LoopNest, Op, OpKind};
 pub use modulo::{modulo_schedule, ModuloSchedule, Resources, ScheduleError};
 pub use partition::{PartitionPlan, ThreadedSspModel};

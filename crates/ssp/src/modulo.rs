@@ -101,8 +101,8 @@ impl ModuloSchedule {
     pub fn verify(&self, nest: &LoopNest, ddg: &Ddg, res: &Resources) -> Result<(), String> {
         for e in &ddg.edges {
             let lhs = self.start[e.to] as i128;
-            let rhs =
-                self.start[e.from] as i128 + e.delay as i128 - (self.ii as i128) * (e.distance as i128);
+            let rhs = self.start[e.from] as i128 + e.delay as i128
+                - (self.ii as i128) * (e.distance as i128);
             if lhs < rhs {
                 return Err(format!(
                     "dependence {}→{} violated: start[{}]={} < {}",
@@ -266,20 +266,16 @@ fn try_schedule(nest: &LoopNest, ddg: &Ddg, res: &Resources, ii: u64) -> Option<
             }
         }
     }
-    let out: Vec<u64> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let out: Vec<u64> = start
+        .into_iter()
+        .map(|s| s.expect("all scheduled"))
+        .collect();
     Some(out)
 }
 
 /// Check op's placement at `t` against *scheduled* neighbours in both
 /// directions.
-fn deps_ok(
-    _nest: &LoopNest,
-    ddg: &Ddg,
-    start: &[Option<u64>],
-    op: usize,
-    t: u64,
-    ii: u64,
-) -> bool {
+fn deps_ok(_nest: &LoopNest, ddg: &Ddg, start: &[Option<u64>], op: usize, t: u64, ii: u64) -> bool {
     for e in &ddg.edges {
         if e.to == op {
             if let Some(sf) = start[e.from] {

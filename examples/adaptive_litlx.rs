@@ -56,7 +56,12 @@ fn main() {
     let point = "main/forall0";
 
     let mut blind = ContinuousCompiler::new();
-    let b = blind.complete(&PartialSchedule::full(point), &profile.costs, workers, &model);
+    let b = blind.complete(
+        &PartialSchedule::full(point),
+        &profile.costs,
+        workers,
+        &model,
+    );
 
     let mut hinted = ContinuousCompiler::new();
     hinted.kb.add_hint(
@@ -68,7 +73,12 @@ fn main() {
             [(key.to_string(), value.to_string())],
         ),
     );
-    let h = hinted.complete(&PartialSchedule::full(point), &profile.costs, workers, &model);
+    let h = hinted.complete(
+        &PartialSchedule::full(point),
+        &profile.costs,
+        workers,
+        &model,
+    );
 
     let stat = evaluate_schedule(ScheduleKind::StaticBlock, &profile.costs, workers, &model);
 
@@ -90,13 +100,16 @@ fn main() {
     );
     println!(
         "  default static:    0 trials, cost {:>8}, picked {:<14} makespan {}",
-        0,
-        "static-block",
-        stat.makespan
+        0, "static-block", stat.makespan
     );
 
     // -- 4. Re-running consults the knowledge base: zero further search.
-    let again = hinted.complete(&PartialSchedule::full(point), &profile.costs, workers, &model);
+    let again = hinted.complete(
+        &PartialSchedule::full(point),
+        &profile.costs,
+        workers,
+        &model,
+    );
     println!(
         "  re-run (knowledge base hit): {} trials, picked {}",
         again.trials,
@@ -104,7 +117,10 @@ fn main() {
     );
 
     assert!(h.trials < b.trials, "hints must prune the search");
-    assert!(h.makespan <= stat.makespan, "adaptation must not lose to static");
+    assert!(
+        h.makespan <= stat.makespan,
+        "adaptation must not lose to static"
+    );
     assert_eq!(again.trials, 0, "feedback short-circuits re-runs");
     println!("\nadaptive pipeline OK");
 }

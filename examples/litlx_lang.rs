@@ -38,7 +38,10 @@ fn main() {
     let prog = parse(PROGRAM).expect("LITL-X parses");
     println!("parsed {} function(s)", prog.fns.len());
     for (scope, hint) in prog.hints() {
-        println!("structured hint in `{scope}`: {:?} {:?}", hint.name, hint.kv);
+        println!(
+            "structured hint in `{scope}`: {:?} {:?}",
+            hint.name, hint.kv
+        );
     }
     let out = Interp::new(4).run(&prog).expect("LITL-X runs");
     println!("program output:");

@@ -39,10 +39,14 @@ fn main() {
     let t0 = std::time::Instant::now();
     let (pot, drift) = run_md(&mut seq, &params, 0.001, steps, Thermostat::None);
     let seq_t = t0.elapsed();
-    println!("sequential: {steps} steps in {seq_t:?}, potential {pot:.2}, energy drift {drift:.2e}");
+    println!(
+        "sequential: {steps} steps in {seq_t:?}, potential {pot:.2}, energy drift {drift:.2e}"
+    );
 
     // Parallel (fine grain).
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
     let r = run_md_parallel(
         sys,
         &params,

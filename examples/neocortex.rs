@@ -36,7 +36,9 @@ fn main() {
     );
 
     // Parallel, both mappings.
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
     for mapping in [Mapping::Hierarchical, Mapping::Flat] {
         let r = run_parallel(Network::build(spec.clone()), steps, workers, mapping);
         assert_eq!(r.total_spikes, sim.total_spikes, "parallel must match");

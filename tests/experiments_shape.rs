@@ -20,7 +20,11 @@ use common::multicore;
 
 fn col(t: &htvm_bench::Table, name: &str) -> Vec<f64> {
     let v = t.column_f64(name);
-    assert!(!v.is_empty(), "column {name} missing or empty in {}", t.title);
+    assert!(
+        !v.is_empty(),
+        "column {name} missing or empty in {}",
+        t.title
+    );
     v
 }
 
@@ -89,7 +93,10 @@ fn e4_percolation_beats_demand_fetch() {
 fn e5_grain_cost_ordering() {
     let t = experiments::e5_spawn_costs(Scale::Quick);
     let costs = col(&t, "cycles/spawn");
-    assert!(costs[0] < costs[1] && costs[1] < costs[2], "TGT < SGT < LGT: {costs:?}");
+    assert!(
+        costs[0] < costs[1] && costs[1] < costs[2],
+        "TGT < SGT < LGT: {costs:?}"
+    );
 }
 
 #[test]
@@ -125,7 +132,10 @@ fn e7_ssp_best_level_beats_innermost_for_matmul() {
     assert_ne!(best[1], "2", "best level must not be the innermost");
     let ci: f64 = inner[5].parse().unwrap();
     let cb: f64 = best[5].parse().unwrap();
-    assert!(cb * 1.5 < ci, "SSP best {cb} must beat innermost {ci} by >1.5x");
+    assert!(
+        cb * 1.5 < ci,
+        "SSP best {cb} must beat innermost {ci} by >1.5x"
+    );
 }
 
 #[test]
@@ -134,9 +144,16 @@ fn e8_threading_scales_then_saturates() {
     let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "matmul-like").collect();
     let s1: f64 = rows.first().unwrap()[4].parse().unwrap();
     let s_last: f64 = rows.last().unwrap()[4].parse().unwrap();
-    assert!(s_last > s1 * 2.0, "threads must speed SSP up: {s1} -> {s_last}");
+    assert!(
+        s_last > s1 * 2.0,
+        "threads must speed SSP up: {s1} -> {s_last}"
+    );
     // Wavefront rows scale worse than parallel rows at the same T.
-    let wf: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0].contains("wavefront")).collect();
+    let wf: Vec<&Vec<String>> = t
+        .rows
+        .iter()
+        .filter(|r| r[0].contains("wavefront"))
+        .collect();
     let wf_last: f64 = wf.last().unwrap()[4].parse().unwrap();
     assert!(
         wf_last < s_last,
@@ -156,10 +173,7 @@ fn e9_migration_beats_none_under_skew() {
     for wl in ["skewed", "skew+phase-shift"] {
         let none = get(wl, "none");
         for pol in ["sender-initiated", "receiver-initiated", "work-stealing"] {
-            assert!(
-                get(wl, pol) < none,
-                "{pol} must beat no-migration on {wl}"
-            );
+            assert!(get(wl, pol) < none, "{pol} must beat no-migration on {wl}");
         }
     }
 }
@@ -177,9 +191,7 @@ fn e10_adaptation_cuts_remote_fraction() {
         get("producer-consumer", "migrate", "cycles")
             < get("producer-consumer", "fixed-home", "cycles")
     );
-    assert!(
-        get("read-mostly", "replicate", "cycles") < get("read-mostly", "fixed-home", "cycles")
-    );
+    assert!(get("read-mostly", "replicate", "cycles") < get("read-mostly", "fixed-home", "cycles"));
     assert!(
         get("producer-consumer", "migrate", "remote_frac")
             < get("producer-consumer", "fixed-home", "remote_frac") / 2.0
@@ -205,7 +217,10 @@ fn e11_adaptive_tracks_best_fixed() {
             .unwrap()
     };
     assert!(adaptive > by_name("fixed(1)"), "must beat starved fixed(1)");
-    assert!(adaptive > by_name("fixed(16)"), "must beat thrashing fixed(16)");
+    assert!(
+        adaptive > by_name("fixed(16)"),
+        "must beat thrashing fixed(16)"
+    );
 }
 
 #[test]
@@ -264,7 +279,10 @@ fn e14_parallel_matches_and_speeds_up() {
         if best_contrast > 2.5 && (best_speedup > 1.0 || !multicore()) {
             return;
         }
-        eprintln!("e14 attempt {attempt}: speedup {sp}, hier/flat {:.2}", hier_rate / flat_rate);
+        eprintln!(
+            "e14 attempt {attempt}: speedup {sp}, hier/flat {:.2}",
+            hier_rate / flat_rate
+        );
     }
     assert!(
         best_contrast > 2.5,
@@ -323,7 +341,10 @@ fn e17_grouped_topology_cuts_remote_steal_ratio() {
                 .map(|r| r[3].parse().unwrap())
                 .collect();
             assert_eq!(sgts.len(), 2, "{workload}: flat + 2-dom rows expected");
-            assert!(sgts.windows(2).all(|w| w[0] == w[1]), "{workload}: {sgts:?}");
+            assert!(
+                sgts.windows(2).all(|w| w[0] == w[1]),
+                "{workload}: {sgts:?}"
+            );
         }
         if !multicore() {
             return;
@@ -338,7 +359,13 @@ fn e17_grouped_topology_cuts_remote_steal_ratio() {
         }
         last = ["neocortex", "md"]
             .iter()
-            .map(|w| format!("{w}: flat {} vs 2-dom {}", ratio(&t, w, "flat"), ratio(&t, w, "2-dom")))
+            .map(|w| {
+                format!(
+                    "{w}: flat {} vs 2-dom {}",
+                    ratio(&t, w, "flat"),
+                    ratio(&t, w, "2-dom")
+                )
+            })
             .collect::<Vec<_>>()
             .join("; ");
         eprintln!("e17 attempt {attempt}: {last}");
@@ -353,4 +380,64 @@ fn e16_litlx_results_match_native() {
     for r in &t.rows {
         assert_eq!(r[4], "true", "kernel {} mismatch", r[0]);
     }
+}
+
+#[test]
+fn e18_ssp_native_is_correct_and_places_groups() {
+    let _wall = wall_clock_guard();
+    let t = experiments::e18_ssp_native(Scale::Quick);
+    let cell = |workload: &str, path: &str, topo: &str, col: &str| -> String {
+        t.cell(col, |r| r[0] == workload && r[1] == path && r[2] == topo)
+            .unwrap_or_else(|| panic!("missing row {workload}/{path}/{topo}"))
+            .to_string()
+    };
+    for topo in ["flat", "2-dom"] {
+        // Correctness first: the SSP path computes what the naive path
+        // computes (matmul), and the wavefront path reproduces the exact
+        // sequential recurrence where naive is a race.
+        assert_eq!(
+            cell("litlx-matmul", "ssp", topo, "check"),
+            cell("litlx-matmul", "naive", topo, "check"),
+            "{topo}: ssp matmul diverged"
+        );
+        let n = 48u64; // Quick-scale scan length
+        let expected = (3 + n * (n - 1) / 2).to_string();
+        assert_eq!(cell("litlx-scan", "ssp", topo, "check"), expected);
+        assert_eq!(cell("litlx-scan", "ssp", topo, "wavefronts"), "1");
+        assert_eq!(
+            cell("md-force", "ssp", topo, "check"),
+            cell("md-force", "naive", topo, "check"),
+            "{topo}: ssp md potential diverged"
+        );
+        // The pipelined paths actually pipelined.
+        assert!(
+            cell("litlx-matmul", "ssp", topo, "pipelined")
+                .parse::<u64>()
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            cell("md-force", "ssp", topo, "pipelined")
+                .parse::<u64>()
+                .unwrap()
+                >= 2
+        );
+        // And every SSP row records domain placements.
+        for workload in ["litlx-matmul", "litlx-scan", "md-force"] {
+            let spawns = cell(workload, "ssp", topo, "dom_spawns");
+            assert!(
+                spawns.split('/').any(|d| d.parse::<u64>().unwrap() > 0),
+                "{workload}/{topo}: no domain spawns recorded: {spawns}"
+            );
+        }
+    }
+    // On a grouped topology the round-robin placement must hit both
+    // domains (single-CPU safe: placement is decided at spawn time).
+    let spawns = cell("md-force", "ssp", "2-dom", "dom_spawns");
+    let parts: Vec<u64> = spawns.split('/').map(|d| d.parse().unwrap()).collect();
+    assert_eq!(parts.len(), 2);
+    assert!(
+        parts.iter().all(|&d| d > 0),
+        "placement skipped a domain: {spawns}"
+    );
 }

@@ -142,7 +142,10 @@ fn work_stealing_is_migration() {
     h.join();
     let multicore = common::multicore();
     let stats = htvm.pool_stats();
-    assert!(stats.total_stolen() > 0 || !multicore, "no migration happened");
+    assert!(
+        stats.total_stolen() > 0 || !multicore,
+        "no migration happened"
+    );
     assert!(
         stats.imbalance() < 1.5 || !multicore,
         "imbalance {} too high with stealing on",

@@ -108,8 +108,16 @@ fn pool_barrier_releases_all_waiters() {
     for h in handles {
         h.join().unwrap(); // a stuck waiter would hang the join, not race it
     }
-    assert_eq!(released.load(Ordering::SeqCst), parties, "all waiters freed");
-    assert_eq!(serials.load(Ordering::SeqCst), 1, "exactly one serial party");
+    assert_eq!(
+        released.load(Ordering::SeqCst),
+        parties,
+        "all waiters freed"
+    );
+    assert_eq!(
+        serials.load(Ordering::SeqCst),
+        1,
+        "exactly one serial party"
+    );
 }
 
 /// Tiny append-only log used to observe continuation order without pulling
