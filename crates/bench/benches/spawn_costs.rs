@@ -1,10 +1,39 @@
-//! Criterion bench for E5: native spawn costs of the three grains.
+//! Criterion bench for E5: native spawn costs of the three grains, plus
+//! the pool-level spawn→first-execution round trip that prices the
+//! park/wake protocol (the parked-pool p50 and the idle-cost watch are
+//! reported by the `e5b_native_spawn` table, where park waits can be
+//! excluded from the measurement).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use htvm_core::{Htvm, HtvmConfig, Topology};
+use htvm_core::{Htvm, HtvmConfig, Pool, Topology};
 
 fn bench_native_grains(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_native_grain_costs");
+
+    // Pool floor: one external spawn to first execution (the first
+    // iteration pays a futex wake for a parked worker; later iterations
+    // usually catch the worker still spinning — together they price the
+    // spawn path end to end).
+    g.bench_function("pool_spawn_to_exec", |b| {
+        let pool = Pool::with_topology(Topology::flat(2));
+        let seq = Arc::new(AtomicU64::new(0));
+        b.iter(|| {
+            let expect = seq.load(Ordering::Acquire) + 1;
+            let s2 = seq.clone();
+            pool.spawn(move |_| {
+                s2.store(expect, Ordering::Release);
+            });
+            // Yield, don't spin: on a single-CPU host a hard spin burns
+            // the spawner's whole timeslice before the worker can run,
+            // measuring the scheduler quantum instead of the wake.
+            while seq.load(Ordering::Acquire) != expect {
+                std::thread::yield_now();
+            }
+        })
+    });
 
     // LGT: spawn + join a whole large-grain thread.
     g.bench_function("lgt_spawn_join", |b| {

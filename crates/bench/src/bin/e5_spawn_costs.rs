@@ -1,7 +1,9 @@
-//! Report binary for e5_spawn_costs: prints the full-scale experiment table and
-//! honours `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable
-//! summary (see `htvm_bench::report`).
+//! Report binary for e5_spawn_costs: prints the full-scale experiment tables
+//! (simulated grain costs + native-pool park/wake costs) and honours
+//! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary (see
+//! `htvm_bench::report`).
 fn main() {
-    let t = htvm_bench::experiments::e5_spawn_costs(htvm_bench::experiments::Scale::Full);
-    htvm_bench::report::emit("e5_spawn_costs", &[&t]);
+    let grains = htvm_bench::experiments::e5_spawn_costs(htvm_bench::experiments::Scale::Full);
+    let native = htvm_bench::experiments::e5b_native_spawn(htvm_bench::experiments::Scale::Full);
+    htvm_bench::report::emit("e5_spawn_costs", &[&grains, &native]);
 }

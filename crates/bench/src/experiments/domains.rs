@@ -80,6 +80,8 @@ pub fn e17_domains(scale: Scale) -> Table {
             "remote_ratio",
             "dom_imbalance",
             "hint",
+            "parks",
+            "wakes t/e",
         ],
     );
     let workers = scale.pick(4usize, 8);
@@ -129,6 +131,8 @@ pub fn e17_domains(scale: Scale) -> Table {
             f3(r.pool.remote_steal_ratio()),
             f3(r.pool.imbalance_by_domain()),
             hint,
+            r.pool.parks.to_string(),
+            format!("{}/{}", r.pool.wakes_targeted, r.pool.wakes_escalated),
         ]);
     }
 
@@ -175,6 +179,8 @@ pub fn e17_domains(scale: Scale) -> Table {
             f3(r.pool.remote_steal_ratio()),
             f3(r.pool.imbalance_by_domain()),
             hint,
+            r.pool.parks.to_string(),
+            format!("{}/{}", r.pool.wakes_targeted, r.pool.wakes_escalated),
         ]);
     }
     t

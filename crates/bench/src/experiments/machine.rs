@@ -246,6 +246,90 @@ pub fn e5_spawn_costs(scale: Scale) -> Table {
     t
 }
 
+/// E5b — native-pool park/wake costs, the other half of the spawn story:
+/// E5 prices the *grain* of a spawn on the simulated substrate; this
+/// prices the *wakeup* on the real pool. Workers park indefinitely in the
+/// per-domain sleeper registry, so the interesting numbers are the
+/// spawn-to-first-execution latency against a fully parked pool (one
+/// targeted futex wake on the critical path) and the idle cost once
+/// everything has parked — which must be zero: no periodic self-wakes
+/// (`idle_reparks/s`), no spurious wakes (`idle_wakes`).
+pub fn e5b_native_spawn(scale: Scale) -> Table {
+    use htvm_core::{Pool, Topology};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut t = Table::new(
+        "E5b native pool: spawn→exec wake latency and idle cost",
+        &[
+            "topology",
+            "spawn_exec_us_p50",
+            "parks",
+            "wakes_targeted",
+            "wakes_escalated",
+            "idle_reparks_per_s",
+            "idle_wakes",
+        ],
+    );
+    // A timed-out park wait would silently corrupt both measurements
+    // (cold spawns against a warm pool, an idle baseline snapshotted
+    // mid-settle); fail loudly so the report can't mis-blame the
+    // protocol.
+    let wait_parked = |pool: &Pool| {
+        assert!(
+            pool.wait_fully_parked(Duration::from_secs(10)),
+            "pool never fully parked; host too loaded to measure idle cost"
+        );
+    };
+    let reps = scale.pick(30u64, 200);
+    for (name, topo) in [
+        ("flat-4".to_string(), Topology::flat(4)),
+        ("2x2".to_string(), Topology::domains(2, 2)),
+    ] {
+        let pool = Pool::with_topology(topo);
+        let mut lat_us: Vec<f64> = Vec::with_capacity(reps as usize);
+        for _ in 0..reps {
+            // Cold spawn: measure against a fully parked pool so the wake
+            // is on the critical path.
+            wait_parked(&pool);
+            let nanos = Arc::new(AtomicU64::new(0));
+            let n2 = nanos.clone();
+            let t0 = Instant::now();
+            pool.spawn(move |_| {
+                n2.store(t0.elapsed().as_nanos() as u64 + 1, Ordering::SeqCst);
+            });
+            // Yield, don't spin: a hard spin on a single-CPU host starves
+            // the woken worker of the core and measures the scheduler
+            // quantum instead of the wake.
+            while nanos.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            lat_us.push((nanos.load(Ordering::SeqCst) - 1) as f64 / 1e3);
+            pool.wait_quiescent();
+        }
+        lat_us.sort_by(|a, b| a.total_cmp(b));
+        let p50 = lat_us[lat_us.len() / 2];
+        // Idle watch: once parked, the pool must stay silent.
+        wait_parked(&pool);
+        let before = pool.stats();
+        let window = Duration::from_millis(scale.pick(40, 150));
+        std::thread::sleep(window);
+        let after = pool.stats();
+        let reparks_per_s = (after.parks - before.parks) as f64 / window.as_secs_f64();
+        t.row(&[
+            name,
+            f2(p50),
+            after.parks.to_string(),
+            after.wakes_targeted.to_string(),
+            after.wakes_escalated.to_string(),
+            f2(reparks_per_s),
+            (after.total_wakes() - before.total_wakes()).to_string(),
+        ]);
+    }
+    t
+}
+
 /// Helper: a boxed strided kernel (shared by benches).
 pub fn mem_kernel(iters: u64, compute: u64, offset: u64) -> Box<dyn SimThread> {
     Box::new(strided_kernel(

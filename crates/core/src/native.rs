@@ -22,6 +22,58 @@
 //! stealing doubles as the *dynamic load adaptation* mechanism of §2 at
 //! the SGT grain, and the local/remote steal counters in [`PoolStats`]
 //! measure how often that adaptation had to pay the remote price.
+//!
+//! # Idle protocol: the epoch-stamped sleeper registry
+//!
+//! A worker whose search comes up empty spins politely for a bounded
+//! number of cycles, then **parks indefinitely** on its own private
+//! condvar. Parked workers are recorded in a per-domain **sleeper
+//! registry**, and spawns deliver **targeted single wakes** — one futex
+//! op aimed at the locality level that owns the work — instead of
+//! broadcasting to the whole pool:
+//!
+//! * [`Pool::spawn_in`] / [`WorkerCtx::spawn_in_domain`] wake one sleeper
+//!   registered in the job's home domain, falling outward in ring order
+//!   only when that domain has no sleeper ([`PoolStats::wakes_escalated`]
+//!   counts the fallbacks);
+//! * [`WorkerCtx::spawn`] wakes a domain sibling of the spawning worker
+//!   first (the new job sits in its LIFO deque, so a sibling is the
+//!   cheapest thief);
+//! * [`Pool::spawn`] / [`WorkerCtx::spawn_global`] wake exactly one
+//!   worker, rotating the starting domain so unaffine work does not
+//!   hammer domain 0;
+//! * [`Pool::spawn_batch_in`] wakes at most one sleeper per job, grouped
+//!   by domain — never more wakes than jobs, never a broadcast.
+//!
+//! The classic check-then-park race (a spawn lands between a worker's
+//! last empty search and its park) is closed by a global **epoch**
+//! counter instead of a timed re-poll. The invariants:
+//!
+//! 1. every spawn *publishes its job*, then *bumps the epoch*, then looks
+//!    for a sleeper to wake (in that order);
+//! 2. a parking worker reads the epoch *before* its final search and
+//!    re-checks it after registering in the sleeper list: a mismatch
+//!    means a spawn may have slipped past the search, so the worker
+//!    unregisters and searches again instead of sleeping;
+//! 3. if both sides race, sequential consistency guarantees at least one
+//!    of them loses: either the worker observes the bumped epoch (and
+//!    re-searches), or the spawner observes the registration (and wakes
+//!    the worker);
+//! 4. a registered worker is popped by at most one waker (the pop removes
+//!    it), and the wake token is delivered under the worker's private
+//!    mailbox lock, so it is never lost — and never goes *stale*: a
+//!    worker that finds itself already popped while withdrawing a
+//!    registration waits for that in-flight token before leaving park,
+//!    so every token is consumed by the registration it paid for;
+//! 5. lock order is mailbox → sleeper list on the worker side, and
+//!    sleeper list (released) *then* mailbox on the waker side, so the
+//!    two never deadlock.
+//!
+//! On an idle pool every worker parks once and stays parked — zero CPU,
+//! zero periodic self-wakes — which is what lets the §2 story ("idle
+//! thread units cost nothing, wakeups are targeted") actually hold.
+//! [`PoolStats::parks`] counts park events; a pool that re-polls would
+//! show it climbing on an idle pool.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -75,6 +127,21 @@ pub struct PoolStats {
     /// this back to confirm where its work was *aimed*; the `executed`
     /// counters say where it actually ran.
     pub domain_spawns: Vec<u64>,
+    /// Times a worker entered the sleeper registry to park (a park is
+    /// indefinite: an idle pool parks each worker once and this counter
+    /// then stays flat — a climbing value on an idle pool would betray a
+    /// self-waking re-poll). A worker that registers but withdraws because
+    /// a spawn (or shutdown) raced in still counts once; withdrawals only
+    /// happen while spawns are in flight or the pool is being torn down,
+    /// so on an idle, live pool this equals committed parks exactly.
+    pub parks: u64,
+    /// Wakes satisfied by a sleeper in the spawn's first-choice domain
+    /// (the home domain for affinity spawns, the spawner's own domain for
+    /// worker-local spawns, the rotor's pick for unaffine spawns).
+    pub wakes_targeted: u64,
+    /// Wakes that fell outward in ring order because the first-choice
+    /// domain had no sleeper — the wake-side analogue of a remote steal.
+    pub wakes_escalated: u64,
 }
 
 impl PoolStats {
@@ -101,6 +168,23 @@ impl PoolStats {
     /// Total jobs spawned with explicit domain affinity.
     pub fn total_domain_spawns(&self) -> u64 {
         self.domain_spawns.iter().sum()
+    }
+
+    /// Total sleeper wakes of either kind.
+    pub fn total_wakes(&self) -> u64 {
+        self.wakes_targeted + self.wakes_escalated
+    }
+
+    /// Fraction of wakes that had to leave the first-choice domain (0 when
+    /// nothing was woken). The wake-side counterpart of
+    /// [`PoolStats::remote_steal_ratio`].
+    pub fn escalated_wake_ratio(&self) -> f64 {
+        let total = self.total_wakes();
+        if total == 0 {
+            0.0
+        } else {
+            self.wakes_escalated as f64 / total as f64
+        }
     }
 
     /// Fraction of steals that crossed a domain boundary (0 when nothing
@@ -171,18 +255,69 @@ impl PoolStats {
     }
 }
 
-/// Coefficient of variation of a value sequence.
-fn cv(xs: impl Iterator<Item = f64> + Clone) -> f64 {
-    let n = xs.clone().count() as f64;
-    if n == 0.0 {
+/// Coefficient of variation of a value sequence, in one pass (Welford's
+/// online mean/variance update).
+fn cv(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut n, mut mean, mut m2) = (0.0f64, 0.0f64, 0.0f64);
+    for x in xs {
+        n += 1.0;
+        let d = x - mean;
+        mean += d / n;
+        m2 += d * (x - mean);
+    }
+    if n == 0.0 || mean == 0.0 {
         return 0.0;
     }
-    let mean = xs.clone().sum::<f64>() / n;
-    if mean == 0.0 {
-        return 0.0;
+    (m2 / n).sqrt() / mean
+}
+
+/// One worker's private parking spot. The boolean is the **wake token**:
+/// set under the lock by a waker, consumed under the lock by the worker.
+/// Delivering the token through a per-worker mutex (instead of a shared
+/// condvar) makes a wake exactly one futex op and makes it impossible to
+/// lose: a token set while the worker is awake is consumed on its next
+/// park attempt.
+struct Mailbox {
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The sleeper registry of the module-header idle protocol.
+struct Sleepers {
+    /// Bumped (SeqCst) by every spawn after publishing its job and before
+    /// scanning for a sleeper; closes the check-then-park race (invariants
+    /// 1–3 of the module header).
+    epoch: AtomicU64,
+    /// Total registered sleepers — the spawn fast path: when zero, a wake
+    /// is a single relaxed-cost atomic load and nothing else.
+    parked: AtomicUsize,
+    /// Worker indices currently parked (or committing to park), one list
+    /// per locality domain. Wakers pop LIFO — the most recently parked
+    /// worker is the warmest.
+    by_domain: Vec<Mutex<Vec<usize>>>,
+    /// One parking spot per worker.
+    mailboxes: Vec<Mailbox>,
+    /// Rotating first-choice domain for spawns with no affinity, so
+    /// unaffine wakes spread over the topology instead of always raiding
+    /// domain 0.
+    rotor: AtomicUsize,
+}
+
+impl Sleepers {
+    fn new(num_domains: usize, workers: usize) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            by_domain: (0..num_domains).map(|_| Mutex::new(Vec::new())).collect(),
+            mailboxes: (0..workers)
+                .map(|_| Mailbox {
+                    lock: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            rotor: AtomicUsize::new(0),
+        }
     }
-    let var = xs.map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-    var.sqrt() / mean
 }
 
 struct Shared {
@@ -199,9 +334,14 @@ struct Shared {
     /// Jobs whose body panicked (the unwind is contained per job).
     panics: AtomicU64,
     shutdown: AtomicBool,
-    /// Sleep/wake coordination for idle workers.
-    sleep_lock: Mutex<()>,
-    sleep_cv: Condvar,
+    /// Park/wake coordination for idle workers (module-header protocol).
+    sleepers: Sleepers,
+    /// Park events (see [`PoolStats::parks`]).
+    parks: AtomicU64,
+    /// Wakes satisfied in the first-choice domain.
+    wakes_targeted: AtomicU64,
+    /// Wakes that fell outward in ring order.
+    wakes_escalated: AtomicU64,
     /// Quiescence coordination for `wait_quiescent`.
     quiet_lock: Mutex<()>,
     quiet_cv: Condvar,
@@ -219,19 +359,24 @@ pub struct WorkerCtx<'a> {
 
 impl<'a> WorkerCtx<'a> {
     /// Spawn a child job onto this worker's own deque (LIFO — depth-first,
-    /// cache-friendly; stealable by idle peers, siblings first).
+    /// cache-friendly; stealable by idle peers, siblings first). Wakes one
+    /// sleeping domain sibling if there is one — the cheapest thief for a
+    /// job sitting in this worker's deque.
     pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
         self.deque.push(Box::new(job));
-        self.shared.wake_one();
+        self.shared.bump_epoch();
+        self.shared.wake_one_in(self.domain.0 as usize);
     }
 
-    /// Spawn to the global injector (round-robin start point; used when the
-    /// spawner wants to *avoid* keeping the work local).
+    /// Spawn to the global injector (used when the spawner wants to
+    /// *avoid* keeping the work local). Wakes exactly one sleeper, with a
+    /// rotating first-choice domain.
     pub fn spawn_global(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
         self.shared.injector.push(Box::new(job));
-        self.shared.wake_all();
+        self.shared.bump_epoch();
+        self.shared.wake_one_rotated();
     }
 
     /// Spawn into a specific domain's injector: the job is "home" there
@@ -256,25 +401,152 @@ impl<'a> WorkerCtx<'a> {
 }
 
 impl Shared {
-    fn wake_one(&self) {
-        let _g = self.sleep_lock.lock();
-        self.sleep_cv.notify_one();
+    /// Invariant 1 of the idle protocol: called by every spawn *after* its
+    /// job is visible in a deque or injector and *before* any sleeper
+    /// lookup. A batch bumps once for the whole batch.
+    fn bump_epoch(&self) {
+        self.sleepers.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
-    fn wake_all(&self) {
-        let _g = self.sleep_lock.lock();
-        self.sleep_cv.notify_all();
+    /// Deliver the wake token owed to a popped sleeper: set the token
+    /// under the worker's mailbox lock, notify, and adjust the gauge. The
+    /// caller must have already removed `w` from the registry (and hold no
+    /// registry lock — invariant 5: a parking worker locks in the
+    /// opposite nesting).
+    ///
+    /// The gauge decrement happens only after acquiring the mailbox: the
+    /// worker holds that lock across its registration *and* its gauge
+    /// increment, so acquisition proves the increment has landed — a
+    /// waker that pops an entry in the instant between the worker's list
+    /// push and its `parked.fetch_add` cannot drive the gauge below zero
+    /// (which, on a usize, would wrap `parked_workers()` to garbage and
+    /// defeat every spawner's zero fast path until it rebalanced).
+    fn deliver_token(&self, w: usize) {
+        let s = &self.sleepers;
+        let mb = &s.mailboxes[w];
+        let mut token = mb.lock.lock();
+        s.parked.fetch_sub(1, Ordering::SeqCst);
+        *token = true;
+        mb.cv.notify_one();
+    }
+
+    /// Wake one sleeper, preferring `home` and falling outward in ring
+    /// order. A no-op when nobody is parked (the fast path: one atomic
+    /// load). The pop removes the sleeper from the registry, so each
+    /// parked worker receives at most one token while parked.
+    fn wake_one_in(&self, home: usize) {
+        let s = &self.sleepers;
+        if s.parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let nd = s.by_domain.len();
+        for off in 0..nd {
+            let d = (home + off) % nd;
+            let popped = s.by_domain[d].lock().pop();
+            if let Some(w) = popped {
+                if off == 0 {
+                    self.wakes_targeted.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.wakes_escalated.fetch_add(1, Ordering::Relaxed);
+                }
+                self.deliver_token(w);
+                return;
+            }
+        }
+    }
+
+    /// Wake one sleeper with no affinity: the rotor picks the first-choice
+    /// domain so unaffine spawns spread their wakes over the topology.
+    fn wake_one_rotated(&self) {
+        let nd = self.sleepers.by_domain.len();
+        let home = self.sleepers.rotor.fetch_add(1, Ordering::Relaxed) % nd;
+        self.wake_one_in(home);
+    }
+
+    /// Shutdown broadcast: pop and token every registered sleeper. The
+    /// only remaining full-pool wake, and it runs once per pool lifetime.
+    fn wake_all_for_shutdown(&self) {
+        for list in &self.sleepers.by_domain {
+            let drained = std::mem::take(&mut *list.lock());
+            for w in drained {
+                self.deliver_token(w);
+            }
+        }
+    }
+
+    /// Park worker `w` of `domain` until a wake token arrives.
+    /// `observed_epoch` is the epoch read before the caller's last (empty)
+    /// work search; if any spawn has moved it since, the worker refuses to
+    /// sleep and re-searches instead (invariant 2).
+    fn park(&self, w: usize, domain: DomainId, observed_epoch: u64) {
+        let s = &self.sleepers;
+        let mb = &s.mailboxes[w];
+        let mut token = mb.lock.lock();
+        if *token {
+            // Defensive: a stray token (every planned delivery is consumed
+            // either in the sleep loop or in the popped-while-withdrawing
+            // branch below, so this should not fire). Consume it and
+            // re-search rather than sleeping through a wake.
+            *token = false;
+            return;
+        }
+        let d = domain.0 as usize;
+        s.by_domain[d].lock().push(w);
+        // The park is recorded *before* the gauge increment so that
+        // `parked_workers() == workers()` implies every registered
+        // worker's park is already visible in `PoolStats::parks` — the
+        // "pool has settled" probe of `wait_fully_parked` depends on that
+        // implication. The gauge increment in turn must precede the epoch
+        // re-check (invariant 3 needs the spawner's `parked` read to see
+        // us); a withdrawn attempt therefore stays counted, which is
+        // harmless: withdrawals only happen when a spawn raced in, never
+        // on an idle pool.
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        s.parked.fetch_add(1, Ordering::SeqCst);
+        if s.epoch.load(Ordering::SeqCst) != observed_epoch || self.shutdown.load(Ordering::SeqCst)
+        {
+            // A spawn (or shutdown) slipped in after our last search:
+            // withdraw and look again.
+            let withdrawn = {
+                let mut list = s.by_domain[d].lock();
+                list.iter()
+                    .position(|&x| x == w)
+                    .map(|i| list.swap_remove(i))
+            };
+            if withdrawn.is_some() {
+                s.parked.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                // A waker popped us before we could withdraw: it has
+                // already adjusted `parked` and is committed to delivering
+                // a token the moment we release the mailbox. Consume that
+                // token *here*, before returning — if we left it in
+                // flight, it could land against a *future* registration
+                // and wake us out of a real park while the new registry
+                // entry stays behind (a phantom entry an later waker
+                // would waste its single wake on, and an inflated
+                // `parked` gauge). The wait is bounded: the popper holds
+                // no lock we need.
+                while !*token {
+                    mb.cv.wait(&mut token);
+                }
+                *token = false;
+            }
+            return;
+        }
+        while !*token {
+            mb.cv.wait(&mut token);
+        }
+        *token = false;
     }
 
     fn spawn_in_domain(&self, domain: DomainId, job: Job) {
         self.push_in_domain(domain, job);
-        // The sleep set is shared across domains; wake everyone so a
-        // sleeping home worker cannot be missed.
-        self.wake_all();
+        self.bump_epoch();
+        self.wake_one_in(domain.0 as usize);
     }
 
     /// Enqueue a job into a domain injector without waking anyone — the
-    /// building block of batched spawns (one wake for the whole batch).
+    /// building block of batched spawns (wakes are grouped per batch).
     fn push_in_domain(&self, domain: DomainId, job: Job) {
         assert!(
             (domain.0 as usize) < self.domain_injectors.len(),
@@ -321,6 +593,7 @@ impl Pool {
         let domain_spawns = (0..topology.num_domains())
             .map(|_| AtomicU64::new(0))
             .collect();
+        let sleepers = Sleepers::new(topology.num_domains(), workers);
         let shared = Arc::new(Shared {
             topology,
             injector: Injector::new(),
@@ -331,8 +604,10 @@ impl Pool {
             active: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            sleep_lock: Mutex::new(()),
-            sleep_cv: Condvar::new(),
+            sleepers,
+            parks: AtomicU64::new(0),
+            wakes_targeted: AtomicU64::new(0),
+            wakes_escalated: AtomicU64::new(0),
             quiet_lock: Mutex::new(()),
             quiet_cv: Condvar::new(),
         });
@@ -350,11 +625,14 @@ impl Pool {
         Self { shared, handles }
     }
 
-    /// Spawn a job from outside the pool.
+    /// Spawn a job from outside the pool. Wakes exactly one worker (a
+    /// rotating first-choice domain spreads unaffine wakes over the
+    /// topology) — one futex op per spawn, not a broadcast.
     pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
         self.shared.injector.push(Box::new(job));
-        self.shared.wake_all();
+        self.shared.bump_epoch();
+        self.shared.wake_one_rotated();
     }
 
     /// Spawn a job from outside the pool with domain affinity: it lands in
@@ -367,11 +645,13 @@ impl Pool {
         self.shared.spawn_in_domain(domain, Box::new(job));
     }
 
-    /// Spawn a batch of domain-affine jobs with a single wake: every job
-    /// lands in its domain's injector first, then all workers are woken
-    /// once. A group scheduler (e.g. `htvm_ssp::exec`) uses this to place
-    /// one iteration group per domain without paying a futex storm per
-    /// group; the placement is recorded in [`PoolStats::domain_spawns`].
+    /// Spawn a batch of domain-affine jobs with grouped wakes: every job
+    /// lands in its domain's injector first, then each domain receives up
+    /// to as many targeted wakes as it received jobs — never more wakes
+    /// than jobs, never a pool-wide broadcast. A group scheduler (e.g.
+    /// `htvm_ssp::exec`) uses this to place one iteration group per domain
+    /// without paying a futex storm per group; the placement is recorded
+    /// in [`PoolStats::domain_spawns`].
     ///
     /// # Panics
     /// Panics if any domain is out of range for the pool's topology.
@@ -379,13 +659,25 @@ impl Pool {
     where
         F: FnOnce(&WorkerCtx) + Send + 'static,
     {
+        let mut per_domain = vec![0u64; self.shared.domain_injectors.len()];
         let mut any = false;
         for (domain, job) in jobs {
             self.shared.push_in_domain(domain, Box::new(job));
+            per_domain[domain.0 as usize] += 1;
             any = true;
         }
-        if any {
-            self.shared.wake_all();
+        if !any {
+            return;
+        }
+        // One epoch bump covers the whole batch (every job was published
+        // above); then hand each domain its share of wakes. `wake_one_in`
+        // returns immediately once nobody is parked, so a large batch on a
+        // busy pool costs one atomic load per job, not a futex each.
+        self.shared.bump_epoch();
+        for (d, &n) in per_domain.iter().enumerate() {
+            for _ in 0..n {
+                self.shared.wake_one_in(d);
+            }
         }
     }
 
@@ -413,6 +705,34 @@ impl Pool {
         self.shared.topology.num_domains()
     }
 
+    /// Workers currently registered in the sleeper registry — a live
+    /// gauge, not a cumulative counter. Note this cannot be derived from
+    /// [`PoolStats::parks`] minus [`PoolStats::total_wakes`]: a waker can
+    /// pop a worker that registered but then refused to sleep (failed
+    /// epoch re-check), recording a wake with no matching park.
+    pub fn parked_workers(&self) -> usize {
+        self.shared.sleepers.parked.load(Ordering::SeqCst)
+    }
+
+    /// Block (politely yielding) until every worker is registered in the
+    /// sleeper registry, or `timeout` elapses; returns whether the pool
+    /// became fully parked. Because a worker records its park in
+    /// [`PoolStats::parks`] *before* joining the gauge, a `true` return
+    /// also guarantees the counter has settled — no in-flight park can
+    /// bump it afterwards while the pool stays idle. Intended for tests
+    /// and benchmarks that need a cold-pool baseline; production code
+    /// never needs to wait for idleness.
+    pub fn wait_fully_parked(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.parked_workers() != self.workers() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
     /// Current activity snapshot.
     pub fn stats(&self) -> PoolStats {
         let load = |f: fn(&WorkerCounters) -> &AtomicU64| -> Vec<u64> {
@@ -436,14 +756,22 @@ impl Pool {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            wakes_targeted: self.shared.wakes_targeted.load(Ordering::Relaxed),
+            wakes_escalated: self.shared.wakes_escalated.load(Ordering::Relaxed),
         }
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.wake_all();
+        // SeqCst store + epoch bump: a worker mid-park either sees the
+        // flag/bump in its registered re-check, or its registration is
+        // visible to the drain below — the same two-sided argument as a
+        // spawn (module-header invariant 3).
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.bump_epoch();
+        self.shared.wake_all_for_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -451,12 +779,14 @@ impl Drop for Pool {
 }
 
 /// Failed full work-search cycles an idle worker tolerates (yielding the
-/// CPU each time) before it parks on the condvar. Bulk-synchronous codes
-/// re-spawn work within a phase's tail (tens to hundreds of µs); parking
-/// there would pay a full futex wake (itself tens to hundreds of µs on
-/// virtualized hosts) per phase. Spinning-then-parking is the standard
-/// work-stealing discipline (cf. rayon/Cilk); each cycle yields, so the
-/// spin donates its core whenever anything else is runnable.
+/// CPU each time) before it parks indefinitely in the sleeper registry.
+/// Bulk-synchronous codes re-spawn work within a phase's tail (tens to
+/// hundreds of µs); parking there would pay a full futex wake (itself
+/// tens to hundreds of µs on virtualized hosts) per phase.
+/// Spinning-then-parking is the standard work-stealing discipline (cf.
+/// rayon/Cilk); each cycle yields, so the spin donates its core whenever
+/// anything else is runnable. Once parked, a worker consumes nothing
+/// until a spawn delivers a wake token.
 const IDLE_SPINS_BEFORE_PARK: u32 = 512;
 
 /// Drain one `Steal` source, retrying on contention.
@@ -518,6 +848,20 @@ fn find_work(
     None
 }
 
+/// One full work search: own deque first (step 1, LIFO), then the
+/// proximity-ordered steps 2–5 of [`find_work`].
+fn next_job(
+    shared: &Shared,
+    index: usize,
+    domain: DomainId,
+    deque: &Deque<Job>,
+) -> Option<(Job, Acquire)> {
+    if let Some(job) = deque.pop() {
+        return Some((job, Acquire::Owned));
+    }
+    find_work(shared, index, domain, deque)
+}
+
 fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
     let ctx = WorkerCtx {
         shared: &shared,
@@ -527,14 +871,7 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
     };
     let mut idle_spins = 0u32;
     loop {
-        // 1. Local work first (LIFO).
-        if let Some(job) = deque.pop() {
-            idle_spins = 0;
-            run_job(&shared, index, &ctx, job, Acquire::Owned);
-            continue;
-        }
-        // 2–5. Proximity-ordered search.
-        if let Some((job, how)) = find_work(&shared, index, ctx.domain, &deque) {
+        if let Some((job, how)) = next_job(&shared, index, ctx.domain, &deque) {
             idle_spins = 0;
             run_job(&shared, index, &ctx, job, how);
             continue;
@@ -543,34 +880,30 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
             return;
         }
         // Nothing anywhere: spin politely for a while (new work usually
-        // arrives at phase boundaries within microseconds), then park.
+        // arrives at phase boundaries within microseconds), then park
+        // indefinitely — only a spawn's wake token or shutdown ends the
+        // park, never a timer.
         idle_spins += 1;
         if idle_spins < IDLE_SPINS_BEFORE_PARK {
             std::thread::yield_now();
             continue;
         }
         idle_spins = 0;
-        let mut g = shared.sleep_lock.lock();
-        // Re-check under the lock to avoid missed wakeups.
+        // Pre-park protocol (invariant 2): observe the epoch, then prove
+        // the pool empty once more *under that observation* before
+        // committing to park. Reading the epoch only here keeps the
+        // globally-written counter's cache line off the per-job hot path
+        // above — a spawn-heavy pool never touches it.
+        let epoch = shared.sleepers.epoch.load(Ordering::SeqCst);
+        if let Some((job, how)) = next_job(&shared, index, ctx.domain, &deque) {
+            run_job(&shared, index, &ctx, job, how);
+            continue;
+        }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if shared.active.load(Ordering::Acquire) == 0 || work_invisible(&shared, &deque) {
-            shared
-                .sleep_cv
-                .wait_for(&mut g, std::time::Duration::from_millis(1));
-        }
+        shared.park(index, ctx.domain, epoch);
     }
-}
-
-/// Cheap check that no work is visible to this worker right now (own
-/// deque, every domain injector, the global injector; peer deques are
-/// deliberately not probed). May spuriously say "true" under contention;
-/// the bounded `wait_for` above keeps that harmless.
-fn work_invisible(shared: &Shared, deque: &Deque<Job>) -> bool {
-    deque.is_empty()
-        && shared.injector.is_empty()
-        && shared.domain_injectors.iter().all(Injector::is_empty)
 }
 
 fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, how: Acquire) {
@@ -838,6 +1171,9 @@ mod tests {
             panics: 0,
             domain_of: vec![0, 0, 1, 1],
             domain_spawns: vec![0; 2],
+            parks: 0,
+            wakes_targeted: 0,
+            wakes_escalated: 0,
         };
         assert!(s.imbalance() < 1e-9);
         assert!(s.imbalance_by_domain() < 1e-9);
@@ -848,6 +1184,9 @@ mod tests {
             panics: 0,
             domain_of: vec![0, 0, 1, 1],
             domain_spawns: vec![0; 2],
+            parks: 0,
+            wakes_targeted: 0,
+            wakes_escalated: 0,
         };
         assert!(s2.imbalance() > 1.0);
         assert!(s2.imbalance_by_domain() > 0.9);
@@ -860,6 +1199,9 @@ mod tests {
             panics: 0,
             domain_of: vec![0, 1, 1, 1],
             domain_spawns: vec![0; 2],
+            parks: 0,
+            wakes_targeted: 0,
+            wakes_escalated: 0,
         };
         assert!(s3.imbalance_by_domain() < 1e-9);
     }
@@ -873,6 +1215,9 @@ mod tests {
             panics: 0,
             domain_of: vec![0, 0, 1, 1],
             domain_spawns: vec![3, 1],
+            parks: 0,
+            wakes_targeted: 0,
+            wakes_escalated: 0,
         };
         assert_eq!(s.executed_by_domain(), vec![12, 4]);
         assert_eq!(s.local_steals_by_domain(), vec![2, 1]);
@@ -887,6 +1232,9 @@ mod tests {
             panics: 0,
             domain_of: vec![0, 1],
             domain_spawns: vec![0; 2],
+            parks: 0,
+            wakes_targeted: 0,
+            wakes_escalated: 0,
         };
         assert_eq!(empty.remote_steal_ratio(), 0.0);
     }
@@ -943,5 +1291,150 @@ mod tests {
         pool.wait_quiescent();
         assert_eq!(done.load(Ordering::SeqCst), 8);
         assert_eq!(pool.stats().panics, 1);
+    }
+
+    /// Block until every worker of `pool` has parked. Parking is thread
+    /// state, not CPU occupancy, so this is deterministic even on a
+    /// single-CPU host — it only needs the idle spin budget to run out.
+    fn wait_all_parked(pool: &Pool) {
+        assert!(
+            pool.wait_fully_parked(std::time::Duration::from_secs(30)),
+            "workers never parked: {:?}",
+            pool.stats()
+        );
+    }
+
+    #[test]
+    fn idle_workers_park_once_and_stay_parked() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        wait_all_parked(&pool);
+        let before = pool.stats();
+        assert_eq!(before.parks, 4, "each worker parks exactly once");
+        // Long enough that the deleted 1ms re-poll would have re-parked
+        // every worker dozens of times.
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        let after = pool.stats();
+        assert_eq!(after.parks, before.parks, "a parked worker woke itself");
+        assert_eq!(after.total_wakes(), 0, "nothing spawned, nothing woken");
+        assert_eq!(after.total_executed(), 0);
+        assert_eq!(pool.parked_workers(), 4, "the live gauge agrees");
+    }
+
+    #[test]
+    fn affinity_spawn_wakes_home_domain_sleeper() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        wait_all_parked(&pool);
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        pool.spawn_in(DomainId(1), move |_| {
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        let stats = pool.stats();
+        // The wake was satisfied inside the home domain: no escalation.
+        assert_eq!(stats.wakes_targeted, 1, "{stats:?}");
+        assert_eq!(stats.wakes_escalated, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn exhausted_home_domain_escalates_the_wake() {
+        // Domain 0 has a single worker. The first affinity spawn pops it
+        // from the registry synchronously (the pop happens inside
+        // `spawn_in`, before the worker has even woken), so the second
+        // spawn finds domain 0 empty and must fall outward in ring order
+        // to a domain-1 sleeper.
+        let pool = Pool::with_topology(Topology::from_sizes([1, 3]));
+        wait_all_parked(&pool);
+        let done = Arc::new(AtomicU64::new(0));
+        // Handshake instead of a sleep: whichever worker runs the first
+        // job blocks on `gate` until the test releases it after the
+        // second spawn, so no amount of test-thread preemption can let a
+        // worker re-park between the two spawns.
+        let gate = Arc::new(AtomicU64::new(0));
+        {
+            let done = done.clone();
+            let gate = gate.clone();
+            pool.spawn_in(DomainId(0), move |_| {
+                while gate.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let done = done.clone();
+            pool.spawn_in(DomainId(0), move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        gate.store(1, Ordering::Release);
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.wakes_targeted, 1, "{stats:?}");
+        assert_eq!(stats.wakes_escalated, 1, "{stats:?}");
+        assert!((stats.escalated_wake_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_spawn_wakes_exactly_one_worker() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        wait_all_parked(&pool);
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        pool.spawn(move |_| {
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.stats().total_wakes(), 1, "one spawn, one wake");
+    }
+
+    #[test]
+    fn batch_spawn_wakes_at_most_one_sleeper_per_job() {
+        let pool = Pool::with_topology(Topology::domains(2, 2));
+        wait_all_parked(&pool);
+        let done = Arc::new(AtomicU64::new(0));
+        pool.spawn_batch_in((0..2u64).map(|g| {
+            let done = done.clone();
+            (DomainId(g), move |_: &WorkerCtx| {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        let stats = pool.stats();
+        assert!(stats.total_wakes() <= 2, "{stats:?}");
+        assert!(stats.total_wakes() >= 1, "a fully parked pool needs a wake");
+    }
+
+    #[test]
+    fn workers_repark_after_quiescence_and_wake_again() {
+        let pool = Pool::with_topology(Topology::domains(2, 1));
+        wait_all_parked(&pool);
+        let done = Arc::new(AtomicU64::new(0));
+        for round in 1..=3u64 {
+            let parked_before = pool.stats().parks;
+            for _ in 0..4 {
+                let done = done.clone();
+                pool.spawn(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait_quiescent();
+            assert_eq!(done.load(Ordering::SeqCst), 4 * round);
+            // At least one worker was woken for the round (the pool was
+            // fully parked) and must re-park once the pool drains.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while pool.stats().parks == parked_before {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "woken workers never re-parked: {:?}",
+                    pool.stats()
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
     }
 }

@@ -132,7 +132,9 @@ impl Htvm {
 
     /// Pool activity counters (steals double as migration counts; the
     /// local/remote split measures how often migration crossed a domain
-    /// boundary).
+    /// boundary, and the park/wake counters measure what idling cost —
+    /// `parks` stays flat on an idle runtime, `wakes_escalated` counts
+    /// wakeups that could not be satisfied in the spawn's home domain).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }

@@ -14,15 +14,34 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+/// The continuation state of a [`SyncSlot`] — a one-way street:
+/// `Unset → Armed → Fired` (re-arming an unfired slot is allowed;
+/// re-arming a fired one is a recorded no-op).
+enum ActionState {
+    /// No continuation attached yet.
+    Unset,
+    /// A continuation is waiting for the count to drain.
+    Armed(Box<dyn FnOnce() + Send>),
+    /// The continuation has run; the slot is spent.
+    Fired,
+}
+
 /// An EARTH-style sync slot: fires its continuation exactly once, when
 /// `count` signals have arrived.
 ///
 /// The continuation runs on the thread that delivers the final signal —
 /// matching EARTH, where the fiber enabled by the last sync signal is
 /// enqueued by the signalling processor.
+///
+/// "Exactly once" is a property of the slot, not of one continuation:
+/// once the slot has fired, [`SyncSlot::set_action`] refuses to arm it
+/// again (returning `false` and counting the attempt in
+/// [`SyncSlot::late_actions`]), so no slot ever runs two continuations.
 pub struct SyncSlot {
     remaining: AtomicIsize,
-    action: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    action: Mutex<ActionState>,
+    /// Post-fire `set_action` attempts, dropped on the floor by contract.
+    late_actions: AtomicU64,
 }
 
 impl SyncSlot {
@@ -32,7 +51,8 @@ impl SyncSlot {
     pub fn new(count: usize) -> Arc<Self> {
         Arc::new(Self {
             remaining: AtomicIsize::new(count as isize),
-            action: Mutex::new(None),
+            action: Mutex::new(ActionState::Unset),
+            late_actions: AtomicU64::new(0),
         })
     }
 
@@ -45,14 +65,24 @@ impl SyncSlot {
 
     /// Attach (or replace, if not yet fired) the continuation. If the count
     /// already reached zero, the action runs immediately on this thread.
-    pub fn set_action(self: &Arc<Self>, action: impl FnOnce() + Send + 'static) {
+    ///
+    /// Returns `true` if the continuation was armed (or ran). On a slot
+    /// that has already fired this is a **recorded no-op**: the action is
+    /// dropped, `false` comes back, and [`SyncSlot::late_actions`] ticks —
+    /// the slot's "fires exactly once" contract outranks the caller.
+    pub fn set_action(self: &Arc<Self>, action: impl FnOnce() + Send + 'static) -> bool {
         {
             let mut slot = self.action.lock();
-            *slot = Some(Box::new(action));
+            if matches!(*slot, ActionState::Fired) {
+                self.late_actions.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            *slot = ActionState::Armed(Box::new(action));
         }
         if self.remaining.load(Ordering::Acquire) <= 0 {
             self.try_fire();
         }
+        true
     }
 
     /// Deliver one signal. Returns `true` if this signal enabled the
@@ -77,8 +107,36 @@ impl SyncSlot {
         self.remaining.load(Ordering::Acquire)
     }
 
+    /// Whether the continuation has already run.
+    pub fn has_fired(&self) -> bool {
+        matches!(*self.action.lock(), ActionState::Fired)
+    }
+
+    /// How many [`SyncSlot::set_action`] calls arrived after the slot had
+    /// fired and were dropped as no-ops.
+    pub fn late_actions(&self) -> u64 {
+        self.late_actions.load(Ordering::Relaxed)
+    }
+
+    /// Run the continuation if one is armed, marking the slot spent. The
+    /// `Fired` marker is written under the same lock that guards arming,
+    /// so a concurrent `set_action` either re-arms *before* the take (its
+    /// action runs here — it replaced an unfired one) or observes `Fired`
+    /// and no-ops; two continuations can never both run.
     fn try_fire(&self) {
-        let action = self.action.lock().take();
+        let action = {
+            let mut slot = self.action.lock();
+            match std::mem::replace(&mut *slot, ActionState::Fired) {
+                ActionState::Armed(f) => Some(f),
+                // No continuation yet: stay unset so a zero-count slot can
+                // still fire on a later `set_action`.
+                ActionState::Unset => {
+                    *slot = ActionState::Unset;
+                    None
+                }
+                ActionState::Fired => None,
+            }
+        };
         if let Some(f) = action {
             f();
         }
@@ -89,6 +147,7 @@ impl std::fmt::Debug for SyncSlot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SyncSlot")
             .field("remaining", &self.outstanding())
+            .field("fired", &self.has_fired())
             .finish()
     }
 }
@@ -350,6 +409,69 @@ mod tests {
         assert!(!slot.signal_n(9));
         assert!(slot.signal_n(5));
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    /// The documented "fires exactly once" contract: a continuation
+    /// attached *after* the slot fired must not run — historically it ran
+    /// immediately, so one slot could fire twice.
+    #[test]
+    fn sync_slot_post_fire_set_action_is_a_recorded_noop() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = SyncSlot::with_action(1, {
+            let fired = fired.clone();
+            move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(slot.signal());
+        assert!(slot.has_fired());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Late attach: dropped, recorded, reported.
+        let late = fired.clone();
+        assert!(!slot.set_action(move || {
+            late.fetch_add(100, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "late action must not run");
+        assert_eq!(slot.late_actions(), 1);
+        // Further signals still cannot resurrect it.
+        assert!(!slot.signal());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    /// Replacing a not-yet-fired action is still allowed (and the
+    /// replacement is the one that runs).
+    #[test]
+    fn sync_slot_replace_before_fire_runs_replacement() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = SyncSlot::with_action(1, {
+            let fired = fired.clone();
+            move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let f2 = fired.clone();
+        assert!(slot.set_action(move || {
+            f2.fetch_add(10, Ordering::SeqCst);
+        }));
+        assert!(slot.signal());
+        assert_eq!(fired.load(Ordering::SeqCst), 10);
+        assert_eq!(slot.late_actions(), 0);
+    }
+
+    /// A zero-count slot stays armable until its action has actually run:
+    /// signalling an actionless slot must not burn the firing.
+    #[test]
+    fn sync_slot_unset_fire_does_not_spend_the_slot() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let slot = SyncSlot::new(1);
+        assert!(slot.signal(), "threshold crossed with no action armed");
+        assert!(!slot.has_fired(), "nothing ran yet");
+        let f2 = fired.clone();
+        assert!(slot.set_action(move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(slot.has_fired());
     }
 
     #[test]

@@ -290,7 +290,11 @@ impl SspExecutor {
     /// Returns `Ok(false)` if the nest cannot take the SSP path (lowering
     /// bail, unschedulable levels, forced level invalid) — the caller
     /// falls back to naive. Runtime errors (out-of-bounds stores) are
-    /// real errors.
+    /// real errors. The interpreter thread is the *helping caller* of
+    /// `run_partitioned` — it claims ready groups itself — and that call
+    /// is panic-safe: a group that unwinds (kernel bug, poisoned region)
+    /// comes back as this function's `Err` instead of wedging the help
+    /// loop or unwinding through the interpreter.
     fn try_run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<bool, String> {
         let env = spec.env;
         let resolve = |name: &str| env.get(name);

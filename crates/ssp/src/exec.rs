@@ -37,7 +37,8 @@ use crate::ssp::{schedule_all_levels, LevelPlan, SspConfig};
 /// One iteration point of the nest: receives the full index vector
 /// (outermost level first; absolute at the partitioned level if a nonzero
 /// `level_lo` was given, 0-based elsewhere). Errors abort the run after
-/// the wave in flight.
+/// the wave in flight; a **panic** is caught and surfaces the same way
+/// (as the wave's `Err`), never as a hang or an unwinding caller.
 pub type PointBody = dyn Fn(&[i64]) -> Result<(), String> + Send + Sync;
 
 /// What happened during a partitioned native run.
@@ -131,30 +132,80 @@ struct Wave {
     caller_ran: AtomicU64,
 }
 
+/// Completion bookkeeping for one claimed group, run from `Drop` so it
+/// happens **even when the group's body unwinds**: the successor slot is
+/// signalled and `finished` is incremented no matter how the group ends.
+/// Without this, a panicking [`PointBody`] on a pool worker would be
+/// contained by the pool's `catch_unwind` while the wave never learns the
+/// group died — `run_partitioned`'s help loop then livelocks forever on
+/// `finished < num_groups`.
+struct GroupDone<'a> {
+    wave: &'a Arc<Wave>,
+    group: u64,
+    by_caller: bool,
+}
+
+impl Drop for GroupDone<'_> {
+    fn drop(&mut self) {
+        if self.by_caller {
+            self.wave.caller_ran.fetch_add(1, Ordering::Relaxed);
+        }
+        // Enable the successor (wavefront chains only; parallel waves have
+        // every slot released up front). A dead group must still signal,
+        // or the rest of the chain starves behind it.
+        let next = self.wave.slots.lock().get(self.group as usize + 1).cloned();
+        if let Some(s) = next {
+            s.signal();
+        }
+        self.wave.finished.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Best-effort text of a panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 impl Wave {
     /// Claim one enabled group. Returns `false` if none is ready.
+    ///
+    /// Panic-safe: the body runs under `catch_unwind`, a panic is recorded
+    /// as the wave's error, and the [`GroupDone`] drop guard performs the
+    /// completion bookkeeping on every exit path — so neither a panicking
+    /// body nor an unwinding caller can wedge the wave. Because the panic
+    /// is caught *here*, it never reaches the pool's own containment:
+    /// `PoolStats::panics` deliberately stays at zero for SSP body panics
+    /// — the wave's `Err("group N panicked: …")` is their reporting
+    /// channel, and the pool counter keeps meaning "panics that escaped a
+    /// job unhandled".
     fn try_run_one(self: &Arc<Self>, by_caller: bool) -> bool {
         let Some(g) = self.ready.lock().pop_front() else {
             return false;
         };
+        let _done = GroupDone {
+            wave: self,
+            group: g,
+            by_caller,
+        };
         if self.error.lock().is_none() {
-            if let Err(e) = self.execute_group(g) {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute_group(g)))
+                    .unwrap_or_else(|p| {
+                        Err(format!("group {g} panicked: {}", panic_message(p.as_ref())))
+                    });
+            if let Err(e) = outcome {
                 let mut slot = self.error.lock();
                 if slot.is_none() {
                     *slot = Some(e);
                 }
             }
         }
-        if by_caller {
-            self.caller_ran.fetch_add(1, Ordering::Relaxed);
-        }
-        // Enable the successor (wavefront chains only; parallel waves have
-        // every slot released up front).
-        let next = self.slots.lock().get(g as usize + 1).cloned();
-        if let Some(s) = next {
-            s.signal();
-        }
-        self.finished.fetch_add(1, Ordering::Release);
         true
     }
 
@@ -186,7 +237,11 @@ impl Wave {
 /// value of the partitioned level's first iteration (the body sees
 /// absolute indices at `level` — callers whose loops start at 0 pass 0).
 ///
-/// Returns the first body error, after finishing the wave in flight.
+/// Returns the first body error, after finishing the wave in flight. A
+/// body that panics (instead of returning `Err`) is caught wherever it
+/// ran — helping caller or pool worker — recorded as the wave's error,
+/// and still signals its successor group, so the run ends in `Err` rather
+/// than livelocking on a group that will never finish.
 pub fn run_partitioned(
     pool: &Arc<Pool>,
     trip_counts: &[u64],
@@ -281,7 +336,8 @@ pub fn run_partitioned(
             }
         } else {
             // No wavefront: every group is ready at once — enqueue them
-            // all and batch-spawn the pickup jobs with a single wake.
+            // all and batch-spawn the pickup jobs (the batch delivers at
+            // most one targeted wake per job, grouped by home domain).
             {
                 let mut q = wave.ready.lock();
                 q.extend(0..num_groups);
@@ -448,6 +504,89 @@ mod tests {
         let err = run_partitioned(&p, &nest.trip_counts, 0, 0, &plan.partition, body).unwrap_err();
         p.wait_quiescent();
         assert!(err.contains("injected failure"));
+    }
+
+    /// A body that panics mid-wave (instead of returning `Err`) must
+    /// surface as the wave's error, not livelock the help loop — on a
+    /// single-worker pool the helping caller runs the group itself, so
+    /// this also proves the caller path contains the unwind.
+    #[test]
+    fn panicking_body_errors_on_single_worker() {
+        let nest = LoopNest::stencil_like(8, 4);
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let plan = plans.iter().find(|p| p.level == 0).unwrap();
+        let part = PartitionPlan::new(plan, 8, 4);
+        assert!(part.wavefront, "time level carries the recurrence");
+        let body: Arc<PointBody> = Arc::new(|idx| {
+            if idx[0] == 3 {
+                panic!("injected panic at t={}", idx[0]);
+            }
+            Ok(())
+        });
+        let p = pool(Topology::flat(1));
+        let err = run_partitioned(&p, &nest.trip_counts, 0, 0, &part, body).unwrap_err();
+        p.wait_quiescent();
+        assert!(err.contains("panicked"), "err: {err}");
+        assert!(err.contains("injected panic"), "err: {err}");
+    }
+
+    /// Same on a grouped multi-worker topology and a parallel (no
+    /// wavefront) plan: panicking groups may run on pool workers, whose
+    /// `catch_unwind` used to swallow the death without the wave ever
+    /// learning — `run_partitioned` then spun forever.
+    #[test]
+    fn panicking_body_errors_on_grouped_topology() {
+        let nest = LoopNest::elementwise(8, 6);
+        let plan = plan_native_nest(&nest, &SspConfig::default(), &[0, 1], 4).unwrap();
+        assert!(!plan.partition.wavefront);
+        let body: Arc<PointBody> = Arc::new(|idx| {
+            if idx[0] == 5 {
+                panic!("boom");
+            }
+            Ok(())
+        });
+        let p = pool(Topology::domains(2, 2));
+        let level = plan.level_plan.level;
+        let err =
+            run_partitioned(&p, &nest.trip_counts, level, 0, &plan.partition, body).unwrap_err();
+        p.wait_quiescent();
+        assert!(err.contains("panicked"), "err: {err}");
+        // The pool survives and takes new work afterwards.
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        p.spawn(move |_| {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        p.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    /// A panic in an early wave aborts before later waves start (same
+    /// abort-after-the-wave-in-flight contract as a returned `Err`).
+    #[test]
+    fn panic_aborts_after_wave_in_flight() {
+        let nest = LoopNest::matmul_like(3, 4, 2);
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let plan = plans.iter().find(|p| p.level == 1).unwrap();
+        let part = PartitionPlan::new(plan, 4, 4);
+        let max_wave = Arc::new(AtomicU64::new(0));
+        let m2 = max_wave.clone();
+        let body: Arc<PointBody> = Arc::new(move |idx| {
+            m2.fetch_max(idx[0] as u64, Ordering::SeqCst);
+            if idx[0] == 0 {
+                panic!("first wave dies");
+            }
+            Ok(())
+        });
+        let p = pool(Topology::flat(2));
+        let err = run_partitioned(&p, &nest.trip_counts, 1, 0, &part, body).unwrap_err();
+        p.wait_quiescent();
+        assert!(err.contains("panicked"), "err: {err}");
+        assert_eq!(
+            max_wave.load(Ordering::SeqCst),
+            0,
+            "no wave after the dead one may start"
+        );
     }
 
     /// `level_lo` translates the partitioned level's indices.

@@ -99,6 +99,31 @@ fn e5_grain_cost_ordering() {
     );
 }
 
+/// The idle-protocol acceptance claim, measured: a parked pool is silent
+/// (no periodic self-wakes, no spurious wakes), and a cold spawn still
+/// reaches execution (latency is finite and positive).
+#[test]
+fn e5b_parked_pool_is_silent_and_wakes_on_spawn() {
+    let _wall = wall_clock_guard();
+    let t = experiments::e5b_native_spawn(Scale::Quick);
+    assert_eq!(t.rows.len(), 2, "flat + grouped rows");
+    for r in &t.rows {
+        let p50: f64 = r[1].parse().unwrap();
+        let reparks_per_s: f64 = r[5].parse().unwrap();
+        let idle_wakes: u64 = r[6].parse().unwrap();
+        assert!(p50 > 0.0, "spawn→exec latency must be measured: {r:?}");
+        assert_eq!(
+            reparks_per_s, 0.0,
+            "idle pool must not re-park (self-wake): {r:?}"
+        );
+        assert_eq!(idle_wakes, 0, "idle pool must not wake anyone: {r:?}");
+        // Every cold spawn woke somebody: wakes were recorded.
+        let targeted: u64 = r[3].parse().unwrap();
+        let escalated: u64 = r[4].parse().unwrap();
+        assert!(targeted + escalated > 0, "cold spawns must wake: {r:?}");
+    }
+}
+
 #[test]
 fn e6_dynamic_beats_static_under_skew() {
     let t = experiments::e6_loop_sched(Scale::Quick);

@@ -1,0 +1,208 @@
+//! Park/wake protocol stress: hammer the exact races the epoch-stamped
+//! sleeper registry exists to close (see `crates/core/src/native.rs`,
+//! "Idle protocol").
+//!
+//! The dangerous window is a spawn landing between a worker's last empty
+//! work search and its park. These tests drive the pool through thousands
+//! of quiesce→respawn cycles — exactly the cadence that maximizes time
+//! spent in that window — across every canonical topology shape, from
+//! both external threads and pool workers. A protocol regression shows up
+//! as a lost wakeup, which `wait_quiescent` turns into a hang: the CI
+//! stress job wraps this suite in a `timeout`, so a hang fails fast
+//! instead of stalling the pipeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use htvm::core::{DomainId, Pool, Topology};
+
+/// The four canonical topology shapes: degenerate single worker, flat
+/// (singleton domains), grouped, and uneven.
+fn topologies() -> [Topology; 4] {
+    [
+        Topology::flat(1),
+        Topology::flat(4),
+        Topology::domains(2, 2),
+        Topology::from_sizes([1, 3]),
+    ]
+}
+
+/// Repeated quiesce→respawn cycles: after every quiescence the workers
+/// drift toward (or into) park, and the next burst of spawns must drag
+/// them back out — thousands of crossings of the check-then-park window.
+/// No job may be lost and no `wait_quiescent` may hang.
+#[test]
+fn quiesce_respawn_cycles_lose_no_jobs() {
+    for topo in topologies() {
+        let pool = Pool::with_topology(topo.clone());
+        let done = Arc::new(AtomicU64::new(0));
+        let mut expect = 0u64;
+        for cycle in 0..400u64 {
+            // Some cycles give the workers time to actually park, so both
+            // the spinning and the parked flavors of idle get raced.
+            if cycle % 32 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let nd = pool.num_domains() as u64;
+            for i in 0..5u64 {
+                let done = done.clone();
+                let job = move |_: &htvm::core::WorkerCtx| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                };
+                if i % 2 == 0 {
+                    pool.spawn(job);
+                } else {
+                    pool.spawn_in(DomainId(i % nd), job);
+                }
+                expect += 1;
+            }
+            pool.wait_quiescent();
+            assert_eq!(
+                done.load(Ordering::Relaxed),
+                expect,
+                "topology {topo:?} lost a job in cycle {cycle}"
+            );
+        }
+        assert_eq!(pool.stats().total_executed(), expect);
+    }
+}
+
+/// External spawner threads race the workers' park entry concurrently
+/// (not phase-locked like the cycle test): several producers, jittered
+/// pacing, nested worker-side spawns. Everything must drain.
+#[test]
+fn concurrent_external_spawns_race_park_entry() {
+    for topo in topologies() {
+        let pool = Arc::new(Pool::with_topology(topo.clone()));
+        let done = Arc::new(AtomicU64::new(0));
+        let producers = 3u64;
+        let bursts = 120u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let pool = pool.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    for b in 0..bursts {
+                        let done = done.clone();
+                        // Each burst: one external spawn fanning into two
+                        // worker-side spawns (deque pushes wake a domain
+                        // sibling — the third wake flavor under race).
+                        pool.spawn(move |ctx| {
+                            for _ in 0..2 {
+                                let done = done.clone();
+                                ctx.spawn(move |_| {
+                                    done.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                            done.fetch_add(1, Ordering::Relaxed);
+                        });
+                        // Jitter the pacing so producers hit idle workers
+                        // in different phases of the spin-then-park slide.
+                        if (b + p) % 16 == 0 {
+                            std::thread::sleep(Duration::from_micros(500));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        pool.wait_quiescent();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            producers * bursts * 3,
+            "topology {topo:?} lost spawns under racing producers"
+        );
+    }
+}
+
+/// Batched domain spawns racing park entry: the batch publishes all jobs
+/// before its single epoch bump, then delivers grouped wakes — the
+/// protocol's only multi-wake path.
+#[test]
+fn batched_spawns_race_park_entry() {
+    let topo = Topology::domains(2, 2);
+    let pool = Pool::with_topology(topo);
+    let done = Arc::new(AtomicU64::new(0));
+    let mut expect = 0u64;
+    for cycle in 0..300u64 {
+        if cycle % 32 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let k = 1 + (cycle % 4);
+        pool.spawn_batch_in((0..k).map(|g| {
+            let done = done.clone();
+            (DomainId(g % 2), move |_: &htvm::core::WorkerCtx| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        expect += k;
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::Relaxed), expect, "cycle {cycle}");
+    }
+}
+
+/// The acceptance claim of the protocol change: workers park indefinitely
+/// on an idle pool — no 1ms re-poll, no periodic self-wake. `parks`
+/// counts park *events*, so a re-polling worker would grow it by ~1000/s;
+/// a correctly parked pool holds it flat.
+#[test]
+fn parked_workers_stay_parked_on_an_idle_pool() {
+    for topo in topologies() {
+        let pool = Pool::with_topology(topo.clone());
+        let workers = pool.workers() as u64;
+        assert!(
+            pool.wait_fully_parked(Duration::from_secs(30)),
+            "topology {topo:?}: workers never parked: {:?}",
+            pool.stats()
+        );
+        let before = pool.stats();
+        assert_eq!(before.parks, workers, "each worker parks exactly once");
+        // Under the deleted timed-wait protocol this window would see
+        // dozens of re-parks per worker.
+        std::thread::sleep(Duration::from_millis(60));
+        let after = pool.stats();
+        assert_eq!(
+            after.parks, before.parks,
+            "topology {topo:?}: a parked worker woke itself"
+        );
+        assert_eq!(after.total_wakes(), 0, "nothing spawned, nothing woken");
+        assert_eq!(after.total_executed(), 0);
+    }
+}
+
+/// After real work drains, the pool returns to full park and stays there
+/// — quiescence must not leave a worker oscillating.
+#[test]
+fn pool_reparks_fully_after_work() {
+    let pool = Pool::with_topology(Topology::domains(2, 2));
+    let done = Arc::new(AtomicU64::new(0));
+    for _ in 0..64 {
+        let done = done.clone();
+        pool.spawn(move |ctx| {
+            let done = done.clone();
+            ctx.spawn(move |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }
+    pool.wait_quiescent();
+    assert_eq!(done.load(Ordering::Relaxed), 64);
+    // Every worker ends up registered as a sleeper again (the live gauge,
+    // not a counter difference — wakes can outnumber parks when a waker
+    // pops a worker that registered but refused to sleep).
+    assert!(
+        pool.wait_fully_parked(Duration::from_secs(30)),
+        "pool never re-parked fully: {:?} ({} registered)",
+        pool.stats(),
+        pool.parked_workers()
+    );
+    let settled = pool.stats();
+    std::thread::sleep(Duration::from_millis(40));
+    let later = pool.stats();
+    assert_eq!(settled.parks, later.parks, "re-parked pool must stay still");
+}
