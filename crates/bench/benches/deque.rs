@@ -1,0 +1,124 @@
+//! Criterion bench for the lock-free scheduling spine
+//! (`htvm_core::deque`) against the mutex-shim baseline
+//! (`crossbeam::deque`): owner push+pop, thief steal, injector publish
+//! and batched drain — the four queue ops the native pool's spawn/steal
+//! hot path is made of. The `e5c_queue_ops` report table measures the
+//! same ops with the same pairing; this bench is the
+//! criterion-harnessed twin for quick interactive runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htvm_core::deque as lf;
+
+const BURST: u64 = 256;
+
+fn bench_deque_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque_ops");
+
+    g.bench_function("push_pop_burst/mutex", |b| {
+        let w = crossbeam::deque::Worker::new_lifo();
+        b.iter(|| {
+            for i in 0..BURST {
+                w.push(i);
+            }
+            while w.pop().is_some() {}
+        })
+    });
+    g.bench_function("push_pop_burst/lockfree", |b| {
+        let w = lf::Worker::new_lifo();
+        b.iter(|| {
+            for i in 0..BURST {
+                w.push(i);
+            }
+            while w.pop().is_some() {}
+        })
+    });
+
+    g.bench_function("steal_drain/mutex", |b| {
+        let w = crossbeam::deque::Worker::new_lifo();
+        let s = w.stealer();
+        b.iter(|| {
+            for i in 0..BURST {
+                w.push(i);
+            }
+            while s.steal().success().is_some() {}
+        })
+    });
+    g.bench_function("steal_drain/lockfree", |b| {
+        let w = lf::Worker::new_lifo();
+        let s = w.stealer();
+        b.iter(|| {
+            for i in 0..BURST {
+                w.push(i);
+            }
+            loop {
+                match s.steal() {
+                    lf::Steal::Success(_) => {}
+                    lf::Steal::Retry => {}
+                    lf::Steal::Empty => break,
+                }
+            }
+        })
+    });
+
+    g.bench_function("injector_push_drain/mutex", |b| {
+        let inj = crossbeam::deque::Injector::new();
+        b.iter(|| {
+            for i in 0..BURST {
+                inj.push(i);
+            }
+            while inj.steal().success().is_some() {}
+        })
+    });
+    g.bench_function("injector_push_drain/lockfree", |b| {
+        let inj = lf::Injector::new();
+        b.iter(|| {
+            for i in 0..BURST {
+                inj.push(i);
+            }
+            while inj.steal().success().is_some() {}
+        })
+    });
+
+    // Batched publish + batched drain into a thief deque — the
+    // `spawn_batch_in` → `find_work` pickup path.
+    g.bench_function("injector_batch_cycle/mutex", |b| {
+        let inj = crossbeam::deque::Injector::new();
+        let dest = crossbeam::deque::Worker::new_lifo();
+        b.iter(|| {
+            for i in 0..BURST {
+                inj.push(i);
+            }
+            while inj.steal_batch_and_pop(&dest).success().is_some() {
+                while dest.pop().is_some() {}
+            }
+        })
+    });
+    g.bench_function("injector_batch_cycle/lockfree", |b| {
+        let inj = lf::Injector::new();
+        let dest = lf::Worker::new_lifo();
+        b.iter(|| {
+            inj.push_batch((0..BURST).collect());
+            while inj.steal_batch_and_pop(&dest).success().is_some() {
+                while dest.pop().is_some() {}
+            }
+        })
+    });
+
+    g.finish();
+}
+
+/// Short sampling: these run on small shared CI hosts; the authoritative
+/// comparison table is `e5c_queue_ops` in the report binaries.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = bench_deque_ops
+);
+criterion_main!(benches);

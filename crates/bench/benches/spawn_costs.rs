@@ -1,17 +1,31 @@
-//! Criterion bench for E5: native spawn costs of the three grains, plus
-//! the pool-level spawn→first-execution round trip that prices the
-//! park/wake protocol (the parked-pool p50 and the idle-cost watch are
-//! reported by the `e5b_native_spawn` table, where park waits can be
-//! excluded from the measurement).
+//! Criterion bench for E5: spawn costs, with the native pool's
+//! spawn→steal path and the simulated machine's grain costs reported as
+//! *separate* benchmark groups — so the `e5c_queue_ops` table (which
+//! decomposes the native path into queue ops) and the criterion numbers
+//! measure the same code, and a simulator regression can never be
+//! mistaken for a pool regression (or vice versa).
+//!
+//! Groups:
+//! * `e5_pool_spawn_steal` — the native pool end to end: external
+//!   spawn→first-execution, the batched domain publish, and a
+//!   worker-side spawn fan-out that forces sibling steals. This is the
+//!   code path the lock-free scheduling spine carries.
+//! * `e5_runtime_grains` — the HTVM runtime layers above the pool
+//!   (LGT spawn+join, SGT fan-out, TGT fiber graph).
+//! * `e5_sim_grains` — the simulated machine's spawn+join round trip
+//!   (the `SpawnPing` kernel the E5 report table prices in cycles),
+//!   here priced in host wall-clock for trend-watching only.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use htvm_core::{Htvm, HtvmConfig, Pool, Topology};
+use htvm_core::simrt::{SignalAlloc, SpawnPing};
+use htvm_core::{DomainId, Htvm, HtvmConfig, Pool, Topology};
+use htvm_sim::{Engine, MachineConfig, Placement, SpawnClass};
 
-fn bench_native_grains(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_native_grain_costs");
+fn bench_pool_spawn_steal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_pool_spawn_steal");
 
     // Pool floor: one external spawn to first execution (the first
     // iteration pays a futex wake for a parked worker; later iterations
@@ -34,6 +48,54 @@ fn bench_native_grains(c: &mut Criterion) {
             }
         })
     });
+
+    // Batched affinity publish: 64 jobs into 2 domains through the
+    // segmented injectors (one claim per segment), drained by steals.
+    g.bench_function("pool_spawn_batch_in_64", |b| {
+        let pool = Pool::with_topology(Topology::domains(2, 1));
+        let done = Arc::new(AtomicU64::new(0));
+        b.iter(|| {
+            let before = done.load(Ordering::Acquire);
+            pool.spawn_batch_in((0..64u64).map(|i| {
+                let done = done.clone();
+                (DomainId(i % 2), move |_: &htvm_core::WorkerCtx| {
+                    done.fetch_add(1, Ordering::AcqRel);
+                })
+            }));
+            while done.load(Ordering::Acquire) < before + 64 {
+                std::thread::yield_now();
+            }
+        })
+    });
+
+    // Worker-side fan-out: one root job pushes 64 children onto its own
+    // deque; the sibling must steal to participate — spawn→steal, the
+    // op pairing e5c prices at the queue level.
+    g.bench_function("pool_spawn_fanout_steal_64", |b| {
+        let pool = Pool::with_topology(Topology::domains(1, 2));
+        let done = Arc::new(AtomicU64::new(0));
+        b.iter(|| {
+            let before = done.load(Ordering::Acquire);
+            let d = done.clone();
+            pool.spawn(move |ctx| {
+                for _ in 0..64 {
+                    let d = d.clone();
+                    ctx.spawn(move |_| {
+                        d.fetch_add(1, Ordering::AcqRel);
+                    });
+                }
+            });
+            while done.load(Ordering::Acquire) < before + 64 {
+                std::thread::yield_now();
+            }
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_runtime_grains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_runtime_grains");
 
     // LGT: spawn + join a whole large-grain thread.
     g.bench_function("lgt_spawn_join", |b| {
@@ -77,6 +139,30 @@ fn bench_native_grains(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sim_grains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_sim_grains");
+    for (class, name) in [
+        (SpawnClass::Tgt, "sim_tgt_ping_20"),
+        (SpawnClass::Sgt, "sim_sgt_ping_20"),
+        (SpawnClass::Lgt, "sim_lgt_ping_20"),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = Engine::new(MachineConfig::small());
+                let mut sigs = SignalAlloc::new();
+                let sig = sigs.fresh();
+                e.spawn(
+                    Placement::Unit(0, 0),
+                    SpawnClass::Lgt,
+                    Box::new(SpawnPing::new(class, 20, sig)),
+                );
+                criterion::black_box(e.run().now)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Short sampling: these benches run on small shared CI hosts; the
 /// simulated-cycle tables (the actual experiment results) come from the
 /// report binaries, so wall-clock here only needs to be indicative.
@@ -90,6 +176,6 @@ fn quick_config() -> Criterion {
 criterion_group!(
     name = benches;
     config = quick_config();
-    targets = bench_native_grains
+    targets = bench_pool_spawn_steal, bench_runtime_grains, bench_sim_grains
 );
 criterion_main!(benches);

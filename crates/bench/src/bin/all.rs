@@ -1,11 +1,17 @@
-//! Run every experiment of the reproduction, print all tables, and honour
-//! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary.
+//! Run every experiment of the reproduction, print all tables, honour
+//! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary,
+//! and always refresh `BENCH_pool.json` — the pool-perf baseline
+//! (e5/e5b/e5c spawn+queue costs, e17 topology traffic, e18 SSP-native)
+//! future PRs compare their numbers against.
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--quick") {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
         htvm_bench::experiments::Scale::Quick
     } else {
         htvm_bench::experiments::Scale::Full
     };
     let tables = htvm_bench::experiments::run_all(scale);
-    htvm_bench::report::emit("all", &tables.iter().collect::<Vec<_>>());
+    let refs = tables.iter().collect::<Vec<_>>();
+    htvm_bench::report::emit("all", &refs);
+    htvm_bench::report::write_pool_baseline(if quick { "quick" } else { "full" }, &refs);
 }

@@ -1,9 +1,10 @@
 //! Report binary for e5_spawn_costs: prints the full-scale experiment tables
-//! (simulated grain costs + native-pool park/wake costs) and honours
-//! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary (see
-//! `htvm_bench::report`).
+//! (simulated grain costs + native-pool park/wake costs + scheduling-spine
+//! queue-op costs) and honours `--json <path>` / `HTVM_BENCH_JSON` for a
+//! machine-readable summary (see `htvm_bench::report`).
 fn main() {
     let grains = htvm_bench::experiments::e5_spawn_costs(htvm_bench::experiments::Scale::Full);
     let native = htvm_bench::experiments::e5b_native_spawn(htvm_bench::experiments::Scale::Full);
-    htvm_bench::report::emit("e5_spawn_costs", &[&grains, &native]);
+    let queues = htvm_bench::experiments::e5c_queue_ops(htvm_bench::experiments::Scale::Full);
+    htvm_bench::report::emit("e5_spawn_costs", &[&grains, &native, &queues]);
 }

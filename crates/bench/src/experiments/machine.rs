@@ -330,6 +330,263 @@ pub fn e5b_native_spawn(scale: Scale) -> Table {
     t
 }
 
+/// E5c — the price of one queue operation on the scheduling spine:
+/// owner push/pop, thief steal, injector publish and batch-steal, for
+/// the lock-free spine (`htvm_core::deque`) against the mutex-shim
+/// baseline (`crossbeam::deque`, the `Mutex<VecDeque>` vendor shim the
+/// pool ran on before the spine landed).
+///
+/// The `stealers` column is the number of concurrent thieves raiding the
+/// queue — 1/2/4, standing in for the workers of a 1/2/4-domain
+/// topology all converging on one victim. Owner ops and injector pushes
+/// are single-threaded by construction (the deque has one owner; a
+/// spawner publishes alone), so those rows show `-`.
+///
+/// This table is the microbenchmark twin of the `deque` criterion bench
+/// and the queue-level decomposition of `pool_spawn_to_exec` in the
+/// `spawn_costs` bench: all three measure the same code the pool runs in
+/// `native::find_work` / `Pool::spawn_batch_in`.
+pub fn e5c_queue_ops(scale: Scale) -> Table {
+    use htvm_core::deque as lf;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E5c queue ops: ns/op, mutex shim vs lock-free spine",
+        &["op", "stealers", "mutex_ns", "lockfree_ns", "speedup"],
+    );
+    let n = scale.pick(40_000u64, 400_000);
+
+    // Owner push+pop round trips on a warmed deque (the spawn-side hot
+    // path: a worker pushing then LIFO-popping its own children).
+    let push_pop_mutex = {
+        let w = crossbeam::deque::Worker::new_lifo();
+        let t0 = Instant::now();
+        for i in 0..n {
+            w.push(i);
+            if i % 8 == 7 {
+                for _ in 0..8 {
+                    std::hint::black_box(w.pop());
+                }
+            }
+        }
+        while w.pop().is_some() {}
+        t0.elapsed().as_nanos() as f64 / (2 * n) as f64
+    };
+    let push_pop_lf = {
+        let w = lf::Worker::new_lifo();
+        let t0 = Instant::now();
+        for i in 0..n {
+            w.push(i);
+            if i % 8 == 7 {
+                for _ in 0..8 {
+                    std::hint::black_box(w.pop());
+                }
+            }
+        }
+        while w.pop().is_some() {}
+        t0.elapsed().as_nanos() as f64 / (2 * n) as f64
+    };
+    t.row(&[
+        "deque push+pop".to_string(),
+        "-".to_string(),
+        f2(push_pop_mutex),
+        f2(push_pop_lf),
+        f2(push_pop_mutex / push_pop_lf.max(1e-9)),
+    ]);
+
+    // Thief steals draining a pre-filled deque, 1/2/4 concurrent thieves
+    // (ns per successfully stolen job, wall-clock over the full drain).
+    // Thieves are spawned *before* the clock starts and released by a
+    // start flag, so 1–4 thread-creation costs never dilute the per-op
+    // numbers toward parity.
+    for thieves in [1usize, 2, 4] {
+        let items = scale.pick(8_000u64, 60_000);
+        let drain_mutex = {
+            let w = crossbeam::deque::Worker::new_lifo();
+            for i in 0..items {
+                w.push(i);
+            }
+            let taken = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let start = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| {
+                    let s = w.stealer();
+                    let taken = taken.clone();
+                    let start = start.clone();
+                    std::thread::spawn(move || {
+                        // Yield, don't spin: on a single-CPU host a hard
+                        // spin here would burn a scheduler quantum inside
+                        // the timed window.
+                        while start.load(std::sync::atomic::Ordering::Acquire) == 0 {
+                            std::thread::yield_now();
+                        }
+                        loop {
+                            match s.steal() {
+                                crossbeam::deque::Steal::Success(v) => {
+                                    std::hint::black_box(v);
+                                    taken.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                _ => return,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let t0 = Instant::now();
+            start.store(1, std::sync::atomic::Ordering::Release);
+            for h in handles {
+                let _ = h.join();
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / items as f64;
+            assert_eq!(
+                taken.load(std::sync::atomic::Ordering::Relaxed),
+                items,
+                "mutex drain lost jobs"
+            );
+            ns
+        };
+        let drain_lf = {
+            let w = lf::Worker::new_lifo();
+            for i in 0..items {
+                w.push(i);
+            }
+            let taken = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let start = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| {
+                    let s = w.stealer();
+                    let taken = taken.clone();
+                    let start = start.clone();
+                    std::thread::spawn(move || {
+                        // Yield, don't spin: on a single-CPU host a hard
+                        // spin here would burn a scheduler quantum inside
+                        // the timed window.
+                        while start.load(std::sync::atomic::Ordering::Acquire) == 0 {
+                            std::thread::yield_now();
+                        }
+                        // Pin once around the drain, exactly as the
+                        // pool's `find_work` pins once around its steal
+                        // sweep: each steal inside skips the epoch
+                        // publication fence.
+                        let _pin = lf::pin();
+                        loop {
+                            match s.steal() {
+                                lf::Steal::Success(v) => {
+                                    std::hint::black_box(v);
+                                    taken.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                lf::Steal::Retry => continue,
+                                lf::Steal::Empty => return,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let t0 = Instant::now();
+            start.store(1, std::sync::atomic::Ordering::Release);
+            for h in handles {
+                let _ = h.join();
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / items as f64;
+            assert_eq!(
+                taken.load(std::sync::atomic::Ordering::Relaxed),
+                items,
+                "lock-free drain lost jobs"
+            );
+            ns
+        };
+        t.row(&[
+            "deque steal".to_string(),
+            thieves.to_string(),
+            f2(drain_mutex),
+            f2(drain_lf),
+            f2(drain_mutex / drain_lf.max(1e-9)),
+        ]);
+    }
+
+    // Injector batch publish, per job — the `spawn_batch_in` path. The
+    // shim has no batch API, so its side pays one lock round-trip per
+    // job (exactly what the pool paid before the spine landed); the
+    // lock-free side claims each segment's share of the run with a
+    // single `fetch_add`.
+    let batch64 = 64u64;
+    let rounds = n / batch64;
+    let inj_pub_mutex = {
+        let inj = crossbeam::deque::Injector::new();
+        let t0 = Instant::now();
+        for r in 0..rounds {
+            for i in 0..batch64 {
+                inj.push(r * batch64 + i);
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / (rounds * batch64) as f64;
+        while inj.steal().success().is_some() {}
+        ns
+    };
+    let inj_pub_lf = {
+        let inj = lf::Injector::new();
+        let t0 = Instant::now();
+        for r in 0..rounds {
+            inj.push_batch((r * batch64..(r + 1) * batch64).collect());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / (rounds * batch64) as f64;
+        while inj.steal().success().is_some() {}
+        ns
+    };
+    t.row(&[
+        "injector batch-publish x64".to_string(),
+        "-".to_string(),
+        f2(inj_pub_mutex),
+        f2(inj_pub_lf),
+        f2(inj_pub_mutex / inj_pub_lf.max(1e-9)),
+    ]);
+
+    // Batched injector drain into a thief's deque (the `find_work`
+    // domain-injector pickup): one steal_batch_and_pop claims a run.
+    let batch_items = scale.pick(8_000u64, 60_000);
+    let batch_mutex = {
+        let inj = crossbeam::deque::Injector::new();
+        for i in 0..batch_items {
+            inj.push(i);
+        }
+        let dest = crossbeam::deque::Worker::new_lifo();
+        let t0 = Instant::now();
+        let mut got = 0u64;
+        while inj.steal_batch_and_pop(&dest).success().is_some() {
+            got += 1;
+            while dest.pop().is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, batch_items);
+        t0.elapsed().as_nanos() as f64 / batch_items as f64
+    };
+    let batch_lf = {
+        let inj = lf::Injector::new();
+        inj.push_batch((0..batch_items).collect());
+        let dest = lf::Worker::new_lifo();
+        let t0 = Instant::now();
+        let mut got = 0u64;
+        while inj.steal_batch_and_pop(&dest).success().is_some() {
+            got += 1;
+            while dest.pop().is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, batch_items);
+        t0.elapsed().as_nanos() as f64 / batch_items as f64
+    };
+    t.row(&[
+        "injector batch-steal".to_string(),
+        "1".to_string(),
+        f2(batch_mutex),
+        f2(batch_lf),
+        f2(batch_mutex / batch_lf.max(1e-9)),
+    ]);
+    t
+}
+
 /// Helper: a boxed strided kernel (shared by benches).
 pub fn mem_kernel(iters: u64, compute: u64, offset: u64) -> Box<dyn SimThread> {
     Box::new(strided_kernel(

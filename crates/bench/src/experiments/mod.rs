@@ -19,6 +19,7 @@ pub use apps::{e14_neocortex, e15_md, e16_litlx};
 pub use domains::e17_domains;
 pub use machine::{
     e1_latency_tolerance, e2_parcels, e3_futures, e4_percolation, e5_spawn_costs, e5b_native_spawn,
+    e5c_queue_ops,
 };
 pub use sched::{
     e10_locality, e11_latency_adapt, e12_hints, e13_monitor, e6_loop_sched, e7_ssp, e8_ssp_mt,
@@ -54,6 +55,7 @@ pub fn run_all(scale: Scale) -> Vec<crate::Table> {
         e4_percolation(scale),
         e5_spawn_costs(scale),
         e5b_native_spawn(scale),
+        e5c_queue_ops(scale),
         e6_loop_sched(scale),
         e7_ssp(scale),
         e8_ssp_mt(scale),

@@ -61,6 +61,59 @@ pub fn emit(id: &str, tables: &[&Table]) {
     }
 }
 
+/// Experiment tables that make up the pool's perf baseline: the spawn/
+/// steal cost pyramid (E5 grain costs, E5b park/wake latency, E5c queue
+/// ops) plus the topology and SSP end-to-end tables (E17, E18) that sit
+/// on top of it.
+pub fn is_pool_baseline_table(t: &Table) -> bool {
+    ["E5 ", "E5b", "E5c", "E17", "E18"]
+        .iter()
+        .any(|p| t.title.starts_with(p))
+}
+
+/// Where the pool baseline lives: the workspace root, regardless of the
+/// invocation's working directory (a cwd-relative write would silently
+/// strand the baseline wherever the binary happened to run). Resolved
+/// from this crate's manifest dir at compile time; if that checkout path
+/// no longer exists (an installed/copied binary), fall back to cwd.
+fn pool_baseline_path() -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    if root.is_dir() {
+        root.join("BENCH_pool.json")
+    } else {
+        std::path::PathBuf::from("BENCH_pool.json")
+    }
+}
+
+/// Write `BENCH_pool.json` — the machine-readable perf baseline future
+/// PRs diff against. Filters `tables` down to the pool-trajectory set
+/// ([`is_pool_baseline_table`]) and records the scale label so quick
+/// and full baselines are never compared to each other by accident.
+pub fn write_pool_baseline(scale: &str, tables: &[&Table]) {
+    let picked: Vec<&Table> = tables
+        .iter()
+        .copied()
+        .filter(|t| is_pool_baseline_table(t))
+        .collect();
+    let body = picked
+        .iter()
+        .map(|t| t.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc =
+        format!("{{\"experiment\":\"pool_baseline\",\"scale\":\"{scale}\",\"tables\":[{body}]}}\n");
+    let path = pool_baseline_path();
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("wrote pool perf baseline to {}", path.display()),
+        Err(e) => eprintln!(
+            "failed to write pool perf baseline to {}: {e}",
+            path.display()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

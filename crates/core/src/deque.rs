@@ -1,0 +1,1258 @@
+//! The lock-free scheduling spine: a Chase–Lev work-stealing deque and a
+//! segmented MPMC injector, replacing the `Mutex<VecDeque>` crossbeam shim
+//! on every hot-path queue operation of [`crate::native`].
+//!
+//! The paper's premise (§3.1.1) is that SGTs only pay off when spawn and
+//! steal cost far less than the task grain. A mutex on the owner's
+//! push/pop path serializes exactly the operations that must be cheapest,
+//! so this module provides the classic lock-free alternatives:
+//!
+//! * [`Worker`]/[`Stealer`] — the **Chase–Lev deque** (Chase & Lev, SPAA
+//!   2005; orderings per Lê et al., PPoPP 2013): a growable circular
+//!   buffer with a `bottom` index written only by the owner and a `top`
+//!   index advanced only by CAS. The owner pushes and pops LIFO at the
+//!   bottom with plain loads/stores (no RMW except when racing for the
+//!   last element); thieves steal FIFO at the top with one CAS.
+//! * [`Injector`] — a **segmented MPMC FIFO**: fixed-size segments
+//!   ([`SEGMENT_CAP`] slots) linked by atomic pointers. Producers claim
+//!   slots with one `fetch_add` on the tail segment's cursor (a whole
+//!   batch claims its run in a single RMW — see [`Injector::push_batch`]),
+//!   consumers claim with one CAS on the head segment's cursor, and
+//!   [`Injector::steal_batch_and_pop`] moves a run of jobs into a thief's
+//!   deque with a single CAS-bounded claim.
+//!
+//! # Memory-ordering invariants (who writes what)
+//!
+//! Deque: **only the owner writes `bottom`** (push: `Release` store after
+//! the slot write; pop: speculative decrement then `SeqCst` fence before
+//! reading `top`). **`top` only moves forward, and only by CAS** (steal,
+//! or the owner's pop racing for the last element), so an index can never
+//! be claimed twice and the monotone `i64` rules out ABA. A thief reads
+//! the slot *before* its CAS and discards the value on failure — the read
+//! may race an owner push that has wrapped the ring, which is the deque's
+//! one intentional race; the failed CAS proves the value was dead.
+//!
+//! Injector: a producer writes a slot's value, then `Release`-stores the
+//! slot state to *written*; consumers stop at the first slot that is not
+//! yet written, so FIFO visibility is exact — a job is stealable only
+//! once fully published, and never before its predecessors.
+//!
+//! # Buffer retirement (when memory is freed)
+//!
+//! Growing the deque replaces its ring buffer, and draining a segment
+//! unlinks it — but a thief may still be reading through the old pointer.
+//! Retired buffers and segments therefore go through **epoch-deferred
+//! reclamation** (a miniature of the crossbeam-epoch design, private
+//! `epoch` module): every thread owns a registry slot; before
+//! dereferencing a shared pointer it *pins* — publishes the current
+//! global epoch in its slot with a plain store followed by one `SeqCst`
+//! fence — and unpins with a `Release` store when done. Retired garbage
+//! is stamped with the current epoch and parked in a per-structure limbo
+//! list; the epoch advances only when every pinned thread has caught up
+//! to it, and a stamped item is freed once the epoch has advanced twice
+//! past its stamp — by then no thread can have pinned early enough to
+//! still hold the dead pointer. The owner's push/pop path never pins
+//! (the owner is the only thread that replaces its own buffer); pins are
+//! **reentrant**, so a caller probing many queues (the pool's steal
+//! sweep) pins once and every steal inside skips the publication fence —
+//! the Chase–Lev top/bottom load ordering is then supplied by the
+//! steal's own `steal_order_fence` (a hardware fence only where the
+//! architecture needs one). Retirement is rare (once per doubling, once
+//! per [`SEGMENT_CAP`] jobs) and serializes on a cold-path mutex.
+//!
+//! # Approximate lengths
+//!
+//! [`Worker::len`], [`Stealer::len`], [`Injector::len`] (and the
+//! `is_empty` companions) are **racy snapshots**: they read both cursors
+//! without synchronizing against in-flight operations, so the answer can
+//! be stale by the time it returns. That is the documented contract for
+//! every consumer that feeds queue depth into steal decisions (see
+//! `native::find_work`): a false "empty" can only skip a victim whose
+//! work arrived mid-search, and the pool's epoch-stamped park protocol
+//! already forces a re-search before any worker sleeps, so no job is
+//! stranded. Anything that needs an exact count must drain the queue.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Result of a steal attempt (same three-way contract as crossbeam's).
+pub enum Steal<T> {
+    /// A job was stolen.
+    Success(T),
+    /// The queue was observably empty.
+    Empty,
+    /// A concurrent operation won the race; the caller may retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether the attempt observed an empty queue.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// The stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based reclamation (shared by the deque and the injector).
+// ---------------------------------------------------------------------------
+
+/// A process-wide epoch domain with thread-local participants — the
+/// crossbeam-epoch architecture, miniaturized.
+///
+/// Pinning costs one plain store plus one `SeqCst` fence (no RMW): a
+/// thread publishes "pinned at epoch *e*" in its own registry slot, the
+/// fence orders that publication before every subsequent shared-pointer
+/// load, and a re-check repins in the (rare) case the global epoch moved
+/// mid-publish. The collector advances the global epoch only when every
+/// pinned participant has caught up to it, and garbage is freed once the
+/// epoch has advanced **twice** past its retire stamp — by then, no
+/// participant can have been pinned early enough to still hold the
+/// retired pointer. Threads that exit mark their slot inactive so a dead
+/// worker never stalls the epoch.
+mod epoch {
+    use std::cell::Cell;
+    use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// One participant's published state: 0 when quiescent, otherwise
+    /// `(epoch << 1) | 1`.
+    pub(super) struct Participant {
+        state: AtomicU64,
+        active: AtomicBool,
+    }
+
+    /// The global epoch counter. Starts above the free horizon so the
+    /// `tag + 2` arithmetic never underflows.
+    static GLOBAL: AtomicU64 = AtomicU64::new(2);
+    /// Every participant ever registered (inactive ones are compacted
+    /// away when new threads register). Cold-path only.
+    static REGISTRY: Mutex<Vec<Arc<Participant>>> = Mutex::new(Vec::new());
+
+    pub(super) struct LocalSlot {
+        slot: Arc<Participant>,
+        /// Pin nesting depth. Only the outermost pin publishes (and pays
+        /// the fence); nested pins are a counter bump — which is what
+        /// lets the pool pin once around a whole steal sweep and make
+        /// every steal attempt inside fence-free.
+        nest: Cell<u32>,
+    }
+
+    impl Drop for LocalSlot {
+        fn drop(&mut self) {
+            self.slot.state.store(0, Ordering::Release);
+            self.slot.active.store(false, Ordering::Release);
+        }
+    }
+
+    thread_local! {
+        static LOCAL: LocalSlot = register();
+    }
+
+    fn register() -> LocalSlot {
+        let slot = Arc::new(Participant {
+            state: AtomicU64::new(0),
+            active: AtomicBool::new(true),
+        });
+        let mut reg = REGISTRY.lock().unwrap();
+        reg.retain(|s| s.active.load(Ordering::Acquire));
+        reg.push(slot.clone());
+        LocalSlot {
+            slot,
+            nest: Cell::new(0),
+        }
+    }
+
+    /// An active pin; dropping the outermost guard unpins with a single
+    /// `Release` store. Deliberately `!Send` (raw pointer): a guard must
+    /// stay on the thread that pinned.
+    pub struct Guard {
+        // Points at the thread's TLS record; valid for the guard's whole
+        // life because guards never leave the pinning thread and the TLS
+        // destructor runs only after user frames have unwound.
+        local: *const LocalSlot,
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            unsafe {
+                let l = &*self.local;
+                let n = l.nest.get() - 1;
+                l.nest.set(n);
+                if n == 0 {
+                    l.slot.state.store(0, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Pin the current thread at the current global epoch. The `SeqCst`
+    /// fence inside is what makes every later pointer load safe — and,
+    /// for the Chase–Lev steal, it doubles as the load-load fence the
+    /// top/bottom protocol requires, so a steal pays exactly one fence.
+    /// Reentrant: while a guard is alive, further pins on the same
+    /// thread are a nesting-counter bump (no store, no fence).
+    #[inline(always)]
+    pub fn pin() -> Guard {
+        LOCAL.with(|l| {
+            let n = l.nest.get();
+            l.nest.set(n + 1);
+            if n == 0 {
+                let slot: &Participant = &l.slot;
+                let mut e = GLOBAL.load(Ordering::Relaxed);
+                loop {
+                    slot.state.store((e << 1) | 1, Ordering::Relaxed);
+                    fence(Ordering::SeqCst);
+                    // SeqCst confirm: joins the SC order with the
+                    // advance CAS, so a pin never settles on an epoch
+                    // the collector has already left behind.
+                    let now = GLOBAL.load(Ordering::SeqCst);
+                    if now == e {
+                        break;
+                    }
+                    e = now;
+                }
+            }
+            Guard {
+                local: l as *const LocalSlot,
+            }
+        })
+    }
+
+    /// Try to advance the global epoch (possible only when every pinned
+    /// participant has observed the current one) and return the epoch to
+    /// stamp new garbage with. Cold path: called from `retire` only.
+    pub(super) fn try_advance() -> u64 {
+        let e = GLOBAL.load(Ordering::SeqCst);
+        {
+            let reg = REGISTRY.lock().unwrap();
+            for slot in reg.iter() {
+                let s = slot.state.load(Ordering::SeqCst);
+                if s & 1 == 1 && (s >> 1) != e {
+                    return e; // a straggler is pinned at an older epoch
+                }
+            }
+        }
+        let _ = GLOBAL.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::Relaxed);
+        GLOBAL.load(Ordering::SeqCst)
+    }
+}
+
+pub use epoch::Guard;
+
+/// Pin the calling thread for the lifetime of the returned guard.
+///
+/// Pinning is what makes dereferencing the spine's shared buffers safe
+/// against concurrent retirement; every [`Stealer::steal`] and
+/// [`Injector`] operation pins internally, so calling this is never
+/// *required*. The point of the public API is **amortization**: pins are
+/// reentrant, so a caller about to probe many queues (the pool's
+/// proximity-ordered steal sweep, a benchmark's drain loop) can pin once
+/// and make every operation inside fence-free on its pin path. Keep pin
+/// scopes short — a pinned thread holds back garbage collection for
+/// every queue in the process (never hold one across job execution or
+/// blocking).
+#[inline(always)]
+pub fn pin() -> Guard {
+    epoch::pin()
+}
+
+/// Per-structure limbo list over the global epoch domain: retired items
+/// are stamped with the epoch of their retirement and dropped once the
+/// global epoch has advanced two steps past the stamp.
+struct Reclaim<R> {
+    limbo: Mutex<Vec<(u64, R)>>,
+}
+
+impl<R> Reclaim<R> {
+    fn new() -> Self {
+        Self {
+            limbo: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pin the current thread for the duration of the returned guard.
+    #[inline(always)]
+    fn pin(&self) -> epoch::Guard {
+        epoch::pin()
+    }
+
+    /// Hand `item` to the collector. Cold path: called once per buffer
+    /// doubling / segment drain, never per job.
+    fn retire(&self, item: R) {
+        let mut limbo = self.limbo.lock();
+        let e = epoch::try_advance();
+        limbo.push((e, item));
+        // Free everything the epoch has left three steps behind. Two is
+        // the textbook minimum (a pinned thread holds the epoch within
+        // one advance of itself); the third step is pure margin — it
+        // costs one extra retire of limbo residency and buys slack
+        // against the stale-pin corner cases of weak-memory models.
+        limbo.retain(|(tag, _)| tag + 3 > e);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chase–Lev deque.
+// ---------------------------------------------------------------------------
+
+/// Initial ring capacity (doubles on overflow; must be a power of two).
+const MIN_BUFFER_CAP: usize = 64;
+
+/// The deque's ring buffer: `cap` (power of two) possibly-uninitialized
+/// slots, indexed by the low bits of the logical position.
+struct Buf<T> {
+    slots: *mut MaybeUninit<T>,
+    cap: usize,
+}
+
+impl<T> Buf<T> {
+    fn alloc(cap: usize) -> *mut Buf<T> {
+        let slots: Box<[MaybeUninit<T>]> = (0..cap).map(|_| MaybeUninit::uninit()).collect();
+        Box::into_raw(Box::new(Buf {
+            slots: Box::into_raw(slots) as *mut MaybeUninit<T>,
+            cap,
+        }))
+    }
+
+    fn slot(&self, index: i64) -> *mut MaybeUninit<T> {
+        // Logical indices are non-negative; the ring mask needs the low
+        // bits only.
+        unsafe { self.slots.add(index as usize & (self.cap - 1)) }
+    }
+
+    /// Move `v` into the slot for `index`. Owner-only.
+    unsafe fn write(&self, index: i64, v: T) {
+        ptr::write(self.slot(index), MaybeUninit::new(v));
+    }
+
+    /// Copy the value out of the slot for `index`. The caller must own
+    /// the logical position (won its CAS / holds the bottom), or must
+    /// discard the value with `mem::forget` if the claim fails — the
+    /// deque's one intentional race (see the module header).
+    unsafe fn read(&self, index: i64) -> T {
+        ptr::read(self.slot(index)).assume_init()
+    }
+}
+
+/// A retired ring buffer: frees the allocation without dropping slot
+/// contents (live values were copied to the successor buffer; dead copies
+/// are plain bytes).
+struct RetiredBuf<T>(*mut Buf<T>);
+
+// SAFETY: a retired buffer is inert storage; freeing it from any thread
+// only touches the allocator.
+unsafe impl<T: Send> Send for RetiredBuf<T> {}
+
+impl<T> Drop for RetiredBuf<T> {
+    fn drop(&mut self) {
+        unsafe {
+            let buf = Box::from_raw(self.0);
+            drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                buf.slots, buf.cap,
+            )));
+        }
+    }
+}
+
+struct DequeInner<T> {
+    /// Next position the owner will push to. Written only by the owner.
+    bottom: AtomicI64,
+    /// Next position a thief will steal from. Advanced only by CAS.
+    top: AtomicI64,
+    /// Current ring buffer. Replaced only by the owner (grow).
+    buffer: AtomicPtr<Buf<T>>,
+    reclaim: Reclaim<RetiredBuf<T>>,
+}
+
+// SAFETY: all cross-thread access is mediated by the atomic protocol
+// above; values of `T` cross threads only on a successful steal.
+unsafe impl<T: Send> Send for DequeInner<T> {}
+unsafe impl<T: Send> Sync for DequeInner<T> {}
+
+impl<T> Drop for DequeInner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the undrained values, then the buffer.
+        let b = *self.bottom.get_mut();
+        let t = *self.top.get_mut();
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(RetiredBuf(buf));
+        }
+    }
+}
+
+/// The owner end of a Chase–Lev deque: LIFO push/pop, no locks, no RMW
+/// except when racing a thief for the last element.
+///
+/// `Worker` is `Send` but deliberately not `Sync` or `Clone`: exactly one
+/// thread may own it, which is what makes the plain `bottom` stores safe.
+pub struct Worker<T> {
+    inner: Arc<DequeInner<T>>,
+    /// Suppresses auto-`Sync`: `bottom` writes assume a unique owner.
+    _not_sync: PhantomData<*mut ()>,
+}
+
+// SAFETY: moving the owner end to another thread is fine; concurrent use
+// from two threads is prevented by `!Sync` + `!Clone`.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_lifo()
+    }
+}
+
+impl<T> Worker<T> {
+    /// New empty deque (LIFO owner end, FIFO thief end — the only flavor
+    /// Chase–Lev has; the name keeps the crossbeam call sites).
+    pub fn new_lifo() -> Self {
+        Self {
+            inner: Arc::new(DequeInner {
+                bottom: AtomicI64::new(0),
+                top: AtomicI64::new(0),
+                buffer: AtomicPtr::new(Buf::alloc(MIN_BUFFER_CAP)),
+                reclaim: Reclaim::new(),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// A thief handle sharing this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Push onto the owner end (bottom). Two plain atomic loads, the slot
+    /// write, and one `Release` store — the publication point.
+    #[inline]
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        // Owner-only: nobody else replaces the buffer.
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf).cap as i64 {
+                buf = self.grow(b, t, buf);
+            }
+            (*buf).write(b, value);
+        }
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop from the owner end (LIFO). The `SeqCst` fence orders the
+    /// speculative `bottom` decrement before the `top` read, so the owner
+    /// and a racing thief cannot both claim the last element without one
+    /// of them seeing the other (Lê et al.'s protocol).
+    #[inline]
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        if t < b {
+            // More than one element: the bottom one is ours outright.
+            return Some(unsafe { (*buf).read(b) });
+        }
+        // Exactly one element: race thieves for it via the top CAS.
+        let won = inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+        if won {
+            Some(unsafe { (*buf).read(b) })
+        } else {
+            None
+        }
+    }
+
+    /// Double the buffer, copying the live range, and retire the old one
+    /// through the epoch collector (thieves may still be reading it).
+    unsafe fn grow(&self, b: i64, t: i64, old: *mut Buf<T>) -> *mut Buf<T> {
+        let inner = &*self.inner;
+        let new = Buf::alloc(((*old).cap * 2).max(MIN_BUFFER_CAP));
+        for i in t..b {
+            ptr::copy_nonoverlapping((*old).slot(i), (*new).slot(i), 1);
+        }
+        inner.buffer.store(new, Ordering::Release);
+        inner.reclaim.retire(RetiredBuf(old));
+        new
+    }
+
+    /// Approximate number of queued jobs (racy snapshot — see the module
+    /// header's relaxed contract).
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Approximate emptiness (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The fence the Chase–Lev steal needs between its `top` and `bottom`
+/// loads (load-bearing in Lê et al.'s proof: it is what forces the
+/// owner's post-fence `top` read to observe any thief CAS that could
+/// conflict with a plain bottom take). On x86-64 the TSO model never
+/// reorders loads and Lê et al.'s verified x86 mapping of `steal` carries
+/// no hardware fence here, so a compiler fence (which still pins program
+/// order) suffices; weak architectures get the full `SeqCst` fence the
+/// portable proof requires. Kept separate from the epoch pin so the
+/// ordering holds even when a reentrant pin skips its publication fence.
+#[inline(always)]
+fn steal_order_fence() {
+    #[cfg(target_arch = "x86_64")]
+    std::sync::atomic::compiler_fence(Ordering::SeqCst);
+    #[cfg(not(target_arch = "x86_64"))]
+    fence(Ordering::SeqCst);
+}
+
+/// The thief end of a Chase–Lev deque; steals FIFO from the top. Cloneable
+/// and shareable across threads.
+pub struct Stealer<T> {
+    inner: Arc<DequeInner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest job. One CAS on success; [`Steal::Retry`] when a
+    /// concurrent steal or the owner's last-element pop won the race.
+    #[inline]
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // An *outermost* pin's internal `SeqCst` fence does double duty:
+        // it is the Chase–Lev load-load fence between the `top` and
+        // `bottom` reads *and* the epoch publication barrier that makes
+        // the buffer dereference below safe against a concurrent
+        // grow-and-retire. A nested pin (the pool pins once per steal
+        // sweep) skips that fence, so the protocol's ordering is
+        // restored unconditionally by `steal_order_fence` below.
+        let pin = inner.reclaim.pin();
+        steal_order_fence();
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = inner.buffer.load(Ordering::Acquire);
+        // Read the value *before* the claim; the CAS outcome decides
+        // whether the bytes were live (see module header).
+        let value = unsafe { (*buf).read(t) };
+        let claimed = inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        drop(pin);
+        if claimed {
+            Steal::Success(value)
+        } else {
+            std::mem::forget(value);
+            Steal::Retry
+        }
+    }
+
+    /// Approximate number of queued jobs (racy snapshot — see the module
+    /// header's relaxed contract).
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Approximate emptiness (racy snapshot). Cheaper than a failed
+    /// [`Stealer::steal`]: no `SeqCst` fence, no pin.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented MPMC injector.
+// ---------------------------------------------------------------------------
+
+/// Jobs per injector segment. A batch publish claims up to a whole
+/// segment's run with one `fetch_add`; a drained segment is one retire.
+pub const SEGMENT_CAP: usize = 32;
+
+/// Slot states: the producer flips EMPTY→WRITTEN after the value write;
+/// the consumer flips WRITTEN→TAKEN after moving the value out.
+const SLOT_EMPTY: u8 = 0;
+const SLOT_WRITTEN: u8 = 1;
+const SLOT_TAKEN: u8 = 2;
+
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    /// Producer cursor: slots `0..claimed.min(CAP)` are claimed (the
+    /// `fetch_add` may overshoot `CAP`; out-of-range claims are dead).
+    claimed: AtomicUsize,
+    /// Consumer cursor: advanced only by CAS, only over WRITTEN slots, so
+    /// consumption is exactly FIFO within the segment.
+    taken: AtomicUsize,
+    next: AtomicPtr<Segment<T>>,
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T> Segment<T> {
+    fn alloc() -> *mut Segment<T> {
+        let slots: Box<[Slot<T>]> = (0..SEGMENT_CAP)
+            .map(|_| Slot {
+                state: AtomicU8::new(SLOT_EMPTY),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Box::into_raw(Box::new(Segment {
+            claimed: AtomicUsize::new(0),
+            taken: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots,
+        }))
+    }
+}
+
+/// A fully-consumed segment awaiting reclamation (values were all moved
+/// out by their claimants; the allocation is freed on drop).
+struct RetiredSeg<T>(*mut Segment<T>);
+
+// SAFETY: as for `RetiredBuf` — inert storage by the time it drops.
+unsafe impl<T: Send> Send for RetiredSeg<T> {}
+
+impl<T> Drop for RetiredSeg<T> {
+    fn drop(&mut self) {
+        unsafe {
+            drop(Box::from_raw(self.0));
+        }
+    }
+}
+
+struct InjInner<T> {
+    head: AtomicPtr<Segment<T>>,
+    tail: AtomicPtr<Segment<T>>,
+    reclaim: Reclaim<RetiredSeg<T>>,
+}
+
+// SAFETY: slot handoff is mediated by the state protocol; values cross
+// threads only after their WRITTEN release-store.
+unsafe impl<T: Send> Send for InjInner<T> {}
+unsafe impl<T: Send> Sync for InjInner<T> {}
+
+impl<T> InjInner<T> {
+    /// Make sure `seg` has a successor and the shared tail has advanced
+    /// past `seg`; any producer may help. Lock-free: the CAS loser frees
+    /// its speculative allocation and adopts the winner's segment.
+    ///
+    /// # Safety
+    /// The caller must hold a reclamation pin covering `seg`.
+    unsafe fn install_next(&self, seg: *mut Segment<T>) -> *mut Segment<T> {
+        let mut next = (*seg).next.load(Ordering::Acquire);
+        if next.is_null() {
+            let new = Segment::alloc();
+            match (*seg).next.compare_exchange(
+                ptr::null_mut(),
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => next = new,
+                Err(cur) => {
+                    drop(Box::from_raw(new));
+                    next = cur;
+                }
+            }
+        }
+        let _ = self
+            .tail
+            .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Relaxed);
+        next
+    }
+}
+
+impl<T> Drop for InjInner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the live chain, dropping unconsumed
+        // values. Retired segments are off the chain (freed via limbo).
+        let mut seg = *self.head.get_mut();
+        while !seg.is_null() {
+            unsafe {
+                let taken = (*seg).taken.load(Ordering::Relaxed).min(SEGMENT_CAP);
+                let claimed = (*seg).claimed.load(Ordering::Relaxed).min(SEGMENT_CAP);
+                for i in taken..claimed {
+                    let slot = &(*seg).slots[i];
+                    if slot.state.load(Ordering::Relaxed) == SLOT_WRITTEN {
+                        drop((*slot.value.get()).as_ptr().read());
+                    }
+                }
+                let next = (*seg).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(seg));
+                seg = next;
+            }
+        }
+    }
+}
+
+/// A lock-free segmented FIFO injector: many producers, many consumers,
+/// exact FIFO visibility (a job is stealable only after every job pushed
+/// before it).
+pub struct Injector<T> {
+    inner: Arc<InjInner<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector (one segment).
+    pub fn new() -> Self {
+        let seg = Segment::alloc();
+        Self {
+            inner: Arc::new(InjInner {
+                head: AtomicPtr::new(seg),
+                tail: AtomicPtr::new(seg),
+                reclaim: Reclaim::new(),
+            }),
+        }
+    }
+
+    /// Enqueue one job: claim a slot with one `fetch_add`, write, publish
+    /// with one `Release` store.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let pin = inner.reclaim.pin();
+        let mut seg = inner.tail.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `seg` is reachable from the live chain under `pin`.
+            let c = unsafe { (*seg).claimed.fetch_add(1, Ordering::AcqRel) };
+            if c < SEGMENT_CAP {
+                unsafe {
+                    let slot = &(*seg).slots[c];
+                    (*slot.value.get()).write(value);
+                    slot.state.store(SLOT_WRITTEN, Ordering::Release);
+                    if c + 1 == SEGMENT_CAP {
+                        // We claimed the last slot: pre-install the next
+                        // segment so later producers don't stall on us.
+                        inner.install_next(seg);
+                    }
+                }
+                break;
+            }
+            // Claimed a dead index past the segment's end: move on.
+            seg = unsafe { inner.install_next(seg) };
+        }
+        drop(pin);
+    }
+
+    /// Enqueue a whole batch, claiming each segment's share of the run
+    /// with a *single* `fetch_add` — one RMW per segment crossed instead
+    /// of one lock round-trip per job. Values become visible in order.
+    pub fn push_batch(&self, values: Vec<T>) {
+        let mut remaining = values.len();
+        if remaining == 0 {
+            return;
+        }
+        let inner = &*self.inner;
+        let pin = inner.reclaim.pin();
+        let mut it = values.into_iter();
+        let mut seg = inner.tail.load(Ordering::Acquire);
+        while remaining > 0 {
+            // SAFETY: `seg` is reachable from the live chain under `pin`.
+            let c = unsafe { (*seg).claimed.fetch_add(remaining, Ordering::AcqRel) };
+            if c < SEGMENT_CAP {
+                let got = remaining.min(SEGMENT_CAP - c);
+                unsafe {
+                    for i in 0..got {
+                        let slot = &(*seg).slots[c + i];
+                        (*slot.value.get()).write(it.next().expect("batch length"));
+                        slot.state.store(SLOT_WRITTEN, Ordering::Release);
+                    }
+                }
+                remaining -= got;
+                if c + got == SEGMENT_CAP {
+                    seg = unsafe { inner.install_next(seg) };
+                }
+            } else {
+                seg = unsafe { inner.install_next(seg) };
+            }
+        }
+        drop(pin);
+    }
+
+    /// Dequeue the oldest job. One CAS on the consumer cursor on success.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let pin = inner.reclaim.pin();
+        let res = loop {
+            let seg = inner.head.load(Ordering::Acquire);
+            // SAFETY: `seg` cannot be retired while we are pinned.
+            let c = unsafe { (*seg).taken.load(Ordering::Acquire) };
+            if c >= SEGMENT_CAP {
+                let next = unsafe { (*seg).next.load(Ordering::Acquire) };
+                if next.is_null() {
+                    break Steal::Empty;
+                }
+                if inner
+                    .head
+                    .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Every slot was claimed by exactly one consumer; any
+                    // claimant still copying its value out holds a pin.
+                    inner.reclaim.retire(RetiredSeg(seg));
+                }
+                continue;
+            }
+            let slot = unsafe { &(*seg).slots[c] };
+            if slot.state.load(Ordering::Acquire) != SLOT_WRITTEN {
+                // Frontier not yet published: FIFO-empty (a producer may
+                // be mid-write; its post-publish epoch bump re-triggers
+                // any worker that parks on this answer).
+                break Steal::Empty;
+            }
+            if unsafe {
+                (*seg)
+                    .taken
+                    .compare_exchange(c, c + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            } {
+                let value = unsafe { (*slot.value.get()).as_ptr().read() };
+                slot.state.store(SLOT_TAKEN, Ordering::Release);
+                break Steal::Success(value);
+            }
+            // Lost the cursor race to another consumer: someone made
+            // progress, go again.
+        };
+        drop(pin);
+        res
+    }
+
+    /// Pop one job and move up to half of the visible run after it into
+    /// `dest` (the thief's own deque) — all claimed by a single CAS on
+    /// the consumer cursor.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let inner = &*self.inner;
+        let pin = inner.reclaim.pin();
+        let res = loop {
+            let seg = inner.head.load(Ordering::Acquire);
+            // SAFETY: `seg` cannot be retired while we are pinned.
+            let c = unsafe { (*seg).taken.load(Ordering::Acquire) };
+            if c >= SEGMENT_CAP {
+                let next = unsafe { (*seg).next.load(Ordering::Acquire) };
+                if next.is_null() {
+                    break Steal::Empty;
+                }
+                if inner
+                    .head
+                    .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    inner.reclaim.retire(RetiredSeg(seg));
+                }
+                continue;
+            }
+            // Count the run of published slots from the frontier (capped
+            // by the segment — one segment is one claim).
+            let mut run = 0usize;
+            while c + run < SEGMENT_CAP
+                && unsafe { (*seg).slots[c + run].state.load(Ordering::Acquire) } == SLOT_WRITTEN
+            {
+                run += 1;
+            }
+            if run == 0 {
+                break Steal::Empty;
+            }
+            // Pop one, carry half the rest (crossbeam's batching rule).
+            let take = 1 + (run - 1) / 2;
+            if unsafe {
+                (*seg)
+                    .taken
+                    .compare_exchange(c, c + take, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+            } {
+                continue; // another consumer claimed the frontier
+            }
+            let first = unsafe {
+                let slot = &(*seg).slots[c];
+                let v = (*slot.value.get()).as_ptr().read();
+                slot.state.store(SLOT_TAKEN, Ordering::Release);
+                v
+            };
+            for i in 1..take {
+                unsafe {
+                    let slot = &(*seg).slots[c + i];
+                    let v = (*slot.value.get()).as_ptr().read();
+                    slot.state.store(SLOT_TAKEN, Ordering::Release);
+                    dest.push(v);
+                }
+            }
+            break Steal::Success(first);
+        };
+        drop(pin);
+        res
+    }
+
+    /// Approximate number of queued jobs (racy snapshot — counts claimed
+    /// slots, including ones whose producer has not yet published; see
+    /// the module header's relaxed contract).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        let pin = inner.reclaim.pin();
+        let mut consumed = 0u64;
+        let mut produced = 0u64;
+        // Walk head→tail under the pin; both cursors are racy snapshots.
+        unsafe {
+            let head = inner.head.load(Ordering::Acquire);
+            consumed += (*head).taken.load(Ordering::Acquire).min(SEGMENT_CAP) as u64;
+            let mut seg = head;
+            loop {
+                produced += (*seg).claimed.load(Ordering::Acquire).min(SEGMENT_CAP) as u64;
+                let next = (*seg).next.load(Ordering::Acquire);
+                if next.is_null() {
+                    break;
+                }
+                seg = next;
+            }
+        }
+        drop(pin);
+        produced.saturating_sub(consumed) as usize
+    }
+
+    /// Approximate emptiness (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops newest");
+        assert!(
+            matches!(s.steal(), Steal::Success(1)),
+            "thief steals oldest"
+        );
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn deque_grows_past_initial_capacity() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        let n = (MIN_BUFFER_CAP * 4 + 7) as u64;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len() as u64, n);
+        // Steal a few from the top (oldest first)...
+        for i in 0..10 {
+            assert_eq!(s.steal().success(), Some(i));
+        }
+        // ...then pop the rest LIFO.
+        for i in (10..n).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn last_element_race_is_single_winner() {
+        // Sequentially, the owner wins the b == t race by CAS.
+        let w = Worker::new_lifo();
+        w.push(7u64);
+        assert_eq!(w.pop(), Some(7));
+        assert_eq!(w.pop(), None);
+        let s = w.stealer();
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_preserve_every_job_once() {
+        let w = Worker::new_lifo();
+        let n = 10_000u64;
+        let sum = Arc::new(TestCounter::new(0));
+        let count = Arc::new(TestCounter::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let s = w.stealer();
+                let sum = sum.clone();
+                let count = count.clone();
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if count.load(Ordering::Relaxed) == n {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=n {
+            w.push(i);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn owner_pop_races_thieves_without_loss() {
+        let w = Worker::new_lifo();
+        let n = 20_000u64;
+        let stolen = Arc::new(TestCounter::new(0));
+        let stop = Arc::new(TestCounter::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s = w.stealer();
+                let stolen = stolen.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            stolen.fetch_add(v, Ordering::Relaxed);
+                        }
+                        _ => {
+                            if stop.load(Ordering::Relaxed) == 1 {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut popped = 0u64;
+        for i in 1..=n {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    popped += v;
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            popped += v;
+        }
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            popped + stolen.load(Ordering::Relaxed),
+            n * (n + 1) / 2,
+            "every pushed value claimed exactly once"
+        );
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        let n = (SEGMENT_CAP * 3 + 5) as u64;
+        for i in 0..n {
+            inj.push(i);
+        }
+        assert_eq!(inj.len() as u64, n);
+        for i in 0..n {
+            assert_eq!(inj.steal().success(), Some(i), "strict FIFO");
+        }
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn injector_batch_push_is_fifo_across_segments() {
+        let inj = Injector::new();
+        inj.push(0u64);
+        // A batch spanning two segment boundaries.
+        inj.push_batch((1..=(SEGMENT_CAP as u64 * 2 + 3)).collect());
+        let mut got = Vec::new();
+        while let Some(v) = inj.steal().success() {
+            got.push(v);
+        }
+        let want: Vec<u64> = (0..=(SEGMENT_CAP as u64 * 2 + 3)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_run_into_worker() {
+        let inj = Injector::new();
+        for i in 0..10u64 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert_eq!(got.success(), Some(0));
+        assert!(!w.is_empty(), "batch landed in the worker deque");
+        // The moved run is the next-oldest values, in FIFO positions.
+        let mut drained = Vec::new();
+        while let Some(v) = w.pop() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (1..=drained.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_drain_exactly() {
+        let inj = Arc::new(Injector::new());
+        let per = 5_000u64;
+        let producers = 2;
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let inj = inj.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut dry = 0;
+                    while dry < 1_000 {
+                        match inj.steal() {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                dry = 0;
+                            }
+                            _ => {
+                                dry += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let prod_handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let inj = inj.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        inj.push(p * per + i);
+                    }
+                })
+            })
+            .collect();
+        for h in prod_handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        // Whatever the consumers missed before drying out is still queued.
+        while let Some(v) = inj.steal().success() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..producers * per).collect::<Vec<_>>());
+    }
+
+    /// A drop-counting payload: catches double-drops and leaks in the
+    /// undrained-value paths.
+    struct Droppy(Arc<TestCounter>);
+    impl Drop for Droppy {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn undrained_values_drop_exactly_once() {
+        let drops = Arc::new(TestCounter::new(0));
+        {
+            let w = Worker::new_lifo();
+            for _ in 0..(MIN_BUFFER_CAP * 2 + 9) {
+                w.push(Droppy(drops.clone())); // forces one grow + leftovers
+            }
+            drop(w.pop()); // one drained
+        }
+        assert_eq!(
+            drops.load(Ordering::Relaxed) as usize,
+            MIN_BUFFER_CAP * 2 + 9
+        );
+        let drops2 = Arc::new(TestCounter::new(0));
+        {
+            let inj = Injector::new();
+            for _ in 0..(SEGMENT_CAP + 3) {
+                inj.push(Droppy(drops2.clone()));
+            }
+            for _ in 0..5 {
+                drop(inj.steal().success());
+            }
+        }
+        assert_eq!(drops2.load(Ordering::Relaxed) as usize, SEGMENT_CAP + 3);
+    }
+
+    #[test]
+    fn approximate_lengths_track_sequential_truth() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        assert!(w.is_empty() && s.is_empty());
+        for i in 0..5 {
+            w.push(i);
+        }
+        // With no concurrency the snapshot is exact.
+        assert_eq!(w.len(), 5);
+        assert_eq!(s.len(), 5);
+        w.pop();
+        s.steal();
+        assert_eq!(w.len(), 3);
+    }
+}

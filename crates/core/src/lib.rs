@@ -26,8 +26,11 @@
 //!
 //! Two runtimes execute the model:
 //!
-//! * [`native`] — a work-stealing pool over OS threads (crossbeam deques),
-//!   for real parallel execution and wall-clock benchmarks. Its workers
+//! * [`native`] — a work-stealing pool over OS threads, built on the
+//!   first-party lock-free [`deque`] spine (Chase–Lev worker deques plus
+//!   segmented MPMC injectors — no locks anywhere on the spawn/steal hot
+//!   path), for real parallel execution and wall-clock benchmarks. Its
+//!   workers
 //!   are grouped into **locality domains** ([`topology::Topology`])
 //!   mirroring the paper's thread-unit groups; idle workers steal in
 //!   proximity order (domain siblings before remote domains) and LGTs can
@@ -60,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod deque;
 pub mod frame;
 pub mod ids;
 pub mod native;
@@ -72,7 +76,7 @@ pub mod topology;
 
 pub use frame::Frame;
 pub use ids::{DomainId, LgtId, SgtId, TgtId, WorkerId};
-pub use native::{Pool, PoolStats, WorkerCtx};
+pub use native::{Pool, PoolStats, QueueDepths, WorkerCtx};
 pub use region::SharedRegion;
 pub use runtime::{Htvm, HtvmConfig, LgtCtx, LgtHandle, SgtCtx};
 pub use sync::{IVar, PoolBarrier, SyncSlot};

@@ -1,11 +1,14 @@
 //! The native work-stealing pool that executes SGTs on OS threads.
 //!
-//! Workers are partitioned into **locality domains** (a [`Topology`]
-//! mirroring the paper's thread-unit groups). Each worker owns a LIFO
-//! deque (good locality for the spawn-subtree it is working on); each
-//! domain owns a FIFO injector for affinity-directed spawns; spawns from
-//! outside the pool go to a global injector. An idle worker searches for
-//! work in **proximity order**:
+//! Every queue on the spawn/steal path is **lock-free** (the
+//! [`crate::deque`] scheduling spine): each worker owns a Chase–Lev LIFO
+//! deque (good locality for the spawn-subtree it is working on; owner
+//! push/pop never takes a lock or, in the common case, even an RMW);
+//! each domain owns a segmented MPMC injector for affinity-directed
+//! spawns; spawns from outside the pool go to a global injector of the
+//! same kind. Workers are partitioned into **locality domains** (a
+//! [`Topology`] mirroring the paper's thread-unit groups). An idle
+//! worker searches for work in **proximity order**:
 //!
 //! 1. its own deque (LIFO),
 //! 2. sibling deques within its domain (FIFO victim side — a *local*
@@ -79,7 +82,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use crate::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
 use crate::ids::{DomainId, WorkerId};
@@ -566,6 +569,27 @@ impl Shared {
     }
 }
 
+/// An approximate snapshot of queue depths across the scheduling spine
+/// (see [`Pool::queue_depths`] for the relaxed racy-read contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueDepths {
+    /// Approximate jobs in each worker's own deque.
+    pub workers: Vec<usize>,
+    /// Approximate jobs in each domain's injector.
+    pub domain_injectors: Vec<usize>,
+    /// Approximate jobs in the global injector.
+    pub global_injector: usize,
+}
+
+impl QueueDepths {
+    /// Approximate total queued (not yet running) jobs.
+    pub fn total(&self) -> usize {
+        self.workers.iter().sum::<usize>()
+            + self.domain_injectors.iter().sum::<usize>()
+            + self.global_injector
+    }
+}
+
 /// A fixed-size work-stealing thread pool partitioned into locality
 /// domains.
 pub struct Pool {
@@ -659,11 +683,29 @@ impl Pool {
     where
         F: FnOnce(&WorkerCtx) + Send + 'static,
     {
-        let mut per_domain = vec![0u64; self.shared.domain_injectors.len()];
-        let mut any = false;
+        let nd = self.shared.domain_injectors.len();
+        let mut per_domain: Vec<Vec<Job>> = (0..nd).map(|_| Vec::new()).collect();
         for (domain, job) in jobs {
-            self.shared.push_in_domain(domain, Box::new(job));
-            per_domain[domain.0 as usize] += 1;
+            assert!(
+                (domain.0 as usize) < nd,
+                "{domain} out of range for a {nd}-domain pool"
+            );
+            per_domain[domain.0 as usize].push(Box::new(job));
+        }
+        let mut wakes = vec![0u64; nd];
+        let mut any = false;
+        for (d, batch) in per_domain.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let n = batch.len();
+            self.shared.active.fetch_add(n, Ordering::AcqRel);
+            self.shared.domain_spawns[d].fetch_add(n as u64, Ordering::Relaxed);
+            // One lock-free publish per domain: the whole run claims its
+            // injector slots with a single `fetch_add` per segment
+            // crossed, instead of n individual enqueues.
+            self.shared.domain_injectors[d].push_batch(batch);
+            wakes[d] = n as u64;
             any = true;
         }
         if !any {
@@ -674,7 +716,7 @@ impl Pool {
         // returns immediately once nobody is parked, so a large batch on a
         // busy pool costs one atomic load per job, not a futex each.
         self.shared.bump_epoch();
-        for (d, &n) in per_domain.iter().enumerate() {
+        for (d, &n) in wakes.iter().enumerate() {
             for _ in 0..n {
                 self.shared.wake_one_in(d);
             }
@@ -731,6 +773,28 @@ impl Pool {
             std::thread::yield_now();
         }
         true
+    }
+
+    /// Approximate queue depths across the pool's scheduling spine — a
+    /// **racy snapshot**, not a consistent cut: each count is read
+    /// independently from lock-free cursors while workers keep pushing,
+    /// popping and stealing, so the numbers can be mutually inconsistent
+    /// and stale by the time this returns (a job mid-migration may be
+    /// counted twice or not at all). That is the documented contract for
+    /// everything queue depth feeds — steal-victim skipping inside the
+    /// pool, and load probes like this one. Use [`Pool::wait_quiescent`]
+    /// plus [`Pool::stats`] when an exact account is needed.
+    pub fn queue_depths(&self) -> QueueDepths {
+        QueueDepths {
+            workers: self.shared.stealers.iter().map(|s| s.len()).collect(),
+            domain_injectors: self
+                .shared
+                .domain_injectors
+                .iter()
+                .map(|i| i.len())
+                .collect(),
+            global_injector: self.shared.injector.len(),
+        }
     }
 
     /// Current activity snapshot.
@@ -809,13 +873,31 @@ fn find_work(
     my_domain: DomainId,
     deque: &Deque<Job>,
 ) -> Option<(Job, Acquire)> {
+    // Pin once for the whole proximity sweep: epoch pins are reentrant,
+    // so every steal attempt below rides this guard's fence instead of
+    // paying its own — a sweep over W victims costs one fence, not W.
+    // The guard drops before the job runs (the caller executes outside
+    // this function), so job bodies never hold back reclamation.
+    let _pin = crate::deque::pin();
     let topo = &shared.topology;
     let home = topo.workers_of(my_domain);
 
     // 2. Sibling deques within the domain, ring order after self.
+    //
+    // Victim selection reads the deques' *approximate* length snapshots
+    // (`Stealer::is_empty` — two plain loads, no fence, no pin): a victim
+    // that looks empty is skipped without paying a full steal attempt.
+    // The snapshot is racy by contract — it may miss a push that lands
+    // mid-search — but that cannot strand work: a spawner publishes its
+    // job *before* bumping the idle-protocol epoch, so any worker that
+    // subsequently parks on this search's "empty" answer re-checks the
+    // epoch and re-searches (module header, invariants 1–3).
     let span = home.len();
     for off in 1..span {
         let v = home.start + (index - home.start + off) % span;
+        if shared.stealers[v].is_empty() {
+            continue;
+        }
         if let Some(job) = try_steal(|| shared.stealers[v].steal()) {
             return Some((job, Acquire::LocalSteal));
         }
@@ -836,6 +918,10 @@ fn find_work(
             return Some((job, Acquire::RemoteSteal));
         }
         for v in topo.workers_of(DomainId(d as u64)) {
+            // Same approximate-length pre-check as the sibling scan.
+            if shared.stealers[v].is_empty() {
+                continue;
+            }
             if let Some(job) = try_steal(|| shared.stealers[v].steal()) {
                 return Some((job, Acquire::RemoteSteal));
             }
