@@ -1,0 +1,77 @@
+//! Scheduler-aware thread spawn/join for scenario code.
+//!
+//! Inside an exploration, [`spawn`] registers a new *virtual* thread: a
+//! real OS thread that only runs while it holds the scheduler's baton.
+//! Outside an exploration both functions degrade to plain `std::thread`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::sched;
+
+/// Handle for a thread started with [`spawn`].
+pub struct JoinHandle {
+    tid: Option<usize>,
+    real: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawn a (virtual, when under the explorer) thread running `f`.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    if let Some((sched, _me)) = sched::ctx_if_scheduled() {
+        let tid = sched.register();
+        let s2 = sched.clone();
+        let real = std::thread::Builder::new()
+            .name(format!("vthread-{tid}"))
+            .spawn(move || {
+                sched::install(s2.clone(), tid);
+                s2.wait_until_scheduled(tid);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                    s2.record_panic(tid, payload);
+                }
+                s2.finish(tid);
+            })
+            .expect("spawn virtual thread");
+        // A spawn is itself a schedule point: the child may run first.
+        sched::yield_point("thread::spawn");
+        return JoinHandle {
+            tid: Some(tid),
+            real: Some(real),
+        };
+    }
+    JoinHandle {
+        tid: None,
+        real: Some(std::thread::spawn(f)),
+    }
+}
+
+impl JoinHandle {
+    /// Wait for the thread to finish. Under the explorer this deschedules
+    /// the caller until the target's virtual thread completes; panics in
+    /// the target were already recorded as the iteration's failure. After
+    /// a failure (free-run teardown) the real join is skipped — a waiter
+    /// leaked by the failing schedule could hang it.
+    pub fn join(mut self) {
+        if self.tid.is_some() {
+            if let Some(tid) = self.tid {
+                sched::join_on(tid);
+            }
+            if sched::failed_current() {
+                // Detach: teardown must not block on leaked threads.
+                drop(self.real.take());
+                return;
+            }
+            if let Some(h) = self.real.take() {
+                // The virtual thread finished; the OS thread is exiting.
+                let _ = h.join();
+            }
+            return;
+        }
+        if let Some(h) = self.real.take() {
+            if let Err(p) = h.join() {
+                resume_unwind(p);
+            }
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! Deterministic schedule exploration of the lock-free spine.
+//!
+//! These tests drive `htvm-core`'s concurrency kernels — the Chase–Lev
+//! deque, the segmented injector, the epoch-stamped sleeper registry, and
+//! the EARTH-style sync slot — through the `htvm-check` explorer. The core
+//! is built with `--features check`, so every atomic op, fence, lock and
+//! condvar wait inside those kernels is a schedule point.
+//!
+//! Three kinds of test live here:
+//!
+//! 1. **Invariant sweeps**: correct protocols must pass *every* explored
+//!    schedule (no job loss, no double-take, no lost wakeup, fire exactly
+//!    once).
+//! 2. **Mutant catches**: deliberately broken variants (committed behind
+//!    `cfg(check)` in core) must be *caught*, proving the explorer actually
+//!    covers the race each real protocol defends against. Their failing
+//!    seeds are committed below.
+//! 3. **Regression seeds**: schedules that exposed real bugs fixed in this
+//!    repo, replayed forever. `SEED_SYNC_SLOT_LOST_RACER` reproduced the
+//!    `SyncSlot::set_action` accounting race (a post-crossing racer could
+//!    silently drop another racer's armed action, return `true`, and never
+//!    tick `late_actions`) before `sync.rs` re-checked `remaining` under
+//!    the action lock.
+//!
+//! To reproduce a CI-printed seed locally:
+//!
+//! ```text
+//! htvm_check::replay("<scenario>", &cfg, 0x<seed>, scenario_fn)
+//! ```
+//!
+//! See ARCHITECTURE.md §verification for what this style of exploration
+//! does and does not cover (sequentially consistent interleavings only;
+//! weak-memory arguments stay with Lê et al. and the stress suites).
+
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use htvm_check::{check_corpus, explore, random_seeds_from_env, replay, Config};
+use htvm_core::deque::{Injector, Steal, Worker};
+use htvm_core::sleepers::{ParkOutcome, Sleepers};
+use htvm_core::sync::SyncSlot;
+
+// ---------------------------------------------------------------------------
+// Committed seed corpus.
+//
+// Every constant below is a seed that either (a) exposed a real bug fixed
+// in this repo, or (b) catches a committed mutant — proof the explorer
+// covers that protocol's load-bearing race. Replayed by `committed_corpus_*`
+// tests on every run. Schedules are a pure function of (seed, program), so
+// these replay identically on any machine.
+// ---------------------------------------------------------------------------
+
+/// Real bug: `SyncSlot::set_action` racer accounting (see module docs).
+/// Under the pre-fix code this schedule made two racers on a zero-count
+/// slot both return `true` while only one action ran and `late_actions`
+/// stayed 0. Must pass forever now.
+const SEED_SYNC_SLOT_LOST_RACER: u64 = 0x203cfdbad06e70dc;
+
+/// Catches `Sleepers::park_mutant_no_recheck` (check-then-park race,
+/// invariant 2): the worker registers after the spawner's wake scan and
+/// sleeps through the wakeup — a deadlock under this schedule.
+const SEED_SLEEPERS_MUTANT_LOST_WAKEUP: u64 = 0x98603fddc26f6e07;
+
+/// Catches `Stealer::steal_mutant_no_cas` (double-take): two thieves read
+/// the same `top` and both claim the same element.
+const SEED_DEQUE_MUTANT_DOUBLE_TAKE: u64 = 0xf8b44b6aadf07fd5;
+
+/// Shared per-test setup: install the between-iterations reset of core's
+/// process-wide epoch registry (required for seed-exact replay of deque
+/// scenarios) and build a bounds config.
+fn cfg(iterations: u64) -> Config {
+    htvm_check::set_iteration_reset(htvm_core::deque::check_reset_epochs);
+    Config {
+        iterations,
+        max_steps: 40_000,
+        preemption_bound: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chase–Lev deque: owner pop vs thief steal, including buffer growth.
+// ---------------------------------------------------------------------------
+
+/// Fill the buffer to capacity serially, then race the owner (pushing a
+/// few more — the next push grows the buffer while thieves may be mid-read
+/// on the old one — then draining) against two thieves. Every pushed value
+/// must be claimed exactly once, across pops and steals combined.
+fn deque_pop_vs_steal_scenario() {
+    const FILL: u64 = 64; // MIN_BUFFER_CAP: next push forces a grow.
+    const EXTRA: u64 = 3;
+    let w = Worker::new_lifo();
+    for v in 0..FILL {
+        w.push(v);
+    }
+    let claimed = Arc::new(StdMutex::new(Vec::new()));
+    let thieves: Vec<_> = (0..2)
+        .map(|_| {
+            let s = w.stealer();
+            let claimed = claimed.clone();
+            htvm_check::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for _ in 0..4 {
+                    if let Steal::Success(v) = s.steal() {
+                        mine.push(v);
+                    }
+                }
+                claimed.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for v in FILL..FILL + EXTRA {
+        w.push(v);
+    }
+    // Drain: the owner is the only producer, so a `None` means empty for
+    // good (thieves only remove).
+    let mut popped = Vec::new();
+    while let Some(v) = w.pop() {
+        popped.push(v);
+    }
+    for t in thieves {
+        t.join();
+    }
+    let mut all = claimed.lock().unwrap().clone();
+    all.extend(popped);
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..FILL + EXTRA).collect();
+    assert_eq!(all, expect, "every value claimed exactly once");
+}
+
+#[test]
+fn deque_pop_vs_steal_no_loss_no_dup() {
+    explore(
+        "deque-pop-vs-steal",
+        &cfg(150),
+        0x9e3779b97f4a7c15,
+        deque_pop_vs_steal_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// The last-element race Lê et al.'s SeqCst fence exists for: one element,
+/// the owner pops while two thieves steal. Exactly one side may win it.
+fn deque_last_element_scenario() {
+    let w = Worker::new_lifo();
+    w.push(7u64);
+    let wins = Arc::new(AtomicUsize::new(0));
+    let thieves: Vec<_> = (0..2)
+        .map(|_| {
+            let s = w.stealer();
+            let wins = wins.clone();
+            htvm_check::thread::spawn(move || {
+                for _ in 0..2 {
+                    if let Steal::Success(v) = s.steal() {
+                        assert_eq!(v, 7);
+                        wins.fetch_add(1, StdOrdering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    if w.pop().is_some() {
+        wins.fetch_add(1, StdOrdering::SeqCst);
+    }
+    for t in thieves {
+        t.join();
+    }
+    assert_eq!(
+        wins.load(StdOrdering::SeqCst),
+        1,
+        "the single element must be claimed exactly once"
+    );
+}
+
+#[test]
+fn deque_last_element_claimed_exactly_once() {
+    explore(
+        "deque-last-element",
+        &cfg(400),
+        0x2545f4914f6cdd1d,
+        deque_last_element_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// Satellite: `len()` under the owner's speculative `bottom` decrement.
+/// `Worker::pop` stores `bottom - 1` *before* learning the deque is empty;
+/// a watcher sampling between that store and the restore sees `b < t`.
+/// The snapshot must saturate to 0, never wrap to 2^64-ish garbage.
+fn deque_len_saturation_scenario() {
+    let w = Worker::new_lifo();
+    let s = w.stealer();
+    let watcher = htvm_check::thread::spawn(move || {
+        for _ in 0..5 {
+            let n = s.len();
+            assert!(n <= 1, "len snapshot wrapped: {n}");
+            assert!(s.len() != usize::MAX, "len underflowed");
+        }
+    });
+    // Pop on an empty (then one-element) deque: each attempt opens the
+    // inconsistent b < t window for the watcher to land in.
+    for round in 0..3u64 {
+        if round == 1 {
+            w.push(1);
+        }
+        let _ = w.pop();
+        assert!(w.len() <= 1, "owner-side len snapshot wrapped");
+    }
+    watcher.join();
+}
+
+#[test]
+fn deque_len_saturates_during_speculative_pop() {
+    explore(
+        "deque-len-saturation",
+        &cfg(300),
+        0x853c49e6748fea9b,
+        deque_len_saturation_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// Mutant catch: the CAS-less steal must be caught double-taking. This is
+/// the race the real `Stealer::steal`'s `top` CAS defends against.
+fn deque_mutant_double_take_scenario() {
+    let w = Worker::new_lifo();
+    for v in 0..3u64 {
+        w.push(v);
+    }
+    let claimed = Arc::new(StdMutex::new(Vec::new()));
+    let thieves: Vec<_> = (0..2)
+        .map(|_| {
+            let s = w.stealer();
+            let claimed = claimed.clone();
+            htvm_check::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for _ in 0..2 {
+                    if let Steal::Success(v) = s.steal_mutant_no_cas() {
+                        mine.push(v);
+                    }
+                }
+                claimed.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for t in thieves {
+        t.join();
+    }
+    let mut got = claimed.lock().unwrap().clone();
+    while let Some(v) = w.pop() {
+        got.push(v);
+    }
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2], "an element was double-taken or lost");
+}
+
+#[test]
+fn mutant_steal_without_cas_is_caught() {
+    let failure = explore(
+        "deque-mutant-double-take",
+        &cfg(300),
+        0xda942042e4dd58b5,
+        deque_mutant_double_take_scenario,
+    )
+    .expect_err("the explorer must catch the CAS-less steal double-taking");
+    assert!(
+        failure.message.contains("double-taken or lost"),
+        "unexpected failure mode: {failure}"
+    );
+    eprintln!("deque mutant caught under seed {:#018x}", failure.seed);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented injector: exactly-once FIFO, across a segment boundary.
+// ---------------------------------------------------------------------------
+
+/// Push one batch spanning two segments, then race two consumers draining
+/// it. Each value must be consumed exactly once, and each consumer's local
+/// sequence must be increasing (global FIFO implies per-consumer
+/// subsequences are ordered).
+fn injector_exactly_once_scenario() {
+    const N: u64 = 34; // SEGMENT_CAP is 32: the batch crosses a boundary.
+    let inj = Arc::new(Injector::new());
+    inj.push_batch((0..N).collect());
+    let taken = Arc::new(StdMutex::new(Vec::new()));
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let inj = inj.clone();
+            let taken = taken.clone();
+            htvm_check::thread::spawn(move || {
+                let mut mine: Vec<u64> = Vec::new();
+                loop {
+                    match inj.steal() {
+                        Steal::Success(v) => mine.push(v),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+                assert!(
+                    mine.windows(2).all(|p| p[0] < p[1]),
+                    "per-consumer order not FIFO: {mine:?}"
+                );
+                taken.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for c in consumers {
+        c.join();
+    }
+    let mut all = taken.lock().unwrap().clone();
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..N).collect();
+    assert_eq!(all, expect, "every injected value consumed exactly once");
+}
+
+#[test]
+fn injector_exactly_once_fifo_across_segments() {
+    explore(
+        "injector-exactly-once",
+        &cfg(150),
+        0xbf58476d1ce4e5b9,
+        injector_exactly_once_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+// ---------------------------------------------------------------------------
+// Sleepers: the check-then-park race (invariants 2–4 of the protocol).
+// ---------------------------------------------------------------------------
+
+/// One worker races `observe → search → park` against a spawner's
+/// `publish → bump → wake`. No schedule may lose the wakeup: the worker
+/// always ends up consuming the job, and no token or registration is left
+/// behind.
+fn sleepers_no_lost_wakeup_scenario() {
+    let s = Arc::new(Sleepers::new(1, 1));
+    let job = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let outcome = Arc::new(StdMutex::new(None));
+    let worker = {
+        let s = s.clone();
+        let job = job.clone();
+        let outcome = outcome.clone();
+        htvm_check::thread::spawn(move || {
+            loop {
+                let epoch = s.observe_epoch();
+                // Final work search.
+                if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                let out = s.park(0, 0, epoch, || false);
+                *outcome.lock().unwrap() = Some(out);
+                // Woken / Withdrawn / TokenConsumed / StrayToken all mean
+                // the same thing to a worker: search again.
+            }
+        })
+    };
+    // The spawner side, in protocol order: publish, bump, wake.
+    job.store(true, std::sync::atomic::Ordering::SeqCst);
+    s.bump_epoch();
+    let woke = s.wake_one_in(0);
+    worker.join();
+    assert_eq!(s.parked(), 0, "no registration left behind");
+    // Token hygiene (invariant 4): a fresh park attempt must not find a
+    // stray token. `aborting` makes it withdraw instead of sleeping.
+    let out = s.park(0, 0, s.observe_epoch(), || true);
+    assert_eq!(out, ParkOutcome::Withdrawn, "stray token left in a mailbox");
+    assert_eq!(s.parked(), 0);
+    // Accounting consistency: a targeted wake implies the worker was (or
+    // was about to be) registered; it must then have consumed the token.
+    if woke.is_some() {
+        let got = outcome
+            .lock()
+            .unwrap()
+            .expect("worker parked at least once");
+        assert!(
+            matches!(got, ParkOutcome::Woken | ParkOutcome::TokenConsumed),
+            "a delivered token must be consumed by its registration, got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn sleepers_park_never_loses_a_wakeup() {
+    // Also under a tight preemption bound: the interesting interleavings
+    // of this protocol need few context switches.
+    for bound in [None, Some(3)] {
+        let c = Config {
+            preemption_bound: bound,
+            ..cfg(400)
+        };
+        explore(
+            "sleepers-no-lost-wakeup",
+            &c,
+            0x94d049bb133111eb,
+            sleepers_no_lost_wakeup_scenario,
+        )
+        .unwrap_or_else(|f| panic!("(bound {bound:?}) {f}"));
+    }
+}
+
+/// Mutant catch: the same scenario, but the worker parks through
+/// `park_mutant_no_recheck` — the classic check-then-park bug the epoch
+/// re-check (invariant 2) exists for. Some schedule must deadlock.
+fn sleepers_mutant_scenario() {
+    let s = Arc::new(Sleepers::new(1, 1));
+    let job = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let worker = {
+        let s = s.clone();
+        let job = job.clone();
+        htvm_check::thread::spawn(move || {
+            loop {
+                let epoch = s.observe_epoch();
+                if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                // BUG (deliberate, committed in core behind cfg(check)):
+                // no post-registration epoch re-check.
+                let _ = s.park_mutant_no_recheck(0, 0, epoch, || false);
+            }
+        })
+    };
+    job.store(true, std::sync::atomic::Ordering::SeqCst);
+    s.bump_epoch();
+    let _ = s.wake_one_in(0);
+    worker.join();
+}
+
+#[test]
+fn mutant_park_without_recheck_is_caught() {
+    let failure = explore(
+        "sleepers-mutant-lost-wakeup",
+        &cfg(400),
+        0xd6e8feb86659fd93,
+        sleepers_mutant_scenario,
+    )
+    .expect_err("the explorer must catch the check-then-park race");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a lost-wakeup deadlock, got: {failure}"
+    );
+    eprintln!("sleepers mutant caught under seed {:#018x}", failure.seed);
+}
+
+// ---------------------------------------------------------------------------
+// SyncSlot: fire-exactly-once and racer accounting (the real bug).
+// ---------------------------------------------------------------------------
+
+/// The regression scenario for the `set_action` accounting race. On a
+/// zero-count slot the threshold is crossed from birth, so there is no
+/// legitimate pre-crossing replacement window: of N racing `set_action`
+/// calls, exactly one may win (its action runs, it gets `true`) and every
+/// other must be told it lost (`false` + one `late_actions` tick).
+///
+/// Pre-fix, a racer descheduled between arming and its `remaining` check
+/// could have its armed action silently replaced by a later racer — it
+/// returned `true`, its action never ran, and `late_actions` never moved.
+fn sync_slot_zero_count_racers_scenario() {
+    let slot = SyncSlot::new(0);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let trues = Arc::new(AtomicUsize::new(0));
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let slot = slot.clone();
+            let ran = ran.clone();
+            let trues = trues.clone();
+            htvm_check::thread::spawn(move || {
+                let r2 = ran.clone();
+                if slot.set_action(move || {
+                    r2.fetch_add(1, StdOrdering::SeqCst);
+                }) {
+                    trues.fetch_add(1, StdOrdering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for r in racers {
+        r.join();
+    }
+    assert_eq!(ran.load(StdOrdering::SeqCst), 1, "exactly one action runs");
+    assert_eq!(
+        trues.load(StdOrdering::SeqCst),
+        1,
+        "exactly one racer may be told it won"
+    );
+    assert_eq!(
+        slot.late_actions(),
+        1,
+        "every losing racer must tick late_actions exactly once"
+    );
+    assert!(slot.has_fired());
+}
+
+#[test]
+fn sync_slot_zero_count_racers_account_exactly_once() {
+    explore(
+        "sync-slot-racer-accounting",
+        &cfg(400),
+        0xca01f9dd41c34a10,
+        sync_slot_zero_count_racers_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// `set_action` racing the crossing signal on a count-1 slot: whatever the
+/// schedule, exactly one action runs, the slot ends fired, and every racer
+/// either got `true` or was counted late — never neither, never both.
+fn sync_slot_signal_vs_set_action_scenario() {
+    let slot = SyncSlot::new(1);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let trues = Arc::new(AtomicUsize::new(0));
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let slot = slot.clone();
+            let ran = ran.clone();
+            let trues = trues.clone();
+            htvm_check::thread::spawn(move || {
+                let r2 = ran.clone();
+                if slot.set_action(move || {
+                    r2.fetch_add(1, StdOrdering::SeqCst);
+                }) {
+                    trues.fetch_add(1, StdOrdering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    assert!(slot.signal(), "the only signal crosses the threshold");
+    for r in racers {
+        r.join();
+    }
+    assert_eq!(ran.load(StdOrdering::SeqCst), 1, "fire exactly once");
+    assert!(slot.has_fired());
+    assert_eq!(
+        trues.load(StdOrdering::SeqCst) as u64 + slot.late_actions(),
+        2,
+        "each racer is either armed-or-ran (true) or counted late"
+    );
+}
+
+#[test]
+fn sync_slot_signal_vs_set_action_fires_exactly_once() {
+    explore(
+        "sync-slot-signal-vs-set-action",
+        &cfg(400),
+        0xaef17502108ef2d9,
+        sync_slot_signal_vs_set_action_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// SSP-style wavefront: slot A's continuation signals slot B (the next
+/// wavefront), while both slots are over-signalled by racing producers.
+/// The wave must advance exactly once end to end.
+fn sync_slot_wavefront_scenario() {
+    let waves = Arc::new(AtomicUsize::new(0));
+    let w2 = waves.clone();
+    let slot_b = SyncSlot::with_action(1, move || {
+        w2.fetch_add(1, StdOrdering::SeqCst);
+    });
+    let b2 = slot_b.clone();
+    let slot_a = SyncSlot::with_action(1, move || {
+        b2.signal();
+    });
+    let producers: Vec<_> = (0..2)
+        .map(|_| {
+            let a = slot_a.clone();
+            htvm_check::thread::spawn(move || {
+                a.signal(); // over-signalled: only one crossing
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join();
+    }
+    assert_eq!(
+        waves.load(StdOrdering::SeqCst),
+        1,
+        "the wavefront must advance exactly once"
+    );
+    assert!(slot_a.has_fired() && slot_b.has_fired());
+    assert_eq!(slot_a.late_actions() + slot_b.late_actions(), 0);
+}
+
+#[test]
+fn sync_slot_wavefront_advances_exactly_once() {
+    explore(
+        "sync-slot-wavefront",
+        &cfg(300),
+        0x2b2e160e9dfc2cfb,
+        sync_slot_wavefront_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+// ---------------------------------------------------------------------------
+// Committed corpus + fresh random seeds (the CI job's two halves).
+// ---------------------------------------------------------------------------
+
+/// Regression seeds for bugs fixed in this repo: these schedules failed
+/// once; they must pass forever.
+#[test]
+fn committed_corpus_regressions_pass() {
+    check_corpus(
+        "sync-slot-racer-accounting",
+        &cfg(1),
+        &[SEED_SYNC_SLOT_LOST_RACER],
+        sync_slot_zero_count_racers_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+}
+
+/// Mutant seeds: these schedules must keep *failing* against the committed
+/// mutants — if one stops failing, the explorer lost coverage of that race.
+#[test]
+fn committed_corpus_mutant_seeds_still_catch() {
+    let f = replay(
+        "sleepers-mutant-lost-wakeup",
+        &cfg(1),
+        SEED_SLEEPERS_MUTANT_LOST_WAKEUP,
+        sleepers_mutant_scenario,
+    )
+    .expect_err("committed seed no longer catches the check-then-park mutant");
+    assert!(f.message.contains("deadlock"), "{f}");
+    let f = replay(
+        "deque-mutant-double-take",
+        &cfg(1),
+        SEED_DEQUE_MUTANT_DOUBLE_TAKE,
+        deque_mutant_double_take_scenario,
+    )
+    .expect_err("committed seed no longer catches the CAS-less steal mutant");
+    assert!(f.message.contains("double-taken or lost"), "{f}");
+}
+
+/// The CI job's fresh-seed half: a few schedules from OS entropy on every
+/// invariant scenario. A failure prints the seed (commit it to the corpus
+/// above). `HTVM_CHECK_RANDOM_SEEDS=0` makes this fully deterministic.
+#[test]
+fn fresh_random_seeds_hold_invariants() {
+    let seeds = random_seeds_from_env("HTVM_CHECK_RANDOM_SEEDS", 2);
+    let scenarios: &[(&str, fn())] = &[
+        ("deque-pop-vs-steal", deque_pop_vs_steal_scenario),
+        ("deque-last-element", deque_last_element_scenario),
+        ("injector-exactly-once", injector_exactly_once_scenario),
+        ("sleepers-no-lost-wakeup", sleepers_no_lost_wakeup_scenario),
+        (
+            "sync-slot-racer-accounting",
+            sync_slot_zero_count_racers_scenario,
+        ),
+        (
+            "sync-slot-signal-vs-set-action",
+            sync_slot_signal_vs_set_action_scenario,
+        ),
+    ];
+    for &seed in &seeds {
+        for (name, scenario) in scenarios {
+            let c = Config {
+                iterations: 25,
+                ..cfg(0)
+            };
+            explore(name, &c, seed, scenario)
+                .unwrap_or_else(|f| panic!("fresh-seed failure — commit this seed!\n{f}"));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Self-validation of the explorer, independent of htvm-core: known-buggy
+//! micro-programs must be caught (with a replayable seed), known-correct
+//! ones must pass, and replays must be exact.
+
+use std::sync::Arc;
+
+use htvm_check::prim::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
+use htvm_check::{explore, replay, Config};
+
+fn small() -> Config {
+    Config {
+        iterations: 300,
+        max_steps: 10_000,
+        preemption_bound: None,
+    }
+}
+
+/// The canonical interleaving bug: two threads doing a non-atomic
+/// read-modify-write. The explorer must find a schedule that loses an
+/// update, and the failing seed must replay to the same failure.
+#[test]
+fn finds_lost_update_and_replays_it() {
+    let scenario = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                htvm_check::thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2, "an increment was lost");
+    };
+    let failure = explore("lost-update", &small(), 1, scenario)
+        .expect_err("the explorer must find the lost update");
+    assert!(
+        failure.message.contains("an increment was lost"),
+        "{failure}"
+    );
+    // Exact replay: same seed, same failure.
+    let again = replay("lost-update", &small(), failure.seed, scenario)
+        .expect_err("the committed seed must reproduce the failure");
+    assert_eq!(again.message, failure.message);
+    assert_eq!(again.trace, failure.trace, "replay must be schedule-exact");
+}
+
+/// A correct atomic counter passes every schedule, and exploration itself
+/// is deterministic: the same base seed yields the same total step count.
+#[test]
+fn correct_counter_passes_and_exploration_is_deterministic() {
+    let scenario = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                htvm_check::thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    };
+    let cfg = Config {
+        iterations: 100,
+        ..small()
+    };
+    let a = explore("atomic-counter", &cfg, 7, scenario).expect("correct program");
+    let b = explore("atomic-counter", &cfg, 7, scenario).expect("correct program");
+    assert_eq!(
+        a.steps, b.steps,
+        "same seeds must produce the same schedules"
+    );
+}
+
+/// Classic AB-BA lock ordering: the explorer must surface the deadlock
+/// (all threads blocked) rather than hang.
+#[test]
+fn detects_abba_deadlock() {
+    let failure = explore("abba", &small(), 3, || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = htvm_check::thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        t.join();
+    })
+    .expect_err("the explorer must find the AB-BA deadlock");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// Classic lost wakeup: the waiter checks its predicate *outside* the
+/// lock, so a notify can slip between check and wait. Shows up as a
+/// deadlock (waiter blocked forever, everyone else done).
+#[test]
+fn detects_lost_wakeup_from_check_outside_lock() {
+    let failure = explore("lost-wakeup", &small(), 5, || {
+        let flag = Arc::new(AtomicBool::new(false));
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let (flag2, pair2) = (flag.clone(), pair.clone());
+        let waiter = htvm_check::thread::spawn(move || {
+            // BUG (deliberate): predicate checked outside the mutex and
+            // never re-checked under it.
+            if !flag2.load(Ordering::SeqCst) {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock();
+                cv.wait(&mut g);
+            }
+        });
+        flag.store(true, Ordering::SeqCst);
+        {
+            let (m, cv) = &*pair;
+            let _g = m.lock();
+            cv.notify_one();
+        }
+        waiter.join();
+    })
+    .expect_err("the explorer must find the lost wakeup");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// The correct check-under-lock protocol passes every schedule, including
+/// under a tight preemption bound.
+#[test]
+fn correct_wait_protocol_passes() {
+    for bound in [None, Some(2)] {
+        let cfg = Config {
+            iterations: 200,
+            max_steps: 10_000,
+            preemption_bound: bound,
+        };
+        explore("correct-wait", &cfg, 11, || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = pair.clone();
+            let waiter = htvm_check::thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut done = m.lock();
+                while !*done {
+                    cv.wait(&mut done);
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_one();
+            }
+            waiter.join();
+        })
+        .unwrap_or_else(|f| panic!("correct protocol flagged (bound {bound:?}): {f}"));
+    }
+}
+
+/// A runaway spin loop trips the step budget instead of hanging the test.
+#[test]
+fn step_budget_catches_livelock() {
+    let cfg = Config {
+        iterations: 1,
+        max_steps: 500,
+        preemption_bound: None,
+    };
+    let failure = explore("livelock", &cfg, 13, || {
+        let flag = Arc::new(AtomicBool::new(false));
+        // Nobody ever sets the flag: a pure spin.
+        while !flag.load(Ordering::SeqCst) {}
+    })
+    .expect_err("the budget must trip");
+    assert!(failure.message.contains("step budget"), "{failure}");
+}

@@ -76,10 +76,9 @@ use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::chk::{fence, AtomicI64, AtomicPtr, AtomicU8, AtomicUsize, Mutex, Ordering};
 
 /// Result of a steal attempt (same three-way contract as crossbeam's).
 pub enum Steal<T> {
@@ -125,8 +124,9 @@ impl<T> Steal<T> {
 /// worker never stalls the epoch.
 mod epoch {
     use std::cell::Cell;
-    use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
+
+    use crate::chk::{fence, AtomicBool, AtomicU64, Mutex, Ordering};
 
     /// One participant's published state: 0 when quiescent, otherwise
     /// `(epoch << 1) | 1`.
@@ -153,8 +153,19 @@ mod epoch {
 
     impl Drop for LocalSlot {
         fn drop(&mut self) {
-            self.slot.state.store(0, Ordering::Release);
-            self.slot.active.store(false, Ordering::Release);
+            // Under the schedule explorer this destructor runs during OS
+            // thread exit — *after* the virtual thread detached from the
+            // baton — so these stores would mutate scheduler-visible state
+            // at real-time-dependent moments and break replay determinism
+            // (they would also deadlock the baton: a Done thread cannot
+            // take a yield point). Exited slots are instead swept between
+            // iterations by `check_reset` below; an active-but-quiescent
+            // slot never blocks an epoch advance in the meantime.
+            #[cfg(not(feature = "check"))]
+            {
+                self.slot.state.store(0, Ordering::Release);
+                self.slot.active.store(false, Ordering::Release);
+            }
         }
     }
 
@@ -167,7 +178,7 @@ mod epoch {
             state: AtomicU64::new(0),
             active: AtomicBool::new(true),
         });
-        let mut reg = REGISTRY.lock().unwrap();
+        let mut reg = REGISTRY.lock();
         reg.retain(|s| s.active.load(Ordering::Acquire));
         reg.push(slot.clone());
         LocalSlot {
@@ -232,13 +243,26 @@ mod epoch {
         })
     }
 
+    /// **Explorer hook** (only with the `check` feature): reset the
+    /// process-wide epoch state between exploration iterations, so every
+    /// iteration starts from the identical registry — the precondition for
+    /// seed-exact replay (registry length changes the instrumented-op
+    /// count of every `try_advance` scan). Must only be called while no
+    /// thread holds a pin and no retired garbage is outstanding: between
+    /// iterations, after the scenario's queues have been dropped.
+    #[cfg(feature = "check")]
+    pub fn check_reset() {
+        REGISTRY.lock().clear();
+        GLOBAL.store(2, Ordering::SeqCst);
+    }
+
     /// Try to advance the global epoch (possible only when every pinned
     /// participant has observed the current one) and return the epoch to
     /// stamp new garbage with. Cold path: called from `retire` only.
     pub(super) fn try_advance() -> u64 {
         let e = GLOBAL.load(Ordering::SeqCst);
         {
-            let reg = REGISTRY.lock().unwrap();
+            let reg = REGISTRY.lock();
             for slot in reg.iter() {
                 let s = slot.state.load(Ordering::SeqCst);
                 if s & 1 == 1 && (s >> 1) != e {
@@ -252,6 +276,12 @@ mod epoch {
 }
 
 pub use epoch::Guard;
+
+/// Re-export of the explorer's between-iterations epoch reset (see
+/// `epoch::check_reset`). Wired into `htvm_check::set_iteration_reset` by
+/// the schedule-exploration tests.
+#[cfg(feature = "check")]
+pub use epoch::check_reset as check_reset_epochs;
 
 /// Pin the calling thread for the lifetime of the returned guard.
 ///
@@ -532,7 +562,7 @@ impl<T> Worker<T> {
 #[inline(always)]
 fn steal_order_fence() {
     #[cfg(target_arch = "x86_64")]
-    std::sync::atomic::compiler_fence(Ordering::SeqCst);
+    crate::chk::compiler_fence(Ordering::SeqCst);
     #[cfg(not(target_arch = "x86_64"))]
     fence(Ordering::SeqCst);
 }
@@ -600,6 +630,36 @@ impl<T> Stealer<T> {
     /// [`Stealer::steal`]: no `SeqCst` fence, no pin.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// **Mutant for explorer validation** (only with the `check` feature):
+    /// a deliberately broken steal that claims with a plain `top` store
+    /// instead of the CAS. Two thieves that read the same `top` both "win",
+    /// duplicating one element and skipping another — the classic
+    /// double-take. The schedule explorer must find a schedule exposing it;
+    /// the failing seed is committed as proof the explorer covers the
+    /// deque's claim race. Only sound for `T: Copy` (the duplicate read
+    /// would otherwise double-drop).
+    #[cfg(feature = "check")]
+    pub fn steal_mutant_no_cas(&self) -> Steal<T>
+    where
+        T: Copy,
+    {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        let pin = inner.reclaim.pin();
+        steal_order_fence();
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        // BUG (deliberate): unconditional store instead of CAS — a racing
+        // thief (or the owner's last-element pop) is silently overwritten.
+        inner.top.store(t + 1, Ordering::SeqCst);
+        drop(pin);
+        Steal::Success(value)
     }
 }
 

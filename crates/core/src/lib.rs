@@ -63,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod chk;
 pub mod deque;
 pub mod frame;
 pub mod ids;
@@ -70,6 +71,7 @@ pub mod native;
 pub mod region;
 pub mod runtime;
 pub mod simrt;
+pub mod sleepers;
 pub mod sync;
 pub mod tgt;
 pub mod topology;

@@ -78,14 +78,13 @@
 //! [`PoolStats::parks`] counts park events; a pool that re-polls would
 //! show it climbing on an idle pool.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::chk::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::deque::{Injector, Steal, Stealer, Worker as Deque};
-use parking_lot::{Condvar, Mutex};
-
 use crate::ids::{DomainId, WorkerId};
+use crate::sleepers::Sleepers;
 use crate::topology::Topology;
 
 type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
@@ -274,55 +273,6 @@ fn cv(xs: impl Iterator<Item = f64>) -> f64 {
     (m2 / n).sqrt() / mean
 }
 
-/// One worker's private parking spot. The boolean is the **wake token**:
-/// set under the lock by a waker, consumed under the lock by the worker.
-/// Delivering the token through a per-worker mutex (instead of a shared
-/// condvar) makes a wake exactly one futex op and makes it impossible to
-/// lose: a token set while the worker is awake is consumed on its next
-/// park attempt.
-struct Mailbox {
-    lock: Mutex<bool>,
-    cv: Condvar,
-}
-
-/// The sleeper registry of the module-header idle protocol.
-struct Sleepers {
-    /// Bumped (SeqCst) by every spawn after publishing its job and before
-    /// scanning for a sleeper; closes the check-then-park race (invariants
-    /// 1–3 of the module header).
-    epoch: AtomicU64,
-    /// Total registered sleepers — the spawn fast path: when zero, a wake
-    /// is a single relaxed-cost atomic load and nothing else.
-    parked: AtomicUsize,
-    /// Worker indices currently parked (or committing to park), one list
-    /// per locality domain. Wakers pop LIFO — the most recently parked
-    /// worker is the warmest.
-    by_domain: Vec<Mutex<Vec<usize>>>,
-    /// One parking spot per worker.
-    mailboxes: Vec<Mailbox>,
-    /// Rotating first-choice domain for spawns with no affinity, so
-    /// unaffine wakes spread over the topology instead of always raiding
-    /// domain 0.
-    rotor: AtomicUsize,
-}
-
-impl Sleepers {
-    fn new(num_domains: usize, workers: usize) -> Self {
-        Self {
-            epoch: AtomicU64::new(0),
-            parked: AtomicUsize::new(0),
-            by_domain: (0..num_domains).map(|_| Mutex::new(Vec::new())).collect(),
-            mailboxes: (0..workers)
-                .map(|_| Mailbox {
-                    lock: Mutex::new(false),
-                    cv: Condvar::new(),
-                })
-                .collect(),
-            rotor: AtomicUsize::new(0),
-        }
-    }
-}
-
 struct Shared {
     topology: Topology,
     injector: Injector<Job>,
@@ -337,14 +287,9 @@ struct Shared {
     /// Jobs whose body panicked (the unwind is contained per job).
     panics: AtomicU64,
     shutdown: AtomicBool,
-    /// Park/wake coordination for idle workers (module-header protocol).
+    /// Park/wake coordination for idle workers ([`crate::sleepers`] owns
+    /// the protocol and its counters; this module just drives it).
     sleepers: Sleepers,
-    /// Park events (see [`PoolStats::parks`]).
-    parks: AtomicU64,
-    /// Wakes satisfied in the first-choice domain.
-    wakes_targeted: AtomicU64,
-    /// Wakes that fell outward in ring order.
-    wakes_escalated: AtomicU64,
     /// Quiescence coordination for `wait_quiescent`.
     quiet_lock: Mutex<()>,
     quiet_cv: Condvar,
@@ -408,138 +353,35 @@ impl Shared {
     /// job is visible in a deque or injector and *before* any sleeper
     /// lookup. A batch bumps once for the whole batch.
     fn bump_epoch(&self) {
-        self.sleepers.epoch.fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// Deliver the wake token owed to a popped sleeper: set the token
-    /// under the worker's mailbox lock, notify, and adjust the gauge. The
-    /// caller must have already removed `w` from the registry (and hold no
-    /// registry lock — invariant 5: a parking worker locks in the
-    /// opposite nesting).
-    ///
-    /// The gauge decrement happens only after acquiring the mailbox: the
-    /// worker holds that lock across its registration *and* its gauge
-    /// increment, so acquisition proves the increment has landed — a
-    /// waker that pops an entry in the instant between the worker's list
-    /// push and its `parked.fetch_add` cannot drive the gauge below zero
-    /// (which, on a usize, would wrap `parked_workers()` to garbage and
-    /// defeat every spawner's zero fast path until it rebalanced).
-    fn deliver_token(&self, w: usize) {
-        let s = &self.sleepers;
-        let mb = &s.mailboxes[w];
-        let mut token = mb.lock.lock();
-        s.parked.fetch_sub(1, Ordering::SeqCst);
-        *token = true;
-        mb.cv.notify_one();
+        self.sleepers.bump_epoch();
     }
 
     /// Wake one sleeper, preferring `home` and falling outward in ring
-    /// order. A no-op when nobody is parked (the fast path: one atomic
-    /// load). The pop removes the sleeper from the registry, so each
-    /// parked worker receives at most one token while parked.
+    /// order (see [`Sleepers::wake_one_in`]).
     fn wake_one_in(&self, home: usize) {
-        let s = &self.sleepers;
-        if s.parked.load(Ordering::SeqCst) == 0 {
-            return;
-        }
-        let nd = s.by_domain.len();
-        for off in 0..nd {
-            let d = (home + off) % nd;
-            let popped = s.by_domain[d].lock().pop();
-            if let Some(w) = popped {
-                if off == 0 {
-                    self.wakes_targeted.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.wakes_escalated.fetch_add(1, Ordering::Relaxed);
-                }
-                self.deliver_token(w);
-                return;
-            }
-        }
+        self.sleepers.wake_one_in(home);
     }
 
-    /// Wake one sleeper with no affinity: the rotor picks the first-choice
-    /// domain so unaffine spawns spread their wakes over the topology.
+    /// Wake one sleeper with no affinity (see
+    /// [`Sleepers::wake_one_rotated`]).
     fn wake_one_rotated(&self) {
-        let nd = self.sleepers.by_domain.len();
-        let home = self.sleepers.rotor.fetch_add(1, Ordering::Relaxed) % nd;
-        self.wake_one_in(home);
+        self.sleepers.wake_one_rotated();
     }
 
     /// Shutdown broadcast: pop and token every registered sleeper. The
     /// only remaining full-pool wake, and it runs once per pool lifetime.
     fn wake_all_for_shutdown(&self) {
-        for list in &self.sleepers.by_domain {
-            let drained = std::mem::take(&mut *list.lock());
-            for w in drained {
-                self.deliver_token(w);
-            }
-        }
+        self.sleepers.wake_all();
     }
 
-    /// Park worker `w` of `domain` until a wake token arrives.
-    /// `observed_epoch` is the epoch read before the caller's last (empty)
-    /// work search; if any spawn has moved it since, the worker refuses to
-    /// sleep and re-searches instead (invariant 2).
+    /// Park worker `w` of `domain` until a wake token arrives
+    /// (see [`Sleepers::park`]); shutdown doubles as an abort signal so a
+    /// closing pool never strands a worker in the registry.
     fn park(&self, w: usize, domain: DomainId, observed_epoch: u64) {
-        let s = &self.sleepers;
-        let mb = &s.mailboxes[w];
-        let mut token = mb.lock.lock();
-        if *token {
-            // Defensive: a stray token (every planned delivery is consumed
-            // either in the sleep loop or in the popped-while-withdrawing
-            // branch below, so this should not fire). Consume it and
-            // re-search rather than sleeping through a wake.
-            *token = false;
-            return;
-        }
-        let d = domain.0 as usize;
-        s.by_domain[d].lock().push(w);
-        // The park is recorded *before* the gauge increment so that
-        // `parked_workers() == workers()` implies every registered
-        // worker's park is already visible in `PoolStats::parks` — the
-        // "pool has settled" probe of `wait_fully_parked` depends on that
-        // implication. The gauge increment in turn must precede the epoch
-        // re-check (invariant 3 needs the spawner's `parked` read to see
-        // us); a withdrawn attempt therefore stays counted, which is
-        // harmless: withdrawals only happen when a spawn raced in, never
-        // on an idle pool.
-        self.parks.fetch_add(1, Ordering::Relaxed);
-        s.parked.fetch_add(1, Ordering::SeqCst);
-        if s.epoch.load(Ordering::SeqCst) != observed_epoch || self.shutdown.load(Ordering::SeqCst)
-        {
-            // A spawn (or shutdown) slipped in after our last search:
-            // withdraw and look again.
-            let withdrawn = {
-                let mut list = s.by_domain[d].lock();
-                list.iter()
-                    .position(|&x| x == w)
-                    .map(|i| list.swap_remove(i))
-            };
-            if withdrawn.is_some() {
-                s.parked.fetch_sub(1, Ordering::SeqCst);
-            } else {
-                // A waker popped us before we could withdraw: it has
-                // already adjusted `parked` and is committed to delivering
-                // a token the moment we release the mailbox. Consume that
-                // token *here*, before returning — if we left it in
-                // flight, it could land against a *future* registration
-                // and wake us out of a real park while the new registry
-                // entry stays behind (a phantom entry an later waker
-                // would waste its single wake on, and an inflated
-                // `parked` gauge). The wait is bounded: the popper holds
-                // no lock we need.
-                while !*token {
-                    mb.cv.wait(&mut token);
-                }
-                *token = false;
-            }
-            return;
-        }
-        while !*token {
-            mb.cv.wait(&mut token);
-        }
-        *token = false;
+        self.sleepers
+            .park(w, domain.0 as usize, observed_epoch, || {
+                self.shutdown.load(Ordering::SeqCst)
+            });
     }
 
     fn spawn_in_domain(&self, domain: DomainId, job: Job) {
@@ -629,9 +471,6 @@ impl Pool {
             panics: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sleepers,
-            parks: AtomicU64::new(0),
-            wakes_targeted: AtomicU64::new(0),
-            wakes_escalated: AtomicU64::new(0),
             quiet_lock: Mutex::new(()),
             quiet_cv: Condvar::new(),
         });
@@ -753,7 +592,7 @@ impl Pool {
     /// pop a worker that registered but then refused to sleep (failed
     /// epoch re-check), recording a wake with no matching park.
     pub fn parked_workers(&self) -> usize {
-        self.shared.sleepers.parked.load(Ordering::SeqCst)
+        self.shared.sleepers.parked()
     }
 
     /// Block (politely yielding) until every worker is registered in the
@@ -820,9 +659,9 @@ impl Pool {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
-            parks: self.shared.parks.load(Ordering::Relaxed),
-            wakes_targeted: self.shared.wakes_targeted.load(Ordering::Relaxed),
-            wakes_escalated: self.shared.wakes_escalated.load(Ordering::Relaxed),
+            parks: self.shared.sleepers.parks(),
+            wakes_targeted: self.shared.sleepers.wakes_targeted(),
+            wakes_escalated: self.shared.sleepers.wakes_escalated(),
         }
     }
 }
@@ -980,7 +819,7 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
         // committing to park. Reading the epoch only here keeps the
         // globally-written counter's cache line off the per-job hot path
         // above — a spawn-heavy pool never touches it.
-        let epoch = shared.sleepers.epoch.load(Ordering::SeqCst);
+        let epoch = shared.sleepers.observe_epoch();
         if let Some((job, how)) = next_job(&shared, index, ctx.domain, &deque) {
             run_job(&shared, index, &ctx, job, how);
             continue;

@@ -1,0 +1,334 @@
+//! The epoch-stamped sleeper registry: the pool's park/wake protocol as a
+//! free-standing, independently checkable object.
+//!
+//! Extracted from [`crate::native`] so the protocol can be driven directly
+//! by the deterministic schedule explorer (`htvm-check`) without spinning
+//! up a pool: the explorer's scenarios construct a [`Sleepers`], race
+//! `publish → bump_epoch → wake_one_in` against `observe_epoch → search →
+//! park`, and assert that no interleaving loses a wakeup. The invariants
+//! (numbered as in the [`crate::native`] module header):
+//!
+//! 1. every spawn *publishes its job*, then calls [`Sleepers::bump_epoch`],
+//!    then looks for a sleeper to wake — in that order;
+//! 2. a parking worker reads the epoch ([`Sleepers::observe_epoch`])
+//!    *before* its final work search and [`Sleepers::park`] re-checks it
+//!    after registering: a mismatch means a spawn may have slipped past the
+//!    search, so the worker withdraws and searches again instead of
+//!    sleeping;
+//! 3. if both sides race, sequential consistency guarantees at least one
+//!    loses: either the worker observes the bumped epoch (and re-searches),
+//!    or the spawner observes the registration (and wakes the worker);
+//! 4. a registered worker is popped by at most one waker (the pop removes
+//!    it), and the wake token is delivered under the worker's private
+//!    mailbox lock, so it is never lost — and never goes *stale*: a worker
+//!    popped mid-withdrawal consumes the in-flight token before leaving
+//!    park, so every token is consumed by the registration it paid for;
+//! 5. lock order is mailbox → sleeper list on the worker side, and sleeper
+//!    list (released) *then* mailbox on the waker side, so the two never
+//!    deadlock.
+
+use crate::chk::{AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
+
+/// One worker's private parking spot. The boolean is the **wake token**:
+/// set under the lock by a waker, consumed under the lock by the worker.
+/// Delivering the token through a per-worker mutex (instead of a shared
+/// condvar) makes a wake exactly one futex op and makes it impossible to
+/// lose: a token set while the worker is awake is consumed on its next
+/// park attempt.
+struct Mailbox {
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// How a [`Sleepers::wake_one_in`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeClass {
+    /// A sleeper was found in the first-choice domain.
+    Targeted,
+    /// The wake fell outward in ring order to another domain.
+    Escalated,
+}
+
+/// How a [`Sleepers::park`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkOutcome {
+    /// The worker slept and was woken by a delivered token.
+    Woken,
+    /// The epoch moved (or the caller aborted) after registration; the
+    /// worker withdrew its entry without sleeping. It must re-search.
+    Withdrawn,
+    /// The worker tried to withdraw but a waker had already popped it; the
+    /// in-flight token was consumed before returning. It must re-search.
+    TokenConsumed,
+    /// A stale token was found on arrival (defensive; should not happen).
+    StrayToken,
+}
+
+/// The epoch-stamped per-domain sleeper registry (see the module header
+/// for the protocol and its invariants).
+pub struct Sleepers {
+    /// Bumped (SeqCst) by every spawn after publishing its job and before
+    /// scanning for a sleeper; closes the check-then-park race.
+    epoch: AtomicU64,
+    /// Total registered sleepers — the spawn fast path: when zero, a wake
+    /// is a single atomic load and nothing else.
+    parked: AtomicUsize,
+    /// Worker indices currently parked (or committing to park), one list
+    /// per locality domain. Wakers pop LIFO — the most recently parked
+    /// worker is the warmest.
+    by_domain: Vec<Mutex<Vec<usize>>>,
+    /// One parking spot per worker.
+    mailboxes: Vec<Mailbox>,
+    /// Rotating first-choice domain for spawns with no affinity, so
+    /// unaffine wakes spread over the topology instead of always raiding
+    /// domain 0.
+    rotor: AtomicUsize,
+    /// Park events (cumulative; see `PoolStats::parks`).
+    parks: AtomicU64,
+    /// Wakes satisfied in the first-choice domain.
+    wakes_targeted: AtomicU64,
+    /// Wakes that fell outward in ring order.
+    wakes_escalated: AtomicU64,
+}
+
+impl Sleepers {
+    /// A registry for `workers` workers partitioned into `num_domains`
+    /// domains.
+    pub fn new(num_domains: usize, workers: usize) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            parked: AtomicUsize::new(0),
+            by_domain: (0..num_domains).map(|_| Mutex::new(Vec::new())).collect(),
+            mailboxes: (0..workers)
+                .map(|_| Mailbox {
+                    lock: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            rotor: AtomicUsize::new(0),
+            parks: AtomicU64::new(0),
+            wakes_targeted: AtomicU64::new(0),
+            wakes_escalated: AtomicU64::new(0),
+        }
+    }
+
+    /// Invariant 1: called by every spawn *after* its job is visible in a
+    /// deque or injector and *before* any sleeper lookup. A batch bumps
+    /// once for the whole batch.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Read the spawn epoch (SeqCst). A parking worker must observe the
+    /// epoch *before* its final work search and pass the observation to
+    /// [`Sleepers::park`].
+    pub fn observe_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Workers currently registered — a live gauge, not a counter.
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative park events (a withdrawn attempt still counts once; see
+    /// [`Sleepers::park`] for why that is harmless).
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wakes satisfied in the first-choice domain.
+    pub fn wakes_targeted(&self) -> u64 {
+        self.wakes_targeted.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wakes that fell outward in ring order.
+    pub fn wakes_escalated(&self) -> u64 {
+        self.wakes_escalated.load(Ordering::Relaxed)
+    }
+
+    /// Deliver the wake token owed to a popped sleeper: set the token
+    /// under the worker's mailbox lock, notify, and adjust the gauge. The
+    /// caller must have already removed `w` from the registry (and hold no
+    /// registry lock — invariant 5: a parking worker locks in the opposite
+    /// nesting).
+    ///
+    /// The gauge decrement happens only after acquiring the mailbox: the
+    /// worker holds that lock across its registration *and* its gauge
+    /// increment, so acquisition proves the increment has landed — a waker
+    /// that pops an entry in the instant between the worker's list push
+    /// and its `parked.fetch_add` cannot drive the gauge below zero
+    /// (which, on a usize, would wrap the gauge to garbage and defeat
+    /// every spawner's zero fast path until it rebalanced).
+    fn deliver_token(&self, w: usize) {
+        let mb = &self.mailboxes[w];
+        let mut token = mb.lock.lock();
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+        *token = true;
+        mb.cv.notify_one();
+    }
+
+    /// Wake one sleeper, preferring `home` and falling outward in ring
+    /// order. A no-op (returning `None`) when nobody is parked — the fast
+    /// path is one atomic load. The pop removes the sleeper from the
+    /// registry, so each parked worker receives at most one token while
+    /// parked.
+    pub fn wake_one_in(&self, home: usize) -> Option<WakeClass> {
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let nd = self.by_domain.len();
+        for off in 0..nd {
+            let d = (home + off) % nd;
+            let popped = self.by_domain[d].lock().pop();
+            if let Some(w) = popped {
+                let class = if off == 0 {
+                    self.wakes_targeted.fetch_add(1, Ordering::Relaxed);
+                    WakeClass::Targeted
+                } else {
+                    self.wakes_escalated.fetch_add(1, Ordering::Relaxed);
+                    WakeClass::Escalated
+                };
+                self.deliver_token(w);
+                return Some(class);
+            }
+        }
+        None
+    }
+
+    /// Wake one sleeper with no affinity: the rotor picks the first-choice
+    /// domain so unaffine spawns spread their wakes over the topology.
+    pub fn wake_one_rotated(&self) -> Option<WakeClass> {
+        let nd = self.by_domain.len();
+        let home = self.rotor.fetch_add(1, Ordering::Relaxed) % nd;
+        self.wake_one_in(home)
+    }
+
+    /// Shutdown broadcast: pop and token every registered sleeper. The
+    /// only full-registry wake, meant to run once per pool lifetime.
+    pub fn wake_all(&self) {
+        for list in &self.by_domain {
+            let drained = std::mem::take(&mut *list.lock());
+            for w in drained {
+                self.deliver_token(w);
+            }
+        }
+    }
+
+    /// Park worker `w` of domain `domain` until a wake token arrives.
+    /// `observed_epoch` is the epoch read (via [`Sleepers::observe_epoch`])
+    /// before the caller's last (empty) work search; if any spawn has moved
+    /// it since — or `aborting` reports true (pool shutdown) — the worker
+    /// refuses to sleep and returns so the caller can re-search
+    /// (invariant 2).
+    pub fn park(
+        &self,
+        w: usize,
+        domain: usize,
+        observed_epoch: u64,
+        aborting: impl Fn() -> bool,
+    ) -> ParkOutcome {
+        let mb = &self.mailboxes[w];
+        let mut token = mb.lock.lock();
+        if *token {
+            // Defensive: a stray token (every planned delivery is consumed
+            // either in the sleep loop or in the popped-while-withdrawing
+            // branch below, so this should not fire). Consume it and
+            // re-search rather than sleeping through a wake.
+            *token = false;
+            return ParkOutcome::StrayToken;
+        }
+        self.by_domain[domain].lock().push(w);
+        // The park is recorded *before* the gauge increment so that
+        // "every worker is in the gauge" implies every registered worker's
+        // park is already visible in the cumulative counter — the "pool
+        // has settled" probe of `Pool::wait_fully_parked` depends on that
+        // implication. The gauge increment in turn must precede the epoch
+        // re-check (invariant 3 needs the spawner's `parked` read to see
+        // us); a withdrawn attempt therefore stays counted, which is
+        // harmless: withdrawals only happen when a spawn raced in, never
+        // on an idle pool.
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        if self.epoch.load(Ordering::SeqCst) != observed_epoch || aborting() {
+            // A spawn (or shutdown) slipped in after our last search:
+            // withdraw and look again.
+            return self.withdraw(w, domain, &mut token, mb);
+        }
+        while !*token {
+            mb.cv.wait(&mut token);
+        }
+        *token = false;
+        ParkOutcome::Woken
+    }
+
+    /// Remove our registration after a failed epoch re-check. If a waker
+    /// got there first, wait for (and consume) its in-flight token.
+    fn withdraw(
+        &self,
+        w: usize,
+        domain: usize,
+        token: &mut crate::chk::MutexGuard<'_, bool>,
+        mb: &Mailbox,
+    ) -> ParkOutcome {
+        let withdrawn = {
+            let mut list = self.by_domain[domain].lock();
+            list.iter()
+                .position(|&x| x == w)
+                .map(|i| list.swap_remove(i))
+        };
+        if withdrawn.is_some() {
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            ParkOutcome::Withdrawn
+        } else {
+            // A waker popped us before we could withdraw: it has already
+            // adjusted `parked` and is committed to delivering a token the
+            // moment we release the mailbox. Consume that token *here*,
+            // before returning — if we left it in flight, it could land
+            // against a *future* registration and wake us out of a real
+            // park while the new registry entry stays behind (a phantom
+            // entry a later waker would waste its single wake on, and an
+            // inflated `parked` gauge). The wait is bounded: the popper
+            // holds no lock we need.
+            while !**token {
+                mb.cv.wait(token);
+            }
+            **token = false;
+            ParkOutcome::TokenConsumed
+        }
+    }
+
+    /// **Mutant for explorer validation** (only with the `check` feature):
+    /// a deliberately broken [`Sleepers::park`] that skips the post-
+    /// registration epoch re-check — the classic check-then-park race. The
+    /// schedule explorer must find the lost wakeup this reintroduces; its
+    /// failing seed is committed as proof the explorer covers invariant 2.
+    #[cfg(feature = "check")]
+    pub fn park_mutant_no_recheck(
+        &self,
+        w: usize,
+        domain: usize,
+        _observed_epoch: u64,
+        aborting: impl Fn() -> bool,
+    ) -> ParkOutcome {
+        let mb = &self.mailboxes[w];
+        let mut token = mb.lock.lock();
+        if *token {
+            *token = false;
+            return ParkOutcome::StrayToken;
+        }
+        self.by_domain[domain].lock().push(w);
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        // BUG (deliberate): no epoch re-check — a spawn that published
+        // between the caller's last search and this point is lost.
+        if aborting() {
+            return self.withdraw(w, domain, &mut token, mb);
+        }
+        while !*token {
+            mb.cv.wait(&mut token);
+        }
+        *token = false;
+        ParkOutcome::Woken
+    }
+}

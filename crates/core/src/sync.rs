@@ -9,10 +9,9 @@
 //! higher-level constructs (futures, barriers, atomic sections) reduce to
 //! sync slots plus write-once cells.
 
-use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use crate::chk::{AtomicIsize, AtomicU64, Condvar, Mutex, Ordering};
 
 /// The continuation state of a [`SyncSlot`] — a one-way street:
 /// `Unset → Armed → Fired` (re-arming an unfired slot is allowed;
@@ -40,7 +39,9 @@ enum ActionState {
 pub struct SyncSlot {
     remaining: AtomicIsize,
     action: Mutex<ActionState>,
-    /// Post-fire `set_action` attempts, dropped on the floor by contract.
+    /// Losing `set_action` attempts, dropped on the floor by contract:
+    /// arrivals after the slot fired, plus arrivals after the threshold
+    /// crossed that found another action already armed.
     late_actions: AtomicU64,
 }
 
@@ -63,25 +64,53 @@ impl SyncSlot {
         slot
     }
 
-    /// Attach (or replace, if not yet fired) the continuation. If the count
-    /// already reached zero, the action runs immediately on this thread.
+    /// Attach (or replace, if the threshold has not yet been crossed) the
+    /// continuation. If the count already reached zero, the action runs
+    /// immediately on this thread.
     ///
-    /// Returns `true` if the continuation was armed (or ran). On a slot
-    /// that has already fired this is a **recorded no-op**: the action is
-    /// dropped, `false` comes back, and [`SyncSlot::late_actions`] ticks —
-    /// the slot's "fires exactly once" contract outranks the caller.
+    /// Returns `true` if the caller's action was armed or ran. Every loser
+    /// gets `false` plus exactly one [`SyncSlot::late_actions`] tick: a
+    /// caller that finds the slot already `Fired`, *or* that finds the
+    /// threshold crossed with someone else's action armed — that armed
+    /// action belongs to the crossing signal's in-flight `try_fire`
+    /// and must not be replaced. (Replacing it was the historical bug: the
+    /// armed action was dropped on the floor, the loser was told `true`,
+    /// and `late_actions` never moved. Found by the schedule explorer —
+    /// seed `0x203cfdbad06e70dc` in `crates/check/tests/schedule_explore.rs`.)
+    ///
+    /// The `remaining` check therefore lives *inside* the action lock: the
+    /// lock serializes every arm/fire transition, so "crossed + Armed"
+    /// reliably means an in-flight `try_fire` owns that action, and
+    /// "crossed + Unset" means the firing is ours to take.
     pub fn set_action(self: &Arc<Self>, action: impl FnOnce() + Send + 'static) -> bool {
         {
             let mut slot = self.action.lock();
-            if matches!(*slot, ActionState::Fired) {
-                self.late_actions.fetch_add(1, Ordering::Relaxed);
-                return false;
+            let crossed = self.remaining.load(Ordering::Acquire) <= 0;
+            match &*slot {
+                ActionState::Fired => {
+                    self.late_actions.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                ActionState::Armed(_) if crossed => {
+                    // The crossing signal's try_fire (past its fetch_sub,
+                    // not yet through this lock) owns the armed action; we
+                    // are the late one.
+                    self.late_actions.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                ActionState::Unset if crossed => {
+                    // Count already drained and nothing armed: the firing
+                    // is ours. Mark the slot spent under the lock, run the
+                    // action outside it (it may re-enter this slot).
+                    *slot = ActionState::Fired;
+                }
+                _ => {
+                    *slot = ActionState::Armed(Box::new(action));
+                    return true;
+                }
             }
-            *slot = ActionState::Armed(Box::new(action));
         }
-        if self.remaining.load(Ordering::Acquire) <= 0 {
-            self.try_fire();
-        }
+        action();
         true
     }
 
@@ -112,8 +141,10 @@ impl SyncSlot {
         matches!(*self.action.lock(), ActionState::Fired)
     }
 
-    /// How many [`SyncSlot::set_action`] calls arrived after the slot had
-    /// fired and were dropped as no-ops.
+    /// How many [`SyncSlot::set_action`] calls lost the race and were
+    /// dropped as no-ops — exactly one tick per losing caller, whether it
+    /// arrived after the fire or in the window between the threshold
+    /// crossing and the fire.
     pub fn late_actions(&self) -> u64 {
         self.late_actions.load(Ordering::Relaxed)
     }

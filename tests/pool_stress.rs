@@ -146,6 +146,54 @@ fn batched_spawns_race_park_entry() {
     }
 }
 
+/// Panic-during-claim coverage for the segmented injector: a job body
+/// unwinding right after its slot was claimed (WRITTEN→TAKEN) must not
+/// strand the slot or its segment — consumption must march on past the
+/// panicking job, across segment boundaries, and the pool must stay fully
+/// usable afterwards. A stranded slot shows up here as a lost job
+/// (`done + panics < spawned`) or a hung `wait_quiescent`.
+#[test]
+fn panicking_jobs_do_not_strand_injector_slots() {
+    let pool = Pool::with_topology(Topology::domains(2, 2));
+    let done = Arc::new(AtomicU64::new(0));
+    let mut spawned = 0u64;
+    let mut expect_panics = 0u64;
+    // Three rounds, each several segments (SEGMENT_CAP is 32) so panics
+    // land on every segment position, including the retire-triggering
+    // last slot of a drained segment.
+    for round in 0..3u64 {
+        for i in 0..100u64 {
+            let done = done.clone();
+            if (i + round) % 3 == 0 {
+                expect_panics += 1;
+                pool.spawn(move |_| panic!("injected failure"));
+            } else {
+                pool.spawn(move |_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            spawned += 1;
+        }
+        pool.wait_quiescent();
+        assert_eq!(
+            done.load(Ordering::Relaxed) + pool.stats().panics,
+            spawned,
+            "a job was stranded in round {round}"
+        );
+    }
+    assert_eq!(pool.stats().panics, expect_panics);
+    // The injector must still be fully serviceable after the carnage.
+    for _ in 0..64u64 {
+        let done = done.clone();
+        pool.spawn(move |_| {
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        spawned += 1;
+    }
+    pool.wait_quiescent();
+    assert_eq!(done.load(Ordering::Relaxed) + expect_panics, spawned);
+}
+
 /// The acceptance claim of the protocol change: workers park indefinitely
 /// on an idle pool — no 1ms re-poll, no periodic self-wake. `parks`
 /// counts park *events*, so a re-polling worker would grow it by ~1000/s;

@@ -47,6 +47,50 @@ fn sync_slot_batched_signals_cross_threshold_once() {
     assert_eq!(fired.load(Ordering::SeqCst), 1);
 }
 
+/// Racer accounting on an already-crossed slot: a zero-count slot has no
+/// pre-crossing replacement window, so of N concurrent `set_action` calls
+/// exactly one may win (`true`, its action runs) and every other must be
+/// counted late (`false`, one `late_actions` tick each). Historically a
+/// racer preempted mid-`set_action` could be silently replaced — told
+/// `true`, action dropped, no tick; the schedule explorer caught it (seed
+/// `0x203cfdbad06e70dc` in `crates/check/tests/schedule_explore.rs`), and
+/// this is the same invariant under real threads.
+#[test]
+fn sync_slot_racing_set_actions_account_exactly_once() {
+    const RACERS: usize = 8;
+    for _ in 0..50 {
+        let slot = SyncSlot::new(0);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let slot = slot.clone();
+                let ran = ran.clone();
+                let wins = wins.clone();
+                std::thread::spawn(move || {
+                    let r2 = ran.clone();
+                    if slot.set_action(move || {
+                        r2.fetch_add(1, Ordering::SeqCst);
+                    }) {
+                        wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "exactly one action runs");
+        assert_eq!(wins.load(Ordering::SeqCst), 1, "exactly one winner");
+        assert_eq!(
+            slot.late_actions(),
+            (RACERS - 1) as u64,
+            "each losing racer ticks late_actions exactly once"
+        );
+        assert!(slot.has_fired());
+    }
+}
+
 #[test]
 fn ivar_wakes_deferred_readers_in_arrival_order() {
     let iv: IVar<u64> = IVar::new();
