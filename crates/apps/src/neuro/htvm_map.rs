@@ -167,19 +167,43 @@ pub fn run_parallel(
 }
 
 /// Run `steps` of the network on the HTVM native runtime, on a pool with
-/// an explicit locality-domain topology (E17 sweeps this).
+/// an explicit locality-domain topology (E17 sweeps this). Constructs a
+/// private [`Htvm`] for the run; to share a long-lived pool (e.g. a
+/// serving pool) use [`run_parallel_on`].
 pub fn run_parallel_topo(
     net: Network,
     steps: u64,
     topology: Topology,
     mapping: Mapping,
 ) -> ParallelRunReport {
-    let workers = topology.workers();
     let htvm = Htvm::new(HtvmConfig {
         topology,
         lgt_memory_words: 64, // the LGT arena is unused here: keep it tiny
         frame_slots: 8,
     });
+    run_parallel_on(&htvm, net, steps, mapping)
+}
+
+/// Run `steps` of the network as a batch job **on a shared, live
+/// runtime** — the re-entrant form: multiple concurrent calls on the
+/// same `Htvm`, or a call racing a serving front-end's request stream
+/// on the same pool, are all safe. Completion is tracked by dataflow
+/// (the run joins its own LGT, whose result fires when the last step's
+/// last chunk retires), never by `Pool::wait_quiescent`, which on a
+/// shared pool would wait for *everyone's* work — and on a
+/// continuously-fed serving pool might never return.
+/// [`ParallelRunReport::pool`] reports the pool-counter *delta* across
+/// the call ([`PoolStats::since`]); on a busy shared pool the delta
+/// includes whatever else ran meanwhile, so treat it as context, not
+/// as an exact account of this run.
+pub fn run_parallel_on(
+    htvm: &Htvm,
+    net: Network,
+    steps: u64,
+    mapping: Mapping,
+) -> ParallelRunReport {
+    let workers = htvm.pool().workers();
+    let base = htvm.pool_stats();
     let start = std::time::Instant::now();
 
     let spec = net.spec.clone();
@@ -246,7 +270,7 @@ pub fn run_parallel_topo(
         total_spikes: state.total_spikes.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
         sgt_count: state.sgt_count.load(Ordering::Relaxed),
-        pool: htvm.pool_stats(),
+        pool: htvm.pool_stats().since(&base),
     }
 }
 

@@ -22,7 +22,7 @@ pub mod model;
 pub mod network;
 pub mod sim;
 
-pub use htvm_map::{run_parallel, Mapping, ParallelRunReport};
+pub use htvm_map::{run_parallel, run_parallel_on, run_parallel_topo, Mapping, ParallelRunReport};
 pub use model::{Compartment, Neuron, NeuronParams};
 pub use network::{Network, NetworkSpec, Synapse};
 pub use sim::NetworkSim;

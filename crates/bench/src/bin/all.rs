@@ -2,7 +2,8 @@
 //! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary,
 //! and always refresh `BENCH_pool.json` — the pool-perf baseline
 //! (e5/e5b/e5c spawn+queue costs, e17 topology traffic, e18 SSP-native)
-//! future PRs compare their numbers against.
+//! and `BENCH_serving.json` (e19 serving latency/conservation) — the
+//! baselines future PRs compare their numbers against.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick {
@@ -13,5 +14,7 @@ fn main() {
     let tables = htvm_bench::experiments::run_all(scale);
     let refs = tables.iter().collect::<Vec<_>>();
     htvm_bench::report::emit("all", &refs);
-    htvm_bench::report::write_pool_baseline(if quick { "quick" } else { "full" }, &refs);
+    let scale_label = if quick { "quick" } else { "full" };
+    htvm_bench::report::write_pool_baseline(scale_label, &refs);
+    htvm_bench::report::write_serving_baseline(scale_label, &refs);
 }

@@ -1,0 +1,16 @@
+//! Report binary for e19_serving: the open-loop multi-tenant serving
+//! experiment. Prints the latency/conservation table, honours
+//! `--json <path>` / `HTVM_BENCH_JSON`, and always refreshes
+//! `BENCH_serving.json` — the serving baseline future PRs diff against.
+//! `--quick` runs the reduced sweep (what CI's shape check uses).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        htvm_bench::experiments::Scale::Quick
+    } else {
+        htvm_bench::experiments::Scale::Full
+    };
+    let t = htvm_bench::experiments::e19_serving(scale);
+    htvm_bench::report::emit("e19_serving", &[&t]);
+    htvm_bench::report::write_serving_baseline(if quick { "quick" } else { "full" }, &[&t]);
+}

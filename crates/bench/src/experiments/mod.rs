@@ -10,6 +10,7 @@ pub mod apps;
 pub mod domains;
 pub mod machine;
 pub mod sched;
+pub mod serving;
 pub mod ssp_native;
 
 pub use ablations::{
@@ -25,6 +26,7 @@ pub use sched::{
     e10_locality, e11_latency_adapt, e12_hints, e13_monitor, e6_loop_sched, e7_ssp, e8_ssp_mt,
     e9_load_balance,
 };
+pub use serving::e19_serving;
 pub use ssp_native::e18_ssp_native;
 
 /// Sweep size selector.
@@ -69,5 +71,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::Table> {
         e16_litlx(scale),
         e17_domains(scale),
         e18_ssp_native(scale),
+        e19_serving(scale),
     ]
 }

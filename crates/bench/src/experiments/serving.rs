@@ -1,0 +1,162 @@
+//! E19: multi-tenant serving under open-loop load.
+//!
+//! The serving front-end (`htvm-serve`) converts the pool into a
+//! long-lived server; this experiment drives it the way a latency SLO
+//! would be measured: an **open-loop** generator submits requests at a
+//! fixed arrival rate (pacing is wall-clock ticks, independent of
+//! completions — so queueing delay is visible instead of being absorbed
+//! by a closed loop), across three tenants with weights 1/2/4 offered
+//! *equal* load, over at least three rates from under-load to past
+//! saturation.
+//!
+//! Per tenant and rate the table reports the admission-to-execution
+//! latency distribution (p50/p99/p999 in µs, measured from submit to
+//! the moment the action starts running on a worker) and the full
+//! conservation ledger: every offered request must end in exactly one
+//! of refused (typed backpressure at admission), completed, cancelled
+//! (a slice of requests carries a tight deadline), or shed (overload
+//! triage) — the `check` column proves the ledger balances. At the
+//! saturating rate the weighted dispatcher should hold the weight-4
+//! tenant's tail latency below the weight-1 tenant's.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use htvm_core::{Pool, Topology};
+use htvm_serve::{NativeParcel, Server, ServerConfig, TenantConfig};
+
+use super::Scale;
+use crate::table::Table;
+
+/// Percentile over a sorted slice (nearest-rank on the closed index
+/// range, so `p999` of a short vector is its max, never out of bounds).
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// E19 — open-loop multi-tenant serving: latency distribution and
+/// conservation ledger per tenant across arrival rates.
+pub fn e19_serving(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E19 serving: open-loop load × weighted tenants",
+        &[
+            "rate_rps",
+            "tenant",
+            "weight",
+            "offered",
+            "refused",
+            "completed",
+            "cancelled",
+            "shed",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "check",
+        ],
+    );
+    let weights = [1u64, 2, 4];
+    // Aggregate offered load per 1 ms tick, split evenly across tenants:
+    // the low rate idles the pool, the middle one loads it, the top one
+    // saturates admission so shedding and backpressure become visible.
+    let rates_per_tick = [3usize, 12, 48];
+    let ticks = scale.pick(25u64, 200);
+    let workers = scale.pick(2usize, 4);
+
+    for per_tick in rates_per_tick {
+        let pool = Arc::new(Pool::with_topology(Topology::domains(workers, 1)));
+        let server = Server::on_pool(
+            pool,
+            ServerConfig {
+                max_in_flight: 16,
+                default_queue_capacity: 256,
+                max_queued_total: 384,
+                ..ServerConfig::default()
+            },
+        );
+        let tenants: Vec<_> = weights
+            .iter()
+            .map(|&w| server.register_tenant(TenantConfig::weighted(w)))
+            .collect();
+        let lats: Vec<Arc<Mutex<Vec<u64>>>> = weights
+            .iter()
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+
+        let mut seq = 0usize;
+        for _ in 0..ticks {
+            let tick_deadline = Instant::now() + Duration::from_millis(1);
+            for _ in 0..per_tick {
+                let k = seq % tenants.len();
+                seq += 1;
+                let lat = lats[k].clone();
+                let submitted_at = Instant::now();
+                let parcel = NativeParcel::new(move |_| {
+                    lat.lock()
+                        .unwrap()
+                        .push(submitted_at.elapsed().as_micros() as u64);
+                    // A few hundred ns of "work" so service time is not
+                    // pure bookkeeping.
+                    for i in 0..64u64 {
+                        std::hint::black_box(i);
+                    }
+                });
+                // Every 32nd request carries a tight deadline: under
+                // load some expire in the queue and exercise the
+                // cancellation path end to end.
+                let res = if seq.is_multiple_of(32) {
+                    tenants[k]
+                        .submit_with_deadline(parcel, submitted_at + Duration::from_micros(500))
+                } else {
+                    tenants[k].submit(parcel)
+                };
+                // Refusals are typed backpressure; the stats ledger
+                // counts them, the handle (if any) needs no await.
+                drop(res);
+            }
+            let now = Instant::now();
+            if now < tick_deadline {
+                std::thread::sleep(tick_deadline - now);
+            }
+        }
+
+        assert!(
+            server.wait_idle(Duration::from_secs(60)),
+            "serving load never drained"
+        );
+        let rate_rps = per_tick * 1000;
+        for (k, tenant) in tenants.iter().enumerate() {
+            let s = tenant.stats();
+            let mut lat = lats[k].lock().unwrap().clone();
+            lat.sort_unstable();
+            let balanced = s.settled() == s.submitted
+                && s.completed == lat.len() as u64
+                && s.closed_rejects == 0
+                && s.shutdown_rejects == 0
+                && s.panicked == 0;
+            t.row(&[
+                rate_rps.to_string(),
+                format!("t{k}"),
+                weights[k].to_string(),
+                s.submitted.to_string(),
+                s.rejected_full.to_string(),
+                s.completed.to_string(),
+                s.cancelled.to_string(),
+                s.shed.to_string(),
+                percentile_us(&lat, 0.50).to_string(),
+                percentile_us(&lat, 0.99).to_string(),
+                percentile_us(&lat, 0.999).to_string(),
+                if balanced {
+                    "ok".to_string()
+                } else {
+                    "LEAK".to_string()
+                },
+            ]);
+        }
+        server.shutdown();
+    }
+    t
+}

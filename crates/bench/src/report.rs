@@ -114,6 +114,46 @@ pub fn write_pool_baseline(scale: &str, tables: &[&Table]) {
     }
 }
 
+/// Where the serving baseline lives (same resolution rules as
+/// [`pool_baseline_path`]): the workspace root, falling back to cwd.
+fn serving_baseline_path() -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    if root.is_dir() {
+        root.join("BENCH_serving.json")
+    } else {
+        std::path::PathBuf::from("BENCH_serving.json")
+    }
+}
+
+/// Write `BENCH_serving.json` — the serving-layer latency/conservation
+/// baseline (the E19 table) future PRs diff against, scale-labelled like
+/// the pool baseline.
+pub fn write_serving_baseline(scale: &str, tables: &[&Table]) {
+    let picked: Vec<&Table> = tables
+        .iter()
+        .copied()
+        .filter(|t| t.title.starts_with("E19"))
+        .collect();
+    let body = picked
+        .iter()
+        .map(|t| t.to_json())
+        .collect::<Vec<_>>()
+        .join(",");
+    let doc = format!(
+        "{{\"experiment\":\"serving_baseline\",\"scale\":\"{scale}\",\"tables\":[{body}]}}\n"
+    );
+    let path = serving_baseline_path();
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("wrote serving baseline to {}", path.display()),
+        Err(e) => eprintln!(
+            "failed to write serving baseline to {}: {e}",
+            path.display()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,6 +39,7 @@ use htvm_check::{check_corpus, explore, random_seeds_from_env, replay, Config};
 use htvm_core::deque::{Injector, Steal, Worker};
 use htvm_core::sleepers::{ParkOutcome, Sleepers};
 use htvm_core::sync::SyncSlot;
+use htvm_core::{AdmissionQueue, AdmitError, CancelToken};
 
 // ---------------------------------------------------------------------------
 // Committed seed corpus.
@@ -64,6 +65,12 @@ const SEED_SLEEPERS_MUTANT_LOST_WAKEUP: u64 = 0x98603fddc26f6e07;
 /// Catches `Stealer::steal_mutant_no_cas` (double-take): two thieves read
 /// the same `top` and both claim the same element.
 const SEED_DEQUE_MUTANT_DOUBLE_TAKE: u64 = 0xf8b44b6aadf07fd5;
+
+/// Serving-layer seeds (PR 7): the admission handoff and the
+/// cancel-vs-dispatch race both pass their full sweeps under these base
+/// seeds; committed so the exact explored schedules replay forever.
+const SEED_ADMISSION_HANDOFF: u64 = 0x6c62272e07bb0142;
+const SEED_CANCEL_VS_DISPATCH: u64 = 0x27d4eb2f165667c5;
 
 /// Shared per-test setup: install the between-iterations reset of core's
 /// process-wide epoch registry (required for seed-exact replay of deque
@@ -591,6 +598,141 @@ fn sync_slot_wavefront_advances_exactly_once() {
 }
 
 // ---------------------------------------------------------------------------
+// Serving layer (PR 7): admission-queue handoff and cancel-vs-dispatch.
+// ---------------------------------------------------------------------------
+
+/// Producer→consumer handoff through the bounded admission queue, racing
+/// a close: every *accepted* value must be consumed exactly once and in
+/// FIFO order (popped live or drained after close), every refused push
+/// must hand the item back typed, and a push after close must be refused
+/// as `Closed` — no value may be lost, duplicated, or reordered,
+/// whatever the interleaving of push, pop, close and drain.
+fn admission_handoff_scenario() {
+    let q = Arc::new(AdmissionQueue::new(2));
+    let accepted = Arc::new(StdMutex::new(Vec::new()));
+    let producer = {
+        let q = q.clone();
+        let accepted = accepted.clone();
+        htvm_check::thread::spawn(move || {
+            let mut acc = Vec::new();
+            for v in 0..4u64 {
+                match q.try_push(v) {
+                    Ok(()) => acc.push(v),
+                    Err(AdmitError::Full(back)) => {
+                        assert_eq!(back, v, "typed refusal returns the item")
+                    }
+                    Err(AdmitError::Closed(_)) => unreachable!("nobody closed yet"),
+                }
+            }
+            q.close();
+            match q.try_push(99) {
+                Err(AdmitError::Closed(back)) => assert_eq!(back, 99),
+                other => panic!("push after close must refuse Closed, got {other:?}"),
+            }
+            accepted.lock().unwrap().extend(acc);
+        })
+    };
+    // The consumer races the producer with a bounded number of pop
+    // attempts (popping works on a closed queue), then drains the rest.
+    let mut got = Vec::new();
+    for _ in 0..6 {
+        if let Some(v) = q.pop() {
+            got.push(v);
+        }
+    }
+    producer.join();
+    got.extend(q.drain());
+    let accepted = accepted.lock().unwrap().clone();
+    assert_eq!(
+        got, accepted,
+        "handoff must deliver exactly the accepted values, in FIFO order"
+    );
+    assert_eq!(q.pushed(), accepted.len() as u64);
+    assert!(q.is_empty(), "drain after close leaves nothing behind");
+}
+
+#[test]
+fn admission_handoff_delivers_exactly_once_in_order() {
+    explore(
+        "admission-queue-handoff",
+        &cfg(300),
+        SEED_ADMISSION_HANDOFF,
+        admission_handoff_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// The serving layer's load-bearing race: a request sitting in the
+/// admission queue is cancelled *while* the dispatcher moves it. The
+/// dispatcher mirrors `htvm_serve::server::dispatch_one` (skip if
+/// already resolved, else claim at the grain boundary) for the first
+/// request and the shed path (`resolve_rejected`: claim then reject)
+/// for the second. Whatever the schedule, each request must resolve to
+/// **exactly one** of executed / rejected / cancelled — never zero
+/// (a hung client), never two (a double resolution).
+fn cancel_vs_dispatch_scenario() {
+    const CANCELLED: usize = 1;
+    const EXECUTED: usize = 1 << 8;
+    const REJECTED: usize = 1 << 16;
+    let q = Arc::new(AdmissionQueue::new(2));
+    let resolutions: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+    let tokens: Vec<CancelToken> = (0..2)
+        .map(|i| {
+            let t = CancelToken::new();
+            let resolutions = resolutions.clone();
+            t.on_cancelled(move || {
+                resolutions[i].fetch_add(CANCELLED, StdOrdering::SeqCst);
+            });
+            q.try_push((i, t.clone()))
+                .unwrap_or_else(|_| panic!("fits"));
+            t
+        })
+        .collect();
+    let canceller = {
+        let tokens = tokens.clone();
+        htvm_check::thread::spawn(move || {
+            for t in &tokens {
+                t.cancel();
+            }
+        })
+    };
+    // Dispatch path (first pop): skip if the cancel hook already
+    // resolved it, otherwise the grain-boundary claim decides.
+    if let Some((i, t)) = q.pop() {
+        if !t.is_cancelled() && t.try_claim() {
+            resolutions[i].fetch_add(EXECUTED, StdOrdering::SeqCst);
+        }
+    }
+    // Shed path (second pop): claim-then-reject; losing the claim means
+    // the concurrent cancel already resolved it and the shed is a no-op.
+    if let Some((i, t)) = q.pop() {
+        if t.try_claim() {
+            resolutions[i].fetch_add(REJECTED, StdOrdering::SeqCst);
+        }
+    }
+    canceller.join();
+    for (i, r) in resolutions.iter().enumerate() {
+        let r = r.load(StdOrdering::SeqCst);
+        assert!(
+            r == CANCELLED || r == EXECUTED || r == REJECTED,
+            "request {i} must resolve exactly once, got {r:#x}"
+        );
+    }
+}
+
+#[test]
+fn cancelled_in_queue_resolves_exactly_one_of_executed_or_rejected() {
+    explore(
+        "cancel-vs-dispatch",
+        &cfg(400),
+        SEED_CANCEL_VS_DISPATCH,
+        cancel_vs_dispatch_scenario,
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+// ---------------------------------------------------------------------------
 // Committed corpus + fresh random seeds (the CI job's two halves).
 // ---------------------------------------------------------------------------
 
@@ -603,6 +745,20 @@ fn committed_corpus_regressions_pass() {
         &cfg(1),
         &[SEED_SYNC_SLOT_LOST_RACER],
         sync_slot_zero_count_racers_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "admission-queue-handoff",
+        &cfg(1),
+        &[SEED_ADMISSION_HANDOFF],
+        admission_handoff_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "cancel-vs-dispatch",
+        &cfg(1),
+        &[SEED_CANCEL_VS_DISPATCH],
+        cancel_vs_dispatch_scenario,
     )
     .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
 }
@@ -640,6 +796,8 @@ fn fresh_random_seeds_hold_invariants() {
         ("deque-last-element", deque_last_element_scenario),
         ("injector-exactly-once", injector_exactly_once_scenario),
         ("sleepers-no-lost-wakeup", sleepers_no_lost_wakeup_scenario),
+        ("admission-queue-handoff", admission_handoff_scenario),
+        ("cancel-vs-dispatch", cancel_vs_dispatch_scenario),
         (
             "sync-slot-racer-accounting",
             sync_slot_zero_count_racers_scenario,

@@ -1,0 +1,388 @@
+//! Cancellation and deadline tokens for work submitted to the pool.
+//!
+//! The serving layer (`htvm_serve`) needs a guarantee the batch runtime
+//! never did: a request cancelled *while its job sits in an injector*
+//! must resolve to **exactly one** of executed-or-cancelled — never
+//! both (a response delivered after the client gave up) and never
+//! neither (a leaked in-flight slot). The token is a three-state
+//! machine enforced by a single compare-and-swap:
+//!
+//! ```text
+//!            cancel() / deadline / parent       try_claim()
+//!   PENDING ────────────────────────────► CANCELLED
+//!      │
+//!      └────────────────────────────────► CLAIMED
+//! ```
+//!
+//! * [`CancelToken::cancel`] CASes `PENDING → CANCELLED`; the winner
+//!   runs the armed [`CancelToken::on_cancelled`] hook, which owns the
+//!   *cancelled* resolution of whatever the token guards.
+//! * [`CancelToken::try_claim`] (called by the pool's worker loop at
+//!   the grain boundary, just before a job body runs) CASes
+//!   `PENDING → CLAIMED`; the winner runs the body, which owns the
+//!   *completed* resolution.
+//!
+//! Both transitions leave `PENDING` exactly once, so exactly one side
+//! wins no matter how the race interleaves — the property
+//! `crates/check/tests/schedule_explore.rs` drives through every
+//! schedule. Deadlines and parent-chain cancellation piggyback on the
+//! same CAS: `try_claim` checks them first and resolves the token
+//! cancelled (running the hook) instead of claiming.
+//!
+//! Tokens form a hierarchy via [`CancelToken::child`], mirroring the
+//! LGT subtree a tenant owns: cancelling a parent does not atomically
+//! resolve its children (each child still settles through its own
+//! CAS), but every child observes the parent's request at its next
+//! grain boundary — `try_claim` and [`CancelToken::cancel_requested`]
+//! both walk the parent chain. That is the paper's grain-boundary
+//! discipline: cancellation is a dataflow signal SGT waves poll
+//! between grains, not a preemptive interrupt.
+//!
+//! All primitives come from `crate::chk`, so under `--features
+//! check` the whole state machine runs on the deterministic-schedule
+//! explorer's instrumented twins.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::chk::{AtomicBool, AtomicU8, Mutex, Ordering};
+
+const PENDING: u8 = 0;
+const CLAIMED: u8 = 1;
+const CANCELLED: u8 = 2;
+
+type Hook = Box<dyn FnOnce() + Send>;
+
+struct Inner {
+    /// The three-state machine; the only writes are the two CASes out
+    /// of `PENDING`, so the terminal state is decided exactly once.
+    state: AtomicU8,
+    /// Sticky request flag, set by every `cancel()` call even when the
+    /// CAS loses: a body already running (token `CLAIMED`) polls this
+    /// through [`CancelToken::cancel_requested`] to stop early.
+    requested: AtomicBool,
+    /// At most one hook, armed under the lock and consumed exactly once
+    /// by whichever path resolves the token cancelled (same discipline
+    /// as `SyncSlot::set_action`).
+    hook: Mutex<Option<Hook>>,
+    parent: Option<Arc<Inner>>,
+    deadline: Option<Instant>,
+}
+
+impl Inner {
+    fn requested_here_or_above(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(inner) = cur {
+            if inner.requested.load(Ordering::SeqCst) {
+                return true;
+            }
+            if inner.deadline.is_some_and(|d| Instant::now() >= d) {
+                return true;
+            }
+            cur = inner.parent.as_deref();
+        }
+        false
+    }
+}
+
+/// A cloneable cancellation/deadline token guarding one unit of work
+/// (see the [module docs](self) for the state machine and the
+/// exactly-once argument).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.inner.state.load(Ordering::SeqCst) {
+            CLAIMED => "claimed",
+            CANCELLED => "cancelled",
+            _ => "pending",
+        };
+        f.debug_struct("CancelToken")
+            .field("state", &state)
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, pending token with no deadline and no parent.
+    pub fn new() -> Self {
+        Self::build(None, None)
+    }
+
+    /// A fresh token that resolves cancelled at its next grain boundary
+    /// once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline), None)
+    }
+
+    fn build(deadline: Option<Instant>, parent: Option<Arc<Inner>>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(PENDING),
+                requested: AtomicBool::new(false),
+                hook: Mutex::new(None),
+                parent,
+                deadline,
+            }),
+        }
+    }
+
+    /// A child token: it settles through its own CAS, but observes this
+    /// token's cancellation (and deadline) at every grain boundary —
+    /// the SGT-subtree propagation path.
+    pub fn child(&self) -> Self {
+        Self::build(None, Some(self.inner.clone()))
+    }
+
+    /// A child token with its own (typically tighter) deadline.
+    pub fn child_with_deadline(&self, deadline: Instant) -> Self {
+        Self::build(Some(deadline), Some(self.inner.clone()))
+    }
+
+    /// Request cancellation. Returns `true` if this call resolved the
+    /// token (the `PENDING → CANCELLED` CAS won, and the armed
+    /// [`CancelToken::on_cancelled`] hook — if any — ran on this
+    /// thread before returning); `false` if the token was already
+    /// claimed or already cancelled. Even a losing call leaves the
+    /// sticky request flag set for [`CancelToken::cancel_requested`]
+    /// polls.
+    pub fn cancel(&self) -> bool {
+        self.inner.requested.store(true, Ordering::SeqCst);
+        resolve_cancelled(&self.inner)
+    }
+
+    /// The grain-boundary checkpoint: try to claim the token for
+    /// execution. Returns `true` if the `PENDING → CLAIMED` CAS won
+    /// (the caller now owns the completed resolution and must run the
+    /// body); `false` if the token is (or just became) cancelled — an
+    /// expired deadline or a cancelled ancestor resolves the token
+    /// cancelled *here*, running the hook on the calling thread.
+    pub fn try_claim(&self) -> bool {
+        if self.inner.requested_here_or_above() {
+            resolve_cancelled(&self.inner);
+            return false;
+        }
+        self.inner
+            .state
+            .compare_exchange(PENDING, CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Whether cancellation has been requested on this token, an
+    /// ancestor, or by an expired deadline — the cooperative poll a
+    /// running body (token already `CLAIMED`) checks between grains.
+    pub fn cancel_requested(&self) -> bool {
+        self.inner.requested_here_or_above()
+    }
+
+    /// Whether the token has terminally resolved cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::SeqCst) == CANCELLED
+    }
+
+    /// Whether the token was claimed for execution.
+    pub fn was_claimed(&self) -> bool {
+        self.inner.state.load(Ordering::SeqCst) == CLAIMED
+    }
+
+    /// The token's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Arm `f` to run exactly once when (and if) the token resolves
+    /// cancelled — from whichever thread wins that resolution. If the
+    /// token is already cancelled, `f` runs immediately on this
+    /// thread. If the token was already claimed, `f` is dropped and
+    /// never runs. Arming replaces any previously armed, unfired hook.
+    pub fn on_cancelled(&self, f: impl FnOnce() + Send + 'static) {
+        {
+            let mut slot = self.inner.hook.lock();
+            match self.inner.state.load(Ordering::SeqCst) {
+                CANCELLED => {} // fall through and run below, outside the lock
+                CLAIMED => return,
+                _ => {
+                    *slot = Some(Box::new(f));
+                    return;
+                }
+            }
+        }
+        f();
+    }
+}
+
+/// The single cancelled-resolution path, shared by `cancel()` and the
+/// deadline/parent branch of `try_claim()`: CAS out of `PENDING`, and
+/// the winner consumes the armed hook under the lock (so it can never
+/// race an `on_cancelled` arm) and runs it after unlocking.
+fn resolve_cancelled(inner: &Arc<Inner>) -> bool {
+    if inner
+        .state
+        .compare_exchange(PENDING, CANCELLED, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return false;
+    }
+    let hook = inner.hook.lock().take();
+    if let Some(f) = hook {
+        f();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering as StdOrdering};
+    use std::time::Duration;
+
+    #[test]
+    fn claim_then_cancel_loses() {
+        let t = CancelToken::new();
+        assert!(t.try_claim());
+        assert!(!t.cancel());
+        assert!(t.was_claimed());
+        assert!(!t.is_cancelled());
+        // The request flag is still visible to a running body.
+        assert!(t.cancel_requested());
+    }
+
+    #[test]
+    fn cancel_then_claim_loses() {
+        let t = CancelToken::new();
+        assert!(t.cancel());
+        assert!(!t.try_claim());
+        assert!(t.is_cancelled());
+        assert!(!t.was_claimed());
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let t = CancelToken::new();
+        assert!(t.cancel());
+        assert!(!t.cancel());
+    }
+
+    #[test]
+    fn second_claim_fails() {
+        let t = CancelToken::new();
+        assert!(t.try_claim());
+        assert!(!t.try_claim());
+    }
+
+    #[test]
+    fn armed_hook_runs_exactly_once_on_cancel() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let t = CancelToken::new();
+        let r = runs.clone();
+        t.on_cancelled(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert!(t.cancel());
+        assert!(!t.cancel());
+        assert_eq!(runs.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn hook_armed_after_cancellation_runs_immediately() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let t = CancelToken::new();
+        t.cancel();
+        let r = runs.clone();
+        t.on_cancelled(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert_eq!(runs.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn hook_never_runs_after_claim() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let t = CancelToken::new();
+        let r = runs.clone();
+        t.on_cancelled(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert!(t.try_claim());
+        t.cancel();
+        assert_eq!(runs.load(StdOrdering::SeqCst), 0);
+        // Arming after the claim drops the hook too.
+        let r = runs.clone();
+        t.on_cancelled(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert_eq!(runs.load(StdOrdering::SeqCst), 0);
+    }
+
+    #[test]
+    fn expired_deadline_resolves_at_claim() {
+        let runs = Arc::new(AtomicU32::new(0));
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let r = runs.clone();
+        t.on_cancelled(move || {
+            r.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert!(t.cancel_requested());
+        assert!(!t.try_claim());
+        assert!(t.is_cancelled());
+        assert_eq!(runs.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn future_deadline_claims_normally() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.cancel_requested());
+        assert!(t.try_claim());
+    }
+
+    #[test]
+    fn parent_cancellation_propagates_to_children() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+        assert!(!grandchild.cancel_requested());
+        parent.cancel();
+        // The child settles through its own CAS, at its own boundary.
+        assert!(!child.is_cancelled());
+        assert!(grandchild.cancel_requested());
+        assert!(!grandchild.try_claim());
+        assert!(grandchild.is_cancelled());
+        assert!(!child.try_claim());
+    }
+
+    #[test]
+    fn child_deadline_is_independent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!child.try_claim());
+        // The parent is untouched by the child's expiry.
+        assert!(parent.try_claim());
+    }
+
+    #[test]
+    fn racing_cancel_and_claim_resolve_exactly_once() {
+        // A coarse native-thread race; the schedule explorer covers the
+        // same property exhaustively under `--features check`.
+        for _ in 0..200 {
+            let t = CancelToken::new();
+            let t2 = t.clone();
+            let h = std::thread::spawn(move || t2.cancel());
+            let claimed = t.try_claim();
+            let cancelled = h.join().unwrap();
+            assert!(
+                claimed ^ cancelled,
+                "exactly one side must win: claimed={claimed} cancelled={cancelled}"
+            );
+        }
+    }
+}

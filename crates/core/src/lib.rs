@@ -63,6 +63,8 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod cancel;
 pub(crate) mod chk;
 pub mod deque;
 pub mod frame;
@@ -76,9 +78,11 @@ pub mod sync;
 pub mod tgt;
 pub mod topology;
 
+pub use admission::{AdmissionQueue, AdmitError};
+pub use cancel::CancelToken;
 pub use frame::Frame;
 pub use ids::{DomainId, LgtId, SgtId, TgtId, WorkerId};
-pub use native::{Pool, PoolStats, QueueDepths, WorkerCtx};
+pub use native::{Pool, PoolStats, PoolTag, QueueDepths, SpawnOpts, TagStats, WorkerCtx};
 pub use region::SharedRegion;
 pub use runtime::{Htvm, HtvmConfig, LgtCtx, LgtHandle, SgtCtx};
 pub use sync::{IVar, PoolBarrier, SyncSlot};

@@ -81,13 +81,103 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::cancel::CancelToken;
 use crate::chk::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crate::ids::{DomainId, WorkerId};
 use crate::sleepers::Sleepers;
 use crate::topology::Topology;
 
-type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
+type JobBody = Box<dyn FnOnce(&WorkerCtx) + Send>;
+
+/// The unit the scheduling spine moves around: a body plus the serving
+/// layer's optional envelope — a cancellation token checked at the
+/// grain boundary (see [`run_job`]) and a per-tenant accounting tag.
+/// Batch spawns carry a bare body; the envelope costs them nothing but
+/// two `None` words per job.
+struct Job {
+    body: JobBody,
+    token: Option<CancelToken>,
+    tag: Option<PoolTag>,
+}
+
+impl Job {
+    fn plain(body: JobBody) -> Self {
+        Self {
+            body,
+            token: None,
+            tag: None,
+        }
+    }
+}
+
+/// Per-tenant slice of the pool's execution counters. Cloneable and
+/// cheap (an `Arc` of two atomics); hand one to every spawn made on a
+/// tenant's behalf via [`SpawnOpts::tag`] and read the slice back with
+/// [`PoolTag::stats`]. When a pool runs only tagged work, the slices
+/// partition the global [`PoolStats`]: Σ `executed` over tags equals
+/// [`PoolStats::total_executed`] and Σ `cancelled` equals
+/// [`PoolStats::cancelled`].
+#[derive(Clone, Default)]
+pub struct PoolTag {
+    counters: Arc<TagCounters>,
+}
+
+#[derive(Default)]
+struct TagCounters {
+    executed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl PoolTag {
+    /// A fresh tag with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot this tag's slice of the pool counters.
+    pub fn stats(&self) -> TagStats {
+        TagStats {
+            executed: self.counters.executed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolTag")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A snapshot of one [`PoolTag`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Jobs carrying this tag whose body ran (claimed at the grain
+    /// boundary; includes bodies that then panicked).
+    pub executed: u64,
+    /// Jobs carrying this tag dropped at the grain boundary because
+    /// their token had resolved cancelled.
+    pub cancelled: u64,
+}
+
+/// Envelope options for [`Pool::spawn_with`]: placement, cancellation,
+/// and per-tenant accounting. `Default` is equivalent to
+/// [`Pool::spawn`] — global injector, no token, no tag.
+#[derive(Default, Clone)]
+pub struct SpawnOpts {
+    /// Home this job in a specific domain's injector (as
+    /// [`Pool::spawn_in`]) instead of the global injector.
+    pub domain: Option<DomainId>,
+    /// Check this token at the grain boundary: if it has resolved (or
+    /// just resolves) cancelled, the body is dropped unrun and the job
+    /// counts toward [`PoolStats::cancelled`] instead of `executed`.
+    pub token: Option<CancelToken>,
+    /// Attribute the job's outcome to this tag's [`TagStats`] slice.
+    pub tag: Option<PoolTag>,
+}
 
 /// Per-worker counters, readable after the run.
 #[derive(Debug, Default)]
@@ -121,6 +211,10 @@ pub struct PoolStats {
     pub remote_steals: Vec<u64>,
     /// Jobs that panicked (contained; the worker survives).
     pub panics: u64,
+    /// Jobs dropped unrun at the grain boundary because their
+    /// [`CancelToken`] had resolved cancelled — the serving layer's
+    /// cancel-while-queued path. Not counted in `executed`.
+    pub cancelled: u64,
     /// Domain index of each worker (parallel to the vectors above).
     pub domain_of: Vec<usize>,
     /// Jobs spawned with an explicit domain affinity, per domain — the
@@ -150,6 +244,33 @@ impl PoolStats {
     /// Total jobs executed.
     pub fn total_executed(&self) -> u64 {
         self.executed.iter().sum()
+    }
+
+    /// Element-wise difference against an earlier snapshot of the
+    /// *same pool* — what happened between the two `stats()` calls.
+    /// This is how a batch run scoped to a long-lived serving pool
+    /// (`run_parallel_on`) reports its own share of the counters.
+    /// Saturating, so a racy read that runs slightly backwards clamps
+    /// to zero instead of wrapping.
+    pub fn since(&self, base: &PoolStats) -> PoolStats {
+        let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .zip(b.iter().chain(std::iter::repeat(&0)))
+                .map(|(x, y)| x.saturating_sub(*y))
+                .collect()
+        };
+        PoolStats {
+            executed: sub(&self.executed, &base.executed),
+            local_steals: sub(&self.local_steals, &base.local_steals),
+            remote_steals: sub(&self.remote_steals, &base.remote_steals),
+            panics: self.panics.saturating_sub(base.panics),
+            cancelled: self.cancelled.saturating_sub(base.cancelled),
+            domain_of: self.domain_of.clone(),
+            domain_spawns: sub(&self.domain_spawns, &base.domain_spawns),
+            parks: self.parks.saturating_sub(base.parks),
+            wakes_targeted: self.wakes_targeted.saturating_sub(base.wakes_targeted),
+            wakes_escalated: self.wakes_escalated.saturating_sub(base.wakes_escalated),
+        }
     }
 
     /// Total steals of either kind.
@@ -286,6 +407,8 @@ struct Shared {
     active: AtomicUsize,
     /// Jobs whose body panicked (the unwind is contained per job).
     panics: AtomicU64,
+    /// Jobs dropped unrun at the grain boundary (cancelled token).
+    cancelled: AtomicU64,
     shutdown: AtomicBool,
     /// Park/wake coordination for idle workers ([`crate::sleepers`] owns
     /// the protocol and its counters; this module just drives it).
@@ -312,7 +435,7 @@ impl<'a> WorkerCtx<'a> {
     /// job sitting in this worker's deque.
     pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
-        self.deque.push(Box::new(job));
+        self.deque.push(Job::plain(Box::new(job)));
         self.shared.bump_epoch();
         self.shared.wake_one_in(self.domain.0 as usize);
     }
@@ -322,7 +445,7 @@ impl<'a> WorkerCtx<'a> {
     /// rotating first-choice domain.
     pub fn spawn_global(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
-        self.shared.injector.push(Box::new(job));
+        self.shared.injector.push(Job::plain(Box::new(job)));
         self.shared.bump_epoch();
         self.shared.wake_one_rotated();
     }
@@ -334,7 +457,8 @@ impl<'a> WorkerCtx<'a> {
     /// # Panics
     /// Panics if `domain` is out of range for the pool's topology.
     pub fn spawn_in_domain(&self, domain: DomainId, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
-        self.shared.spawn_in_domain(domain, Box::new(job));
+        self.shared
+            .spawn_in_domain(domain, Job::plain(Box::new(job)));
     }
 
     /// Number of workers in the pool.
@@ -469,6 +593,7 @@ impl Pool {
             counters,
             active: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sleepers,
             quiet_lock: Mutex::new(()),
@@ -493,7 +618,7 @@ impl Pool {
     /// topology) — one futex op per spawn, not a broadcast.
     pub fn spawn(&self, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
         self.shared.active.fetch_add(1, Ordering::AcqRel);
-        self.shared.injector.push(Box::new(job));
+        self.shared.injector.push(Job::plain(Box::new(job)));
         self.shared.bump_epoch();
         self.shared.wake_one_rotated();
     }
@@ -505,7 +630,34 @@ impl Pool {
     /// # Panics
     /// Panics if `domain` is out of range for the pool's topology.
     pub fn spawn_in(&self, domain: DomainId, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
-        self.shared.spawn_in_domain(domain, Box::new(job));
+        self.shared
+            .spawn_in_domain(domain, Job::plain(Box::new(job)));
+    }
+
+    /// Spawn with the serving envelope: optional domain affinity,
+    /// optional [`CancelToken`] (checked at the grain boundary — a job
+    /// whose token resolved cancelled is dropped unrun and its body
+    /// destructors run on the worker thread), and optional [`PoolTag`]
+    /// accounting. Wake behavior matches [`Pool::spawn_in`] /
+    /// [`Pool::spawn`] according to whether a domain is given.
+    ///
+    /// # Panics
+    /// Panics if `opts.domain` is out of range for the pool's topology.
+    pub fn spawn_with(&self, opts: SpawnOpts, job: impl FnOnce(&WorkerCtx) + Send + 'static) {
+        let envelope = Job {
+            body: Box::new(job),
+            token: opts.token,
+            tag: opts.tag,
+        };
+        match opts.domain {
+            Some(domain) => self.shared.spawn_in_domain(domain, envelope),
+            None => {
+                self.shared.active.fetch_add(1, Ordering::AcqRel);
+                self.shared.injector.push(envelope);
+                self.shared.bump_epoch();
+                self.shared.wake_one_rotated();
+            }
+        }
     }
 
     /// Spawn a batch of domain-affine jobs with grouped wakes: every job
@@ -529,7 +681,7 @@ impl Pool {
                 (domain.0 as usize) < nd,
                 "{domain} out of range for a {nd}-domain pool"
             );
-            per_domain[domain.0 as usize].push(Box::new(job));
+            per_domain[domain.0 as usize].push(Job::plain(Box::new(job)));
         }
         let mut wakes = vec![0u64; nd];
         let mut any = false;
@@ -564,6 +716,14 @@ impl Pool {
 
     /// Block until every spawned job (including transitively spawned
     /// children) has finished.
+    ///
+    /// **Shared-pool caveat:** quiescence is a *global* property — the
+    /// active count covers every spawner, not just the caller. On a
+    /// long-lived serving pool that is continuously fed (`htvm_serve`),
+    /// this may never return; a batch run sharing such a pool must
+    /// track its own completion (e.g. dataflow joins on its own
+    /// handles, as `run_parallel_on` does) instead of waiting for the
+    /// whole pool to drain.
     pub fn wait_quiescent(&self) {
         let mut g = self.shared.quiet_lock.lock();
         while self.shared.active.load(Ordering::Acquire) != 0 {
@@ -650,6 +810,7 @@ impl Pool {
             local_steals: load(|c| &c.local_steals),
             remote_steals: load(|c| &c.remote_steals),
             panics: self.shared.panics.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
             domain_of: (0..self.workers())
                 .map(|w| self.shared.topology.domain_of(w).0 as usize)
                 .collect(),
@@ -832,8 +993,30 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, how: Acquire) {
+    let Job { body, token, tag } = job;
+    // Grain-boundary cancellation checkpoint: `try_claim` is the
+    // `PENDING → CLAIMED` CAS that races `CancelToken::cancel` — exactly
+    // one side wins, so a job cancelled while queued is either dropped
+    // here (its cancelled resolution already ran via the token's hook)
+    // or runs to completion, never both and never neither. Dropping the
+    // body on this thread also runs its captured destructors, so
+    // whatever the closure owns (in-flight gauges, response state) is
+    // released on a worker, not leaked in an injector.
+    let claimed = token.as_ref().is_none_or(|t| t.try_claim());
+    if !claimed {
+        shared.cancelled.fetch_add(1, Ordering::Relaxed);
+        if let Some(tag) = &tag {
+            tag.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(body);
+        shared.job_finished();
+        return;
+    }
     let c = &shared.counters[index];
     c.executed.fetch_add(1, Ordering::Relaxed);
+    if let Some(tag) = &tag {
+        tag.counters.executed.fetch_add(1, Ordering::Relaxed);
+    }
     match how {
         Acquire::Owned => {}
         Acquire::LocalSteal => {
@@ -846,7 +1029,7 @@ fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, how: A
     // Contain panics to the job: an unwinding body must not take down the
     // worker (the pool would silently lose a fraction of its parallelism)
     // nor leak the active count (wait_quiescent would hang forever).
-    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(ctx))).is_err() {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx))).is_err() {
         shared.panics.fetch_add(1, Ordering::Relaxed);
     }
     shared.job_finished();
@@ -1074,6 +1257,115 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_jobs_are_dropped_and_counted() {
+        let pool = Pool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let tag = PoolTag::new();
+        // Park the pool so queued jobs sit in the injector while we
+        // cancel half of them before anything runs.
+        wait_all_parked(&pool);
+        let mut tokens = Vec::new();
+        for _ in 0..10 {
+            let token = CancelToken::new();
+            tokens.push(token.clone());
+            let ran = ran.clone();
+            pool.spawn_with(
+                SpawnOpts {
+                    token: Some(token),
+                    tag: Some(tag.clone()),
+                    ..SpawnOpts::default()
+                },
+                move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }
+        for t in &tokens[..5] {
+            t.cancel();
+        }
+        pool.wait_quiescent();
+        let stats = pool.stats();
+        let slice = tag.stats();
+        // At least the 5 pre-cancelled tokens resolved cancelled; a
+        // racing worker may have claimed some before the cancel landed,
+        // so assert conservation, not an exact split.
+        assert_eq!(slice.executed + slice.cancelled, 10);
+        assert_eq!(slice.executed, ran.load(Ordering::SeqCst));
+        assert_eq!(stats.cancelled, slice.cancelled);
+        assert_eq!(stats.total_executed(), slice.executed);
+        let resolved = tokens.iter().filter(|t| t.is_cancelled()).count();
+        let claimed = tokens.iter().filter(|t| t.was_claimed()).count();
+        assert_eq!(resolved + claimed, 10, "every token settled exactly once");
+    }
+
+    #[test]
+    fn spawn_with_domain_routes_to_injector() {
+        let pool = Pool::with_topology(Topology::domains(2, 1));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.spawn_with(
+            SpawnOpts {
+                domain: Some(DomainId(1)),
+                ..SpawnOpts::default()
+            },
+            move |_| {
+                d.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.stats().domain_spawns, vec![0, 1]);
+    }
+
+    #[test]
+    fn dropped_cancelled_body_runs_destructors_on_worker() {
+        struct Marker(Arc<AtomicU64>);
+        impl Drop for Marker {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = Pool::new(1);
+        wait_all_parked(&pool);
+        let drops = Arc::new(AtomicU64::new(0));
+        let token = CancelToken::new();
+        token.cancel();
+        let m = Marker(drops.clone());
+        pool.spawn_with(
+            SpawnOpts {
+                token: Some(token),
+                ..SpawnOpts::default()
+            },
+            move |_| {
+                let _keep = &m;
+                unreachable!("cancelled before dispatch");
+            },
+        );
+        pool.wait_quiescent();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "closure state released");
+        assert_eq!(pool.stats().cancelled, 1);
+        assert_eq!(pool.stats().total_executed(), 0);
+    }
+
+    #[test]
+    fn stats_since_reports_the_delta() {
+        let pool = Pool::new(2);
+        for _ in 0..5 {
+            pool.spawn(|_| {});
+        }
+        pool.wait_quiescent();
+        let base = pool.stats();
+        for _ in 0..3 {
+            pool.spawn(|_| {});
+        }
+        pool.wait_quiescent();
+        let delta = pool.stats().since(&base);
+        assert_eq!(delta.total_executed(), 3);
+        assert_eq!(delta.panics, 0);
+        assert_eq!(delta.domain_of, base.domain_of);
+    }
+
+    #[test]
     fn wait_quiescent_with_no_work_returns() {
         let pool = Pool::new(2);
         pool.wait_quiescent();
@@ -1094,6 +1386,7 @@ mod tests {
             local_steals: vec![0; 4],
             remote_steals: vec![0; 4],
             panics: 0,
+            cancelled: 0,
             domain_of: vec![0, 0, 1, 1],
             domain_spawns: vec![0; 2],
             parks: 0,
@@ -1107,6 +1400,7 @@ mod tests {
             local_steals: vec![0; 4],
             remote_steals: vec![0; 4],
             panics: 0,
+            cancelled: 0,
             domain_of: vec![0, 0, 1, 1],
             domain_spawns: vec![0; 2],
             parks: 0,
@@ -1122,6 +1416,7 @@ mod tests {
             local_steals: vec![0; 4],
             remote_steals: vec![0; 4],
             panics: 0,
+            cancelled: 0,
             domain_of: vec![0, 1, 1, 1],
             domain_spawns: vec![0; 2],
             parks: 0,
@@ -1138,6 +1433,7 @@ mod tests {
             local_steals: vec![2, 0, 1, 0],
             remote_steals: vec![1, 0, 0, 0],
             panics: 0,
+            cancelled: 0,
             domain_of: vec![0, 0, 1, 1],
             domain_spawns: vec![3, 1],
             parks: 0,
@@ -1155,6 +1451,7 @@ mod tests {
             local_steals: vec![0; 2],
             remote_steals: vec![0; 2],
             panics: 0,
+            cancelled: 0,
             domain_of: vec![0, 1],
             domain_spawns: vec![0; 2],
             parks: 0,

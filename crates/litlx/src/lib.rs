@@ -50,5 +50,5 @@ pub mod percolate;
 pub use atomic::AtomicDomain;
 pub use dataflow::FeRegion;
 pub use future::{future_on, LitlFuture};
-pub use parcel::{ParcelBuilder, RemoteReduce};
+pub use parcel::{NativeParcel, ParcelBuilder, RemoteReduce};
 pub use percolate::{PercolateKernel, PercolationPlan};

@@ -236,6 +236,71 @@ pub fn compare_strategies(
     (t_loads, t_bulk, t_parcel)
 }
 
+/// The parcel reinterpreted for the **native serving runtime**: the
+/// request envelope `htvm_serve` tenants submit. On real hardware the
+/// "destination node" of §3.2 becomes a locality domain, and the
+/// shipped action becomes an SGT body run by the pool — but the parcel
+/// discipline survives: a request is a *small self-describing message*
+/// (nominal payload size + cost) carrying its own computation, so the
+/// serving layer can meter admission (deficit-round-robin charges the
+/// declared cost) without inspecting the closure.
+pub struct NativeParcel {
+    payload_bytes: u32,
+    cost: u64,
+    action: Box<dyn FnOnce(&htvm_core::WorkerCtx) + Send>,
+}
+
+impl NativeParcel {
+    /// A parcel wrapping `action`, with the default 64-byte nominal
+    /// header and unit dispatch cost.
+    pub fn new(action: impl FnOnce(&htvm_core::WorkerCtx) + Send + 'static) -> Self {
+        Self {
+            payload_bytes: 64,
+            cost: 1,
+            action: Box::new(action),
+        }
+    }
+
+    /// Override the nominal payload size (accounting only; nothing is
+    /// actually copied).
+    pub fn with_payload(mut self, bytes: u32) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Override the dispatch cost charged against the tenant's
+    /// deficit-round-robin budget (clamped to ≥ 1 so a zero-cost parcel
+    /// cannot starve the round).
+    pub fn with_cost(mut self, cost: u64) -> Self {
+        self.cost = cost.max(1);
+        self
+    }
+
+    /// The nominal payload size in bytes.
+    pub fn payload_bytes(&self) -> u32 {
+        self.payload_bytes
+    }
+
+    /// The dispatch cost in deficit units.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Unwrap into the action the pool will run.
+    pub fn into_action(self) -> Box<dyn FnOnce(&htvm_core::WorkerCtx) + Send> {
+        self.action
+    }
+}
+
+impl std::fmt::Debug for NativeParcel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeParcel")
+            .field("payload_bytes", &self.payload_bytes)
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +403,22 @@ mod tests {
             parcel * 10 < bulk,
             "parcel moves header+result only: parcel={parcel}B, bulk={bulk}B"
         );
+    }
+
+    #[test]
+    fn native_parcel_builder_and_dispatch() {
+        let parcel = NativeParcel::new(|_ctx| {}).with_payload(256).with_cost(0);
+        assert_eq!(parcel.payload_bytes(), 256);
+        assert_eq!(parcel.cost(), 1, "zero cost clamps to one deficit unit");
+        let ran = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let r = ran.clone();
+        let parcel = NativeParcel::new(move |_ctx| {
+            r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        let pool = htvm_core::Pool::new(1);
+        pool.spawn(parcel.into_action());
+        pool.wait_quiescent();
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! # htvm-serve — the multi-tenant serving front-end
+//!
+//! Converts the HTVM pool from a batch executor into a **server**: the
+//! ROADMAP's "millions of users" north star needs a continuous stream
+//! of independent, prioritized tenant requests, not one owning call
+//! that drives a computation to completion and drains the pool.
+//!
+//! Each tenant owns a long-lived subtree of the machine:
+//!
+//! * a **home locality domain** its requests are homed to (the
+//!   paper's thread-unit groups, via `SpawnOpts::domain`),
+//! * a **weight** feeding the [`Wdrr`] weighted deficit-round-robin
+//!   dispatcher (completed-work share converges to weight share, with
+//!   a deficit bounded by one maximum request cost),
+//! * a bounded **admission queue** (`htvm_core::AdmissionQueue`) whose
+//!   overflow is *typed backpressure* ([`SubmitError::QueueFull`]), and
+//! * a [`htvm_core::PoolTag`] slicing the pool's global counters into
+//!   per-tenant shares.
+//!
+//! Requests are [`litlx::NativeParcel`]s — the paper's §3.2
+//! "intelligent message" reinterpreted as the request envelope: a
+//! small self-describing unit (payload size + declared cost) carrying
+//! its own computation. Overload sheds the newest work of the
+//! lowest-weight tenant with a typed [`Outcome::Rejected`];
+//! cancellation and deadlines ride `htvm_core::CancelToken`'s
+//! single-CAS state machine, observed by the pool at grain boundaries,
+//! so every admitted request resolves **exactly once**.
+//!
+//! ```
+//! use htvm_serve::{NativeParcel, Outcome, Server, ServerConfig, TenantConfig};
+//! use htvm_core::{Htvm, HtvmConfig};
+//!
+//! let htvm = Htvm::new(HtvmConfig::default());
+//! let server = Server::new(&htvm, ServerConfig::default());
+//! let tenant = server.register_tenant(TenantConfig::weighted(2));
+//! let resp = tenant.submit(NativeParcel::new(|_ctx| { /* work */ })).unwrap();
+//! assert_eq!(resp.wait(), Outcome::Completed);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod drr;
+pub mod request;
+pub mod server;
+
+pub use drr::Wdrr;
+pub use litlx::NativeParcel;
+pub use request::{Outcome, RejectReason, ResponseHandle, SubmitError};
+pub use server::{Server, ServerConfig, TenantConfig, TenantHandle, TenantStats};

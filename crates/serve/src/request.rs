@@ -1,0 +1,122 @@
+//! Request-side types: the typed outcome of a submission and the
+//! handle a client holds while its parcel is in flight.
+//!
+//! Every admitted request resolves to **exactly one** [`Outcome`],
+//! delivered through a dataflow [`IVar`] — the same write-once cell
+//! the runtime uses for LGT results. Exactly-once is inherited from
+//! the [`CancelToken`] state machine (`htvm_core::cancel`): whichever
+//! side wins the token's single CAS out of `PENDING` owns the
+//! resolution, so a completed/cancelled/rejected race can never
+//! double-write the cell (which would panic) or leave it empty
+//! (which would hang the client).
+
+use std::sync::Arc;
+
+use htvm_core::{CancelToken, IVar};
+
+/// Why the serving layer refused to run an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Shed under overload: total queued work crossed the server's
+    /// watermark and this tenant's weight lost the triage.
+    Overload,
+    /// The tenant was closed while the request was still queued.
+    TenantClosed,
+    /// The server shut down while the request was still queued.
+    ServerShutdown,
+}
+
+/// The terminal state of a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request's action ran to completion on the pool.
+    Completed,
+    /// The request's [`CancelToken`] resolved cancelled (explicit
+    /// cancel or deadline expiry) before the action ran.
+    Cancelled,
+    /// The action ran but panicked; the unwind was contained by the
+    /// pool and the worker survived.
+    Panicked,
+    /// The serving layer refused to run the request (typed shed).
+    Rejected(RejectReason),
+}
+
+/// Why a submission was refused at the admission boundary (the request
+/// never entered the system; there is no handle and no outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant's bounded admission queue is full — backpressure;
+    /// retry later or shed client-side.
+    QueueFull,
+    /// The tenant has been closed (or the server shut down); do not
+    /// retry.
+    TenantClosed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "tenant admission queue is full"),
+            SubmitError::TenantClosed => write!(f, "tenant is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Shared per-request state: the write-once outcome cell.
+pub(crate) struct ReqState {
+    pub(crate) outcome: IVar<Outcome>,
+}
+
+impl ReqState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outcome: IVar::new(),
+        })
+    }
+}
+
+/// The client's handle to an admitted request.
+pub struct ResponseHandle {
+    pub(crate) state: Arc<ReqState>,
+    pub(crate) token: CancelToken,
+}
+
+impl ResponseHandle {
+    /// Block until the request resolves. Call from client threads, not
+    /// from pool workers (it parks the calling thread).
+    pub fn wait(&self) -> Outcome {
+        self.state.outcome.get()
+    }
+
+    /// The outcome if the request has already resolved.
+    pub fn try_outcome(&self) -> Option<Outcome> {
+        self.state.outcome.try_get()
+    }
+
+    /// Request cancellation. Returns `true` if this call resolved the
+    /// request to [`Outcome::Cancelled`]; `false` if it had already
+    /// been claimed for execution (it will still resolve — to
+    /// `Completed`/`Panicked` — and a running body can observe the
+    /// request via its token's `cancel_requested`).
+    pub fn cancel(&self) -> bool {
+        self.token.cancel()
+    }
+
+    /// The request's cancellation token (e.g. to derive `child` tokens
+    /// for an SGT subtree, or to poll `cancel_requested` from the
+    /// action).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("outcome", &self.try_outcome())
+            .field("token", &self.token)
+            .finish()
+    }
+}

@@ -1,0 +1,952 @@
+//! The serving front-end: tenants, admission, weighted dispatch,
+//! shedding, and teardown.
+//!
+//! # Architecture
+//!
+//! ```text
+//! client threads                dispatcher thread            pool workers
+//! ──────────────                ─────────────────            ────────────
+//! TenantHandle::submit ──► AdmissionQueue (bounded, per ──► Wdrr::round ──►
+//!   │ QueueFull/TenantClosed     tenant; typed backpressure)   │
+//!   ▼                                                          ▼
+//! ResponseHandle                 shed overload /        Pool::spawn_with
+//!   wait / cancel                drain closed tenants    (token + tag +
+//!                                                         home domain)
+//! ```
+//!
+//! Each tenant owns a long-lived subtree of the machine: a home
+//! locality domain its requests are homed to (`SpawnOpts::domain`), a
+//! [`htvm_core::PoolTag`] slicing the pool's counters per tenant, and
+//! a weight feeding the [`Wdrr`] dispatcher. A single
+//! dispatcher thread moves requests from admission queues into the
+//! pool's injectors; the pool itself stays a pure work-stealing
+//! substrate — the serving policy (fairness, shedding, cancellation)
+//! lives entirely above it.
+//!
+//! # Exactly-once resolution
+//!
+//! Every admitted request resolves exactly once, through the
+//! [`CancelToken`] CAS (see `htvm_core::cancel`):
+//!
+//! * **Completed/Panicked** — the pool's grain-boundary checkpoint
+//!   claimed the token; a drop guard inside the job body resolves the
+//!   outcome on the worker (covering panics and the cancelled-drop
+//!   path via `std::thread::panicking` / `was_claimed`).
+//! * **Cancelled** — `cancel()` (or deadline expiry at the checkpoint)
+//!   won the CAS; the hook armed at submit time resolves the outcome
+//!   from whichever thread won.
+//! * **Rejected** — the dispatcher itself claims the token before
+//!   shedding (overload, tenant close, shutdown): if the claim loses,
+//!   a concurrent cancel already resolved the request and the shed
+//!   becomes a no-op.
+//!
+//! In-flight accounting never depends on who wins: the drop guard that
+//! decrements `in_flight` travels *inside* the job closure, so it runs
+//! on a worker whether the body executes, panics, or is dropped unrun.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use htvm_core::{
+    AdmissionQueue, AdmitError, CancelToken, DomainId, Htvm, Pool, PoolTag, SpawnOpts, TagStats,
+    WorkerCtx,
+};
+use litlx::NativeParcel;
+use parking_lot::{Condvar, Mutex};
+
+use crate::drr::Wdrr;
+use crate::request::{Outcome, RejectReason, ReqState, ResponseHandle, SubmitError};
+
+/// Server-wide policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Deficit credit per unit weight per dispatch round.
+    pub quantum: u64,
+    /// Maximum requests dispatched into the pool but not yet finished;
+    /// the dispatcher stalls (not the clients) when reached.
+    pub max_in_flight: usize,
+    /// Admission-queue capacity for tenants that don't override it.
+    pub default_queue_capacity: usize,
+    /// Shed watermark: when total queued requests across tenants
+    /// exceed this, the dispatcher sheds newest-first from the
+    /// lowest-weight backlogged tenant until back under.
+    pub max_queued_total: usize,
+    /// How long the dispatcher sleeps when there is nothing to do
+    /// (submissions and completions also wake it explicitly).
+    pub idle_wait: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            quantum: 4,
+            max_in_flight: 64,
+            default_queue_capacity: 64,
+            max_queued_total: 1024,
+            idle_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Per-tenant registration knobs.
+#[derive(Debug, Clone, Default)]
+pub struct TenantConfig {
+    /// Relative dispatch weight (clamped to ≥ 1).
+    pub weight: u64,
+    /// Admission-queue bound; defaults to
+    /// [`ServerConfig::default_queue_capacity`].
+    pub queue_capacity: Option<usize>,
+    /// Home locality domain for the tenant's subtree; defaults to
+    /// `tenant_id % num_domains` (round-robin placement).
+    pub home: Option<DomainId>,
+}
+
+impl TenantConfig {
+    /// A tenant with the given weight and defaults otherwise.
+    pub fn weighted(weight: u64) -> Self {
+        Self {
+            weight,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters a tenant accumulates over its lifetime. Conservation: every
+/// submission ends in exactly one bucket —
+/// `submitted == rejected_full + completed + panicked + cancelled +
+/// shed + closed_rejects + shutdown_rejects + still_pending`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Submissions offered (admitted or not).
+    pub submitted: u64,
+    /// Refused at the admission boundary (queue full).
+    pub rejected_full: u64,
+    /// Actions that ran to completion.
+    pub completed: u64,
+    /// Actions that ran and panicked (contained).
+    pub panicked: u64,
+    /// Requests resolved cancelled (explicit or deadline).
+    pub cancelled: u64,
+    /// Requests shed under overload ([`RejectReason::Overload`]).
+    pub shed: u64,
+    /// Queued requests rejected when the tenant closed.
+    pub closed_rejects: u64,
+    /// Queued requests rejected when the server shut down.
+    pub shutdown_rejects: u64,
+}
+
+impl TenantStats {
+    /// Requests that reached a terminal outcome or were refused.
+    pub fn settled(&self) -> u64 {
+        self.rejected_full
+            + self.completed
+            + self.panicked
+            + self.cancelled
+            + self.shed
+            + self.closed_rejects
+            + self.shutdown_rejects
+    }
+}
+
+#[derive(Default)]
+struct TenantCounters {
+    submitted: AtomicU64,
+    rejected_full: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+    cancelled: AtomicU64,
+    shed: AtomicU64,
+    closed_rejects: AtomicU64,
+    shutdown_rejects: AtomicU64,
+}
+
+/// A request sitting in an admission queue.
+struct Queued {
+    action: Box<dyn FnOnce(&WorkerCtx) + Send>,
+    cost: u64,
+    token: CancelToken,
+    state: Arc<ReqState>,
+}
+
+struct TenantShared {
+    id: usize,
+    weight: u64,
+    home: DomainId,
+    queue: AdmissionQueue<Queued>,
+    tag: PoolTag,
+    counters: Arc<TenantCounters>,
+}
+
+struct ServerInner {
+    pool: Arc<Pool>,
+    cfg: ServerConfig,
+    /// Slot index == tenant id; `None` slots are retired tenants
+    /// (slots are reused by later registrations).
+    tenants: Mutex<Vec<Option<Arc<TenantShared>>>>,
+    in_flight: AtomicUsize,
+    shutdown: AtomicBool,
+    wake_lock: Mutex<()>,
+    wake_cv: Condvar,
+}
+
+impl ServerInner {
+    /// Wake the dispatcher (submission, completion, close, shutdown).
+    fn kick(&self) {
+        let _g = self.wake_lock.lock();
+        self.wake_cv.notify_one();
+    }
+
+    fn live_tenants(&self) -> Vec<Arc<TenantShared>> {
+        self.tenants.lock().iter().flatten().cloned().collect()
+    }
+}
+
+/// Decrements `in_flight` when the dispatched job leaves the pool —
+/// travelling inside the job closure so it runs on the worker for all
+/// three exits (completed, panicked, dropped-cancelled) — and resolves
+/// the outcome for the claimed paths.
+struct FinishGuard {
+    inner: Arc<ServerInner>,
+    state: Arc<ReqState>,
+    counters: Arc<TenantCounters>,
+    token: CancelToken,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        if self.token.was_claimed() {
+            // The body ran (the claim CAS won, so the cancel hook can
+            // never fire): this guard owns the outcome.
+            if std::thread::panicking() {
+                self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                self.state.outcome.put(Outcome::Panicked);
+            } else {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                self.state.outcome.put(Outcome::Completed);
+            }
+        }
+        // Cancelled-at-the-checkpoint path: the token's hook already
+        // resolved the outcome; only the gauge needs maintenance.
+        self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.inner.kick();
+    }
+}
+
+/// A handle to a registered tenant. Dropping the handle closes the
+/// tenant (queued requests resolve `Rejected(TenantClosed)`; in-flight
+/// requests finish normally).
+pub struct TenantHandle {
+    shared: Arc<TenantShared>,
+    inner: Arc<ServerInner>,
+    closed_by_handle: bool,
+}
+
+impl TenantHandle {
+    /// The tenant's id (its dispatcher key).
+    pub fn id(&self) -> usize {
+        self.shared.id
+    }
+
+    /// The tenant's dispatch weight.
+    pub fn weight(&self) -> u64 {
+        self.shared.weight
+    }
+
+    /// The tenant's home locality domain.
+    pub fn home(&self) -> DomainId {
+        self.shared.home
+    }
+
+    /// Submit a parcel with a fresh cancellation token.
+    pub fn submit(&self, parcel: NativeParcel) -> Result<ResponseHandle, SubmitError> {
+        self.submit_with_token(parcel, CancelToken::new())
+    }
+
+    /// Submit a parcel that auto-cancels at `deadline` (observed at the
+    /// pool's grain boundary — an expired request queued behind a long
+    /// backlog resolves `Cancelled` instead of running).
+    pub fn submit_with_deadline(
+        &self,
+        parcel: NativeParcel,
+        deadline: Instant,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_with_token(parcel, CancelToken::with_deadline(deadline))
+    }
+
+    /// Submit a parcel guarded by a caller-supplied token — e.g. a
+    /// `child()` of a tenant-wide token, so cancelling the parent fans
+    /// out to every outstanding request of the subtree.
+    pub fn submit_with_token(
+        &self,
+        parcel: NativeParcel,
+        token: CancelToken,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let counters = &self.shared.counters;
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let state = ReqState::new();
+        // Arm the cancelled resolution before the request is reachable
+        // by the dispatcher: whichever thread wins the token's CAS
+        // resolves the outcome exactly once.
+        {
+            let state = state.clone();
+            let counters = counters.clone();
+            token.on_cancelled(move || {
+                counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                state.outcome.put(Outcome::Cancelled);
+            });
+        }
+        let cost = parcel.cost();
+        let queued = Queued {
+            action: parcel.into_action(),
+            cost,
+            token: token.clone(),
+            state: state.clone(),
+        };
+        match self.shared.queue.try_push(queued) {
+            Ok(()) => {
+                self.inner.kick();
+                Ok(ResponseHandle { state, token })
+            }
+            Err(AdmitError::Full(_)) => {
+                counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(AdmitError::Closed(_)) => Err(SubmitError::TenantClosed),
+        }
+    }
+
+    /// Current admission-queue depth.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Lifetime counters (see [`TenantStats`] for the conservation
+    /// invariant).
+    pub fn stats(&self) -> TenantStats {
+        let c = &self.shared.counters;
+        TenantStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected_full: c.rejected_full.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            closed_rejects: c.closed_rejects.load(Ordering::Relaxed),
+            shutdown_rejects: c.shutdown_rejects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// This tenant's slice of the pool's execution counters (jobs whose
+    /// bodies ran / were dropped cancelled at the grain boundary).
+    pub fn pool_slice(&self) -> TagStats {
+        self.shared.tag.stats()
+    }
+
+    /// Stop admitting (idempotent). Queued requests resolve
+    /// `Rejected(TenantClosed)` at the dispatcher's next pass;
+    /// in-flight requests finish normally; the tenant's slot is
+    /// retired once drained.
+    pub fn close(&self) {
+        self.shared.queue.close();
+        self.inner.kick();
+    }
+}
+
+impl Drop for TenantHandle {
+    fn drop(&mut self) {
+        if self.closed_by_handle {
+            self.close();
+        }
+    }
+}
+
+impl std::fmt::Debug for TenantHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantHandle")
+            .field("id", &self.id())
+            .field("weight", &self.weight())
+            .field("queued", &self.queued())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The multi-tenant serving front-end (see the [module docs](self)).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Serve on `htvm`'s pool — the pool handle outlives any single
+    /// batch run, which is exactly what a server needs.
+    pub fn new(htvm: &Htvm, cfg: ServerConfig) -> Self {
+        Self::on_pool(htvm.pool(), cfg)
+    }
+
+    /// Serve on an explicit pool handle.
+    pub fn on_pool(pool: Arc<Pool>, cfg: ServerConfig) -> Self {
+        let inner = Arc::new(ServerInner {
+            pool,
+            cfg,
+            tenants: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            wake_lock: Mutex::new(()),
+            wake_cv: Condvar::new(),
+        });
+        let dispatcher = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("htvm-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(inner))
+                .expect("spawn dispatcher thread")
+        };
+        Self {
+            inner,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Register a tenant; its id is the smallest retired slot (ids are
+    /// reused after teardown).
+    ///
+    /// # Panics
+    /// Panics if called after [`Server::shutdown`], or if
+    /// `cfg.home` is out of range for the pool's topology.
+    pub fn register_tenant(&self, cfg: TenantConfig) -> TenantHandle {
+        assert!(
+            !self.inner.shutdown.load(Ordering::SeqCst),
+            "register_tenant on a shut-down server"
+        );
+        let nd = self.inner.pool.num_domains();
+        let capacity = cfg
+            .queue_capacity
+            .unwrap_or(self.inner.cfg.default_queue_capacity);
+        let mut tenants = self.inner.tenants.lock();
+        let id = tenants
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or(tenants.len());
+        let home = cfg.home.unwrap_or(DomainId((id % nd) as u64));
+        assert!(
+            (home.0 as usize) < nd,
+            "{home} out of range for a {nd}-domain pool"
+        );
+        let shared = Arc::new(TenantShared {
+            id,
+            weight: cfg.weight.max(1),
+            home,
+            queue: AdmissionQueue::new(capacity),
+            tag: PoolTag::new(),
+            counters: Arc::new(TenantCounters::default()),
+        });
+        if id == tenants.len() {
+            tenants.push(Some(shared.clone()));
+        } else {
+            tenants[id] = Some(shared.clone());
+        }
+        drop(tenants);
+        self.inner.kick();
+        TenantHandle {
+            shared,
+            inner: self.inner.clone(),
+            closed_by_handle: true,
+        }
+    }
+
+    /// The pool this server dispatches into.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.inner.pool
+    }
+
+    /// Requests dispatched into the pool but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Total requests currently sitting in admission queues.
+    pub fn queued_total(&self) -> usize {
+        self.inner
+            .live_tenants()
+            .iter()
+            .map(|t| t.queue.len())
+            .sum()
+    }
+
+    /// Live (registered, not yet retired) tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.inner.live_tenants().len()
+    }
+
+    /// Block (politely yielding) until no request is queued or in
+    /// flight, or `timeout` elapses; returns whether the server
+    /// drained. Unlike `Pool::wait_quiescent` this only covers *this
+    /// server's* requests, so it is safe alongside other pool users.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.queued_total() != 0 || self.in_flight() != 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Stop the dispatcher (idempotent): close every tenant, resolve
+    /// all queued requests `Rejected(ServerShutdown)`, and join the
+    /// dispatcher thread. In-flight requests finish normally on the
+    /// pool.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.kick();
+        if let Some(h) = self.dispatcher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("tenants", &self.tenant_count())
+            .field("queued", &self.queued_total())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+/// Resolve a popped-but-never-dispatched request as `Rejected(reason)`.
+/// The dispatcher must *claim* the token first: if the claim loses, a
+/// concurrent cancel (or deadline) already resolved the request and
+/// the shed is a no-op — exactly-once by the same CAS as everything
+/// else.
+fn resolve_rejected(q: Queued, reason: RejectReason, bucket: &AtomicU64) {
+    if q.token.try_claim() {
+        bucket.fetch_add(1, Ordering::Relaxed);
+        q.state.outcome.put(Outcome::Rejected(reason));
+    }
+}
+
+fn dispatcher_loop(inner: Arc<ServerInner>) {
+    let mut drr = Wdrr::new(inner.cfg.quantum);
+    loop {
+        let shutting_down = inner.shutdown.load(Ordering::SeqCst);
+        let snapshot = inner.live_tenants();
+
+        // Retire closed tenants: drain their queues with a typed
+        // rejection, then free the slot.
+        for t in &snapshot {
+            if shutting_down {
+                t.queue.close();
+            }
+            if t.queue.is_closed() {
+                for q in t.queue.drain() {
+                    let (reason, bucket) = if shutting_down {
+                        (RejectReason::ServerShutdown, &t.counters.shutdown_rejects)
+                    } else {
+                        (RejectReason::TenantClosed, &t.counters.closed_rejects)
+                    };
+                    resolve_rejected(q, reason, bucket);
+                }
+                drr.remove(t.id);
+                inner.tenants.lock()[t.id] = None;
+            }
+        }
+        if shutting_down {
+            return;
+        }
+        let live: Vec<Arc<TenantShared>> = snapshot
+            .into_iter()
+            .filter(|t| !t.queue.is_closed())
+            .collect();
+
+        // Shed overload: newest work from the lowest-weight backlogged
+        // tenant goes first, until back under the watermark.
+        loop {
+            let total: usize = live.iter().map(|t| t.queue.len()).sum();
+            if total <= inner.cfg.max_queued_total {
+                break;
+            }
+            let Some(t) = live
+                .iter()
+                .filter(|t| !t.queue.is_empty())
+                .min_by_key(|t| t.weight)
+            else {
+                break;
+            };
+            match t.queue.pop_newest() {
+                Some(q) => resolve_rejected(q, RejectReason::Overload, &t.counters.shed),
+                None => continue,
+            }
+        }
+
+        // Weighted dispatch under the in-flight cap.
+        let mut by_id: Vec<Option<&Arc<TenantShared>>> = Vec::new();
+        for t in &live {
+            if by_id.len() <= t.id {
+                by_id.resize(t.id + 1, None);
+            }
+            by_id[t.id] = Some(t);
+            drr.ensure(t.id, t.weight);
+        }
+        let capacity = inner
+            .cfg
+            .max_in_flight
+            .saturating_sub(inner.in_flight.load(Ordering::SeqCst)) as u64;
+        let dispatched = if capacity == 0 {
+            0
+        } else {
+            let inner_ref = &inner;
+            drr.round(
+                capacity,
+                |k| by_id[k].and_then(|t| t.queue.peek(|q| q.cost)),
+                |k| {
+                    if let Some(t) = by_id[k] {
+                        dispatch_one(inner_ref, t);
+                    }
+                },
+            )
+        };
+
+        if dispatched == 0 {
+            // Nothing moved this pass: sleep until a kick (submit,
+            // completion, close, shutdown) or the idle timeout — the
+            // timeout bounds the staleness of any kick that raced in
+            // between our snapshot and the wait.
+            let mut g = inner.wake_lock.lock();
+            if !inner.shutdown.load(Ordering::SeqCst) {
+                inner.wake_cv.wait_for(&mut g, inner.cfg.idle_wait);
+            }
+        }
+    }
+}
+
+/// Pop one request from `t` and hand it to the pool with the full
+/// envelope (home domain, token, tag).
+fn dispatch_one(inner: &Arc<ServerInner>, t: &Arc<TenantShared>) {
+    let Some(q) = t.queue.pop() else {
+        return;
+    };
+    if q.token.is_cancelled() {
+        // Already resolved by the cancel hook while queued; nothing to
+        // dispatch and the in-flight gauge was never touched.
+        return;
+    }
+    inner.in_flight.fetch_add(1, Ordering::SeqCst);
+    let guard = FinishGuard {
+        inner: inner.clone(),
+        state: q.state,
+        counters: t.counters.clone(),
+        token: q.token.clone(),
+    };
+    let action = q.action;
+    inner.pool.spawn_with(
+        SpawnOpts {
+            domain: Some(t.home),
+            token: Some(q.token),
+            tag: Some(t.tag.clone()),
+        },
+        move |ctx| {
+            let _guard = guard;
+            action(ctx);
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_core::Topology;
+
+    fn quick_server(cfg: ServerConfig) -> Server {
+        Server::on_pool(Arc::new(Pool::with_topology(Topology::domains(2, 1))), cfg)
+    }
+
+    #[test]
+    fn submit_completes_and_counts() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let handles: Vec<_> = (0..20)
+            .map(|_| tenant.submit(NativeParcel::new(|_| {})).unwrap())
+            .collect();
+        for h in &handles {
+            assert_eq!(h.wait(), Outcome::Completed);
+        }
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        let stats = tenant.stats();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.settled(), 20);
+        assert_eq!(tenant.pool_slice().executed, 20);
+    }
+
+    #[test]
+    fn queue_full_is_typed_backpressure() {
+        // A paused pool can't drain, so the 2-slot queue must overflow.
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            queue_capacity: Some(2),
+            home: None,
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        // Wait until the blocker is actually in flight so the queue
+        // stays full behind it.
+        while server.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let mut accepted = Vec::new();
+        let mut full = 0;
+        for _ in 0..20 {
+            match tenant.submit(NativeParcel::new(|_| {})) {
+                Ok(h) => accepted.push(h),
+                Err(SubmitError::QueueFull) => full += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(full > 0, "bounded queue must refuse at capacity");
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), Outcome::Completed);
+        for h in &accepted {
+            assert_eq!(h.wait(), Outcome::Completed);
+        }
+        assert_eq!(tenant.stats().rejected_full, full);
+    }
+
+    #[test]
+    fn cancel_while_queued_resolves_cancelled() {
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        let victim = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        assert!(victim.cancel(), "queued request is cancellable");
+        assert_eq!(victim.wait(), Outcome::Cancelled);
+        assert!(!victim.cancel(), "second cancel is a no-op");
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), Outcome::Completed);
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        let stats = tenant.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn expired_deadline_resolves_cancelled() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let h = tenant
+            .submit_with_deadline(
+                NativeParcel::new(|_| panic!("must not run")),
+                Instant::now() - Duration::from_millis(1),
+            )
+            .unwrap();
+        assert_eq!(h.wait(), Outcome::Cancelled);
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        assert_eq!(tenant.stats().panicked, 0);
+    }
+
+    #[test]
+    fn panicking_action_resolves_panicked() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let h = tenant
+            .submit(NativeParcel::new(|_| panic!("injected request failure")))
+            .unwrap();
+        assert_eq!(h.wait(), Outcome::Panicked);
+        let ok = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        assert_eq!(ok.wait(), Outcome::Completed, "worker survived");
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        assert_eq!(tenant.stats().panicked, 1);
+    }
+
+    #[test]
+    fn close_rejects_queued_requests_and_retires_the_slot() {
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        while server.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let stranded = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        tenant.close();
+        assert!(matches!(
+            tenant.submit(NativeParcel::new(|_| {})),
+            Err(SubmitError::TenantClosed)
+        ));
+        assert_eq!(
+            stranded.wait(),
+            Outcome::Rejected(RejectReason::TenantClosed)
+        );
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), Outcome::Completed, "in-flight unaffected");
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        // The slot retires and is reused by the next registration.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.tenant_count() != 0 {
+            assert!(Instant::now() < deadline, "tenant never retired");
+            std::thread::yield_now();
+        }
+        let next = server.register_tenant(TenantConfig::weighted(2));
+        assert_eq!(next.id(), tenant.id(), "retired slot is reused");
+    }
+
+    #[test]
+    fn overload_sheds_lowest_weight_newest_first() {
+        // Paused drain (max_in_flight 1 + blocker) and a tiny watermark
+        // force the shed path deterministically.
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            max_queued_total: 4,
+            ..ServerConfig::default()
+        });
+        let heavy = server.register_tenant(TenantConfig::weighted(8));
+        let light = server.register_tenant(TenantConfig::weighted(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = heavy
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        while server.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(light.submit(NativeParcel::new(|_| {})).unwrap());
+            handles.push(heavy.submit(NativeParcel::new(|_| {})).unwrap());
+        }
+        // Wait for the dispatcher to act on the over-watermark queues.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while light.stats().shed == 0 {
+            assert!(Instant::now() < deadline, "nothing was shed");
+            std::thread::yield_now();
+        }
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), Outcome::Completed);
+        let outcomes: Vec<Outcome> = handles.iter().map(|h| h.wait()).collect();
+        assert!(outcomes.contains(&Outcome::Rejected(RejectReason::Overload)));
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        assert!(
+            light.stats().shed >= heavy.stats().shed,
+            "lowest weight sheds first: light={:?} heavy={:?}",
+            light.stats(),
+            heavy.stats()
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_queued_and_joins() {
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        while server.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let stranded = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        gate.store(true, Ordering::Release);
+        server.shutdown();
+        assert_eq!(
+            stranded.wait(),
+            Outcome::Rejected(RejectReason::ServerShutdown)
+        );
+        assert_eq!(blocker.wait(), Outcome::Completed);
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenant_wide_token_fans_out_to_children() {
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let root = CancelToken::new();
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        while server.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let children: Vec<_> = (0..4)
+            .map(|_| {
+                tenant
+                    .submit_with_token(NativeParcel::new(|_| {}), root.child())
+                    .unwrap()
+            })
+            .collect();
+        root.cancel();
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), Outcome::Completed);
+        for c in &children {
+            assert_eq!(
+                c.wait(),
+                Outcome::Cancelled,
+                "queued children observe the parent at the grain boundary"
+            );
+        }
+    }
+}

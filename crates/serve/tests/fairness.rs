@@ -1,0 +1,177 @@
+//! Property tests for the weighted deficit-round-robin dispatcher.
+//!
+//! These drive the pure [`Wdrr`] scheduler (no threads, no clocks, so
+//! the properties are exact and deterministic on 1-CPU CI): over
+//! randomized weight vectors, per-request costs and arrival bursts, the
+//! completed-work share of every backlogged tenant converges to its
+//! weight share within a bounded deficit — and no admitted backlogged
+//! tenant starves.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+use htvm_serve::Wdrr;
+use proptest::prelude::*;
+
+/// Run `rounds` rounds over the given queues of per-request costs;
+/// returns the total *cost* dispatched per tenant.
+fn run_rounds(w: &mut Wdrr, queues: &mut [VecDeque<u64>], rounds: usize, budget: u64) -> Vec<u64> {
+    let served: Vec<Cell<u64>> = queues.iter().map(|_| Cell::new(0)).collect();
+    let q = RefCell::new(queues.to_vec());
+    for _ in 0..rounds {
+        w.round(
+            budget,
+            |k| q.borrow()[k].front().copied(),
+            |k| {
+                let cost = q.borrow_mut()[k]
+                    .pop_front()
+                    .expect("dispatch of empty head");
+                served[k].set(served[k].get() + cost.max(1));
+            },
+        );
+    }
+    queues.clone_from_slice(&q.into_inner());
+    served.into_iter().map(Cell::into_inner).collect()
+}
+
+proptest! {
+    /// **Bounded-deficit fairness.** While every tenant stays
+    /// backlogged and the round budget never binds, the cost tenant
+    /// `t` dispatches over `R` rounds lies within one maximum request
+    /// cost of `R × quantum × weight(t)` — so work share converges to
+    /// weight share as `R` grows. Starvation (zero service for a
+    /// backlogged tenant over a full window) is a hard failure of the
+    /// lower bound.
+    #[test]
+    fn backlogged_share_converges_to_weight_share(
+        weights in proptest::collection::vec(1u64..=8, 2..=6),
+        costs in proptest::collection::vec(1u64..=5, 2..=6),
+        quantum in 1u64..=8,
+        rounds in 8usize..=48,
+    ) {
+        let n = weights.len().min(costs.len());
+        let weights = &weights[..n];
+        let costs = &costs[..n];
+        let max_cost = *costs.iter().max().unwrap();
+
+        let mut w = Wdrr::new(quantum);
+        for (k, &wt) in weights.iter().enumerate() {
+            w.ensure(k, wt);
+        }
+        // Deep enough backlogs that nobody drains inside the window.
+        let mut queues: Vec<VecDeque<u64>> = costs
+            .iter()
+            .map(|&c| {
+                let per_round = quantum * 8 / c + 2;
+                std::iter::repeat_n(c, per_round as usize * (rounds + 1)).collect()
+            })
+            .collect();
+
+        let served = run_rounds(&mut w, &mut queues, rounds, u64::MAX);
+
+        for (k, &got) in served.iter().enumerate() {
+            let ideal = rounds as u64 * quantum * weights[k];
+            prop_assert!(
+                got <= ideal,
+                "tenant {k} overdrew its credit: served {got} > ideal {ideal}"
+            );
+            prop_assert!(
+                ideal - got < max_cost,
+                "tenant {k} starved beyond the deficit bound: served {got}, \
+                 ideal {ideal}, max request cost {max_cost}"
+            );
+            prop_assert!(!queues[k].is_empty(), "test bug: backlog drained");
+        }
+    }
+
+    /// **No starvation under bursty arrivals.** Requests arrive in
+    /// random bursts; with a non-binding budget, enough extra rounds
+    /// always drain *every* queue — i.e. no request is deferred
+    /// forever, whatever the weights.
+    #[test]
+    fn bursty_arrivals_always_drain(
+        weights in proptest::collection::vec(1u64..=8, 2..=5),
+        bursts in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, 1u64..=4, 0usize..=6), 0..4),
+            4..=16,
+        ),
+    ) {
+        let n = weights.len();
+        let mut w = Wdrr::new(1);
+        for (k, &wt) in weights.iter().enumerate() {
+            w.ensure(k, wt);
+        }
+        let queues: Vec<RefCell<VecDeque<u64>>> =
+            (0..n).map(|_| RefCell::new(VecDeque::new())).collect();
+        let mut submitted = 0u64;
+        let mut submitted_cost = 0u64;
+        let served = Cell::new(0u64);
+        let one_round = |w: &mut Wdrr| {
+            w.round(
+                u64::MAX,
+                |k| queues[k].borrow().front().copied(),
+                |k| {
+                    queues[k].borrow_mut().pop_front();
+                    served.set(served.get() + 1);
+                },
+            );
+        };
+        // Arrival phase: each entry is one round preceded by a burst.
+        for round in &bursts {
+            for &(tenant, cost, count) in round {
+                let tenant = tenant % n;
+                for _ in 0..count {
+                    queues[tenant].borrow_mut().push_back(cost);
+                    submitted += 1;
+                    submitted_cost += cost;
+                }
+            }
+            one_round(&mut w);
+        }
+        // Drain phase: every pending request must eventually dispatch.
+        // A head of cost `c` needs at most `c` rounds of accrual
+        // (weight ≥ 1, quantum 1) before it is covered, so the total
+        // submitted cost bounds the rounds needed to drain everything.
+        for _ in 0..submitted_cost {
+            if queues.iter().all(|q| q.borrow().is_empty()) {
+                break;
+            }
+            one_round(&mut w);
+        }
+        prop_assert!(
+            queues.iter().all(|q| q.borrow().is_empty()),
+            "starvation: {} of {} requests never dispatched",
+            submitted - served.get(),
+            submitted
+        );
+        prop_assert_eq!(served.get(), submitted);
+    }
+
+    /// **A binding budget cannot starve anyone structurally.** Even
+    /// when the per-round budget is far below aggregate demand, cursor
+    /// rotation guarantees every backlogged tenant makes progress over
+    /// a long enough window.
+    #[test]
+    fn binding_budget_still_serves_everyone(
+        weights in proptest::collection::vec(1u64..=8, 2..=5),
+        budget in 1u64..=3,
+    ) {
+        let n = weights.len();
+        let mut w = Wdrr::new(2);
+        for (k, &wt) in weights.iter().enumerate() {
+            w.ensure(k, wt);
+        }
+        let mut queues: Vec<VecDeque<u64>> = (0..n)
+            .map(|_| std::iter::repeat_n(1u64, 4096).collect())
+            .collect();
+        let rounds = 64 * n;
+        let served = run_rounds(&mut w, &mut queues, rounds, budget);
+        for (k, &got) in served.iter().enumerate() {
+            prop_assert!(
+                got > 0,
+                "tenant {k} (weight {}) starved under budget {budget}: {served:?}",
+                weights[k]
+            );
+        }
+    }
+}

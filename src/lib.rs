@@ -19,6 +19,10 @@
 //!   continuous-compilation driver.
 //! * [`apps`] — the paper's two driver applications: neocortex neural
 //!   simulation and fine-grain molecular dynamics.
+//! * [`serve`] — the multi-tenant serving front-end: long-lived tenant
+//!   subtrees with weights, bounded admission queues, weighted
+//!   deficit-round-robin dispatch, overload shedding and
+//!   cancellation/deadline tokens over the native pool.
 //!
 //! See `README.md` for the workspace layout, the tier-1 verify command,
 //! and the experiment index; `ARCHITECTURE.md` maps the paper's sections
@@ -53,6 +57,7 @@
 pub use htvm_adapt as adapt;
 pub use htvm_apps as apps;
 pub use htvm_core as core;
+pub use htvm_serve as serve;
 pub use htvm_sim as sim;
 pub use htvm_ssp as ssp;
 pub use litlx;

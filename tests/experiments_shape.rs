@@ -494,3 +494,43 @@ fn e18_ssp_native_is_correct_and_places_groups() {
         "placement skipped a domain: {spawns}"
     );
 }
+
+#[test]
+fn e19_serving_conserves_requests_and_orders_percentiles() {
+    let _wall = wall_clock_guard();
+    let t = experiments::e19_serving(Scale::Quick);
+    // ≥3 rates × 3 tenants, every row's ledger balanced.
+    assert!(t.rows.len() >= 9, "expected ≥9 rows, got {}", t.rows.len());
+    let idx = |name: &str| {
+        t.col(name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let (offered, refused, completed, cancelled, shed) = (
+        idx("offered"),
+        idx("refused"),
+        idx("completed"),
+        idx("cancelled"),
+        idx("shed"),
+    );
+    let (p50, p99, p999, check) = (idx("p50_us"), idx("p99_us"), idx("p999_us"), idx("check"));
+    let mut rates = std::collections::BTreeSet::new();
+    let mut tenants = std::collections::BTreeSet::new();
+    for r in &t.rows {
+        rates.insert(r[0].clone());
+        tenants.insert(r[1].clone());
+        assert_eq!(r[check], "ok", "conservation ledger leaked: {r:?}");
+        let n = |i: usize| r[i].parse::<u64>().unwrap();
+        assert_eq!(
+            n(offered),
+            n(refused) + n(completed) + n(cancelled) + n(shed),
+            "offered must split exactly across the outcome buckets: {r:?}"
+        );
+        assert!(n(completed) > 0, "a tenant completed nothing: {r:?}");
+        assert!(
+            n(p50) <= n(p99) && n(p99) <= n(p999),
+            "percentiles out of order: {r:?}"
+        );
+    }
+    assert!(rates.len() >= 3, "need ≥3 arrival rates, got {rates:?}");
+    assert_eq!(tenants.len(), 3, "need 3 tenants, got {tenants:?}");
+}

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use htvm::core::{DomainId, Pool, Topology};
+use htvm::serve::{NativeParcel, Outcome, RejectReason, Server, ServerConfig, TenantConfig};
 
 /// The four canonical topology shapes: degenerate single worker, flat
 /// (singleton domains), grouped, and uneven.
@@ -253,4 +254,146 @@ fn pool_reparks_fully_after_work() {
     std::thread::sleep(Duration::from_millis(40));
     let later = pool.stats();
     assert_eq!(settled.parks, later.parks, "re-parked pool must stay still");
+}
+
+/// Serving-layer churn on the raw pool: 200 tenants join and leave
+/// mid-load while a racing thread fires cancellations into the stream.
+/// Afterwards the pool must drain back to a *fully parked* state with
+/// no leaked sleeper tokens (parks stay flat), every handle must have
+/// resolved exactly once, and the per-tenant stat slices must sum to
+/// the pool's global counters — the serving layer may not lose or
+/// double-count a single grain.
+#[test]
+fn tenant_churn_with_racing_cancels_drains_clean() {
+    const CYCLES: usize = 200;
+    const PER_TENANT: usize = 6;
+    const LIVE_WINDOW: usize = 4;
+
+    let pool = Arc::new(Pool::with_topology(Topology::domains(2, 2)));
+    let server = Server::on_pool(
+        pool.clone(),
+        ServerConfig {
+            max_in_flight: 8,
+            ..ServerConfig::default()
+        },
+    );
+
+    // The canceller races the dispatcher over tokens streamed to it.
+    let (tx, rx) = std::sync::mpsc::channel::<htvm::core::CancelToken>();
+    let canceller = std::thread::spawn(move || {
+        let mut fired = 0u64;
+        for token in rx {
+            token.cancel();
+            fired += 1;
+        }
+        fired
+    });
+
+    let ran = Arc::new(AtomicU64::new(0));
+    let mut live = std::collections::VecDeque::new();
+    let mut retired = Vec::new();
+    for cycle in 0..CYCLES {
+        let tenant = server.register_tenant(TenantConfig::weighted((cycle % 4 + 1) as u64));
+        let mut handles = Vec::with_capacity(PER_TENANT);
+        for i in 0..PER_TENANT {
+            let ran = ran.clone();
+            let h = tenant
+                .submit(NativeParcel::new(move |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }))
+                .expect("queue sized for one cycle's burst");
+            if i % 3 == 0 {
+                tx.send(h.token().clone()).unwrap();
+            }
+            handles.push(h);
+        }
+        live.push_back((tenant, handles));
+        // Leave mid-load: the oldest tenant closes while its requests
+        // may still be queued or in flight.
+        if live.len() > LIVE_WINDOW {
+            let (old, hs) = live.pop_front().unwrap();
+            old.close();
+            retired.push((old, hs));
+        }
+    }
+    drop(tx);
+    let cancels_fired = canceller.join().unwrap();
+    assert_eq!(cancels_fired, (CYCLES * PER_TENANT).div_ceil(3) as u64);
+    for (t, _) in &live {
+        t.close();
+    }
+    retired.extend(live.drain(..));
+
+    assert!(
+        server.wait_idle(Duration::from_secs(60)),
+        "serving pool never drained: {server:?}"
+    );
+
+    // Every handle resolved exactly once, and the client-visible
+    // outcomes agree with the per-tenant counters bucket by bucket.
+    let mut outcome_totals = htvm::serve::TenantStats::default();
+    for (tenant, handles) in &retired {
+        let mut completed = 0u64;
+        let mut cancelled = 0u64;
+        let mut closed_rejects = 0u64;
+        for h in handles {
+            match h.wait() {
+                Outcome::Completed => completed += 1,
+                Outcome::Cancelled => cancelled += 1,
+                Outcome::Rejected(RejectReason::TenantClosed) => closed_rejects += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let stats = tenant.stats();
+        assert_eq!(stats.submitted, PER_TENANT as u64);
+        assert_eq!(stats.settled(), stats.submitted, "unsettled request");
+        assert_eq!(
+            (completed, cancelled, closed_rejects),
+            (stats.completed, stats.cancelled, stats.closed_rejects),
+            "handles and counters disagree for tenant {}",
+            tenant.id()
+        );
+        outcome_totals.completed += completed;
+        outcome_totals.cancelled += cancelled;
+        outcome_totals.closed_rejects += closed_rejects;
+    }
+    assert_eq!(
+        outcome_totals.completed + outcome_totals.cancelled + outcome_totals.closed_rejects,
+        (CYCLES * PER_TENANT) as u64,
+        "requests leaked"
+    );
+    assert_eq!(
+        outcome_totals.completed,
+        ran.load(Ordering::Relaxed),
+        "every Completed ran exactly once and nothing else ran"
+    );
+
+    // Per-tenant pool slices sum to the global pool counters: this pool
+    // ran nothing but serve work, so nothing may be missing and nothing
+    // may be double-tagged.
+    let executed_sum: u64 = retired.iter().map(|(t, _)| t.pool_slice().executed).sum();
+    let dropped_sum: u64 = retired.iter().map(|(t, _)| t.pool_slice().cancelled).sum();
+    let global = pool.stats();
+    assert_eq!(executed_sum, global.total_executed());
+    assert_eq!(dropped_sum, global.cancelled);
+    assert!(
+        dropped_sum <= outcome_totals.cancelled,
+        "grain-boundary drops are a subset of cancellations"
+    );
+
+    server.shutdown();
+    // No leaked sleeper tokens: the pool re-parks fully and stays flat.
+    assert!(
+        pool.wait_fully_parked(Duration::from_secs(30)),
+        "pool never re-parked after serving churn: {:?} ({} registered)",
+        pool.stats(),
+        pool.parked_workers()
+    );
+    let settled = pool.stats();
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(
+        pool.stats().parks,
+        settled.parks,
+        "a worker kept waking after the serving load ended"
+    );
 }
