@@ -107,6 +107,11 @@ impl ResponseHandle {
     /// The request's cancellation token (e.g. to derive `child` tokens
     /// for an SGT subtree, or to poll `cancel_requested` from the
     /// action).
+    ///
+    /// The token already guards *this* request, and a token guards at
+    /// most one submission — do not pass it to another
+    /// `submit_with_token` call (that would disarm this request's
+    /// cancelled resolution); derive a `child()` instead.
     pub fn token(&self) -> &CancelToken {
         &self.token
     }

@@ -33,8 +33,9 @@
 //!   outcome on the worker (covering panics and the cancelled-drop
 //!   path via `std::thread::panicking` / `was_claimed`).
 //! * **Cancelled** — `cancel()` (or deadline expiry at the checkpoint)
-//!   won the CAS; the hook armed at submit time resolves the outcome
-//!   from whichever thread won.
+//!   won the CAS; the hook armed at admission resolves the outcome
+//!   from whichever thread won (a cancel that lands before the hook is
+//!   armed resolves when the arming call runs it immediately).
 //! * **Rejected** — the dispatcher itself claims the token before
 //!   shedding (overload, tenant close, shutdown): if the claim loses,
 //!   a concurrent cancel already resolved the request and the shed
@@ -131,7 +132,8 @@ pub struct TenantStats {
     pub cancelled: u64,
     /// Requests shed under overload ([`RejectReason::Overload`]).
     pub shed: u64,
-    /// Queued requests rejected when the tenant closed.
+    /// Requests rejected because the tenant closed — refused at submit
+    /// time or drained from the queue by the dispatcher.
     pub closed_rejects: u64,
     /// Queued requests rejected when the server shut down.
     pub shutdown_rejects: u64,
@@ -278,6 +280,14 @@ impl TenantHandle {
     /// Submit a parcel guarded by a caller-supplied token — e.g. a
     /// `child()` of a tenant-wide token, so cancelling the parent fans
     /// out to every outstanding request of the subtree.
+    ///
+    /// Each token must guard **at most one** submission: the token's
+    /// cancelled-hook slot holds one hook, so a second submission with
+    /// the same token silently disarms the first request's cancelled
+    /// resolution and can hang its `wait()`. To tie many requests to
+    /// one cancellation scope, submit a fresh [`CancelToken::child`]
+    /// of the shared token per request (as above), never the shared
+    /// token itself.
     pub fn submit_with_token(
         &self,
         parcel: NativeParcel,
@@ -286,17 +296,6 @@ impl TenantHandle {
         let counters = &self.shared.counters;
         counters.submitted.fetch_add(1, Ordering::Relaxed);
         let state = ReqState::new();
-        // Arm the cancelled resolution before the request is reachable
-        // by the dispatcher: whichever thread wins the token's CAS
-        // resolves the outcome exactly once.
-        {
-            let state = state.clone();
-            let counters = counters.clone();
-            token.on_cancelled(move || {
-                counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                state.outcome.put(Outcome::Cancelled);
-            });
-        }
         let cost = parcel.cost();
         let queued = Queued {
             action: parcel.into_action(),
@@ -306,6 +305,22 @@ impl TenantHandle {
         };
         match self.shared.queue.try_push(queued) {
             Ok(()) => {
+                // Arm the cancelled resolution only once the request is
+                // admitted, so a rejected submission never leaves a
+                // hook on the caller's token. Exactly-once still holds
+                // against everything the dispatcher may already have
+                // done with the queued request: if the token resolved
+                // cancelled first the hook runs immediately (here), and
+                // if it was claimed (dispatched, or shed via the
+                // rejection claim) the hook is dropped unrun.
+                {
+                    let state = state.clone();
+                    let counters = counters.clone();
+                    token.on_cancelled(move || {
+                        counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        state.outcome.put(Outcome::Cancelled);
+                    });
+                }
                 self.inner.kick();
                 Ok(ResponseHandle { state, token })
             }
@@ -313,7 +328,10 @@ impl TenantHandle {
                 counters.rejected_full.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::QueueFull)
             }
-            Err(AdmitError::Closed(_)) => Err(SubmitError::TenantClosed),
+            Err(AdmitError::Closed(_)) => {
+                counters.closed_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::TenantClosed)
+            }
         }
     }
 
@@ -417,15 +435,22 @@ impl Server {
     /// Panics if called after [`Server::shutdown`], or if
     /// `cfg.home` is out of range for the pool's topology.
     pub fn register_tenant(&self, cfg: TenantConfig) -> TenantHandle {
-        assert!(
-            !self.inner.shutdown.load(Ordering::SeqCst),
-            "register_tenant on a shut-down server"
-        );
         let nd = self.inner.pool.num_domains();
         let capacity = cfg
             .queue_capacity
             .unwrap_or(self.inner.cfg.default_queue_capacity);
         let mut tenants = self.inner.tenants.lock();
+        // Checked under the tenants lock, against a flag that is also
+        // *stored* under it (see `Server::shutdown`): a registration
+        // that passes this check inserted its tenant before the flag
+        // was set, so the dispatcher's final drain pass — which
+        // snapshots the tenants under the lock after observing the
+        // flag — is guaranteed to see and reject it. No tenant can
+        // slip in behind the final drain and strand its requests.
+        assert!(
+            !self.inner.shutdown.load(Ordering::SeqCst),
+            "register_tenant on a shut-down server"
+        );
         let id = tenants
             .iter()
             .position(Option::is_none)
@@ -501,7 +526,17 @@ impl Server {
     /// dispatcher thread. In-flight requests finish normally on the
     /// pool.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            // Store the flag under the tenants lock so it serializes
+            // against `register_tenant`'s check: every registration
+            // either completes before this store (and is seen by the
+            // dispatcher's final drain) or observes the flag and
+            // panics. Without the lock a registration could pass the
+            // check yet insert after the final drain's snapshot,
+            // stranding its requests forever.
+            let _tenants = self.inner.tenants.lock();
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+        }
         self.inner.kick();
         if let Some(h) = self.dispatcher.lock().take() {
             let _ = h.join();
@@ -590,7 +625,11 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
             }
         }
 
-        // Weighted dispatch under the in-flight cap.
+        // Weighted dispatch under the in-flight cap. `drr` may still
+        // hold keys absent from `by_id`: a tenant that closed between
+        // the retire pass above and the `live` filter keeps its slot
+        // until the next pass retires it, so the round's closures must
+        // treat an unknown key as idle rather than index out of range.
         let mut by_id: Vec<Option<&Arc<TenantShared>>> = Vec::new();
         for t in &live {
             if by_id.len() <= t.id {
@@ -609,9 +648,15 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
             let inner_ref = &inner;
             drr.round(
                 capacity,
-                |k| by_id[k].and_then(|t| t.queue.peek(|q| q.cost)),
                 |k| {
-                    if let Some(t) = by_id[k] {
+                    by_id
+                        .get(k)
+                        .copied()
+                        .flatten()
+                        .and_then(|t| t.queue.peek(|q| q.cost))
+                },
+                |k| {
+                    if let Some(t) = by_id.get(k).copied().flatten() {
                         dispatch_one(inner_ref, t);
                     }
                 },
@@ -831,6 +876,132 @@ mod tests {
         }
         let next = server.register_tenant(TenantConfig::weighted(2));
         assert_eq!(next.id(), tenant.id(), "retired slot is reused");
+    }
+
+    #[test]
+    fn dispatcher_survives_tenants_closing_mid_pass() {
+        // Regression: a tenant closing between the dispatcher's retire
+        // check and its live filter kept a `Wdrr` key with no `by_id`
+        // entry, and the round's closures indexed out of bounds —
+        // killing the dispatcher and hanging every later request. Churn
+        // the two shapes that exposed it (the only tenant closes →
+        // `by_id` is empty; the highest-id tenant closes → `by_id` is
+        // short) and then prove the dispatcher is still alive.
+        let server = quick_server(ServerConfig::default());
+        let mut handles = Vec::new();
+        let mut persistent = None;
+        for round in 0..200 {
+            if round == 100 {
+                // From here on the churned tenant gets id 1: closing it
+                // leaves a key above `by_id.len()` while id 0 stays live.
+                persistent = Some(server.register_tenant(TenantConfig::weighted(1)));
+            }
+            let tenant = server.register_tenant(TenantConfig::weighted(1));
+            for _ in 0..3 {
+                handles.push(tenant.submit(NativeParcel::new(|_| {})).unwrap());
+            }
+            tenant.close();
+        }
+        // A dead dispatcher can't dispatch: a fresh tenant's request
+        // would never resolve. Bounded wait so the failure is a panic,
+        // not a hung test.
+        let fresh = server.register_tenant(TenantConfig::weighted(1));
+        let probe = fresh.submit(NativeParcel::new(|_| {})).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while probe.try_outcome().is_none() {
+            assert!(
+                Instant::now() < deadline,
+                "dispatcher died during tenant churn"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(probe.wait(), Outcome::Completed);
+        // Every churned request still settled exactly once (Completed
+        // or Rejected(TenantClosed), depending on when its tenant's
+        // close landed).
+        for h in &handles {
+            while h.try_outcome().is_none() {
+                assert!(Instant::now() < deadline, "churned request never settled");
+                std::thread::yield_now();
+            }
+            assert!(matches!(
+                h.wait(),
+                Outcome::Completed | Outcome::Rejected(RejectReason::TenantClosed)
+            ));
+        }
+        drop(persistent);
+    }
+
+    #[test]
+    fn rejected_submission_does_not_arm_the_callers_token() {
+        // Regression: the cancel hook used to be armed before admission,
+        // so a QueueFull/TenantClosed rejection left it on the caller's
+        // token — a later cancel of that token (e.g. a tenant-wide
+        // parent fanning out) then counted a `cancelled` for a request
+        // already counted `rejected_full`.
+        let server = quick_server(ServerConfig {
+            max_in_flight: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            queue_capacity: Some(1),
+            home: None,
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let blocker = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        while server.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let queued = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        let rejected_token = CancelToken::new();
+        assert!(matches!(
+            tenant.submit_with_token(NativeParcel::new(|_| {}), rejected_token.clone()),
+            Err(SubmitError::QueueFull)
+        ));
+        // The caller still owns the token; cancelling it later must not
+        // resolve (or count) anything for the rejected submission.
+        rejected_token.cancel();
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), Outcome::Completed);
+        assert_eq!(queued.wait(), Outcome::Completed);
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        let stats = tenant.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.rejected_full, 1);
+        assert_eq!(
+            stats.cancelled, 0,
+            "rejected submission was counted cancelled"
+        );
+        assert_eq!(stats.settled(), stats.submitted);
+    }
+
+    #[test]
+    fn submit_after_close_lands_in_closed_rejects() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let done = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        assert_eq!(done.wait(), Outcome::Completed);
+        tenant.close();
+        assert!(matches!(
+            tenant.submit(NativeParcel::new(|_| {})),
+            Err(SubmitError::TenantClosed)
+        ));
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        let stats = tenant.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(
+            stats.closed_rejects, 1,
+            "submit-time close reject uncounted"
+        );
+        assert_eq!(stats.settled(), stats.submitted, "conservation violated");
     }
 
     #[test]
