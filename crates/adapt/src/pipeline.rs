@@ -24,6 +24,12 @@ use crate::hints::{HintCategory, HintTarget, KnowledgeBase, StructuredHint};
 pub const NAIVE_POLICY: &str = "naive";
 /// Recorded-outcome name of the SSP-partitioned path.
 pub const PIPELINED_POLICY: &str = "pipelined";
+/// Fine-grained policy name: the SSP path running the interpreted
+/// point-at-a-time kernel tape.
+pub const SSP_INTERP_POLICY: &str = "ssp-interp";
+/// Fine-grained policy name: the SSP path running the compiled
+/// run-at-a-time kernel.
+pub const SSP_COMPILED_POLICY: &str = "ssp-compiled";
 
 /// The two ways a `forall` nest can execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +173,52 @@ pub fn record_loop_outcome(kb: &mut KnowledgeBase, point: &str, path: LoopPath, 
     kb.record_outcome(point, policy, nanos);
 }
 
+/// What a `forall` actually executed as, one grain finer than
+/// [`LoopPath`]: the SSP path may run the interpreted per-point tape or
+/// a compiled run-at-a-time kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPathTaken {
+    /// The naive flat fan-out (including SSP bail-outs).
+    Naive,
+    /// SSP-partitioned, interpreted kernel tape.
+    SspInterp,
+    /// SSP-partitioned, compiled run-at-a-time kernel.
+    SspCompiled,
+}
+
+impl ExecPathTaken {
+    /// Fine-grained knowledge-base policy name.
+    pub fn policy(self) -> &'static str {
+        match self {
+            ExecPathTaken::Naive => NAIVE_POLICY,
+            ExecPathTaken::SspInterp => SSP_INTERP_POLICY,
+            ExecPathTaken::SspCompiled => SSP_COMPILED_POLICY,
+        }
+    }
+
+    /// The coarse path this refines.
+    pub fn loop_path(self) -> LoopPath {
+        match self {
+            ExecPathTaken::Naive => LoopPath::Naive,
+            ExecPathTaken::SspInterp | ExecPathTaken::SspCompiled => LoopPath::Pipelined,
+        }
+    }
+}
+
+/// Record a fine-grained execution outcome: the wall time lands under
+/// both the fine policy name (so reports can compare interpreted vs
+/// compiled directly) and the coarse [`LoopPath`] policy that
+/// [`decide_loop_path`] reads — a fast compiled run therefore makes the
+/// Adaptive strategy prefer the pipelined path at this point from the
+/// first observation.
+pub fn record_exec_outcome(kb: &mut KnowledgeBase, point: &str, taken: ExecPathTaken, nanos: u64) {
+    kb.record_outcome(point, taken.policy(), nanos);
+    if taken != ExecPathTaken::Naive {
+        // `Naive` already records under NAIVE_POLICY via its fine name.
+        record_loop_outcome(kb, point, taken.loop_path(), nanos);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +306,28 @@ mod tests {
             LoopPath::Naive,
             "tiny nests stay naive"
         );
+    }
+
+    #[test]
+    fn compiled_outcome_feeds_the_coarse_decision() {
+        let mut kb = KnowledgeBase::new();
+        record_exec_outcome(&mut kb, "p", ExecPathTaken::Naive, 9_000);
+        record_exec_outcome(&mut kb, "p", ExecPathTaken::SspCompiled, 1_000);
+        // Recorded under the fine name for reports…
+        assert!(kb.recorded("p", SSP_COMPILED_POLICY).is_some());
+        // …and under the coarse pair, so the decision prefers pipelined.
+        let d = decide_loop_path(&kb, "p", shape(1, 8, 4));
+        assert_eq!(d.path, LoopPath::Pipelined);
+        assert_eq!(d.reason, DecisionReason::Recorded);
+    }
+
+    #[test]
+    fn exec_path_maps_to_policies_and_coarse_paths() {
+        assert_eq!(ExecPathTaken::Naive.policy(), NAIVE_POLICY);
+        assert_eq!(ExecPathTaken::SspInterp.policy(), SSP_INTERP_POLICY);
+        assert_eq!(ExecPathTaken::SspCompiled.policy(), SSP_COMPILED_POLICY);
+        assert_eq!(ExecPathTaken::SspInterp.loop_path(), LoopPath::Pipelined);
+        assert_eq!(ExecPathTaken::Naive.loop_path(), LoopPath::Naive);
     }
 
     #[test]

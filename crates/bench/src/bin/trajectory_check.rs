@@ -1,0 +1,54 @@
+//! CI perf-trajectory guard: re-run the guarded experiments at quick
+//! scale and fail (exit 1) if any committed `BENCH_pool.json` row
+//! regressed by more than the factor (default 2.0,
+//! `HTVM_TRAJECTORY_FACTOR` to override) — see `htvm_bench::trajectory`.
+
+use htvm_bench::experiments::{e18_ssp_native, e5c_queue_ops, Scale};
+use htvm_bench::report::pool_baseline_path;
+use htvm_bench::trajectory::{compare, factor_from_env, parse_baseline};
+
+fn main() {
+    let path = pool_baseline_path();
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trajectory check: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let baseline = match parse_baseline(&doc) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("trajectory check: {e}");
+            std::process::exit(1);
+        }
+    };
+    if baseline.scale != "quick" {
+        eprintln!(
+            "trajectory check: committed baseline is `{}` scale; regenerate it with \
+             `cargo run -p htvm-bench --release --bin all -- --quick`",
+            baseline.scale
+        );
+        std::process::exit(1);
+    }
+    let factor = factor_from_env();
+    println!(
+        "trajectory check: factor {factor}x against {}",
+        path.display()
+    );
+    let fresh = [e5c_queue_ops(Scale::Quick), e18_ssp_native(Scale::Quick)];
+    let refs: Vec<&htvm_bench::Table> = fresh.iter().collect();
+    let issues = compare(&baseline, &refs, factor);
+    for t in &refs {
+        t.print();
+    }
+    if issues.is_empty() {
+        println!("trajectory check: all guarded rows within {factor}x of baseline");
+        return;
+    }
+    for i in &issues {
+        eprintln!("{i}");
+    }
+    eprintln!("trajectory check: {} issue(s)", issues.len());
+    std::process::exit(1);
+}

@@ -31,5 +31,6 @@
 pub mod experiments;
 pub mod report;
 pub mod table;
+pub mod trajectory;
 
 pub use table::Table;

@@ -76,7 +76,8 @@ pub fn is_pool_baseline_table(t: &Table) -> bool {
 /// strand the baseline wherever the binary happened to run). Resolved
 /// from this crate's manifest dir at compile time; if that checkout path
 /// no longer exists (an installed/copied binary), fall back to cwd.
-fn pool_baseline_path() -> std::path::PathBuf {
+/// Public so the trajectory guard reads the same file this module writes.
+pub fn pool_baseline_path() -> std::path::PathBuf {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..");

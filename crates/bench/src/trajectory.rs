@@ -1,0 +1,538 @@
+//! Perf-trajectory guard: compare a fresh quick-scale run against the
+//! committed `BENCH_pool.json` baseline and flag regressions.
+//!
+//! The baseline is self-emitted JSON ([`crate::report::write_pool_baseline`]),
+//! so the parser here is a deliberately minimal recursive-descent reader
+//! of that dialect (objects, arrays, strings with the escapes
+//! [`crate::table::Table::to_json`] produces) — no external JSON
+//! dependency, and a parse failure on a hand-edited baseline is a loud
+//! error rather than a silently skipped check.
+//!
+//! Guarded rows:
+//!
+//! * **E18** (`litlx-matmul` / `litlx-scan` / `md-force` × path ×
+//!   topology): the `wall_ms` column — the end-to-end cost of the
+//!   compile→schedule→execute pipeline, including the kernel-compile
+//!   rows this guard exists for.
+//! * **E5c** (queue ops): the `mutex_ns` and `lockfree_ns` columns — the
+//!   scheduling spine's per-op costs.
+//!
+//! A fresh value more than `factor` × its committed value is a
+//! regression; a committed row or column the fresh run no longer
+//! produces is also an issue (rows must be renamed by regenerating the
+//! baseline, never silently dropped from the guard). The factor defaults
+//! to 2.0 — quick-scale numbers on shared CI hosts are noisy, and the
+//! guard is after multiplicative drifts, not percent-level tuning — and
+//! can be overridden with the `HTVM_TRAJECTORY_FACTOR` environment
+//! variable.
+
+use crate::table::Table;
+
+/// A parsed baseline document: scale label + the guarded tables.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// `"quick"` or `"full"` — fresh runs are only comparable to a
+    /// baseline of the same scale.
+    pub scale: String,
+    /// The tables, in committed order.
+    pub tables: Vec<Table>,
+}
+
+/// One divergence between the fresh run and the committed baseline.
+#[derive(Debug, Clone)]
+pub enum Issue {
+    /// A fresh metric exceeded `factor` × the committed value.
+    Regression {
+        /// Baseline table id.
+        table: String,
+        /// Key cells joined with `/` (e.g. `litlx-matmul/ssp-comp/flat`).
+        key: String,
+        /// Metric column name.
+        column: String,
+        /// Committed value.
+        committed: f64,
+        /// Freshly measured value.
+        fresh: f64,
+    },
+    /// A committed row has no counterpart in the fresh run.
+    MissingRow {
+        /// Baseline table id.
+        table: String,
+        /// Key cells joined with `/`.
+        key: String,
+    },
+    /// A whole committed table has no counterpart in the fresh run.
+    MissingTable {
+        /// Baseline table id.
+        table: String,
+    },
+}
+
+impl std::fmt::Display for Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Issue::Regression {
+                table,
+                key,
+                column,
+                committed,
+                fresh,
+            } => write!(
+                f,
+                "REGRESSION [{table}] {key} {column}: {committed} -> {fresh} ({:.2}x)",
+                fresh / committed
+            ),
+            Issue::MissingRow { table, key } => {
+                write!(f, "MISSING ROW [{table}] {key}: not produced by fresh run")
+            }
+            Issue::MissingTable { table } => {
+                write!(f, "MISSING TABLE [{table}]: not produced by fresh run")
+            }
+        }
+    }
+}
+
+/// The regression factor: `HTVM_TRAJECTORY_FACTOR` or 2.0.
+pub fn factor_from_env() -> f64 {
+    std::env::var("HTVM_TRAJECTORY_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|f: &f64| *f > 1.0)
+        .unwrap_or(2.0)
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the self-emitted baseline dialect.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn ws(&mut self) {
+        while self.pos < self.b.len() && self.b[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "baseline JSON: expected `{}` at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(_) => {
+                // Number / true / false / null: capture the raw token as a
+                // string — the comparator parses metric cells itself.
+                let start = self.pos;
+                while self
+                    .b
+                    .get(self.pos)
+                    .is_some_and(|c| !b",]}\t\r\n ".contains(c))
+                {
+                    self.pos += 1;
+                }
+                Ok(Json::Str(
+                    String::from_utf8_lossy(&self.b[start..self.pos]).into_owned(),
+                ))
+            }
+            None => Err("baseline JSON: unexpected end of input".to_string()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.pos).copied() {
+                None => return Err("baseline JSON: unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .b
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("baseline JSON: dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("baseline JSON: truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "baseline JSON: non-ascii \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "baseline JSON: bad \\u escape")?;
+                            // Surrogate pairs don't occur in our emitter;
+                            // map unpaired surrogates to the replacement
+                            // char rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!(
+                                "baseline JSON: unsupported escape `\\{}`",
+                                other as char
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences pass
+                    // through untouched).
+                    let s = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| "baseline JSON: invalid UTF-8")?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("baseline JSON: bad array delimiter {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("baseline JSON: bad object delimiter {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parse a committed `BENCH_pool.json` document.
+pub fn parse_baseline(doc: &str) -> Result<Baseline, String> {
+    let mut r = Reader {
+        b: doc.as_bytes(),
+        pos: 0,
+    };
+    let root = r.object()?;
+    let scale = root
+        .get("scale")
+        .and_then(Json::as_str)
+        .ok_or("baseline JSON: missing `scale`")?
+        .to_string();
+    let mut tables = Vec::new();
+    for jt in root
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("baseline JSON: missing `tables`")?
+    {
+        let title = jt
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("baseline JSON: table missing `id`")?;
+        let cols: Vec<&str> = jt
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or("baseline JSON: table missing `columns`")?
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        let mut t = Table::new(title, &cols);
+        for jr in jt
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("baseline JSON: table missing `rows`")?
+        {
+            let cells: Vec<String> = jr
+                .as_arr()
+                .ok_or("baseline JSON: row is not an array")?
+                .iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect();
+            t.row(&cells);
+        }
+        tables.push(t);
+    }
+    Ok(Baseline { scale, tables })
+}
+
+// ---------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------
+
+/// What to guard: tables by title prefix, rows keyed by `key_cols`,
+/// compared on `metric_cols`.
+struct Guard {
+    prefix: &'static str,
+    key_cols: &'static [&'static str],
+    metric_cols: &'static [&'static str],
+}
+
+const GUARDS: &[Guard] = &[
+    Guard {
+        prefix: "E18",
+        key_cols: &["workload", "path", "topology"],
+        metric_cols: &["wall_ms"],
+    },
+    Guard {
+        prefix: "E5c",
+        key_cols: &["op", "stealers"],
+        metric_cols: &["mutex_ns", "lockfree_ns"],
+    },
+];
+
+fn row_key(t: &Table, row: &[String], key_cols: &[&str]) -> Option<String> {
+    let mut parts = Vec::new();
+    for k in key_cols {
+        parts.push(row.get(t.col(k)?)?.clone());
+    }
+    Some(parts.join("/"))
+}
+
+/// Compare a fresh run's tables against the committed baseline. Every
+/// guarded committed row must be reproduced and stay within `factor` ×
+/// its committed metrics.
+pub fn compare(baseline: &Baseline, fresh: &[&Table], factor: f64) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    for g in GUARDS {
+        let committed: Vec<&Table> = baseline
+            .tables
+            .iter()
+            .filter(|t| t.title.starts_with(g.prefix))
+            .collect();
+        for ct in committed {
+            let Some(ft) = fresh.iter().find(|t| t.title == ct.title) else {
+                issues.push(Issue::MissingTable {
+                    table: ct.title.clone(),
+                });
+                continue;
+            };
+            for crow in &ct.rows {
+                let Some(key) = row_key(ct, crow, g.key_cols) else {
+                    continue; // committed table predates these columns
+                };
+                let frow = ft
+                    .rows
+                    .iter()
+                    .find(|r| row_key(ft, r, g.key_cols).as_deref() == Some(key.as_str()));
+                let Some(frow) = frow else {
+                    issues.push(Issue::MissingRow {
+                        table: ct.title.clone(),
+                        key,
+                    });
+                    continue;
+                };
+                for m in g.metric_cols {
+                    let cv = ct
+                        .col(m)
+                        .and_then(|i| crow.get(i))
+                        .and_then(|c| c.parse::<f64>().ok());
+                    let fv = ft
+                        .col(m)
+                        .and_then(|i| frow.get(i))
+                        .and_then(|c| c.parse::<f64>().ok());
+                    // Unparsable committed cells ("-") are unguarded.
+                    if let (Some(cv), Some(fv)) = (cv, fv) {
+                        // Sub-resolution committed values (0.00 after
+                        // rounding) cannot anchor a ratio.
+                        if cv > 0.0 && fv > cv * factor {
+                            issues.push(Issue::Regression {
+                                table: ct.title.clone(),
+                                key: key.clone(),
+                                column: m.to_string(),
+                                committed: cv,
+                                fresh: fv,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::summary_json;
+
+    fn e18_table(wall: &str) -> Table {
+        let mut t = Table::new(
+            "E18 SSP native execution: naive vs pipelined \u{d7} topology",
+            &["workload", "path", "topology", "wall_ms", "check"],
+        );
+        t.push(&["litlx-matmul", "ssp-comp", "flat", wall, "6714"]);
+        t
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_emitted_json() {
+        let t = e18_table("0.10");
+        let doc = summary_json("x", &[&t]).replace(
+            "{\"experiment\":\"x\"",
+            "{\"experiment\":\"x\",\"scale\":\"quick\"",
+        );
+        let b = parse_baseline(&doc).expect("parses");
+        assert_eq!(b.scale, "quick");
+        assert_eq!(b.tables.len(), 1);
+        assert_eq!(b.tables[0].title, t.title);
+        assert_eq!(b.tables[0].rows, t.rows);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let b = parse_baseline(
+            "{\"scale\":\"quick\",\"tables\":[{\"id\":\"E18 a\\u2192b\",\"columns\":[\"c\"],\"rows\":[[\"1\"]]}]}",
+        )
+        .expect("parses");
+        assert_eq!(b.tables[0].title, "E18 a\u{2192}b");
+    }
+
+    #[test]
+    fn within_factor_passes_and_beyond_factor_fails() {
+        let base = Baseline {
+            scale: "quick".to_string(),
+            tables: vec![e18_table("0.10")],
+        };
+        assert!(compare(&base, &[&e18_table("0.19")], 2.0).is_empty());
+        let issues = compare(&base, &[&e18_table("0.25")], 2.0);
+        assert_eq!(issues.len(), 1);
+        match &issues[0] {
+            Issue::Regression {
+                key,
+                column,
+                committed,
+                fresh,
+                ..
+            } => {
+                assert_eq!(key, "litlx-matmul/ssp-comp/flat");
+                assert_eq!(column, "wall_ms");
+                assert_eq!((*committed, *fresh), (0.10, 0.25));
+            }
+            other => panic!("expected a regression, got {other:?}"),
+        }
+        // A looser factor lets the same pair pass.
+        assert!(compare(&base, &[&e18_table("0.25")], 3.0).is_empty());
+    }
+
+    #[test]
+    fn committed_rows_cannot_silently_vanish() {
+        let base = Baseline {
+            scale: "quick".to_string(),
+            tables: vec![e18_table("0.10")],
+        };
+        let mut renamed = e18_table("0.10");
+        renamed.rows[0][1] = "ssp".to_string();
+        let issues = compare(&base, &[&renamed], 2.0);
+        assert!(
+            matches!(&issues[0], Issue::MissingRow { key, .. } if key == "litlx-matmul/ssp-comp/flat"),
+            "{issues:?}"
+        );
+        let issues = compare(&base, &[], 2.0);
+        assert!(
+            matches!(&issues[0], Issue::MissingTable { .. }),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn unparsable_cells_are_unguarded() {
+        let mut ct = e18_table("0.10");
+        ct.rows[0][3] = "-".to_string();
+        let base = Baseline {
+            scale: "quick".to_string(),
+            tables: vec![ct],
+        };
+        assert!(compare(&base, &[&e18_table("99.0")], 2.0).is_empty());
+    }
+}

@@ -95,6 +95,69 @@ impl SharedRegion {
     pub fn same_region(&self, other: &Self) -> bool {
         Arc::ptr_eq(&self.words, &other.words)
     }
+
+    /// The region's word slab, for run-at-a-time kernel execution.
+    ///
+    /// Compiled kernels iterate contiguous runs over this slice instead of
+    /// calling [`SharedRegion::read_f64`] once per element: taking the
+    /// slice once per run amortizes the `Arc` indirection, and iterating a
+    /// subslice (or indexing it with a hoisted bounds proof) keeps the
+    /// inner loop free of per-element checks. All element access is still
+    /// relaxed-atomic — a `SharedRegion` may always be written concurrently
+    /// (e.g. by a racing `spawn` block), so handing out plain `&[f64]`
+    /// would be unsound no matter what the kernel proves about itself.
+    pub fn atomics(&self) -> &[AtomicU64] {
+        &self.words
+    }
+
+    /// Read word `i` as `f64` without a bounds check.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()`. The LITL-X kernel compiler is the intended
+    /// caller: it proves the bound at compile time (min/max of each affine
+    /// index over the nest's rectangular iteration box) and routes every
+    /// unprovable access to the checked fallback instead.
+    #[inline]
+    pub unsafe fn read_f64_unchecked(&self, i: usize) -> f64 {
+        debug_assert!(i < self.words.len());
+        f64::from_bits(self.words.get_unchecked(i).load(Ordering::Relaxed))
+    }
+
+    /// Write word `i` as `f64` without a bounds check.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()` — same compile-time-proof contract as
+    /// [`SharedRegion::read_f64_unchecked`].
+    #[inline]
+    pub unsafe fn write_f64_unchecked(&self, i: usize, v: f64) {
+        debug_assert!(i < self.words.len());
+        self.words
+            .get_unchecked(i)
+            .store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Non-atomic-RMW accumulate (`relaxed load + add + relaxed store`)
+    /// without a bounds check — the compiled-kernel fast path for `+=`
+    /// stores whose location is provably touched by only one thread at a
+    /// time (the SSP executor serializes same-location accumulates through
+    /// the wavefront; see `litlx::lang::compile`). Unlike
+    /// [`SharedRegion::fetch_add_f64`] there is no CAS loop, so a *truly*
+    /// concurrent writer could lose an update — never UB, but only
+    /// sequential-equivalent under the executor's disjointness guarantee.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()` — same compile-time-proof contract as
+    /// [`SharedRegion::read_f64_unchecked`].
+    #[inline]
+    pub unsafe fn accum_f64_unchecked(&self, i: usize, v: f64) {
+        debug_assert!(i < self.words.len());
+        let w = self.words.get_unchecked(i);
+        let cur = f64::from_bits(w.load(Ordering::Relaxed));
+        w.store((cur + v).to_bits(), Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +179,19 @@ mod tests {
         let b = a.clone();
         a.write(0, 99);
         assert_eq!(b.read(0), 99);
+    }
+
+    #[test]
+    fn run_access_matches_checked_access() {
+        let r = SharedRegion::from_f64(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.atomics().len(), 4);
+        // SAFETY: indices < len by construction.
+        unsafe {
+            assert_eq!(r.read_f64_unchecked(2), 3.0);
+            r.write_f64_unchecked(1, 9.5);
+            r.accum_f64_unchecked(1, 0.5);
+        }
+        assert_eq!(r.read_f64(1), 10.0);
     }
 
     #[test]

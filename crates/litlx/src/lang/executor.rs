@@ -23,12 +23,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use htvm_adapt::pipeline::{self, LoopPath, LoopShape};
-use htvm_ssp::exec::{plan_native, run_partitioned, PointBody};
+use htvm_adapt::pipeline::{self, ExecPathTaken, LoopPath, LoopShape};
+use htvm_ssp::exec::{plan_native, run_partitioned_body, NestBody, PointBody, RunBody};
 use htvm_ssp::partition::PartitionPlan;
 use htvm_ssp::ssp::{schedule_all_levels, SspConfig};
 
 use super::ast::{Hint, Stmt};
+use super::compile::compile;
 use super::interp::{Env, Scope, Value};
 use super::lower::lower_forall;
 
@@ -47,6 +48,25 @@ pub enum LoopStrategy {
     Adaptive,
 }
 
+/// How SSP loop bodies execute once a nest has taken the pipelined path.
+///
+/// Both modes produce bit-identical program output (see
+/// [`mod@super::compile`]'s exactness argument); the compiled mode exists to
+/// remove per-point interpreter overhead, the interpreted mode to measure
+/// it and to differentially test the compiler against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Point-at-a-time register-tape interpretation
+    /// ([`super::lower::Kernel::execute`]).
+    Interpreted,
+    /// Run-at-a-time execution of the optimized tape
+    /// ([`super::compile::compile`]): constant folding, dead-register
+    /// elimination, strength-reduced per-level strides, hoisted bounds
+    /// proofs, and monomorphized native closures for common body shapes.
+    #[default]
+    Compiled,
+}
+
 /// Everything one `forall` execution needs (bounds already evaluated).
 pub(crate) struct ForallSpec<'a> {
     pub(crate) var: &'a str,
@@ -58,9 +78,10 @@ pub(crate) struct ForallSpec<'a> {
 }
 
 /// A loop-execution strategy. `run` reports which path actually executed
-/// (the SSP strategy may fall back to naive on a lowering bail-out).
+/// (the SSP strategy may fall back to naive on a lowering bail-out, and
+/// reports whether its kernel ran compiled or interpreted).
 pub(crate) trait LoopExecutor {
-    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<LoopPath, String>;
+    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<ExecPathTaken, String>;
 }
 
 /// Entry point: pick a path for this loop, execute it, record the outcome.
@@ -109,7 +130,7 @@ pub(crate) fn run_forall(scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<(),
     };
     let ran = executor.run(scope, spec)?;
     let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-    pipeline::record_loop_outcome(&mut ex.kb.lock(), &point, ran, nanos.max(1));
+    pipeline::record_exec_outcome(&mut ex.kb.lock(), &point, ran, nanos.max(1));
     Ok(())
 }
 
@@ -200,7 +221,7 @@ fn const_fold(e: &super::ast::Expr, env: &Env) -> Option<f64> {
 pub(crate) struct NaiveExecutor;
 
 impl LoopExecutor for NaiveExecutor {
-    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<LoopPath, String> {
+    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<ExecPathTaken, String> {
         let n = (spec.to - spec.from).max(0) as u64;
         let from = spec.from;
         let workers = scope.shared.workers as u64;
@@ -274,7 +295,7 @@ impl LoopExecutor for NaiveExecutor {
             done.add(hi - lo);
         }
         done.wait_for(n);
-        Ok(LoopPath::Naive)
+        Ok(ExecPathTaken::Naive)
     }
 }
 
@@ -287,40 +308,65 @@ pub(crate) struct SspExecutor {
 }
 
 impl SspExecutor {
-    /// Returns `Ok(false)` if the nest cannot take the SSP path (lowering
+    /// Returns `Ok(None)` if the nest cannot take the SSP path (lowering
     /// bail, unschedulable levels, forced level invalid) — the caller
     /// falls back to naive. Runtime errors (out-of-bounds stores) are
     /// real errors. The interpreter thread is the *helping caller* of
-    /// `run_partitioned` — it claims ready groups itself — and that call
-    /// is panic-safe: a group that unwinds (kernel bug, poisoned region)
+    /// `run_partitioned_body` — it claims ready groups itself — and that
+    /// call is panic-safe: a group that unwinds (kernel bug, poisoned
+    /// region, a compiled run asked for points outside the iteration box)
     /// comes back as this function's `Err` instead of wedging the help
     /// loop or unwinding through the interpreter.
-    fn try_run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<bool, String> {
+    ///
+    /// Under [`KernelMode::Compiled`] the lowered tape is optimized by
+    /// [`super::compile::compile`] and the groups execute run-at-a-time
+    /// ([`NestBody::Run`]); under [`KernelMode::Interpreted`] they execute
+    /// point-at-a-time on the raw tape. The `Ok(Some(path))` value reports
+    /// which, for the knowledge base.
+    fn try_run(
+        &self,
+        scope: &Scope<'_>,
+        spec: &ForallSpec<'_>,
+    ) -> Result<Option<ExecPathTaken>, String> {
         let env = spec.env;
         let resolve = |name: &str| env.get(name);
         let Ok(lowered) = lower_forall(spec.var, spec.from, spec.to, spec.body, &resolve) else {
-            return Ok(false);
+            return Ok(None);
         };
         let ex = &scope.shared.exec;
         let workers = scope.shared.workers as u64;
         let plans = schedule_all_levels(&lowered.nest, &SspConfig::default());
         let allowed: Vec<usize> = match self.level {
             Some(l) if lowered.parallel_levels.contains(&l) => vec![l],
-            Some(_) => return Ok(false), // forced level is not a forall level
+            Some(_) => return Ok(None), // forced level is not a forall level
             None => lowered.parallel_levels.clone(),
         };
         let Some(mut plan) = plan_native(&lowered.nest.trip_counts, &plans, &allowed, workers)
         else {
-            return Ok(false);
+            return Ok(None);
         };
         if let Some(chunk) = self.chunk {
             let n_l = lowered.nest.trip_counts[plan.level_plan.level];
             let threads = n_l.div_ceil(chunk.max(1));
             plan.partition = PartitionPlan::new(&plan.level_plan, n_l, threads);
         }
-        let kernel = Arc::new(lowered.kernel);
-        let body: Arc<PointBody> = Arc::new(move |idx| kernel.execute(idx));
-        let report = run_partitioned(
+        let (body, taken) = match ex.kernel_mode {
+            KernelMode::Compiled => {
+                let compiled = Arc::new(compile(&lowered.kernel, &lowered.nest.trip_counts));
+                let run: Arc<RunBody> = Arc::new(move |prefix, t0, t1| {
+                    compiled
+                        .execute_run(prefix, t0, t1)
+                        .map_err(|f| f.to_string())
+                });
+                (NestBody::Run(run), ExecPathTaken::SspCompiled)
+            }
+            KernelMode::Interpreted => {
+                let kernel = Arc::new(lowered.kernel);
+                let point: Arc<PointBody> = Arc::new(move |idx| kernel.execute(idx));
+                (NestBody::Point(point), ExecPathTaken::SspInterp)
+            }
+        };
+        let report = run_partitioned_body(
             &ex.pool,
             &lowered.nest.trip_counts,
             plan.level_plan.level,
@@ -336,14 +382,17 @@ impl SspExecutor {
         if report.wavefront {
             ex.ssp_wavefronts.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(true)
+        if taken == ExecPathTaken::SspCompiled {
+            ex.ssp_compiled.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Some(taken))
     }
 }
 
 impl LoopExecutor for SspExecutor {
-    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<LoopPath, String> {
-        if self.try_run(scope, spec)? {
-            Ok(LoopPath::Pipelined)
+    fn run(&self, scope: &Scope<'_>, spec: &ForallSpec<'_>) -> Result<ExecPathTaken, String> {
+        if let Some(taken) = self.try_run(scope, spec)? {
+            Ok(taken)
         } else {
             scope
                 .shared

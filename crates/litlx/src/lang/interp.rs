@@ -26,7 +26,7 @@ use htvm_core::{Htvm, HtvmConfig, Pool, PoolStats, SharedRegion, Topology};
 use parking_lot::Mutex;
 
 use super::ast::{BinOp, Expr, FnDef, Program, Stmt};
-use super::executor::{self, ForallSpec, LoopStrategy};
+use super::executor::{self, ForallSpec, KernelMode, LoopStrategy};
 use super::profile::{ForallProfile, ProfileState};
 use crate::future::LitlFuture;
 
@@ -141,6 +141,8 @@ pub(crate) struct ExecShared {
     pub(crate) pool: Arc<Pool>,
     /// Session-level loop strategy.
     pub(crate) strategy: LoopStrategy,
+    /// Whether SSP loop bodies run compiled (run-at-a-time) or interpreted.
+    pub(crate) kernel_mode: KernelMode,
     /// §4.1 knowledge base: pragma hints in, observed outcomes out.
     pub(crate) kb: Arc<Mutex<KnowledgeBase>>,
     /// `forall`s executed through the SSP pipeline.
@@ -149,6 +151,8 @@ pub(crate) struct ExecShared {
     pub(crate) ssp_bailouts: AtomicU64,
     /// SSP executions that needed a cross-group signal wavefront.
     pub(crate) ssp_wavefronts: AtomicU64,
+    /// SSP executions that ran the compiled run-at-a-time kernel.
+    pub(crate) ssp_compiled: AtomicU64,
 }
 
 impl Shared {
@@ -175,6 +179,9 @@ pub struct RunOutput {
     pub ssp_bailouts: u64,
     /// SSP executions whose partition needed a signal wavefront.
     pub ssp_wavefronts: u64,
+    /// SSP executions that ran the compiled run-at-a-time kernel (0 when
+    /// the interpreter was built with [`KernelMode::Interpreted`]).
+    pub ssp_compiled: u64,
 }
 
 /// The LITL-X interpreter.
@@ -182,6 +189,7 @@ pub struct Interp {
     htvm: Htvm,
     workers: usize,
     strategy: LoopStrategy,
+    kernel_mode: KernelMode,
     kb: Arc<Mutex<KnowledgeBase>>,
 }
 
@@ -207,6 +215,7 @@ impl Interp {
             htvm: Htvm::new(HtvmConfig::with_topology(topology)),
             workers: workers.max(1),
             strategy: LoopStrategy::default(),
+            kernel_mode: KernelMode::default(),
             kb: Arc::new(Mutex::new(KnowledgeBase::new())),
         }
     }
@@ -214,6 +223,16 @@ impl Interp {
     /// Set the session loop strategy (builder style).
     pub fn with_strategy(mut self, strategy: LoopStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Choose how SSP loop bodies execute (builder style): the default
+    /// [`KernelMode::Compiled`] run-at-a-time path, or the point-at-a-time
+    /// tape interpreter ([`KernelMode::Interpreted`]). Program output is
+    /// bit-identical either way; this exists for benchmarking and
+    /// differential testing.
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
         self
     }
 
@@ -276,10 +295,12 @@ impl Interp {
             exec: ExecShared {
                 pool: self.htvm.pool(),
                 strategy: self.strategy,
+                kernel_mode: self.kernel_mode,
                 kb: self.kb.clone(),
                 ssp_foralls: AtomicU64::new(0),
                 ssp_bailouts: AtomicU64::new(0),
                 ssp_wavefronts: AtomicU64::new(0),
+                ssp_compiled: AtomicU64::new(0),
             },
             profile,
         });
@@ -306,6 +327,7 @@ impl Interp {
             ssp_foralls: shared.exec.ssp_foralls.load(Ordering::Relaxed),
             ssp_bailouts: shared.exec.ssp_bailouts.load(Ordering::Relaxed),
             ssp_wavefronts: shared.exec.ssp_wavefronts.load(Ordering::Relaxed),
+            ssp_compiled: shared.exec.ssp_compiled.load(Ordering::Relaxed),
         };
         Ok((out, shared.profile.clone()))
     }
@@ -1015,6 +1037,30 @@ mod tests {
         // op), so every forall of the program pipelines.
         assert_eq!(ssp.ssp_foralls, 3);
         assert_eq!(ssp.ssp_bailouts, 0);
+        // The default kernel mode is compiled: every SSP forall ran the
+        // run-at-a-time path.
+        assert_eq!(ssp.ssp_compiled, 3);
+    }
+
+    #[test]
+    fn kernel_modes_agree_bitwise_and_report_the_path() {
+        let p = parse(MATMUL_SRC).unwrap();
+        let interp = Interp::new(4)
+            .with_strategy(LoopStrategy::Ssp)
+            .with_kernel_mode(KernelMode::Interpreted)
+            .run(&p)
+            .unwrap();
+        let compiled = Interp::new(4)
+            .with_strategy(LoopStrategy::Ssp)
+            .with_kernel_mode(KernelMode::Compiled)
+            .run(&p)
+            .unwrap();
+        // Compiled execution preserves the interpreter's evaluation order
+        // exactly (see `lang::compile`), so the printed output — a float
+        // reduction over the result matrix — is bit-identical.
+        assert_eq!(compiled.printed, interp.printed);
+        assert_eq!(interp.ssp_compiled, 0);
+        assert_eq!(compiled.ssp_compiled, compiled.ssp_foralls);
     }
 
     #[test]

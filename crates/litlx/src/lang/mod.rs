@@ -37,6 +37,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod executor;
 pub mod interp;
 pub mod lexer;
@@ -45,7 +46,8 @@ pub mod parser;
 pub mod profile;
 
 pub use ast::{Expr, FnDef, Hint, Program, Stmt};
-pub use executor::LoopStrategy;
+pub use compile::{compile, CompileInfo, CompiledKernel, KernelFault};
+pub use executor::{KernelMode, LoopStrategy};
 pub use interp::{Interp, RunOutput, Value};
 pub use lexer::{lex, Token};
 pub use lower::{lower_forall, Kernel, LowerBail, LoweredForall};

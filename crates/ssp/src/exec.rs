@@ -41,6 +41,25 @@ use crate::ssp::{schedule_all_levels, LevelPlan, SspConfig};
 /// (as the wave's `Err`), never as a hang or an unwinding caller.
 pub type PointBody = dyn Fn(&[i64]) -> Result<(), String> + Send + Sync;
 
+/// One contiguous **run** of the nest's innermost level: receives the
+/// index vector of every level but the innermost (`prefix`, same
+/// absolute/0-based convention as [`PointBody`]) plus the half-open
+/// innermost range `t0..t1`, and iterates internally. Run-at-a-time
+/// bodies amortize per-point dispatch — a compiled kernel borrows its
+/// scratch once per run and walks strided indices instead of
+/// re-evaluating affine forms. Errors and panics surface exactly as for
+/// [`PointBody`].
+pub type RunBody = dyn Fn(&[i64], i64, i64) -> Result<(), String> + Send + Sync;
+
+/// The two granularities a partitioned nest can execute at.
+#[derive(Clone)]
+pub enum NestBody {
+    /// Call the body once per iteration point.
+    Point(Arc<PointBody>),
+    /// Hand the body contiguous innermost runs (see [`RunBody`]).
+    Run(Arc<RunBody>),
+}
+
 /// What happened during a partitioned native run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecReport {
@@ -54,6 +73,8 @@ pub struct ExecReport {
     pub wavefront: bool,
     /// Iteration points executed.
     pub points: u64,
+    /// Innermost runs handed to a [`RunBody`] (0 for point-at-a-time).
+    pub runs: u64,
     /// Pool jobs spawned (one per group per wave).
     pub spawned: u64,
     /// Groups executed by the helping caller rather than a pool worker.
@@ -118,7 +139,7 @@ struct Wave {
     depth: usize,
     group_ranges: Vec<(u64, u64)>,
     lo: i64,
-    body: Arc<PointBody>,
+    body: NestBody,
     // Scheduling.
     ready: Mutex<VecDeque<u64>>,
     /// Chain slots (`slots[g]` enables group `g`); filled before the wave
@@ -129,6 +150,7 @@ struct Wave {
     finished: AtomicU64,
     error: Mutex<Option<String>>,
     points: AtomicU64,
+    runs: AtomicU64,
     caller_ran: AtomicU64,
 }
 
@@ -210,8 +232,17 @@ impl Wave {
     }
 
     /// Run every iteration point of group `g`: its `ℓ`-range, all inner
-    /// levels sequential (lexicographic) inside each `ℓ`-iteration.
+    /// levels sequential (lexicographic) inside each `ℓ`-iteration. A
+    /// [`NestBody::Run`] body receives each innermost span as one call
+    /// instead of one call per point.
     fn execute_group(&self, g: u64) -> Result<(), String> {
+        match self.body.clone() {
+            NestBody::Point(b) => self.execute_group_points(g, &*b),
+            NestBody::Run(b) => self.execute_group_runs(g, &*b),
+        }
+    }
+
+    fn execute_group_points(&self, g: u64, body: &PointBody) -> Result<(), String> {
         let (glo, ghi) = self.group_ranges[g as usize];
         let mut idx = vec![0i64; self.depth];
         idx[..self.level].copy_from_slice(&self.outer);
@@ -225,7 +256,43 @@ impl Wave {
                     rem /= n;
                 }
                 self.points.fetch_add(1, Ordering::Relaxed);
-                (self.body)(&idx)?;
+                body(&idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run-granular traversal of group `g`: the same lexicographic point
+    /// order as [`Wave::execute_group_points`], delivered as contiguous
+    /// innermost spans. When the partitioned level *is* the innermost
+    /// one, each group contributes a single span (its `ℓ`-range);
+    /// otherwise every non-innermost index tuple yields one full
+    /// innermost span.
+    fn execute_group_runs(&self, g: u64, body: &RunBody) -> Result<(), String> {
+        let (glo, ghi) = self.group_ranges[g as usize];
+        if self.level + 1 == self.depth {
+            // The innermost level is partitioned: the group's range is
+            // one run, with the wave's outer tuple as the prefix.
+            self.points.fetch_add(ghi - glo, Ordering::Relaxed);
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            return body(&self.outer, self.lo + glo as i64, self.lo + ghi as i64);
+        }
+        let mid = &self.inner_counts[..self.inner_counts.len() - 1];
+        let n_last = *self.inner_counts.last().expect("level < depth - 1");
+        let mid_total: u64 = mid.iter().product();
+        let mut prefix = vec![0i64; self.depth - 1];
+        prefix[..self.level].copy_from_slice(&self.outer);
+        for l in glo..ghi {
+            prefix[self.level] = self.lo + l as i64;
+            for t in 0..mid_total {
+                let mut rem = t;
+                for (k, &n) in mid.iter().enumerate().rev() {
+                    prefix[self.level + 1 + k] = (rem % n) as i64;
+                    rem /= n;
+                }
+                self.points.fetch_add(n_last, Ordering::Relaxed);
+                self.runs.fetch_add(1, Ordering::Relaxed);
+                body(&prefix, 0, n_last as i64)?;
             }
         }
         Ok(())
@@ -250,6 +317,28 @@ pub fn run_partitioned(
     part: &PartitionPlan,
     body: Arc<PointBody>,
 ) -> Result<ExecReport, String> {
+    run_partitioned_body(
+        pool,
+        trip_counts,
+        level,
+        level_lo,
+        part,
+        NestBody::Point(body),
+    )
+}
+
+/// [`run_partitioned`] at either granularity: a [`NestBody::Run`] body
+/// receives contiguous innermost spans `(prefix, t0..t1)` instead of
+/// single points, with identical traversal order, wavefront chaining,
+/// placement and error/panic semantics.
+pub fn run_partitioned_body(
+    pool: &Arc<Pool>,
+    trip_counts: &[u64],
+    level: usize,
+    level_lo: i64,
+    part: &PartitionPlan,
+    body: NestBody,
+) -> Result<ExecReport, String> {
     if level >= trip_counts.len() {
         return Err(format!(
             "partition level {level} out of range for a depth-{} nest",
@@ -262,6 +351,7 @@ pub fn run_partitioned(
         waves: 0,
         wavefront: part.wavefront,
         points: 0,
+        runs: 0,
         spawned: 0,
         caller_ran: 0,
         group_domains: Vec::new(),
@@ -302,6 +392,7 @@ pub fn run_partitioned(
             finished: AtomicU64::new(0),
             error: Mutex::new(None),
             points: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
             caller_ran: AtomicU64::new(0),
         });
         if part.wavefront {
@@ -362,6 +453,7 @@ pub fn run_partitioned(
         report.waves += 1;
         report.caller_ran += wave.caller_ran.load(Ordering::Relaxed);
         report.points += wave.points.load(Ordering::Relaxed);
+        report.runs += wave.runs.load(Ordering::Relaxed);
         let err = wave.error.lock().clone();
         if let Some(e) = err {
             return Err(e);
@@ -606,6 +698,87 @@ mod tests {
         run_partitioned(&p, &trips, 0, 10, &part, body).unwrap();
         p.wait_quiescent();
         assert_eq!(sum.load(Ordering::SeqCst), 10 + 11 + 12 + 13);
+    }
+
+    /// A run-granular body sees every point exactly once, as contiguous
+    /// innermost spans, when an *outer* level is partitioned.
+    #[test]
+    fn run_body_covers_every_point_once_outer_level() {
+        let nest = LoopNest::matmul_like(4, 3, 5);
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let plan = plans.iter().find(|p| p.level == 1).unwrap();
+        let part = PartitionPlan::new(plan, 3, 2);
+        let seen: Arc<Vec<AtomicU64>> = Arc::new((0..60).map(|_| AtomicU64::new(0)).collect());
+        let s2 = seen.clone();
+        let body: Arc<RunBody> = Arc::new(move |prefix, t0, t1| {
+            assert_eq!(prefix.len(), 2, "all levels but the innermost");
+            for t in t0..t1 {
+                s2[((prefix[0] * 3 + prefix[1]) * 5 + t) as usize].fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(())
+        });
+        let p = pool(Topology::flat(2));
+        let rep =
+            run_partitioned_body(&p, &nest.trip_counts, 1, 0, &part, NestBody::Run(body)).unwrap();
+        p.wait_quiescent();
+        assert_eq!(rep.points, 60);
+        assert_eq!(rep.runs, 12, "one full innermost span per (i, j)");
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "point {i}");
+        }
+    }
+
+    /// When the partitioned level *is* the innermost one, each group's
+    /// range arrives as a single span (offset by `level_lo`).
+    #[test]
+    fn run_body_spans_partitioned_innermost_level() {
+        let trips = [8u64];
+        let nest = LoopNest::elementwise(8, 1);
+        let plans = schedule_all_levels(&nest, &SspConfig::default());
+        let part = PartitionPlan::new(&plans[0], 8, 4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let runs = Arc::new(AtomicU64::new(0));
+        let (s2, r2) = (sum.clone(), runs.clone());
+        let body: Arc<RunBody> = Arc::new(move |prefix, t0, t1| {
+            assert!(prefix.is_empty());
+            r2.fetch_add(1, Ordering::SeqCst);
+            for t in t0..t1 {
+                s2.fetch_add(t as u64, Ordering::SeqCst);
+            }
+            Ok(())
+        });
+        let p = pool(Topology::flat(2));
+        let rep = run_partitioned_body(&p, &trips, 0, 100, &part, NestBody::Run(body)).unwrap();
+        p.wait_quiescent();
+        assert_eq!(rep.points, 8);
+        assert_eq!(rep.runs, runs.load(Ordering::SeqCst));
+        assert_eq!(sum.load(Ordering::SeqCst), (100..108).sum::<u64>());
+    }
+
+    /// Run-body errors propagate like point-body errors.
+    #[test]
+    fn run_body_errors_propagate() {
+        let nest = LoopNest::elementwise(6, 4);
+        let plan = plan_native_nest(&nest, &SspConfig::default(), &[0], 3).unwrap();
+        let body: Arc<RunBody> = Arc::new(|prefix, _, _| {
+            if prefix[0] == 4 {
+                Err("run failed".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        let p = pool(Topology::flat(2));
+        let err = run_partitioned_body(
+            &p,
+            &nest.trip_counts,
+            0,
+            0,
+            &plan.partition,
+            NestBody::Run(body),
+        )
+        .unwrap_err();
+        p.wait_quiescent();
+        assert!(err.contains("run failed"));
     }
 
     /// Planning restricted to `allowed_levels` never picks a forbidden

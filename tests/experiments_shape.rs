@@ -445,29 +445,31 @@ fn e18_ssp_native_is_correct_and_places_groups() {
             .to_string()
     };
     for topo in ["flat", "2-dom"] {
-        // Correctness first: the SSP path computes what the naive path
-        // computes (matmul), and the wavefront path reproduces the exact
-        // sequential recurrence where naive is a race.
-        assert_eq!(
-            cell("litlx-matmul", "ssp", topo, "check"),
-            cell("litlx-matmul", "naive", topo, "check"),
-            "{topo}: ssp matmul diverged"
-        );
-        let n = 48u64; // Quick-scale scan length
-        let expected = (3 + n * (n - 1) / 2).to_string();
-        assert_eq!(cell("litlx-scan", "ssp", topo, "check"), expected);
-        assert_eq!(cell("litlx-scan", "ssp", topo, "wavefronts"), "1");
+        // Correctness first: both SSP kernel modes compute what the naive
+        // path computes (matmul), and the wavefront path reproduces the
+        // exact sequential recurrence where naive is a race.
+        for ssp in ["ssp-interp", "ssp-comp"] {
+            assert_eq!(
+                cell("litlx-matmul", ssp, topo, "check"),
+                cell("litlx-matmul", "naive", topo, "check"),
+                "{topo}: {ssp} matmul diverged"
+            );
+            let n = 48u64; // Quick-scale scan length
+            let expected = (3 + n * (n - 1) / 2).to_string();
+            assert_eq!(cell("litlx-scan", ssp, topo, "check"), expected);
+            assert_eq!(cell("litlx-scan", ssp, topo, "wavefronts"), "1");
+            // The pipelined paths actually pipelined.
+            assert!(
+                cell("litlx-matmul", ssp, topo, "pipelined")
+                    .parse::<u64>()
+                    .unwrap()
+                    >= 1
+            );
+        }
         assert_eq!(
             cell("md-force", "ssp", topo, "check"),
             cell("md-force", "naive", topo, "check"),
             "{topo}: ssp md potential diverged"
-        );
-        // The pipelined paths actually pipelined.
-        assert!(
-            cell("litlx-matmul", "ssp", topo, "pipelined")
-                .parse::<u64>()
-                .unwrap()
-                >= 1
         );
         assert!(
             cell("md-force", "ssp", topo, "pipelined")
@@ -476,11 +478,17 @@ fn e18_ssp_native_is_correct_and_places_groups() {
                 >= 2
         );
         // And every SSP row records domain placements.
-        for workload in ["litlx-matmul", "litlx-scan", "md-force"] {
-            let spawns = cell(workload, "ssp", topo, "dom_spawns");
+        for (workload, path) in [
+            ("litlx-matmul", "ssp-interp"),
+            ("litlx-matmul", "ssp-comp"),
+            ("litlx-scan", "ssp-interp"),
+            ("litlx-scan", "ssp-comp"),
+            ("md-force", "ssp"),
+        ] {
+            let spawns = cell(workload, path, topo, "dom_spawns");
             assert!(
                 spawns.split('/').any(|d| d.parse::<u64>().unwrap() > 0),
-                "{workload}/{topo}: no domain spawns recorded: {spawns}"
+                "{workload}/{path}/{topo}: no domain spawns recorded: {spawns}"
             );
         }
     }

@@ -1,0 +1,285 @@
+//! Differential tests for the LITL-X kernel compiler: naive fan-out,
+//! interpreted SSP, and compiled SSP must agree on every lowerable nest.
+//!
+//! ## Where bitwise equality holds — and where it cannot
+//!
+//! * **Interpreted SSP vs compiled SSP** is compared *bitwise on any
+//!   data, fractional included*: the compiler preserves the tape's
+//!   evaluation order exactly (single in-order accumulator for the
+//!   dot-accum shape, no reassociation — see `litlx::lang::compile`), and
+//!   SSP group execution order is the sequential lexicographic order, so
+//!   the two paths perform the same float operations in the same order.
+//! * **Naive vs SSP** cannot be compared with a *parallel* naive run at
+//!   all: the generated nests carry genuine dependences (offset stores),
+//!   which the flat fan-out races on by design — its output is
+//!   scheduler-dependent. The naive reference is therefore the
+//!   single-worker naive executor, which claims and executes chunks in
+//!   order (exactly sequential). Even order-independent `+=` programs
+//!   would additionally need integer-valued data for a parallel-naive
+//!   comparison: the naive fan-out commits its CAS accumulates in
+//!   scheduler-dependent order, and float addition does not reassociate.
+//!   The generator emits integer-valued programs anyway (every
+//!   intermediate a small exactly-representable integer), so all
+//!   comparisons in this suite are bitwise — no approximate tolerance
+//!   anywhere.
+//!
+//! The 256-case sweep is an explicit seed loop rather than a `proptest!`
+//! block: the vendored proptest honors `PROPTEST_CASES` from the
+//! environment (CI pins it to 64), which would silently shrink a
+//! `with_cases(256)` config below the acceptance bar.
+
+use htvm_core::Topology;
+use litlx::lang::{parse, Interp, KernelMode, LoopStrategy, Program, RunOutput};
+
+/// Deterministic per-seed generator state (same scheme as
+/// `tests/ssp_native.rs`).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random affine nest over integer-valued data: `t` is stored through
+/// mixed-radix strides plus small offsets (which create genuine carried
+/// dependences and unprovable accesses), `s` is read-only. All values
+/// stay small integers, so f64 arithmetic is exact in any order.
+fn gen_program(seed: u64) -> String {
+    let mut r = Lcg(seed.wrapping_add(0x9e3779b97f4a7c15));
+    let depth = 1 + r.below(3) as usize;
+    let trips: Vec<u64> = (0..depth).map(|_| 2 + r.below(3)).collect();
+    let points: u64 = trips.iter().product();
+    let strides: Vec<u64> = (0..depth)
+        .map(|l| trips[l + 1..].iter().product::<u64>())
+        .collect();
+    let pad = 4u64;
+    let t_len = points + pad;
+    let s_len = points + pad;
+    let vars = ["v0", "v1", "v2"];
+    let mr = |r: &mut Lcg| -> String {
+        let off = r.below(pad);
+        let terms: Vec<String> = (0..depth)
+            .map(|l| format!("{} * {}", vars[l], strides[l]))
+            .collect();
+        format!("{} + {off}", terms.join(" + "))
+    };
+    let expr = |r: &mut Lcg| -> String {
+        match r.below(5) {
+            0 => format!("{}", 1 + r.below(4)),
+            1 => vars[r.below(depth as u64) as usize].to_string(),
+            2 => format!("s[{}]", mr(r)),
+            3 => format!("t[{}]", mr(r)),
+            _ => format!(
+                "{} * {} + {}",
+                vars[r.below(depth as u64) as usize],
+                1 + r.below(3),
+                1 + r.below(4)
+            ),
+        }
+    };
+    let stores = 1 + r.below(2);
+    let mut body = String::new();
+    for _ in 0..stores {
+        let opch = if r.below(3) == 0 { "+=" } else { "=" };
+        let lhs = mr(&mut r);
+        let e1 = expr(&mut r);
+        let e2 = expr(&mut r);
+        body.push_str(&format!("t[{lhs}] {opch} {e1} + {e2}; "));
+    }
+    let mut nest = body;
+    for l in (0..depth).rev() {
+        let kw = if l == 0 || r.below(2) == 0 {
+            "forall"
+        } else {
+            "for"
+        };
+        nest = format!("{kw} {} in 0..{} {{ {nest} }}", vars[l], trips[l]);
+    }
+    format!(
+        "fn main() {{
+            let s = array({s_len});
+            let t = array({t_len});
+            for q in 0..{s_len} {{ s[q] = q % 5 + 1; }}
+            for q in 0..{t_len} {{ t[q] = q % 3; }}
+            {nest}
+            for q in 0..{t_len} {{ print(t[q]); }}
+        }}"
+    )
+}
+
+fn run_ssp(p: &Program, mode: KernelMode) -> RunOutput {
+    Interp::with_topology(Topology::domains(2, 2))
+        .with_strategy(LoopStrategy::Ssp)
+        .with_kernel_mode(mode)
+        .run(p)
+        .expect("ssp run")
+}
+
+/// The acceptance sweep: 256 random affine nests through all three
+/// execution paths, compared bitwise (integer-valued data — see the
+/// module docs for why that makes naive comparable at all).
+#[test]
+fn differential_naive_interp_compiled_256_cases() {
+    for seed in 0..256u64 {
+        let src = gen_program(seed);
+        let p = parse(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated program failed to parse: {e}"));
+        let naive = Interp::new(1).run(&p).expect("naive run");
+        let interp = run_ssp(&p, KernelMode::Interpreted);
+        let compiled = run_ssp(&p, KernelMode::Compiled);
+        for (name, out) in [("interp", &interp), ("compiled", &compiled)] {
+            assert_eq!(
+                out.ssp_bailouts, 0,
+                "seed {seed} ({name}): generator left the lowerable fragment:\n{src}"
+            );
+            assert_eq!(
+                out.ssp_foralls, 1,
+                "seed {seed} ({name}): nest did not take the SSP path:\n{src}"
+            );
+        }
+        assert_eq!(interp.ssp_compiled, 0, "seed {seed}");
+        assert_eq!(
+            compiled.ssp_compiled, compiled.ssp_foralls,
+            "seed {seed}: compiled mode must run the compiled kernel:\n{src}"
+        );
+        assert_eq!(
+            interp.printed, naive.printed,
+            "seed {seed}: interpreted SSP diverged from naive:\n{src}"
+        );
+        assert_eq!(
+            compiled.printed, interp.printed,
+            "seed {seed}: compiled SSP diverged from interpreted SSP:\n{src}"
+        );
+    }
+}
+
+/// Fractional data: naive ordering is not comparable, but interpreted vs
+/// compiled SSP must still match bitwise — including through a dot-accum
+/// reduction, the shape where an unsound compiler would reassociate.
+#[test]
+fn fractional_matmul_interp_vs_compiled_bitwise() {
+    let src = "fn main() {
+        let n = 10;
+        let a = array(n * n); let b = array(n * n); let c = array(n * n);
+        for q in 0..n * n { a[q] = q / 7 + 1 / 3; b[q] = q / 11 - 1 / 9; }
+        forall i in 0..n { forall j in 0..n { for k in 0..n {
+            c[i * n + j] += a[i * n + k] * b[k * n + j];
+        } } }
+        for q in 0..n * n { print(c[q]); } }";
+    let p = parse(src).unwrap();
+    let interp = run_ssp(&p, KernelMode::Interpreted);
+    let compiled = run_ssp(&p, KernelMode::Compiled);
+    assert_eq!(interp.ssp_bailouts, 0);
+    assert_eq!(
+        compiled.printed, interp.printed,
+        "dot-accum must not reassociate"
+    );
+    assert!(compiled.ssp_compiled >= 1);
+}
+
+/// Targeted case for the fma-map shape (elementwise product, with and
+/// without a hoisted addend) on fractional data.
+#[test]
+fn fractional_elementwise_interp_vs_compiled_bitwise() {
+    for body in ["d[i] = a[i] * b[i];", "d[i] = a[i] * b[i] + k;"] {
+        let src = format!(
+            "fn main() {{
+                let n = 64; let k = 1 / 3;
+                let a = array(n); let b = array(n); let d = array(n);
+                for q in 0..n {{ a[q] = q / 7; b[q] = q / 13 - 2; }}
+                forall i in 0..n {{ {body} }}
+                for q in 0..n {{ print(d[q]); }} }}"
+        );
+        let p = parse(&src).unwrap();
+        let interp = run_ssp(&p, KernelMode::Interpreted);
+        let compiled = run_ssp(&p, KernelMode::Compiled);
+        assert_eq!(interp.ssp_bailouts, 0, "{body}");
+        assert_eq!(compiled.printed, interp.printed, "{body}");
+        assert!(compiled.ssp_compiled >= 1, "{body}");
+    }
+}
+
+/// Targeted case for the tape fallback: a store that aliases a loaded
+/// array keeps the nest off the monomorphized shapes, and a distance-1
+/// recurrence additionally forces the wavefront. Output must still be
+/// bitwise-identical across modes.
+#[test]
+fn recurrence_on_the_tape_interp_vs_compiled_bitwise() {
+    let src = "fn main() {
+        let n = 48;
+        let a = array(n + 1);
+        a[0] = 1 / 3;
+        forall i in 0..n { a[i + 1] = a[i] * 1 / 2 + i; }
+        for q in 0..n + 1 { print(a[q]); } }";
+    let p = parse(src).unwrap();
+    let interp = run_ssp(&p, KernelMode::Interpreted);
+    let compiled = run_ssp(&p, KernelMode::Compiled);
+    assert_eq!(interp.ssp_bailouts, 0);
+    assert_eq!(interp.ssp_wavefronts, 1, "distance-1 dep must wavefront");
+    assert_eq!(compiled.ssp_wavefronts, 1);
+    assert_eq!(compiled.printed, interp.printed);
+}
+
+/// Bounds-hoist bail-out, benign case: an access the prover cannot bound
+/// (`t[v0 * 3 + off]` with the offset pushing past the proven box) runs
+/// on the checked fallback and still matches the interpreter when every
+/// runtime index is in bounds.
+#[test]
+fn unproven_access_in_bounds_matches_across_modes() {
+    let src = "fn main() {
+        let n = 20;
+        let t = array(n + 3);
+        for q in 0..n + 3 { t[q] = q % 4; }
+        forall i in 0..n { t[i + 3] += i * 2; }
+        for q in 0..n + 3 { print(t[q]); } }";
+    let p = parse(src).unwrap();
+    let naive = Interp::new(1).run(&p).expect("sequential");
+    let interp = run_ssp(&p, KernelMode::Interpreted);
+    let compiled = run_ssp(&p, KernelMode::Compiled);
+    assert_eq!(interp.ssp_bailouts, 0);
+    assert_eq!(interp.printed, naive.printed);
+    assert_eq!(compiled.printed, interp.printed);
+}
+
+/// Bounds-hoist bail-out, faulting case: when an unproven access really
+/// is out of bounds at runtime, both modes fail with the same
+/// lazily-formatted message (the compiled path must not have traded the
+/// check away, and must not pay for `format!` on the in-bounds points).
+#[test]
+fn unproven_access_out_of_bounds_errors_identically() {
+    let src = "fn main() {
+        let n = 10;
+        let t = array(n);
+        forall i in 0..n { t[i + 3] = 1; }
+        print(t[0]); }";
+    let p = parse(src).unwrap();
+    let e_interp = Interp::with_topology(Topology::flat(2))
+        .with_strategy(LoopStrategy::Ssp)
+        .with_kernel_mode(KernelMode::Interpreted)
+        .run(&p)
+        .expect_err("index 12 exceeds length 10");
+    let e_compiled = Interp::with_topology(Topology::flat(2))
+        .with_strategy(LoopStrategy::Ssp)
+        .with_kernel_mode(KernelMode::Compiled)
+        .run(&p)
+        .expect_err("index 12 exceeds length 10");
+    assert!(
+        e_interp.contains("out of bounds"),
+        "unexpected error: {e_interp}"
+    );
+    // The first fault the wave reports depends on group scheduling, so
+    // compare the shape of the message, not the exact index.
+    assert!(
+        e_compiled.contains("out of bounds"),
+        "unexpected error: {e_compiled}"
+    );
+}
