@@ -1,0 +1,585 @@
+//! BubbleSched-style dynamic placement: pinned subtrees as **bubbles**,
+//! plus elastic worker-count advice — the policy loop that finally
+//! *consumes* the steal/imbalance signals the pool has been collecting.
+//!
+//! Thibault et al.'s BubbleSched line models an application's thread
+//! groups as *bubbles* laid onto a hierarchical machine: the scheduler
+//! may **migrate** a bubble to another level node, **burst** it (dissolve
+//! the grouping and let members spread), or **gang** a burst bubble back
+//! together when locality would pay again. Here a bubble stands for a
+//! pinned LGT subtree (or a serving tenant's home): its placement is one
+//! of
+//!
+//! * [`BubblePlacement::Pinned`]`(d)` — members spawn with domain-`d`
+//!   affinity (the `Htvm::lgt_in` / tenant-home path);
+//! * [`BubblePlacement::Burst`] — members spawn unpinned and the work
+//!   spreads by ordinary stealing.
+//!
+//! [`BubblePolicy`] is a *plain-data* controller in the htvm-adapt
+//! tradition: it never touches a pool. Each control period the driver
+//! (e.g. `htvm_serve`'s autopilot, or the e20 experiment) snapshots the
+//! pool — per-domain traffic deltas ([`DomainTraffic`]), queue depths,
+//! active/vacant worker counts — into a [`BubbleSignals`], calls
+//! [`BubblePolicy::step`], and applies the returned
+//! [`BubbleDecision`]s: re-homing bubbles and growing/retiring workers.
+//! The policy owns the placement state and hysteresis (cooldowns, idle
+//! streaks), so drivers stay stateless.
+//!
+//! The decision rules, in priority order per step:
+//!
+//! 1. **Grow** when queued work per active worker exceeds
+//!    [`BubblePolicyCfg::grow_queue_per_worker`] and a vacant slot
+//!    exists — aimed at the deepest-queued domain with vacancy.
+//! 2. **Retire** after [`BubblePolicyCfg::retire_idle_steps`] consecutive
+//!    fully-idle observations (no queue anywhere, every worker parked),
+//!    aimed at the domain with the most active workers — the serving
+//!    layer shrinks when idle.
+//! 3. **Burst** a pinned bubble whose home domain is the congestion
+//!    source: remote steal ratio above
+//!    [`BubblePolicyCfg::burst_remote_ratio`] means other domains are
+//!    feeding on the home's backlog anyway, so stop paying for the pin.
+//! 4. **Gang** a burst bubble back onto the least-loaded domain once the
+//!    remote ratio falls below [`BubblePolicyCfg::gang_remote_ratio`].
+//! 5. **Migrate** the heaviest bubble off the busiest domain when the
+//!    per-domain load imbalance exceeds
+//!    [`BubblePolicyCfg::imbalance_threshold`] — the BubbleSched move
+//!    proper, re-pinning onto the lightest domain.
+//!
+//! Every placement change starts a per-bubble cooldown
+//! ([`BubblePolicyCfg::cooldown_steps`]) so the loop converges instead of
+//! flapping between two homes.
+
+use crate::locality::DomainTraffic;
+
+/// Where a bubble's members are spawned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BubblePlacement {
+    /// Members carry affinity for one locality domain.
+    Pinned(usize),
+    /// The bubble is dissolved: members spawn unpinned and spread.
+    Burst,
+}
+
+/// One control-period snapshot of the pool, as plain data. All
+/// per-domain vectors are indexed by domain and must agree with
+/// `traffic.num_domains()`.
+#[derive(Debug, Clone)]
+pub struct BubbleSignals {
+    /// Steal/execution traffic since the previous step (a delta, not a
+    /// cumulative total — feed `PoolStats::since` through
+    /// `DomainTraffic::new`).
+    pub traffic: DomainTraffic,
+    /// Approximate queued (not yet running) jobs homed per domain:
+    /// domain injector depth plus member deque depths.
+    pub queued_by_domain: Vec<u64>,
+    /// Approximate queued jobs with no domain affinity.
+    pub queued_global: u64,
+    /// Active (threaded) workers per domain.
+    pub active_by_domain: Vec<usize>,
+    /// Vacant growable slots per domain.
+    pub vacant_by_domain: Vec<usize>,
+    /// Workers currently parked in the sleeper registry.
+    pub parked_workers: usize,
+}
+
+impl BubbleSignals {
+    /// Total queued jobs across every queue.
+    pub fn total_queued(&self) -> u64 {
+        self.queued_global + self.queued_by_domain.iter().sum::<u64>()
+    }
+
+    /// Total active workers.
+    pub fn total_active(&self) -> usize {
+        self.active_by_domain.iter().sum()
+    }
+
+    /// Per-domain executed counts normalized by active workers — the
+    /// policy's load measure (a domain with twice the workers is allowed
+    /// twice the jobs before it reads as "busier").
+    fn load_per_worker(&self) -> Vec<f64> {
+        self.traffic
+            .executed
+            .iter()
+            .zip(&self.active_by_domain)
+            .map(|(&e, &a)| e as f64 / a.max(1) as f64)
+            .collect()
+    }
+
+    /// Coefficient of variation of per-worker domain loads (0 = balanced;
+    /// the plain-data mirror of `PoolStats::imbalance_by_domain`).
+    pub fn domain_imbalance(&self) -> f64 {
+        let loads = self.load_per_worker();
+        let n = loads.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = loads.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Per-bubble share of one control period, as plain data.
+#[derive(Debug, Clone, Copy)]
+pub struct BubbleLoad {
+    /// The bubble id ([`BubblePolicy::register_bubble`]).
+    pub bubble: usize,
+    /// Jobs this bubble executed since the previous step (e.g. a
+    /// `TagStats::executed` delta).
+    pub executed: u64,
+}
+
+/// One placement or elasticity action for the driver to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BubbleDecision {
+    /// Re-pin a bubble to another domain (BubbleSched migrate).
+    Migrate {
+        /// The bubble to move.
+        bubble: usize,
+        /// Its new home domain.
+        to: usize,
+    },
+    /// Dissolve a bubble: spawn its members unpinned (BubbleSched burst).
+    Burst {
+        /// The bubble to dissolve.
+        bubble: usize,
+    },
+    /// Re-form a burst bubble on a domain (BubbleSched gang).
+    Gang {
+        /// The bubble to re-form.
+        bubble: usize,
+        /// The domain it gangs onto.
+        domain: usize,
+    },
+    /// Activate a vacant worker slot in a domain (`Pool::grow_in`).
+    Grow {
+        /// The domain to grow in.
+        domain: usize,
+    },
+    /// Retire one worker from a domain (`Pool::retire_in`).
+    Retire {
+        /// The domain to shrink.
+        domain: usize,
+    },
+}
+
+/// Thresholds and hysteresis of the policy loop (see the module header
+/// for the rule each knob gates).
+#[derive(Debug, Clone)]
+pub struct BubblePolicyCfg {
+    /// Per-domain load imbalance (CV) above which the heaviest bubble
+    /// migrates off the busiest domain.
+    pub imbalance_threshold: f64,
+    /// Remote steal ratio above which a pinned bubble on the busiest
+    /// domain bursts.
+    pub burst_remote_ratio: f64,
+    /// Remote steal ratio below which burst bubbles gang back together.
+    pub gang_remote_ratio: f64,
+    /// Queued jobs per active worker that trigger a grow.
+    pub grow_queue_per_worker: u64,
+    /// Consecutive fully-idle steps before a retire is advised.
+    pub retire_idle_steps: u32,
+    /// Never advise retiring below this many active workers.
+    pub min_workers: usize,
+    /// Steps a bubble sits out after any placement change.
+    pub cooldown_steps: u32,
+    /// Ignore placement rules on steps with fewer total steals than this
+    /// (too little signal to steer).
+    pub min_steals: u64,
+}
+
+impl Default for BubblePolicyCfg {
+    fn default() -> Self {
+        Self {
+            imbalance_threshold: 0.5,
+            burst_remote_ratio: 0.6,
+            gang_remote_ratio: 0.15,
+            grow_queue_per_worker: 4,
+            retire_idle_steps: 3,
+            min_workers: 1,
+            cooldown_steps: 2,
+            min_steals: 16,
+        }
+    }
+}
+
+struct BubbleState {
+    placement: BubblePlacement,
+    cooldown: u32,
+}
+
+/// The stepped placement/elasticity controller (see the module header).
+pub struct BubblePolicy {
+    cfg: BubblePolicyCfg,
+    bubbles: Vec<BubbleState>,
+    idle_streak: u32,
+}
+
+impl BubblePolicy {
+    /// A policy with the given thresholds and no bubbles yet.
+    pub fn new(cfg: BubblePolicyCfg) -> Self {
+        Self {
+            cfg,
+            bubbles: Vec::new(),
+            idle_streak: 0,
+        }
+    }
+
+    /// Register a bubble pinned to `home`; returns its id (dense, stable,
+    /// usable as the [`BubbleLoad::bubble`] index).
+    pub fn register_bubble(&mut self, home: usize) -> usize {
+        self.bubbles.push(BubbleState {
+            placement: BubblePlacement::Pinned(home),
+            cooldown: 0,
+        });
+        self.bubbles.len() - 1
+    }
+
+    /// The policy's current placement for a bubble.
+    ///
+    /// # Panics
+    /// Panics if `bubble` was never registered.
+    pub fn placement(&self, bubble: usize) -> BubblePlacement {
+        self.bubbles[bubble].placement
+    }
+
+    /// Number of registered bubbles.
+    pub fn num_bubbles(&self) -> usize {
+        self.bubbles.len()
+    }
+
+    /// Advance one control period: digest the snapshot, update internal
+    /// placement state, and return the actions for the driver to apply
+    /// (at most one elastic action and at most one placement action per
+    /// step — small steps keep the loop observable and reversible).
+    pub fn step(&mut self, signals: &BubbleSignals, loads: &[BubbleLoad]) -> Vec<BubbleDecision> {
+        for b in &mut self.bubbles {
+            b.cooldown = b.cooldown.saturating_sub(1);
+        }
+        let mut out = Vec::new();
+        if let Some(d) = self.elastic_step(signals) {
+            out.push(d);
+        }
+        if let Some(d) = self.placement_step(signals, loads) {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Rules 1–2: grow under queue pressure, retire after an idle streak.
+    fn elastic_step(&mut self, s: &BubbleSignals) -> Option<BubbleDecision> {
+        let active = s.total_active();
+        let queued = s.total_queued();
+        if queued > self.cfg.grow_queue_per_worker * active.max(1) as u64 {
+            self.idle_streak = 0;
+            // Deepest-queued domain that still has a vacant slot; an
+            // unaffine backlog (queued_global) grows wherever room is.
+            let target = (0..s.vacant_by_domain.len())
+                .filter(|&d| s.vacant_by_domain[d] > 0)
+                .max_by_key(|&d| s.queued_by_domain[d])?;
+            return Some(BubbleDecision::Grow { domain: target });
+        }
+        if queued == 0 && s.parked_workers >= active && active > self.cfg.min_workers {
+            self.idle_streak += 1;
+            if self.idle_streak >= self.cfg.retire_idle_steps {
+                self.idle_streak = 0;
+                let target =
+                    (0..s.active_by_domain.len()).max_by_key(|&d| s.active_by_domain[d])?;
+                return Some(BubbleDecision::Retire { domain: target });
+            }
+        } else {
+            self.idle_streak = 0;
+        }
+        None
+    }
+
+    /// Rules 3–5: burst, gang, migrate — one action per step, first rule
+    /// that fires wins.
+    fn placement_step(
+        &mut self,
+        s: &BubbleSignals,
+        loads: &[BubbleLoad],
+    ) -> Option<BubbleDecision> {
+        if s.traffic.total_steals() < self.cfg.min_steals {
+            return None;
+        }
+        let remote = s.traffic.remote_ratio();
+        let imbalance = s.domain_imbalance();
+        let busiest = s.traffic.busiest_domain()?;
+        let lightest = {
+            let loads = s.load_per_worker();
+            (0..loads.len()).min_by(|&a, &b| {
+                loads[a]
+                    .partial_cmp(&loads[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })?
+        };
+        // Heaviest bubble per placement, by executed delta.
+        let heaviest_on = |domain: usize, policy: &Self| -> Option<usize> {
+            loads
+                .iter()
+                .filter(|l| {
+                    policy.bubbles.get(l.bubble).is_some_and(|b| {
+                        b.cooldown == 0 && b.placement == BubblePlacement::Pinned(domain)
+                    })
+                })
+                .max_by_key(|l| l.executed)
+                .map(|l| l.bubble)
+        };
+        if remote > self.cfg.burst_remote_ratio {
+            // Rule 3: the home domain is a congestion source — thieves
+            // cross into it anyway, so the pin only serializes dispatch.
+            if let Some(bubble) = heaviest_on(busiest, self) {
+                self.bubbles[bubble].placement = BubblePlacement::Burst;
+                self.bubbles[bubble].cooldown = self.cfg.cooldown_steps;
+                return Some(BubbleDecision::Burst { bubble });
+            }
+        }
+        if remote < self.cfg.gang_remote_ratio {
+            // Rule 4: locality is cheap again — re-form one burst bubble
+            // on the lightest domain.
+            if let Some(bubble) = self
+                .bubbles
+                .iter()
+                .position(|b| b.cooldown == 0 && b.placement == BubblePlacement::Burst)
+            {
+                self.bubbles[bubble].placement = BubblePlacement::Pinned(lightest);
+                self.bubbles[bubble].cooldown = self.cfg.cooldown_steps;
+                return Some(BubbleDecision::Gang {
+                    bubble,
+                    domain: lightest,
+                });
+            }
+        }
+        if imbalance > self.cfg.imbalance_threshold && busiest != lightest {
+            // Rule 5: migrate the heaviest bubble off the busiest domain.
+            if let Some(bubble) = heaviest_on(busiest, self) {
+                self.bubbles[bubble].placement = BubblePlacement::Pinned(lightest);
+                self.bubbles[bubble].cooldown = self.cfg.cooldown_steps;
+                return Some(BubbleDecision::Migrate {
+                    bubble,
+                    to: lightest,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signals(
+        executed: Vec<u64>,
+        local_steals: Vec<u64>,
+        remote_steals: Vec<u64>,
+        queued: Vec<u64>,
+        active: Vec<usize>,
+        vacant: Vec<usize>,
+        parked: usize,
+    ) -> BubbleSignals {
+        BubbleSignals {
+            traffic: DomainTraffic::new(executed, local_steals, remote_steals),
+            queued_by_domain: queued,
+            queued_global: 0,
+            active_by_domain: active,
+            vacant_by_domain: vacant,
+            parked_workers: parked,
+        }
+    }
+
+    #[test]
+    fn migrates_heaviest_bubble_off_busiest_domain() {
+        let mut p = BubblePolicy::new(BubblePolicyCfg::default());
+        let light = p.register_bubble(0);
+        let heavy = p.register_bubble(0);
+        // Domain 0 does all the work; steals are mostly local (remote ratio
+        // well below the burst threshold), and the imbalance is extreme.
+        let s = signals(
+            vec![900, 10],
+            vec![20, 0],
+            vec![5, 15],
+            vec![4, 0],
+            vec![2, 2],
+            vec![0, 0],
+            0,
+        );
+        let loads = [
+            BubbleLoad {
+                bubble: light,
+                executed: 100,
+            },
+            BubbleLoad {
+                bubble: heavy,
+                executed: 800,
+            },
+        ];
+        let d = p.step(&s, &loads);
+        assert_eq!(
+            d,
+            vec![BubbleDecision::Migrate {
+                bubble: heavy,
+                to: 1
+            }]
+        );
+        assert_eq!(p.placement(heavy), BubblePlacement::Pinned(1));
+        assert_eq!(p.placement(light), BubblePlacement::Pinned(0));
+        // Cooldown: the same snapshot fed straight back moves nothing
+        // (the migrated bubble sits out; the light one is not heaviest…
+        // it is now the only candidate, but its home no longer matches a
+        // fresh imbalance read in steady state — feed an idle snapshot).
+        let idle = signals(
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![2, 2],
+            vec![0, 0],
+            0,
+        );
+        assert!(p.step(&idle, &loads).is_empty());
+    }
+
+    #[test]
+    fn bursts_under_heavy_remote_traffic_then_gangs_back() {
+        let mut p = BubblePolicy::new(BubblePolicyCfg {
+            cooldown_steps: 1,
+            ..BubblePolicyCfg::default()
+        });
+        let b = p.register_bubble(0);
+        let congested = signals(
+            vec![500, 100],
+            vec![5, 0],
+            vec![10, 90],
+            vec![8, 0],
+            vec![2, 2],
+            vec![0, 0],
+            0,
+        );
+        let loads = [BubbleLoad {
+            bubble: b,
+            executed: 500,
+        }];
+        let d = p.step(&congested, &loads);
+        assert_eq!(d, vec![BubbleDecision::Burst { bubble: b }]);
+        assert_eq!(p.placement(b), BubblePlacement::Burst);
+        // Once remote traffic subsides, the bubble gangs back onto the
+        // lightest domain.
+        let calm = signals(
+            vec![300, 320],
+            vec![20, 20],
+            vec![2, 1],
+            vec![0, 0],
+            vec![2, 2],
+            vec![0, 0],
+            0,
+        );
+        let mut ganged = Vec::new();
+        for _ in 0..3 {
+            ganged.extend(p.step(&calm, &loads));
+        }
+        assert!(
+            ganged
+                .iter()
+                .any(|d| matches!(d, BubbleDecision::Gang { bubble, .. } if *bubble == b)),
+            "{ganged:?}"
+        );
+        assert!(matches!(p.placement(b), BubblePlacement::Pinned(_)));
+    }
+
+    #[test]
+    fn grows_under_queue_pressure_into_a_vacant_domain() {
+        let mut p = BubblePolicy::new(BubblePolicyCfg::default());
+        let s = signals(
+            vec![10, 10],
+            vec![0, 0],
+            vec![0, 0],
+            vec![40, 2],
+            vec![1, 1],
+            vec![0, 2],
+            0,
+        );
+        // Domain 0 is the deepest queue but has no vacancy; the grow goes
+        // to the deepest *growable* domain.
+        assert_eq!(p.step(&s, &[]), vec![BubbleDecision::Grow { domain: 1 }]);
+        // No vacancy anywhere → no grow, however deep the queues.
+        let full = signals(
+            vec![10, 10],
+            vec![0, 0],
+            vec![0, 0],
+            vec![40, 2],
+            vec![1, 1],
+            vec![0, 0],
+            0,
+        );
+        assert!(p.step(&full, &[]).is_empty());
+    }
+
+    #[test]
+    fn retires_only_after_a_sustained_idle_streak() {
+        let mut p = BubblePolicy::new(BubblePolicyCfg::default());
+        let idle = signals(
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![2, 1],
+            vec![0, 1],
+            3,
+        );
+        assert!(p.step(&idle, &[]).is_empty());
+        assert!(p.step(&idle, &[]).is_empty());
+        assert_eq!(
+            p.step(&idle, &[]),
+            vec![BubbleDecision::Retire { domain: 0 }],
+            "third consecutive idle step retires from the biggest domain"
+        );
+        // A busy step in between resets the streak.
+        assert!(p.step(&idle, &[]).is_empty());
+        let busy = signals(
+            vec![50, 50],
+            vec![0, 0],
+            vec![0, 0],
+            vec![1, 1],
+            vec![2, 1],
+            vec![0, 1],
+            0,
+        );
+        assert!(p.step(&busy, &[]).is_empty());
+        assert!(p.step(&idle, &[]).is_empty());
+    }
+
+    #[test]
+    fn respects_the_min_worker_floor_and_signal_floor() {
+        let mut p = BubblePolicy::new(BubblePolicyCfg {
+            min_workers: 2,
+            ..BubblePolicyCfg::default()
+        });
+        let idle = signals(vec![0], vec![0], vec![0], vec![0], vec![2], vec![1], 2);
+        for _ in 0..10 {
+            assert!(p.step(&idle, &[]).is_empty(), "at the floor, never retire");
+        }
+        // Below min_steals the placement rules stay quiet even under
+        // pathological ratios.
+        let b = p.register_bubble(0);
+        let noisy = signals(
+            vec![9, 0],
+            vec![0, 0],
+            vec![1, 2],
+            vec![0, 0],
+            vec![1, 1],
+            vec![0, 0],
+            0,
+        );
+        let loads = [BubbleLoad {
+            bubble: b,
+            executed: 9,
+        }];
+        assert!(p.step(&noisy, &loads).is_empty());
+        assert_eq!(p.placement(b), BubblePlacement::Pinned(0));
+    }
+}

@@ -15,6 +15,7 @@
 //! | Structured hints + Program/Execution Knowledge Database (§4.1) | [`hints`] |
 //! | Continuous compilation (static partial schedules completed at run time, §3.3) | [`continuous`] |
 //! | Naive vs SSP-pipelined loop-path selection (§3.3 ∘ §4.1) | [`pipeline`] |
+//! | BubbleSched-style dynamic placement + elastic worker advice | [`bubble`] |
 //!
 //! The modules are runtime-agnostic where possible: schedulers and policies
 //! are plain data structures evaluated either analytically, on recorded
@@ -47,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bubble;
 pub mod continuous;
 pub mod hints;
 pub mod latency;
@@ -56,6 +58,9 @@ pub mod loop_sched;
 pub mod monitor;
 pub mod pipeline;
 
+pub use bubble::{
+    BubbleDecision, BubbleLoad, BubblePlacement, BubblePolicy, BubblePolicyCfg, BubbleSignals,
+};
 pub use continuous::{ContinuousCompiler, PartialSchedule, PolicyOutcome};
 pub use hints::{HintCategory, HintTarget, KnowledgeBase, StructuredHint};
 pub use latency::{AdaptiveConcurrency, EwmaLatency};

@@ -1,0 +1,15 @@
+//! Report binary for e20_elastic: adaptive bubble placement + elastic
+//! workers vs static placement on a skewed multi-tenant load. Prints
+//! the comparison table and honours `--json <path>` /
+//! `HTVM_BENCH_JSON`. `--quick` runs the reduced sweep (what CI's
+//! shape check uses).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        htvm_bench::experiments::Scale::Quick
+    } else {
+        htvm_bench::experiments::Scale::Full
+    };
+    let t = htvm_bench::experiments::e20_elastic(scale);
+    htvm_bench::report::emit("e20_elastic", &[&t]);
+}

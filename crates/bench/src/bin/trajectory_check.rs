@@ -3,7 +3,7 @@
 //! regressed by more than the factor (default 2.0,
 //! `HTVM_TRAJECTORY_FACTOR` to override) — see `htvm_bench::trajectory`.
 
-use htvm_bench::experiments::{e18_ssp_native, e5c_queue_ops, Scale};
+use htvm_bench::experiments::{e18_ssp_native, e20_elastic, e5c_queue_ops, Scale};
 use htvm_bench::report::pool_baseline_path;
 use htvm_bench::trajectory::{compare, factor_from_env, parse_baseline};
 
@@ -36,7 +36,11 @@ fn main() {
         "trajectory check: factor {factor}x against {}",
         path.display()
     );
-    let fresh = [e5c_queue_ops(Scale::Quick), e18_ssp_native(Scale::Quick)];
+    let fresh = [
+        e5c_queue_ops(Scale::Quick),
+        e18_ssp_native(Scale::Quick),
+        e20_elastic(Scale::Quick),
+    ];
     let refs: Vec<&htvm_bench::Table> = fresh.iter().collect();
     let issues = compare(&baseline, &refs, factor);
     for t in &refs {

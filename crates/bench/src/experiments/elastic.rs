@@ -1,0 +1,197 @@
+//! E20: elastic topology — adaptive bubbles vs static placement.
+//!
+//! The serving front-end runs the same skewed multi-tenant load three
+//! ways on a 2-domain pool:
+//!
+//! * **static-mismatch** — every tenant's bubble is pinned to domain 0
+//!   and never moves: the worst-case placement the paper's §2 dynamic
+//!   load adaptation exists to escape. Domain 1's workers only ever see
+//!   work by stealing it across the boundary, so the remote-steal ratio
+//!   is pinned high.
+//! * **static-spread** — tenants are round-robined over the domains at
+//!   registration and frozen there: the best *static* answer when the
+//!   offered load is known in advance.
+//! * **adaptive** — the same mismatched starting pins as
+//!   `static-mismatch`, but the BubbleSched-style autopilot
+//!   (`htvm_serve::Autopilot`) closes the loop: it reads the pool's
+//!   steal/queue/occupancy signals each tick, migrates or bursts the
+//!   tenant bubbles, and grows/retires workers against the pool's
+//!   headroom slots. On a multicore host the adaptive run recovers most
+//!   of the spread configuration's remote-ratio advantage without being
+//!   told the answer; after the drain it hands the grown workers back
+//!   (the `grows`/`retires` columns).
+//!
+//! Wall-clock is reported for all three, but the structural columns
+//! (remote ratio, per-domain executed counters, decision counts) are
+//! the experiment's real output — on a single-CPU host the wall times
+//! collapse together while the placement story stays visible.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use htvm_adapt::BubblePolicyCfg;
+use htvm_core::{DomainId, Pool, Topology};
+use htvm_serve::{AutopilotConfig, NativeParcel, Outcome, Server, ServerConfig, TenantConfig};
+
+use super::Scale;
+use crate::table::{f2, f3, Table};
+
+/// Join a per-domain counter vector into a compact `a/b/c` cell.
+fn by_domain(v: &[u64]) -> String {
+    v.iter().map(u64::to_string).collect::<Vec<_>>().join("/")
+}
+
+struct RunOutcome {
+    wall: Duration,
+    completed: u64,
+}
+
+/// Drive the skewed load: `tenants` each submit `reqs` spin-work
+/// requests in interleaved rounds, then the server drains.
+fn drive(
+    server: &Server,
+    tenants: &[htvm_serve::TenantHandle],
+    reqs: usize,
+    spin: u64,
+) -> RunOutcome {
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(reqs * tenants.len());
+    for _ in 0..reqs {
+        for t in tenants {
+            handles.push(
+                t.submit(NativeParcel::new(move |_| {
+                    let mut acc = 0u64;
+                    for i in 0..spin {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    std::hint::black_box(acc);
+                }))
+                .expect("admission queue sized for the offered load"),
+            );
+        }
+    }
+    let mut completed = 0u64;
+    for h in handles {
+        if h.wait() == Outcome::Completed {
+            completed += 1;
+        }
+    }
+    assert!(
+        server.wait_idle(Duration::from_secs(60)),
+        "elastic load never drained"
+    );
+    RunOutcome {
+        wall: started.elapsed(),
+        completed,
+    }
+}
+
+/// E20 — adaptive bubble placement + elastic workers vs the two static
+/// placements, on one skewed multi-tenant load.
+pub fn e20_elastic(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E20 elastic topology: adaptive bubbles vs static placement",
+        &[
+            "config",
+            "wall_ms",
+            "completed",
+            "exec_by_dom",
+            "remote_ratio",
+            "dom_imbalance",
+            "grows",
+            "retires",
+            "moves m/b/g",
+            "active_end",
+        ],
+    );
+    let workers = scale.pick(4usize, 8);
+    let topology = Topology::domains(2, workers / 2);
+    let reqs = scale.pick(150usize, 1_200);
+    let spin = scale.pick(2_000u64, 8_000);
+    let num_tenants = 3usize;
+    let server_cfg = ServerConfig {
+        max_in_flight: workers * 8,
+        default_queue_capacity: reqs.max(64),
+        max_queued_total: reqs * num_tenants + 64,
+        ..ServerConfig::default()
+    };
+
+    // The two static placements: every bubble frozen where it started.
+    for (name, mismatch) in [("static-mismatch", true), ("static-spread", false)] {
+        let pool = Arc::new(Pool::with_topology(topology.clone()));
+        let server = Server::on_pool(pool.clone(), server_cfg.clone());
+        let tenants: Vec<_> = (0..num_tenants)
+            .map(|k| {
+                server.register_tenant(TenantConfig {
+                    weight: 1,
+                    queue_capacity: None,
+                    home: Some(DomainId(if mismatch { 0 } else { (k % 2) as u64 })),
+                })
+            })
+            .collect();
+        let run = drive(&server, &tenants, reqs, spin);
+        let stats = pool.stats();
+        t.row(&[
+            name.to_string(),
+            f2(run.wall.as_secs_f64() * 1e3),
+            run.completed.to_string(),
+            by_domain(&stats.executed_by_domain()),
+            f3(stats.remote_steal_ratio()),
+            f3(stats.imbalance_by_domain()),
+            stats.grows.to_string(),
+            stats.retires.to_string(),
+            "-".to_string(),
+            pool.active_workers().to_string(),
+        ]);
+        server.shutdown();
+    }
+
+    // Adaptive: the same mismatched start, plus the autopilot and one
+    // vacant headroom slot per domain for it to grow into.
+    {
+        let pool = Arc::new(Pool::with_elastic(topology.clone(), 1));
+        let server = Server::on_pool(pool.clone(), server_cfg.clone());
+        let tenants: Vec<_> = (0..num_tenants)
+            .map(|_| {
+                server.register_tenant(TenantConfig {
+                    weight: 1,
+                    queue_capacity: None,
+                    home: Some(DomainId(0)),
+                })
+            })
+            .collect();
+        let pilot = server.autopilot(AutopilotConfig {
+            interval: Duration::from_millis(1),
+            policy: BubblePolicyCfg {
+                min_steals: 8,
+                cooldown_steps: 4,
+                ..BubblePolicyCfg::default()
+            },
+        });
+        let run = drive(&server, &tenants, reqs, spin);
+        // Idle phase: give the controller a bounded window to hand the
+        // grown workers back before reading the final counters.
+        let grown = pool.stats().grows;
+        let idle_deadline = Instant::now() + Duration::from_secs(10);
+        while grown > 0 && pool.stats().retires == 0 && Instant::now() < idle_deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pilot.stop();
+        let stats = pool.stats();
+        let p = pilot.stats();
+        t.row(&[
+            "adaptive".to_string(),
+            f2(run.wall.as_secs_f64() * 1e3),
+            run.completed.to_string(),
+            by_domain(&stats.executed_by_domain()),
+            f3(stats.remote_steal_ratio()),
+            f3(stats.imbalance_by_domain()),
+            stats.grows.to_string(),
+            stats.retires.to_string(),
+            format!("{}/{}/{}", p.migrates, p.bursts, p.gangs),
+            pool.active_workers().to_string(),
+        ]);
+        server.shutdown();
+    }
+    t
+}

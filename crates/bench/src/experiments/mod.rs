@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod apps;
 pub mod domains;
+pub mod elastic;
 pub mod machine;
 pub mod sched;
 pub mod serving;
@@ -18,6 +19,7 @@ pub use ablations::{
 };
 pub use apps::{e14_neocortex, e15_md, e16_litlx};
 pub use domains::e17_domains;
+pub use elastic::e20_elastic;
 pub use machine::{
     e1_latency_tolerance, e2_parcels, e3_futures, e4_percolation, e5_spawn_costs, e5b_native_spawn,
     e5c_queue_ops,
@@ -72,5 +74,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::Table> {
         e17_domains(scale),
         e18_ssp_native(scale),
         e19_serving(scale),
+        e20_elastic(scale),
     ]
 }

@@ -63,10 +63,10 @@ pub fn emit(id: &str, tables: &[&Table]) {
 
 /// Experiment tables that make up the pool's perf baseline: the spawn/
 /// steal cost pyramid (E5 grain costs, E5b park/wake latency, E5c queue
-/// ops) plus the topology and SSP end-to-end tables (E17, E18) that sit
-/// on top of it.
+/// ops) plus the topology, SSP, and elastic-placement end-to-end tables
+/// (E17, E18, E20) that sit on top of it.
 pub fn is_pool_baseline_table(t: &Table) -> bool {
-    ["E5 ", "E5b", "E5c", "E17", "E18"]
+    ["E5 ", "E5b", "E5c", "E17", "E18", "E20"]
         .iter()
         .any(|p| t.title.starts_with(p))
 }

@@ -16,6 +16,9 @@
 //!   rows this guard exists for.
 //! * **E5c** (queue ops): the `mutex_ns` and `lockfree_ns` columns — the
 //!   scheduling spine's per-op costs.
+//! * **E20** (elastic topology, `config` keyed): the `wall_ms` column —
+//!   the autopilot's control loop must never make the adaptive run
+//!   multiplicatively slower than its committed self.
 //!
 //! A fresh value more than `factor` × its committed value is a
 //! regression; a committed row or column the fresh run no longer
@@ -367,6 +370,11 @@ const GUARDS: &[Guard] = &[
         prefix: "E5c",
         key_cols: &["op", "stealers"],
         metric_cols: &["mutex_ns", "lockfree_ns"],
+    },
+    Guard {
+        prefix: "E20",
+        key_cols: &["config"],
+        metric_cols: &["wall_ms"],
     },
 ];
 

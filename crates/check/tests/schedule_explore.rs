@@ -72,6 +72,20 @@ const SEED_DEQUE_MUTANT_DOUBLE_TAKE: u64 = 0xf8b44b6aadf07fd5;
 const SEED_ADMISSION_HANDOFF: u64 = 0x6c62272e07bb0142;
 const SEED_CANCEL_VS_DISPATCH: u64 = 0x27d4eb2f165667c5;
 
+/// Elastic retire, side 1: the retire flag racing a worker's park
+/// (`Pool::retire_in`'s flag → bump → `Sleepers::wake_worker` handshake
+/// against the park abort re-check). No schedule may strand the retiring
+/// worker asleep or leave a token behind.
+const SEED_RETIRE_VS_PARK: u64 = 0x9e3779b97f4a7c15;
+
+/// Elastic retire, side 2: a retire racing a concurrent spawn's
+/// publish/bump/wake. The retiring worker may absorb the spawn's wake
+/// token and exit without searching; the retire path's follow-up wake
+/// (`finish_retire`'s unconditional re-wake after the republish) must
+/// re-deliver it so the surviving worker finds the job — a lost job
+/// here deadlocks the schedule.
+const SEED_RETIRE_VS_SPAWN: u64 = 0x2545f4914f6cdd1d;
+
 /// Shared per-test setup: install the between-iterations reset of core's
 /// process-wide epoch registry (required for seed-exact replay of deque
 /// scenarios) and build a bounds config.
@@ -447,6 +461,163 @@ fn mutant_park_without_recheck_is_caught() {
     eprintln!("sleepers mutant caught under seed {:#018x}", failure.seed);
 }
 
+/// Elastic retire vs park: models `run_worker`'s loop-top retire check
+/// plus `Pool::flag_retiring`'s two-sided handshake (flag SeqCst → epoch
+/// bump → targeted `wake_worker`). Whatever the interleaving, the worker
+/// must terminate — either its park abort sees the flag, its epoch
+/// re-check fires, or the targeted wake finds its registration — and no
+/// token may be left in a mailbox afterwards (invariant 4).
+fn retire_vs_park_scenario() {
+    let s = Arc::new(Sleepers::new(1, 1));
+    let retiring = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let worker = {
+        let s = s.clone();
+        let retiring = retiring.clone();
+        htvm_check::thread::spawn(move || {
+            loop {
+                let epoch = s.observe_epoch();
+                if retiring.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                let _ = s.park(0, 0, epoch, || {
+                    retiring.load(std::sync::atomic::Ordering::SeqCst)
+                });
+            }
+        })
+    };
+    // The retire side, in protocol order: flag, bump, targeted wake.
+    retiring.store(true, std::sync::atomic::Ordering::SeqCst);
+    s.bump_epoch();
+    let _ = s.wake_worker(0, 0);
+    worker.join();
+    assert_eq!(s.parked(), 0, "no registration left behind");
+    // Token hygiene: the slot's mailbox must be clean for its next
+    // occupant (a grown worker reusing the slot).
+    let out = s.park(0, 0, s.observe_epoch(), || true);
+    assert_eq!(out, ParkOutcome::Withdrawn, "stray token left in a mailbox");
+}
+
+#[test]
+fn retiring_worker_never_sleeps_through_its_retire() {
+    for bound in [None, Some(3)] {
+        let c = Config {
+            preemption_bound: bound,
+            ..cfg(400)
+        };
+        explore(
+            "retire-vs-park",
+            &c,
+            SEED_RETIRE_VS_PARK,
+            retire_vs_park_scenario,
+        )
+        .unwrap_or_else(|f| panic!("(bound {bound:?}) {f}"));
+    }
+}
+
+/// Elastic retire vs spawn: worker 0 is retired while a spawn publishes
+/// a job with the usual publish → bump → wake sequence. The spawn's
+/// token may land on worker 0, which exits without searching (the
+/// retire check precedes the job search, as in `run_worker`); the
+/// retire path's follow-up wake must then re-deliver the signal so
+/// worker 1 finds the job. The job must execute exactly once, and a
+/// schedule that strands it while worker 1 sleeps deadlocks the joins.
+fn retire_vs_spawn_scenario() {
+    let s = Arc::new(Sleepers::new(1, 2));
+    let job = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let retiring = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let stop = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let executed = Arc::new(AtomicUsize::new(0));
+    // Worker 0: a normal search loop with the loop-top retire check.
+    let w0 = {
+        let (s, job, retiring, executed) =
+            (s.clone(), job.clone(), retiring.clone(), executed.clone());
+        htvm_check::thread::spawn(move || {
+            loop {
+                let epoch = s.observe_epoch();
+                if retiring.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    executed.fetch_add(1, StdOrdering::SeqCst);
+                    continue;
+                }
+                let _ = s.park(0, 0, epoch, || {
+                    retiring.load(std::sync::atomic::Ordering::SeqCst)
+                });
+            }
+        })
+    };
+    // Worker 1: survives the retire; must drain the job before stopping
+    // (observing `stop` re-searches once — the publish precedes the stop
+    // store, so a stale pre-publish search cannot leak the job out).
+    let w1 = {
+        let (s, job, stop, executed) = (s.clone(), job.clone(), stop.clone(), executed.clone());
+        htvm_check::thread::spawn(move || {
+            loop {
+                let epoch = s.observe_epoch();
+                if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    executed.fetch_add(1, StdOrdering::SeqCst);
+                    continue;
+                }
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                        executed.fetch_add(1, StdOrdering::SeqCst);
+                    }
+                    return;
+                }
+                let _ =
+                    s.park(1, 0, epoch, || stop.load(std::sync::atomic::Ordering::SeqCst));
+            }
+        })
+    };
+    // Spawn side: publish, bump, wake — the token may land on either.
+    job.store(true, std::sync::atomic::Ordering::SeqCst);
+    s.bump_epoch();
+    let _ = s.wake_one_in(0);
+    // Retire side for worker 0: flag, bump, targeted wake…
+    retiring.store(true, std::sync::atomic::Ordering::SeqCst);
+    s.bump_epoch();
+    let _ = s.wake_worker(0, 0);
+    // …then the republish follow-up (`finish_retire`'s unconditional
+    // re-wake): without this line some schedules strand the job while
+    // worker 1 sleeps, and the explorer reports the deadlock.
+    s.bump_epoch();
+    let _ = s.wake_one_in(0);
+    w0.join();
+    // Shutdown handshake for the survivor.
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    s.bump_epoch();
+    let _ = s.wake_one_in(0);
+    w1.join();
+    assert_eq!(
+        executed.load(StdOrdering::SeqCst),
+        1,
+        "the spawned job must run exactly once across the retire"
+    );
+    assert_eq!(s.parked(), 0, "no registration left behind");
+    for w in 0..2 {
+        let out = s.park(w, 0, s.observe_epoch(), || true);
+        assert_eq!(out, ParkOutcome::Withdrawn, "stray token in mailbox {w}");
+    }
+}
+
+#[test]
+fn retire_racing_a_spawn_never_loses_the_job() {
+    for bound in [None, Some(3)] {
+        let c = Config {
+            preemption_bound: bound,
+            ..cfg(400)
+        };
+        explore(
+            "retire-vs-spawn",
+            &c,
+            SEED_RETIRE_VS_SPAWN,
+            retire_vs_spawn_scenario,
+        )
+        .unwrap_or_else(|f| panic!("(bound {bound:?}) {f}"));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // SyncSlot: fire-exactly-once and racer accounting (the real bug).
 // ---------------------------------------------------------------------------
@@ -761,6 +932,20 @@ fn committed_corpus_regressions_pass() {
         cancel_vs_dispatch_scenario,
     )
     .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "retire-vs-park",
+        &cfg(1),
+        &[SEED_RETIRE_VS_PARK],
+        retire_vs_park_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "retire-vs-spawn",
+        &cfg(1),
+        &[SEED_RETIRE_VS_SPAWN],
+        retire_vs_spawn_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
 }
 
 /// Mutant seeds: these schedules must keep *failing* against the committed
@@ -796,6 +981,8 @@ fn fresh_random_seeds_hold_invariants() {
         ("deque-last-element", deque_last_element_scenario),
         ("injector-exactly-once", injector_exactly_once_scenario),
         ("sleepers-no-lost-wakeup", sleepers_no_lost_wakeup_scenario),
+        ("retire-vs-park", retire_vs_park_scenario),
+        ("retire-vs-spawn", retire_vs_spawn_scenario),
         ("admission-queue-handoff", admission_handoff_scenario),
         ("cancel-vs-dispatch", cancel_vs_dispatch_scenario),
         (

@@ -69,6 +69,7 @@ pub(crate) mod chk;
 pub mod deque;
 pub mod frame;
 pub mod ids;
+pub mod machine;
 pub mod native;
 pub mod region;
 pub mod runtime;
@@ -82,6 +83,7 @@ pub use admission::{AdmissionQueue, AdmitError};
 pub use cancel::CancelToken;
 pub use frame::Frame;
 pub use ids::{DomainId, LgtId, SgtId, TgtId, WorkerId};
+pub use machine::{Level, MachineTree};
 pub use native::{Pool, PoolStats, PoolTag, QueueDepths, SpawnOpts, TagStats, WorkerCtx};
 pub use region::SharedRegion;
 pub use runtime::{Htvm, HtvmConfig, LgtCtx, LgtHandle, SgtCtx};

@@ -1,0 +1,487 @@
+//! Machine hierarchy detection: the multi-level tree behind [`Topology`].
+//!
+//! The paper's HTVM is specified against a hardware hierarchy — chip →
+//! thread-unit groups → thread units — and PR after PR the pool has
+//! approximated that with a caller-chosen two-level [`Topology`]. This
+//! module closes the gap: a [`MachineTree`] describes the *host's* real
+//! hierarchy (machine → package → physical core → SMT sibling), detected
+//! at startup from the kernel's own description of the machine:
+//!
+//! * `/sys/devices/system/cpu/online` + per-cpu
+//!   `topology/{physical_package_id,core_id}` — the authoritative source;
+//! * `/proc/cpuinfo` (`processor` / `physical id` / `core id` stanzas) —
+//!   fallback when sysfs topology files are absent (some containers);
+//! * the cgroup cpu quota (`cpu.max` on v2, `cpu.cfs_quota_us` /
+//!   `cpu.cfs_period_us` on v1) — caps the *worker budget* below the
+//!   visible cpu count so a quota-limited container does not oversubscribe
+//!   itself.
+//!
+//! When none of those sources are readable (non-Linux, sealed sandbox) a
+//! deterministic **synthetic** tree stands in, so tests and 1-CPU CI see
+//! the same shapes on every run.
+//!
+//! The existing two-level domain view is a *projection* of one tree level
+//! ([`MachineTree::project`]): project at [`Level::Core`] and SMT siblings
+//! share a domain (they share an L1/L2), project at [`Level::Package`] and
+//! whole sockets do. The projected [`Topology`] carries the per-worker cpu
+//! assignment so the pool can pin each worker to its slot
+//! ([`pin_current_thread`]).
+
+use crate::topology::Topology;
+
+/// One logical CPU and its position in the hardware hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuSlot {
+    /// Kernel cpu number (the `N` in `cpuN`); the pinning target.
+    pub cpu: usize,
+    /// Package / socket id (`physical_package_id`).
+    pub package: usize,
+    /// Physical core id within the package; SMT siblings share it.
+    pub core: usize,
+}
+
+/// Where a [`MachineTree`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Read from the live kernel (`/sys` + `/proc` + cgroup).
+    Detected,
+    /// Built by [`MachineTree::synthetic`] — deterministic, for tests,
+    /// non-Linux hosts and machines whose sysfs is unreadable.
+    Synthetic,
+}
+
+/// The level of the machine hierarchy a [`Topology`] is projected at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// One domain spanning the whole machine (no locality grouping —
+    /// every worker is a domain sibling).
+    Machine,
+    /// One domain per package / socket.
+    Package,
+    /// One domain per physical core: SMT siblings land together. This is
+    /// the default projection — siblings share the closest cache level,
+    /// which is exactly what "domain siblings steal first" wants.
+    Core,
+    /// Every hardware thread its own domain (the flat baseline).
+    Smt,
+}
+
+/// A multi-level model of the host: machine → package → core → SMT
+/// sibling, plus the cgroup cpu budget.
+///
+/// Slots are kept sorted by `(package, core, cpu)` so that any projection
+/// yields contiguous domains with SMT siblings adjacent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineTree {
+    slots: Vec<CpuSlot>,
+    /// Whole-cpu budget from the cgroup quota, if one is set.
+    quota: Option<usize>,
+    source: Source,
+}
+
+impl MachineTree {
+    /// A deterministic synthetic machine: `packages` sockets ×
+    /// `cores_per_package` physical cores × `smt` hardware threads per
+    /// core (each clamped to ≥ 1). Cpu numbers are assigned densely in
+    /// `(package, core, thread)` order — the same input always yields the
+    /// same tree, which is what keeps topology tests reproducible on
+    /// 1-CPU CI.
+    pub fn synthetic(packages: usize, cores_per_package: usize, smt: usize) -> Self {
+        let (p, c, s) = (packages.max(1), cores_per_package.max(1), smt.max(1));
+        let mut slots = Vec::with_capacity(p * c * s);
+        let mut cpu = 0;
+        for pkg in 0..p {
+            for core in 0..c {
+                for _ in 0..s {
+                    slots.push(CpuSlot {
+                        cpu,
+                        package: pkg,
+                        core,
+                    });
+                    cpu += 1;
+                }
+            }
+        }
+        Self {
+            slots,
+            quota: None,
+            source: Source::Synthetic,
+        }
+    }
+
+    /// Detect the host hierarchy from the kernel. Returns `None` when the
+    /// sources are unreadable (non-Linux, sealed container) — callers fall
+    /// back to [`MachineTree::synthetic`] via [`MachineTree::host`].
+    pub fn detect() -> Option<Self> {
+        let mut slots = detect::sysfs_slots().or_else(detect::cpuinfo_slots)?;
+        if slots.is_empty() {
+            return None;
+        }
+        slots.sort_by_key(|s| (s.package, s.core, s.cpu));
+        Some(Self {
+            slots,
+            quota: detect::cgroup_quota(),
+            source: Source::Detected,
+        })
+    }
+
+    /// The tree for the current host: [`MachineTree::detect`], or a
+    /// synthetic single-package machine sized by
+    /// `available_parallelism()` when detection fails.
+    pub fn host() -> Self {
+        Self::detect().unwrap_or_else(|| {
+            let n = std::thread::available_parallelism().map_or(4, |n| n.get());
+            Self::synthetic(1, n, 1)
+        })
+    }
+
+    /// Where this tree came from.
+    pub fn source(&self) -> Source {
+        self.source
+    }
+
+    /// All cpu slots, sorted `(package, core, cpu)`.
+    pub fn slots(&self) -> &[CpuSlot] {
+        &self.slots
+    }
+
+    /// Number of visible logical cpus.
+    pub fn cpus(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The cgroup whole-cpu quota, if one applies.
+    pub fn quota(&self) -> Option<usize> {
+        self.quota
+    }
+
+    /// The worker budget: visible cpus capped by the cgroup quota, never
+    /// below 1.
+    pub fn budget(&self) -> usize {
+        let cap = self.quota.unwrap_or(usize::MAX);
+        self.slots.len().min(cap).max(1)
+    }
+
+    /// Number of distinct packages among the budgeted slots.
+    pub fn packages(&self) -> usize {
+        self.level_sizes(Level::Package).len()
+    }
+
+    /// Number of distinct physical cores among the budgeted slots.
+    pub fn cores(&self) -> usize {
+        self.level_sizes(Level::Core).len()
+    }
+
+    /// Domain sizes for a projection at `level`, over the budgeted slot
+    /// prefix (slots are sorted, so a quota cut keeps siblings adjacent).
+    fn level_sizes(&self, level: Level) -> Vec<usize> {
+        let take = self.budget().min(self.slots.len()).max(1);
+        let slots = &self.slots[..take];
+        let key = |s: &CpuSlot| -> (usize, usize) {
+            match level {
+                Level::Machine => (0, 0),
+                Level::Package => (s.package, 0),
+                Level::Core => (s.package, s.core),
+                Level::Smt => (s.cpu, 0),
+            }
+        };
+        let mut sizes = Vec::new();
+        let mut prev: Option<(usize, usize)> = None;
+        for s in slots {
+            let k = key(s);
+            if prev == Some(k) {
+                *sizes.last_mut().expect("non-empty after first slot") += 1;
+            } else {
+                sizes.push(1);
+                prev = Some(k);
+            }
+        }
+        sizes
+    }
+
+    /// Project one tree level down to the pool's two-level domain view.
+    ///
+    /// The result partitions `budget()` workers so that each domain is one
+    /// node at `level` (e.g. at [`Level::Core`], SMT siblings share a
+    /// domain), and carries the worker → cpu assignment for pinning.
+    pub fn project(&self, level: Level) -> Topology {
+        let sizes = self.level_sizes(level);
+        let take = self.budget().min(self.slots.len()).max(1);
+        let cpus: Vec<usize> = self.slots[..take].iter().map(|s| s.cpu).collect();
+        Topology::from_sizes(sizes).with_cpus(cpus)
+    }
+}
+
+/// Pin the calling thread to one cpu. Returns `true` on success; a no-op
+/// returning `false` off Linux or when the kernel rejects the mask (cpu
+/// offline, outside the cgroup cpuset). The pool treats failure as
+/// advisory — an unpinned worker is slower, not wrong.
+pub fn pin_current_thread(cpu: usize) -> bool {
+    imp::pin(cpu)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    // Raw FFI instead of a libc dependency: std already links libc on
+    // Linux, so the symbol resolves without adding a crate.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    const MASK_WORDS: usize = 16; // 1024 cpus, the kernel's default CONFIG_NR_CPUS ceiling
+
+    pub(super) fn pin(cpu: usize) -> bool {
+        if cpu >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[cpu / 64] |= 1u64 << (cpu % 64);
+        // pid 0 targets the calling thread.
+        unsafe { sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub(super) fn pin(_cpu: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod detect {
+    use super::CpuSlot;
+
+    /// Parse a kernel cpu list like `0-3,5,7-8`.
+    fn parse_cpu_list(s: &str) -> Vec<usize> {
+        let mut cpus = Vec::new();
+        for part in s.trim().split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((lo, hi)) = part.split_once('-') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse::<usize>()) {
+                    cpus.extend(lo..=hi);
+                }
+            } else if let Ok(n) = part.parse() {
+                cpus.push(n);
+            }
+        }
+        cpus
+    }
+
+    fn read_usize(path: &str) -> Option<usize> {
+        std::fs::read_to_string(path).ok()?.trim().parse().ok()
+    }
+
+    /// Primary source: per-cpu sysfs topology files. `None` if the online
+    /// list or any per-cpu file is unreadable.
+    pub(super) fn sysfs_slots() -> Option<Vec<CpuSlot>> {
+        let online = std::fs::read_to_string("/sys/devices/system/cpu/online").ok()?;
+        let cpus = parse_cpu_list(&online);
+        if cpus.is_empty() {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(cpus.len());
+        for cpu in cpus {
+            let base = format!("/sys/devices/system/cpu/cpu{cpu}/topology");
+            let package = read_usize(&format!("{base}/physical_package_id"))?;
+            let core = read_usize(&format!("{base}/core_id"))?;
+            slots.push(CpuSlot { cpu, package, core });
+        }
+        Some(slots)
+    }
+
+    /// Fallback source: `/proc/cpuinfo` stanzas. Containers sometimes
+    /// hide sysfs topology but still expose cpuinfo. Missing
+    /// `physical id` / `core id` lines (common on single-socket ARM)
+    /// degrade to distinct cores in one package.
+    pub(super) fn cpuinfo_slots() -> Option<Vec<CpuSlot>> {
+        let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+        let mut slots = Vec::new();
+        let mut cur: Option<CpuSlot> = None;
+        for line in text.lines() {
+            let Some((key, val)) = line.split_once(':') else {
+                continue;
+            };
+            let (key, val) = (key.trim(), val.trim());
+            match key {
+                "processor" => {
+                    if let Some(s) = cur.take() {
+                        slots.push(s);
+                    }
+                    let cpu: usize = val.parse().ok()?;
+                    cur = Some(CpuSlot {
+                        cpu,
+                        package: 0,
+                        core: cpu,
+                    });
+                }
+                "physical id" => {
+                    if let (Some(s), Ok(p)) = (cur.as_mut(), val.parse()) {
+                        s.package = p;
+                    }
+                }
+                "core id" => {
+                    if let (Some(s), Ok(c)) = (cur.as_mut(), val.parse()) {
+                        s.core = c;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = cur.take() {
+            slots.push(s);
+        }
+        if slots.is_empty() {
+            None
+        } else {
+            Some(slots)
+        }
+    }
+
+    /// Whole-cpu budget from the cgroup quota: v2 `cpu.max`, then v1
+    /// `cpu.cfs_quota_us`/`cpu.cfs_period_us`. `None` when unlimited or
+    /// unreadable.
+    pub(super) fn cgroup_quota() -> Option<usize> {
+        if let Ok(text) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
+            let mut it = text.split_whitespace();
+            let quota = it.next()?;
+            if quota == "max" {
+                return None;
+            }
+            let quota: u64 = quota.parse().ok()?;
+            let period: u64 = it.next()?.parse().ok()?;
+            return whole_cpus(quota, period);
+        }
+        let quota = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").ok()?;
+        let quota: i64 = quota.trim().parse().ok()?;
+        if quota < 0 {
+            return None;
+        }
+        let period = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us").ok()?;
+        let period: u64 = period.trim().parse().ok()?;
+        whole_cpus(quota as u64, period)
+    }
+
+    fn whole_cpus(quota: u64, period: u64) -> Option<usize> {
+        if period == 0 {
+            return None;
+        }
+        // Round up: a 1.5-cpu quota gets 2 workers (better to share a
+        // core than to idle half a budget).
+        Some((quota.div_ceil(period)).max(1) as usize)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod detect {
+    use super::CpuSlot;
+
+    pub(super) fn sysfs_slots() -> Option<Vec<CpuSlot>> {
+        None
+    }
+
+    pub(super) fn cpuinfo_slots() -> Option<Vec<CpuSlot>> {
+        None
+    }
+
+    pub(super) fn cgroup_quota() -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DomainId;
+
+    #[test]
+    fn synthetic_is_deterministic_and_sorted() {
+        let a = MachineTree::synthetic(2, 3, 2);
+        let b = MachineTree::synthetic(2, 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.cpus(), 12);
+        assert_eq!(a.packages(), 2);
+        assert_eq!(a.cores(), 6);
+        assert_eq!(a.source(), Source::Synthetic);
+        for w in a.slots().windows(2) {
+            assert!((w[0].package, w[0].core, w[0].cpu) < (w[1].package, w[1].core, w[1].cpu));
+        }
+    }
+
+    #[test]
+    fn core_projection_groups_smt_siblings() {
+        let t = MachineTree::synthetic(2, 2, 2).project(Level::Core);
+        assert_eq!(t.sizes(), &[2, 2, 2, 2]);
+        // Siblings (workers 0,1) share domain 0; the next core is domain 1.
+        assert_eq!(t.domain_of(0), t.domain_of(1));
+        assert_ne!(t.domain_of(1), t.domain_of(2));
+    }
+
+    #[test]
+    fn projections_cover_all_levels() {
+        let m = MachineTree::synthetic(2, 3, 2);
+        assert_eq!(m.project(Level::Machine).sizes(), &[12]);
+        assert_eq!(m.project(Level::Package).sizes(), &[6, 6]);
+        assert_eq!(m.project(Level::Core).num_domains(), 6);
+        assert_eq!(m.project(Level::Smt).sizes(), &[1; 12]);
+    }
+
+    #[test]
+    fn projection_carries_cpu_assignment() {
+        let m = MachineTree::synthetic(1, 2, 2);
+        let t = m.project(Level::Core);
+        for w in 0..t.workers() {
+            assert_eq!(t.cpu_of(w), Some(w));
+        }
+    }
+
+    #[test]
+    fn quota_caps_the_budget_but_keeps_grouping() {
+        let mut m = MachineTree::synthetic(2, 2, 2);
+        m.quota = Some(3);
+        assert_eq!(m.budget(), 3);
+        let t = m.project(Level::Core);
+        // First core's two siblings plus one thread of the second core.
+        assert_eq!(t.sizes(), &[2, 1]);
+        assert_eq!(t.workers(), 3);
+        assert_eq!(t.domain_of(0), DomainId(0));
+        assert_eq!(t.domain_of(2), DomainId(1));
+    }
+
+    #[test]
+    fn host_always_produces_a_tree() {
+        let m = MachineTree::host();
+        assert!(m.cpus() >= 1);
+        assert!(m.budget() >= 1);
+        let t = m.project(Level::Core);
+        assert_eq!(t.workers(), m.budget());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn detected_tree_matches_the_host_when_available() {
+        if let Some(m) = MachineTree::detect() {
+            assert_eq!(m.source(), Source::Detected);
+            assert!(m.cpus() >= 1);
+            // SMT siblings must project into one domain at Level::Core.
+            let t = m.project(Level::Core);
+            let slots = &m.slots()[..t.workers()];
+            for (w, pair) in slots.windows(2).enumerate() {
+                if pair[0].package == pair[1].package && pair[0].core == pair[1].core {
+                    assert_eq!(t.domain_of(w), t.domain_of(w + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinning_is_advisory() {
+        // On Linux cpu 0 should exist; elsewhere this is a documented
+        // no-op. Either way it must not panic.
+        let _ = pin_current_thread(0);
+        assert!(!pin_current_thread(usize::MAX));
+    }
+}

@@ -77,12 +77,43 @@
 //! thread units cost nothing, wakeups are targeted") actually hold.
 //! [`PoolStats::parks`] counts park events; a pool that re-polls would
 //! show it climbing on an idle pool.
+//!
+//! # Elastic workers
+//!
+//! The worker set can change at runtime. [`Pool::with_elastic`]
+//! pre-provisions vacant worker **slots** in every domain (the lock-free
+//! spine's per-worker arrays — stealers, counters, mailboxes — are
+//! indexed concurrently and cannot grow, so capacity is fixed while
+//! membership is not). [`Pool::grow_in`] activates a vacant slot by
+//! handing it its parked deque and spawning a thread; [`Pool::retire_in`]
+//! asks an active worker to leave via a three-step handshake mirroring
+//! shutdown (set the slot's `Retiring` flag, bump the idle-protocol
+//! epoch, deliver a targeted wake to exactly that worker):
+//!
+//! 1. the retiring worker finishes its current job, **drains its own
+//!    deque** and republishes every job into its domain's injector (the
+//!    jobs are already counted in the active gauge, so conservation
+//!    holds), then wakes up to one sleeper per republished job plus one
+//!    unconditional rotated wake — the latter re-issues any wake token
+//!    that a spawner may have spent on the leaving worker;
+//! 2. it parks its (now empty) deque back into the slot for a future
+//!    `grow_in` — the slot's stealer stays valid across the whole cycle,
+//!    so no per-worker array is ever resized;
+//! 3. the thread exits, which deregisters its thread-local epoch
+//!    participant from the spine's reclamation registry (the TLS
+//!    destructor marks the slot inactive; see [`crate::deque`]).
+//!
+//! The pool never retires its last active worker (work queued anywhere
+//! is reachable by any worker through the proximity sweep, but only if
+//! at least one worker exists to sweep). Workers built from a detected
+//! machine topology pin themselves to their assigned cpu on startup
+//! (see [`crate::machine`]).
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::cancel::CancelToken;
-use crate::chk::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
+use crate::chk::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crate::ids::{DomainId, WorkerId};
 use crate::sleepers::Sleepers;
@@ -238,6 +269,12 @@ pub struct PoolStats {
     /// Wakes that fell outward in ring order because the first-choice
     /// domain had no sleeper — the wake-side analogue of a remote steal.
     pub wakes_escalated: u64,
+    /// Workers activated at runtime ([`Pool::grow_in`]), cumulative.
+    pub grows: u64,
+    /// Workers retired at runtime ([`Pool::retire_in`]), cumulative —
+    /// counted when the retiring worker's drain completes, not when the
+    /// retire is requested.
+    pub retires: u64,
 }
 
 impl PoolStats {
@@ -270,6 +307,8 @@ impl PoolStats {
             parks: self.parks.saturating_sub(base.parks),
             wakes_targeted: self.wakes_targeted.saturating_sub(base.wakes_targeted),
             wakes_escalated: self.wakes_escalated.saturating_sub(base.wakes_escalated),
+            grows: self.grows.saturating_sub(base.grows),
+            retires: self.retires.saturating_sub(base.retires),
         }
     }
 
@@ -394,6 +433,14 @@ fn cv(xs: impl Iterator<Item = f64>) -> f64 {
     (m2 / n).sqrt() / mean
 }
 
+/// Slot lifecycle states (see the module header, *Elastic workers*).
+/// `Active` → `Retiring` is requested by [`Pool::retire_in`];
+/// `Retiring` → `Vacant` is committed by the worker itself after its
+/// drain; `Vacant` → `Active` is claimed by [`Pool::grow_in`].
+const SLOT_ACTIVE: u8 = 0;
+const SLOT_RETIRING: u8 = 1;
+const SLOT_VACANT: u8 = 2;
+
 struct Shared {
     topology: Topology,
     injector: Injector<Job>,
@@ -410,6 +457,23 @@ struct Shared {
     /// Jobs dropped unrun at the grain boundary (cancelled token).
     cancelled: AtomicU64,
     shutdown: AtomicBool,
+    /// Per-slot lifecycle state (`SLOT_ACTIVE` / `SLOT_RETIRING` /
+    /// `SLOT_VACANT`), parallel to `stealers`.
+    slot_states: Vec<AtomicU8>,
+    /// Live count of active (non-vacant) worker slots. Decremented by the
+    /// *reservation* in [`Pool::retire_in`] — not by the worker's exit —
+    /// so concurrent retires cannot race the pool below one worker.
+    active_workers: AtomicUsize,
+    /// Parked deques of vacant slots, indexed by slot. A retiring worker
+    /// stores its drained deque here *before* marking the slot vacant;
+    /// `grow_in` takes it back after winning the vacant→active CAS, so
+    /// the mutex hand-off orders the two and the slot's stealer stays
+    /// valid across the whole retire/grow cycle.
+    vacant_deques: Mutex<Vec<Option<Deque<Job>>>>,
+    /// Cumulative grow events (see [`PoolStats::grows`]).
+    grows: AtomicU64,
+    /// Cumulative completed retires (see [`PoolStats::retires`]).
+    retires: AtomicU64,
     /// Park/wake coordination for idle workers ([`crate::sleepers`] owns
     /// the protocol and its counters; this module just drives it).
     sleepers: Sleepers,
@@ -499,12 +563,14 @@ impl Shared {
     }
 
     /// Park worker `w` of `domain` until a wake token arrives
-    /// (see [`Sleepers::park`]); shutdown doubles as an abort signal so a
-    /// closing pool never strands a worker in the registry.
+    /// (see [`Sleepers::park`]); shutdown and a pending retire of this
+    /// slot both double as abort signals, so neither a closing pool nor
+    /// a retire request ever strands a worker in the registry.
     fn park(&self, w: usize, domain: DomainId, observed_epoch: u64) {
         self.sleepers
             .park(w, domain.0 as usize, observed_epoch, || {
                 self.shutdown.load(Ordering::SeqCst)
+                    || self.slot_states[w].load(Ordering::SeqCst) == SLOT_RETIRING
             });
     }
 
@@ -556,11 +622,12 @@ impl QueueDepths {
     }
 }
 
-/// A fixed-size work-stealing thread pool partitioned into locality
-/// domains.
+/// A work-stealing thread pool partitioned into locality domains, with a
+/// fixed slot capacity and an elastic active worker set (see the module
+/// header, *Elastic workers*).
 pub struct Pool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Pool {
@@ -571,21 +638,70 @@ impl Pool {
     }
 
     /// Spin up one OS thread per worker of `topology`, grouped into its
-    /// locality domains.
+    /// locality domains. The pool has no vacant slots: capacity equals
+    /// the active worker count and [`Pool::grow_in`] always fails.
     pub fn with_topology(topology: Topology) -> Self {
-        let workers = topology.workers();
-        let deques: Vec<Deque<Job>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        Self::with_elastic(topology, 0)
+    }
+
+    /// Spin up `topology`'s workers plus `headroom` *vacant slots per
+    /// domain*. Vacant slots cost their deque and mailbox but no thread;
+    /// [`Pool::grow_in`] activates them and [`Pool::retire_in`] returns
+    /// active workers to vacancy at runtime. The pool's [`Topology`] (and
+    /// every per-worker stats vector) covers all slots, active or not.
+    ///
+    /// When `topology` carries cpu pin assignments (a detected machine
+    /// topology), headroom slots inherit the cpus of their domain
+    /// round-robin, so an extra worker on a core-domain lands on one of
+    /// that core's SMT siblings.
+    pub fn with_elastic(topology: Topology, headroom: usize) -> Self {
+        let base_sizes = topology.sizes().to_vec();
+        let slot_topology = if headroom == 0 {
+            topology.clone()
+        } else {
+            let sizes: Vec<usize> = base_sizes.iter().map(|&s| s + headroom).collect();
+            let mut slot_topo = Topology::from_sizes(sizes.clone());
+            if topology.cpu_of(0).is_some() {
+                let mut cpus = Vec::with_capacity(sizes.iter().sum());
+                for (d, &size) in sizes.iter().enumerate() {
+                    let home = topology.workers_of(DomainId(d as u64));
+                    let home_cpus: Vec<usize> = home.filter_map(|w| topology.cpu_of(w)).collect();
+                    for i in 0..size {
+                        cpus.push(home_cpus[i % home_cpus.len()]);
+                    }
+                }
+                slot_topo = slot_topo.with_cpus(cpus);
+            }
+            slot_topo
+        };
+        let slots = slot_topology.workers();
+        let deques: Vec<Deque<Job>> = (0..slots).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
-        let counters = (0..workers).map(|_| WorkerCounters::default()).collect();
-        let domain_injectors = (0..topology.num_domains())
+        let counters = (0..slots).map(|_| WorkerCounters::default()).collect();
+        let domain_injectors = (0..slot_topology.num_domains())
             .map(|_| Injector::new())
             .collect();
-        let domain_spawns = (0..topology.num_domains())
+        let domain_spawns = (0..slot_topology.num_domains())
             .map(|_| AtomicU64::new(0))
             .collect();
-        let sleepers = Sleepers::new(topology.num_domains(), workers);
+        let sleepers = Sleepers::new(slot_topology.num_domains(), slots);
+        // The first `base_sizes[d]` slots of each domain start active;
+        // the headroom tail of each domain starts vacant.
+        let mut active_of_slot = vec![false; slots];
+        let mut active_count = 0usize;
+        for (d, &size) in base_sizes.iter().enumerate() {
+            let range = slot_topology.workers_of(DomainId(d as u64));
+            for slot in range.take(size) {
+                active_of_slot[slot] = true;
+                active_count += 1;
+            }
+        }
+        let slot_states = active_of_slot
+            .iter()
+            .map(|&a| AtomicU8::new(if a { SLOT_ACTIVE } else { SLOT_VACANT }))
+            .collect();
         let shared = Arc::new(Shared {
-            topology,
+            topology: slot_topology,
             injector: Injector::new(),
             domain_injectors,
             domain_spawns,
@@ -595,22 +711,192 @@ impl Pool {
             panics: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            slot_states,
+            active_workers: AtomicUsize::new(active_count),
+            vacant_deques: Mutex::new(Vec::new()),
+            grows: AtomicU64::new(0),
+            retires: AtomicU64::new(0),
             sleepers,
             quiet_lock: Mutex::new(()),
             quiet_cv: Condvar::new(),
         });
-        let handles = deques
-            .into_iter()
-            .enumerate()
-            .map(|(i, deque)| {
+        let mut handles = Vec::with_capacity(active_count);
+        let mut vacant = Vec::with_capacity(slots);
+        for (i, deque) in deques.into_iter().enumerate() {
+            if active_of_slot[i] {
                 let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("htvm-worker-{i}"))
-                    .spawn(move || worker_loop(i, deque, shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Self { shared, handles }
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("htvm-worker-{i}"))
+                        .spawn(move || worker_loop(i, deque, shared))
+                        .expect("spawn worker thread"),
+                );
+                vacant.push(None);
+            } else {
+                vacant.push(Some(deque));
+            }
+        }
+        *shared.vacant_deques.lock() = vacant;
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Activate one vacant slot in `domain`: hand it its parked deque and
+    /// spawn a worker thread for it. Returns the activated worker's id,
+    /// or `None` when the domain has no vacant slot (always the case for
+    /// pools built without headroom).
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the pool's topology.
+    pub fn grow_in(&self, domain: DomainId) -> Option<WorkerId> {
+        for slot in self.shared.topology.workers_of(domain) {
+            if self.shared.slot_states[slot]
+                .compare_exchange(SLOT_VACANT, SLOT_ACTIVE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // The vacant→active CAS wins the slot; the deque was
+                // stored before the slot went vacant (mutex-ordered), so
+                // the take cannot miss.
+                let deque = self.shared.vacant_deques.lock()[slot]
+                    .take()
+                    .expect("vacant slot holds a parked deque");
+                self.shared.active_workers.fetch_add(1, Ordering::SeqCst);
+                self.shared.grows.fetch_add(1, Ordering::Relaxed);
+                let shared = self.shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("htvm-worker-{slot}"))
+                    .spawn(move || worker_loop(slot, deque, shared))
+                    .expect("spawn worker thread");
+                self.handles.lock().push(handle);
+                return Some(WorkerId(slot as u64));
+            }
+        }
+        None
+    }
+
+    /// Grow in whichever domain has a vacant slot, preferring `first`
+    /// and falling outward in ring order (the wake-escalation order).
+    pub fn grow_anywhere(&self, first: DomainId) -> Option<WorkerId> {
+        let nd = self.num_domains();
+        (0..nd)
+            .map(|off| DomainId(((first.0 as usize + off) % nd) as u64))
+            .find_map(|d| self.grow_in(d))
+    }
+
+    /// Ask one active worker of `domain` to retire (highest slot first).
+    /// Asynchronous: the returned worker finishes its current job, drains
+    /// and republishes its deque, then vacates its slot — poll
+    /// [`Pool::active_workers`] or [`PoolStats::retires`] to observe
+    /// completion. Returns `None` when the domain has no active worker to
+    /// spare or the pool is down to its last active worker (the pool
+    /// never retires that one: queued work is only reachable while
+    /// somebody sweeps).
+    ///
+    /// # Panics
+    /// Panics if `domain` is out of range for the pool's topology.
+    pub fn retire_in(&self, domain: DomainId) -> Option<WorkerId> {
+        if !self.reserve_retire() {
+            return None;
+        }
+        for slot in self.shared.topology.workers_of(domain).rev() {
+            if self.flag_retiring(slot) {
+                return Some(WorkerId(slot as u64));
+            }
+        }
+        // No active slot in this domain: return the reservation.
+        self.shared.active_workers.fetch_add(1, Ordering::SeqCst);
+        None
+    }
+
+    /// Ask one *specific* worker to retire (same handshake and same
+    /// last-worker guard as [`Pool::retire_in`]). Returns whether the
+    /// retire was requested — `false` when the slot is not currently
+    /// active or the pool is down to one worker.
+    pub fn retire_worker(&self, worker: WorkerId) -> bool {
+        let slot = worker.0 as usize;
+        if slot >= self.workers() || !self.reserve_retire() {
+            return false;
+        }
+        if self.flag_retiring(slot) {
+            true
+        } else {
+            self.shared.active_workers.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+    }
+
+    /// Reserve a retire against the active gauge. Decrementing *before*
+    /// choosing a slot is what makes "never below one active worker" hold
+    /// under concurrent retires: two racing callers both see `a == 2` but
+    /// only one CAS wins the reservation.
+    fn reserve_retire(&self) -> bool {
+        loop {
+            let a = self.shared.active_workers.load(Ordering::SeqCst);
+            if a <= 1 {
+                return false;
+            }
+            if self
+                .shared
+                .active_workers
+                .compare_exchange(a, a - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Flip one slot active→retiring and deliver the retire wake. Same
+    /// two-sided shape as shutdown (invariant 3): flag (SeqCst), epoch
+    /// bump, then the targeted wake. A worker mid-park either sees the
+    /// flag/bump in its registered re-check (the park abort covers the
+    /// flag directly), or its registration is visible to `wake_worker`.
+    fn flag_retiring(&self, slot: usize) -> bool {
+        if self.shared.slot_states[slot]
+            .compare_exchange(
+                SLOT_ACTIVE,
+                SLOT_RETIRING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            self.shared.bump_epoch();
+            let domain = self.shared.topology.domain_of(slot).0 as usize;
+            self.shared.sleepers.wake_worker(slot, domain);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Currently active (non-vacant) worker slots. Counts a requested
+    /// retire immediately (the reservation), even while the retiring
+    /// worker is still draining.
+    pub fn active_workers(&self) -> usize {
+        self.shared.active_workers.load(Ordering::SeqCst)
+    }
+
+    /// Per-domain census of slot states: `(active, vacant)` counts, each
+    /// indexed by domain. A slot mid-retire counts as active (its thread
+    /// is still draining); the two vectors therefore sum to the slot
+    /// capacity per domain. Racy by nature — a controller's planning
+    /// input, not a synchronization primitive.
+    pub fn slot_census(&self) -> (Vec<usize>, Vec<usize>) {
+        let nd = self.num_domains();
+        let mut active = vec![0usize; nd];
+        let mut vacant = vec![0usize; nd];
+        for (slot, state) in self.shared.slot_states.iter().enumerate() {
+            let d = self.shared.topology.domain_of(slot).0 as usize;
+            if state.load(Ordering::SeqCst) == SLOT_VACANT {
+                vacant[d] += 1;
+            } else {
+                active[d] += 1;
+            }
+        }
+        (active, vacant)
     }
 
     /// Spawn a job from outside the pool. Wakes exactly one worker (a
@@ -731,7 +1017,10 @@ impl Pool {
         }
     }
 
-    /// Number of workers.
+    /// Number of worker slots (active plus vacant). Per-worker stats
+    /// vectors and [`Topology::workers`] use this count; the live thread
+    /// count is [`Pool::active_workers`]. Equal for pools built without
+    /// elastic headroom.
     pub fn workers(&self) -> usize {
         self.shared.stealers.len()
     }
@@ -765,7 +1054,10 @@ impl Pool {
     /// never needs to wait for idleness.
     pub fn wait_fully_parked(&self, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        while self.parked_workers() != self.workers() {
+        // `<` rather than `!=`: on an elastic pool the parked gauge can
+        // transiently exceed the active count while a retire reservation
+        // has landed but its worker is still registered.
+        while self.parked_workers() < self.active_workers() {
             if std::time::Instant::now() >= deadline {
                 return false;
             }
@@ -823,6 +1115,8 @@ impl Pool {
             parks: self.shared.sleepers.parks(),
             wakes_targeted: self.shared.sleepers.wakes_targeted(),
             wakes_escalated: self.shared.sleepers.wakes_escalated(),
+            grows: self.shared.grows.load(Ordering::Relaxed),
+            retires: self.shared.retires.load(Ordering::Relaxed),
         }
     }
 }
@@ -836,7 +1130,10 @@ impl Drop for Pool {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.bump_epoch();
         self.shared.wake_all_for_shutdown();
-        for h in self.handles.drain(..) {
+        // Includes handles of already-exited retirees; those joins return
+        // immediately.
+        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -949,26 +1246,46 @@ fn next_job(
 }
 
 fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
+    if let Some(cpu) = shared.topology.cpu_of(index) {
+        // Advisory: a rejected mask (cpu offline, cgroup cpuset) leaves
+        // the worker unpinned, which is slower but never wrong.
+        let _ = crate::machine::pin_current_thread(cpu);
+    }
+    if run_worker(index, &deque, &shared) {
+        finish_retire(index, deque, &shared);
+    }
+}
+
+/// The worker's job loop. Returns `true` when the worker must retire
+/// (drain + republish, in [`finish_retire`]) and `false` on shutdown.
+fn run_worker(index: usize, deque: &Deque<Job>, shared: &Arc<Shared>) -> bool {
     let ctx = WorkerCtx {
-        shared: &shared,
-        deque: &deque,
+        shared,
+        deque,
         id: WorkerId(index as u64),
         domain: shared.topology.domain_of(index),
     };
     let mut idle_spins = 0u32;
     loop {
-        if let Some((job, how)) = next_job(&shared, index, ctx.domain, &deque) {
+        // The retire flag is checked at every grain boundary — one SeqCst
+        // load per job, which is noise next to the accounting RMWs a job
+        // already pays — so a busy worker retires after its current job,
+        // not after its deque happens to run dry.
+        if shared.slot_states[index].load(Ordering::SeqCst) == SLOT_RETIRING {
+            return !shared.shutdown.load(Ordering::Acquire);
+        }
+        if let Some((job, how)) = next_job(shared, index, ctx.domain, deque) {
             idle_spins = 0;
-            run_job(&shared, index, &ctx, job, how);
+            run_job(shared, index, &ctx, job, how);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
-            return;
+            return false;
         }
         // Nothing anywhere: spin politely for a while (new work usually
         // arrives at phase boundaries within microseconds), then park
-        // indefinitely — only a spawn's wake token or shutdown ends the
-        // park, never a timer.
+        // indefinitely — only a spawn's wake token, a retire request or
+        // shutdown ends the park, never a timer.
         idle_spins += 1;
         if idle_spins < IDLE_SPINS_BEFORE_PARK {
             std::thread::yield_now();
@@ -981,15 +1298,54 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
         // globally-written counter's cache line off the per-job hot path
         // above — a spawn-heavy pool never touches it.
         let epoch = shared.sleepers.observe_epoch();
-        if let Some((job, how)) = next_job(&shared, index, ctx.domain, &deque) {
-            run_job(&shared, index, &ctx, job, how);
+        if let Some((job, how)) = next_job(shared, index, ctx.domain, deque) {
+            run_job(shared, index, &ctx, job, how);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
-            return;
+            return false;
         }
         shared.park(index, ctx.domain, epoch);
     }
+}
+
+/// Complete a retire: drain the worker's own deque into its domain
+/// injector (the jobs are already in the active gauge — this is a
+/// republish, not a spawn), re-issue wakes for the republished work plus
+/// one rotated wake for any token a spawner may have spent on this
+/// worker, park the deque in the slot for a future [`Pool::grow_in`],
+/// and mark the slot vacant. The thread then exits; its thread-local
+/// epoch participant is deregistered by the TLS destructor
+/// (see [`crate::deque`]).
+fn finish_retire(index: usize, deque: Deque<Job>, shared: &Arc<Shared>) {
+    let domain = shared.topology.domain_of(index).0 as usize;
+    // Nothing lands in this deque once we stop executing: only the owner
+    // pushes (worker-local spawns and injector batch refills both happen
+    // on this thread). Stealers may keep raiding it concurrently, which
+    // only helps the drain.
+    let mut republished = 0usize;
+    while let Some(job) = deque.pop() {
+        shared.domain_injectors[domain].push(job);
+        republished += 1;
+    }
+    shared.bump_epoch();
+    for _ in 0..republished {
+        shared.wake_one_in(domain);
+    }
+    // A spawner that saw this worker parked may have spent its single
+    // wake token on us (invariant 4 delivered it; we consumed it to get
+    // here). Its job is published and findable, but nobody else was
+    // woken for it — hand the wake on unconditionally. On an empty pool
+    // the woken worker searches once, finds nothing and re-parks.
+    shared.wake_one_rotated();
+    {
+        let mut vacant = shared.vacant_deques.lock();
+        vacant[index] = Some(deque);
+    }
+    // Vacant only after the deque is parked (mutex-ordered with
+    // `grow_in`'s take).
+    shared.slot_states[index].store(SLOT_VACANT, Ordering::SeqCst);
+    shared.retires.fetch_add(1, Ordering::Relaxed);
 }
 
 fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, how: Acquire) {
@@ -1392,6 +1748,8 @@ mod tests {
             parks: 0,
             wakes_targeted: 0,
             wakes_escalated: 0,
+            grows: 0,
+            retires: 0,
         };
         assert!(s.imbalance() < 1e-9);
         assert!(s.imbalance_by_domain() < 1e-9);
@@ -1406,6 +1764,8 @@ mod tests {
             parks: 0,
             wakes_targeted: 0,
             wakes_escalated: 0,
+            grows: 0,
+            retires: 0,
         };
         assert!(s2.imbalance() > 1.0);
         assert!(s2.imbalance_by_domain() > 0.9);
@@ -1422,6 +1782,8 @@ mod tests {
             parks: 0,
             wakes_targeted: 0,
             wakes_escalated: 0,
+            grows: 0,
+            retires: 0,
         };
         assert!(s3.imbalance_by_domain() < 1e-9);
     }
@@ -1439,6 +1801,8 @@ mod tests {
             parks: 0,
             wakes_targeted: 0,
             wakes_escalated: 0,
+            grows: 0,
+            retires: 0,
         };
         assert_eq!(s.executed_by_domain(), vec![12, 4]);
         assert_eq!(s.local_steals_by_domain(), vec![2, 1]);
@@ -1457,6 +1821,8 @@ mod tests {
             parks: 0,
             wakes_targeted: 0,
             wakes_escalated: 0,
+            grows: 0,
+            retires: 0,
         };
         assert_eq!(empty.remote_steal_ratio(), 0.0);
     }
@@ -1658,5 +2024,202 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
+    }
+
+    /// Poll until the pool's completed-retire counter reaches `n` (retire
+    /// is asynchronous: the reservation lands immediately, the drain when
+    /// the worker next checks its flag).
+    fn wait_retires(pool: &Pool, n: u64) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while pool.stats().retires < n {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "retire never completed: {:?}",
+                pool.stats()
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn fixed_pools_have_no_headroom() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.active_workers(), 2);
+        assert_eq!(pool.grow_in(DomainId(0)), None);
+    }
+
+    #[test]
+    fn grow_and_retire_round_trip() {
+        let pool = Pool::with_elastic(Topology::domains(2, 1), 1);
+        // 2 domains × (1 active + 1 vacant) = 4 slots, 2 threads.
+        assert_eq!(pool.workers(), 4);
+        assert_eq!(pool.active_workers(), 2);
+        let grown = pool.grow_in(DomainId(0)).expect("a vacant slot exists");
+        assert_eq!(pool.active_workers(), 3);
+        assert_eq!(pool.grow_in(DomainId(0)), None, "domain 0 is full now");
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+        let retired = pool.retire_in(DomainId(0)).expect("domain 0 can shrink");
+        // Highest active slot of the domain goes first — the one we grew.
+        assert_eq!(retired, grown);
+        assert_eq!(pool.active_workers(), 2);
+        wait_retires(&pool, 1);
+        // The slot is reusable: grow it again and run more work through it.
+        assert_eq!(pool.grow_in(DomainId(0)), Some(grown));
+        for _ in 0..64 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 128);
+        let stats = pool.stats();
+        assert_eq!(stats.grows, 2);
+        assert_eq!(stats.retires, 1);
+    }
+
+    #[test]
+    fn pool_never_retires_its_last_worker() {
+        let pool = Pool::with_elastic(Topology::flat(1), 2);
+        assert_eq!(pool.active_workers(), 1);
+        assert_eq!(pool.retire_in(DomainId(0)), None);
+        // Grow one, and the original becomes retirable — but only one of
+        // the two can go.
+        pool.grow_in(DomainId(0)).expect("headroom exists");
+        assert!(pool.retire_in(DomainId(0)).is_some());
+        assert_eq!(pool.retire_in(DomainId(0)), None);
+        assert_eq!(pool.active_workers(), 1);
+    }
+
+    #[test]
+    fn retiring_worker_republishes_its_queued_children() {
+        // Two workers in one domain. Block one with a decoy job, have the
+        // other spawn children into its own deque and block too — the
+        // children cannot move (the only possible thief is busy). Retire
+        // the spawner mid-job: when its gate opens it must drain and
+        // republish every child into the domain injector, observable
+        // before the decoy worker is released to run them.
+        let pool = Pool::with_elastic(Topology::from_sizes([2]), 0);
+        let done = Arc::new(AtomicU64::new(0));
+        let decoy_gate = Arc::new(AtomicU64::new(0));
+        let spawner_gate = Arc::new(AtomicU64::new(0));
+        let spawner_id = Arc::new(AtomicU64::new(u64::MAX));
+        {
+            let gate = decoy_gate.clone();
+            pool.spawn(move |_| {
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Wait until the decoy occupies one worker (it parks nobody: it
+        // spins). Then the second job must land on the other worker.
+        while pool.queue_depths().total() > 0 {
+            std::thread::yield_now();
+        }
+        {
+            let (done, gate, id) = (done.clone(), spawner_gate.clone(), spawner_id.clone());
+            pool.spawn(move |ctx| {
+                for _ in 0..16 {
+                    let done = done.clone();
+                    ctx.spawn(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                id.store(ctx.id.0, Ordering::SeqCst);
+                while gate.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+            });
+        }
+        while spawner_id.load(Ordering::SeqCst) == u64::MAX {
+            std::thread::yield_now();
+        }
+        let spawner = WorkerId(spawner_id.load(Ordering::SeqCst));
+        assert!(pool.retire_worker(spawner), "spawner is active");
+        assert!(!pool.retire_worker(spawner), "already retiring");
+        // Open the spawner's gate: it finishes its job, sees the retire
+        // flag, and republishes all 16 children into the domain injector.
+        spawner_gate.store(1, Ordering::SeqCst);
+        wait_retires(&pool, 1);
+        assert_eq!(
+            pool.queue_depths().domain_injectors[0],
+            16,
+            "children republished, untouched (their only thief is busy)"
+        );
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.active_workers(), 1);
+        // Release the decoy: the survivor picks the republished work up.
+        decoy_gate.store(1, Ordering::SeqCst);
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 16, "no republished job lost");
+    }
+
+    #[test]
+    fn grow_retire_cycles_conserve_jobs_and_tokens() {
+        let pool = Pool::with_elastic(Topology::domains(2, 1), 2);
+        let done = Arc::new(AtomicU64::new(0));
+        let mut spawned = 0u64;
+        for cycle in 0..40u64 {
+            let d = DomainId(cycle % 2);
+            for _ in 0..8 {
+                let done = done.clone();
+                pool.spawn_in(d, move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+                spawned += 1;
+            }
+            if cycle % 2 == 0 {
+                pool.grow_anywhere(d);
+            } else {
+                pool.retire_in(d);
+            }
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), spawned);
+        // Every requested retire completed (no worker wedged mid-drain),
+        // after which the pool still parks cleanly: no leaked token can
+        // be pending against a vacated slot.
+        let stats = pool.stats();
+        wait_retires(&pool, stats.retires);
+        assert!(
+            pool.wait_fully_parked(std::time::Duration::from_secs(30)),
+            "{:?}",
+            pool.stats()
+        );
+        assert!(pool.active_workers() >= 1);
+    }
+
+    #[test]
+    fn retire_wakes_a_parked_worker_out_of_the_registry() {
+        let pool = Pool::with_elastic(Topology::flat(2), 0);
+        wait_all_parked(&pool);
+        let retired = pool.retire_in(DomainId(1)).expect("two active workers");
+        assert_eq!(retired, WorkerId(1));
+        wait_retires(&pool, 1);
+        // The survivor still parks; the retiree is out of the registry.
+        assert!(
+            pool.wait_fully_parked(std::time::Duration::from_secs(30)),
+            "{:?}",
+            pool.stats()
+        );
+        assert_eq!(pool.parked_workers(), 1);
+        // And the pool still executes work afterwards.
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.spawn(move |_| {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
     }
 }

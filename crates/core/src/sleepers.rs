@@ -196,6 +196,32 @@ impl Sleepers {
         None
     }
 
+    /// Wake one *specific* worker if (and only if) it is currently
+    /// registered in `domain`. Returns whether a token was delivered.
+    ///
+    /// This is the retire path's wake: a retiring worker must leave its
+    /// park promptly, and waking "one sleeper near the domain" could rouse
+    /// a bystander while the retiree sleeps on. Popping the named entry
+    /// keeps invariant 4 (one pop → one token, delivered under the
+    /// mailbox lock); when the worker is not registered it is awake and
+    /// will observe the retire flag at its next loop check, so `false` is
+    /// not an error.
+    pub fn wake_worker(&self, w: usize, domain: usize) -> bool {
+        let popped = {
+            let mut list = self.by_domain[domain].lock();
+            list.iter()
+                .position(|&x| x == w)
+                .map(|i| list.swap_remove(i))
+        };
+        if popped.is_some() {
+            self.wakes_targeted.fetch_add(1, Ordering::Relaxed);
+            self.deliver_token(w);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Wake one sleeper with no affinity: the rotor picks the first-choice
     /// domain so unaffine spawns spread their wakes over the topology.
     pub fn wake_one_rotated(&self) -> Option<WakeClass> {

@@ -18,7 +18,12 @@
 //!   tree that makes proximity-ordered stealing meaningful.
 //!
 //! Uneven machines (e.g. a big.LITTLE-style split) are described with
-//! [`Topology::from_sizes`].
+//! [`Topology::from_sizes`]. A topology no longer has to be caller-chosen,
+//! though: [`Topology::detect`] projects the host's detected
+//! [`MachineTree`](crate::machine::MachineTree) (one domain per physical
+//! core, SMT siblings together), and the `HTVM_TOPOLOGY` environment
+//! variable can force any shape without code changes (see
+//! [`Topology::from_spec`]).
 
 use crate::ids::{DomainId, WorkerId};
 
@@ -33,6 +38,13 @@ pub struct Topology {
     /// Cumulative worker offsets; `starts[d]` is the first worker of
     /// domain `d`, `starts[sizes.len()]` the total worker count.
     starts: Vec<usize>,
+    /// Precomputed worker → domain map; `lookup[w]` is the domain of
+    /// worker `w`. Replaces the old linear scan over `starts` so
+    /// `domain_of` is O(1) on the steal hot path.
+    lookup: Vec<u32>,
+    /// Optional worker → cpu pinning assignment (empty = unpinned).
+    /// Populated by [`MachineTree::project`](crate::machine::MachineTree::project).
+    cpus: Vec<usize>,
 }
 
 impl Topology {
@@ -65,7 +77,76 @@ impl Topology {
             acc += s;
         }
         starts.push(acc);
-        Self { sizes, starts }
+        let mut lookup = Vec::with_capacity(acc);
+        for (d, &s) in sizes.iter().enumerate() {
+            lookup.extend(std::iter::repeat_n(d as u32, s));
+        }
+        Self {
+            sizes,
+            starts,
+            lookup,
+            cpus: Vec::new(),
+        }
+    }
+
+    /// The host machine's topology: one domain per physical core with SMT
+    /// siblings grouped, detected from sysfs / procfs / the cgroup quota,
+    /// or the deterministic synthetic fallback when detection fails. The
+    /// result carries per-worker cpu assignments, so pool workers built
+    /// from it pin themselves.
+    pub fn detect() -> Self {
+        crate::machine::MachineTree::host().project(crate::machine::Level::Core)
+    }
+
+    /// Attach a worker → cpu pinning assignment (must cover every worker,
+    /// or it is discarded). Used by
+    /// [`MachineTree::project`](crate::machine::MachineTree::project).
+    pub fn with_cpus(mut self, cpus: Vec<usize>) -> Self {
+        if cpus.len() == self.workers() {
+            self.cpus = cpus;
+        }
+        self
+    }
+
+    /// The cpu worker `w` should pin to, if this topology came from a
+    /// machine tree. `None` for synthetic/caller-built topologies.
+    pub fn cpu_of(&self, worker: usize) -> Option<usize> {
+        self.cpus.get(worker).copied()
+    }
+
+    /// Parse an `HTVM_TOPOLOGY`-style spec:
+    ///
+    /// * `flat:4` — 4 singleton domains;
+    /// * `2x3` — 2 domains × 3 workers;
+    /// * `1,3,2` — explicit uneven sizes;
+    /// * `detect` — [`Topology::detect`].
+    ///
+    /// Returns `None` for anything unparsable (callers fall back to their
+    /// default shape rather than guessing).
+    pub fn from_spec(spec: &str) -> Option<Self> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        if spec.eq_ignore_ascii_case("detect") {
+            return Some(Self::detect());
+        }
+        if let Some(n) = spec.strip_prefix("flat:") {
+            return n.trim().parse::<usize>().ok().map(Self::flat);
+        }
+        if let Some((d, k)) = spec.split_once(['x', 'X']) {
+            if let (Ok(d), Ok(k)) = (d.trim().parse(), k.trim().parse()) {
+                return Some(Self::domains(d, k));
+            }
+            return None;
+        }
+        let sizes: Option<Vec<usize>> = spec
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().ok())
+            .collect();
+        sizes
+            .filter(|v| !v.is_empty() && v.iter().any(|&s| s > 0))
+            .map(Self::from_sizes)
     }
 
     /// Total worker count.
@@ -89,14 +170,13 @@ impl Topology {
     /// Panics if `worker` is out of range.
     pub fn domain_of(&self, worker: usize) -> DomainId {
         assert!(worker < self.workers(), "worker {worker} out of range");
-        // Domains are few; a linear scan beats a binary search at the
-        // sizes that exist in practice.
-        let d = self
-            .starts
-            .windows(2)
-            .position(|w| (w[0]..w[1]).contains(&worker))
-            .expect("worker is in range");
-        DomainId(d as u64)
+        DomainId(self.lookup[worker] as u64)
+    }
+
+    /// Non-panicking [`Topology::domain_of`], for stats paths that may
+    /// race a worker index against a topology snapshot.
+    pub fn try_domain_of(&self, worker: usize) -> Option<DomainId> {
+        self.lookup.get(worker).map(|&d| DomainId(d as u64))
     }
 
     /// The workers of a domain, as an index range.
@@ -116,8 +196,15 @@ impl Topology {
 }
 
 impl Default for Topology {
-    /// A flat topology over the available CPUs.
+    /// The shape named by `HTVM_TOPOLOGY` (see [`Topology::from_spec`])
+    /// when the variable is set and parses; otherwise a flat topology over
+    /// the available CPUs.
     fn default() -> Self {
+        if let Ok(spec) = std::env::var("HTVM_TOPOLOGY") {
+            if let Some(t) = Self::from_spec(&spec) {
+                return t;
+            }
+        }
         Self::flat(std::thread::available_parallelism().map_or(4, |n| n.get()))
     }
 }
@@ -167,8 +254,56 @@ mod tests {
     }
 
     #[test]
+    fn lookup_table_matches_start_ranges() {
+        let t = Topology::from_sizes([2, 1, 3]);
+        for d in 0..t.num_domains() {
+            for w in t.workers_of(DomainId(d as u64)) {
+                assert_eq!(t.domain_of(w), DomainId(d as u64));
+                assert_eq!(t.try_domain_of(w), Some(DomainId(d as u64)));
+            }
+        }
+        assert_eq!(t.try_domain_of(t.workers()), None);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_worker_panics() {
         Topology::flat(2).domain_of(2);
+    }
+
+    #[test]
+    fn spec_parses_all_forms() {
+        assert_eq!(Topology::from_spec("flat:4"), Some(Topology::flat(4)));
+        assert_eq!(Topology::from_spec("2x3"), Some(Topology::domains(2, 3)));
+        assert_eq!(Topology::from_spec(" 2X3 "), Some(Topology::domains(2, 3)));
+        assert_eq!(
+            Topology::from_spec("1,3,2"),
+            Some(Topology::from_sizes([1, 3, 2]))
+        );
+        assert!(Topology::from_spec("detect").is_some());
+        assert_eq!(Topology::from_spec(""), None);
+        assert_eq!(Topology::from_spec("flat:x"), None);
+        assert_eq!(Topology::from_spec("2x"), None);
+        assert_eq!(Topology::from_spec("banana"), None);
+    }
+
+    #[test]
+    fn cpus_must_cover_every_worker() {
+        let t = Topology::flat(2).with_cpus(vec![5, 9]);
+        assert_eq!(t.cpu_of(0), Some(5));
+        assert_eq!(t.cpu_of(1), Some(9));
+        let t = Topology::flat(2).with_cpus(vec![5]);
+        assert_eq!(t.cpu_of(0), None);
+    }
+
+    #[test]
+    fn detect_produces_a_valid_partition() {
+        let t = Topology::detect();
+        assert!(t.workers() >= 1);
+        assert_eq!(
+            t.sizes().iter().sum::<usize>(),
+            t.workers(),
+            "sizes must partition the workers"
+        );
     }
 }

@@ -7,8 +7,11 @@
 //!
 //! Each tenant owns a long-lived subtree of the machine:
 //!
-//! * a **home locality domain** its requests are homed to (the
-//!   paper's thread-unit groups, via `SpawnOpts::domain`),
+//! * a **home bubble** ([`Bubble`]) its requests are homed to (the
+//!   paper's thread-unit groups, via `SpawnOpts::domain`) — a movable
+//!   pin resolved at dispatch time, steered at runtime by the
+//!   BubbleSched-style [`Autopilot`] (migrate / burst / gang, plus
+//!   elastic pool grow / retire),
 //! * a **weight** feeding the [`Wdrr`] weighted deficit-round-robin
 //!   dispatcher (completed-work share converges to weight share, with
 //!   a deficit bounded by one maximum request cost),
@@ -39,10 +42,12 @@
 
 #![warn(missing_docs)]
 
+pub mod autopilot;
 pub mod drr;
 pub mod request;
 pub mod server;
 
+pub use autopilot::{Autopilot, AutopilotConfig, AutopilotStats, Bubble};
 pub use drr::Wdrr;
 pub use litlx::NativeParcel;
 pub use request::{Outcome, RejectReason, ResponseHandle, SubmitError};

@@ -57,6 +57,7 @@ use htvm_core::{
 use litlx::NativeParcel;
 use parking_lot::{Condvar, Mutex};
 
+use crate::autopilot::{Autopilot, AutopilotConfig, Bubble, BubbleTenant};
 use crate::drr::Wdrr;
 use crate::request::{Outcome, RejectReason, ReqState, ResponseHandle, SubmitError};
 
@@ -99,8 +100,10 @@ pub struct TenantConfig {
     /// Admission-queue bound; defaults to
     /// [`ServerConfig::default_queue_capacity`].
     pub queue_capacity: Option<usize>,
-    /// Home locality domain for the tenant's subtree; defaults to
-    /// `tenant_id % num_domains` (round-robin placement).
+    /// Initial home locality domain for the tenant's bubble; defaults
+    /// to `tenant_id % num_domains` (round-robin placement). The pin is
+    /// *initial* only: the tenant's [`Bubble`] can be re-pinned or
+    /// burst at runtime (by the [`Autopilot`] or by hand).
     pub home: Option<DomainId>,
 }
 
@@ -175,7 +178,9 @@ struct Queued {
 struct TenantShared {
     id: usize,
     weight: u64,
-    home: DomainId,
+    /// The tenant's movable home pin, read at *dispatch* time — a
+    /// migration moves every not-yet-dispatched request of the subtree.
+    bubble: Arc<Bubble>,
     queue: AdmissionQueue<Queued>,
     tag: PoolTag,
     counters: Arc<TenantCounters>,
@@ -256,9 +261,16 @@ impl TenantHandle {
         self.shared.weight
     }
 
-    /// The tenant's home locality domain.
-    pub fn home(&self) -> DomainId {
-        self.shared.home
+    /// The tenant's current home domain, or `None` while its bubble is
+    /// burst (requests dispatch unaffine).
+    pub fn home(&self) -> Option<DomainId> {
+        self.shared.bubble.domain()
+    }
+
+    /// The tenant's bubble handle — re-pin ([`Bubble::set_domain`]) or
+    /// release ([`Bubble::burst`]) the whole subtree at runtime.
+    pub fn bubble(&self) -> &Arc<Bubble> {
+        &self.shared.bubble
     }
 
     /// Submit a parcel with a fresh cancellation token.
@@ -463,7 +475,7 @@ impl Server {
         let shared = Arc::new(TenantShared {
             id,
             weight: cfg.weight.max(1),
-            home,
+            bubble: Bubble::pinned(home),
             queue: AdmissionQueue::new(capacity),
             tag: PoolTag::new(),
             counters: Arc::new(TenantCounters::default()),
@@ -485,6 +497,26 @@ impl Server {
     /// The pool this server dispatches into.
     pub fn pool(&self) -> &Arc<Pool> {
         &self.inner.pool
+    }
+
+    /// Start a BubbleSched-style [`Autopilot`] over this server: a
+    /// controller thread that samples the pool's steal/queue/occupancy
+    /// signals each tick and steers tenant bubbles (migrate / burst /
+    /// gang) and the elastic worker set (grow / retire). Several
+    /// autopilots over one server would fight; start at most one.
+    pub fn autopilot(&self, cfg: AutopilotConfig) -> Autopilot {
+        let inner = self.inner.clone();
+        Autopilot::start(inner.pool.clone(), cfg, move || {
+            inner
+                .live_tenants()
+                .iter()
+                .map(|t| BubbleTenant {
+                    id: t.id,
+                    bubble: t.bubble.clone(),
+                    executed: t.tag.stats().executed,
+                })
+                .collect()
+        })
     }
 
     /// Requests dispatched into the pool but not yet finished.
@@ -697,7 +729,9 @@ fn dispatch_one(inner: &Arc<ServerInner>, t: &Arc<TenantShared>) {
     let action = q.action;
     inner.pool.spawn_with(
         SpawnOpts {
-            domain: Some(t.home),
+            // Resolved at dispatch time: a bubble migration moves every
+            // not-yet-dispatched request; a burst bubble goes unaffine.
+            domain: t.bubble.domain(),
             token: Some(q.token),
             tag: Some(t.tag.clone()),
         },
@@ -1080,6 +1114,102 @@ mod tests {
         assert_eq!(blocker.wait(), Outcome::Completed);
         // Idempotent.
         server.shutdown();
+    }
+
+    #[test]
+    fn bubble_moves_are_resolved_at_dispatch_time() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            queue_capacity: None,
+            home: Some(DomainId(0)),
+        });
+        assert_eq!(tenant.home(), Some(DomainId(0)));
+        let pool = server.pool().clone();
+        let spawns_at = |pool: &Pool| pool.stats().domain_spawns;
+
+        let base = spawns_at(&pool);
+        tenant.submit(NativeParcel::new(|_| {})).unwrap().wait();
+        let after_pinned = spawns_at(&pool);
+        assert_eq!(after_pinned[0], base[0] + 1, "pinned dispatch homes to 0");
+
+        // Re-pin: the *next* dispatch follows the bubble, no resubmit.
+        tenant.bubble().set_domain(DomainId(1));
+        assert_eq!(tenant.home(), Some(DomainId(1)));
+        tenant.submit(NativeParcel::new(|_| {})).unwrap().wait();
+        let after_moved = spawns_at(&pool);
+        assert_eq!(
+            after_moved[1],
+            after_pinned[1] + 1,
+            "migrated dispatch homes to 1"
+        );
+
+        // Burst: dispatches go unaffine — no domain-spawn record at all.
+        tenant.bubble().burst();
+        assert_eq!(tenant.home(), None);
+        tenant.submit(NativeParcel::new(|_| {})).unwrap().wait();
+        let after_burst = spawns_at(&pool);
+        assert_eq!(
+            after_burst.iter().sum::<u64>(),
+            after_moved.iter().sum::<u64>(),
+            "burst dispatch is unaffine"
+        );
+        assert!(server.wait_idle(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn autopilot_grows_the_pool_under_queue_pressure_and_retires_when_idle() {
+        use crate::autopilot::AutopilotConfig;
+        // 2 domains × 1 worker, with one vacant headroom slot each.
+        let pool = Arc::new(Pool::with_elastic(Topology::domains(2, 1), 1));
+        let server = Server::on_pool(pool.clone(), ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let pilot = server.autopilot(AutopilotConfig {
+            interval: Duration::from_millis(1),
+            ..AutopilotConfig::default()
+        });
+        assert_eq!(pool.active_workers(), 2);
+
+        // Both active workers block; a backlog piles up in the pool's
+        // queues behind them until the controller must grow.
+        let gate = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let g = gate.clone();
+            handles.push(
+                tenant
+                    .submit(NativeParcel::new(move |_| {
+                        while !g.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    }))
+                    .unwrap(),
+            );
+        }
+        for _ in 0..40 {
+            handles.push(tenant.submit(NativeParcel::new(|_| {})).unwrap());
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool.stats().grows == 0 {
+            assert!(Instant::now() < deadline, "autopilot never grew the pool");
+            std::thread::yield_now();
+        }
+        gate.store(true, Ordering::Release);
+        for h in &handles {
+            assert_eq!(h.wait(), Outcome::Completed);
+        }
+        assert!(server.wait_idle(Duration::from_secs(10)));
+
+        // Idle streak: the controller hands the extra workers back.
+        while pool.stats().retires == 0 {
+            assert!(Instant::now() < deadline, "autopilot never retired");
+            std::thread::yield_now();
+        }
+        let stats = pilot.stats();
+        assert!(stats.grows >= 1, "{stats:?}");
+        pilot.stop();
+        pilot.stop(); // idempotent
+        assert!(pilot.stats().retires >= 1 || pool.stats().retires >= 1);
     }
 
     #[test]

@@ -305,6 +305,56 @@ proptest! {
         }
     }
 
+    /// Any level projection of a machine tree round-trips through
+    /// `Topology::from_sizes`: the projected topology is exactly the
+    /// flat partition its domain sizes describe (same worker count, same
+    /// lookup table, same start offsets), with the tree's structure
+    /// visible in the domain counts — one domain per machine / package /
+    /// core / hardware thread respectively — and a full worker→cpu
+    /// pinning map with no cpu assigned twice.
+    #[test]
+    fn machine_tree_projections_round_trip(
+        packages in 1usize..4,
+        cores_per in 1usize..5,
+        smt in 1usize..3,
+    ) {
+        use htvm_core::{Level, MachineTree, Topology};
+        let tree = MachineTree::synthetic(packages, cores_per, smt);
+        prop_assert_eq!(tree.budget(), packages * cores_per * smt);
+        for (level, domains) in [
+            (Level::Machine, 1),
+            (Level::Package, packages),
+            (Level::Core, packages * cores_per),
+            (Level::Smt, packages * cores_per * smt),
+        ] {
+            let topo = tree.project(level);
+            prop_assert_eq!(topo.workers(), tree.budget());
+            prop_assert_eq!(topo.num_domains(), domains);
+            // Round trip: rebuilding from the projected sizes yields the
+            // identical partition.
+            let rebuilt = Topology::from_sizes(topo.sizes().to_vec());
+            prop_assert_eq!(rebuilt.sizes(), topo.sizes());
+            for w in 0..topo.workers() {
+                prop_assert_eq!(rebuilt.domain_of(w), topo.domain_of(w));
+                prop_assert_eq!(topo.try_domain_of(w), Some(topo.domain_of(w)));
+            }
+            prop_assert_eq!(topo.try_domain_of(topo.workers()), None);
+            // Pinning: every worker has a cpu, and no cpu is shared.
+            let mut cpus: Vec<usize> = (0..topo.workers())
+                .map(|w| topo.cpu_of(w).expect("projection carries cpu pins"))
+                .collect();
+            cpus.sort_unstable();
+            cpus.dedup();
+            prop_assert_eq!(cpus.len(), topo.workers());
+        }
+        // SMT siblings share a core-level domain: workers of one core are
+        // contiguous and map to the same domain.
+        let core_topo = tree.project(Level::Core);
+        for w in 0..core_topo.workers() {
+            prop_assert_eq!(core_topo.domain_of(w).0 as usize, w / smt);
+        }
+    }
+
     /// Profiled LITL-X runs agree with parallel runs on every print, and
     /// the recorded forall has one cost per iteration.
     #[test]
