@@ -2,8 +2,8 @@
 //! `--json <path>` / `HTVM_BENCH_JSON` for a machine-readable summary,
 //! and always refresh `BENCH_pool.json` — the pool-perf baseline
 //! (e5/e5b/e5c spawn+queue costs, e17 topology traffic, e18 SSP-native)
-//! and `BENCH_serving.json` (e19 serving latency/conservation) — the
-//! baselines future PRs compare their numbers against.
+//! and `BENCH_serving.json` (e19 serving latency/conservation, e21 chaos
+//! serving) — the baselines future PRs compare their numbers against.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick {

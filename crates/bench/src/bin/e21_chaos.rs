@@ -1,0 +1,16 @@
+//! Report binary for e21_chaos: the clean-vs-faulted serving experiment
+//! (PR-10 supervision surface). Prints the chaos table, honours
+//! `--json <path>` / `HTVM_BENCH_JSON`, and refreshes the E21 rows of
+//! `BENCH_serving.json` (E19 rows of the same scale are carried over).
+//! `--quick` runs the reduced sweep (what CI's trajectory guard uses).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        htvm_bench::experiments::Scale::Quick
+    } else {
+        htvm_bench::experiments::Scale::Full
+    };
+    let t = htvm_bench::experiments::e21_chaos(scale);
+    htvm_bench::report::emit("e21_chaos", &[&t]);
+    htvm_bench::report::write_serving_baseline(if quick { "quick" } else { "full" }, &[&t]);
+}

@@ -1,15 +1,15 @@
 //! CI perf-trajectory guard: re-run the guarded experiments at quick
-//! scale and fail (exit 1) if any committed `BENCH_pool.json` row
-//! regressed by more than the factor (default 2.0,
-//! `HTVM_TRAJECTORY_FACTOR` to override) — see `htvm_bench::trajectory`.
+//! scale and fail (exit 1) if any committed `BENCH_pool.json` or
+//! `BENCH_serving.json` row regressed by more than the factor (default
+//! 2.0, `HTVM_TRAJECTORY_FACTOR` to override) — see
+//! `htvm_bench::trajectory`.
 
-use htvm_bench::experiments::{e18_ssp_native, e20_elastic, e5c_queue_ops, Scale};
-use htvm_bench::report::pool_baseline_path;
-use htvm_bench::trajectory::{compare, factor_from_env, parse_baseline};
+use htvm_bench::experiments::{e18_ssp_native, e20_elastic, e21_chaos, e5c_queue_ops, Scale};
+use htvm_bench::report::{pool_baseline_path, serving_baseline_path};
+use htvm_bench::trajectory::{compare, factor_from_env, parse_baseline, Baseline};
 
-fn main() {
-    let path = pool_baseline_path();
-    let doc = match std::fs::read_to_string(&path) {
+fn load_quick_baseline(path: &std::path::Path, regen_hint: &str) -> Baseline {
+    let doc = match std::fs::read_to_string(path) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("trajectory check: cannot read {}: {e}", path.display());
@@ -25,27 +25,58 @@ fn main() {
     };
     if baseline.scale != "quick" {
         eprintln!(
-            "trajectory check: committed baseline is `{}` scale; regenerate it with \
-             `cargo run -p htvm-bench --release --bin all -- --quick`",
+            "trajectory check: committed baseline {} is `{}` scale; regenerate it with \
+             `{regen_hint}`",
+            path.display(),
             baseline.scale
         );
         std::process::exit(1);
     }
+    baseline
+}
+
+fn main() {
     let factor = factor_from_env();
+    let mut issues = Vec::new();
+
+    let pool_path = pool_baseline_path();
+    let pool = load_quick_baseline(
+        &pool_path,
+        "cargo run -p htvm-bench --release --bin all -- --quick",
+    );
     println!(
         "trajectory check: factor {factor}x against {}",
-        path.display()
+        pool_path.display()
     );
-    let fresh = [
+    let fresh_pool = [
         e5c_queue_ops(Scale::Quick),
         e18_ssp_native(Scale::Quick),
         e20_elastic(Scale::Quick),
     ];
-    let refs: Vec<&htvm_bench::Table> = fresh.iter().collect();
-    let issues = compare(&baseline, &refs, factor);
+    let refs: Vec<&htvm_bench::Table> = fresh_pool.iter().collect();
+    issues.extend(compare(&pool, &refs, factor));
     for t in &refs {
         t.print();
     }
+
+    let serving_path = serving_baseline_path();
+    let serving = load_quick_baseline(
+        &serving_path,
+        "cargo run -p htvm-bench --release --bin e21_chaos -- --quick",
+    );
+    println!(
+        "trajectory check: factor {factor}x against {}",
+        serving_path.display()
+    );
+    // Only E21 is guarded in the serving baseline (E19's percentile rows
+    // are informational), so only E21 is re-run here.
+    let fresh_serving = [e21_chaos(Scale::Quick)];
+    let refs: Vec<&htvm_bench::Table> = fresh_serving.iter().collect();
+    issues.extend(compare(&serving, &refs, factor));
+    for t in &refs {
+        t.print();
+    }
+
     if issues.is_empty() {
         println!("trajectory check: all guarded rows within {factor}x of baseline");
         return;

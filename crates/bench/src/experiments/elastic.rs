@@ -126,6 +126,7 @@ pub fn e20_elastic(scale: Scale) -> Table {
                     weight: 1,
                     queue_capacity: None,
                     home: Some(DomainId(if mismatch { 0 } else { (k % 2) as u64 })),
+                    retry: None,
                 })
             })
             .collect();
@@ -157,6 +158,7 @@ pub fn e20_elastic(scale: Scale) -> Table {
                     weight: 1,
                     queue_capacity: None,
                     home: Some(DomainId(0)),
+                    retry: None,
                 })
             })
             .collect();

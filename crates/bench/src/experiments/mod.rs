@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod apps;
+pub mod chaos;
 pub mod domains;
 pub mod elastic;
 pub mod machine;
@@ -18,6 +19,7 @@ pub use ablations::{
     a1_switch_cost, a2_chunk_size, a3_percolation_grid, a4_grain_crossover, run_all_ablations,
 };
 pub use apps::{e14_neocortex, e15_md, e16_litlx};
+pub use chaos::e21_chaos;
 pub use domains::e17_domains;
 pub use elastic::e20_elastic;
 pub use machine::{
@@ -75,5 +77,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::Table> {
         e18_ssp_native(scale),
         e19_serving(scale),
         e20_elastic(scale),
+        e21_chaos(scale),
     ]
 }

@@ -136,7 +136,7 @@ pub fn e19_serving(scale: Scale) -> Table {
                 && s.completed == lat.len() as u64
                 && s.closed_rejects == 0
                 && s.shutdown_rejects == 0
-                && s.panicked == 0;
+                && s.failed == 0;
             t.row(&[
                 rate_rps.to_string(),
                 format!("t{k}"),

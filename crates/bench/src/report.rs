@@ -115,9 +115,17 @@ pub fn write_pool_baseline(scale: &str, tables: &[&Table]) {
     }
 }
 
+/// Experiment tables that make up the serving-layer baseline: the E19
+/// open-loop latency/conservation table and the E21 chaos table (clean
+/// vs faulted serving under supervision).
+pub fn is_serving_baseline_table(t: &Table) -> bool {
+    ["E19", "E21"].iter().any(|p| t.title.starts_with(p))
+}
+
 /// Where the serving baseline lives (same resolution rules as
 /// [`pool_baseline_path`]): the workspace root, falling back to cwd.
-fn serving_baseline_path() -> std::path::PathBuf {
+/// Public so the trajectory guard reads the same file this module writes.
+pub fn serving_baseline_path() -> std::path::PathBuf {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..");
@@ -129,15 +137,37 @@ fn serving_baseline_path() -> std::path::PathBuf {
 }
 
 /// Write `BENCH_serving.json` — the serving-layer latency/conservation
-/// baseline (the E19 table) future PRs diff against, scale-labelled like
-/// the pool baseline.
+/// baseline (the E19 and E21 tables) future PRs diff against,
+/// scale-labelled like the pool baseline.
+///
+/// Merges rather than clobbers: a single-experiment binary (`e19_serving`
+/// or `e21_chaos`) refreshes its own table while same-scale tables it did
+/// not re-run are carried over from the committed document, so the two
+/// bins never erase each other's baseline.
 pub fn write_serving_baseline(scale: &str, tables: &[&Table]) {
     let picked: Vec<&Table> = tables
         .iter()
         .copied()
-        .filter(|t| t.title.starts_with("E19"))
+        .filter(|t| is_serving_baseline_table(t))
         .collect();
-    let body = picked
+    // Carry over committed same-scale tables the caller did not re-run.
+    let path = serving_baseline_path();
+    let carried: Vec<Table> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|doc| crate::trajectory::parse_baseline(&doc).ok())
+        .filter(|b| b.scale == scale)
+        .map(|b| {
+            b.tables
+                .into_iter()
+                .filter(|t| {
+                    is_serving_baseline_table(t) && !picked.iter().any(|p| p.title == t.title)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut all: Vec<&Table> = carried.iter().chain(picked.iter().copied()).collect();
+    all.sort_by(|a, b| a.title.cmp(&b.title));
+    let body = all
         .iter()
         .map(|t| t.to_json())
         .collect::<Vec<_>>()
@@ -145,7 +175,6 @@ pub fn write_serving_baseline(scale: &str, tables: &[&Table]) {
     let doc = format!(
         "{{\"experiment\":\"serving_baseline\",\"scale\":\"{scale}\",\"tables\":[{body}]}}\n"
     );
-    let path = serving_baseline_path();
     match std::fs::write(&path, doc) {
         Ok(()) => eprintln!("wrote serving baseline to {}", path.display()),
         Err(e) => eprintln!(

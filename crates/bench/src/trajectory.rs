@@ -19,6 +19,12 @@
 //! * **E20** (elastic topology, `config` keyed): the `wall_ms` column —
 //!   the autopilot's control loop must never make the adaptive run
 //!   multiplicatively slower than its committed self.
+//! * **E21** (chaos serving, `config` keyed, committed in
+//!   `BENCH_serving.json`): the `wall_ms` column — the always-on fault
+//!   containment machinery (`clean` row) and supervised recovery
+//!   (`faults-1pct` row) must not drift multiplicatively. The p50/p99
+//!   columns stay informational: µs-scale quick percentiles are too
+//!   noisy for a shared-CI gate.
 //!
 //! A fresh value more than `factor` × its committed value is a
 //! regression; a committed row or column the fresh run no longer
@@ -373,6 +379,11 @@ const GUARDS: &[Guard] = &[
     },
     Guard {
         prefix: "E20",
+        key_cols: &["config"],
+        metric_cols: &["wall_ms"],
+    },
+    Guard {
+        prefix: "E21",
         key_cols: &["config"],
         metric_cols: &["wall_ms"],
     },

@@ -86,6 +86,15 @@ const SEED_RETIRE_VS_PARK: u64 = 0x9e3779b97f4a7c15;
 /// here deadlocks the schedule.
 const SEED_RETIRE_VS_SPAWN: u64 = 0x2545f4914f6cdd1d;
 
+/// Supervision seeds (PR 10): worker death (`DeathWatch`) racing a
+/// retire request for the same slot, a death's deque republish racing
+/// a parked peer, and a dispatcher death racing live submissions.
+/// Full sweeps pass under these base seeds; committed so the exact
+/// explored schedules replay forever.
+const SEED_DEATH_VS_RETIRE: u64 = 0xd1342543de82ef95;
+const SEED_DEATH_VS_SPAWN: u64 = 0x94d049bb133111eb;
+const SEED_DISPATCHER_RESTART_VS_SUBMIT: u64 = 0xbf58476d1ce4e5b7;
+
 /// Shared per-test setup: install the between-iterations reset of core's
 /// process-wide epoch registry (required for seed-exact replay of deque
 /// scenarios) and build a bounds config.
@@ -473,16 +482,14 @@ fn retire_vs_park_scenario() {
     let worker = {
         let s = s.clone();
         let retiring = retiring.clone();
-        htvm_check::thread::spawn(move || {
-            loop {
-                let epoch = s.observe_epoch();
-                if retiring.load(std::sync::atomic::Ordering::SeqCst) {
-                    return;
-                }
-                let _ = s.park(0, 0, epoch, || {
-                    retiring.load(std::sync::atomic::Ordering::SeqCst)
-                });
+        htvm_check::thread::spawn(move || loop {
+            let epoch = s.observe_epoch();
+            if retiring.load(std::sync::atomic::Ordering::SeqCst) {
+                return;
             }
+            let _ = s.park(0, 0, epoch, || {
+                retiring.load(std::sync::atomic::Ordering::SeqCst)
+            });
         })
     };
     // The retire side, in protocol order: flag, bump, targeted wake.
@@ -531,20 +538,18 @@ fn retire_vs_spawn_scenario() {
     let w0 = {
         let (s, job, retiring, executed) =
             (s.clone(), job.clone(), retiring.clone(), executed.clone());
-        htvm_check::thread::spawn(move || {
-            loop {
-                let epoch = s.observe_epoch();
-                if retiring.load(std::sync::atomic::Ordering::SeqCst) {
-                    return;
-                }
-                if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
-                    executed.fetch_add(1, StdOrdering::SeqCst);
-                    continue;
-                }
-                let _ = s.park(0, 0, epoch, || {
-                    retiring.load(std::sync::atomic::Ordering::SeqCst)
-                });
+        htvm_check::thread::spawn(move || loop {
+            let epoch = s.observe_epoch();
+            if retiring.load(std::sync::atomic::Ordering::SeqCst) {
+                return;
             }
+            if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                executed.fetch_add(1, StdOrdering::SeqCst);
+                continue;
+            }
+            let _ = s.park(0, 0, epoch, || {
+                retiring.load(std::sync::atomic::Ordering::SeqCst)
+            });
         })
     };
     // Worker 1: survives the retire; must drain the job before stopping
@@ -552,22 +557,21 @@ fn retire_vs_spawn_scenario() {
     // store, so a stale pre-publish search cannot leak the job out).
     let w1 = {
         let (s, job, stop, executed) = (s.clone(), job.clone(), stop.clone(), executed.clone());
-        htvm_check::thread::spawn(move || {
-            loop {
-                let epoch = s.observe_epoch();
+        htvm_check::thread::spawn(move || loop {
+            let epoch = s.observe_epoch();
+            if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                executed.fetch_add(1, StdOrdering::SeqCst);
+                continue;
+            }
+            if stop.load(std::sync::atomic::Ordering::SeqCst) {
                 if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
                     executed.fetch_add(1, StdOrdering::SeqCst);
-                    continue;
                 }
-                if stop.load(std::sync::atomic::Ordering::SeqCst) {
-                    if job.swap(false, std::sync::atomic::Ordering::SeqCst) {
-                        executed.fetch_add(1, StdOrdering::SeqCst);
-                    }
-                    return;
-                }
-                let _ =
-                    s.park(1, 0, epoch, || stop.load(std::sync::atomic::Ordering::SeqCst));
+                return;
             }
+            let _ = s.park(1, 0, epoch, || {
+                stop.load(std::sync::atomic::Ordering::SeqCst)
+            });
         })
     };
     // Spawn side: publish, bump, wake — the token may land on either.
@@ -904,6 +908,324 @@ fn cancelled_in_queue_resolves_exactly_one_of_executed_or_rejected() {
 }
 
 // ---------------------------------------------------------------------------
+// Supervision (PR 10): worker death vs retire/spawn, dispatcher restart.
+// ---------------------------------------------------------------------------
+
+/// Per-slot lifecycle states, mirroring `htvm_core::native`.
+const SLOT_ACTIVE: u8 = 0;
+const SLOT_RETIRING: u8 = 1;
+const SLOT_VACANT: u8 = 2;
+
+/// Worker death vs retire: models `DeathWatch::drop` racing
+/// `Pool::retire_in`'s `Active → Retiring` request on the same slot.
+/// The dying thread republishes its deque, then either sees the retire
+/// flag (completing the retire on the dead worker's behalf) or
+/// respawns into the still-`Active` slot — in which case the respawned
+/// worker's loop-top check / park-abort must observe the flag instead.
+/// Whatever the interleaving: the retire completes exactly once, the
+/// slot ends `Vacant`, the dead worker's jobs are republished exactly
+/// once, and no mailbox token is left behind.
+fn death_vs_retire_scenario() {
+    let s = Arc::new(Sleepers::new(1, 1));
+    let slot = Arc::new(htvm_check::prim::AtomicU8::new(SLOT_ACTIVE));
+    let retires = Arc::new(AtomicUsize::new(0));
+    let respawns = Arc::new(AtomicUsize::new(0));
+    let republished = Arc::new(StdMutex::new(Vec::new()));
+    let worker = {
+        let (s, slot) = (s.clone(), slot.clone());
+        let (retires, respawns) = (retires.clone(), respawns.clone());
+        let republished = republished.clone();
+        htvm_check::thread::spawn(move || {
+            // The worker dies mid-loop: `DeathWatch` fires on its
+            // thread with two jobs still queued. Republish them with
+            // the retire's bump-then-wake sequence (plus the
+            // unconditional rotated re-wake).
+            let deque = Worker::new_lifo();
+            deque.push(7u64);
+            deque.push(8u64);
+            let mut repub = Vec::new();
+            while let Some(v) = deque.pop() {
+                repub.push(v);
+            }
+            s.bump_epoch();
+            for _ in 0..repub.len() {
+                let _ = s.wake_one_in(0);
+            }
+            let _ = s.wake_one_in(0); // rotated re-wake
+            republished.lock().unwrap().extend(repub);
+            // Death-completes-retire path: the reservation already left
+            // the gauge, so finish the retire instead of respawning.
+            if slot.load(StdOrdering::SeqCst) == SLOT_RETIRING {
+                slot.store(SLOT_VACANT, StdOrdering::SeqCst);
+                retires.fetch_add(1, StdOrdering::SeqCst);
+                return;
+            }
+            // Heal path: respawn into the same still-Active slot. The
+            // respawn runs sequenced-after the death protocol (thread
+            // spawn), so modelling it on the same check-thread
+            // preserves the happens-before shape. Its loop is
+            // `run_worker`'s: loop-top retire check, then park with
+            // the retire re-check as the abort condition.
+            respawns.fetch_add(1, StdOrdering::SeqCst);
+            loop {
+                let epoch = s.observe_epoch();
+                if slot.load(StdOrdering::SeqCst) == SLOT_RETIRING {
+                    slot.store(SLOT_VACANT, StdOrdering::SeqCst);
+                    retires.fetch_add(1, StdOrdering::SeqCst);
+                    return;
+                }
+                let _ = s.park(0, 0, epoch, || {
+                    slot.load(StdOrdering::SeqCst) == SLOT_RETIRING
+                });
+            }
+        })
+    };
+    // Retire side (`Pool::retire_in`), protocol order: flag the slot,
+    // bump, targeted wake. The request may land before the death check
+    // (the dying thread completes it) or after (the respawned worker
+    // must see it — its park-abort or epoch re-check may be the only
+    // thing standing between this schedule and a deadlock).
+    let won = slot
+        .compare_exchange(
+            SLOT_ACTIVE,
+            SLOT_RETIRING,
+            StdOrdering::SeqCst,
+            StdOrdering::SeqCst,
+        )
+        .is_ok();
+    s.bump_epoch();
+    let _ = s.wake_worker(0, 0);
+    worker.join();
+    assert!(won, "nothing else requests retire on an Active slot");
+    assert_eq!(
+        retires.load(StdOrdering::SeqCst),
+        1,
+        "the retire completes exactly once — by the death or its respawn"
+    );
+    assert_eq!(slot.load(StdOrdering::SeqCst), SLOT_VACANT);
+    assert!(respawns.load(StdOrdering::SeqCst) <= 1);
+    let mut repub = republished.lock().unwrap().clone();
+    repub.sort_unstable();
+    assert_eq!(repub, vec![7, 8], "dead worker's jobs republished once");
+    assert_eq!(s.parked(), 0, "no registration left behind");
+    let out = s.park(0, 0, s.observe_epoch(), || true);
+    assert_eq!(out, ParkOutcome::Withdrawn, "stray token left in a mailbox");
+}
+
+#[test]
+fn worker_death_racing_a_retire_completes_it_exactly_once() {
+    for bound in [None, Some(3)] {
+        let c = Config {
+            preemption_bound: bound,
+            ..cfg(400)
+        };
+        explore(
+            "death-vs-retire",
+            &c,
+            SEED_DEATH_VS_RETIRE,
+            death_vs_retire_scenario,
+        )
+        .unwrap_or_else(|f| panic!("(bound {bound:?}) {f}"));
+    }
+}
+
+/// Worker death vs a parked peer: worker 0 dies with a job in its
+/// deque while worker 1 is (maybe) asleep. `DeathWatch`'s republish
+/// must move the job to the shared injector and re-deliver the wake
+/// (bump, per-job wake, rotated re-wake) so the survivor — or the
+/// respawned worker itself — claims it. The job must be claimed
+/// exactly once (the injector's CAS arbitration), and every mailbox
+/// must end clean.
+fn death_vs_spawn_scenario() {
+    let s = Arc::new(Sleepers::new(1, 2));
+    let inj = Arc::new(Injector::new());
+    let stop = Arc::new(htvm_check::prim::AtomicBool::new(false));
+    let executed = Arc::new(AtomicUsize::new(0));
+    // Worker 0 dies with job 42 queued; its death protocol republishes
+    // and re-wakes, then the respawned worker searches once before
+    // exiting (the real heal keeps searching; one pass is enough to
+    // model the respawn racing the survivor for the republished job).
+    let w0 = {
+        let (s, inj, executed) = (s.clone(), inj.clone(), executed.clone());
+        htvm_check::thread::spawn(move || {
+            let deque = Worker::new_lifo();
+            deque.push(42u64);
+            while let Some(v) = deque.pop() {
+                inj.push(v);
+            }
+            s.bump_epoch();
+            let _ = s.wake_one_in(0); // one republished job, one wake
+            let _ = s.wake_one_in(0); // rotated re-wake
+            loop {
+                match inj.steal() {
+                    Steal::Success(_) => {
+                        executed.fetch_add(1, StdOrdering::SeqCst);
+                    }
+                    Steal::Empty => {}
+                    Steal::Retry => continue,
+                }
+                break;
+            }
+        })
+    };
+    // Worker 1: a survivor's search loop — steal, or park with the
+    // stop re-check; observing stop re-searches once (the republish
+    // precedes the stop store, so a stale pre-publish search cannot
+    // leak the job out).
+    let w1 = {
+        let (s, inj, stop, executed) = (s.clone(), inj.clone(), stop.clone(), executed.clone());
+        htvm_check::thread::spawn(move || loop {
+            let epoch = s.observe_epoch();
+            match inj.steal() {
+                Steal::Success(_) => {
+                    executed.fetch_add(1, StdOrdering::SeqCst);
+                    continue;
+                }
+                Steal::Retry => continue,
+                Steal::Empty => {}
+            }
+            if stop.load(StdOrdering::SeqCst) {
+                loop {
+                    match inj.steal() {
+                        Steal::Success(_) => {
+                            executed.fetch_add(1, StdOrdering::SeqCst);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => {}
+                    }
+                    break;
+                }
+                return;
+            }
+            let _ = s.park(1, 0, epoch, || stop.load(StdOrdering::SeqCst));
+        })
+    };
+    w0.join();
+    // Shutdown handshake for the survivor.
+    stop.store(true, StdOrdering::SeqCst);
+    s.bump_epoch();
+    let _ = s.wake_one_in(0);
+    w1.join();
+    assert_eq!(
+        executed.load(StdOrdering::SeqCst),
+        1,
+        "the dead worker's job must run exactly once"
+    );
+    assert_eq!(s.parked(), 0, "no registration left behind");
+    for w in 0..2 {
+        let out = s.park(w, 0, s.observe_epoch(), || true);
+        assert_eq!(out, ParkOutcome::Withdrawn, "stray token in mailbox {w}");
+    }
+}
+
+#[test]
+fn worker_death_never_loses_a_queued_job() {
+    for bound in [None, Some(3)] {
+        let c = Config {
+            preemption_bound: bound,
+            ..cfg(400)
+        };
+        explore(
+            "death-vs-spawn",
+            &c,
+            SEED_DEATH_VS_SPAWN,
+            death_vs_spawn_scenario,
+        )
+        .unwrap_or_else(|f| panic!("(bound {bound:?}) {f}"));
+    }
+}
+
+/// Dispatcher restart vs submit: the dispatcher parks waiting for
+/// work, a client's submit (push, bump, wake) races its death — the
+/// fault fires *before* any pop, as in `dispatcher_loop`, so no
+/// request is ever held by the dying thread — and the successor
+/// spawned by the drop guard (sequenced-after on the same
+/// check-thread) must drain everything the client admitted. Every
+/// accepted request resolves exactly once; the close handshake must
+/// terminate the successor whatever the schedule.
+fn dispatcher_restart_vs_submit_scenario() {
+    let s = Arc::new(Sleepers::new(1, 1));
+    let q = Arc::new(AdmissionQueue::<(usize, CancelToken)>::new(4));
+    let resolutions: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+    let restarts = Arc::new(AtomicUsize::new(0));
+    let dispatcher = {
+        let (s, q) = (s.clone(), q.clone());
+        let (resolutions, restarts) = (resolutions.clone(), restarts.clone());
+        htvm_check::thread::spawn(move || {
+            // Incarnation 1: parks waiting for work (a submit's kick
+            // may rouse it), then dies before popping anything.
+            let epoch = s.observe_epoch();
+            if !q.is_closed() && q.is_empty() {
+                let _ = s.park(0, 0, epoch, || q.is_closed());
+            }
+            restarts.fetch_add(1, StdOrdering::SeqCst);
+            // Incarnation 2 (the drop guard's successor): the standard
+            // pop-then-park loop — it always drains before parking, so
+            // a kick token consumed by the dead incarnation cannot
+            // strand admitted work.
+            loop {
+                let epoch = s.observe_epoch();
+                let mut progressed = false;
+                while let Some((i, t)) = q.pop() {
+                    if t.try_claim() {
+                        resolutions[i].fetch_add(1, StdOrdering::SeqCst);
+                    }
+                    progressed = true;
+                }
+                if q.is_closed() && q.is_empty() {
+                    return;
+                }
+                if !progressed {
+                    let _ = s.park(0, 0, epoch, || q.is_closed());
+                }
+            }
+        })
+    };
+    // The client: two submits, each with its kick (push, bump, wake),
+    // then the shutdown close with a final kick.
+    for i in 0..2usize {
+        q.try_push((i, CancelToken::new()))
+            .expect("queue fits both");
+        s.bump_epoch();
+        let _ = s.wake_one_in(0);
+    }
+    q.close();
+    s.bump_epoch();
+    let _ = s.wake_one_in(0);
+    dispatcher.join();
+    for (i, r) in resolutions.iter().enumerate() {
+        assert_eq!(
+            r.load(StdOrdering::SeqCst),
+            1,
+            "request {i} must resolve exactly once across the restart"
+        );
+    }
+    assert_eq!(restarts.load(StdOrdering::SeqCst), 1);
+    assert!(q.is_empty(), "nothing left behind after the close drain");
+    assert_eq!(s.parked(), 0, "no registration left behind");
+    let out = s.park(0, 0, s.observe_epoch(), || true);
+    assert_eq!(out, ParkOutcome::Withdrawn, "stray token left in a mailbox");
+}
+
+#[test]
+fn dispatcher_restart_never_strands_an_admitted_request() {
+    for bound in [None, Some(3)] {
+        let c = Config {
+            preemption_bound: bound,
+            ..cfg(400)
+        };
+        explore(
+            "dispatcher-restart-vs-submit",
+            &c,
+            SEED_DISPATCHER_RESTART_VS_SUBMIT,
+            dispatcher_restart_vs_submit_scenario,
+        )
+        .unwrap_or_else(|f| panic!("(bound {bound:?}) {f}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Committed corpus + fresh random seeds (the CI job's two halves).
 // ---------------------------------------------------------------------------
 
@@ -946,6 +1268,27 @@ fn committed_corpus_regressions_pass() {
         retire_vs_spawn_scenario,
     )
     .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "death-vs-retire",
+        &cfg(1),
+        &[SEED_DEATH_VS_RETIRE],
+        death_vs_retire_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "death-vs-spawn",
+        &cfg(1),
+        &[SEED_DEATH_VS_SPAWN],
+        death_vs_spawn_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
+    check_corpus(
+        "dispatcher-restart-vs-submit",
+        &cfg(1),
+        &[SEED_DISPATCHER_RESTART_VS_SUBMIT],
+        dispatcher_restart_vs_submit_scenario,
+    )
+    .unwrap_or_else(|f| panic!("regression resurfaced: {f}"));
 }
 
 /// Mutant seeds: these schedules must keep *failing* against the committed
@@ -983,6 +1326,12 @@ fn fresh_random_seeds_hold_invariants() {
         ("sleepers-no-lost-wakeup", sleepers_no_lost_wakeup_scenario),
         ("retire-vs-park", retire_vs_park_scenario),
         ("retire-vs-spawn", retire_vs_spawn_scenario),
+        ("death-vs-retire", death_vs_retire_scenario),
+        ("death-vs-spawn", death_vs_spawn_scenario),
+        (
+            "dispatcher-restart-vs-submit",
+            dispatcher_restart_vs_submit_scenario,
+        ),
         ("admission-queue-handoff", admission_handoff_scenario),
         ("cancel-vs-dispatch", cancel_vs_dispatch_scenario),
         (

@@ -67,6 +67,7 @@ pub mod admission;
 pub mod cancel;
 pub(crate) mod chk;
 pub mod deque;
+pub mod faults;
 pub mod frame;
 pub mod ids;
 pub mod machine;
@@ -81,6 +82,7 @@ pub mod topology;
 
 pub use admission::{AdmissionQueue, AdmitError};
 pub use cancel::CancelToken;
+pub use faults::{FaultKind, FaultPlan, FaultPlane, FaultRule, InjectedFault};
 pub use frame::Frame;
 pub use ids::{DomainId, LgtId, SgtId, TgtId, WorkerId};
 pub use machine::{Level, MachineTree};

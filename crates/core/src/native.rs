@@ -108,6 +108,35 @@
 //! at least one worker exists to sweep). Workers built from a detected
 //! machine topology pin themselves to their assigned cpu on startup
 //! (see [`crate::machine`]).
+//!
+//! # Supervision: worker death and in-place respawn
+//!
+//! Job-body panics are contained by `run_job`'s `catch_unwind` and cost
+//! one `panics` tick — the worker survives. But an unwind that escapes the
+//! job boundary (runtime bugs in the steal/park paths, or an injected
+//! *kill* from the [`crate::faults`] plane, which `run_job` deliberately
+//! rethrows) kills the OS thread. Every worker therefore runs under a
+//! `DeathWatch` drop guard that owns the deque and fires only on an
+//! unwinding exit:
+//!
+//! 1. count the death ([`PoolStats::worker_deaths`]) and drain the dead
+//!    worker's deque into its domain injector with the same
+//!    republish-and-rewake sequence as a retire (the jobs are already in
+//!    the active gauge — nothing is lost, nobody waits on a job stranded
+//!    in a dead worker's deque);
+//! 2. if the slot was mid-retire, complete the retire on the dying
+//!    thread's behalf (park the deque, mark the slot vacant, count the
+//!    retire) — the retire reservation already adjusted the gauge;
+//! 3. otherwise, if the pool is not shutting down, **respawn a fresh
+//!    thread into the same still-`Active` slot** with the drained deque
+//!    ([`PoolStats::respawns`]). Keeping the slot `Active` throughout
+//!    means the heal never races `grow_in`/`retire_in` over slot
+//!    ownership and `active_workers` never dips: detection and respawn
+//!    are one atomic step from every other thread's point of view.
+//!
+//! Thread `JoinHandle`s live in `Shared` so a dying worker can register
+//! its replacement; `Pool::drop` joins in a loop until no handle remains
+//! (a handle pushed by a mid-shutdown death is joined on the next pass).
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -115,6 +144,7 @@ use std::thread::JoinHandle;
 use crate::cancel::CancelToken;
 use crate::chk::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::deque::{Injector, Steal, Stealer, Worker as Deque};
+use crate::faults::{FaultPlan, FaultPlane};
 use crate::ids::{DomainId, WorkerId};
 use crate::sleepers::Sleepers;
 use crate::topology::Topology;
@@ -123,7 +153,7 @@ type JobBody = Box<dyn FnOnce(&WorkerCtx) + Send>;
 
 /// The unit the scheduling spine moves around: a body plus the serving
 /// layer's optional envelope — a cancellation token checked at the
-/// grain boundary (see [`run_job`]) and a per-tenant accounting tag.
+/// grain boundary (see `run_job`) and a per-tenant accounting tag.
 /// Batch spawns carry a bare body; the envelope costs them nothing but
 /// two `None` words per job.
 struct Job {
@@ -275,6 +305,16 @@ pub struct PoolStats {
     /// counted when the retiring worker's drain completes, not when the
     /// retire is requested.
     pub retires: u64,
+    /// Worker threads that died by an unwind escaping the job boundary
+    /// (injected kills, runtime bugs) — see the module header,
+    /// *Supervision*. Every death also republishes the dead worker's
+    /// deque, so no job is lost with the thread.
+    pub worker_deaths: u64,
+    /// Worker threads respawned in place by supervision after a death.
+    /// On a healthy pool that is not shutting down,
+    /// `worker_deaths == respawns + retires-completed-by-death` once the
+    /// dust settles; the chaos suite asserts the census directly.
+    pub respawns: u64,
 }
 
 impl PoolStats {
@@ -309,6 +349,8 @@ impl PoolStats {
             wakes_escalated: self.wakes_escalated.saturating_sub(base.wakes_escalated),
             grows: self.grows.saturating_sub(base.grows),
             retires: self.retires.saturating_sub(base.retires),
+            worker_deaths: self.worker_deaths.saturating_sub(base.worker_deaths),
+            respawns: self.respawns.saturating_sub(base.respawns),
         }
     }
 
@@ -474,6 +516,20 @@ struct Shared {
     grows: AtomicU64,
     /// Cumulative completed retires (see [`PoolStats::retires`]).
     retires: AtomicU64,
+    /// Worker threads lost to an escaped unwind (see module header,
+    /// *Supervision*).
+    worker_deaths: AtomicU64,
+    /// Worker threads respawned in place by supervision.
+    respawns: AtomicU64,
+    /// Worker thread handles, including supervision respawns (which is
+    /// why they live here and not on [`Pool`]: a dying worker registers
+    /// its replacement). Drained in a loop by `Pool::drop`.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// The armed fault-injection plane (off by default; see
+    /// [`crate::faults`]). Owned per pool so concurrent pools — and the
+    /// serving layer driving this pool, which shares the plane via
+    /// [`Pool::fault_plane`] — never interfere.
+    faults: FaultPlane,
     /// Park/wake coordination for idle workers ([`crate::sleepers`] owns
     /// the protocol and its counters; this module just drives it).
     sleepers: Sleepers,
@@ -627,7 +683,6 @@ impl QueueDepths {
 /// header, *Elastic workers*).
 pub struct Pool {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Pool {
@@ -654,7 +709,17 @@ impl Pool {
     /// topology), headroom slots inherit the cpus of their domain
     /// round-robin, so an extra worker on a core-domain lands on one of
     /// that core's SMT siblings.
+    ///
+    /// The fault plane is armed from `HTVM_FAULTS` (off when unset); use
+    /// [`Pool::with_fault_plan`] to arm a programmatic plan instead.
     pub fn with_elastic(topology: Topology, headroom: usize) -> Self {
+        Self::with_fault_plan(topology, headroom, FaultPlan::from_env())
+    }
+
+    /// [`Pool::with_elastic`] with an explicit [`FaultPlan`] instead of
+    /// the `HTVM_FAULTS` environment spec — the chaos suites use this to
+    /// arm per-test plans without cross-test env interference.
+    pub fn with_fault_plan(topology: Topology, headroom: usize, plan: FaultPlan) -> Self {
         let base_sizes = topology.sizes().to_vec();
         let slot_topology = if headroom == 0 {
             topology.clone()
@@ -716,6 +781,10 @@ impl Pool {
             vacant_deques: Mutex::new(Vec::new()),
             grows: AtomicU64::new(0),
             retires: AtomicU64::new(0),
+            worker_deaths: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            handles: Mutex::new(Vec::with_capacity(active_count)),
+            faults: FaultPlane::new(plan),
             sleepers,
             quiet_lock: Mutex::new(()),
             quiet_cv: Condvar::new(),
@@ -737,10 +806,16 @@ impl Pool {
             }
         }
         *shared.vacant_deques.lock() = vacant;
-        Self {
-            shared,
-            handles: Mutex::new(handles),
-        }
+        *shared.handles.lock() = handles;
+        Self { shared }
+    }
+
+    /// This pool's fault-injection plane (see [`crate::faults`]). The
+    /// serving layer hits its own fault points (`serve.dispatch`, …)
+    /// against the same plane so one `HTVM_FAULTS` spec or
+    /// [`FaultPlan`] governs the whole stack above this pool.
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.shared.faults
     }
 
     /// Activate one vacant slot in `domain`: hand it its parked deque and
@@ -769,7 +844,7 @@ impl Pool {
                     .name(format!("htvm-worker-{slot}"))
                     .spawn(move || worker_loop(slot, deque, shared))
                     .expect("spawn worker thread");
-                self.handles.lock().push(handle);
+                self.shared.handles.lock().push(handle);
                 return Some(WorkerId(slot as u64));
             }
         }
@@ -1117,6 +1192,8 @@ impl Pool {
             wakes_escalated: self.shared.sleepers.wakes_escalated(),
             grows: self.shared.grows.load(Ordering::Relaxed),
             retires: self.shared.retires.load(Ordering::Relaxed),
+            worker_deaths: self.shared.worker_deaths.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
         }
     }
 }
@@ -1130,11 +1207,33 @@ impl Drop for Pool {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.bump_epoch();
         self.shared.wake_all_for_shutdown();
-        // Includes handles of already-exited retirees; those joins return
-        // immediately.
-        let handles: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        // Includes handles of already-exited retirees (those joins return
+        // immediately). Looped: a worker dying concurrently with shutdown
+        // may register a respawn handle after the first drain — joining
+        // the dead worker's own handle happens-after that push, so the
+        // next pass always picks the replacement up.
+        //
+        // The drop can run ON a pool worker: a job dropped mid-unwind can
+        // hold the last strong reference to a stack that owns the pool
+        // (e.g. a serving request's finish guard → server inner →
+        // `Arc<Pool>`). Joining that worker's own handle would be a
+        // self-join — std's join panics on the EDEADLK, and a panic
+        // inside this destructor during the unwind aborts the process —
+        // so the self-handle is detached instead. That is safe: the
+        // worker owns its own `Arc<Shared>`, so nothing this thread still
+        // touches is freed before it exits.
+        let me = std::thread::current().id();
+        loop {
+            let handles: Vec<JoinHandle<()>> = self.shared.handles.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                if h.thread().id() == me {
+                    continue;
+                }
+                let _ = h.join();
+            }
         }
     }
 }
@@ -1170,6 +1269,10 @@ fn find_work(
     my_domain: DomainId,
     deque: &Deque<Job>,
 ) -> Option<(Job, Acquire)> {
+    // Chaos hook on the steal path: fires before the epoch pin so an
+    // injected unwind never holds reclamation back. A kill here escapes
+    // to the worker's DeathWatch while no job is held.
+    crate::fault_point!(shared.faults, "worker.steal");
     // Pin once for the whole proximity sweep: epoch pins are reentrant,
     // so every steal attempt below rides this guard's fence instead of
     // paying its own — a sweep over W victims costs one fence, not W.
@@ -1251,8 +1354,85 @@ fn worker_loop(index: usize, deque: Deque<Job>, shared: Arc<Shared>) {
         // the worker unpinned, which is slower but never wrong.
         let _ = crate::machine::pin_current_thread(cpu);
     }
-    if run_worker(index, &deque, &shared) {
+    // Supervision: the watch owns the deque so an unwind escaping
+    // `run_worker` (an injected kill, a runtime bug) can republish it and
+    // respawn the slot from the dying thread's own drop glue. Normal
+    // exits (shutdown, retire) disarm it and take the deque back.
+    let mut watch = DeathWatch {
+        index,
+        deque: Some(deque),
+        shared: shared.clone(),
+    };
+    let retire = run_worker(
+        index,
+        watch.deque.as_ref().expect("watch holds deque"),
+        &shared,
+    );
+    let deque = watch.deque.take().expect("watch still holds deque");
+    drop(watch);
+    if retire {
         finish_retire(index, deque, &shared);
+    }
+}
+
+/// The per-worker supervision guard (module header, *Supervision*): owns
+/// the worker's deque; fires only when the thread exits by unwinding.
+struct DeathWatch {
+    index: usize,
+    deque: Option<Deque<Job>>,
+    shared: Arc<Shared>,
+}
+
+impl Drop for DeathWatch {
+    fn drop(&mut self) {
+        let Some(deque) = self.deque.take() else {
+            return; // disarmed: normal shutdown/retire exit
+        };
+        let shared = &self.shared;
+        let index = self.index;
+        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        // Republish the dead worker's queued jobs exactly as a retire
+        // would: they are already in the active gauge, and every one gets
+        // its wake (plus the unconditional rotated wake re-issuing any
+        // token a spawner spent on this worker before it died).
+        let domain = shared.topology.domain_of(index).0 as usize;
+        let mut republished = 0usize;
+        while let Some(job) = deque.pop() {
+            shared.domain_injectors[domain].push(job);
+            republished += 1;
+        }
+        shared.bump_epoch();
+        for _ in 0..republished {
+            shared.wake_one_in(domain);
+        }
+        shared.wake_one_rotated();
+        // A death can race a retire request for the same slot: the
+        // reservation already came out of `active_workers`, so complete
+        // the retire here instead of resurrecting a worker nobody wants.
+        if shared.slot_states[index].load(Ordering::SeqCst) == SLOT_RETIRING {
+            let mut vacant = shared.vacant_deques.lock();
+            vacant[index] = Some(deque);
+            drop(vacant);
+            shared.slot_states[index].store(SLOT_VACANT, Ordering::SeqCst);
+            shared.retires.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the pool is tearing down; nothing to heal
+        }
+        // Respawn into the same still-Active slot. The slot never passes
+        // through Vacant, so the heal cannot race `grow_in` over slot
+        // ownership and the `active_workers` gauge is untouched. If
+        // shutdown lands between the check above and this spawn, the new
+        // worker observes the flag at its loop top (or in its park-abort
+        // re-check) and exits; `Pool::drop`'s join loop reaps it.
+        shared.respawns.fetch_add(1, Ordering::Relaxed);
+        let respawn = self.shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("htvm-worker-{index}"))
+            .spawn(move || worker_loop(index, deque, respawn))
+            .expect("respawn worker thread");
+        shared.handles.lock().push(handle);
     }
 }
 
@@ -1305,6 +1485,10 @@ fn run_worker(index: usize, deque: &Deque<Job>, shared: &Arc<Shared>) -> bool {
         if shared.shutdown.load(Ordering::Acquire) {
             return false;
         }
+        // Chaos hook on the park path: fires *before* registration, so an
+        // injected kill never strands a dead worker's entry in the
+        // sleeper registry (a registered corpse would eat one wake).
+        crate::fault_point!(shared.faults, "worker.park");
         shared.park(index, ctx.domain, epoch);
     }
 }
@@ -1385,10 +1569,25 @@ fn run_job(shared: &Arc<Shared>, index: usize, ctx: &WorkerCtx, job: Job, how: A
     // Contain panics to the job: an unwinding body must not take down the
     // worker (the pool would silently lose a fraction of its parallelism)
     // nor leak the active count (wait_quiescent would hang forever).
-    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx))).is_err() {
+    // Exception: an injected *kill* payload (see [`crate::faults`]) is
+    // accounted like any panic but then deliberately rethrown — the
+    // fault plane is asking for thread death, and supervision (the
+    // worker's DeathWatch) must heal it. Accounting first means even a
+    // killed job settles the active gauge before the thread dies.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::fault_point!(shared.faults, "worker.body");
+        body(ctx)
+    }));
+    if let Err(payload) = result {
         shared.panics.fetch_add(1, Ordering::Relaxed);
+        let kill = crate::faults::injected_from_payload(payload.as_ref()).is_some_and(|f| f.kill);
+        shared.job_finished();
+        if kill {
+            std::panic::resume_unwind(payload);
+        }
+    } else {
+        shared.job_finished();
     }
-    shared.job_finished();
 }
 
 #[cfg(test)]
@@ -1402,6 +1601,115 @@ mod tests {
     /// timeslice, so those claims are only checked on multicore hosts.
     fn multicore() -> bool {
         std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+    }
+
+    /// Poll `f` until it holds or ~2s elapse (supervision counters are
+    /// bumped by the dying thread's drop glue, which runs *after* the
+    /// job's active-gauge settle — `wait_quiescent` alone can return a
+    /// hair early).
+    fn eventually(mut f: impl FnMut() -> bool) -> bool {
+        for _ in 0..2000 {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        f()
+    }
+
+    #[test]
+    fn killed_worker_respawns_and_loses_no_jobs() {
+        use crate::faults::{FaultKind, FaultRule};
+        let plan = FaultPlan::new().rule(FaultRule::new("worker.body", FaultKind::Kill).max(2));
+        let pool = Pool::with_fault_plan(Topology::flat(2), 0, plan);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            98,
+            "exactly the 2 killed jobs are lost"
+        );
+        assert!(
+            eventually(|| {
+                let s = pool.stats();
+                s.worker_deaths == 2 && s.respawns == 2
+            }),
+            "supervision healed both deaths: {:?} deaths / {:?} respawns",
+            pool.stats().worker_deaths,
+            pool.stats().respawns
+        );
+        assert_eq!(
+            pool.stats().panics,
+            2,
+            "kills are accounted like panics first"
+        );
+        assert_eq!(pool.active_workers(), 2, "census intact");
+        // The healed pool still executes new work.
+        let done2 = done.clone();
+        pool.spawn(move |_| {
+            done2.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn kill_on_the_park_path_heals_without_stranding_wakes() {
+        use crate::faults::{FaultKind, FaultRule};
+        let plan = FaultPlan::new().rule(FaultRule::new("worker.park", FaultKind::Kill).max(1));
+        let pool = Pool::with_fault_plan(Topology::flat(2), 0, plan);
+        // Let the pool go idle: some worker reaches the park hook and dies.
+        assert!(
+            eventually(|| {
+                let s = pool.stats();
+                s.worker_deaths == 1 && s.respawns == 1
+            }),
+            "idle worker died at the park hook and was respawned"
+        );
+        assert_eq!(pool.stats().panics, 0, "no job was involved");
+        // The healed pool still runs work to completion (wakes intact).
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+        assert_eq!(pool.active_workers(), 2);
+    }
+
+    #[test]
+    fn delay_faults_perturb_timing_only() {
+        use crate::faults::{FaultKind, FaultRule};
+        let plan = FaultPlan::new().rule(
+            FaultRule::new(
+                "worker.body",
+                FaultKind::Delay(std::time::Duration::from_micros(50)),
+            )
+            .p(0.5)
+            .seed(7),
+        );
+        let pool = Pool::with_fault_plan(Topology::flat(2), 0, plan);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let done = done.clone();
+            pool.spawn(move |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+        let s = pool.stats();
+        assert_eq!((s.panics, s.worker_deaths, s.respawns), (0, 0, 0));
+        assert!(pool.fault_plane().injected_total() > 0, "delays did fire");
     }
 
     #[test]
@@ -1750,6 +2058,8 @@ mod tests {
             wakes_escalated: 0,
             grows: 0,
             retires: 0,
+            worker_deaths: 0,
+            respawns: 0,
         };
         assert!(s.imbalance() < 1e-9);
         assert!(s.imbalance_by_domain() < 1e-9);
@@ -1766,6 +2076,8 @@ mod tests {
             wakes_escalated: 0,
             grows: 0,
             retires: 0,
+            worker_deaths: 0,
+            respawns: 0,
         };
         assert!(s2.imbalance() > 1.0);
         assert!(s2.imbalance_by_domain() > 0.9);
@@ -1784,6 +2096,8 @@ mod tests {
             wakes_escalated: 0,
             grows: 0,
             retires: 0,
+            worker_deaths: 0,
+            respawns: 0,
         };
         assert!(s3.imbalance_by_domain() < 1e-9);
     }
@@ -1803,6 +2117,8 @@ mod tests {
             wakes_escalated: 0,
             grows: 0,
             retires: 0,
+            worker_deaths: 0,
+            respawns: 0,
         };
         assert_eq!(s.executed_by_domain(), vec![12, 4]);
         assert_eq!(s.local_steals_by_domain(), vec![2, 1]);
@@ -1823,6 +2139,8 @@ mod tests {
             wakes_escalated: 0,
             grows: 0,
             retires: 0,
+            worker_deaths: 0,
+            respawns: 0,
         };
         assert_eq!(empty.remote_steal_ratio(), 0.0);
     }

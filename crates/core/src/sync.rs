@@ -276,6 +276,28 @@ impl<T> IVar<T> {
         }
     }
 
+    /// [`IVar::get`] with a bound: block until the value is available or
+    /// `timeout` elapses, returning `None` on timeout. The cell is
+    /// unaffected either way — a later `get`/`get_timeout` still sees the
+    /// value when it arrives.
+    pub fn get_timeout(&self, timeout: std::time::Duration) -> Option<T>
+    where
+        T: Clone,
+    {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let IVarState::Full(v) = &*st {
+                return Some((**v).clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.ready.wait_for(&mut st, deadline - now);
+        }
+    }
+
     /// Run `f` with the value once available: immediately if already full,
     /// otherwise buffered at the cell and run by the producer on `put`.
     /// Either way `f` runs with no internal lock held.

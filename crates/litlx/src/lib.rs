@@ -50,5 +50,5 @@ pub mod percolate;
 pub use atomic::AtomicDomain;
 pub use dataflow::FeRegion;
 pub use future::{future_on, LitlFuture};
-pub use parcel::{NativeParcel, ParcelBuilder, RemoteReduce};
+pub use parcel::{NativeParcel, ParcelBuilder, ParcelFault, RemoteReduce, ReplayAction};
 pub use percolate::{PercolateKernel, PercolationPlan};

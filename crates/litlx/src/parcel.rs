@@ -236,6 +236,37 @@ pub fn compare_strategies(
     (t_loads, t_bulk, t_parcel)
 }
 
+/// Typed panic payload for a parcel whose computation *failed* rather
+/// than crashed: a fallible parcel body (e.g. a LITL-X kernel that
+/// trapped with a `KernelFault`) reports its error through this value
+/// via `panic_any`, and the serving layer downcasts it back into a
+/// typed `Outcome::Failed` — the client sees the kernel's own message,
+/// never an opaque panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParcelFault {
+    /// The failure description (e.g. a formatted `KernelFault`).
+    pub message: String,
+}
+
+impl std::fmt::Display for ParcelFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parcel fault: {}", self.message)
+    }
+}
+
+/// The action a parcel ships: one-shot by default, or a replayable
+/// `Fn` when the submitter wants the serving layer to be able to rerun
+/// the attempt (retry-after-failure needs a body it can call twice).
+enum ParcelAction {
+    Once(Box<dyn FnOnce(&htvm_core::WorkerCtx) + Send>),
+    Replay(ReplayAction),
+}
+
+/// A shared, replayable parcel body — what [`NativeParcel::replayable`]
+/// and [`NativeParcel::fallible`] wrap, and what a retrying serving
+/// layer clones per attempt.
+pub type ReplayAction = std::sync::Arc<dyn Fn(&htvm_core::WorkerCtx) + Send + Sync>;
+
 /// The parcel reinterpreted for the **native serving runtime**: the
 /// request envelope `htvm_serve` tenants submit. On real hardware the
 /// "destination node" of §3.2 becomes a locality domain, and the
@@ -247,7 +278,7 @@ pub fn compare_strategies(
 pub struct NativeParcel {
     payload_bytes: u32,
     cost: u64,
-    action: Box<dyn FnOnce(&htvm_core::WorkerCtx) + Send>,
+    action: ParcelAction,
 }
 
 impl NativeParcel {
@@ -257,8 +288,38 @@ impl NativeParcel {
         Self {
             payload_bytes: 64,
             cost: 1,
-            action: Box::new(action),
+            action: ParcelAction::Once(Box::new(action)),
         }
+    }
+
+    /// A parcel whose action can be run more than once. Only replayable
+    /// parcels are eligible for *execution* retries under a serving
+    /// retry policy — a one-shot body consumed by a failed attempt
+    /// cannot be re-run (shed-before-run retries work for both).
+    pub fn replayable(action: impl Fn(&htvm_core::WorkerCtx) + Send + Sync + 'static) -> Self {
+        Self {
+            payload_bytes: 64,
+            cost: 1,
+            action: ParcelAction::Replay(std::sync::Arc::new(action)),
+        }
+    }
+
+    /// A replayable parcel around a **fallible** body. An `Err` is
+    /// reported as a typed [`ParcelFault`] carrying the error's
+    /// `Display` text (delivered via `panic_any`, so the pool's
+    /// containment machinery handles it like any panic, but the
+    /// serving layer recovers the typed message). The natural fit for
+    /// LITL-X kernels, whose checked paths return `KernelFault`.
+    pub fn fallible<E: std::fmt::Display>(
+        action: impl Fn(&htvm_core::WorkerCtx) -> Result<(), E> + Send + Sync + 'static,
+    ) -> Self {
+        Self::replayable(move |ctx| {
+            if let Err(e) = action(ctx) {
+                std::panic::panic_any(ParcelFault {
+                    message: e.to_string(),
+                });
+            }
+        })
     }
 
     /// Override the nominal payload size (accounting only; nothing is
@@ -286,9 +347,21 @@ impl NativeParcel {
         self.cost
     }
 
+    /// A clone of the replayable body, if this parcel was built with
+    /// [`NativeParcel::replayable`] / [`NativeParcel::fallible`].
+    pub fn replay_action(&self) -> Option<ReplayAction> {
+        match &self.action {
+            ParcelAction::Once(_) => None,
+            ParcelAction::Replay(f) => Some(f.clone()),
+        }
+    }
+
     /// Unwrap into the action the pool will run.
     pub fn into_action(self) -> Box<dyn FnOnce(&htvm_core::WorkerCtx) + Send> {
-        self.action
+        match self.action {
+            ParcelAction::Once(f) => f,
+            ParcelAction::Replay(f) => Box::new(move |ctx| f(ctx)),
+        }
     }
 }
 

@@ -127,6 +127,10 @@ pub struct AutopilotStats {
     pub grows: u64,
     /// Workers retired (requests the pool accepted).
     pub retires: u64,
+    /// Times the controller loop was restarted by its supervision
+    /// harness after a contained panic (placement state resets; the
+    /// bubbles keep their last applied pins). 0 in a healthy pilot.
+    pub restarts: u64,
 }
 
 impl AutopilotStats {
@@ -144,6 +148,7 @@ struct Counters {
     gangs: AtomicU64,
     grows: AtomicU64,
     retires: AtomicU64,
+    restarts: AtomicU64,
 }
 
 /// The running controller. Dropping it stops and joins the thread; the
@@ -169,7 +174,7 @@ impl Autopilot {
             let counters = counters.clone();
             std::thread::Builder::new()
                 .name("htvm-autopilot".into())
-                .spawn(move || controller_loop(pool, cfg, tenants, stop, counters))
+                .spawn(move || supervised_controller(pool, cfg, tenants, stop, counters))
                 .expect("spawn autopilot thread")
         };
         Self {
@@ -188,6 +193,7 @@ impl Autopilot {
             gangs: self.counters.gangs.load(Ordering::Relaxed),
             grows: self.counters.grows.load(Ordering::Relaxed),
             retires: self.counters.retires.load(Ordering::Relaxed),
+            restarts: self.counters.restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -214,12 +220,39 @@ impl std::fmt::Debug for Autopilot {
     }
 }
 
-fn controller_loop(
+/// The autopilot thread body: [`controller_loop`] under a restart
+/// harness. A panicking tick (a policy bug, or an injected
+/// `serve.autopilot` fault — kills included, since the controller has
+/// no successor-thread machinery) is contained and the loop restarts
+/// with fresh placement state; the bubbles keep their last applied
+/// pins, so a controller crash degrades to "placement freezes" rather
+/// than taking the server down.
+fn supervised_controller(
     pool: Arc<Pool>,
     cfg: AutopilotConfig,
     tenants: impl Fn() -> Vec<BubbleTenant>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            controller_loop(&pool, &cfg, &tenants, &stop, &counters)
+        }));
+        match result {
+            Ok(()) => break, // stop flag observed
+            Err(_) => {
+                counters.restarts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn controller_loop(
+    pool: &Arc<Pool>,
+    cfg: &AutopilotConfig,
+    tenants: &impl Fn() -> Vec<BubbleTenant>,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
 ) {
     let mut policy = BubblePolicy::new(cfg.policy.clone());
     // Maps policy bubble index → tenant id; a mismatch with the fresh
@@ -230,6 +263,9 @@ fn controller_loop(
     let mut prev_executed: Vec<u64> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         std::thread::sleep(cfg.interval);
+        // Fault-injection point for supervision tests: a panic/kill
+        // here is contained by `supervised_controller`.
+        htvm_core::fault_point!(pool.fault_plane(), "serve.autopilot");
         let snapshot = tenants();
         let ids: Vec<usize> = snapshot.iter().map(|t| t.id).collect();
         if ids != roster {

@@ -45,10 +45,12 @@
 pub mod autopilot;
 pub mod drr;
 pub mod request;
+pub mod retry;
 pub mod server;
 
 pub use autopilot::{Autopilot, AutopilotConfig, AutopilotStats, Bubble};
 pub use drr::Wdrr;
 pub use litlx::NativeParcel;
-pub use request::{Outcome, RejectReason, ResponseHandle, SubmitError};
+pub use request::{Outcome, RejectReason, RequestFault, ResponseHandle, SubmitError};
+pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig, TenantConfig, TenantHandle, TenantStats};

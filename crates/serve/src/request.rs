@@ -3,14 +3,26 @@
 //!
 //! Every admitted request resolves to **exactly one** [`Outcome`],
 //! delivered through a dataflow [`IVar`] — the same write-once cell
-//! the runtime uses for LGT results. Exactly-once is inherited from
-//! the [`CancelToken`] state machine (`htvm_core::cancel`): whichever
-//! side wins the token's single CAS out of `PENDING` owns the
-//! resolution, so a completed/cancelled/rejected race can never
-//! double-write the cell (which would panic) or leave it empty
-//! (which would hang the client).
+//! the runtime uses for LGT results. Exactly-once is enforced by a
+//! per-request **settle gate** (`ReqState::settle`): a single CAS
+//! that elects the one resolver among every party that might race to
+//! deliver an outcome — the finish guard on a worker, the cancel hook
+//! on the client's token, a shed on the dispatcher, a supervision
+//! drop during a dispatcher restart. The [`CancelToken`] state
+//! machine still arbitrates *claim vs cancel* per attempt, but with
+//! retries a request can span several attempt tokens, so the token
+//! CAS alone is no longer the request-level authority.
+//!
+//! Failures are **typed, never silent**: a panicking body, an
+//! injected fault, a kernel trap — all settle as
+//! [`Outcome::Failed`] with a [`RequestFault`] naming the failure
+//! site. No client ever hangs on a `wait()` because an attempt died;
+//! the finish guard's drop path settles the request even when the
+//! executing thread is killed mid-flight.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use htvm_core::{CancelToken, IVar};
 
@@ -26,17 +38,62 @@ pub enum RejectReason {
     ServerShutdown,
 }
 
+/// A typed execution failure: *where* an attempt died and *why*.
+///
+/// Carried by [`Outcome::Failed`]. The `site` is a stable,
+/// dot-separated label in the same namespace as the fault plane's
+/// injection sites (`htvm_core::faults`) — an injected fault surfaces
+/// with the site it was injected at (e.g. `worker.body`), a kernel
+/// trap as `kernel`, an ordinary panicking body as `request.body`,
+/// and a request abandoned by a dying dispatcher as
+/// `serve.abandoned`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFault {
+    /// Stable failure-site label (see type docs).
+    pub site: &'static str,
+    /// Human-readable description recovered from the panic payload.
+    pub message: String,
+}
+
+impl RequestFault {
+    pub(crate) fn new(site: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            site,
+            message: message.into(),
+        }
+    }
+
+    /// Classify a caught panic payload into a typed fault.
+    pub(crate) fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        if let Some(f) = htvm_core::faults::injected_from_payload(payload) {
+            return Self::new(f.site, f.to_string());
+        }
+        if let Some(k) = payload.downcast_ref::<litlx::ParcelFault>() {
+            return Self::new("kernel", k.message.clone());
+        }
+        Self::new("request.body", htvm_core::faults::describe_payload(payload))
+    }
+}
+
+impl std::fmt::Display for RequestFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request failed at {}: {}", self.site, self.message)
+    }
+}
+
 /// The terminal state of a submitted request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
     /// The request's action ran to completion on the pool.
     Completed,
     /// The request's [`CancelToken`] resolved cancelled (explicit
     /// cancel or deadline expiry) before the action ran.
     Cancelled,
-    /// The action ran but panicked; the unwind was contained by the
-    /// pool and the worker survived.
-    Panicked,
+    /// The request failed — its action panicked, hit an injected
+    /// fault, trapped in a kernel, or was abandoned by a dying
+    /// dispatcher — and its retry policy (if any) is exhausted. The
+    /// fault names the failure site; the pool and server survived.
+    Failed(RequestFault),
     /// The serving layer refused to run the request (typed shed).
     Rejected(RejectReason),
 }
@@ -64,16 +121,42 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Shared per-request state: the write-once outcome cell.
+/// Shared per-request state: the write-once outcome cell plus the
+/// settle gate that elects its single writer.
 pub(crate) struct ReqState {
     pub(crate) outcome: IVar<Outcome>,
+    settled: AtomicBool,
 }
 
 impl ReqState {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Self {
             outcome: IVar::new(),
+            settled: AtomicBool::new(false),
         })
+    }
+
+    /// Deliver the request's one outcome. The first caller wins the
+    /// gate, runs `count` (its accounting bump), writes the cell, and
+    /// gets `true`; every later caller is a no-op returning `false`.
+    /// Counting only on a win is what keeps the conservation ledger
+    /// exact under races between finish, cancel, shed and supervision
+    /// paths; counting *before* the cell is written means any thread
+    /// that observes the outcome (the `put` releases, `wait`'s read
+    /// acquires) also observes the bump — so a ledger read taken
+    /// after `wait` returns never runs ahead of the stats.
+    pub(crate) fn settle(&self, outcome: Outcome, count: impl FnOnce()) -> bool {
+        if self
+            .settled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            count();
+            self.outcome.put(outcome);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -90,6 +173,15 @@ impl ResponseHandle {
         self.state.outcome.get()
     }
 
+    /// Block until the request resolves or `timeout` elapses.
+    ///
+    /// `None` means *still in flight* (e.g. parked in a retry
+    /// backoff), not failed — the request will still settle exactly
+    /// once, and a later `wait`/`wait_timeout` can pick it up.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        self.state.outcome.get_timeout(timeout)
+    }
+
     /// The outcome if the request has already resolved.
     pub fn try_outcome(&self) -> Option<Outcome> {
         self.state.outcome.try_get()
@@ -97,11 +189,11 @@ impl ResponseHandle {
 
     /// Request cancellation. Returns `true` if this call resolved the
     /// request to [`Outcome::Cancelled`]; `false` if it had already
-    /// been claimed for execution (it will still resolve — to
-    /// `Completed`/`Panicked` — and a running body can observe the
-    /// request via its token's `cancel_requested`).
+    /// settled or been claimed for execution (it will still resolve —
+    /// e.g. to `Completed`/`Failed` — and a running body can observe
+    /// the request via its token's `cancel_requested`).
     pub fn cancel(&self) -> bool {
-        self.token.cancel()
+        self.token.cancel() && matches!(self.try_outcome(), Some(Outcome::Cancelled))
     }
 
     /// The request's cancellation token (e.g. to derive `child` tokens

@@ -26,24 +26,50 @@
 //! # Exactly-once resolution
 //!
 //! Every admitted request resolves exactly once, through the
-//! [`CancelToken`] CAS (see `htvm_core::cancel`):
+//! request's **settle gate** (`ReqState::settle`, a single CAS that
+//! elects the one resolver) layered over the per-attempt
+//! [`CancelToken`] state machine (see `htvm_core::cancel`):
 //!
-//! * **Completed/Panicked** — the pool's grain-boundary checkpoint
-//!   claimed the token; a drop guard inside the job body resolves the
-//!   outcome on the worker (covering panics and the cancelled-drop
-//!   path via `std::thread::panicking` / `was_claimed`).
-//! * **Cancelled** — `cancel()` (or deadline expiry at the checkpoint)
-//!   won the CAS; the hook armed at admission resolves the outcome
-//!   from whichever thread won (a cancel that lands before the hook is
-//!   armed resolves when the arming call runs it immediately).
-//! * **Rejected** — the dispatcher itself claims the token before
-//!   shedding (overload, tenant close, shutdown): if the claim loses,
-//!   a concurrent cancel already resolved the request and the shed
+//! * **Completed/Failed** — each dispatched attempt runs under its own
+//!   *attempt token* (a `child()` of the request's root token) with the
+//!   body wrapped in `catch_unwind`: a normal return settles
+//!   `Completed`; a panic is classified into a typed [`RequestFault`]
+//!   (injected fault site / kernel trap / plain panic) and — once the
+//!   tenant's [`RetryPolicy`] is exhausted — settles `Failed`. The
+//!   unwind is re-raised so the pool's containment and kill-propagation
+//!   accounting stay intact.
+//! * **Cancelled** — the hook armed on the root token at admission
+//!   settles from whichever thread wins the root CAS; an attempt
+//!   dropped unrun at the pool's grain boundary (the *attempt* token
+//!   observed the root's cancel or deadline through the parent chain)
+//!   settles from the finish guard's drop path instead.
+//! * **Rejected** — the dispatcher claims the root token before
+//!   shedding (overload, tenant close, shutdown): if the claim loses, a
+//!   concurrent cancel already resolved the request and the shed
 //!   becomes a no-op.
+//! * **Retried** — a failed or shed attempt whose tenant policy still
+//!   allows it settles *nothing*: the request parks in the tenant's
+//!   retry backlog until its backoff elapses, then re-dispatches as
+//!   attempt *n+1* with a fresh attempt token. Only the final attempt
+//!   settles, so the ledger still conserves.
 //!
 //! In-flight accounting never depends on who wins: the drop guard that
 //! decrements `in_flight` travels *inside* the job closure, so it runs
-//! on a worker whether the body executes, panics, or is dropped unrun.
+//! on a worker whether the body executes, panics, or is dropped unrun —
+//! and its drop path also settles the request if the attempt died
+//! without reporting (e.g. an injected thread kill), so no client ever
+//! hangs on `wait()`.
+//!
+//! # Supervision
+//!
+//! The dispatcher thread is itself a failure domain. Its loop runs
+//! under a `catch_unwind` restart harness: a plain panic restarts the
+//! dispatch loop in place; an injected *kill* lets the thread die and a
+//! drop-guard (`DispatcherWatch`) respawns a successor thread —
+//! admitted requests are untouched either way because the fault point
+//! (`serve.dispatch`) sits *before* any request is popped. `shutdown`
+//! joins the whole chain of successors. The [`Autopilot`] controller
+//! thread has the same restart harness (see `autopilot.rs`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -54,12 +80,13 @@ use htvm_core::{
     AdmissionQueue, AdmitError, CancelToken, DomainId, Htvm, Pool, PoolTag, SpawnOpts, TagStats,
     WorkerCtx,
 };
-use litlx::NativeParcel;
+use litlx::{NativeParcel, ReplayAction};
 use parking_lot::{Condvar, Mutex};
 
 use crate::autopilot::{Autopilot, AutopilotConfig, Bubble, BubbleTenant};
 use crate::drr::Wdrr;
-use crate::request::{Outcome, RejectReason, ReqState, ResponseHandle, SubmitError};
+use crate::request::{Outcome, RejectReason, ReqState, RequestFault, ResponseHandle, SubmitError};
+use crate::retry::RetryPolicy;
 
 /// Server-wide policy knobs.
 #[derive(Debug, Clone)]
@@ -105,6 +132,14 @@ pub struct TenantConfig {
     /// *initial* only: the tenant's [`Bubble`] can be re-pinned or
     /// burst at runtime (by the [`Autopilot`] or by hand).
     pub home: Option<DomainId>,
+    /// Opt-in retry policy: failed attempts (and overload sheds) are
+    /// re-admitted after a seeded exponential backoff instead of
+    /// settling, within the policy's attempt/budget/deadline bounds.
+    /// `None` (the default) settles every failure immediately.
+    /// Execution retries additionally require a replayable parcel
+    /// ([`NativeParcel::replayable`] / [`NativeParcel::fallible`]);
+    /// one-shot bodies only get shed-before-run retries.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl TenantConfig {
@@ -119,8 +154,11 @@ impl TenantConfig {
 
 /// Counters a tenant accumulates over its lifetime. Conservation: every
 /// submission ends in exactly one bucket —
-/// `submitted == rejected_full + completed + panicked + cancelled +
+/// `submitted == rejected_full + completed + failed + cancelled +
 /// shed + closed_rejects + shutdown_rejects + still_pending`.
+/// `retried` counts *re-admissions*, not outcomes, and sits outside
+/// the ledger: a retried request is still pending until its final
+/// attempt settles.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Submissions offered (admitted or not).
@@ -129,8 +167,10 @@ pub struct TenantStats {
     pub rejected_full: u64,
     /// Actions that ran to completion.
     pub completed: u64,
-    /// Actions that ran and panicked (contained).
-    pub panicked: u64,
+    /// Requests that settled [`Outcome::Failed`] — panicked, hit an
+    /// injected fault, or trapped in a kernel, with any retry policy
+    /// exhausted (the unwind was contained; the pool survived).
+    pub failed: u64,
     /// Requests resolved cancelled (explicit or deadline).
     pub cancelled: u64,
     /// Requests shed under overload ([`RejectReason::Overload`]).
@@ -140,6 +180,9 @@ pub struct TenantStats {
     pub closed_rejects: u64,
     /// Queued requests rejected when the server shut down.
     pub shutdown_rejects: u64,
+    /// Attempts re-admitted under the tenant's [`RetryPolicy`]
+    /// (failed-attempt and shed retries). Not a settled bucket.
+    pub retried: u64,
 }
 
 impl TenantStats {
@@ -147,7 +190,7 @@ impl TenantStats {
     pub fn settled(&self) -> u64 {
         self.rejected_full
             + self.completed
-            + self.panicked
+            + self.failed
             + self.cancelled
             + self.shed
             + self.closed_rejects
@@ -160,19 +203,26 @@ struct TenantCounters {
     submitted: AtomicU64,
     rejected_full: AtomicU64,
     completed: AtomicU64,
-    panicked: AtomicU64,
+    failed: AtomicU64,
     cancelled: AtomicU64,
     shed: AtomicU64,
     closed_rejects: AtomicU64,
     shutdown_rejects: AtomicU64,
+    retried: AtomicU64,
 }
 
-/// A request sitting in an admission queue.
+/// A request sitting in an admission queue (or the retry backlog).
 struct Queued {
     action: Box<dyn FnOnce(&WorkerCtx) + Send>,
     cost: u64,
+    /// The request's *root* token — the identity `ResponseHandle`
+    /// cancels through; each dispatch derives a fresh attempt child.
     token: CancelToken,
     state: Arc<ReqState>,
+    /// 0-based attempt number this entry represents.
+    attempt: u32,
+    /// Replayable body, for execution retries after a failed attempt.
+    replay: Option<ReplayAction>,
 }
 
 struct TenantShared {
@@ -184,6 +234,13 @@ struct TenantShared {
     queue: AdmissionQueue<Queued>,
     tag: PoolTag,
     counters: Arc<TenantCounters>,
+    retry: Option<RetryPolicy>,
+    /// Requests waiting out a retry backoff: `(due, request)`. Drained
+    /// by the dispatcher once due (dispatched directly — they already
+    /// won admission once), and swept with a typed rejection on tenant
+    /// close / shutdown. Pushes re-check `queue.is_closed()` under this
+    /// lock so no entry can slip in behind the closing sweep.
+    retry_q: Mutex<Vec<(Instant, Queued)>>,
 }
 
 struct ServerInner {
@@ -196,6 +253,12 @@ struct ServerInner {
     shutdown: AtomicBool,
     wake_lock: Mutex<()>,
     wake_cv: Condvar,
+    /// The dispatcher thread plus any successors respawned after a
+    /// kill; `shutdown` joins the whole chain.
+    dispatcher: Mutex<Vec<JoinHandle<()>>>,
+    /// Times the dispatch loop was restarted (in place after a plain
+    /// panic, or as a fresh thread after an injected kill).
+    dispatcher_restarts: AtomicU64,
 }
 
 impl ServerInner {
@@ -210,35 +273,157 @@ impl ServerInner {
     }
 }
 
-/// Decrements `in_flight` when the dispatched job leaves the pool —
-/// travelling inside the job closure so it runs on the worker for all
-/// three exits (completed, panicked, dropped-cancelled) — and resolves
-/// the outcome for the claimed paths.
+/// Rides inside the dispatched job closure, so it runs on the worker
+/// for every exit of an attempt: body completed, body panicked (the
+/// dispatch wrapper classifies and calls [`FinishGuard::fail`]), body
+/// dropped unrun at the grain boundary, or the whole closure dropped
+/// by a dying thread. Its `Drop` is the last line of defence — it
+/// settles the request if nothing else did (no client ever hangs) and
+/// unconditionally maintains the `in_flight` gauge.
 struct FinishGuard {
     inner: Arc<ServerInner>,
+    tenant: Arc<TenantShared>,
     state: Arc<ReqState>,
-    counters: Arc<TenantCounters>,
-    token: CancelToken,
+    /// The request's root token (cancel identity across attempts).
+    root: CancelToken,
+    /// This attempt's child token, handed to the pool's grain boundary.
+    attempt_token: CancelToken,
+    /// 0-based attempt number.
+    attempt: u32,
+    cost: u64,
+    replay: Option<ReplayAction>,
+    /// Set by `complete`/`fail`; a drop with this still false means the
+    /// attempt died without reporting.
+    resolved: bool,
+}
+
+impl FinishGuard {
+    /// The body returned normally: settle `Completed`.
+    fn complete(&mut self) {
+        self.resolved = true;
+        let counters = &self.tenant.counters;
+        self.state.settle(Outcome::Completed, || {
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// The body panicked (already classified into `fault`): schedule a
+    /// retry if the tenant's policy and a replayable body allow it,
+    /// otherwise settle `Failed`.
+    fn fail(&mut self, fault: RequestFault) {
+        self.resolved = true;
+        if let Some(replay) = self.replay.clone() {
+            let action = {
+                let r = replay.clone();
+                Box::new(move |ctx: &WorkerCtx| r(ctx))
+            };
+            let q = Queued {
+                action,
+                cost: self.cost,
+                token: self.root.clone(),
+                state: self.state.clone(),
+                attempt: self.attempt,
+                replay: Some(replay),
+            };
+            if schedule_retry(&self.inner, &self.tenant, q).is_ok() {
+                return;
+            }
+        }
+        let counters = &self.tenant.counters;
+        self.state.settle(Outcome::Failed(fault), || {
+            counters.failed.fetch_add(1, Ordering::Relaxed);
+        });
+    }
 }
 
 impl Drop for FinishGuard {
     fn drop(&mut self) {
-        if self.token.was_claimed() {
-            // The body ran (the claim CAS won, so the cancel hook can
-            // never fire): this guard owns the outcome.
-            if std::thread::panicking() {
-                self.counters.panicked.fetch_add(1, Ordering::Relaxed);
-                self.state.outcome.put(Outcome::Panicked);
+        if !self.resolved {
+            // The attempt never reported. Two ways here: the grain
+            // boundary dropped the body unrun because the *attempt*
+            // token resolved cancelled (root cancel or deadline seen
+            // through the parent chain — the root's own hook never
+            // fires for a deadline observed on a child), or the
+            // executing thread died with the closure never run /
+            // mid-unwind without reaching `fail` (e.g. an injected
+            // kill). Settle accordingly so no client hangs; the gate
+            // makes a lost race a silent no-op.
+            if !self.attempt_token.was_claimed() && self.attempt_token.is_cancelled() {
+                let counters = &self.tenant.counters;
+                self.state.settle(Outcome::Cancelled, || {
+                    counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                });
             } else {
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                self.state.outcome.put(Outcome::Completed);
+                // If this drop is running inside an unwind that a fault
+                // point on this thread raised (e.g. `worker.body` fires
+                // in the pool *around* our catch_unwind wrapper), the
+                // thread-local injection record recovers the typed
+                // fault; `fail` then applies the retry policy exactly
+                // as for an in-body failure.
+                let fault = if std::thread::panicking() {
+                    htvm_core::faults::take_last_injected()
+                        .map(|f| RequestFault::new(f.site, f.to_string()))
+                } else {
+                    None
+                };
+                let fault = fault.unwrap_or_else(|| {
+                    RequestFault::new("serve.abandoned", "attempt dropped without running")
+                });
+                self.fail(fault);
             }
         }
-        // Cancelled-at-the-checkpoint path: the token's hook already
-        // resolved the outcome; only the gauge needs maintenance.
         self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.inner.kick();
     }
+}
+
+/// Try to park `q` in its tenant's retry backlog for another attempt.
+/// `q.attempt` is the attempt that just failed (or was shed unrun);
+/// on success the entry is re-numbered `attempt + 1` and `Err` hands
+/// the request back untouched when the policy refuses (caller settles).
+fn schedule_retry(
+    inner: &Arc<ServerInner>,
+    t: &Arc<TenantShared>,
+    mut q: Queued,
+) -> Result<(), Queued> {
+    let Some(policy) = &t.retry else {
+        return Err(q);
+    };
+    if !policy.attempts_allow(q.attempt) {
+        return Err(q);
+    }
+    let c = &t.counters;
+    let retried = c.retried.load(Ordering::Relaxed);
+    if !policy.budget_allows(retried, c.submitted.load(Ordering::Relaxed)) {
+        return Err(q);
+    }
+    if q.token.is_cancelled() {
+        // The root's cancel hook already settled the request; the
+        // caller's settle will lose the gate and count nothing.
+        return Err(q);
+    }
+    let backoff = policy.backoff_for(q.attempt, retried);
+    if let Some(d) = q.token.deadline() {
+        if Instant::now() + backoff >= d {
+            // Doomed: the deadline expires before the retry could run.
+            return Err(q);
+        }
+    }
+    {
+        // is_closed is re-checked under the retry_q lock: the closing
+        // sweep (close/shutdown) drains under this same lock *after*
+        // closing the queue, so either we see the close here or the
+        // sweep sees our entry — never a stranded request.
+        let mut rq = t.retry_q.lock();
+        if inner.shutdown.load(Ordering::SeqCst) || t.queue.is_closed() {
+            return Err(q);
+        }
+        q.attempt += 1;
+        c.retried.fetch_add(1, Ordering::Relaxed);
+        rq.push((Instant::now() + backoff, q));
+    }
+    inner.kick();
+    Ok(())
 }
 
 /// A handle to a registered tenant. Dropping the handle closes the
@@ -309,11 +494,14 @@ impl TenantHandle {
         counters.submitted.fetch_add(1, Ordering::Relaxed);
         let state = ReqState::new();
         let cost = parcel.cost();
+        let replay = parcel.replay_action();
         let queued = Queued {
             action: parcel.into_action(),
             cost,
             token: token.clone(),
             state: state.clone(),
+            attempt: 0,
+            replay,
         };
         match self.shared.queue.try_push(queued) {
             Ok(()) => {
@@ -329,8 +517,9 @@ impl TenantHandle {
                     let state = state.clone();
                     let counters = counters.clone();
                     token.on_cancelled(move || {
-                        counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                        state.outcome.put(Outcome::Cancelled);
+                        state.settle(Outcome::Cancelled, || {
+                            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        });
                     });
                 }
                 self.inner.kick();
@@ -347,9 +536,10 @@ impl TenantHandle {
         }
     }
 
-    /// Current admission-queue depth.
+    /// Current admission-queue depth plus requests waiting out a retry
+    /// backoff.
     pub fn queued(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.queue.len() + self.shared.retry_q.lock().len()
     }
 
     /// Lifetime counters (see [`TenantStats`] for the conservation
@@ -360,11 +550,12 @@ impl TenantHandle {
             submitted: c.submitted.load(Ordering::Relaxed),
             rejected_full: c.rejected_full.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
-            panicked: c.panicked.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
             closed_rejects: c.closed_rejects.load(Ordering::Relaxed),
             shutdown_rejects: c.shutdown_rejects.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
         }
     }
 
@@ -406,7 +597,6 @@ impl std::fmt::Debug for TenantHandle {
 /// The multi-tenant serving front-end (see the [module docs](self)).
 pub struct Server {
     inner: Arc<ServerInner>,
-    dispatcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -426,18 +616,18 @@ impl Server {
             shutdown: AtomicBool::new(false),
             wake_lock: Mutex::new(()),
             wake_cv: Condvar::new(),
+            dispatcher: Mutex::new(Vec::new()),
+            dispatcher_restarts: AtomicU64::new(0),
         });
-        let dispatcher = {
+        let handle = {
             let inner = inner.clone();
             std::thread::Builder::new()
                 .name("htvm-serve-dispatch".into())
-                .spawn(move || dispatcher_loop(inner))
+                .spawn(move || dispatcher_thread(inner))
                 .expect("spawn dispatcher thread")
         };
-        Self {
-            inner,
-            dispatcher: Mutex::new(Some(dispatcher)),
-        }
+        inner.dispatcher.lock().push(handle);
+        Self { inner }
     }
 
     /// Register a tenant; its id is the smallest retired slot (ids are
@@ -479,6 +669,8 @@ impl Server {
             queue: AdmissionQueue::new(capacity),
             tag: PoolTag::new(),
             counters: Arc::new(TenantCounters::default()),
+            retry: cfg.retry,
+            retry_q: Mutex::new(Vec::new()),
         });
         if id == tenants.len() {
             tenants.push(Some(shared.clone()));
@@ -524,13 +716,21 @@ impl Server {
         self.inner.in_flight.load(Ordering::SeqCst)
     }
 
-    /// Total requests currently sitting in admission queues.
+    /// Total requests currently sitting in admission queues or retry
+    /// backlogs.
     pub fn queued_total(&self) -> usize {
         self.inner
             .live_tenants()
             .iter()
-            .map(|t| t.queue.len())
+            .map(|t| t.queue.len() + t.retry_q.lock().len())
             .sum()
+    }
+
+    /// Times the dispatch loop was restarted by its supervision
+    /// harness (in place after a contained panic, or as a respawned
+    /// thread after an injected kill). 0 in a healthy server.
+    pub fn dispatcher_restarts(&self) -> u64 {
+        self.inner.dispatcher_restarts.load(Ordering::Relaxed)
     }
 
     /// Live (registered, not yet retired) tenants.
@@ -570,8 +770,25 @@ impl Server {
             self.inner.shutdown.store(true, Ordering::SeqCst);
         }
         self.inner.kick();
-        if let Some(h) = self.dispatcher.lock().take() {
-            let _ = h.join();
+        // Join the dispatcher *chain*: a thread dying to an injected
+        // kill pushes its successor's handle before it exits (in its
+        // watch guard's drop glue), so once `join` returns the push is
+        // visible — loop until the list stays empty. A shutdown reached
+        // from the dispatcher thread itself (a `Server` released from a
+        // value it dispatched) must detach rather than self-join: std's
+        // join panics on the EDEADLK.
+        let me = std::thread::current().id();
+        loop {
+            let handles: Vec<JoinHandle<()>> = self.inner.dispatcher.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                if h.thread().id() == me {
+                    continue;
+                }
+                let _ = h.join();
+            }
         }
     }
 }
@@ -593,36 +810,101 @@ impl std::fmt::Debug for Server {
 }
 
 /// Resolve a popped-but-never-dispatched request as `Rejected(reason)`.
-/// The dispatcher must *claim* the token first: if the claim loses, a
-/// concurrent cancel (or deadline) already resolved the request and
-/// the shed is a no-op — exactly-once by the same CAS as everything
-/// else.
+/// The dispatcher *claims* the root token first (disarming the cancel
+/// hook — if the claim loses, a concurrent cancel already resolved the
+/// request), then races the settle gate like every other resolver.
 fn resolve_rejected(q: Queued, reason: RejectReason, bucket: &AtomicU64) {
     if q.token.try_claim() {
-        bucket.fetch_add(1, Ordering::Relaxed);
-        q.state.outcome.put(Outcome::Rejected(reason));
+        q.state.settle(Outcome::Rejected(reason), || {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        });
     }
+}
+
+/// Drop guard armed while a dispatcher thread is alive: if the thread
+/// dies unwinding (an injected kill rethrown by [`dispatcher_thread`]),
+/// the guard respawns a successor — unless the server is shutting
+/// down, in which case dying *is* the clean exit.
+struct DispatcherWatch {
+    inner: Arc<ServerInner>,
+    armed: bool,
+}
+
+impl Drop for DispatcherWatch {
+    fn drop(&mut self) {
+        if !self.armed || self.inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let inner = self.inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("htvm-serve-dispatch".into())
+            .spawn(move || dispatcher_thread(inner));
+        if let Ok(h) = handle {
+            // Pushed from the dying thread's drop glue, so `shutdown`'s
+            // join of *this* thread happens-after the push and its next
+            // sweep sees the successor.
+            self.inner.dispatcher.lock().push(h);
+        }
+    }
+}
+
+/// The dispatcher thread body: [`dispatcher_loop`] under the
+/// supervision harness. A contained panic restarts the loop in place
+/// (same thread, fresh `Wdrr` state); an injected kill is rethrown so
+/// the thread dies and [`DispatcherWatch`] respawns a successor. Both
+/// paths count in `dispatcher_restarts`. Requests are never lost to
+/// either: the `serve.dispatch` fault point fires before the pass pops
+/// anything, and everything queued simply waits for the next pass.
+fn dispatcher_thread(inner: Arc<ServerInner>) {
+    let mut watch = DispatcherWatch {
+        inner: inner.clone(),
+        armed: true,
+    };
+    loop {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatcher_loop(inner.clone())
+        }));
+        match result {
+            Ok(()) => break, // clean shutdown exit
+            Err(payload) => {
+                inner.dispatcher_restarts.fetch_add(1, Ordering::Relaxed);
+                if htvm_core::faults::injected_from_payload(payload.as_ref())
+                    .is_some_and(|f| f.kill)
+                {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+    watch.armed = false;
 }
 
 fn dispatcher_loop(inner: Arc<ServerInner>) {
     let mut drr = Wdrr::new(inner.cfg.quantum);
     loop {
+        // Fault-injection point for supervision tests: fires while no
+        // request is held, so a panic/kill here strands nothing.
+        htvm_core::fault_point!(inner.pool.fault_plane(), "serve.dispatch");
         let shutting_down = inner.shutdown.load(Ordering::SeqCst);
         let snapshot = inner.live_tenants();
 
-        // Retire closed tenants: drain their queues with a typed
-        // rejection, then free the slot.
+        // Retire closed tenants: drain their queues and retry backlogs
+        // with a typed rejection, then free the slot.
         for t in &snapshot {
             if shutting_down {
                 t.queue.close();
             }
             if t.queue.is_closed() {
+                let (reason, bucket) = if shutting_down {
+                    (RejectReason::ServerShutdown, &t.counters.shutdown_rejects)
+                } else {
+                    (RejectReason::TenantClosed, &t.counters.closed_rejects)
+                };
                 for q in t.queue.drain() {
-                    let (reason, bucket) = if shutting_down {
-                        (RejectReason::ServerShutdown, &t.counters.shutdown_rejects)
-                    } else {
-                        (RejectReason::TenantClosed, &t.counters.closed_rejects)
-                    };
+                    resolve_rejected(q, reason, bucket);
+                }
+                let parked: Vec<(Instant, Queued)> = std::mem::take(&mut *t.retry_q.lock());
+                for (_, q) in parked {
                     resolve_rejected(q, reason, bucket);
                 }
                 drr.remove(t.id);
@@ -638,7 +920,10 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
             .collect();
 
         // Shed overload: newest work from the lowest-weight backlogged
-        // tenant goes first, until back under the watermark.
+        // tenant goes first, until back under the watermark. A tenant
+        // with a retry policy gets its shed work parked for a backoff
+        // instead of rejected — an unrun body is replayable by
+        // definition, so one-shot parcels are eligible too.
         loop {
             let total: usize = live.iter().map(|t| t.queue.len()).sum();
             if total <= inner.cfg.max_queued_total {
@@ -652,8 +937,35 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
                 break;
             };
             match t.queue.pop_newest() {
-                Some(q) => resolve_rejected(q, RejectReason::Overload, &t.counters.shed),
+                Some(q) => {
+                    if let Err(q) = schedule_retry(&inner, t, q) {
+                        resolve_rejected(q, RejectReason::Overload, &t.counters.shed);
+                    }
+                }
                 None => continue,
+            }
+        }
+
+        // Re-dispatch due retries directly under the in-flight cap:
+        // they won admission (and a DRR grant) once already — the
+        // backoff, not the round, is their pacing. `idle_wait` bounds
+        // how stale a due time can go unnoticed.
+        let mut dispatched = 0u64;
+        let now = Instant::now();
+        for t in &live {
+            loop {
+                if inner.in_flight.load(Ordering::SeqCst) >= inner.cfg.max_in_flight {
+                    break;
+                }
+                let due = {
+                    let mut rq = t.retry_q.lock();
+                    match rq.iter().position(|(due, _)| *due <= now) {
+                        Some(i) => rq.swap_remove(i).1,
+                        None => break,
+                    }
+                };
+                dispatch_queued(&inner, t, due);
+                dispatched += 1;
             }
         }
 
@@ -674,11 +986,9 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
             .cfg
             .max_in_flight
             .saturating_sub(inner.in_flight.load(Ordering::SeqCst)) as u64;
-        let dispatched = if capacity == 0 {
-            0
-        } else {
+        if capacity > 0 {
             let inner_ref = &inner;
-            drr.round(
+            dispatched += drr.round(
                 capacity,
                 |k| {
                     by_id
@@ -692,14 +1002,15 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
                         dispatch_one(inner_ref, t);
                     }
                 },
-            )
-        };
+            );
+        }
 
         if dispatched == 0 {
             // Nothing moved this pass: sleep until a kick (submit,
             // completion, close, shutdown) or the idle timeout — the
             // timeout bounds the staleness of any kick that raced in
-            // between our snapshot and the wait.
+            // between our snapshot and the wait, and keeps not-yet-due
+            // retry backoffs honored promptly.
             let mut g = inner.wake_lock.lock();
             if !inner.shutdown.load(Ordering::SeqCst) {
                 inner.wake_cv.wait_for(&mut g, inner.cfg.idle_wait);
@@ -708,23 +1019,39 @@ fn dispatcher_loop(inner: Arc<ServerInner>) {
     }
 }
 
-/// Pop one request from `t` and hand it to the pool with the full
-/// envelope (home domain, token, tag).
+/// Pop one request from `t` and hand it to the pool.
 fn dispatch_one(inner: &Arc<ServerInner>, t: &Arc<TenantShared>) {
-    let Some(q) = t.queue.pop() else {
-        return;
-    };
+    if let Some(q) = t.queue.pop() {
+        dispatch_queued(inner, t, q);
+    }
+}
+
+/// Hand a request to the pool with the full envelope (home domain,
+/// attempt token, tag) and the finish guard riding inside the closure.
+fn dispatch_queued(inner: &Arc<ServerInner>, t: &Arc<TenantShared>, q: Queued) {
     if q.token.is_cancelled() {
-        // Already resolved by the cancel hook while queued; nothing to
-        // dispatch and the in-flight gauge was never touched.
+        // Already resolved by the root's cancel hook while queued;
+        // nothing to dispatch and the in-flight gauge was never
+        // touched.
         return;
     }
     inner.in_flight.fetch_add(1, Ordering::SeqCst);
-    let guard = FinishGuard {
+    // Each attempt runs under its own child of the root token: the
+    // child observes root cancels and deadlines through the parent
+    // chain (so grain-boundary drops still work), while leaving the
+    // root PENDING for the *next* attempt if this one fails into a
+    // retry.
+    let attempt_token = q.token.child();
+    let mut guard = FinishGuard {
         inner: inner.clone(),
+        tenant: t.clone(),
         state: q.state,
-        counters: t.counters.clone(),
-        token: q.token.clone(),
+        root: q.token,
+        attempt_token: attempt_token.clone(),
+        attempt: q.attempt,
+        cost: q.cost,
+        replay: q.replay,
+        resolved: false,
     };
     let action = q.action;
     inner.pool.spawn_with(
@@ -732,12 +1059,24 @@ fn dispatch_one(inner: &Arc<ServerInner>, t: &Arc<TenantShared>) {
             // Resolved at dispatch time: a bubble migration moves every
             // not-yet-dispatched request; a burst bubble goes unaffine.
             domain: t.bubble.domain(),
-            token: Some(q.token),
+            token: Some(attempt_token),
             tag: Some(t.tag.clone()),
         },
         move |ctx| {
-            let _guard = guard;
-            action(ctx);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| action(ctx)));
+            match result {
+                Ok(()) => guard.complete(),
+                Err(payload) => {
+                    // Classify into a typed fault, settle-or-retry,
+                    // then re-raise so the pool's panic accounting and
+                    // kill propagation (worker death → DeathWatch)
+                    // behave exactly as for an unwrapped body.
+                    let fault = RequestFault::from_payload(payload.as_ref());
+                    guard.fail(fault);
+                    drop(guard);
+                    std::panic::resume_unwind(payload);
+                }
+            }
         },
     );
 }
@@ -779,7 +1118,7 @@ mod tests {
         let tenant = server.register_tenant(TenantConfig {
             weight: 1,
             queue_capacity: Some(2),
-            home: None,
+            ..TenantConfig::default()
         });
         let gate = Arc::new(AtomicBool::new(false));
         let g = gate.clone();
@@ -853,21 +1192,27 @@ mod tests {
             .unwrap();
         assert_eq!(h.wait(), Outcome::Cancelled);
         assert!(server.wait_idle(Duration::from_secs(10)));
-        assert_eq!(tenant.stats().panicked, 0);
+        assert_eq!(tenant.stats().failed, 0);
     }
 
     #[test]
-    fn panicking_action_resolves_panicked() {
+    fn panicking_action_resolves_failed() {
         let server = quick_server(ServerConfig::default());
         let tenant = server.register_tenant(TenantConfig::weighted(1));
         let h = tenant
             .submit(NativeParcel::new(|_| panic!("injected request failure")))
             .unwrap();
-        assert_eq!(h.wait(), Outcome::Panicked);
+        match h.wait() {
+            Outcome::Failed(f) => {
+                assert_eq!(f.site, "request.body");
+                assert!(f.message.contains("injected request failure"), "{f}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
         let ok = tenant.submit(NativeParcel::new(|_| {})).unwrap();
         assert_eq!(ok.wait(), Outcome::Completed, "worker survived");
         assert!(server.wait_idle(Duration::from_secs(10)));
-        assert_eq!(tenant.stats().panicked, 1);
+        assert_eq!(tenant.stats().failed, 1);
     }
 
     #[test]
@@ -980,7 +1325,7 @@ mod tests {
         let tenant = server.register_tenant(TenantConfig {
             weight: 1,
             queue_capacity: Some(1),
-            home: None,
+            ..TenantConfig::default()
         });
         let gate = Arc::new(AtomicBool::new(false));
         let g = gate.clone();
@@ -1121,8 +1466,8 @@ mod tests {
         let server = quick_server(ServerConfig::default());
         let tenant = server.register_tenant(TenantConfig {
             weight: 1,
-            queue_capacity: None,
             home: Some(DomainId(0)),
+            ..TenantConfig::default()
         });
         assert_eq!(tenant.home(), Some(DomainId(0)));
         let pool = server.pool().clone();
@@ -1249,5 +1594,230 @@ mod tests {
                 "queued children observe the parent at the grain boundary"
             );
         }
+    }
+
+    #[test]
+    fn flaky_replayable_request_retries_to_completion() {
+        use std::sync::atomic::AtomicU32;
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            retry: Some(RetryPolicy {
+                base_backoff: Duration::from_micros(100),
+                ..RetryPolicy::attempts(3)
+            }),
+            ..TenantConfig::default()
+        });
+        // Fails twice, succeeds on the third attempt — exactly within
+        // a 3-attempt policy.
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = tries.clone();
+        let h = tenant
+            .submit(NativeParcel::replayable(move |_| {
+                if t.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient failure");
+                }
+            }))
+            .unwrap();
+        assert_eq!(h.wait(), Outcome::Completed);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        let stats = tenant.stats();
+        assert_eq!(stats.retried, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.settled(), stats.submitted, "conservation");
+    }
+
+    #[test]
+    fn exhausted_retries_settle_failed_with_the_last_fault() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            retry: Some(RetryPolicy {
+                base_backoff: Duration::from_micros(100),
+                ..RetryPolicy::attempts(2)
+            }),
+            ..TenantConfig::default()
+        });
+        let h = tenant
+            .submit(NativeParcel::replayable(|_| panic!("always broken")))
+            .unwrap();
+        match h.wait() {
+            Outcome::Failed(f) => assert!(f.message.contains("always broken"), "{f}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        let stats = tenant.stats();
+        assert_eq!(stats.retried, 1, "one re-admission under attempts(2)");
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.settled(), stats.submitted, "conservation");
+    }
+
+    #[test]
+    fn one_shot_body_never_retries_execution() {
+        // A FnOnce parcel is consumed by its first run: the policy must
+        // not (cannot) replay it, so the failure settles immediately.
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            retry: Some(RetryPolicy::attempts(5)),
+            ..TenantConfig::default()
+        });
+        let h = tenant
+            .submit(NativeParcel::new(|_| panic!("one-shot failure")))
+            .unwrap();
+        assert!(matches!(h.wait(), Outcome::Failed(_)));
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        assert_eq!(tenant.stats().retried, 0);
+        assert_eq!(tenant.stats().failed, 1);
+    }
+
+    #[test]
+    fn fallible_parcel_surfaces_a_typed_kernel_fault() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let h = tenant
+            .submit(NativeParcel::fallible(|_| {
+                Err::<(), _>("index 9 out of bounds for array of length 4")
+            }))
+            .unwrap();
+        match h.wait() {
+            Outcome::Failed(f) => {
+                assert_eq!(f.site, "kernel");
+                assert_eq!(f.message, "index 9 out of bounds for array of length 4");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        assert_eq!(tenant.stats().failed, 1);
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_loop() {
+        // The deadline expires before any backoff could complete, so
+        // the first failure settles instead of parking a doomed retry.
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig {
+            weight: 1,
+            retry: Some(RetryPolicy {
+                base_backoff: Duration::from_secs(5),
+                max_backoff: Duration::from_secs(5),
+                ..RetryPolicy::attempts(10)
+            }),
+            ..TenantConfig::default()
+        });
+        let h = tenant
+            .submit_with_deadline(
+                NativeParcel::replayable(|_| panic!("fails fast")),
+                Instant::now() + Duration::from_millis(200),
+            )
+            .unwrap();
+        assert!(
+            matches!(h.wait(), Outcome::Failed(_)),
+            "settles instead of waiting out a 5s backoff"
+        );
+        assert!(server.wait_idle(Duration::from_secs(10)));
+        assert_eq!(tenant.stats().retried, 0);
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_while_in_flight_then_the_outcome() {
+        let server = quick_server(ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let h = tenant
+            .submit(NativeParcel::new(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }))
+            .unwrap();
+        assert_eq!(
+            h.wait_timeout(Duration::from_millis(10)),
+            None,
+            "still in flight"
+        );
+        gate.store(true, Ordering::Release);
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(10)),
+            Some(Outcome::Completed)
+        );
+    }
+
+    #[test]
+    fn killed_dispatcher_respawns_and_keeps_serving() {
+        use htvm_core::{FaultKind, FaultPlan, FaultRule, Topology};
+        // The first two dispatch passes die to an injected kill —
+        // each takes its whole thread down — and the DispatcherWatch
+        // guard respawns a successor both times. max=2 lets the third
+        // thread live.
+        let plan = FaultPlan::new().rule(
+            FaultRule::new("serve.dispatch", FaultKind::Kill)
+                .p(1.0)
+                .seed(7)
+                .max(2),
+        );
+        let pool = Arc::new(Pool::with_fault_plan(Topology::domains(2, 1), 0, plan));
+        let server = Server::on_pool(pool, ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let h = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(30)),
+            Some(Outcome::Completed),
+            "a killed dispatcher must not strand admitted requests"
+        );
+        assert!(
+            server.dispatcher_restarts() >= 2,
+            "restarts: {}",
+            server.dispatcher_restarts()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_dispatcher_restarts_in_place() {
+        use htvm_core::{FaultKind, FaultPlan, FaultRule, Topology};
+        let plan = FaultPlan::new().rule(
+            FaultRule::new("serve.dispatch", FaultKind::Panic)
+                .p(1.0)
+                .seed(11)
+                .max(3),
+        );
+        let pool = Arc::new(Pool::with_fault_plan(Topology::domains(2, 1), 0, plan));
+        let server = Server::on_pool(pool, ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let h = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        assert_eq!(
+            h.wait_timeout(Duration::from_secs(30)),
+            Some(Outcome::Completed)
+        );
+        assert!(server.dispatcher_restarts() >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_worker_fault_is_typed_with_its_site() {
+        use htvm_core::{FaultKind, FaultPlan, FaultRule, Topology};
+        // Every body hit once: the fault surfaces as a typed Failed
+        // naming the injection site, not an opaque panic.
+        let plan = FaultPlan::new().rule(
+            FaultRule::new("worker.body", FaultKind::Panic)
+                .p(1.0)
+                .seed(3)
+                .max(1),
+        );
+        let pool = Arc::new(Pool::with_fault_plan(Topology::domains(2, 1), 0, plan));
+        let server = Server::on_pool(pool, ServerConfig::default());
+        let tenant = server.register_tenant(TenantConfig::weighted(1));
+        let h = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        match h.wait() {
+            Outcome::Failed(f) => assert_eq!(f.site, "worker.body"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let ok = tenant.submit(NativeParcel::new(|_| {})).unwrap();
+        assert_eq!(ok.wait(), Outcome::Completed, "fault capped at max=1");
+        server.shutdown();
     }
 }

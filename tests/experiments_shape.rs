@@ -542,3 +542,50 @@ fn e19_serving_conserves_requests_and_orders_percentiles() {
     assert!(rates.len() >= 3, "need ≥3 arrival rates, got {rates:?}");
     assert_eq!(tenants.len(), 3, "need 3 tenants, got {tenants:?}");
 }
+
+#[test]
+fn e21_chaos_conserves_and_heals_under_both_configs() {
+    let _wall = wall_clock_guard();
+    let t = experiments::e21_chaos(Scale::Quick);
+    let idx = |name: &str| {
+        t.col(name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let (config, completed, failed, retried) = (
+        idx("config"),
+        idx("completed"),
+        idx("failed"),
+        idx("retried"),
+    );
+    let (deaths, respawns, restarts, check) = (
+        idx("deaths"),
+        idx("respawns"),
+        idx("restarts"),
+        idx("check"),
+    );
+    let (p50, p99) = (idx("p50_us"), idx("p99_us"));
+    assert_eq!(t.rows.len(), 2, "one clean row, one faulted row: {t:?}");
+    for r in &t.rows {
+        // The check column already folds in zero hangs, ledger
+        // conservation, and deaths == respawns.
+        assert_eq!(r[check], "ok", "chaos ledger leaked: {r:?}");
+        let n = |i: usize| r[i].parse::<u64>().unwrap();
+        assert!(n(completed) > 0, "config completed nothing: {r:?}");
+        assert!(n(p50) <= n(p99), "percentiles out of order: {r:?}");
+        match r[config].as_str() {
+            "clean" => {
+                // Nothing may fire with the fault plane disarmed.
+                assert_eq!(n(failed) + n(retried) + n(deaths) + n(restarts), 0, "{r:?}");
+            }
+            "faults-1pct" => {
+                // The storm actually stormed: the seeded rules fired
+                // (deterministic per (seed, occurrence), so this is not
+                // a flaky coin-flip) and every death healed.
+                assert!(n(retried) + n(failed) > 0, "no body fault fired: {r:?}");
+                assert!(n(deaths) > 0, "no worker kill fired: {r:?}");
+                assert_eq!(n(deaths), n(respawns), "unhealed deaths: {r:?}");
+            }
+            other => panic!("unexpected config {other}"),
+        }
+    }
+}

@@ -34,6 +34,7 @@ fn batch_runs_reenter_a_live_serving_pool() {
         weight: 2,
         queue_capacity: Some(256),
         home: None,
+        retry: None,
     });
 
     let seq = spikes_sequential(&NetworkSpec::tiny(), 120);
@@ -101,6 +102,7 @@ fn racing_cancels_resolve_exactly_once() {
         weight: 1,
         queue_capacity: Some(N),
         home: None,
+        retry: None,
     });
 
     let executed = Arc::new(AtomicU64::new(0));
